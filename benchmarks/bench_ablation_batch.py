@@ -1,0 +1,22 @@
+"""Ablation D — amortising one forest bank across many queries.
+
+The forests do not depend on the query node, so a shared bank
+(BatchSourceSolver) answers each subsequent query with only a push —
+the practical payoff of the §5.3 index restated as a batch API.
+"""
+
+from repro.bench import experiments
+
+
+def bench_ablation_batch(benchmark, show_table):
+    rows = benchmark.pedantic(
+        lambda: experiments.ablation_batch_amortization(num_queries=6),
+        rounds=1, iterations=1)
+    show_table("Ablation: batch forest reuse vs online queries", rows)
+
+    row = rows[0]
+    # once the bank exists, a batch query must be cheaper than a full
+    # online query (which samples fresh forests every time)
+    assert (row["batch_mean_query_seconds"]
+            < row["online_mean_query_seconds"])
+    assert row["bank_forests"] >= 1

@@ -1,0 +1,23 @@
+"""Ablation A — basic vs improved estimator (Lemma 5.1 in practice)."""
+
+from repro.bench import experiments
+
+
+def bench_ablation_estimators(benchmark, show_table):
+    rows = benchmark.pedantic(
+        lambda: experiments.ablation_estimator_variance(num_forests=25),
+        rounds=1, iterations=1)
+    show_table("Ablation: estimator variance (basic vs improved)", rows)
+
+    import math
+
+    row = rows[0]
+    assert row["improved_total_variance"] < row["basic_total_variance"]
+    # both estimators are unbiased for the same quantity, so their
+    # sample means must agree up to Monte-Carlo noise: the expected L1
+    # gap is bounded by sqrt(n * total_variance / num_forests)
+    # (Cauchy–Schwarz over nodes); allow a 3x slack
+    noise_bound = 3.0 * math.sqrt(
+        row["num_nodes"] * row["basic_total_variance"]
+        / row["num_forests"])
+    assert row["mean_gap_l1"] < noise_bound

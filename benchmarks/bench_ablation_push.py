@@ -1,0 +1,24 @@
+"""Ablation C — classic vs balanced forward push (§5.2).
+
+The balanced variant pays more push work for a uniform residual
+ceiling — exactly the quantity ω = ⌈r_max·W⌉ depends on.
+"""
+
+from repro.bench import experiments
+
+
+def bench_ablation_push(benchmark, show_table):
+    r_maxes = (0.01, 0.001)
+    rows = benchmark.pedantic(
+        lambda: experiments.ablation_push_variants(r_maxes=r_maxes),
+        rounds=1, iterations=1)
+    show_table("Ablation: classic vs balanced forward push", rows)
+
+    for r_max in r_maxes:
+        classic = next(r for r in rows if r["variant"] == "classic"
+                       and r["r_max"] == r_max)
+        balanced = next(r for r in rows if r["variant"] == "balanced"
+                        and r["r_max"] == r_max)
+        assert balanced["residual_ceiling"] <= r_max + 1e-12
+        # the classic threshold is degree-scaled, so it stops earlier
+        assert classic["pushes"] <= balanced["pushes"]

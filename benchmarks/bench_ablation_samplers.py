@@ -1,0 +1,29 @@
+"""Ablation B — reference (Algorithm 1) vs vectorised cycle-popping
+sampler: same τ, different constants; both insensitive to α."""
+
+from conftest import mean_of
+
+from repro.bench import experiments
+
+
+def bench_ablation_samplers(benchmark, show_table):
+    rows = benchmark.pedantic(
+        lambda: experiments.ablation_sampler_throughput(
+            alphas=(0.2, 0.05, 0.01), repetitions=3),
+        rounds=1, iterations=1)
+    show_table("Ablation: sampler throughput (wilson vs cycle_popping)",
+               rows)
+
+    for alpha in (0.2, 0.05, 0.01):
+        wilson_steps = mean_of(rows, "mean_steps", alpha=alpha,
+                               sampler="wilson")
+        popping_steps = mean_of(rows, "mean_steps", alpha=alpha,
+                                sampler="cycle_popping")
+        # both draw the same distribution, so step counts agree within
+        # sampling noise
+        assert abs(wilson_steps - popping_steps) < 0.5 * max(
+            wilson_steps, popping_steps)
+    # the vectorised sampler should win on wall clock at small alpha
+    assert mean_of(rows, "mean_seconds", alpha=0.01,
+                   sampler="cycle_popping") < mean_of(
+        rows, "mean_seconds", alpha=0.01, sampler="wilson")

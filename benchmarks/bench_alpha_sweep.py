@@ -1,0 +1,31 @@
+"""α-sweep — the paper's central claim isolated.
+
+Covers both the full-version α = 0.2 setting and the small-α regime:
+FORA's Monte-Carlo cost grows like 1/α while FORALV's (forest
+sampling) barely moves, so the walk/forest cost ratio must grow
+monotonically as α shrinks.
+"""
+
+from conftest import full_protocol, mean_of
+
+from repro.bench import experiments
+
+ALPHAS = (0.2, 0.05, 0.01, 0.002) if full_protocol() else (0.2, 0.02, 0.002)
+
+
+def bench_alpha_sweep(benchmark, show_table):
+    rows = benchmark.pedantic(
+        lambda: experiments.alpha_sweep_single_source(alphas=ALPHAS),
+        rounds=1, iterations=1)
+    show_table("Alpha sweep: walk vs forest Monte-Carlo cost", rows)
+
+    ratios = []
+    for alpha in ALPHAS:
+        walk = mean_of(rows, "mean_mc_steps", alpha=alpha, method="fora")
+        forest = mean_of(rows, "mean_mc_steps", alpha=alpha,
+                         method="foralv")
+        ratios.append(walk / max(forest, 1.0))
+    # the advantage of forests must widen as alpha shrinks
+    assert ratios == sorted(ratios), (
+        f"walk/forest cost ratio should grow as alpha shrinks: {ratios}")
+    assert ratios[-1] > 2 * ratios[0]

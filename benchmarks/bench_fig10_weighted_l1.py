@@ -1,0 +1,30 @@
+"""Fig. 10 — L1 error on general weighted graphs.
+
+Paper's shape: same ordering as Fig. 4 (FORALV < FORA < FORAL), with
+SPEEDLV the overall winner.
+"""
+
+from conftest import full_protocol, mean_of
+
+from repro.bench import experiments
+
+DATASETS = (("dblp", "stackoverflow") if full_protocol() else ("dblp",))
+EPSILONS = experiments.EPSILONS if full_protocol() else (0.3, 0.5)
+
+
+def bench_fig10(benchmark, show_table):
+    rows = benchmark.pedantic(
+        lambda: experiments.fig10_weighted_l1_error(
+            DATASETS, experiments.ONLINE_SOURCE_METHODS, EPSILONS,
+            alpha=0.01),
+        rounds=1, iterations=1)
+    show_table("Fig 10: weighted-graph L1 error (alpha=0.01)", rows)
+
+    for dataset in DATASETS:
+        foralv = mean_of(rows, "mean_l1_error", dataset=dataset,
+                         method="foralv")
+        fora = mean_of(rows, "mean_l1_error", dataset=dataset,
+                       method="fora")
+        foral = mean_of(rows, "mean_l1_error", dataset=dataset,
+                        method="foral")
+        assert foralv < fora < foral

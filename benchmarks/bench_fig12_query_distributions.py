@@ -1,0 +1,31 @@
+"""Fig. 12 — query-time distribution by query-node degree class.
+
+Paper's shape: single-source times (SU/SH/SL) have a small spread
+regardless of the query node's degree; single-target times depend
+strongly on it — low-degree targets (TL) finish orders of magnitude
+faster than high-degree ones (TH).
+"""
+
+from conftest import full_protocol
+
+from repro.bench import experiments
+
+DATASETS = (("youtube", "pokec") if full_protocol() else ("youtube",))
+
+
+def bench_fig12(benchmark, show_table):
+    rows = benchmark.pedantic(
+        lambda: experiments.fig12_query_distributions(DATASETS,
+                                                      alpha=0.01),
+        rounds=1, iterations=1)
+    show_table("Fig 12: query-time distribution (SPEEDLV / BACKLV)",
+               rows, columns=["dataset", "mode", "median", "min", "max"])
+
+    for dataset in DATASETS:
+        by_mode = {row["mode"]: row for row in rows
+                   if row["dataset"] == dataset}
+        # target queries: low-degree targets far cheaper than high-degree
+        assert by_mode["TL"]["median"] < by_mode["TH"]["median"]
+        # source queries: spread across degree classes stays moderate
+        source_medians = [by_mode[m]["median"] for m in ("SU", "SH", "SL")]
+        assert max(source_medians) < 12 * max(min(source_medians), 1e-4)

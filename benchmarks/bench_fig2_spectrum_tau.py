@@ -1,0 +1,44 @@
+"""Fig. 2 — eigenvalue density of P and the τ statistic vs α.
+
+Paper's claims: (a, b) the spectrum of P on real graphs concentrates
+around 0; (c, d) consequently τ grows only mildly as α decays
+exponentially (while naive walk cost n/α explodes).
+"""
+
+from conftest import full_protocol, mean_of
+
+from repro.bench import experiments
+
+DATASETS = ("youtube", "pokec")
+
+
+def bench_fig2_density(benchmark, show_table):
+    rows = benchmark.pedantic(
+        lambda: experiments.fig2_eigenvalue_density(DATASETS, bins=20),
+        rounds=1, iterations=1)
+    show_table("Fig 2(a,b): eigenvalue density of P", rows)
+
+    for dataset in DATASETS:
+        subset = [r for r in rows if r["dataset"] == dataset]
+        central = sum(r["pdf"] for r in subset if abs(r["eigenvalue"]) < 0.4)
+        assert central > 0.5, "spectrum should concentrate near 0"
+
+
+def bench_fig2_tau(benchmark, show_table):
+    alphas = (1e-1, 1e-2, 1e-3, 1e-4, 1e-5) if full_protocol() else (
+        1e-1, 1e-2, 1e-3)
+    rows = benchmark.pedantic(
+        lambda: experiments.fig2_tau_vs_alpha(DATASETS, alphas=alphas),
+        rounds=1, iterations=1)
+    show_table("Fig 2(c,d): tau vs alpha", rows)
+
+    for dataset in DATASETS:
+        subset = sorted((r for r in rows if r["dataset"] == dataset),
+                        key=lambda r: -r["alpha"])
+        # tau grows as alpha decreases, but far slower than n/alpha
+        growth_tau = subset[-1]["tau_sampled"] / subset[0]["tau_sampled"]
+        growth_naive = (subset[-1]["naive_walk_steps"]
+                        / subset[0]["naive_walk_steps"])
+        assert growth_tau < growth_naive / 5
+        for row in subset:
+            assert row["tau_sampled"] < row["naive_walk_steps"]

@@ -1,0 +1,40 @@
+"""Fig. 3 — single-source query cost, α = 0.01, unweighted graphs.
+
+Paper's shape: the forest-based Monte-Carlo stage (FORAL/FORALV,
+SPEEDL/SPEEDLV) does far less sampling work than the walk-based stage
+of FORA/SPEEDPPR at small α, and the SPEED* family is the fastest.
+"""
+
+from conftest import full_protocol, mean_of
+
+from repro.bench import experiments
+
+DATASETS = (experiments.UNWEIGHTED_DATASETS if full_protocol()
+            else ("youtube", "pokec"))
+EPSILONS = experiments.EPSILONS if full_protocol() else (0.3, 0.5)
+
+
+def bench_fig3(benchmark, show_table):
+    rows = benchmark.pedantic(
+        lambda: experiments.fig3_single_source_time(
+            DATASETS, experiments.ONLINE_SOURCE_METHODS, EPSILONS,
+            alpha=0.01),
+        rounds=1, iterations=1)
+    show_table("Fig 3: single-source query cost (alpha=0.01)", rows)
+
+    for dataset in DATASETS:
+        # forest sampling beats walk sampling on Monte-Carlo work — the
+        # machine-independent form of the paper's headline speedup
+        # (wall clock at this laptop scale is constant-dominated, so
+        # the counters carry the comparison; see DESIGN.md §1)
+        fora_steps = mean_of(rows, "mean_mc_steps", dataset=dataset,
+                             method="fora")
+        foralv_steps = mean_of(rows, "mean_mc_steps", dataset=dataset,
+                               method="foralv")
+        assert foralv_steps < fora_steps, (
+            f"{dataset}: forest MC stage should do less sampling work")
+        speedppr_steps = mean_of(rows, "mean_mc_steps", dataset=dataset,
+                                 method="speedppr")
+        speedlv_steps = mean_of(rows, "mean_mc_steps", dataset=dataset,
+                                method="speedlv")
+        assert speedlv_steps < speedppr_steps

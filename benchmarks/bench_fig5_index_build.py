@@ -1,0 +1,30 @@
+"""Fig. 5 — index construction time (§5.3).
+
+Paper's shape: SPEEDLV+ builds fastest, then FORALV+, then SPEEDPPR+,
+then FORA+ — because O(log n) forests replace O(n log n) walks and a
+forest costs τ ≪ n/α steps to sample.
+"""
+
+from conftest import full_protocol, mean_of
+
+from repro.bench import experiments
+
+DATASETS = (("livejournal", "orkut") if full_protocol()
+            else ("livejournal",))
+EPSILONS = experiments.EPSILONS if full_protocol() else (0.3, 0.5)
+
+
+def bench_fig5(benchmark, show_table):
+    rows = benchmark.pedantic(
+        lambda: experiments.fig5_index_build(DATASETS, EPSILONS,
+                                             alpha=0.01),
+        rounds=1, iterations=1)
+    show_table("Fig 5: index construction (alpha=0.01)", rows)
+
+    for dataset in DATASETS:
+        build = {method: mean_of(rows, "build_steps", dataset=dataset,
+                                 method=method)
+                 for method in ("fora+", "speedppr+", "foralv+", "speedlv+")}
+        # forest indexes need far fewer sampling steps than walk indexes
+        assert build["speedlv+"] < build["speedppr+"]
+        assert build["foralv+"] < build["fora+"]

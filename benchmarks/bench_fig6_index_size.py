@@ -1,0 +1,28 @@
+"""Fig. 6 — index size.
+
+Paper's shape: all four indexes have comparable footprints (a forest
+stores one root per node; a walk stores one endpoint per walk, with
+~n log n walks vs log n forests of n entries each).
+"""
+
+from conftest import full_protocol
+
+from repro.bench import experiments
+
+DATASETS = (("livejournal", "orkut") if full_protocol()
+            else ("livejournal",))
+
+
+def bench_fig6(benchmark, show_table):
+    rows = benchmark.pedantic(
+        lambda: experiments.fig6_index_size(DATASETS, alpha=0.01),
+        rounds=1, iterations=1)
+    show_table("Fig 6: index size (MB)", rows)
+
+    for dataset in DATASETS:
+        sizes = {row["method"]: row["index_mb"] for row in rows
+                 if row["dataset"] == dataset}
+        # comparable within an order of magnitude, as in the paper
+        assert max(sizes.values()) / max(min(sizes.values()), 1e-9) < 40
+        for size in sizes.values():
+            assert size > 0

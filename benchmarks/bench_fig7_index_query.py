@@ -1,0 +1,30 @@
+"""Fig. 7 — indexed query time (online variants for reference).
+
+Paper's shape: every index-based method beats its online counterpart;
+FORALV+/SPEEDLV+ sit in the same range as FORA+/SPEEDPPR+ (slightly
+slower due to the per-partition sums).
+"""
+
+from conftest import full_protocol, mean_of
+
+from repro.bench import experiments
+
+DATASETS = (("livejournal", "orkut") if full_protocol()
+            else ("livejournal",))
+EPSILONS = (0.3, 0.5)
+
+
+def bench_fig7(benchmark, show_table):
+    rows = benchmark.pedantic(
+        lambda: experiments.fig7_index_query(DATASETS, EPSILONS,
+                                             alpha=0.01),
+        rounds=1, iterations=1)
+    show_table("Fig 7: indexed vs online query time (alpha=0.01)", rows)
+
+    for dataset in DATASETS:
+        indexed = mean_of(rows, "mean_seconds", dataset=dataset,
+                          method="speedlv+")
+        online = mean_of(rows, "mean_seconds", dataset=dataset,
+                         method="speedlv (online)")
+        assert indexed < online * 1.25, (
+            "the index should not be slower than online sampling")

@@ -1,0 +1,29 @@
+"""Fig. 9 — single-source query cost on general weighted graphs.
+
+Paper's shape: consistent with Fig. 3 — the forest-based methods'
+Monte-Carlo stage does far less work; the SPEED* family is fastest.
+"""
+
+from conftest import full_protocol, mean_of
+
+from repro.bench import experiments
+
+DATASETS = (("dblp", "stackoverflow") if full_protocol() else ("dblp",))
+EPSILONS = experiments.EPSILONS if full_protocol() else (0.3, 0.5)
+
+
+def bench_fig9(benchmark, show_table):
+    rows = benchmark.pedantic(
+        lambda: experiments.fig9_weighted_source_time(
+            DATASETS, experiments.ONLINE_SOURCE_METHODS, EPSILONS,
+            alpha=0.01),
+        rounds=1, iterations=1)
+    show_table("Fig 9: weighted-graph single-source cost (alpha=0.01)",
+               rows)
+
+    for dataset in DATASETS:
+        fora_steps = mean_of(rows, "mean_mc_steps", dataset=dataset,
+                             method="fora")
+        foralv_steps = mean_of(rows, "mean_mc_steps", dataset=dataset,
+                               method="foralv")
+        assert foralv_steps < fora_steps

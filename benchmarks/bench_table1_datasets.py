@@ -1,0 +1,23 @@
+"""Table 1 — dataset statistics (stand-ins next to the SNAP originals)."""
+
+from conftest import full_protocol
+
+from repro.bench import experiments
+
+
+def bench_table1(benchmark, show_table):
+    rows = benchmark.pedantic(
+        lambda: experiments.table1(),
+        rounds=1, iterations=1)
+    show_table("Table 1: datasets (paper vs stand-in)", rows)
+
+    assert len(rows) == 7
+    names = [row["dataset"] for row in rows]
+    assert names[:5] == ["youtube", "pokec", "livejournal", "orkut",
+                         "twitter"]
+    assert names[5:] == ["dblp", "stackoverflow"]
+    # the stand-in degree ordering must keep youtube sparsest and
+    # orkut densest among the unweighted graphs, like the original
+    unweighted = {row["dataset"]: row["avg_degree"] for row in rows[:5]}
+    assert unweighted["youtube"] == min(unweighted.values())
+    assert unweighted["orkut"] == max(unweighted.values())

@@ -1,0 +1,49 @@
+"""Shared benchmark plumbing.
+
+Each ``bench_*.py`` file regenerates one table/figure of the paper.
+Default parameters are laptop-sized; set the environment variables
+
+- ``REPRO_BENCH_FULL=1``        — full dataset / epsilon grids
+- ``REPRO_BENCH_GRAPH_SCALE``   — stand-in graph scale (default 0.25)
+- ``REPRO_BENCH_QUERIES``       — query nodes per configuration
+- ``REPRO_BENCH_BUDGET``        — Monte-Carlo budget scale
+
+to approach the paper's full protocol.  Every bench prints its rows as
+a markdown table (visible with ``pytest -s`` or in captured output on
+failure) and asserts the paper's qualitative *shape*.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.reporting import format_markdown_table
+
+
+def full_protocol() -> bool:
+    """Whether the full-grid protocol was requested."""
+    return os.environ.get("REPRO_BENCH_FULL", "0") not in ("0", "", "false")
+
+
+@pytest.fixture(scope="session")
+def is_full():
+    return full_protocol()
+
+
+@pytest.fixture
+def show_table():
+    """Print rows as a markdown table under a heading."""
+    def _show(title: str, rows: list[dict], columns=None) -> None:
+        print(f"\n### {title}\n")
+        print(format_markdown_table(rows, columns))
+    return _show
+
+
+def mean_of(rows, value_key, **filters) -> float:
+    """Average ``value_key`` over rows matching all ``filters``."""
+    values = [row[value_key] for row in rows
+              if all(row.get(k) == v for k, v in filters.items())]
+    assert values, f"no rows match {filters}"
+    return sum(values) / len(values)

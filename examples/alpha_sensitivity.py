@@ -1,0 +1,50 @@
+"""The paper's headline property: forest sampling is insensitive to α.
+
+Sweeps α over three orders of magnitude and reports, side by side:
+
+- the cost of one spanning forest (τ walk steps, Lemma 4.4) — grows
+  mildly;
+- the cost of the classic Monte-Carlo alternative (n walks of expected
+  length 1/α) — explodes;
+- SPEEDLV's end-to-end query time and accuracy at each α.
+
+Run:  python examples/alpha_sensitivity.py
+"""
+
+import time
+
+import numpy as np
+
+import repro
+from repro.core import PPRConfig, l1_error
+from repro.forests import sample_forest
+from repro.linalg import ExactSolver
+
+
+def main() -> None:
+    graph = repro.load_dataset("pokec", scale=0.25)
+    n = graph.num_nodes
+    print(f"graph: {graph}\n")
+    print(f"{'alpha':>8} | {'tau (1 forest)':>14} | {'naive n/alpha':>13} "
+          f"| {'speedlv sec':>11} | {'L1 error':>9}")
+    print("-" * 70)
+
+    rng = np.random.default_rng(4)
+    for alpha in (0.2, 0.05, 0.01, 0.002):
+        forest = sample_forest(graph, alpha, rng=rng)
+        exact = ExactSolver(graph, alpha).single_source(0)
+        config = PPRConfig(alpha=alpha, epsilon=0.5, budget_scale=0.02,
+                           seed=9)
+        started = time.perf_counter()
+        result = repro.single_source(graph, 0, method="speedlv",
+                                     config=config)
+        elapsed = time.perf_counter() - started
+        print(f"{alpha:8} | {forest.num_steps:14d} | {n / alpha:13.0f} "
+              f"| {elapsed:11.3f} | {l1_error(result, exact):9.5f}")
+
+    print("\ntau grows by a small factor while n/alpha grows 100x —")
+    print("the reason the forest-based algorithms win at small alpha.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Local graph clustering with small-α PPR (the intro's motivation).
+
+Builds a *hierarchical* planted graph: four dense sub-blocks, paired
+into two communities (strong ties inside a pair, a single tie between
+the pairs).  A PPR sweep cut seeded inside one sub-block must decide
+whether to stop at the sub-block or expand to the full community:
+
+- with a large α the walk barely leaves the seed's sub-block, so the
+  sweep settles for the sub-block cut;
+- with α = 0.01 — the optimum the clustering literature cited by the
+  paper reports — the walk covers the whole community and the sweep
+  finds the strictly better community cut.
+
+Run:  python examples/local_clustering.py
+"""
+
+import numpy as np
+
+import repro
+from repro.applications import local_cluster
+from repro.graph import from_edges
+from repro.graph.generators import erdos_renyi
+
+
+def hierarchical_partition(sub_block: int = 80, seed: int = 11) -> repro.Graph:
+    """Four ER sub-blocks; pairs joined firmly, communities joined barely.
+
+    Nodes ``[0, 2*sub_block)`` form community A (sub-blocks 0 and 1),
+    the rest community B.
+    """
+    rng = np.random.default_rng(seed)
+    all_edges = []
+    for block_index in range(4):
+        block = erdos_renyi(sub_block, 0.25, rng=rng)
+        arcs = block.edges()
+        all_edges.append(arcs[arcs[:, 0] < arcs[:, 1]]
+                         + block_index * sub_block)
+    # strong-ish ties within each community pair
+    for left, right in ((0, 1), (2, 3)):
+        pair_bridges = np.column_stack((
+            rng.integers(left * sub_block, (left + 1) * sub_block, 25),
+            rng.integers(right * sub_block, (right + 1) * sub_block, 25)))
+        all_edges.append(pair_bridges)
+    # a single tie between the two communities
+    all_edges.append(np.array([[0, 2 * sub_block]]))
+    return from_edges(np.concatenate(all_edges), num_nodes=4 * sub_block)
+
+
+def describe(members: np.ndarray, sub_block: int) -> str:
+    """Histogram of cluster membership across the four sub-blocks."""
+    counts = [int(np.sum((members >= i * sub_block)
+                         & (members < (i + 1) * sub_block)))
+              for i in range(4)]
+    return f"sub-block membership {counts}"
+
+
+def main() -> None:
+    sub_block = 80
+    graph = hierarchical_partition(sub_block)
+    print(f"hierarchical planted graph: {graph} "
+          f"(4 sub-blocks of {sub_block}, paired into 2 communities)\n")
+
+    seed_node = 10  # inside sub-block 0
+    for alpha in (0.4, 0.1, 0.01):
+        result = local_cluster(graph, seed_node, alpha=alpha,
+                               method="speedlv", budget_scale=0.1, seed=3)
+        print(f"alpha={alpha:<5}: cluster size {result.size:4d}, "
+              f"conductance {result.conductance:.5f}, "
+              f"{describe(result.members, sub_block)}")
+
+    print("\nthe community cut (sub-blocks 0+1, one external tie) is the")
+    print("right answer; the large-alpha sweep blurs it while small alpha")
+    print("recovers it exactly — and forest sampling keeps small alpha cheap.")
+
+
+if __name__ == "__main__":
+    main()

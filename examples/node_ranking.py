@@ -1,0 +1,54 @@
+"""Collaboration-network ranking on the weighted DBLP stand-in.
+
+Answers both directions of the personalised-importance question:
+
+- ``ppr_rank``: which authors matter most *to* a given author
+  (single-source, forward view);
+- ``top_k_sources``: *for whom* does a given prolific author matter
+  most (single-target, reverse view — one BACKLV query instead of n
+  source queries).
+
+Also demonstrates the degree-normalised ranking of §7.7, which stays
+informative when α is tiny.
+
+Run:  python examples/node_ranking.py
+"""
+
+import numpy as np
+
+import repro
+from repro.applications import (
+    degree_normalized_rank,
+    ppr_rank,
+    top_k_sources,
+)
+
+
+def main() -> None:
+    graph = repro.load_dataset("dblp", scale=0.25)
+    print(f"weighted collaboration stand-in: {graph}")
+
+    author = 42
+    print(f"\nwho matters to author {author} "
+          f"(degree {graph.degrees[author]:.0f})?")
+    for node, score in ppr_rank(graph, author, k=5, alpha=0.01,
+                                budget_scale=0.05, seed=1):
+        print(f"  author {node:6d}  pi({author}, v) = {score:.5f}  "
+              f"(degree {graph.degrees[node]:.0f})")
+
+    print("\nsame question, degree-normalised (hub bias removed):")
+    for node, score in degree_normalized_rank(graph, author, k=5,
+                                              alpha=0.01,
+                                              budget_scale=0.05, seed=1):
+        print(f"  author {node:6d}  pi/d = {score:.2e}")
+
+    hub = int(np.argmax(graph.degrees))
+    print(f"\nfor whom is the most prolific author {hub} "
+          f"(degree {graph.degrees[hub]:.0f}) most important?")
+    for node, score in top_k_sources(graph, hub, k=5, alpha=0.01,
+                                     budget_scale=0.05, seed=2):
+        print(f"  author {node:6d}  pi(v, {hub}) = {score:.5f}")
+
+
+if __name__ == "__main__":
+    main()

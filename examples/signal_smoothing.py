@@ -1,0 +1,57 @@
+"""Graph-signal denoising with random spanning forests.
+
+The PPR operator is a graph low-pass filter; spanning forests estimate
+its action on any node signal without solving a linear system (the
+Tikhonov/interpolation application of the paper's reference [38]).
+We plant a smooth community-wise signal on a stand-in graph, corrupt
+it with Gaussian noise, and denoise with a handful of forests —
+comparing the basic estimator, the degree-conditional (improved)
+estimator, and the exact filter.
+
+Run:  python examples/signal_smoothing.py
+"""
+
+import numpy as np
+
+import repro
+from repro.applications import (
+    smooth_signal_exact,
+    smooth_signal_forests,
+)
+
+
+def main() -> None:
+    graph = repro.load_dataset("pokec", scale=0.25)
+    rng = np.random.default_rng(3)
+
+    # a smooth ground-truth signal: heavily low-passed white noise,
+    # normalised to unit RMS, then drowned in noise twice as strong
+    clean = smooth_signal_exact(graph, rng.normal(size=graph.num_nodes),
+                                alpha=0.02)
+    clean /= np.sqrt(np.mean(clean ** 2))
+    noisy = clean + rng.normal(scale=2.0, size=graph.num_nodes)
+
+    def rmse(vector):
+        return float(np.sqrt(np.mean((vector - clean) ** 2)))
+
+    print(f"graph: {graph}")
+    print(f"noisy signal RMSE:            {rmse(noisy):.4f}")
+
+    exact = smooth_signal_exact(graph, noisy, alpha=0.3)
+    print(f"exact PPR filter RMSE:        {rmse(exact):.4f}")
+
+    for improved, label in ((False, "basic   "), (True, "improved")):
+        for num_forests in (8, 64):
+            denoised = smooth_signal_forests(graph, noisy, alpha=0.3,
+                                             num_forests=num_forests,
+                                             improved=improved, rng=7)
+            print(f"forest filter ({label}, {num_forests:3d} forests) "
+                  f"RMSE: {rmse(denoised):.4f}")
+
+    print("\nthe improved estimator needs ~an order of magnitude fewer")
+    print("forests for the same quality (Lemma 5.1's variance reduction),")
+    print("and neither touches a linear solver.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""rsfppr — Personalized PageRank via random spanning forest sampling.
+
+A from-scratch reproduction of Liao, Li, Dai & Wang, *Efficient
+Personalized PageRank Computation: A Spanning Forests Sampling Based
+Approach* (SIGMOD 2022).
+
+The public surface mirrors the paper's structure:
+
+- :mod:`repro.graph` — CSR graph substrate, generators, Table-1
+  stand-in datasets;
+- :mod:`repro.linalg` — β-Laplacian, exact solvers, spectrum / τ;
+- :mod:`repro.forests` — rooted-spanning-forest sampling (Algorithm 1
+  and its vectorised cycle-popping equivalent) and forest estimators;
+- :mod:`repro.push` — forward / balanced-forward / power / backward /
+  randomized-backward push;
+- :mod:`repro.montecarlo` — α-random-walk simulation and indexes;
+- :mod:`repro.core` — the query algorithms of §5 and §6 (FORA, FORAL,
+  FORALV, SPEEDPPR, SPEEDL, SPEEDLV, indexed variants, BACK, RBACK,
+  BACKL, BACKLV) behind :func:`repro.single_source` /
+  :func:`repro.single_target`;
+- :mod:`repro.bench` — the experiment harness regenerating every table
+  and figure.
+
+Quickstart::
+
+    import repro
+
+    graph = repro.load_dataset("youtube", scale=0.25)
+    result = repro.single_source(graph, source=0, alpha=0.01,
+                                 method="speedlv", seed=7)
+    print(result.top_k(10))
+"""
+
+from repro.exceptions import (
+    ReproError,
+    GraphError,
+    ConfigError,
+    ConvergenceError,
+)
+from repro.graph import (
+    Graph,
+    from_edges,
+    from_adjacency,
+    from_scipy_sparse,
+    from_networkx,
+    read_edge_list,
+    write_edge_list,
+    load_dataset,
+    available_datasets,
+    table1_statistics,
+)
+from repro.core import (
+    PPRConfig,
+    PPRResult,
+    single_source,
+    single_target,
+    SINGLE_SOURCE_METHODS,
+    SINGLE_TARGET_METHODS,
+)
+from repro.linalg import exact_single_source, exact_single_target
+from repro.forests import (
+    RootedForest,
+    sample_forest,
+    sample_forest_wilson,
+    sample_forest_cycle_popping,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "ConfigError",
+    "ConvergenceError",
+    "Graph",
+    "from_edges",
+    "from_adjacency",
+    "from_scipy_sparse",
+    "from_networkx",
+    "read_edge_list",
+    "write_edge_list",
+    "load_dataset",
+    "available_datasets",
+    "table1_statistics",
+    "PPRConfig",
+    "PPRResult",
+    "single_source",
+    "single_target",
+    "SINGLE_SOURCE_METHODS",
+    "SINGLE_TARGET_METHODS",
+    "exact_single_source",
+    "exact_single_target",
+    "RootedForest",
+    "sample_forest",
+    "sample_forest_wilson",
+    "sample_forest_cycle_popping",
+    "__version__",
+]

@@ -1,0 +1,41 @@
+"""Applications built on PPR — the workloads the paper's introduction
+motivates (local graph clustering [4, 41], node ranking [50]).
+
+These are consumers of the query API: they demonstrate why the small-α
+regime matters (a small decay factor lets the walk see a large
+neighbourhood) and serve the example scripts and tests.
+"""
+
+from repro.applications.clustering import (
+    SweepCutResult,
+    conductance,
+    sweep_cut,
+    local_cluster,
+)
+from repro.applications.ranking import (
+    ppr_rank,
+    degree_normalized_rank,
+    top_k_sources,
+)
+from repro.applications.pagerank import (
+    global_pagerank_exact,
+    global_pagerank_forests,
+)
+from repro.applications.smoothing import (
+    smooth_signal_exact,
+    smooth_signal_forests,
+)
+
+__all__ = [
+    "SweepCutResult",
+    "conductance",
+    "sweep_cut",
+    "local_cluster",
+    "ppr_rank",
+    "degree_normalized_rank",
+    "top_k_sources",
+    "global_pagerank_exact",
+    "global_pagerank_forests",
+    "smooth_signal_exact",
+    "smooth_signal_forests",
+]

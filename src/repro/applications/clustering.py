@@ -1,0 +1,162 @@
+r"""PPR-based local graph clustering (Andersen–Chung–Lang sweep cut).
+
+The classic pipeline [4] that the paper's introduction cites as the
+reason small decay factors matter: compute an (approximate)
+single-source PPR vector around a seed, order nodes by
+``π(s, v) / d_v``, and sweep prefixes of that order, returning the one
+with the lowest *conductance*
+
+.. math::  \phi(S) = \frac{cut(S, \bar S)}{\min(vol(S), vol(\bar S))} .
+
+With α as small as 0.01 (the optimum reported by [41]) the PPR vector
+covers a large neighbourhood of the seed — exactly the regime where
+forest sampling shines over α-walks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.api import single_source
+from repro.core.config import PPRConfig
+from repro.exceptions import ConfigError
+from repro.graph.csr import Graph
+
+__all__ = ["SweepCutResult", "conductance", "sweep_cut", "local_cluster"]
+
+
+@dataclass
+class SweepCutResult:
+    """Outcome of a sweep cut.
+
+    Attributes
+    ----------
+    members:
+        Node ids of the best prefix (the cluster), seed-side.
+    conductance:
+        Conductance of the returned cluster.
+    sweep_conductances:
+        Conductance of every swept prefix (for plotting the sweep
+        profile).
+    order:
+        The degree-normalised node order that was swept.
+    """
+
+    members: np.ndarray
+    conductance: float
+    sweep_conductances: np.ndarray
+    order: np.ndarray
+
+    @property
+    def size(self) -> int:
+        """Number of nodes in the cluster."""
+        return self.members.size
+
+
+def conductance(graph: Graph, members: np.ndarray) -> float:
+    """Conductance ``φ(S)`` of a node set (undirected graphs).
+
+    Returns 0 for the empty or full set by convention of "no cut".
+    """
+    if graph.directed:
+        raise ConfigError("conductance is defined here for undirected graphs")
+    members = np.unique(np.asarray(members, dtype=np.int64))
+    if members.size == 0 or members.size == graph.num_nodes:
+        return 0.0
+    inside = np.zeros(graph.num_nodes, dtype=bool)
+    inside[members] = True
+    weights = (np.ones(graph.num_arcs) if graph.weights is None
+               else graph.weights)
+    sources = np.repeat(np.arange(graph.num_nodes), graph.out_degrees)
+    crossing = inside[sources] != inside[graph.indices]
+    cut = float(weights[crossing].sum()) / 2.0
+    volume = float(graph.degrees[members].sum())
+    complement = graph.total_weight - volume
+    denominator = min(volume, complement)
+    if denominator <= 0:
+        return 1.0
+    return cut / denominator
+
+
+def sweep_cut(graph: Graph, scores: np.ndarray, *,
+              max_cluster_size: int | None = None) -> SweepCutResult:
+    """Sweep the degree-normalised score order and keep the best prefix.
+
+    Parameters
+    ----------
+    scores:
+        Any node-score vector (typically an approximate PPR vector);
+        only nodes with positive score are swept.
+    max_cluster_size:
+        Cap on the prefix length (defaults to ``n - 1``).
+
+    Complexity: one sort plus an O(m) incremental cut/volume update.
+    """
+    if graph.directed:
+        raise ConfigError("sweep_cut is defined here for undirected graphs")
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.shape != (graph.num_nodes,):
+        raise ConfigError("scores must have one entry per node")
+    normalized = np.zeros_like(scores)
+    positive_degree = graph.degrees > 0
+    normalized[positive_degree] = (scores[positive_degree]
+                                   / graph.degrees[positive_degree])
+    candidates = np.flatnonzero(scores > 0)
+    if candidates.size == 0:
+        raise ConfigError("sweep_cut needs at least one positive score")
+    order = candidates[np.argsort(-normalized[candidates], kind="stable")]
+    limit = min(order.size, max_cluster_size or graph.num_nodes - 1,
+                graph.num_nodes - 1)
+    order = order[:limit]
+
+    weights = (np.ones(graph.num_arcs) if graph.weights is None
+               else graph.weights)
+    inside = np.zeros(graph.num_nodes, dtype=bool)
+    total = graph.total_weight
+    volume = 0.0
+    cut = 0.0
+    conductances = np.empty(order.size)
+    for index, node in enumerate(order):
+        lo, hi = graph.indptr[node], graph.indptr[node + 1]
+        neighbors = graph.indices[lo:hi]
+        inside_weight = float(weights[lo:hi][inside[neighbors]].sum())
+        volume += float(graph.degrees[node])
+        # node's edges to outside enter the cut; edges to inside leave it
+        cut += float(graph.degrees[node]) - 2.0 * inside_weight
+        inside[node] = True
+        denominator = min(volume, total - volume)
+        conductances[index] = (cut / denominator if denominator > 0 else 1.0)
+    best = int(np.argmin(conductances))
+    return SweepCutResult(members=order[:best + 1].copy(),
+                          conductance=float(conductances[best]),
+                          sweep_conductances=conductances,
+                          order=order)
+
+
+def local_cluster(graph: Graph, seed_node: int, *, alpha: float = 0.01,
+                  method: str = "speedlv",
+                  config: PPRConfig | None = None,
+                  max_cluster_size: int | None = None,
+                  **overrides) -> SweepCutResult:
+    """End-to-end local clustering around ``seed_node``.
+
+    Runs the chosen single-source PPR algorithm (default the paper's
+    SPEEDLV — this is the small-α workload it is built for) and sweeps
+    the result.
+
+    Examples
+    --------
+    >>> import repro
+    >>> from repro.applications import local_cluster
+    >>> g = repro.load_dataset("youtube", scale=0.05)
+    >>> cluster = local_cluster(g, 0, alpha=0.01, budget_scale=0.05, seed=3)
+    >>> 0.0 <= cluster.conductance <= 1.0
+    True
+    """
+    result = single_source(graph, seed_node, method=method, config=config,
+                           alpha=alpha, **overrides)
+    sweep = sweep_cut(graph, result.estimates,
+                      max_cluster_size=max_cluster_size)
+    return sweep

@@ -1,0 +1,77 @@
+r"""PPR-based node ranking.
+
+Two ranking functionals appear in the paper:
+
+- **source-side** (``π(s, ·)``): "which nodes matter to s" — the
+  recommendation / personalised-search view;
+- **degree-normalised** (``π(s, ·) / d``): stays informative even as
+  α → 0, where the raw vector degenerates to the degree-weighted
+  stationary distribution (§7.7, [50]).
+
+:func:`top_k_sources` answers the reverse question with a single
+target query: "for whom is t most important" — the influence view the
+single-target algorithms of §6 exist for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.api import single_source, single_target
+from repro.core.config import PPRConfig
+from repro.exceptions import ConfigError
+from repro.graph.csr import Graph
+
+__all__ = ["ppr_rank", "degree_normalized_rank", "top_k_sources"]
+
+
+def _top_k(scores: np.ndarray, k: int,
+           exclude: int | None = None) -> list[tuple[int, float]]:
+    if k <= 0:
+        raise ConfigError("k must be positive")
+    working = scores.copy()
+    if exclude is not None:
+        working[exclude] = -np.inf
+    k = min(k, working.size - (1 if exclude is not None else 0))
+    order = np.argpartition(working, -k)[-k:]
+    order = order[np.argsort(working[order])[::-1]]
+    return [(int(node), float(scores[node])) for node in order]
+
+
+def ppr_rank(graph: Graph, source: int, k: int = 10, *,
+             alpha: float = 0.01, method: str = "speedlv",
+             config: PPRConfig | None = None,
+             include_source: bool = False,
+             **overrides) -> list[tuple[int, float]]:
+    """Top-``k`` nodes by ``π(source, ·)`` (the source itself excluded
+    by default — it always dominates its own vector)."""
+    result = single_source(graph, source, method=method, config=config,
+                           alpha=alpha, **overrides)
+    return _top_k(result.estimates, k,
+                  exclude=None if include_source else source)
+
+
+def degree_normalized_rank(graph: Graph, source: int, k: int = 10, *,
+                           alpha: float = 0.01, method: str = "speedlv",
+                           config: PPRConfig | None = None,
+                           **overrides) -> list[tuple[int, float]]:
+    """Top-``k`` nodes by ``π(source, ·) / d`` — the small-α-robust
+    ranking of [50] (§7.7)."""
+    result = single_source(graph, source, method=method, config=config,
+                           alpha=alpha, **overrides)
+    scores = np.zeros(graph.num_nodes)
+    positive = graph.degrees > 0
+    scores[positive] = result.estimates[positive] / graph.degrees[positive]
+    return _top_k(scores, k, exclude=source)
+
+
+def top_k_sources(graph: Graph, target: int, k: int = 10, *,
+                  alpha: float = 0.01, method: str = "backlv",
+                  config: PPRConfig | None = None,
+                  **overrides) -> list[tuple[int, float]]:
+    """Top-``k`` nodes ``v`` by ``π(v, target)``: for whom is ``target``
+    most important — one single-target query instead of ``n`` source
+    queries."""
+    result = single_target(graph, target, method=method, config=config,
+                           alpha=alpha, **overrides)
+    return _top_k(result.estimates, k, exclude=target)

@@ -1,0 +1,101 @@
+r"""Graph-signal smoothing with random spanning forests.
+
+The PPR operator is a graph low-pass filter: the smoothed signal
+
+.. math:: \hat y = \Pi\, y = \alpha\,(I - (1-\alpha)P)^{-1} y
+
+solves the Tikhonov problem ``min_x β‖x − y‖²_D + x^T L x`` up to the
+degree weighting — the application of random spanning forests studied
+by Pilavcı et al. [38], which the paper cites as prior art for its
+sampler.  One forest gives the unbiased estimate
+``x̂(v) = y(root(v))`` (each node inherits its tree root's value), and
+the degree-conditional trick of Theorem 3.8 replaces that by the
+tree's degree-weighted mean for a strictly smaller variance
+(undirected graphs).
+
+This is exactly the machinery of
+:mod:`repro.forests.estimators` applied to an arbitrary signal instead
+of a push residual.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigError
+from repro.forests.estimators import (
+    target_estimate_basic,
+    target_estimate_improved,
+)
+from repro.forests.sampling import sample_forests
+from repro.graph.csr import Graph
+from repro.linalg.transition import transition_matrix
+
+__all__ = ["smooth_signal_exact", "smooth_signal_forests"]
+
+
+def smooth_signal_exact(graph: Graph, signal: np.ndarray,
+                        alpha: float) -> np.ndarray:
+    """``Π y`` by power iteration — the smoother's ground truth."""
+    signal = np.asarray(signal, dtype=np.float64)
+    if signal.shape != (graph.num_nodes,):
+        raise ConfigError("signal must have one entry per node")
+    if not 0.0 < alpha < 1.0:
+        raise ConfigError(f"alpha must lie strictly in (0, 1), got {alpha}")
+    operator = transition_matrix(graph).tocsr()
+    result = np.zeros_like(signal)
+    residual = signal.copy()
+    # Pi y = alpha * sum_k ((1-alpha) P)^k y
+    for _ in range(100_000):
+        result += alpha * residual
+        residual = (1.0 - alpha) * (operator @ residual)
+        if np.abs(residual).sum() < 1e-12 * max(np.abs(signal).sum(), 1.0):
+            return result
+    raise ConfigError("smoothing power iteration failed to converge")
+
+
+def smooth_signal_forests(graph: Graph, signal: np.ndarray, alpha: float,
+                          num_forests: int = 32, *,
+                          improved: bool | None = None,
+                          rng=None) -> np.ndarray:
+    """Monte-Carlo estimate of ``Π y`` from spanning forests.
+
+    Parameters
+    ----------
+    signal:
+        Arbitrary real node signal ``y`` (may be negative — the
+        estimators are linear).
+    improved:
+        Degree-conditional variance reduction; defaults to on for
+        undirected graphs, refused for directed ones.
+
+    Examples
+    --------
+    >>> import numpy as np, repro
+    >>> from repro.applications.smoothing import (smooth_signal_exact,
+    ...                                           smooth_signal_forests)
+    >>> g = repro.load_dataset("youtube", scale=0.05)
+    >>> y = np.random.default_rng(0).normal(size=g.num_nodes)
+    >>> approx = smooth_signal_forests(g, y, 0.2, num_forests=64, rng=1)
+    >>> exact = smooth_signal_exact(g, y, 0.2)
+    >>> float(np.abs(approx - exact).mean()) < 0.2
+    True
+    """
+    signal = np.asarray(signal, dtype=np.float64)
+    if signal.shape != (graph.num_nodes,):
+        raise ConfigError("signal must have one entry per node")
+    if num_forests <= 0:
+        raise ConfigError("num_forests must be positive")
+    if improved is None:
+        improved = not graph.directed
+    if improved and graph.directed:
+        raise ConfigError(
+            "the degree-conditional estimator requires an undirected graph")
+    degrees = graph.degrees
+    total = np.zeros_like(signal)
+    for forest in sample_forests(graph, alpha, num_forests, rng=rng):
+        if improved:
+            total += target_estimate_improved(forest, signal, degrees)
+        else:
+            total += target_estimate_basic(forest, signal)
+    return total / num_forests

@@ -1,0 +1,30 @@
+"""Benchmark harness: workload generators, per-figure experiment
+drivers and reporting utilities.
+
+Each experiment driver in :mod:`repro.bench.experiments` regenerates
+the rows/series of one table or figure of the paper; the thin
+``benchmarks/bench_*.py`` files wire them into pytest-benchmark and
+print the tables.
+"""
+
+from repro.bench.harness import Timer, run_with_timing, summarize
+from repro.bench.workloads import (
+    uniform_nodes,
+    high_degree_nodes,
+    low_degree_nodes,
+    QUERY_DISTRIBUTIONS,
+)
+from repro.bench.reporting import format_markdown_table
+from repro.bench import experiments
+
+__all__ = [
+    "Timer",
+    "run_with_timing",
+    "summarize",
+    "uniform_nodes",
+    "high_degree_nodes",
+    "low_degree_nodes",
+    "QUERY_DISTRIBUTIONS",
+    "format_markdown_table",
+    "experiments",
+]

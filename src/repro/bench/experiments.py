@@ -1,0 +1,715 @@
+"""Experiment drivers — one function per table/figure of the paper.
+
+Every driver returns a list of plain-dict rows so the ``benchmarks/``
+files can both print them (markdown) and assert on their shape.  The
+defaults are sized for a laptop run of the whole suite in minutes;
+three environment variables scale everything up towards the paper's
+full protocol:
+
+- ``REPRO_BENCH_GRAPH_SCALE`` — multiplier on stand-in graph sizes
+  (default 0.25);
+- ``REPRO_BENCH_QUERIES`` — query nodes per configuration
+  (default 5; the paper uses 50);
+- ``REPRO_BENCH_BUDGET`` — Monte-Carlo budget scale
+  (default 0.01; the paper's guarantee corresponds to 1.0).
+
+Wall-clock seconds are reported alongside machine-independent work
+counters (push operations, walk steps, forest steps) — the counters
+are what EXPERIMENTS.md compares against the paper's shapes, since
+pure-Python constants distort absolute times.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.bench.harness import summarize
+from repro.bench.workloads import (
+    high_degree_nodes,
+    low_degree_nodes,
+    uniform_nodes,
+)
+from repro.core import (
+    PPRConfig,
+    l1_error,
+    single_source,
+    single_target,
+)
+from repro.core.accuracy import degree_normalized
+from repro.forests.estimators import (
+    source_estimate_basic,
+    source_estimate_improved,
+)
+from repro.forests.sampling import sample_forest
+from repro.graph.datasets import (
+    UNWEIGHTED_DATASETS,
+    WEIGHTED_DATASETS,
+    load_dataset,
+    table1_statistics,
+)
+from repro.linalg import (
+    ExactSolver,
+    estimate_spectral_density,
+    tau_from_density,
+)
+from repro.linalg.transition import transition_matrix
+from repro.montecarlo.forest_index import ForestIndex
+from repro.montecarlo.walk_index import WalkIndex
+from repro.push.forward import balanced_forward_push, forward_push
+
+__all__ = [
+    "bench_defaults",
+    "table1",
+    "fig2_eigenvalue_density",
+    "fig2_tau_vs_alpha",
+    "fig3_single_source_time",
+    "fig4_l1_error",
+    "fig5_index_build",
+    "fig6_index_size",
+    "fig7_index_query",
+    "fig8_single_target_time",
+    "fig9_weighted_source_time",
+    "fig10_weighted_l1_error",
+    "fig11_weighted_target_time",
+    "fig12_query_distributions",
+    "fig13_small_alpha",
+    "ablation_estimator_variance",
+    "ablation_sampler_throughput",
+    "ablation_push_variants",
+    "alpha_sweep_single_source",
+    "ablation_batch_amortization",
+]
+
+ONLINE_SOURCE_METHODS = ("fora", "foral", "foralv",
+                         "speedppr", "speedl", "speedlv")
+TARGET_METHODS = ("back", "rback", "backlv")
+EPSILONS = (0.1, 0.2, 0.3, 0.4, 0.5)
+
+
+def bench_defaults() -> dict:
+    """Resolve the environment-tunable benchmark defaults."""
+    return {
+        "graph_scale": float(os.environ.get("REPRO_BENCH_GRAPH_SCALE", 0.25)),
+        "num_queries": int(os.environ.get("REPRO_BENCH_QUERIES", 5)),
+        "budget_scale": float(os.environ.get("REPRO_BENCH_BUDGET", 0.01)),
+    }
+
+
+def _config(alpha: float, epsilon: float, budget_scale: float,
+            seed: int) -> PPRConfig:
+    return PPRConfig(alpha=alpha, epsilon=epsilon,
+                     budget_scale=budget_scale, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Table 1
+# ----------------------------------------------------------------------
+def table1(*, scale: float | None = None, seed: int = 2022) -> list[dict]:
+    """Dataset statistics (paper's Table 1, original vs stand-in)."""
+    scale = bench_defaults()["graph_scale"] if scale is None else scale
+    return table1_statistics(seed=seed, scale=scale)
+
+
+# ----------------------------------------------------------------------
+# Figure 2 — spectrum and tau
+# ----------------------------------------------------------------------
+def fig2_eigenvalue_density(datasets=("youtube", "pokec"), *,
+                            scale: float | None = None, bins: int = 20,
+                            num_moments: int = 60, num_probes: int = 8,
+                            seed: int = 0) -> list[dict]:
+    """Eigenvalue density of ``P`` (Fig. 2a–b): mass concentrated near 0."""
+    scale = bench_defaults()["graph_scale"] if scale is None else scale
+    rows = []
+    for name in datasets:
+        graph = load_dataset(name, scale=scale)
+        density = estimate_spectral_density(
+            graph, num_moments=num_moments, num_probes=num_probes, rng=seed)
+        centres, mass = density.histogram(bins=bins)
+        for centre, probability in zip(centres, mass):
+            rows.append({"dataset": name, "eigenvalue": round(float(centre), 3),
+                         "pdf": float(probability)})
+    return rows
+
+
+def fig2_tau_vs_alpha(datasets=("youtube", "pokec"), *,
+                      alphas=(1e-1, 1e-2, 1e-3, 1e-4, 1e-5),
+                      scale: float | None = None, num_moments: int = 60,
+                      num_probes: int = 8, seed: int = 0) -> list[dict]:
+    """τ versus α (Fig. 2c–d): Lemma 4.4 estimate next to the measured
+    step count of one sampled forest."""
+    scale = bench_defaults()["graph_scale"] if scale is None else scale
+    rows = []
+    for name in datasets:
+        graph = load_dataset(name, scale=scale)
+        density = estimate_spectral_density(
+            graph, num_moments=num_moments, num_probes=num_probes, rng=seed)
+        for alpha in alphas:
+            forest = sample_forest(graph, alpha, rng=seed + 1)
+            rows.append({
+                "dataset": name,
+                "alpha": alpha,
+                "tau_lemma44": tau_from_density(density, alpha),
+                "tau_sampled": forest.num_steps,
+                "naive_walk_steps": graph.num_nodes / alpha,
+            })
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figures 3 / 9 — single-source query time
+# ----------------------------------------------------------------------
+def _source_time_rows(datasets, methods, epsilons, *, alpha, scale,
+                      num_queries, budget_scale, seed) -> list[dict]:
+    rows = []
+    for name in datasets:
+        graph = load_dataset(name, scale=scale)
+        sources = uniform_nodes(graph, num_queries, rng=seed)
+        for epsilon in epsilons:
+            for method in methods:
+                seconds, forest_steps, walk_steps, pushes = [], [], [], []
+                for query_index, source in enumerate(sources):
+                    config = _config(alpha, epsilon, budget_scale,
+                                     seed + query_index)
+                    started = time.perf_counter()
+                    result = single_source(graph, int(source), method=method,
+                                           config=config)
+                    seconds.append(time.perf_counter() - started)
+                    forest_steps.append(result.stats.get("forest_steps", 0))
+                    walk_steps.append(result.stats.get("walk_steps", 0))
+                    pushes.append(result.stats.get("push_work", 0))
+                rows.append({
+                    "dataset": name, "method": method, "epsilon": epsilon,
+                    "mean_seconds": summarize(seconds)["mean"],
+                    "mean_mc_steps": summarize(
+                        np.add(forest_steps, walk_steps))["mean"],
+                    "mean_push_work": summarize(pushes)["mean"],
+                })
+    return rows
+
+
+def fig3_single_source_time(datasets=UNWEIGHTED_DATASETS,
+                            methods=ONLINE_SOURCE_METHODS,
+                            epsilons=EPSILONS, *, alpha: float = 0.01,
+                            scale: float | None = None,
+                            num_queries: int | None = None,
+                            budget_scale: float | None = None,
+                            seed: int = 1) -> list[dict]:
+    """Fig. 3: online single-source query time on unweighted graphs."""
+    defaults = bench_defaults()
+    return _source_time_rows(
+        datasets, methods, epsilons, alpha=alpha,
+        scale=defaults["graph_scale"] if scale is None else scale,
+        num_queries=defaults["num_queries"] if num_queries is None else num_queries,
+        budget_scale=defaults["budget_scale"] if budget_scale is None else budget_scale,
+        seed=seed)
+
+
+def fig9_weighted_source_time(datasets=WEIGHTED_DATASETS,
+                              methods=ONLINE_SOURCE_METHODS,
+                              epsilons=EPSILONS, **kwargs) -> list[dict]:
+    """Fig. 9: the Fig. 3 protocol on the weighted stand-ins."""
+    return fig3_single_source_time(datasets, methods, epsilons, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Figures 4 / 10 — single-source L1 error
+# ----------------------------------------------------------------------
+def _source_l1_rows(datasets, methods, epsilons, *, alpha, scale,
+                    num_queries, budget_scale, seed) -> list[dict]:
+    rows = []
+    for name in datasets:
+        graph = load_dataset(name, scale=scale)
+        solver = ExactSolver(graph, alpha)
+        sources = uniform_nodes(graph, num_queries, rng=seed)
+        exact = {int(s): solver.single_source(int(s)) for s in sources}
+        for epsilon in epsilons:
+            for method in methods:
+                errors = []
+                for query_index, source in enumerate(sources):
+                    config = _config(alpha, epsilon, budget_scale,
+                                     seed + query_index)
+                    result = single_source(graph, int(source), method=method,
+                                           config=config)
+                    errors.append(l1_error(result, exact[int(source)]))
+                rows.append({
+                    "dataset": name, "method": method, "epsilon": epsilon,
+                    "mean_l1_error": summarize(errors)["mean"],
+                })
+    return rows
+
+
+def fig4_l1_error(datasets=("livejournal", "orkut"),
+                  methods=ONLINE_SOURCE_METHODS, epsilons=EPSILONS, *,
+                  alpha: float = 0.01, scale: float | None = None,
+                  num_queries: int | None = None,
+                  budget_scale: float | None = None,
+                  seed: int = 2) -> list[dict]:
+    """Fig. 4: L1 error of the six online single-source algorithms."""
+    defaults = bench_defaults()
+    return _source_l1_rows(
+        datasets, methods, epsilons, alpha=alpha,
+        scale=defaults["graph_scale"] if scale is None else scale,
+        num_queries=defaults["num_queries"] if num_queries is None else num_queries,
+        budget_scale=defaults["budget_scale"] if budget_scale is None else budget_scale,
+        seed=seed)
+
+
+def fig10_weighted_l1_error(datasets=WEIGHTED_DATASETS,
+                            methods=ONLINE_SOURCE_METHODS,
+                            epsilons=EPSILONS, **kwargs) -> list[dict]:
+    """Fig. 10: the Fig. 4 protocol on the weighted stand-ins."""
+    return fig4_l1_error(datasets, methods, epsilons, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Figures 5 / 6 / 7 — index build time, size, query time
+# ----------------------------------------------------------------------
+def _build_indexes(graph, alpha: float, epsilon: float, seed: int,
+                   walk_cap: int | None = 512) -> dict:
+    """Build all four §5.3 indexes for one configuration."""
+    indexes = {}
+    indexes["fora+"] = WalkIndex.build_fora_plus(graph, alpha, epsilon,
+                                                 rng=seed, cap=walk_cap)
+    indexes["speedppr+"] = WalkIndex.build_speedppr_plus(graph, alpha,
+                                                         rng=seed + 1,
+                                                         cap=walk_cap)
+    base = ForestIndex.recommended_size(graph)
+    indexes["foralv+"] = ForestIndex.build(
+        graph, alpha, ForestIndex.recommended_size(graph, epsilon),
+        rng=seed + 2)
+    indexes["speedlv+"] = ForestIndex.build(graph, alpha, base, rng=seed + 3)
+    return indexes
+
+
+def fig5_index_build(datasets=("livejournal", "orkut"),
+                     epsilons=EPSILONS, *, alpha: float = 0.01,
+                     scale: float | None = None,
+                     seed: int = 3) -> list[dict]:
+    """Fig. 5: index construction time (and walk-step counters)."""
+    scale = bench_defaults()["graph_scale"] if scale is None else scale
+    rows = []
+    for name in datasets:
+        graph = load_dataset(name, scale=scale)
+        for epsilon in epsilons:
+            indexes = _build_indexes(graph, alpha, epsilon, seed)
+            for method, index in indexes.items():
+                rows.append({
+                    "dataset": name, "method": method, "epsilon": epsilon,
+                    "build_seconds": index.build_seconds,
+                    "build_steps": index.build_steps,
+                })
+    return rows
+
+
+def fig6_index_size(datasets=("livejournal", "orkut"), *,
+                    alpha: float = 0.01, epsilon: float = 0.5,
+                    scale: float | None = None, seed: int = 4) -> list[dict]:
+    """Fig. 6: index memory footprint next to the graph's own size."""
+    scale = bench_defaults()["graph_scale"] if scale is None else scale
+    rows = []
+    for name in datasets:
+        graph = load_dataset(name, scale=scale)
+        graph_bytes = graph.indptr.nbytes + graph.indices.nbytes + (
+            graph.weights.nbytes if graph.weights is not None else 0)
+        indexes = _build_indexes(graph, alpha, epsilon, seed)
+        for method, index in indexes.items():
+            rows.append({
+                "dataset": name, "method": method,
+                "index_mb": index.size_bytes / 2**20,
+                "graph_mb": graph_bytes / 2**20,
+            })
+    return rows
+
+
+def fig7_index_query(datasets=("livejournal", "orkut"),
+                     epsilons=(0.3, 0.5), *, alpha: float = 0.01,
+                     scale: float | None = None,
+                     num_queries: int | None = None,
+                     budget_scale: float | None = None,
+                     seed: int = 5) -> list[dict]:
+    """Fig. 7: indexed query time (online SPEEDLV/FORALV for reference)."""
+    defaults = bench_defaults()
+    scale = defaults["graph_scale"] if scale is None else scale
+    num_queries = defaults["num_queries"] if num_queries is None else num_queries
+    budget_scale = defaults["budget_scale"] if budget_scale is None else budget_scale
+    rows = []
+    for name in datasets:
+        graph = load_dataset(name, scale=scale)
+        sources = uniform_nodes(graph, num_queries, rng=seed)
+        for epsilon in epsilons:
+            indexes = _build_indexes(graph, alpha, epsilon, seed)
+            runs = [(f"{m}", m, indexes[m]) for m in
+                    ("fora+", "speedppr+", "foralv+", "speedlv+")]
+            runs += [("foralv (online)", "foralv", None),
+                     ("speedlv (online)", "speedlv", None)]
+            for label, method, index in runs:
+                seconds = []
+                for query_index, source in enumerate(sources):
+                    config = _config(alpha, epsilon, budget_scale,
+                                     seed + query_index)
+                    started = time.perf_counter()
+                    single_source(graph, int(source), method=method,
+                                  config=config, index=index)
+                    seconds.append(time.perf_counter() - started)
+                rows.append({
+                    "dataset": name, "method": label, "epsilon": epsilon,
+                    "mean_seconds": summarize(seconds)["mean"],
+                })
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figures 8 / 11 — single-target query time
+# ----------------------------------------------------------------------
+def _target_time_rows(datasets, methods, epsilons, *, alpha, scale,
+                      num_queries, budget_scale, seed,
+                      target_fraction) -> list[dict]:
+    rows = []
+    for name in datasets:
+        graph = load_dataset(name, scale=scale)
+        targets = high_degree_nodes(graph, num_queries, rng=seed,
+                                    fraction=target_fraction)
+        for epsilon in epsilons:
+            for method in methods:
+                seconds, work = [], []
+                for query_index, target in enumerate(targets):
+                    config = _config(alpha, epsilon, budget_scale,
+                                     seed + query_index)
+                    started = time.perf_counter()
+                    result = single_target(graph, int(target), method=method,
+                                           config=config)
+                    seconds.append(time.perf_counter() - started)
+                    work.append(result.stats.get("push_work", 0)
+                                + result.stats.get("forest_steps", 0))
+                rows.append({
+                    "dataset": name, "method": method, "epsilon": epsilon,
+                    "mean_seconds": summarize(seconds)["mean"],
+                    "mean_work": summarize(work)["mean"],
+                })
+    return rows
+
+
+def fig8_single_target_time(datasets=UNWEIGHTED_DATASETS,
+                            methods=TARGET_METHODS, epsilons=EPSILONS, *,
+                            alpha: float = 0.01, scale: float | None = None,
+                            num_queries: int | None = None,
+                            budget_scale: float | None = None,
+                            target_fraction: float = 0.1,
+                            seed: int = 6) -> list[dict]:
+    """Fig. 8: single-target time, high-degree targets.
+
+    ``target_fraction`` is the degree-percentile pool the paper draws
+    targets from (0.1 = top 10%); the quick protocol narrows it because
+    scaled-down graphs compress the degree range.
+    """
+    defaults = bench_defaults()
+    return _target_time_rows(
+        datasets, methods, epsilons, alpha=alpha,
+        scale=defaults["graph_scale"] if scale is None else scale,
+        num_queries=defaults["num_queries"] if num_queries is None else num_queries,
+        budget_scale=defaults["budget_scale"] if budget_scale is None else budget_scale,
+        seed=seed, target_fraction=target_fraction)
+
+
+def fig11_weighted_target_time(datasets=WEIGHTED_DATASETS,
+                               methods=TARGET_METHODS,
+                               epsilons=EPSILONS, **kwargs) -> list[dict]:
+    """Fig. 11: the Fig. 8 protocol on the weighted stand-ins."""
+    return fig8_single_target_time(datasets, methods, epsilons, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Figure 12 — query-time distribution by node-degree class
+# ----------------------------------------------------------------------
+def fig12_query_distributions(datasets=("youtube", "pokec"), *,
+                              alpha: float = 0.01, epsilon: float = 0.5,
+                              scale: float | None = None,
+                              num_queries: int | None = None,
+                              budget_scale: float | None = None,
+                              seed: int = 7) -> list[dict]:
+    """Fig. 12: SPEEDLV (source) and BACKLV (target) query-time spread
+    for uniform / high-degree / low-degree query nodes (SU…TL)."""
+    defaults = bench_defaults()
+    scale = defaults["graph_scale"] if scale is None else scale
+    num_queries = defaults["num_queries"] if num_queries is None else num_queries
+    budget_scale = defaults["budget_scale"] if budget_scale is None else budget_scale
+    samplers = {"U": uniform_nodes, "H": high_degree_nodes,
+                "L": low_degree_nodes}
+    rows = []
+    for name in datasets:
+        graph = load_dataset(name, scale=scale)
+        for kind, runner, method in (("S", single_source, "speedlv"),
+                                     ("T", single_target, "backlv")):
+            for suffix, sampler in samplers.items():
+                nodes = sampler(graph, num_queries, rng=seed)
+                seconds = []
+                for query_index, node in enumerate(nodes):
+                    config = _config(alpha, epsilon, budget_scale,
+                                     seed + query_index)
+                    started = time.perf_counter()
+                    runner(graph, int(node), method=method, config=config)
+                    seconds.append(time.perf_counter() - started)
+                stats = summarize(seconds)
+                rows.append({"dataset": name, "mode": kind + suffix,
+                             **{k: stats[k] for k in
+                                ("median", "min", "max", "mean")}})
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 13 — very small alpha
+# ----------------------------------------------------------------------
+def _ground_truth_cost(graph, alpha: float, tolerance: float = 1e-9,
+                       probe_rounds: int = 200) -> tuple[float, int, bool]:
+    """Cost of the deterministic ground-truth method of [49]
+    (power iteration to ``tolerance``): (seconds, edge-ops, extrapolated).
+
+    The required round count ``log(tol)/log(1-α)`` explodes as α → 0
+    (that is the figure's very point), so beyond ``probe_rounds`` the
+    time is measured on a prefix and linearly extrapolated; the flag
+    says whether extrapolation happened.  The edge-op count
+    ``rounds · m`` is exact either way and is the machine-independent
+    comparison EXPERIMENTS.md uses.
+    """
+    required = int(np.ceil(np.log(tolerance) / np.log1p(-alpha)))
+    rounds = min(required, probe_rounds)
+    operator = transition_matrix(graph).T.tocsr()
+    vector = np.zeros(graph.num_nodes)
+    vector[0] = 1.0
+    started = time.perf_counter()
+    for _ in range(rounds):
+        vector = (1.0 - alpha) * (operator @ vector)
+    elapsed = time.perf_counter() - started
+    work = required * graph.num_arcs
+    if rounds == required:
+        return elapsed, work, False
+    return elapsed * (required / rounds), work, True
+
+
+def fig13_small_alpha(datasets=("youtube", "pokec"), *,
+                      alphas=(1e-1, 1e-2, 1e-3, 1e-4, 1e-5),
+                      epsilon: float = 0.5, scale: float | None = None,
+                      num_queries: int | None = None,
+                      budget_scale: float | None = None,
+                      seed: int = 8) -> list[dict]:
+    """Fig. 13: SPEEDLV vs the degree-weighted-uniform baseline as
+    α → 0 — L1 errors (vs exact) and runtimes (vs ground-truth time).
+    """
+    defaults = bench_defaults()
+    scale = defaults["graph_scale"] if scale is None else scale
+    num_queries = defaults["num_queries"] if num_queries is None else num_queries
+    budget_scale = defaults["budget_scale"] if budget_scale is None else budget_scale
+    rows = []
+    for name in datasets:
+        graph = load_dataset(name, scale=scale)
+        uniform_baseline = graph.degrees / graph.total_weight
+        sources = uniform_nodes(graph, num_queries, rng=seed)
+        for alpha in alphas:
+            solver = ExactSolver(graph, alpha)
+            speedlv_errors, baseline_errors, seconds, work = [], [], [], []
+            for query_index, source in enumerate(sources):
+                exact = solver.single_source(int(source))
+                config = _config(alpha, epsilon, budget_scale,
+                                 seed + query_index)
+                started = time.perf_counter()
+                result = single_source(graph, int(source), method="speedlv",
+                                       config=config)
+                seconds.append(time.perf_counter() - started)
+                speedlv_errors.append(l1_error(result, exact))
+                baseline_errors.append(l1_error(uniform_baseline, exact))
+                work.append(result.stats.get("push_work", 0)
+                            + result.stats.get("forest_steps", 0))
+            truth_seconds, truth_work, extrapolated = _ground_truth_cost(
+                graph, alpha)
+            rows.append({
+                "dataset": name, "alpha": alpha,
+                "speedlv_l1": summarize(speedlv_errors)["mean"],
+                "uniform_l1": summarize(baseline_errors)["mean"],
+                "speedlv_seconds": summarize(seconds)["mean"],
+                "ground_truth_seconds": truth_seconds,
+                "speedlv_work": summarize(work)["mean"],
+                "ground_truth_work": truth_work,
+                "ground_truth_extrapolated": extrapolated,
+            })
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Ablations (design choices called out in DESIGN.md)
+# ----------------------------------------------------------------------
+def alpha_sweep_single_source(dataset: str = "youtube", *,
+                              alphas=(0.2, 0.05, 0.01, 0.002),
+                              epsilon: float = 0.5,
+                              scale: float | None = None,
+                              num_queries: int | None = None,
+                              budget_scale: float | None = None,
+                              seed: int = 12) -> list[dict]:
+    """The paper's central claim as its own sweep: how the walk-based
+    and forest-based Monte-Carlo costs scale as α shrinks (the α=0.2
+    setting of the paper's full version sits at one end, α=0.002 past
+    the paper's headline 0.01 at the other)."""
+    defaults = bench_defaults()
+    scale = defaults["graph_scale"] if scale is None else scale
+    num_queries = defaults["num_queries"] if num_queries is None else num_queries
+    budget_scale = defaults["budget_scale"] if budget_scale is None else budget_scale
+    graph = load_dataset(dataset, scale=scale)
+    sources = uniform_nodes(graph, num_queries, rng=seed)
+    rows = []
+    for alpha in alphas:
+        for method, steps_key in (("fora", "walk_steps"),
+                                  ("foralv", "forest_steps")):
+            mc_steps, seconds = [], []
+            for query_index, source in enumerate(sources):
+                config = _config(alpha, epsilon, budget_scale,
+                                 seed + query_index)
+                started = time.perf_counter()
+                result = single_source(graph, int(source), method=method,
+                                       config=config)
+                seconds.append(time.perf_counter() - started)
+                mc_steps.append(result.stats.get(steps_key, 0))
+            rows.append({
+                "dataset": dataset, "alpha": alpha, "method": method,
+                "mean_mc_steps": summarize(mc_steps)["mean"],
+                "mean_seconds": summarize(seconds)["mean"],
+            })
+    return rows
+
+
+def ablation_batch_amortization(dataset: str = "youtube", *,
+                                alpha: float = 0.01,
+                                num_queries: int | None = None,
+                                scale: float | None = None,
+                                budget_scale: float | None = None,
+                                seed: int = 13) -> list[dict]:
+    """Forest reuse across queries: one shared forest bank
+    (:class:`~repro.core.batch.BatchSourceSolver`) versus independent
+    online SPEEDLV queries."""
+    from repro.core.batch import BatchSourceSolver
+
+    defaults = bench_defaults()
+    scale = defaults["graph_scale"] if scale is None else scale
+    num_queries = defaults["num_queries"] if num_queries is None else num_queries
+    budget_scale = defaults["budget_scale"] if budget_scale is None else budget_scale
+    graph = load_dataset(dataset, scale=scale)
+    sources = uniform_nodes(graph, num_queries, rng=seed)
+
+    started = time.perf_counter()
+    solver = BatchSourceSolver(graph, alpha=alpha, seed=seed,
+                               budget_scale=budget_scale)
+    build_seconds = time.perf_counter() - started
+    batch_query_seconds = []
+    for source in sources:
+        started = time.perf_counter()
+        solver.query(int(source))
+        batch_query_seconds.append(time.perf_counter() - started)
+
+    online_seconds = []
+    for query_index, source in enumerate(sources):
+        config = _config(alpha, 0.5, budget_scale, seed + query_index)
+        started = time.perf_counter()
+        single_source(graph, int(source), method="speedlv", config=config)
+        online_seconds.append(time.perf_counter() - started)
+
+    return [{
+        "dataset": dataset,
+        "num_queries": num_queries,
+        "bank_forests": solver.num_forests,
+        "bank_build_seconds": build_seconds,
+        "batch_mean_query_seconds": summarize(batch_query_seconds)["mean"],
+        "online_mean_query_seconds": summarize(online_seconds)["mean"],
+    }]
+
+
+def ablation_estimator_variance(dataset: str = "youtube", *,
+                                alpha: float = 0.01, num_forests: int = 30,
+                                scale: float | None = None,
+                                seed: int = 9) -> list[dict]:
+    """Lemma 5.1 in practice: per-node variance of the basic vs the
+    improved single-source estimator over a fixed forest budget."""
+    scale = bench_defaults()["graph_scale"] if scale is None else scale
+    graph = load_dataset(dataset, scale=scale)
+    push = balanced_forward_push(graph, 0, alpha, r_max=0.01)
+    degrees = graph.degrees
+    basic_samples, improved_samples = [], []
+    rng = np.random.default_rng(seed)
+    for _ in range(num_forests):
+        forest = sample_forest(graph, alpha, rng=rng)
+        basic_samples.append(source_estimate_basic(forest, push.residual))
+        improved_samples.append(
+            source_estimate_improved(forest, push.residual, degrees))
+    basic = np.stack(basic_samples)
+    improved = np.stack(improved_samples)
+    return [{
+        "dataset": dataset, "num_forests": num_forests,
+        "num_nodes": graph.num_nodes,
+        "basic_total_variance": float(basic.var(axis=0).sum()),
+        "improved_total_variance": float(improved.var(axis=0).sum()),
+        "variance_ratio": float(basic.var(axis=0).sum()
+                                / max(improved.var(axis=0).sum(), 1e-30)),
+        "mean_gap_l1": float(np.abs(basic.mean(axis=0)
+                                    - improved.mean(axis=0)).sum()),
+    }]
+
+
+def ablation_sampler_throughput(dataset: str = "youtube", *,
+                                alphas=(0.2, 0.05, 0.01),
+                                repetitions: int = 3,
+                                scale: float | None = None,
+                                seed: int = 10) -> list[dict]:
+    """Reference (Algorithm 1) vs vectorised cycle-popping sampler:
+    steps drawn agree (both are τ in expectation), wall clock differs."""
+    from repro.forests.batch_sampling import sample_forests_batch
+
+    scale = bench_defaults()["graph_scale"] if scale is None else scale
+    graph = load_dataset(dataset, scale=scale)
+    rows = []
+    for alpha in alphas:
+        for method in ("wilson", "cycle_popping"):
+            rng = np.random.default_rng(seed)
+            seconds, steps = [], []
+            for _ in range(repetitions):
+                started = time.perf_counter()
+                forest = sample_forest(graph, alpha, rng=rng, method=method)
+                seconds.append(time.perf_counter() - started)
+                steps.append(forest.num_steps)
+            rows.append({
+                "dataset": dataset, "alpha": alpha, "sampler": method,
+                "mean_seconds": summarize(seconds)["mean"],
+                "mean_steps": summarize(steps)["mean"],
+            })
+        started = time.perf_counter()
+        batch = sample_forests_batch(graph, alpha, repetitions, rng=seed)
+        elapsed = time.perf_counter() - started
+        rows.append({
+            "dataset": dataset, "alpha": alpha, "sampler": "batch",
+            "mean_seconds": elapsed / repetitions,
+            "mean_steps": summarize(
+                [forest.num_steps for forest in batch])["mean"],
+        })
+    return rows
+
+
+def ablation_push_variants(dataset: str = "youtube", *,
+                           alpha: float = 0.01,
+                           r_maxes=(0.01, 0.001, 0.0001),
+                           scale: float | None = None) -> list[dict]:
+    """Classic vs balanced forward push: work done and the residual
+    ceiling each leaves behind (the quantity the forest sample count
+    depends on)."""
+    scale = bench_defaults()["graph_scale"] if scale is None else scale
+    graph = load_dataset(dataset, scale=scale)
+    rows = []
+    for r_max in r_maxes:
+        for label, runner in (("classic", forward_push),
+                              ("balanced", balanced_forward_push)):
+            result = runner(graph, 0, alpha, r_max)
+            rows.append({
+                "dataset": dataset, "r_max": r_max, "variant": label,
+                "pushes": result.num_pushes, "work": int(result.work),
+                "residual_mass": result.residual_mass,
+                "residual_ceiling": float(result.residual.max(initial=0.0)),
+            })
+    return rows

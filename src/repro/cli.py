@@ -1,0 +1,263 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+datasets
+    Print the Table-1 stand-in registry with measured statistics.
+query
+    Run a single-source or single-target PPR query and print the top-k.
+pair
+    Estimate one π(s, t) value.
+cluster
+    PPR sweep-cut local clustering around a seed node.
+spectrum
+    τ versus α for a dataset (the Fig-2 insensitivity check).
+
+All stochastic commands accept ``--seed`` and are fully reproducible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.applications import local_cluster
+from repro.bench.reporting import format_markdown_table
+from repro.core import single_source, single_target
+from repro.core.pairwise import pair_ppr
+from repro.exceptions import ReproError
+from repro.graph.datasets import load_dataset, table1_statistics
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Personalized PageRank via random spanning forests "
+                    "(SIGMOD 2022 reproduction)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("datasets", help="list the stand-in datasets")
+
+    query = commands.add_parser("query", help="run a PPR query")
+    query.add_argument("kind", choices=["source", "target"])
+    query.add_argument("dataset", help="dataset name (see `datasets`)")
+    query.add_argument("node", type=int, help="query node id")
+    query.add_argument("--method", default=None,
+                       help="algorithm (default speedlv / backlv)")
+    query.add_argument("--alpha", type=float, default=0.01)
+    query.add_argument("--epsilon", type=float, default=0.5)
+    query.add_argument("--top", type=int, default=10)
+    query.add_argument("--scale", type=float, default=0.25,
+                       help="dataset scale factor")
+    query.add_argument("--budget-scale", type=float, default=0.05)
+    query.add_argument("--seed", type=int, default=2022)
+
+    pair = commands.add_parser("pair", help="estimate one pi(s, t)")
+    pair.add_argument("dataset")
+    pair.add_argument("source", type=int)
+    pair.add_argument("target", type=int)
+    pair.add_argument("--alpha", type=float, default=0.01)
+    pair.add_argument("--scale", type=float, default=0.25)
+    pair.add_argument("--budget-scale", type=float, default=0.05)
+    pair.add_argument("--seed", type=int, default=2022)
+
+    cluster = commands.add_parser("cluster",
+                                  help="PPR sweep-cut local clustering")
+    cluster.add_argument("dataset")
+    cluster.add_argument("seed_node", type=int)
+    cluster.add_argument("--alpha", type=float, default=0.01)
+    cluster.add_argument("--scale", type=float, default=0.25)
+    cluster.add_argument("--budget-scale", type=float, default=0.05)
+    cluster.add_argument("--max-size", type=int, default=None)
+    cluster.add_argument("--seed", type=int, default=2022)
+
+    spectrum = commands.add_parser("spectrum",
+                                   help="tau vs alpha (Fig 2 check)")
+    spectrum.add_argument("dataset")
+    spectrum.add_argument("--alphas", type=float, nargs="+",
+                          default=[0.1, 0.01, 0.001])
+    spectrum.add_argument("--scale", type=float, default=0.25)
+    spectrum.add_argument("--seed", type=int, default=2022)
+
+    selfcheck = commands.add_parser(
+        "selfcheck", help="quick statistical self-test of the install")
+    selfcheck.add_argument("--seed", type=int, default=2022)
+
+    experiment = commands.add_parser(
+        "experiment", help="run one paper experiment and print its table")
+    experiment.add_argument("name", nargs="?", default=None,
+                            help="driver name, e.g. fig3 or table1 "
+                                 "(omit or use --list to enumerate)")
+    experiment.add_argument("--list", action="store_true", dest="list_all",
+                            help="list available experiments and exit")
+    return parser
+
+
+def _cmd_datasets(_: argparse.Namespace) -> int:
+    print(format_markdown_table(table1_statistics(scale=0.25)))
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.dataset, scale=args.scale)
+    common = dict(alpha=args.alpha, epsilon=args.epsilon,
+                  budget_scale=args.budget_scale, seed=args.seed)
+    if args.kind == "source":
+        result = single_source(graph, args.node,
+                               method=args.method or "speedlv", **common)
+    else:
+        result = single_target(graph, args.node,
+                               method=args.method or "backlv", **common)
+    print(f"{result!r}")
+    print(f"stats: { {k: v for k, v in result.stats.items()} }")
+    print(f"top {args.top}:")
+    for node, score in result.top_k(args.top):
+        print(f"  {node:8d}  {score:.6f}")
+    return 0
+
+
+def _cmd_pair(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.dataset, scale=args.scale)
+    value = pair_ppr(graph, args.source, args.target, alpha=args.alpha,
+                     budget_scale=args.budget_scale, seed=args.seed)
+    print(f"pi({args.source}, {args.target}) ~= {float(value):.8f}")
+    print(f"stats: {value.stats}")
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.dataset, scale=args.scale)
+    result = local_cluster(graph, args.seed_node, alpha=args.alpha,
+                           budget_scale=args.budget_scale, seed=args.seed,
+                           max_cluster_size=args.max_size)
+    print(f"cluster around {args.seed_node}: size {result.size}, "
+          f"conductance {result.conductance:.5f}")
+    print("members:", " ".join(map(str, result.members.tolist())))
+    return 0
+
+
+def _cmd_spectrum(args: argparse.Namespace) -> int:
+    from repro.forests import sample_forest
+    from repro.linalg import estimate_spectral_density, tau_from_density
+
+    graph = load_dataset(args.dataset, scale=args.scale)
+    density = estimate_spectral_density(graph, rng=args.seed)
+    rows = []
+    for alpha in args.alphas:
+        forest = sample_forest(graph, alpha, rng=args.seed)
+        rows.append({
+            "alpha": alpha,
+            "tau_lemma44": round(tau_from_density(density, alpha), 1),
+            "tau_sampled": forest.num_steps,
+            "naive_n_over_alpha": round(graph.num_nodes / alpha, 1),
+        })
+    print(format_markdown_table(rows))
+    return 0
+
+
+def _cmd_selfcheck(args: argparse.Namespace) -> int:
+    """Three fast end-to-end checks against exact ground truth.
+
+    Exercises the theory-critical path (sampler law = PPR), the
+    flagship query algorithm, and the push invariant; exits non-zero
+    on any failure so CI and users can gate on it.
+    """
+    from repro.core import l1_error, single_source
+    from repro.forests import sample_forests_batch
+    from repro.graph.generators import erdos_renyi
+    from repro.linalg import exact_ppr_matrix
+    from repro.push import forward_push
+
+    graph = erdos_renyi(12, 0.4, rng=args.seed)
+    alpha = 0.2
+    exact = exact_ppr_matrix(graph, alpha)
+    failures = 0
+
+    counts = np.zeros((12, 12))
+    samples = 3000
+    for forest in sample_forests_batch(graph, alpha, samples,
+                                       rng=args.seed):
+        counts[np.arange(12), forest.roots] += 1
+    sampler_err = float(np.abs(counts / samples - exact).max())
+    ok = sampler_err < 0.04
+    failures += not ok
+    print(f"[{'ok' if ok else 'FAIL'}] forest sampler law "
+          f"(max dev {sampler_err:.4f} < 0.04)")
+
+    result = single_source(graph, 0, method="speedlv", alpha=alpha,
+                           seed=args.seed)
+    query_err = l1_error(result, exact[0])
+    ok = query_err < 0.1
+    failures += not ok
+    print(f"[{'ok' if ok else 'FAIL'}] speedlv query "
+          f"(L1 {query_err:.4f} < 0.1)")
+
+    push = forward_push(graph, 0, alpha, 0.01)
+    invariant_err = float(np.abs(
+        push.reserve + push.residual @ exact - exact[0]).max())
+    ok = invariant_err < 1e-9
+    failures += not ok
+    print(f"[{'ok' if ok else 'FAIL'}] push invariant "
+          f"(max dev {invariant_err:.2e} < 1e-9)")
+
+    print("self-check " + ("passed" if failures == 0
+                           else f"FAILED ({failures})"))
+    return 0 if failures == 0 else 1
+
+
+def _experiment_registry() -> dict:
+    from repro.bench import experiments as drivers
+
+    registry = {}
+    for name in drivers.__all__:
+        if name.startswith(("table", "fig", "ablation", "alpha")):
+            registry[name] = getattr(drivers, name)
+            short = name.split("_")[0]
+            if name.startswith(("table", "fig")) and short not in registry:
+                registry[short] = getattr(drivers, name)
+    return registry
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    registry = _experiment_registry()
+    if args.list_all or args.name is None:
+        for name in sorted(registry):
+            print(f"{name:28s} {registry[name].__doc__.splitlines()[0]}")
+        return 0
+    key = args.name.lower()
+    if key not in registry:
+        print(f"error: unknown experiment {args.name!r}; try --list",
+              file=sys.stderr)
+        return 2
+    rows = registry[key]()
+    print(format_markdown_table(rows))
+    return 0
+
+
+_COMMANDS = {
+    "datasets": _cmd_datasets,
+    "query": _cmd_query,
+    "pair": _cmd_pair,
+    "cluster": _cmd_cluster,
+    "spectrum": _cmd_spectrum,
+    "selfcheck": _cmd_selfcheck,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # the reader (e.g. `| head`) closed early; standard CLI etiquette
+        return 0

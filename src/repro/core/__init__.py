@@ -1,0 +1,69 @@
+"""The paper's query algorithms (§5, §6) behind a uniform API."""
+
+from repro.core.config import PPRConfig
+from repro.core.result import PPRResult
+from repro.core.api import (
+    single_source,
+    single_target,
+    SINGLE_SOURCE_METHODS,
+    SINGLE_SOURCE_INDEXED_METHODS,
+    SINGLE_TARGET_METHODS,
+)
+from repro.core.single_source import (
+    fora,
+    foral,
+    foralv,
+    speedppr,
+    speedl,
+    speedlv,
+    fora_plus,
+    speedppr_plus,
+    foralv_plus,
+    speedlv_plus,
+)
+from repro.core.single_target import back, rback, backl, backlv, backlv_plus
+from repro.core.pairwise import PairEstimate, pair_ppr
+from repro.core.batch import BatchSourceSolver, BatchTargetSolver
+from repro.core.topk import TopKResult, top_k_single_source, heavy_hitters
+from repro.core.accuracy import (
+    l1_error,
+    max_relative_error,
+    precision_at_k,
+    degree_normalized,
+)
+
+__all__ = [
+    "PPRConfig",
+    "PPRResult",
+    "single_source",
+    "single_target",
+    "SINGLE_SOURCE_METHODS",
+    "SINGLE_SOURCE_INDEXED_METHODS",
+    "SINGLE_TARGET_METHODS",
+    "fora",
+    "foral",
+    "foralv",
+    "speedppr",
+    "speedl",
+    "speedlv",
+    "fora_plus",
+    "speedppr_plus",
+    "foralv_plus",
+    "speedlv_plus",
+    "back",
+    "rback",
+    "backl",
+    "backlv",
+    "backlv_plus",
+    "PairEstimate",
+    "pair_ppr",
+    "BatchSourceSolver",
+    "BatchTargetSolver",
+    "TopKResult",
+    "top_k_single_source",
+    "heavy_hitters",
+    "l1_error",
+    "max_relative_error",
+    "precision_at_k",
+    "degree_normalized",
+]

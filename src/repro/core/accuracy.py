@@ -1,0 +1,70 @@
+"""Accuracy metrics used throughout the evaluation (Figs. 4, 10, 13).
+
+All metrics take plain NumPy vectors so they work on
+:class:`~repro.core.result.PPRResult` estimates and raw arrays alike.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigError
+
+__all__ = ["l1_error", "max_relative_error", "precision_at_k",
+           "degree_normalized"]
+
+
+def _pair(estimate, exact) -> tuple[np.ndarray, np.ndarray]:
+    estimate = np.asarray(getattr(estimate, "estimates", estimate),
+                          dtype=np.float64)
+    exact = np.asarray(exact, dtype=np.float64)
+    if estimate.shape != exact.shape:
+        raise ConfigError(
+            f"shape mismatch: estimate {estimate.shape} vs exact {exact.shape}")
+    return estimate, exact
+
+
+def l1_error(estimate, exact) -> float:
+    """``Σ_v |π̂(v) − π(v)|`` — the paper's headline accuracy metric."""
+    estimate, exact = _pair(estimate, exact)
+    return float(np.abs(estimate - exact).sum())
+
+
+def max_relative_error(estimate, exact, mu: float) -> float:
+    """``max_v |π̂ − π| / π`` over nodes with ``π(v) ≥ mu``.
+
+    The quantity bounded by the approximate-query Definitions 2.2/2.3;
+    returns 0.0 when no node clears the threshold.
+    """
+    if mu <= 0:
+        raise ConfigError("mu must be positive")
+    estimate, exact = _pair(estimate, exact)
+    mask = exact >= mu
+    if not mask.any():
+        return 0.0
+    return float(np.max(np.abs(estimate[mask] - exact[mask]) / exact[mask]))
+
+
+def precision_at_k(estimate, exact, k: int) -> float:
+    """Fraction of the true top-``k`` nodes recovered by the estimate.
+
+    The standard quality metric for PPR-based ranking applications.
+    """
+    if k <= 0:
+        raise ConfigError("k must be positive")
+    estimate, exact = _pair(estimate, exact)
+    k = min(k, estimate.size)
+    top_estimate = set(np.argpartition(estimate, -k)[-k:].tolist())
+    top_exact = set(np.argpartition(exact, -k)[-k:].tolist())
+    return len(top_estimate & top_exact) / k
+
+
+def degree_normalized(vector, degrees) -> np.ndarray:
+    """``π(v)/d_v`` — the ranking functional that stays informative as
+    α → 0 (§7.7 and [50]); zero-degree nodes map to 0."""
+    vector = np.asarray(getattr(vector, "estimates", vector), dtype=np.float64)
+    degrees = np.asarray(degrees, dtype=np.float64)
+    result = np.zeros_like(vector)
+    positive = degrees > 0
+    result[positive] = vector[positive] / degrees[positive]
+    return result

@@ -1,0 +1,126 @@
+"""High-level dispatch: one call, any algorithm.
+
+:func:`single_source` / :func:`single_target` are the public entry
+points — pick a ``method`` string, pass configuration either as a
+prebuilt :class:`~repro.core.config.PPRConfig` or as keyword
+overrides, and optionally hand over a prebuilt index for the ``+``
+variants.
+"""
+
+from __future__ import annotations
+
+import repro.core.single_source as source_module
+import repro.core.single_target as target_module
+from repro.core.config import PPRConfig
+from repro.core.result import PPRResult
+from repro.exceptions import ConfigError
+from repro.graph.csr import Graph
+
+__all__ = ["single_source", "single_target",
+           "SINGLE_SOURCE_METHODS", "SINGLE_TARGET_METHODS"]
+
+#: Online single-source algorithms by name.
+SINGLE_SOURCE_METHODS = {
+    "fora": source_module.fora,
+    "foral": source_module.foral,
+    "foralv": source_module.foralv,
+    "speedppr": source_module.speedppr,
+    "speedl": source_module.speedl,
+    "speedlv": source_module.speedlv,
+}
+
+#: Indexed single-source algorithms by name (need ``index=``).
+SINGLE_SOURCE_INDEXED_METHODS = {
+    "fora+": source_module.fora_plus,
+    "speedppr+": source_module.speedppr_plus,
+    "foralv+": source_module.foralv_plus,
+    "speedlv+": source_module.speedlv_plus,
+}
+
+#: Single-target algorithms by name.
+SINGLE_TARGET_METHODS = {
+    "back": target_module.back,
+    "rback": target_module.rback,
+    "backl": target_module.backl,
+    "backlv": target_module.backlv,
+}
+
+
+def _build_config(config: PPRConfig | None, overrides: dict) -> PPRConfig:
+    if config is None:
+        return PPRConfig(**overrides)
+    if overrides:
+        return config.with_overrides(**overrides)
+    return config
+
+
+def single_source(graph: Graph, source: int, *, method: str = "speedlv",
+                  config: PPRConfig | None = None, index=None,
+                  **overrides) -> PPRResult:
+    """Estimate ``π(source, v)`` for every node ``v``.
+
+    Parameters
+    ----------
+    method:
+        One of ``fora, foral, foralv, speedppr, speedl, speedlv`` or an
+        indexed variant ``fora+, speedppr+, foralv+, speedlv+`` (which
+        require ``index``).
+    config:
+        A :class:`PPRConfig`; keyword ``overrides`` (``alpha=``,
+        ``epsilon=``, ``seed=`` ...) are applied on top of it or of the
+        defaults.
+    index:
+        Prebuilt :class:`~repro.montecarlo.walk_index.WalkIndex` /
+        :class:`~repro.montecarlo.forest_index.ForestIndex` for the
+        ``+`` methods.
+
+    Examples
+    --------
+    >>> import repro
+    >>> g = repro.load_dataset("youtube", scale=0.1)
+    >>> res = repro.single_source(g, 0, method="speedlv", alpha=0.01,
+    ...                           budget_scale=0.01, seed=1)
+    >>> abs(res.total_mass - 1.0) < 0.2
+    True
+    """
+    key = method.lower()
+    resolved = _build_config(config, overrides)
+    if key in SINGLE_SOURCE_METHODS:
+        if index is not None:
+            raise ConfigError(
+                f"method {method!r} is an online algorithm; drop index= "
+                f"or pick {key}+")
+        return SINGLE_SOURCE_METHODS[key](graph, source, resolved)
+    if key in SINGLE_SOURCE_INDEXED_METHODS:
+        if index is None:
+            raise ConfigError(f"method {method!r} requires index=")
+        return SINGLE_SOURCE_INDEXED_METHODS[key](graph, source, index,
+                                                  resolved)
+    raise ConfigError(
+        f"unknown single-source method {method!r}; choose from "
+        f"{sorted(SINGLE_SOURCE_METHODS) + sorted(SINGLE_SOURCE_INDEXED_METHODS)}")
+
+
+def single_target(graph: Graph, target: int, *, method: str = "backlv",
+                  config: PPRConfig | None = None, index=None,
+                  **overrides) -> PPRResult:
+    """Estimate ``π(v, target)`` for every node ``v``.
+
+    ``method`` is one of ``back, rback, backl, backlv`` or
+    ``backlv+`` (requires ``index``); see :func:`single_source` for the
+    configuration contract.
+    """
+    key = method.lower()
+    resolved = _build_config(config, overrides)
+    if key in SINGLE_TARGET_METHODS:
+        if index is not None:
+            raise ConfigError(
+                f"method {method!r} is an online algorithm; drop index=")
+        return SINGLE_TARGET_METHODS[key](graph, target, resolved)
+    if key == "backlv+":
+        if index is None:
+            raise ConfigError("method 'backlv+' requires index=")
+        return target_module.backlv_plus(graph, target, index, resolved)
+    raise ConfigError(
+        f"unknown single-target method {method!r}; choose from "
+        f"{sorted(SINGLE_TARGET_METHODS) + ['backlv+']}")

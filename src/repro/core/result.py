@@ -1,0 +1,84 @@
+"""The result type returned by every PPR query algorithm."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ConfigError
+
+__all__ = ["PPRResult"]
+
+
+@dataclass
+class PPRResult:
+    """Estimated PPR vector plus provenance and cost accounting.
+
+    Attributes
+    ----------
+    estimates:
+        ``π̂`` per node — a single-source row (``π̂(query, v)``) or a
+        single-target column (``π̂(v, query)``), see ``kind``.
+    kind:
+        ``"source"`` or ``"target"``.
+    query_node:
+        The source or target the query was issued for.
+    method:
+        Algorithm name (``"fora"``, ``"speedlv"``, ...).
+    alpha, epsilon:
+        The configuration the estimate was produced under.
+    stats:
+        Cost accounting filled by the algorithm: push/sampling wall
+        clock, push operations, forest/walk counts, walk steps —
+        machine-independent work counters the benchmark harness
+        prefers over raw seconds.
+    """
+
+    estimates: np.ndarray
+    kind: str
+    query_node: int
+    method: str
+    alpha: float
+    epsilon: float
+    stats: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.estimates = np.asarray(self.estimates, dtype=np.float64)
+        if self.kind not in ("source", "target"):
+            raise ConfigError(f"kind must be 'source' or 'target', got {self.kind!r}")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Length of the estimate vector."""
+        return self.estimates.size
+
+    def __getitem__(self, node: int) -> float:
+        """``π̂`` for one node."""
+        return float(self.estimates[node])
+
+    def top_k(self, k: int = 10) -> list[tuple[int, float]]:
+        """The ``k`` nodes with the largest estimated PPR, descending."""
+        if k <= 0:
+            raise ConfigError("k must be positive")
+        k = min(k, self.num_nodes)
+        order = np.argpartition(self.estimates, -k)[-k:]
+        order = order[np.argsort(self.estimates[order])[::-1]]
+        return [(int(node), float(self.estimates[node])) for node in order]
+
+    @property
+    def total_mass(self) -> float:
+        """``Σ_v π̂`` — close to 1 for a well-converged source query."""
+        return float(self.estimates.sum())
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall-clock total across recorded stages (0 if not recorded)."""
+        return float(sum(value for key, value in self.stats.items()
+                         if key.endswith("_seconds")))
+
+    def __repr__(self) -> str:
+        return (f"PPRResult({self.kind}={self.query_node}, "
+                f"method={self.method!r}, alpha={self.alpha}, "
+                f"mass={self.total_mass:.4f})")

@@ -1,0 +1,214 @@
+r"""Top-k and heavy-hitter PPR queries with adaptive forest sampling.
+
+The paper's related work covers dedicated top-k engines (TopPPR [47])
+and heavy-hitter queries ([45]); both reduce, on the forest machinery,
+to *sequential* sampling: draw forests in batches, maintain per-node
+running means and variances of the (improved) estimator, and stop as
+soon as the answer set is statistically separated —
+
+- :func:`top_k_single_source`: stop when the k-th largest estimate's
+  lower confidence bound clears the (k+1)-th largest's upper bound;
+- :func:`heavy_hitters`: stop when every node's confidence interval
+  lies entirely above or below the threshold ``φ``.
+
+Confidence intervals are normal-approximation ``z·σ̂/√N`` over the
+i.i.d. per-forest estimates — the same empirical-variance idea behind
+sequential A/B testing, here applicable because each forest yields an
+independent full-vector observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.stats import norm
+
+from repro.core.config import PPRConfig
+from repro.exceptions import ConfigError
+from repro.forests.estimators import (
+    source_estimate_basic,
+    source_estimate_improved,
+)
+from repro.forests.sampling import sample_forest
+from repro.graph.csr import Graph
+from repro.push.forward import balanced_forward_push
+from repro.rng import ensure_rng
+
+__all__ = ["TopKResult", "top_k_single_source", "heavy_hitters"]
+
+
+@dataclass
+class TopKResult:
+    """Outcome of an adaptive top-k / heavy-hitter query.
+
+    Attributes
+    ----------
+    nodes:
+        The answer set, sorted by descending estimate.
+    estimates:
+        Estimated PPR values parallel to ``nodes``.
+    converged:
+        Whether the statistical separation criterion was met before
+        the forest budget ran out.
+    num_forests:
+        Forests actually sampled.
+    stats:
+        Push and sampling counters.
+    """
+
+    nodes: np.ndarray
+    estimates: np.ndarray
+    converged: bool
+    num_forests: int
+    stats: dict
+
+    def as_pairs(self) -> list[tuple[int, float]]:
+        """``[(node, estimate), ...]`` in rank order."""
+        return [(int(node), float(value))
+                for node, value in zip(self.nodes, self.estimates)]
+
+
+class _SequentialEstimator:
+    """Running mean/variance of per-forest estimate vectors."""
+
+    def __init__(self, graph: Graph, source: int, config: PPRConfig):
+        self.graph = graph
+        self.config = config
+        self.rng = ensure_rng(config.seed)
+        self.improved = not graph.directed
+        r_max = config.r_max or 1.0 / max(
+            np.sqrt(config.walk_budget(graph)), 2.0)
+        self.push = balanced_forward_push(graph, source, config.alpha,
+                                          min(max(r_max, 1e-9), 1.0))
+        self.r_max = r_max
+        self.count = 0
+        self.sum = np.zeros(graph.num_nodes)
+        self.sum_squares = np.zeros(graph.num_nodes)
+        self.steps = 0
+
+    def draw(self, batch: int) -> None:
+        """Sample ``batch`` more forests into the running moments."""
+        degrees = self.graph.degrees
+        for _ in range(batch):
+            forest = sample_forest(self.graph, self.config.alpha,
+                                   rng=self.rng,
+                                   method=self.config.sampler)
+            if self.improved:
+                estimate = source_estimate_improved(
+                    forest, self.push.residual, degrees)
+            else:
+                estimate = source_estimate_basic(forest, self.push.residual)
+            self.sum += estimate
+            self.sum_squares += estimate * estimate
+            self.steps += forest.num_steps
+            self.count += 1
+
+    def mean(self) -> np.ndarray:
+        """Current point estimate: reserve + Monte-Carlo mean."""
+        return self.push.reserve + self.sum / self.count
+
+    def half_width(self, z: float) -> np.ndarray:
+        """Per-node confidence half-width ``z·σ̂/√N``."""
+        mean_mc = self.sum / self.count
+        variance = np.maximum(
+            self.sum_squares / self.count - mean_mc * mean_mc, 0.0)
+        return z * np.sqrt(variance / self.count)
+
+
+def _prepare(graph: Graph, source: int, config: PPRConfig | None,
+             overrides: dict) -> PPRConfig:
+    if not 0 <= source < graph.num_nodes:
+        raise ConfigError(f"source {source} out of range")
+    config = config or PPRConfig()
+    if overrides:
+        config = config.with_overrides(**overrides)
+    return config.resolve(graph)
+
+
+def top_k_single_source(graph: Graph, source: int, k: int, *,
+                        confidence: float = 0.95,
+                        batch_size: int = 8,
+                        max_forests: int = 512,
+                        config: PPRConfig | None = None,
+                        **overrides) -> TopKResult:
+    """Adaptively find the ``k`` nodes with largest ``π(source, ·)``.
+
+    Samples forests in batches of ``batch_size`` until the k-th and
+    (k+1)-th ranked estimates' confidence intervals separate (or
+    ``max_forests`` is hit; check ``result.converged``).
+    """
+    if k <= 0 or k >= graph.num_nodes:
+        raise ConfigError("k must lie in [1, n)")
+    if not 0.0 < confidence < 1.0:
+        raise ConfigError("confidence must lie in (0, 1)")
+    if batch_size <= 0 or max_forests < batch_size:
+        raise ConfigError("need 0 < batch_size <= max_forests")
+    config = _prepare(graph, source, config, overrides)
+    z = float(norm.ppf(0.5 + confidence / 2.0))
+    estimator = _SequentialEstimator(graph, source, config)
+
+    converged = False
+    while estimator.count < max_forests:
+        estimator.draw(batch_size)
+        means = estimator.mean()
+        half = estimator.half_width(z)
+        order = np.argsort(-means, kind="stable")
+        kth, next_one = order[k - 1], order[k]
+        if (means[kth] - half[kth]) > (means[next_one] + half[next_one]):
+            converged = True
+            break
+
+    means = estimator.mean()
+    order = np.argsort(-means, kind="stable")[:k]
+    stats = {"num_pushes": estimator.push.num_pushes,
+             "push_work": estimator.push.work,
+             "forest_steps": estimator.steps,
+             "r_max": estimator.r_max}
+    return TopKResult(nodes=order, estimates=means[order],
+                      converged=converged,
+                      num_forests=estimator.count, stats=stats)
+
+
+def heavy_hitters(graph: Graph, source: int, threshold: float, *,
+                  confidence: float = 0.95,
+                  batch_size: int = 8,
+                  max_forests: int = 512,
+                  config: PPRConfig | None = None,
+                  **overrides) -> TopKResult:
+    """All nodes with ``π(source, v) > threshold`` (the [45]-style query).
+
+    Adaptive stopping: sampling continues until every node's confidence
+    interval is entirely on one side of ``threshold``.
+    """
+    if threshold <= 0.0:
+        raise ConfigError("threshold must be positive")
+    if not 0.0 < confidence < 1.0:
+        raise ConfigError("confidence must lie in (0, 1)")
+    if batch_size <= 0 or max_forests < batch_size:
+        raise ConfigError("need 0 < batch_size <= max_forests")
+    config = _prepare(graph, source, config, overrides)
+    z = float(norm.ppf(0.5 + confidence / 2.0))
+    estimator = _SequentialEstimator(graph, source, config)
+
+    converged = False
+    while estimator.count < max_forests:
+        estimator.draw(batch_size)
+        means = estimator.mean()
+        half = estimator.half_width(z)
+        straddling = (means - half <= threshold) & (means + half > threshold)
+        if not straddling.any():
+            converged = True
+            break
+
+    means = estimator.mean()
+    hitters = np.flatnonzero(means > threshold)
+    hitters = hitters[np.argsort(-means[hitters], kind="stable")]
+    stats = {"num_pushes": estimator.push.num_pushes,
+             "push_work": estimator.push.work,
+             "forest_steps": estimator.steps,
+             "threshold": threshold,
+             "r_max": estimator.r_max}
+    return TopKResult(nodes=hitters, estimates=means[hitters],
+                      converged=converged,
+                      num_forests=estimator.count, stats=stats)

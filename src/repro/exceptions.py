@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised deliberately by the library derive from
+:class:`ReproError`, so callers can catch one base class.  The
+sub-classes mirror the three places things can go wrong: building or
+validating a graph, configuring a query, and iterative numerics that
+fail to converge.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed graph inputs.
+
+    Examples: ragged CSR arrays, negative edge weights, node ids out of
+    range, or an empty vertex set where at least one node is required.
+    """
+
+
+class ConfigError(ReproError):
+    """Raised for invalid query configuration.
+
+    Examples: a decay factor outside ``(0, 1)``, a non-positive relative
+    error threshold, or a source/target node id that does not exist in
+    the graph.
+    """
+
+
+class ConvergenceError(ReproError):
+    """Raised when an iterative numerical routine exceeds its budget.
+
+    Carries the iteration count and the last observed residual so the
+    caller can decide whether to retry with a larger budget.
+    """
+
+    def __init__(self, message: str, iterations: int | None = None,
+                 residual: float | None = None):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual

@@ -1,0 +1,111 @@
+r"""Batched forest sampling: many independent forests per NumPy pass.
+
+Sampling ``k`` independent forests of ``G`` is *identical in law* to
+sampling one forest of the disjoint union of ``k`` copies of ``G``
+(arrow stacks are per-node independent, and cycle popping never crosses
+components).  Working on the union — node ``(layer, u)`` encoded as
+``layer·n + u`` — lets every popping round draw arrows and resolve
+pointers for **all layers at once**, amortising the per-round NumPy
+call overhead that dominates the single-forest sampler when α is small
+and cycles pop slowly.
+
+The union is virtual: neighbour sampling runs against the base graph's
+alias table on ``id mod n`` and adds the layer offset back, so memory
+is ``O(k·n)`` work arrays, never ``k`` copies of the edges.
+
+Equivalence with the sequential samplers is tested statistically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigError, ConvergenceError
+from repro.forests.forest import RootedForest
+from repro.graph.csr import Graph
+from repro.rng import ensure_rng
+
+__all__ = ["sample_forests_batch"]
+
+
+def sample_forests_batch(graph: Graph, alpha: float, count: int,
+                         rng: np.random.Generator | int | None = None,
+                         max_rounds: int = 10_000_000,
+                         ) -> list[RootedForest]:
+    """Sample ``count`` independent rooted spanning forests at once.
+
+    Same distribution as ``count`` calls of
+    :func:`~repro.forests.cycle_popping.sample_forest_cycle_popping`.
+
+    When it pays: the batch shares popping rounds, so the per-round
+    NumPy call overhead is amortised — about 2× faster on small graphs
+    (n ≲ 1000) or large batches.  On graphs with tens of thousands of
+    nodes the per-round array work dominates either way and the
+    sequential sampler is just as fast; measured numbers live in the
+    sampler ablation bench.
+    """
+    if not 0.0 < alpha < 1.0:
+        raise ConfigError(f"alpha must lie strictly in (0, 1), got {alpha}")
+    if count <= 0:
+        raise ConfigError("count must be positive")
+    n = graph.num_nodes
+    total = count * n
+    generator = ensure_rng(rng)
+    alias = graph.alias_table
+    out_degrees = graph.out_degrees
+
+    next_node = np.empty(total, dtype=np.int64)
+    is_root = np.zeros(total, dtype=bool)
+    short = np.empty(total, dtype=np.int64)
+    active = np.arange(total)
+    trapped = np.arange(total)
+    steps_per_layer = np.zeros(count, dtype=np.int64)
+
+    for _ in range(max_rounds):
+        # (1) fresh arrows for all active union-nodes
+        base = active % n
+        np.add.at(steps_per_layer, active // n, 1)
+        coins = generator.random(active.size)
+        stops = (coins < alpha) | (out_degrees[base] == 0)
+        stopped = active[stops]
+        is_root[stopped] = True
+        next_node[stopped] = stopped
+        movers = active[~stops]
+        if movers.size:
+            is_root[movers] = False
+            offsets = movers - (movers % n)
+            next_node[movers] = offsets + alias.sample_neighbors(
+                movers % n, rng=generator)
+        short[trapped] = next_node[trapped]
+
+        # (2) resolve trapped chains (pointer doubling on the union)
+        doubling = int(np.ceil(np.log2(trapped.size + 2))) + 1
+        jump = short.copy()
+        for _ in range(doubling):
+            jump[trapped] = jump[jump[trapped]]
+        resolved = jump[trapped]
+        done = is_root[resolved]
+        short[trapped[done]] = resolved[done]
+
+        still = trapped[~done]
+        if still.size == 0:
+            parents = next_node.copy()
+            parents[is_root] = -1
+            forests = []
+            for layer in range(count):
+                lo, hi = layer * n, (layer + 1) * n
+                forests.append(RootedForest(
+                    roots=short[lo:hi] - lo,
+                    parents=np.where(parents[lo:hi] >= 0,
+                                     parents[lo:hi] - lo, -1),
+                    num_steps=int(steps_per_layer[layer]),
+                    method="cycle_popping_batch"))
+            return forests
+
+        # (3) pop the union's bad cycles
+        active = np.unique(resolved[~done])
+        trapped = still
+
+    raise ConvergenceError(
+        f"batched cycle popping did not terminate within {max_rounds} rounds",
+        iterations=max_rounds)

@@ -1,0 +1,129 @@
+"""The :class:`RootedForest` result type shared by both samplers.
+
+A rooted spanning forest partitions ``V`` into trees, each with one
+designated root.  Algorithms only ever need the ``roots`` array —
+``roots[u]`` is the root of the tree containing ``u`` — which doubles
+as a canonical component label (Theorem 3.6 and the §5.3 index both
+consume exactly this).  ``parents`` preserves the tree edges for
+structural validation and for applications that need the actual trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+import numpy as np
+
+from repro.exceptions import GraphError
+
+__all__ = ["RootedForest"]
+
+
+@dataclass
+class RootedForest:
+    """A sampled rooted spanning forest.
+
+    Attributes
+    ----------
+    roots:
+        ``roots[u]`` is the root node of the tree containing ``u``;
+        a node ``r`` is a root iff ``roots[r] == r``.
+    parents:
+        ``parents[u]`` is the tree-parent of ``u`` (``-1`` for roots).
+        Following parents from any node terminates at its root.
+    num_steps:
+        Random-walk steps (arrow draws) spent sampling this forest —
+        the empirical τ of §4.2.
+    method:
+        ``"wilson"`` or ``"cycle_popping"``.
+    """
+
+    roots: np.ndarray
+    parents: np.ndarray
+    num_steps: int = 0
+    method: str = "wilson"
+    _cache: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def __post_init__(self):
+        self.roots = np.asarray(self.roots, dtype=np.int64)
+        self.parents = np.asarray(self.parents, dtype=np.int64)
+        if self.roots.shape != self.parents.shape or self.roots.ndim != 1:
+            raise GraphError("roots and parents must be parallel 1-D arrays")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes covered by the forest."""
+        return self.roots.size
+
+    @cached_property
+    def root_set(self) -> np.ndarray:
+        """Sorted ids of the root nodes."""
+        return np.flatnonzero(self.roots == np.arange(self.num_nodes))
+
+    @property
+    def num_trees(self) -> int:
+        """Number of trees (= connected components of the forest)."""
+        return self.root_set.size
+
+    @cached_property
+    def component_sizes(self) -> np.ndarray:
+        """``component_sizes[r]`` = tree size for each root ``r`` (0 otherwise)."""
+        return np.bincount(self.roots, minlength=self.num_nodes)
+
+    def component_of(self, node: int) -> np.ndarray:
+        """All nodes in the same tree as ``node``."""
+        if not 0 <= node < self.num_nodes:
+            raise GraphError(f"node {node} out of range")
+        return np.flatnonzero(self.roots == self.roots[node])
+
+    def same_tree(self, u: int, v: int) -> bool:
+        """Whether ``u`` and ``v`` share a tree (the ``X_uv`` of Thm 3.8)."""
+        return bool(self.roots[u] == self.roots[v])
+
+    def is_rooted_in(self, node: int, root: int) -> bool:
+        """Whether ``node`` is rooted in ``root`` (the event of Thm 3.6)."""
+        return bool(self.roots[node] == root)
+
+    def component_degree_mass(self, degrees: np.ndarray) -> np.ndarray:
+        """``Σ_{u ∈ tree(r)} d_u`` indexed by root ``r`` (0 elsewhere).
+
+        The denominator of the conditional-probability estimators
+        (Theorems 3.7/3.8); cached per degree array identity.
+        """
+        key = ("degree_mass", id(degrees))
+        if key not in self._cache:
+            self._cache[key] = np.bincount(
+                self.roots, weights=degrees, minlength=self.num_nodes)
+        return self._cache[key]
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`GraphError` if broken.
+
+        1. every root is its own fixed point with ``parents == -1``;
+        2. non-roots have an in-range parent;
+        3. parent chains are acyclic and reach the recorded root.
+        """
+        n = self.num_nodes
+        node_ids = np.arange(n)
+        is_root = self.roots == node_ids
+        if np.any(self.parents[is_root] != -1):
+            raise GraphError("a root has a parent")
+        non_root_parents = self.parents[~is_root]
+        if non_root_parents.size and (
+                non_root_parents.min() < 0 or non_root_parents.max() >= n):
+            raise GraphError("a non-root has an out-of-range parent")
+        # follow parent pointers with pointer doubling: after >= n
+        # composed steps every chain must sit at its recorded root
+        jump = np.where(is_root, node_ids, self.parents)
+        for _ in range(int(np.ceil(np.log2(max(n, 2)))) + 1):
+            jump = jump[jump]
+        if not np.all(jump == self.roots):
+            raise GraphError(
+                "parent chains contain a cycle or do not reach the roots")
+
+    def __repr__(self) -> str:
+        return (f"RootedForest(n={self.num_nodes}, trees={self.num_trees}, "
+                f"steps={self.num_steps}, method={self.method!r})")

@@ -1,0 +1,176 @@
+"""Algorithm 1: loop-erased α-random-walk forest sampling (reference).
+
+This is the paper's pseudocode transcribed faithfully: iterate over the
+nodes in a fixed order; from each yet-uncovered node run an α-random
+walk that stops either by the α coin (the stop node becomes a fresh
+root) or by hitting the already-built forest; then retrace the
+``Next`` pointers — which at that moment encode the loop-erased
+trajectory — and attach it.
+
+It is the *reference* sampler: a tight Python loop, one node visit per
+iteration, counting exactly the τ statistic of §4.2 (the expected
+number of visits is ``Σ_u π(u,u)/α``, Lemma 4.4).  The production
+sampler is :mod:`repro.forests.cycle_popping`, which draws the same
+distribution with vectorised NumPy passes; the test-suite verifies the
+two agree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigError
+from repro.forests.forest import RootedForest
+from repro.graph.csr import Graph
+from repro.rng import BlockUniforms
+
+__all__ = ["sample_forest_wilson", "loop_erased_alpha_walk"]
+
+
+def loop_erased_alpha_walk(graph: Graph, start: int, alpha: float,
+                           rng: np.random.Generator | int | None = None,
+                           blocked=None) -> tuple[list[int], bool]:
+    """Run one loop-erased α-random walk and return its trajectory.
+
+    The building block of Algorithm 1, exposed on its own for theory
+    verification (Theorem 4.2 gives this trajectory's exact law) and
+    for teaching: the walk stops either by the α coin (returning
+    ``(trajectory, True)`` — the endpoint is a fresh root) or upon
+    hitting a node of ``blocked`` (``(trajectory, False)`` — the
+    endpoint is the first blocked node reached).
+
+    Parameters
+    ----------
+    blocked:
+        Optional set/array of "former trajectory" nodes (the paper's
+        ``Δ_0``); the walk is absorbed on contact.
+
+    Returns
+    -------
+    (trajectory, stopped_by_alpha):
+        The loop-erased node sequence starting at ``start``; the flag
+        says which absorption ended the walk.
+    """
+    from repro.exceptions import ConfigError
+    if not 0.0 < alpha < 1.0:
+        raise ConfigError(f"alpha must lie strictly in (0, 1), got {alpha}")
+    if not 0 <= start < graph.num_nodes:
+        raise ConfigError(f"start {start} out of range")
+    blocked_set = set(int(b) for b in blocked) if blocked is not None else set()
+    if start in blocked_set:
+        return [start], False
+    uniforms = BlockUniforms(rng)
+    indptr, indices = graph.indptr, graph.indices
+    out_degrees = graph.out_degrees
+    weighted = graph.is_weighted
+    if weighted:
+        cumulative = graph.cumulative_weights
+        degrees = graph.degrees
+
+    next_pointer: dict[int, int] = {}
+    u = int(start)
+    stopped_by_alpha = False
+    while True:
+        degree = int(out_degrees[u])
+        if degree == 0 or uniforms.next() < alpha:
+            stopped_by_alpha = True
+            break
+        if weighted:
+            lo, hi = indptr[u], indptr[u + 1]
+            mass = uniforms.next() * degrees[u]
+            slot = np.searchsorted(cumulative[lo:hi], mass, side="right")
+            v = int(indices[lo + min(slot, degree - 1)])
+        else:
+            v = int(indices[indptr[u] + uniforms.next_int(degree)])
+        next_pointer[u] = v
+        u = v
+        if u in blocked_set:
+            break
+    terminal = u
+
+    trajectory = [int(start)]
+    u = int(start)
+    while u != terminal:
+        u = next_pointer[u]
+        trajectory.append(u)
+    return trajectory, stopped_by_alpha
+
+
+def sample_forest_wilson(graph: Graph, alpha: float,
+                         rng: np.random.Generator | int | None = None,
+                         order: np.ndarray | None = None) -> RootedForest:
+    """Sample one rooted spanning forest with the loop-erased α-walk.
+
+    Parameters
+    ----------
+    graph:
+        Undirected (or directed; walks follow out-arcs) graph.
+    alpha:
+        Decay factor in ``(0, 1)``: the per-step stop probability.
+    rng:
+        Seed or Generator.
+    order:
+        Optional node processing order.  Theorem-level the result
+        distribution is order-independent (a key Wilson property,
+        exploited by the complexity analysis); exposing it lets tests
+        check that invariance empirically.
+
+    Returns
+    -------
+    RootedForest
+        With ``num_steps`` = number of node visits performed, i.e. the
+        empirical τ.
+    """
+    if not 0.0 < alpha < 1.0:
+        raise ConfigError(f"alpha must lie strictly in (0, 1), got {alpha}")
+    n = graph.num_nodes
+    indptr, indices = graph.indptr, graph.indices
+    out_degrees = graph.out_degrees
+    weighted = graph.is_weighted
+    if weighted:
+        cumulative = graph.cumulative_weights
+        degrees = graph.degrees
+
+    in_forest = np.zeros(n, dtype=bool)
+    next_node = np.full(n, -1, dtype=np.int64)
+    root = np.full(n, -1, dtype=np.int64)
+    parent = np.full(n, -1, dtype=np.int64)
+
+    uniforms = BlockUniforms(rng)
+    if order is None:
+        order = range(n)
+    steps = 0
+
+    for start in order:
+        u = int(start)
+        # phase 1: alpha-random walk until absorption (alpha coin or
+        # collision with the existing forest)
+        while not in_forest[u]:
+            steps += 1
+            degree = out_degrees[u]
+            if degree == 0 or uniforms.next() < alpha:
+                in_forest[u] = True
+                root[u] = u
+                parent[u] = -1
+                break
+            if weighted:
+                lo, hi = indptr[u], indptr[u + 1]
+                mass = uniforms.next() * degrees[u]
+                slot = np.searchsorted(cumulative[lo:hi], mass, side="right")
+                u_next = int(indices[lo + min(slot, degree - 1)])
+            else:
+                u_next = int(indices[indptr[u] + uniforms.next_int(degree)])
+            next_node[u] = u_next
+            u = u_next
+        # phase 2: retrace the Next pointers from the start; they now
+        # spell the loop-erased trajectory, ending inside the forest
+        tree_root = int(root[u])
+        u = int(start)
+        while not in_forest[u]:
+            in_forest[u] = True
+            root[u] = tree_root
+            parent[u] = next_node[u]
+            u = int(next_node[u])
+
+    return RootedForest(roots=root, parents=parent, num_steps=steps,
+                        method="wilson")

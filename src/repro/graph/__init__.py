@@ -1,0 +1,68 @@
+"""Graph substrate: CSR storage, builders, IO, generators and datasets.
+
+The central type is :class:`~repro.graph.csr.Graph`, an immutable
+compressed-sparse-row adjacency structure used by every algorithm in
+the library.  Synthetic stand-ins for the seven graphs of the paper's
+Table 1 live in :mod:`repro.graph.datasets`.
+"""
+
+from repro.graph.csr import Graph
+from repro.graph.build import (
+    from_edges,
+    from_adjacency,
+    from_scipy_sparse,
+    from_networkx,
+)
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+    grid_graph,
+    random_tree,
+    erdos_renyi,
+    barabasi_albert,
+    chung_lu,
+    powerlaw_configuration,
+    watts_strogatz,
+    stochastic_block_model,
+    with_random_weights,
+)
+from repro.graph.datasets import (
+    DatasetSpec,
+    available_datasets,
+    load_dataset,
+    table1_statistics,
+)
+from repro.graph.alias import AliasTable
+from repro.graph.validation import check_graph_invariants
+
+__all__ = [
+    "Graph",
+    "from_edges",
+    "from_adjacency",
+    "from_scipy_sparse",
+    "from_networkx",
+    "read_edge_list",
+    "write_edge_list",
+    "complete_graph",
+    "cycle_graph",
+    "path_graph",
+    "star_graph",
+    "grid_graph",
+    "random_tree",
+    "erdos_renyi",
+    "barabasi_albert",
+    "chung_lu",
+    "powerlaw_configuration",
+    "watts_strogatz",
+    "stochastic_block_model",
+    "with_random_weights",
+    "DatasetSpec",
+    "available_datasets",
+    "load_dataset",
+    "table1_statistics",
+    "AliasTable",
+    "check_graph_invariants",
+]

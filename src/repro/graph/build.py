@@ -1,0 +1,164 @@
+"""Builders that turn edge lists and foreign formats into :class:`Graph`.
+
+All builders normalise to the CSR conventions documented in
+:mod:`repro.graph.csr`: undirected graphs store both orientations,
+parallel edges are merged by summing their weights, and self-loops are
+dropped by default (the paper's random-walk model never uses them; a
+self-loop neither changes the walk distribution materially nor appears
+in any SNAP dataset).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import GraphError
+from repro.graph.csr import Graph
+
+__all__ = ["from_edges", "from_adjacency", "from_scipy_sparse", "from_networkx"]
+
+
+def from_edges(edges, num_nodes: int | None = None, weights=None, *,
+               directed: bool = False, allow_self_loops: bool = False) -> Graph:
+    """Build a graph from an iterable of ``(u, v)`` pairs.
+
+    Parameters
+    ----------
+    edges:
+        Sequence or array of shape ``(m, 2)`` with integer endpoints.
+    num_nodes:
+        Total node count; defaults to ``max id + 1``.
+    weights:
+        Optional per-edge positive weights.  Parallel edges have their
+        weights summed (for unweighted input, parallel edges are merged
+        into a single edge).
+    directed:
+        Treat each pair as a one-way arc.
+    allow_self_loops:
+        Keep ``(u, u)`` edges instead of silently dropping them.
+    """
+    edge_array = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges,
+                            dtype=np.int64)
+    if edge_array.size == 0:
+        edge_array = edge_array.reshape(0, 2)
+    if edge_array.ndim != 2 or edge_array.shape[1] != 2:
+        raise GraphError("edges must be an (m, 2) array of node pairs")
+    if weights is not None:
+        weight_array = np.asarray(weights, dtype=np.float64)
+        if weight_array.shape != (edge_array.shape[0],):
+            raise GraphError("weights must have one entry per edge")
+        if edge_array.shape[0] and not np.all(weight_array > 0):
+            raise GraphError("edge weights must be strictly positive")
+    else:
+        weight_array = None
+
+    if edge_array.shape[0]:
+        if edge_array.min() < 0:
+            raise GraphError("node ids must be non-negative")
+        inferred = int(edge_array.max()) + 1
+    else:
+        inferred = 0
+    if num_nodes is None:
+        num_nodes = inferred
+    if num_nodes < max(inferred, 1):
+        raise GraphError(
+            f"num_nodes={num_nodes} is too small for the largest node id")
+
+    if not allow_self_loops and edge_array.shape[0]:
+        keep = edge_array[:, 0] != edge_array[:, 1]
+        edge_array = edge_array[keep]
+        if weight_array is not None:
+            weight_array = weight_array[keep]
+
+    sources, targets = edge_array[:, 0], edge_array[:, 1]
+    if not directed:
+        sources = np.concatenate((sources, edge_array[:, 1]))
+        targets = np.concatenate((targets, edge_array[:, 0]))
+        if weight_array is not None:
+            weight_array = np.concatenate((weight_array, weight_array))
+
+    data = np.ones(sources.size) if weight_array is None else weight_array
+    matrix = sp.coo_matrix((data, (sources, targets)),
+                           shape=(num_nodes, num_nodes))
+    matrix.sum_duplicates()  # merge parallel edges
+    csr = matrix.tocsr()
+    if weight_array is None and csr.nnz:
+        csr.data[:] = 1.0  # merged multiplicities collapse back to 1
+    out_weights = None if weight_array is None else csr.data.astype(np.float64)
+    return Graph(csr.indptr.astype(np.int64), csr.indices.astype(np.int64),
+                 out_weights, directed=directed, validate=True)
+
+
+def from_adjacency(matrix, *, directed: bool = False,
+                   weighted: bool | None = None) -> Graph:
+    """Build a graph from a dense adjacency matrix.
+
+    Parameters
+    ----------
+    matrix:
+        Square array; entry ``(u, v)`` is the weight of arc ``u -> v``
+        (0 for no edge).  For undirected graphs the matrix must be
+        symmetric.
+    weighted:
+        Force weighted/unweighted storage; by default the graph is
+        weighted iff any non-zero entry differs from 1.
+    """
+    dense = np.asarray(matrix, dtype=np.float64)
+    if dense.ndim != 2 or dense.shape[0] != dense.shape[1]:
+        raise GraphError("adjacency matrix must be square")
+    if not directed and not np.allclose(dense, dense.T):
+        raise GraphError("undirected adjacency matrix must be symmetric")
+    if np.any(dense < 0):
+        raise GraphError("adjacency entries must be non-negative")
+    np.fill_diagonal(dense, 0.0)
+    return from_scipy_sparse(sp.csr_matrix(dense), directed=directed,
+                             weighted=weighted)
+
+
+def from_scipy_sparse(matrix: sp.spmatrix, *, directed: bool = False,
+                      weighted: bool | None = None) -> Graph:
+    """Build a graph from any scipy sparse matrix.
+
+    The matrix is interpreted like in :func:`from_adjacency`; explicit
+    zeros and diagonal entries are removed.
+    """
+    csr = sp.csr_matrix(matrix, copy=True)
+    if csr.shape[0] != csr.shape[1]:
+        raise GraphError("adjacency matrix must be square")
+    csr.setdiag(0)
+    csr.eliminate_zeros()
+    csr.sort_indices()
+    if weighted is None:
+        weighted = bool(csr.nnz) and not np.all(csr.data == 1.0)
+    weights = csr.data.astype(np.float64) if weighted else None
+    return Graph(csr.indptr.astype(np.int64), csr.indices.astype(np.int64),
+                 weights, directed=directed, validate=True)
+
+
+def from_networkx(nx_graph, weight_attribute: str = "weight") -> Graph:
+    """Build a graph from a ``networkx`` graph.
+
+    Node labels are relabelled to ``0..n-1`` in sorted order when
+    possible, insertion order otherwise.  Edge weights are read from
+    ``weight_attribute`` when present on any edge.
+    """
+    nodes = list(nx_graph.nodes())
+    try:
+        nodes = sorted(nodes)
+    except TypeError:
+        pass
+    index = {node: i for i, node in enumerate(nodes)}
+    directed = bool(nx_graph.is_directed())
+    pairs, values, saw_weight = [], [], False
+    for u, v, data in nx_graph.edges(data=True):
+        pairs.append((index[u], index[v]))
+        weight = data.get(weight_attribute)
+        if weight is not None:
+            saw_weight = True
+            values.append(float(weight))
+        else:
+            values.append(1.0)
+    weights = np.asarray(values) if saw_weight else None
+    return from_edges(pairs, num_nodes=max(len(nodes), 1), weights=weights,
+                      directed=directed)

@@ -1,0 +1,337 @@
+"""Synthetic graph generators.
+
+Two families live here:
+
+- deterministic topologies (complete, cycle, path, star, grid) used by
+  the test-suite because their PPR vectors and forest counts have
+  closed forms or tiny state spaces;
+- random models (Erdős–Rényi, Barabási–Albert, Chung–Lu, power-law
+  configuration, Watts–Strogatz) used by the benchmark harness to stand
+  in for the paper's SNAP graphs (see DESIGN.md §1).
+
+All random generators accept an ``rng`` seed/Generator and are fully
+reproducible.  Every generator returns a simple undirected
+:class:`~repro.graph.csr.Graph` (no self-loops, no parallel edges).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graph.build import from_edges
+from repro.graph.csr import Graph
+from repro.rng import ensure_rng
+
+__all__ = [
+    "complete_graph",
+    "cycle_graph",
+    "path_graph",
+    "star_graph",
+    "grid_graph",
+    "random_tree",
+    "erdos_renyi",
+    "barabasi_albert",
+    "chung_lu",
+    "powerlaw_configuration",
+    "watts_strogatz",
+    "stochastic_block_model",
+    "with_random_weights",
+]
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise GraphError(message)
+
+
+# ----------------------------------------------------------------------
+# Deterministic topologies
+# ----------------------------------------------------------------------
+def complete_graph(num_nodes: int) -> Graph:
+    """Complete graph ``K_n``."""
+    _require(num_nodes >= 1, "complete_graph needs at least 1 node")
+    u, v = np.triu_indices(num_nodes, k=1)
+    return from_edges(np.column_stack((u, v)), num_nodes=num_nodes)
+
+
+def cycle_graph(num_nodes: int) -> Graph:
+    """Cycle ``C_n`` (``n >= 3``)."""
+    _require(num_nodes >= 3, "cycle_graph needs at least 3 nodes")
+    nodes = np.arange(num_nodes)
+    return from_edges(np.column_stack((nodes, (nodes + 1) % num_nodes)),
+                      num_nodes=num_nodes)
+
+
+def path_graph(num_nodes: int) -> Graph:
+    """Path ``P_n``."""
+    _require(num_nodes >= 1, "path_graph needs at least 1 node")
+    nodes = np.arange(num_nodes - 1)
+    return from_edges(np.column_stack((nodes, nodes + 1)),
+                      num_nodes=num_nodes)
+
+
+def star_graph(num_leaves: int) -> Graph:
+    """Star with node 0 as the hub and ``num_leaves`` leaves."""
+    _require(num_leaves >= 1, "star_graph needs at least 1 leaf")
+    leaves = np.arange(1, num_leaves + 1)
+    return from_edges(np.column_stack((np.zeros_like(leaves), leaves)),
+                      num_nodes=num_leaves + 1)
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """2-D grid of ``rows x cols`` nodes, 4-connected."""
+    _require(rows >= 1 and cols >= 1, "grid_graph needs positive dimensions")
+    ids = np.arange(rows * cols).reshape(rows, cols)
+    horizontal = np.column_stack((ids[:, :-1].ravel(), ids[:, 1:].ravel()))
+    vertical = np.column_stack((ids[:-1, :].ravel(), ids[1:, :].ravel()))
+    return from_edges(np.concatenate((horizontal, vertical)),
+                      num_nodes=rows * cols)
+
+
+def random_tree(num_nodes: int,
+                rng: np.random.Generator | int | None = None) -> Graph:
+    """Random recursive tree: node ``i`` attaches to a uniform ancestor."""
+    _require(num_nodes >= 1, "random_tree needs at least 1 node")
+    generator = ensure_rng(rng)
+    if num_nodes == 1:
+        return from_edges([], num_nodes=1)
+    children = np.arange(1, num_nodes)
+    parents = (generator.random(num_nodes - 1) * children).astype(np.int64)
+    return from_edges(np.column_stack((parents, children)),
+                      num_nodes=num_nodes)
+
+
+# ----------------------------------------------------------------------
+# Random models
+# ----------------------------------------------------------------------
+def erdos_renyi(num_nodes: int, edge_probability: float,
+                rng: np.random.Generator | int | None = None) -> Graph:
+    """G(n, p) by geometric skipping over the upper-triangular pairs.
+
+    Runs in ``O(n + m)`` expected time instead of ``O(n^2)``.
+    """
+    _require(num_nodes >= 1, "erdos_renyi needs at least 1 node")
+    _require(0.0 <= edge_probability <= 1.0, "edge_probability must be in [0, 1]")
+    generator = ensure_rng(rng)
+    total_pairs = num_nodes * (num_nodes - 1) // 2
+    if edge_probability == 0.0 or total_pairs == 0:
+        return from_edges([], num_nodes=num_nodes)
+    if edge_probability == 1.0:
+        return complete_graph(num_nodes)
+    # draw the gaps between selected pair ranks, then decode rank -> (u, v)
+    expected = edge_probability * total_pairs
+    budget = int(expected + 10 * np.sqrt(expected) + 10)
+    log_q = np.log1p(-edge_probability)
+    positions: list[np.ndarray] = []
+    current = -1
+    while current < total_pairs:
+        # cap gaps before the int cast: for tiny p the geometric gap can
+        # exceed int64 (even float) range, and anything beyond
+        # total_pairs acts the same as total_pairs + 1
+        with np.errstate(over="ignore"):
+            raw_gaps = np.log(generator.random(budget)) / log_q
+        gaps = np.minimum(raw_gaps, float(total_pairs) + 1.0).astype(np.int64) + 1
+        ranks = current + np.cumsum(gaps)
+        positions.append(ranks[ranks < total_pairs])
+        if ranks.size == 0 or ranks[-1] >= total_pairs:
+            break
+        current = int(ranks[-1])
+    selected = np.concatenate(positions) if positions else np.empty(0, np.int64)
+    u = (num_nodes - 2 - np.floor(
+        np.sqrt(-8.0 * selected + 4.0 * num_nodes * (num_nodes - 1) - 7) / 2.0
+        - 0.5)).astype(np.int64)
+    v = (selected + u + 1 - num_nodes * (num_nodes - 1) // 2
+         + (num_nodes - u) * ((num_nodes - u) - 1) // 2).astype(np.int64)
+    return from_edges(np.column_stack((u, v)), num_nodes=num_nodes)
+
+
+def barabasi_albert(num_nodes: int, attach_count: int,
+                    rng: np.random.Generator | int | None = None) -> Graph:
+    """Preferential attachment: each new node links to ``attach_count``
+    existing nodes chosen proportionally to their current degree.
+
+    Uses the standard repeated-endpoint trick: sampling a uniform
+    element of the running edge-endpoint list is degree-proportional.
+    """
+    _require(attach_count >= 1, "attach_count must be >= 1")
+    _require(num_nodes > attach_count,
+             "num_nodes must exceed attach_count")
+    generator = ensure_rng(rng)
+    # seed clique of attach_count + 1 nodes keeps early degrees positive
+    seed_u, seed_v = np.triu_indices(attach_count + 1, k=1)
+    endpoint_pool: list[int] = list(seed_u) + list(seed_v)
+    sources: list[int] = list(seed_u)
+    targets: list[int] = list(seed_v)
+    for node in range(attach_count + 1, num_nodes):
+        chosen: set[int] = set()
+        while len(chosen) < attach_count:
+            pick = endpoint_pool[int(generator.random() * len(endpoint_pool))]
+            chosen.add(pick)
+        for other in chosen:
+            sources.append(node)
+            targets.append(other)
+            endpoint_pool.append(node)
+            endpoint_pool.append(other)
+    return from_edges(np.column_stack((sources, targets)),
+                      num_nodes=num_nodes)
+
+
+def chung_lu(expected_degrees: np.ndarray,
+             rng: np.random.Generator | int | None = None) -> Graph:
+    """Chung–Lu random graph with the given expected degree sequence.
+
+    Implemented with the fast endpoint-sampling variant: ``S/2`` edges
+    (``S`` the degree total) are drawn with both endpoints independently
+    proportional to the expected degrees, then self-loops and parallel
+    edges are discarded.  Expected degrees are matched up to the usual
+    O(1) collision loss, which is what the model promises anyway.
+    """
+    weights = np.asarray(expected_degrees, dtype=np.float64)
+    _require(weights.ndim == 1 and weights.size >= 2,
+             "expected_degrees must be a 1-D array with >= 2 entries")
+    _require(np.all(weights >= 0), "expected degrees must be non-negative")
+    total = weights.sum()
+    _require(total > 0, "expected degrees must not all be zero")
+    generator = ensure_rng(rng)
+    num_edges = int(round(total / 2.0))
+    probabilities = weights / total
+    endpoints = generator.choice(weights.size, size=2 * num_edges,
+                                 p=probabilities)
+    pairs = endpoints.reshape(num_edges, 2)
+    pairs = pairs[pairs[:, 0] != pairs[:, 1]]
+    return from_edges(pairs, num_nodes=weights.size)
+
+
+def powerlaw_configuration(num_nodes: int, exponent: float = 2.5,
+                           min_degree: int = 2, max_degree: int | None = None,
+                           rng: np.random.Generator | int | None = None) -> Graph:
+    """Configuration-model graph with a discrete power-law degree sequence.
+
+    ``P(deg = k) ∝ k^-exponent`` for ``k`` in ``[min_degree,
+    max_degree]``; stubs are matched uniformly at random and the
+    resulting self-loops / parallel edges are dropped (the "erased"
+    configuration model).  This is the family used to mimic the heavy
+    tails of the SNAP graphs in Table 1.
+    """
+    _require(num_nodes >= 2, "powerlaw_configuration needs >= 2 nodes")
+    _require(exponent > 1.0, "exponent must exceed 1")
+    _require(min_degree >= 1, "min_degree must be >= 1")
+    if max_degree is None:
+        max_degree = max(min_degree + 1, int(np.sqrt(num_nodes) * 2))
+    _require(max_degree >= min_degree, "max_degree must be >= min_degree")
+    generator = ensure_rng(rng)
+    support = np.arange(min_degree, max_degree + 1, dtype=np.float64)
+    pmf = support ** (-exponent)
+    pmf /= pmf.sum()
+    degrees = generator.choice(support.astype(np.int64), size=num_nodes, p=pmf)
+    if degrees.sum() % 2 == 1:
+        degrees[int(generator.integers(num_nodes))] += 1
+    stubs = np.repeat(np.arange(num_nodes), degrees)
+    generator.shuffle(stubs)
+    pairs = stubs.reshape(-1, 2)
+    pairs = pairs[pairs[:, 0] != pairs[:, 1]]
+    return from_edges(pairs, num_nodes=num_nodes)
+
+
+def watts_strogatz(num_nodes: int, neighbors_each_side: int,
+                   rewire_probability: float,
+                   rng: np.random.Generator | int | None = None) -> Graph:
+    """Watts–Strogatz small-world ring with random rewiring."""
+    _require(num_nodes >= 3, "watts_strogatz needs >= 3 nodes")
+    _require(1 <= neighbors_each_side < num_nodes / 2,
+             "neighbors_each_side must be in [1, n/2)")
+    _require(0.0 <= rewire_probability <= 1.0,
+             "rewire_probability must be in [0, 1]")
+    generator = ensure_rng(rng)
+    nodes = np.arange(num_nodes)
+    sources, targets = [], []
+    for offset in range(1, neighbors_each_side + 1):
+        sources.append(nodes)
+        targets.append((nodes + offset) % num_nodes)
+    edge_u = np.concatenate(sources)
+    edge_v = np.concatenate(targets)
+    rewire = generator.random(edge_u.size) < rewire_probability
+    edge_v = edge_v.copy()
+    edge_v[rewire] = generator.integers(0, num_nodes, size=int(rewire.sum()))
+    keep = edge_u != edge_v
+    return from_edges(np.column_stack((edge_u[keep], edge_v[keep])),
+                      num_nodes=num_nodes)
+
+
+def stochastic_block_model(block_sizes, edge_probabilities,
+                           rng: np.random.Generator | int | None = None,
+                           ) -> Graph:
+    """Stochastic block model: planted communities with known structure.
+
+    Parameters
+    ----------
+    block_sizes:
+        Sequence of community sizes (nodes are numbered block by block).
+    edge_probabilities:
+        Symmetric ``k x k`` matrix; entry ``(i, j)`` is the probability
+        of an edge between a node of block ``i`` and one of block ``j``.
+
+    The workhorse ground truth for the clustering application tests:
+    sweep cuts should recover blocks whose internal probability
+    dominates the external one.
+    """
+    sizes = np.asarray(block_sizes, dtype=np.int64)
+    _require(sizes.ndim == 1 and sizes.size >= 1 and np.all(sizes >= 1),
+             "block_sizes must be positive integers")
+    probabilities = np.asarray(edge_probabilities, dtype=np.float64)
+    k = sizes.size
+    _require(probabilities.shape == (k, k),
+             "edge_probabilities must be k x k for k blocks")
+    _require(np.allclose(probabilities, probabilities.T),
+             "edge_probabilities must be symmetric")
+    _require(np.all((probabilities >= 0) & (probabilities <= 1)),
+             "edge probabilities must lie in [0, 1]")
+    generator = ensure_rng(rng)
+    offsets = np.concatenate(([0], np.cumsum(sizes)))
+    total = int(offsets[-1])
+    chunks = []
+    for i in range(k):
+        for j in range(i, k):
+            p = probabilities[i, j]
+            if p == 0.0:
+                continue
+            if i == j:
+                block = erdos_renyi(int(sizes[i]), p, rng=generator)
+                arcs = block.edges()
+                pairs = arcs[arcs[:, 0] < arcs[:, 1]] + offsets[i]
+            else:
+                # Bernoulli bipartite block, vectorised
+                mask = generator.random((int(sizes[i]), int(sizes[j]))) < p
+                rows, cols = np.nonzero(mask)
+                pairs = np.column_stack((rows + offsets[i],
+                                         cols + offsets[j]))
+            if pairs.size:
+                chunks.append(pairs)
+    if chunks:
+        edges = np.concatenate(chunks)
+    else:
+        edges = np.empty((0, 2), dtype=np.int64)
+    return from_edges(edges, num_nodes=total)
+
+
+def with_random_weights(graph: Graph, *, low: float = 1.0, high: float = 10.0,
+                        integer: bool = True,
+                        rng: np.random.Generator | int | None = None) -> Graph:
+    """Return a weighted copy of an unweighted undirected graph.
+
+    Weights are drawn once per undirected edge (mirrored symmetrically),
+    log-uniform in ``[low, high]`` and optionally rounded to integers —
+    mimicking interaction-count weights such as "number of co-authored
+    papers" in the paper's DBLP / StackOverflow datasets.
+    """
+    if graph.directed:
+        raise GraphError("with_random_weights expects an undirected graph")
+    _require(0 < low <= high, "need 0 < low <= high")
+    generator = ensure_rng(rng)
+    arcs = graph.edges()
+    upper = arcs[arcs[:, 0] < arcs[:, 1]]
+    raw = np.exp(generator.uniform(np.log(low), np.log(high), size=len(upper)))
+    if integer:
+        raw = np.maximum(1.0, np.round(raw))
+    return from_edges(upper, num_nodes=graph.num_nodes, weights=raw)

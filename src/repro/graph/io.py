@@ -1,0 +1,88 @@
+"""Plain-text edge-list input/output (SNAP-compatible).
+
+The format matches the SNAP datasets the paper evaluates on: one edge
+per line, whitespace-separated endpoints, optional third column with a
+weight, ``#``-prefixed comment lines ignored.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graph.build import from_edges
+from repro.graph.csr import Graph
+
+__all__ = ["read_edge_list", "write_edge_list"]
+
+
+def read_edge_list(path: str | os.PathLike, *, directed: bool = False,
+                   weighted: bool | None = None) -> Graph:
+    """Read a SNAP-style edge list file into a :class:`Graph`.
+
+    Parameters
+    ----------
+    path:
+        File with one ``u v [w]`` triple per line.
+    weighted:
+        Force interpretation; by default the graph is weighted iff the
+        first data line has a third column.
+    """
+    pairs: list[tuple[int, int]] = []
+    weights: list[float] = []
+    has_weight_column: bool | None = weighted
+    declared_nodes: int | None = None
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith(("#", "%")):
+                # recover the node count from our own header format so
+                # trailing isolated nodes survive a round trip
+                fields = stripped.lstrip("#% ").split()
+                if (declared_nodes is None and len(fields) >= 2
+                        and fields[0] == "nodes" and fields[1].isdigit()):
+                    declared_nodes = int(fields[1])
+                continue
+            fields = stripped.split()
+            if len(fields) < 2:
+                raise GraphError(
+                    f"{path}:{line_number}: expected 'u v [w]', got {stripped!r}")
+            if has_weight_column is None:
+                has_weight_column = len(fields) >= 3
+            try:
+                pairs.append((int(fields[0]), int(fields[1])))
+                if has_weight_column:
+                    weights.append(float(fields[2]) if len(fields) >= 3 else 1.0)
+            except ValueError as exc:
+                raise GraphError(
+                    f"{path}:{line_number}: cannot parse {stripped!r}") from exc
+    return from_edges(pairs,
+                      num_nodes=declared_nodes,
+                      weights=np.asarray(weights) if has_weight_column else None,
+                      directed=directed)
+
+
+def write_edge_list(graph: Graph, path: str | os.PathLike) -> None:
+    """Write a graph to a SNAP-style edge list file.
+
+    Undirected graphs emit each edge once (smaller endpoint first);
+    weighted graphs emit a third column.
+    """
+    arcs = graph.edges()
+    weights = graph.weights
+    if not graph.directed:
+        keep = arcs[:, 0] <= arcs[:, 1]
+        arcs = arcs[keep]
+        if weights is not None:
+            weights = weights[keep]
+    with open(path, "w") as handle:
+        handle.write(f"# nodes {graph.num_nodes} edges {len(arcs)} "
+                     f"directed {int(graph.directed)}\n")
+        if weights is None:
+            for u, v in arcs:
+                handle.write(f"{u} {v}\n")
+        else:
+            for (u, v), w in zip(arcs, weights):
+                handle.write(f"{u} {v} {w:.17g}\n")

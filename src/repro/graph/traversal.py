@@ -1,0 +1,81 @@
+"""Breadth-first traversal utilities.
+
+Support code for locality diagnostics: how far a push frontier or a
+sweep-cut cluster reaches from its seed, k-hop neighbourhood sizes,
+and eccentricity estimates.  All routines are frontier-vectorised
+(one NumPy pass per BFS level).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigError
+from repro.graph.csr import Graph
+
+__all__ = ["bfs_distances", "k_hop_neighborhood", "eccentricity",
+           "average_distance_to"]
+
+
+def bfs_distances(graph: Graph, source: int,
+                  max_depth: int | None = None) -> np.ndarray:
+    """Hop distance from ``source`` to every node (−1 if unreachable).
+
+    Follows out-arcs; on undirected graphs that is ordinary BFS.
+    """
+    if not 0 <= source < graph.num_nodes:
+        raise ConfigError(f"source {source} out of range")
+    if max_depth is None:
+        max_depth = graph.num_nodes
+    distances = np.full(graph.num_nodes, -1, dtype=np.int64)
+    distances[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    depth = 0
+    while frontier.size and depth < max_depth:
+        depth += 1
+        # gather all neighbours of the frontier in one pass
+        starts = graph.indptr[frontier]
+        counts = graph.indptr[frontier + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            break
+        row_ends = np.cumsum(counts)
+        positions = np.arange(total) - np.repeat(row_ends - counts, counts)
+        neighbors = graph.indices[np.repeat(starts, counts) + positions]
+        fresh = np.unique(neighbors[distances[neighbors] < 0])
+        distances[fresh] = depth
+        frontier = fresh
+    return distances
+
+
+def k_hop_neighborhood(graph: Graph, source: int, k: int) -> np.ndarray:
+    """All nodes within ``k`` hops of ``source`` (including it)."""
+    if k < 0:
+        raise ConfigError("k must be non-negative")
+    distances = bfs_distances(graph, source, max_depth=k)
+    return np.flatnonzero((distances >= 0) & (distances <= k))
+
+
+def eccentricity(graph: Graph, source: int) -> int:
+    """Largest hop distance from ``source`` to any reachable node."""
+    distances = bfs_distances(graph, source)
+    reachable = distances[distances >= 0]
+    return int(reachable.max(initial=0))
+
+
+def average_distance_to(graph: Graph, source: int,
+                        nodes: np.ndarray) -> float:
+    """Mean hop distance from ``source`` to ``nodes`` (reachable only).
+
+    Used to quantify how local a PPR cluster or push frontier is;
+    returns ``inf`` if none of ``nodes`` is reachable.
+    """
+    nodes = np.asarray(nodes, dtype=np.int64)
+    if nodes.size == 0:
+        raise ConfigError("nodes must be non-empty")
+    distances = bfs_distances(graph, source)
+    reachable = distances[nodes]
+    reachable = reachable[reachable >= 0]
+    if reachable.size == 0:
+        return float("inf")
+    return float(reachable.mean())

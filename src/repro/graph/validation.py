@@ -1,0 +1,57 @@
+"""Structural invariants checked by the test-suite and property tests.
+
+These go beyond the cheap constructor validation in
+:class:`~repro.graph.csr.Graph`: symmetry of undirected storage,
+absence of self-loops and duplicates, and consistency of the cached
+derived quantities.  They are deliberately O(m log m) — fine for tests,
+not meant for hot paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graph.csr import Graph
+
+__all__ = ["check_graph_invariants"]
+
+
+def check_graph_invariants(graph: Graph, *,
+                           allow_self_loops: bool = False,
+                           allow_parallel_edges: bool = False) -> None:
+    """Raise :class:`GraphError` if any structural invariant is violated.
+
+    Checks performed:
+
+    1. CSR bounds (re-runs the constructor validation).
+    2. No self-loops / no parallel arcs (unless allowed).
+    3. Undirected graphs store an exactly symmetric arc multiset,
+       including weights.
+    4. ``degrees`` equals the adjacency row sums; ``total_weight``
+       equals their total.
+    """
+    graph._validate()
+
+    arcs = graph.edges()
+    if not allow_self_loops and arcs.size and np.any(arcs[:, 0] == arcs[:, 1]):
+        raise GraphError("graph contains self-loops")
+
+    if not allow_parallel_edges and arcs.size:
+        order = np.lexsort((arcs[:, 1], arcs[:, 0]))
+        ordered = arcs[order]
+        duplicate = np.all(ordered[1:] == ordered[:-1], axis=1)
+        if np.any(duplicate):
+            raise GraphError("graph contains parallel arcs")
+
+    if not graph.directed:
+        adjacency = graph.to_scipy_adjacency()
+        asymmetry = abs(adjacency - adjacency.T)
+        if asymmetry.nnz and asymmetry.max() > 1e-12:
+            raise GraphError("undirected graph has asymmetric storage")
+
+    row_sums = np.asarray(graph.to_scipy_adjacency().sum(axis=1)).ravel()
+    if not np.allclose(graph.degrees, row_sums):
+        raise GraphError("cached degrees disagree with adjacency row sums")
+    if not np.isclose(graph.total_weight, row_sums.sum()):
+        raise GraphError("total_weight disagrees with adjacency total")

@@ -1,0 +1,69 @@
+"""Linear-algebra substrate: transition operator, β-Laplacian, exact
+PPR solvers, power iteration and the spectrum/τ machinery of §4.2.
+"""
+
+from repro.linalg.transition import (
+    transition_matrix,
+    normalized_adjacency,
+    dangling_nodes,
+)
+from repro.linalg.beta_laplacian import (
+    beta_from_alpha,
+    alpha_from_beta,
+    beta_laplacian,
+    beta_laplacian_dense,
+    ppr_matrix_from_beta_laplacian,
+    log_det_regularized_laplacian,
+)
+from repro.linalg.exact import (
+    ExactSolver,
+    exact_single_source,
+    exact_single_target,
+    exact_ppr_matrix,
+)
+from repro.linalg.power_iteration import (
+    power_iteration_single_source,
+    power_iteration_single_target,
+)
+from repro.linalg.chebyshev import (
+    chebyshev_single_source,
+    chebyshev_single_target,
+    chebyshev_iterations_bound,
+)
+from repro.linalg.spectrum import (
+    transition_eigenvalues,
+    tau_from_eigenvalues,
+    tau_exact,
+    tau_hutchinson,
+    SpectralDensity,
+    estimate_spectral_density,
+    tau_from_density,
+)
+
+__all__ = [
+    "transition_matrix",
+    "normalized_adjacency",
+    "dangling_nodes",
+    "beta_from_alpha",
+    "alpha_from_beta",
+    "beta_laplacian",
+    "beta_laplacian_dense",
+    "ppr_matrix_from_beta_laplacian",
+    "log_det_regularized_laplacian",
+    "ExactSolver",
+    "exact_single_source",
+    "exact_single_target",
+    "exact_ppr_matrix",
+    "power_iteration_single_source",
+    "power_iteration_single_target",
+    "chebyshev_single_source",
+    "chebyshev_single_target",
+    "chebyshev_iterations_bound",
+    "transition_eigenvalues",
+    "tau_from_eigenvalues",
+    "tau_exact",
+    "tau_hutchinson",
+    "SpectralDensity",
+    "estimate_spectral_density",
+    "tau_from_density",
+]

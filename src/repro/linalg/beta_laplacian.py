@@ -1,0 +1,99 @@
+r"""The β-Laplacian of Definition 2.1 and its determinant identities.
+
+For decay factor α and ``β = α / (1 - α)`` the paper defines
+
+.. math:: L_\beta = (\beta D)^{-1} (L + \beta D),
+
+with ``L = D - A`` the graph Laplacian, and shows
+``π(s, t) = (L_β^{-1})_{st}`` (Eq. 4).  The matrix-forest theorems
+(Theorems 3.1–3.3) relate determinants and minors of ``L_β`` to sums of
+rooted-spanning-forest weights; :mod:`repro.forests.enumeration`
+verifies those identities by brute force on tiny graphs using the dense
+constructors here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import ConfigError
+from repro.graph.csr import Graph
+
+__all__ = [
+    "beta_from_alpha",
+    "alpha_from_beta",
+    "beta_laplacian",
+    "beta_laplacian_dense",
+    "ppr_matrix_from_beta_laplacian",
+    "log_det_regularized_laplacian",
+]
+
+
+def beta_from_alpha(alpha: float) -> float:
+    """``β = α / (1 - α)`` with domain checking (``0 < α < 1``)."""
+    if not 0.0 < alpha < 1.0:
+        raise ConfigError(f"alpha must lie strictly in (0, 1), got {alpha}")
+    return alpha / (1.0 - alpha)
+
+
+def alpha_from_beta(beta: float) -> float:
+    """Inverse of :func:`beta_from_alpha` (``β > 0``)."""
+    if beta <= 0.0:
+        raise ConfigError(f"beta must be positive, got {beta}")
+    return beta / (1.0 + beta)
+
+
+def _check_positive_degrees(graph: Graph) -> None:
+    if np.any(graph.degrees == 0):
+        raise ConfigError(
+            "the beta-Laplacian requires every node to have positive "
+            "degree (L_beta scales by (beta*D)^-1); remove isolated nodes "
+            "or use the absorbing solvers in repro.linalg.exact")
+
+
+def beta_laplacian(graph: Graph, alpha: float) -> sp.csr_matrix:
+    """Sparse ``L_β = (βD)^{-1}(L + βD)`` for a graph without isolated nodes."""
+    _check_positive_degrees(graph)
+    beta = beta_from_alpha(alpha)
+    degrees = graph.degrees
+    laplacian = sp.diags(degrees) - graph.to_scipy_adjacency()
+    scale = sp.diags(1.0 / (beta * degrees))
+    return (scale @ (laplacian + beta * sp.diags(degrees))).tocsr()
+
+
+def beta_laplacian_dense(graph: Graph, alpha: float) -> np.ndarray:
+    """Dense ``L_β``; intended for tiny graphs (tests, enumeration)."""
+    return beta_laplacian(graph, alpha).toarray()
+
+
+def ppr_matrix_from_beta_laplacian(graph: Graph, alpha: float) -> np.ndarray:
+    """Full PPR matrix ``Π`` with ``Π[s, t] = π(s, t)`` via ``L_β^{-1}``.
+
+    Dense inverse — O(n³); use only on small graphs.  Equivalent to
+    ``α (I - (1-α) P)^{-1}`` (Eq. 2), which the tests confirm.
+    """
+    return np.linalg.inv(beta_laplacian_dense(graph, alpha))
+
+
+def log_det_regularized_laplacian(graph: Graph, alpha: float) -> float:
+    """``log det(L + βD)`` via sparse Cholesky-like LU.
+
+    Theorem 4.3 expresses the forest-sampling normalising constant as
+    ``det(L + βD)``; this helper makes it computable for statistical
+    tests without overflowing (the determinant itself is astronomically
+    large on any non-trivial graph).
+    """
+    _check_positive_degrees(graph)
+    beta = beta_from_alpha(alpha)
+    degrees = graph.degrees
+    matrix = (sp.diags((1.0 + beta) * degrees)
+              - graph.to_scipy_adjacency()).tocsc()
+    lu = sp.linalg.splu(matrix, permc_spec="MMD_AT_PLUS_A",
+                        options={"SymmetricMode": True})
+    diag_u = lu.U.diagonal()
+    if np.any(diag_u <= 0):
+        # L + beta*D is positive definite; non-positive pivots can only
+        # arise from permutation sign bookkeeping, take absolute values
+        diag_u = np.abs(diag_u)
+    return float(np.sum(np.log(diag_u)))

@@ -1,0 +1,109 @@
+"""Exact PPR solvers via sparse LU factorisation.
+
+These produce the ground truth every approximate algorithm is measured
+against.  The linear system is ``(I - (1-α) P) x = α e`` (Eq. 1/2):
+
+- a **single-target** vector (``π(v, t)`` for all ``v``) is the column
+  ``t`` of ``α M^{-1}`` and solves ``M x = α e_t``;
+- a **single-source** vector (``π(s, v)`` for all ``v``) is the row
+  ``s`` and solves the transposed system ``M^T x = α e_s``.
+
+:class:`ExactSolver` factorises ``M`` once (`scipy` SuperLU) and reuses
+the factors across queries, which is how the paper computes its ground
+truths "to an L1 error of 1e-9" — ours are exact to machine precision.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.exceptions import ConfigError
+from repro.graph.csr import Graph
+from repro.linalg.beta_laplacian import beta_from_alpha
+from repro.linalg.transition import transition_matrix
+
+__all__ = ["ExactSolver", "exact_single_source", "exact_single_target",
+           "exact_ppr_matrix"]
+
+
+class ExactSolver:
+    """Reusable exact PPR solver for one ``(graph, alpha)`` pair.
+
+    Parameters
+    ----------
+    graph:
+        Any :class:`~repro.graph.csr.Graph`; dangling nodes are treated
+        as absorbing (library-wide convention).
+    alpha:
+        Decay factor in ``(0, 1)``.
+
+    Notes
+    -----
+    The factorisation costs roughly ``O(n^1.5)``–``O(n^2)`` on sparse
+    graphs and each solve ``O(nnz(factors))``; both row and column
+    queries share the same factorisation of ``M`` (SuperLU can solve
+    the transposed system directly).
+    """
+
+    def __init__(self, graph: Graph, alpha: float):
+        beta_from_alpha(alpha)  # validates alpha
+        self.graph = graph
+        self.alpha = float(alpha)
+        n = graph.num_nodes
+        matrix = (sp.identity(n, format="csr")
+                  - (1.0 - alpha) * transition_matrix(graph)).tocsc()
+        self._lu = spla.splu(matrix)
+
+    def _unit(self, node: int) -> np.ndarray:
+        if not 0 <= node < self.graph.num_nodes:
+            raise ConfigError(
+                f"node {node} out of range [0, {self.graph.num_nodes})")
+        vector = np.zeros(self.graph.num_nodes)
+        vector[node] = self.alpha
+        return vector
+
+    def single_source(self, source: int) -> np.ndarray:
+        """``π(source, v)`` for every ``v`` (sums to 1)."""
+        return self._lu.solve(self._unit(source), trans="T")
+
+    def single_target(self, target: int) -> np.ndarray:
+        """``π(v, target)`` for every ``v``."""
+        return self._lu.solve(self._unit(target))
+
+    def pairwise(self, source: int, target: int) -> float:
+        """Single value ``π(source, target)``."""
+        return float(self.single_source(source)[target])
+
+    def resolvent_solve(self, vector: np.ndarray,
+                        transpose: bool = False) -> np.ndarray:
+        """Solve ``(I - (1-α)P) x = vector`` (or the transposed system).
+
+        The raw resolvent without the α scaling — used by trace
+        estimation (:func:`repro.linalg.spectrum.tau_hutchinson`) and
+        available for applications that need ``(L_β)^{-1}``-style
+        solves against the cached factorisation.
+        """
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self.graph.num_nodes,):
+            raise ConfigError("vector must have one entry per node")
+        return self._lu.solve(vector, trans="T" if transpose else "N")
+
+
+def exact_single_source(graph: Graph, source: int, alpha: float) -> np.ndarray:
+    """One-shot exact single-source PPR vector (see :class:`ExactSolver`)."""
+    return ExactSolver(graph, alpha).single_source(source)
+
+
+def exact_single_target(graph: Graph, target: int, alpha: float) -> np.ndarray:
+    """One-shot exact single-target PPR vector (see :class:`ExactSolver`)."""
+    return ExactSolver(graph, alpha).single_target(target)
+
+
+def exact_ppr_matrix(graph: Graph, alpha: float) -> np.ndarray:
+    """Dense ``Π`` with ``Π[s, t] = π(s, t)``; O(n³), tiny graphs only."""
+    beta_from_alpha(alpha)
+    n = graph.num_nodes
+    dense = transition_matrix(graph).toarray()
+    return alpha * np.linalg.inv(np.eye(n) - (1.0 - alpha) * dense)

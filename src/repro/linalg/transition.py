@@ -1,0 +1,62 @@
+"""Transition-matrix helpers.
+
+The paper works with ``P = D^-1 A``.  On graphs with dangling
+(degree-0) nodes ``P`` has all-zero rows, which makes the α-walk
+under-defined there; we adopt the standard convention that a dangling
+node is *absorbing* (the walk stops in place), implemented by adding a
+self-loop to its row.  Every solver, walk kernel and forest sampler in
+the library follows this convention, so their answers agree exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.csr import Graph
+
+__all__ = ["dangling_nodes", "transition_matrix", "normalized_adjacency"]
+
+
+def dangling_nodes(graph: Graph) -> np.ndarray:
+    """Ids of nodes with zero (weighted) out-degree."""
+    return np.flatnonzero(graph.degrees == 0)
+
+
+def transition_matrix(graph: Graph, *, absorb_dangling: bool = True) -> sp.csr_matrix:
+    """Row-stochastic ``P = D^-1 A``.
+
+    Parameters
+    ----------
+    absorb_dangling:
+        Give dangling nodes a unit self-loop so every row sums to 1
+        (default; matches the library-wide walk convention).  With
+        ``False`` the raw, possibly sub-stochastic matrix is returned.
+    """
+    matrix = graph.transition_matrix
+    if not absorb_dangling:
+        return matrix
+    dangling = dangling_nodes(graph)
+    if dangling.size == 0:
+        return matrix
+    loops = sp.coo_matrix(
+        (np.ones(dangling.size), (dangling, dangling)),
+        shape=matrix.shape)
+    return (matrix + loops).tocsr()
+
+
+def normalized_adjacency(graph: Graph) -> sp.csr_matrix:
+    """Symmetric normalisation ``N = D^-1/2 A D^-1/2``.
+
+    ``N`` is similar to ``P`` on undirected graphs (``N = D^1/2 P
+    D^-1/2``), hence shares its spectrum while being symmetric — the
+    spectrum code exploits this.  Dangling rows/columns stay zero,
+    contributing eigenvalue-0 entries exactly as the absorbing
+    convention would contribute eigenvalue-1 self-loops; the spectrum
+    module corrects for that explicitly.
+    """
+    inv_sqrt = np.zeros(graph.num_nodes)
+    positive = graph.degrees > 0
+    inv_sqrt[positive] = 1.0 / np.sqrt(graph.degrees[positive])
+    scaling = sp.diags(inv_sqrt)
+    return (scaling @ graph.to_scipy_adjacency() @ scaling).tocsr()

@@ -1,0 +1,20 @@
+"""Monte-Carlo substrate: batched α-random walks and the precomputed
+indexes behind the ``+`` variants (FORA+/SPEEDPPR+ store walk
+endpoints; FORALV+/SPEEDLV+ store spanning forests, §5.3).
+"""
+
+from repro.montecarlo.walks import (
+    WalkBatch,
+    simulate_alpha_walks,
+    estimate_single_source_walks,
+)
+from repro.montecarlo.walk_index import WalkIndex
+from repro.montecarlo.forest_index import ForestIndex
+
+__all__ = [
+    "WalkBatch",
+    "simulate_alpha_walks",
+    "estimate_single_source_walks",
+    "WalkIndex",
+    "ForestIndex",
+]

@@ -1,0 +1,176 @@
+r"""Precomputed spanning-forest index (FORALV+ / SPEEDLV+, §5.3).
+
+One sampled forest provides, for *every* node simultaneously, one
+"rooted-in" observation — the reason the paper needs only ``O(log n)``
+forests where the walk indexes need ``O(n log n)`` walks.  The index
+stores per forest:
+
+- the ``roots`` array (root label per node), and
+- the per-tree degree mass ``Σ_{u∈tree} d_u`` (so the improved,
+  variance-reduced estimator can run without touching the graph).
+
+Space is ``O(n)`` per forest — ``O(n log n)`` total, matching
+SPEEDPPR+ (Fig. 6) — while construction costs only
+``num_forests · τ`` walk steps instead of ``Σ_u d_u / α`` (Fig. 5's
+order-of-magnitude gap).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.exceptions import ConfigError
+from repro.forests.estimators import (
+    source_estimate_basic,
+    source_estimate_improved,
+    target_estimate_basic,
+    target_estimate_improved,
+)
+from repro.forests.forest import RootedForest
+from repro.forests.sampling import sample_forests
+from repro.graph.csr import Graph
+
+__all__ = ["ForestIndex"]
+
+
+class ForestIndex:
+    """A bank of presampled rooted spanning forests.
+
+    Attributes
+    ----------
+    forests:
+        The stored :class:`~repro.forests.forest.RootedForest` objects
+        (roots + parents arrays; parents are kept for applications and
+        validation, roots are what queries read).
+    build_seconds, build_steps:
+        Construction cost (wall clock / walk steps) for Fig. 5.
+    """
+
+    def __init__(self, graph: Graph, alpha: float,
+                 forests: list[RootedForest], build_seconds: float):
+        self.graph = graph
+        self.alpha = alpha
+        self.forests = forests
+        self.build_seconds = build_seconds
+        self.build_steps = sum(forest.num_steps for forest in forests)
+
+    @classmethod
+    def build(cls, graph: Graph, alpha: float, num_forests: int,
+              rng: np.random.Generator | int | None = None,
+              method: str = "cycle_popping") -> "ForestIndex":
+        """Sample and store ``num_forests`` independent forests."""
+        if num_forests <= 0:
+            raise ConfigError("num_forests must be positive")
+        started = time.perf_counter()
+        forests = list(sample_forests(graph, alpha, num_forests, rng=rng,
+                                      method=method))
+        # materialise each forest's degree-mass cache now so queries
+        # never pay for it
+        for forest in forests:
+            forest.component_degree_mass(graph.degrees)
+        return cls(graph, alpha, forests,
+                   build_seconds=time.perf_counter() - started)
+
+    @classmethod
+    def recommended_size(cls, graph: Graph, epsilon: float | None = None) -> int:
+        """§5.3 sizing: ``O(log n)`` forests, ``O(log n / ε)`` with a
+        target relative error."""
+        base = max(1, int(np.ceil(np.log(max(graph.num_nodes, 2)))))
+        if epsilon is None:
+            return base
+        if epsilon <= 0:
+            raise ConfigError("epsilon must be positive")
+        return max(base, int(np.ceil(base / epsilon)))
+
+    # ------------------------------------------------------------------
+    @property
+    def num_forests(self) -> int:
+        """Number of stored forests."""
+        return len(self.forests)
+
+    @property
+    def size_bytes(self) -> int:
+        """Memory footprint: roots + per-tree degree masses per forest.
+
+        ``parents`` arrays are excluded — queries never read them, and
+        the paper's index stores exactly root + component-mass
+        information (Fig. 6 compares on this footing).
+        """
+        total = 0
+        for forest in self.forests:
+            total += forest.roots.nbytes
+            total += forest.component_degree_mass(self.graph.degrees).nbytes
+        return total
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | os.PathLike) -> None:
+        """Serialise the index to an ``.npz`` file.
+
+        Stores the roots/parents matrices, α, and the build-cost
+        metadata; the graph itself is *not* stored (pass the same graph
+        to :meth:`load`).
+        """
+        np.savez_compressed(
+            path,
+            alpha=np.float64(self.alpha),
+            num_nodes=np.int64(self.graph.num_nodes),
+            roots=np.stack([forest.roots for forest in self.forests]),
+            parents=np.stack([forest.parents for forest in self.forests]),
+            steps=np.asarray([forest.num_steps for forest in self.forests],
+                             dtype=np.int64),
+            build_seconds=np.float64(self.build_seconds),
+        )
+
+    @classmethod
+    def load(cls, path: str | os.PathLike, graph: Graph) -> "ForestIndex":
+        """Load an index saved with :meth:`save` for the same graph."""
+        from repro.forests.forest import RootedForest
+
+        with np.load(path) as data:
+            if int(data["num_nodes"]) != graph.num_nodes:
+                raise ConfigError(
+                    f"index was built for a graph with "
+                    f"{int(data['num_nodes'])} nodes, got "
+                    f"{graph.num_nodes}")
+            forests = [
+                RootedForest(roots=roots, parents=parents,
+                             num_steps=int(steps), method="loaded")
+                for roots, parents, steps in zip(
+                    data["roots"], data["parents"], data["steps"])]
+            index = cls(graph, float(data["alpha"]), forests,
+                        build_seconds=float(data["build_seconds"]))
+        for forest in index.forests:
+            forest.component_degree_mass(graph.degrees)
+        return index
+
+    # ------------------------------------------------------------------
+    def _combine(self, residual: np.ndarray, estimator) -> np.ndarray:
+        estimates = np.zeros(self.graph.num_nodes)
+        for forest in self.forests:
+            estimates += estimator(forest, residual)
+        return estimates / self.num_forests
+
+    def estimate_source(self, residual: np.ndarray, *,
+                        improved: bool = True) -> np.ndarray:
+        """Average single-source forest estimate over the stored bank."""
+        degrees = self.graph.degrees
+        if improved:
+            return self._combine(
+                residual,
+                lambda forest, r: source_estimate_improved(forest, r, degrees))
+        return self._combine(residual, source_estimate_basic)
+
+    def estimate_target(self, residual: np.ndarray, *,
+                        improved: bool = True) -> np.ndarray:
+        """Average single-target forest estimate over the stored bank."""
+        degrees = self.graph.degrees
+        if improved:
+            return self._combine(
+                residual,
+                lambda forest, r: target_estimate_improved(forest, r, degrees))
+        return self._combine(residual, target_estimate_basic)

@@ -1,0 +1,76 @@
+"""Random number utilities shared by every stochastic routine.
+
+Every sampler in the library takes an optional ``rng`` argument which
+may be ``None`` (fresh entropy), an integer seed, or an existing
+:class:`numpy.random.Generator`.  :func:`ensure_rng` normalises the
+three forms.  :class:`BlockUniforms` amortises the cost of
+``Generator.random`` for tight loops that consume one uniform at a
+time (the faithful Algorithm 1 sampler) by drawing them in blocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ensure_rng", "BlockUniforms", "spawn_children"]
+
+
+def ensure_rng(rng: np.random.Generator | int | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any accepted seed form.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` for OS entropy, an ``int`` seed for reproducibility, or
+        an existing generator which is returned unchanged.
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"rng must be None, an int seed or a numpy Generator, got {type(rng)!r}")
+
+
+def spawn_children(rng: np.random.Generator | int | None, count: int) -> list[np.random.Generator]:
+    """Split ``rng`` into ``count`` statistically independent children.
+
+    Used when a query runs several independent sampling rounds whose
+    results must not share streams (e.g. index snapshots).
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    parent = ensure_rng(rng)
+    return [np.random.default_rng(seed) for seed in parent.integers(0, 2**63 - 1, size=count)]
+
+
+class BlockUniforms:
+    """Serve uniform(0,1) variates one at a time from pre-drawn blocks.
+
+    ``Generator.random()`` has noticeable per-call overhead; drawing
+    blocks of ~64k and slicing reduces it by an order of magnitude,
+    which matters for the step-by-step reference sampler.
+    """
+
+    def __init__(self, rng: np.random.Generator | int | None = None,
+                 block_size: int = 65536):
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        self._rng = ensure_rng(rng)
+        self._block_size = block_size
+        self._block = self._rng.random(block_size)
+        self._pos = 0
+
+    def next(self) -> float:
+        """Return the next uniform variate."""
+        if self._pos >= self._block_size:
+            self._block = self._rng.random(self._block_size)
+            self._pos = 0
+        value = self._block[self._pos]
+        self._pos += 1
+        return value
+
+    def next_int(self, bound: int) -> int:
+        """Return a uniform integer in ``[0, bound)`` using one variate."""
+        return int(self.next() * bound)

@@ -1,0 +1,91 @@
+"""Shared fixtures: small graphs with known structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    complete_graph,
+    cycle_graph,
+    from_edges,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graph.generators import erdos_renyi, with_random_weights
+
+
+@pytest.fixture
+def k5():
+    """Complete graph on 5 nodes."""
+    return complete_graph(5)
+
+
+@pytest.fixture
+def path4():
+    """Path 0-1-2-3."""
+    return path_graph(4)
+
+
+@pytest.fixture
+def cycle6():
+    """6-cycle."""
+    return cycle_graph(6)
+
+
+@pytest.fixture
+def star4():
+    """Star: hub 0, leaves 1..4."""
+    return star_graph(4)
+
+
+@pytest.fixture
+def grid3x3():
+    """3x3 grid."""
+    return grid_graph(3, 3)
+
+
+@pytest.fixture
+def weighted_triangle():
+    """Triangle with weights 1, 2, 3."""
+    return from_edges([(0, 1), (1, 2), (0, 2)], weights=[1.0, 2.0, 3.0])
+
+
+@pytest.fixture
+def weighted_small():
+    """Small weighted graph with asymmetric degrees (5 nodes)."""
+    edges = [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (1, 4)]
+    weights = [2.0, 1.0, 4.0, 1.5, 3.0, 0.5]
+    return from_edges(edges, weights=weights)
+
+
+@pytest.fixture
+def disconnected():
+    """Two components: a triangle and an edge, plus an isolated node."""
+    return from_edges([(0, 1), (1, 2), (0, 2), (3, 4)], num_nodes=6)
+
+
+@pytest.fixture
+def directed_line():
+    """Directed path 0 -> 1 -> 2 (node 2 is dangling)."""
+    return from_edges([(0, 1), (1, 2)], directed=True)
+
+
+@pytest.fixture
+def random_graph():
+    """Seeded connected-ish ER graph, 30 nodes."""
+    return erdos_renyi(30, 0.15, rng=12345)
+
+
+@pytest.fixture
+def random_weighted_graph():
+    """Seeded weighted ER graph, 25 nodes."""
+    graph = erdos_renyi(25, 0.2, rng=999)
+    return with_random_weights(graph, low=1.0, high=5.0, rng=7)
+
+
+@pytest.fixture
+def rng():
+    """Seeded generator for deterministic statistical tests."""
+    return np.random.default_rng(2022)

@@ -1,0 +1,72 @@
+"""Accuracy-metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PPRResult,
+    degree_normalized,
+    l1_error,
+    max_relative_error,
+    precision_at_k,
+)
+from repro.exceptions import ConfigError
+
+
+class TestL1:
+    def test_zero_for_identical(self):
+        vector = np.array([0.2, 0.8])
+        assert l1_error(vector, vector) == 0.0
+
+    def test_simple_value(self):
+        assert l1_error(np.array([0.5, 0.5]),
+                        np.array([0.4, 0.6])) == pytest.approx(0.2)
+
+    def test_accepts_ppr_result(self):
+        result = PPRResult(estimates=np.array([0.5, 0.5]), kind="source",
+                           query_node=0, method="x", alpha=0.1, epsilon=0.5)
+        assert l1_error(result, np.array([0.5, 0.5])) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigError):
+            l1_error(np.zeros(2), np.zeros(3))
+
+
+class TestMaxRelativeError:
+    def test_thresholding(self):
+        estimate = np.array([0.0, 0.2])
+        exact = np.array([0.001, 0.1])
+        # only the second entry clears mu = 0.05
+        assert max_relative_error(estimate, exact, 0.05) == pytest.approx(1.0)
+
+    def test_empty_mask(self):
+        assert max_relative_error(np.zeros(3), np.zeros(3), 0.5) == 0.0
+
+    def test_mu_validation(self):
+        with pytest.raises(ConfigError):
+            max_relative_error(np.zeros(2), np.zeros(2), 0.0)
+
+
+class TestPrecisionAtK:
+    def test_perfect(self):
+        vector = np.array([0.4, 0.3, 0.2, 0.1])
+        assert precision_at_k(vector, vector, 2) == 1.0
+
+    def test_half(self):
+        estimate = np.array([0.4, 0.3, 0.2, 0.1])
+        exact = np.array([0.4, 0.1, 0.2, 0.3])
+        assert precision_at_k(estimate, exact, 2) == 0.5
+
+    def test_k_validation(self):
+        with pytest.raises(ConfigError):
+            precision_at_k(np.zeros(2), np.zeros(2), 0)
+
+
+class TestDegreeNormalized:
+    def test_division(self):
+        vector = np.array([0.4, 0.6])
+        degrees = np.array([2.0, 3.0])
+        assert np.allclose(degree_normalized(vector, degrees), [0.2, 0.2])
+
+    def test_zero_degree_maps_to_zero(self):
+        assert degree_normalized(np.array([0.5]), np.array([0.0]))[0] == 0.0

@@ -1,0 +1,102 @@
+"""High-level dispatch API tests."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import (
+    SINGLE_SOURCE_METHODS,
+    SINGLE_TARGET_METHODS,
+    PPRConfig,
+    single_source,
+    single_target,
+)
+from repro.exceptions import ConfigError
+from repro.graph.generators import erdos_renyi
+from repro.montecarlo import ForestIndex, WalkIndex
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(80, 0.1, rng=201)
+
+
+class TestDispatch:
+    def test_all_online_source_methods(self, graph):
+        for name in SINGLE_SOURCE_METHODS:
+            result = single_source(graph, 0, method=name, alpha=0.1, seed=1)
+            assert result.method == name
+
+    def test_all_target_methods(self, graph):
+        for name in SINGLE_TARGET_METHODS:
+            result = single_target(graph, 0, method=name, alpha=0.1, seed=1)
+            assert result.method == name
+
+    def test_case_insensitive(self, graph):
+        assert single_source(graph, 0, method="SPEEDLV", alpha=0.1,
+                             seed=1).method == "speedlv"
+
+    def test_unknown_methods(self, graph):
+        with pytest.raises(ConfigError):
+            single_source(graph, 0, method="pagerank")
+        with pytest.raises(ConfigError):
+            single_target(graph, 0, method="push")
+
+    def test_indexed_dispatch(self, graph):
+        walk_index = WalkIndex.build_speedppr_plus(graph, 0.1, rng=1)
+        forest_index = ForestIndex.build(graph, 0.1, 10, rng=2)
+        assert single_source(graph, 0, method="speedppr+", index=walk_index,
+                             alpha=0.1).method == "speedppr+"
+        assert single_source(graph, 0, method="speedlv+",
+                             index=forest_index, alpha=0.1).method == "speedlv+"
+        assert single_target(graph, 0, method="backlv+",
+                             index=forest_index, alpha=0.1).method == "backlv+"
+
+    def test_index_required_for_plus_methods(self, graph):
+        with pytest.raises(ConfigError):
+            single_source(graph, 0, method="fora+")
+        with pytest.raises(ConfigError):
+            single_target(graph, 0, method="backlv+")
+
+    def test_index_rejected_for_online(self, graph):
+        forest_index = ForestIndex.build(graph, 0.1, 5, rng=3)
+        with pytest.raises(ConfigError):
+            single_source(graph, 0, method="speedlv", index=forest_index)
+        with pytest.raises(ConfigError):
+            single_target(graph, 0, method="backlv", index=forest_index)
+
+
+class TestConfigPlumbing:
+    def test_overrides_applied(self, graph):
+        result = single_source(graph, 0, method="speedlv", alpha=0.2,
+                               epsilon=0.3, seed=5)
+        assert result.alpha == 0.2
+        assert result.epsilon == 0.3
+
+    def test_config_object_plus_overrides(self, graph):
+        config = PPRConfig(alpha=0.2, seed=5)
+        result = single_source(graph, 0, method="foralv", config=config,
+                               epsilon=0.25)
+        assert result.alpha == 0.2
+        assert result.epsilon == 0.25
+
+    def test_bad_override_rejected(self, graph):
+        with pytest.raises(ConfigError):
+            single_source(graph, 0, method="fora", alpha=2.0)
+
+
+class TestPackageSurface:
+    def test_top_level_exports(self):
+        for name in ("Graph", "single_source", "single_target",
+                     "load_dataset", "PPRConfig", "sample_forest",
+                     "exact_single_source"):
+            assert hasattr(repro, name)
+
+    def test_quickstart_flow(self):
+        graph = repro.load_dataset("youtube", scale=0.05)
+        result = repro.single_source(graph, 0, method="speedlv", alpha=0.05,
+                                     budget_scale=0.05, seed=3)
+        top = result.top_k(5)
+        assert len(top) == 5
+        assert top[0][1] >= top[-1][1]
+        assert abs(result.total_mass - 1.0) < 0.3

@@ -1,0 +1,133 @@
+"""Tests for the application layer (clustering + ranking)."""
+
+import numpy as np
+import pytest
+
+from repro.applications import (
+    conductance,
+    degree_normalized_rank,
+    local_cluster,
+    ppr_rank,
+    sweep_cut,
+    top_k_sources,
+)
+from repro.exceptions import ConfigError
+from repro.graph import from_edges
+from repro.graph.generators import complete_graph, erdos_renyi
+from repro.linalg import exact_single_source
+
+
+@pytest.fixture(scope="module")
+def two_communities():
+    """Two K8 cliques joined by a single bridge edge."""
+    edges = []
+    for base in (0, 8):
+        for i in range(8):
+            for j in range(i + 1, 8):
+                edges.append((base + i, base + j))
+    edges.append((0, 8))
+    return from_edges(edges)
+
+
+class TestConductance:
+    def test_perfect_cut(self, two_communities):
+        members = np.arange(8)
+        # one bridge edge over volume 8*7+1
+        assert conductance(two_communities, members) == pytest.approx(
+            1.0 / 57.0)
+
+    def test_empty_and_full(self, two_communities):
+        assert conductance(two_communities, np.array([], dtype=int)) == 0.0
+        assert conductance(two_communities, np.arange(16)) == 0.0
+
+    def test_single_node_in_clique(self):
+        graph = complete_graph(6)
+        # node 0: cut 5, vol 5
+        assert conductance(graph, np.array([0])) == pytest.approx(1.0)
+
+    def test_weighted(self, weighted_triangle):
+        # S = {0}: cut = w01 + w02 = 4, vol = 4, complement vol = 8
+        assert conductance(weighted_triangle,
+                           np.array([0])) == pytest.approx(1.0)
+
+    def test_directed_rejected(self, directed_line):
+        with pytest.raises(ConfigError):
+            conductance(directed_line, np.array([0]))
+
+
+class TestSweepCut:
+    def test_recovers_planted_community(self, two_communities):
+        exact = exact_single_source(two_communities, 2, 0.01)
+        result = sweep_cut(two_communities, exact)
+        assert set(result.members.tolist()) == set(range(8))
+        assert result.conductance == pytest.approx(1.0 / 57.0)
+
+    def test_sweep_profile_matches_conductance(self, two_communities):
+        exact = exact_single_source(two_communities, 2, 0.01)
+        result = sweep_cut(two_communities, exact)
+        # spot-check the incremental conductances against the O(m) one
+        for prefix_len in (1, 4, 8, 12):
+            if prefix_len > result.order.size:
+                continue
+            want = conductance(two_communities,
+                               result.order[:prefix_len])
+            assert result.sweep_conductances[prefix_len - 1] == \
+                pytest.approx(want)
+
+    def test_max_cluster_size(self, two_communities):
+        exact = exact_single_source(two_communities, 2, 0.01)
+        result = sweep_cut(two_communities, exact, max_cluster_size=3)
+        assert result.size <= 3
+
+    def test_requires_positive_scores(self, k5):
+        with pytest.raises(ConfigError):
+            sweep_cut(k5, np.zeros(5))
+
+    def test_shape_check(self, k5):
+        with pytest.raises(ConfigError):
+            sweep_cut(k5, np.ones(3))
+
+
+class TestLocalCluster:
+    def test_finds_planted_community(self, two_communities):
+        result = local_cluster(two_communities, 3, alpha=0.01,
+                               method="speedlv", seed=5)
+        assert set(result.members.tolist()) == set(range(8))
+
+    def test_other_side(self, two_communities):
+        result = local_cluster(two_communities, 12, alpha=0.01,
+                               method="foralv", seed=5)
+        assert set(result.members.tolist()) == set(range(8, 16))
+
+
+class TestRanking:
+    def test_ppr_rank_prefers_neighbors(self):
+        graph = erdos_renyi(60, 0.08, rng=55)
+        ranked = ppr_rank(graph, 0, k=5, alpha=0.2, seed=1)
+        assert len(ranked) == 5
+        assert all(node != 0 for node, _ in ranked)
+        neighbor_set = set(graph.neighbors(0).tolist())
+        assert any(node in neighbor_set for node, _ in ranked)
+
+    def test_include_source_dominates(self):
+        graph = erdos_renyi(60, 0.08, rng=55)
+        ranked = ppr_rank(graph, 0, k=3, alpha=0.3, seed=1,
+                          include_source=True)
+        assert ranked[0][0] == 0
+
+    def test_degree_normalized_rank_runs(self):
+        graph = erdos_renyi(60, 0.08, rng=55)
+        ranked = degree_normalized_rank(graph, 0, k=5, alpha=0.05, seed=2)
+        assert len(ranked) == 5
+
+    def test_top_k_sources_excludes_target(self):
+        graph = erdos_renyi(60, 0.08, rng=55)
+        ranked = top_k_sources(graph, 7, k=5, alpha=0.2, seed=3)
+        assert all(node != 7 for node, _ in ranked)
+        # a neighbour of the target should rank highly
+        neighbor_set = set(graph.neighbors(7).tolist())
+        assert ranked[0][0] in neighbor_set
+
+    def test_k_validation(self, k5):
+        with pytest.raises(ConfigError):
+            ppr_rank(k5, 0, k=0, alpha=0.2)

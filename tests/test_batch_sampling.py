@@ -1,0 +1,77 @@
+"""Tests for the batched (disjoint-union) forest sampler."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.forests import sample_forests_batch
+from repro.graph.generators import erdos_renyi, with_random_weights
+from repro.linalg import exact_ppr_matrix, tau_exact
+
+
+class TestStructure:
+    def test_count_and_validity(self, random_graph):
+        forests = sample_forests_batch(random_graph, 0.1, 7, rng=0)
+        assert len(forests) == 7
+        for forest in forests:
+            forest.validate()
+            assert forest.num_nodes == random_graph.num_nodes
+
+    def test_layers_are_independent(self, random_graph):
+        forests = sample_forests_batch(random_graph, 0.2, 50, rng=1)
+        distinct = {tuple(f.roots.tolist()) for f in forests}
+        assert len(distinct) > 1
+
+    def test_tree_edges_are_graph_edges(self, random_graph):
+        for forest in sample_forests_batch(random_graph, 0.15, 5, rng=2):
+            for node in range(forest.num_nodes):
+                parent = forest.parents[node]
+                if parent >= 0:
+                    assert random_graph.has_edge(node, int(parent))
+
+    def test_deterministic_under_seed(self, random_graph):
+        first = sample_forests_batch(random_graph, 0.1, 4, rng=9)
+        second = sample_forests_batch(random_graph, 0.1, 4, rng=9)
+        for a, b in zip(first, second):
+            assert np.array_equal(a.roots, b.roots)
+
+    def test_validation(self, k5):
+        with pytest.raises(ConfigError):
+            sample_forests_batch(k5, 0.2, 0)
+        with pytest.raises(ConfigError):
+            sample_forests_batch(k5, 1.5, 3)
+
+    def test_isolated_nodes(self, disconnected):
+        forests = sample_forests_batch(disconnected, 0.2, 3, rng=3)
+        for forest in forests:
+            assert forest.roots[5] == 5
+
+
+class TestDistribution:
+    def test_root_frequencies_match_ppr(self):
+        graph = erdos_renyi(10, 0.4, rng=11)
+        alpha = 0.25
+        exact = exact_ppr_matrix(graph, alpha)
+        counts = np.zeros((10, 10))
+        samples = 3000
+        for forest in sample_forests_batch(graph, alpha, samples, rng=5):
+            counts[np.arange(10), forest.roots] += 1
+        assert np.abs(counts / samples - exact).max() < 0.035
+
+    def test_weighted_graph(self):
+        graph = with_random_weights(erdos_renyi(8, 0.5, rng=13), rng=5)
+        alpha = 0.3
+        exact = exact_ppr_matrix(graph, alpha)
+        counts = np.zeros((8, 8))
+        samples = 3000
+        for forest in sample_forests_batch(graph, alpha, samples, rng=6):
+            counts[np.arange(8), forest.roots] += 1
+        assert np.abs(counts / samples - exact).max() < 0.035
+
+    def test_mean_steps_match_tau(self):
+        graph = erdos_renyi(15, 0.3, rng=19)
+        alpha = 0.15
+        tau = tau_exact(graph, alpha)
+        forests = sample_forests_batch(graph, alpha, 1500, rng=7)
+        mean_steps = np.mean([forest.num_steps for forest in forests])
+        assert mean_steps == pytest.approx(tau, rel=0.1)

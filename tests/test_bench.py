@@ -1,0 +1,200 @@
+"""Benchmark-harness tests: workloads, timing helpers, reporting, and
+quick sanity runs of the experiment drivers."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    QUERY_DISTRIBUTIONS,
+    Timer,
+    format_markdown_table,
+    high_degree_nodes,
+    low_degree_nodes,
+    summarize,
+    uniform_nodes,
+)
+from repro.bench import experiments
+from repro.bench.harness import run_with_timing
+from repro.exceptions import ConfigError
+from repro.graph.generators import erdos_renyi
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(100, 0.08, rng=301)
+
+
+class TestWorkloads:
+    def test_uniform_distinct(self, graph):
+        nodes = uniform_nodes(graph, 20, rng=1)
+        assert len(set(nodes.tolist())) == 20
+
+    def test_high_degree_pool(self, graph):
+        nodes = high_degree_nodes(graph, 10, rng=2)
+        threshold = np.percentile(graph.degrees, 85)
+        assert np.all(graph.degrees[nodes] >= min(
+            threshold, graph.degrees[nodes].max()))
+
+    def test_low_degree_pool(self, graph):
+        low = low_degree_nodes(graph, 10, rng=3)
+        high = high_degree_nodes(graph, 10, rng=3)
+        assert graph.degrees[low].mean() < graph.degrees[high].mean()
+
+    def test_count_validation(self, graph):
+        with pytest.raises(ConfigError):
+            uniform_nodes(graph, 0)
+        with pytest.raises(ConfigError):
+            uniform_nodes(graph, 1000)
+
+    def test_registry(self):
+        assert set(QUERY_DISTRIBUTIONS) == {"uniform", "high_degree",
+                                            "low_degree"}
+
+
+class TestHarness:
+    def test_timer(self):
+        with Timer() as timer:
+            sum(range(100))
+        assert timer.seconds >= 0.0
+
+    def test_summarize(self):
+        stats = summarize([1.0, 2.0, 3.0])
+        assert stats["mean"] == pytest.approx(2.0)
+        assert stats["median"] == pytest.approx(2.0)
+        assert stats["count"] == 3
+
+    def test_summarize_empty(self):
+        assert summarize([])["count"] == 0
+
+    def test_run_with_timing_collects_stats(self, graph):
+        from repro.core import single_source
+        timings = run_with_timing(
+            lambda q: single_source(graph, q, method="speedlv", alpha=0.1,
+                                    seed=1),
+            [0, 1])
+        assert len(timings.seconds) == 2
+        assert "num_forests" in timings.counters
+
+
+class TestReporting:
+    def test_table_rendering(self):
+        rows = [{"a": 1, "b": 0.123456}, {"a": 2, "b": 1e-9}]
+        table = format_markdown_table(rows)
+        assert table.splitlines()[0] == "| a | b |"
+        assert "0.1235" in table
+        assert "1e-09" in table
+
+    def test_empty(self):
+        assert format_markdown_table([]) == "(no rows)"
+
+    def test_explicit_columns(self):
+        table = format_markdown_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in table.splitlines()[0]
+
+
+class TestExperimentDrivers:
+    """Quick structural runs at tiny scale (shapes checked by the
+    benchmarks themselves)."""
+
+    def test_table1_rows(self):
+        rows = experiments.table1(scale=0.05)
+        assert len(rows) == 7
+
+    def test_fig2_density(self):
+        rows = experiments.fig2_eigenvalue_density(("youtube",), scale=0.05,
+                                                   bins=10)
+        assert len(rows) == 10
+        assert abs(sum(r["pdf"] for r in rows) - 1.0) < 1e-6
+
+    def test_fig2_tau(self):
+        rows = experiments.fig2_tau_vs_alpha(("youtube",), scale=0.05,
+                                             alphas=(0.1, 0.01))
+        assert len(rows) == 2
+        assert all(r["tau_lemma44"] < r["naive_walk_steps"] for r in rows)
+
+    def test_fig3_rows(self):
+        rows = experiments.fig3_single_source_time(
+            ("youtube",), ("fora", "speedlv"), (0.5,), scale=0.05,
+            num_queries=2, budget_scale=0.02)
+        assert {r["method"] for r in rows} == {"fora", "speedlv"}
+
+    def test_fig8_rows(self):
+        rows = experiments.fig8_single_target_time(
+            ("youtube",), ("back", "backlv"), (0.5,), scale=0.05,
+            num_queries=2, budget_scale=0.02)
+        assert len(rows) == 2
+
+    def test_ablation_estimators(self):
+        rows = experiments.ablation_estimator_variance(scale=0.05,
+                                                       num_forests=10)
+        assert rows[0]["improved_total_variance"] <= rows[0][
+            "basic_total_variance"]
+
+    def test_ablation_push(self):
+        rows = experiments.ablation_push_variants(scale=0.05,
+                                                  r_maxes=(0.01,))
+        balanced = next(r for r in rows if r["variant"] == "balanced")
+        assert balanced["residual_ceiling"] <= 0.01 + 1e-12
+
+    def test_bench_defaults_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_QUERIES", "9")
+        assert experiments.bench_defaults()["num_queries"] == 9
+
+
+class TestMoreExperimentDrivers:
+    """Micro-scale structural runs of the remaining drivers."""
+
+    def test_fig4_rows(self):
+        rows = experiments.fig4_l1_error(
+            ("youtube",), ("foralv",), (0.5,), scale=0.05,
+            num_queries=2, budget_scale=0.05)
+        assert len(rows) == 1
+        assert rows[0]["mean_l1_error"] >= 0.0
+
+    def test_fig5_and_fig6_rows(self):
+        rows = experiments.fig5_index_build(("youtube",), (0.5,),
+                                            alpha=0.1, scale=0.05)
+        assert {r["method"] for r in rows} == {"fora+", "speedppr+",
+                                               "foralv+", "speedlv+"}
+        size_rows = experiments.fig6_index_size(("youtube",), alpha=0.1,
+                                                scale=0.05)
+        assert all(r["index_mb"] > 0 for r in size_rows)
+
+    def test_fig7_rows(self):
+        rows = experiments.fig7_index_query(("youtube",), (0.5,),
+                                            alpha=0.1, scale=0.05,
+                                            num_queries=2,
+                                            budget_scale=0.05)
+        labels = {r["method"] for r in rows}
+        assert "speedlv+" in labels and "speedlv (online)" in labels
+
+    def test_fig12_rows(self):
+        rows = experiments.fig12_query_distributions(
+            ("youtube",), alpha=0.1, scale=0.05, num_queries=2,
+            budget_scale=0.05)
+        assert {r["mode"] for r in rows} == {"SU", "SH", "SL",
+                                             "TU", "TH", "TL"}
+
+    def test_fig13_rows(self):
+        rows = experiments.fig13_small_alpha(
+            ("youtube",), alphas=(0.1,), scale=0.05, num_queries=1,
+            budget_scale=0.05)
+        assert rows[0]["speedlv_l1"] < rows[0]["uniform_l1"]
+        assert rows[0]["ground_truth_work"] > 0
+
+    def test_alpha_sweep_rows(self):
+        rows = experiments.alpha_sweep_single_source(
+            alphas=(0.2, 0.05), scale=0.05, num_queries=1,
+            budget_scale=0.05)
+        assert len(rows) == 4
+
+    def test_batch_amortization_rows(self):
+        rows = experiments.ablation_batch_amortization(
+            scale=0.05, num_queries=2, budget_scale=0.05)
+        assert rows[0]["bank_forests"] >= 1
+
+    def test_sampler_throughput_rows(self):
+        rows = experiments.ablation_sampler_throughput(
+            alphas=(0.1,), repetitions=2, scale=0.05)
+        assert {r["sampler"] for r in rows} == {"wilson", "cycle_popping",
+                                                "batch"}

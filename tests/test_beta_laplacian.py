@@ -1,0 +1,89 @@
+"""β-Laplacian tests: Definition 2.1, Eq. 4, determinant plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.linalg import (
+    alpha_from_beta,
+    beta_from_alpha,
+    beta_laplacian,
+    beta_laplacian_dense,
+    exact_ppr_matrix,
+    log_det_regularized_laplacian,
+    ppr_matrix_from_beta_laplacian,
+)
+
+
+class TestBetaConversions:
+    def test_round_trip(self):
+        for alpha in (0.01, 0.2, 0.5, 0.99):
+            assert alpha_from_beta(beta_from_alpha(alpha)) == pytest.approx(alpha)
+
+    def test_known_values(self):
+        assert beta_from_alpha(0.5) == pytest.approx(1.0)
+        assert beta_from_alpha(0.2) == pytest.approx(0.25)
+
+    def test_domain_errors(self):
+        for alpha in (0.0, 1.0, -1.0):
+            with pytest.raises(ConfigError):
+                beta_from_alpha(alpha)
+        with pytest.raises(ConfigError):
+            alpha_from_beta(0.0)
+
+
+class TestBetaLaplacian:
+    def test_definition(self, weighted_small):
+        # L_beta = (beta D)^-1 (L + beta D)
+        alpha = 0.3
+        beta = beta_from_alpha(alpha)
+        degrees = weighted_small.degrees
+        laplacian = np.diag(degrees) - weighted_small.to_scipy_adjacency().toarray()
+        expected = np.linalg.inv(np.diag(beta * degrees)) @ (
+            laplacian + beta * np.diag(degrees))
+        assert np.allclose(beta_laplacian_dense(weighted_small, alpha),
+                           expected)
+
+    def test_inverse_is_ppr_matrix(self, random_graph):
+        """Eq. 4: pi(s, t) = (L_beta^-1)_{st}."""
+        alpha = 0.15
+        via_beta = ppr_matrix_from_beta_laplacian(random_graph, alpha)
+        via_transition = exact_ppr_matrix(random_graph, alpha)
+        assert np.allclose(via_beta, via_transition, atol=1e-10)
+
+    def test_inverse_is_ppr_matrix_weighted(self, random_weighted_graph):
+        alpha = 0.05
+        via_beta = ppr_matrix_from_beta_laplacian(random_weighted_graph, alpha)
+        via_transition = exact_ppr_matrix(random_weighted_graph, alpha)
+        assert np.allclose(via_beta, via_transition, atol=1e-9)
+
+    def test_sparse_dense_agree(self, k5):
+        assert np.allclose(beta_laplacian(k5, 0.2).toarray(),
+                           beta_laplacian_dense(k5, 0.2))
+
+    def test_isolated_node_rejected(self, disconnected):
+        with pytest.raises(ConfigError):
+            beta_laplacian(disconnected, 0.2)
+
+
+class TestLogDet:
+    def test_matches_dense_slogdet(self, random_graph):
+        alpha = 0.1
+        beta = beta_from_alpha(alpha)
+        degrees = random_graph.degrees
+        dense = (np.diag((1 + beta) * degrees)
+                 - random_graph.to_scipy_adjacency().toarray())
+        sign, want = np.linalg.slogdet(dense)
+        assert sign == 1.0
+        assert log_det_regularized_laplacian(random_graph, alpha) == \
+            pytest.approx(want, rel=1e-9)
+
+    def test_weighted(self, weighted_small):
+        alpha = 0.4
+        beta = beta_from_alpha(alpha)
+        degrees = weighted_small.degrees
+        dense = (np.diag((1 + beta) * degrees)
+                 - weighted_small.to_scipy_adjacency().toarray())
+        _, want = np.linalg.slogdet(dense)
+        assert log_det_regularized_laplacian(weighted_small, alpha) == \
+            pytest.approx(want, rel=1e-9)

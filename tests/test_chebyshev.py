@@ -1,0 +1,80 @@
+"""Chebyshev-accelerated solver tests."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigError, ConvergenceError
+from repro.graph.generators import erdos_renyi
+from repro.linalg import (
+    chebyshev_iterations_bound,
+    chebyshev_single_source,
+    chebyshev_single_target,
+    exact_single_source,
+    exact_single_target,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(150, 0.06, rng=601)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("alpha", [0.3, 0.1, 0.01])
+    def test_matches_exact_source(self, graph, alpha):
+        exact = exact_single_source(graph, 0, alpha)
+        approx = chebyshev_single_source(graph, 0, alpha, tolerance=1e-12)
+        assert np.abs(approx - exact).max() < 1e-9
+
+    def test_matches_exact_target(self, graph):
+        exact = exact_single_target(graph, 5, 0.05)
+        approx = chebyshev_single_target(graph, 5, 0.05, tolerance=1e-12)
+        assert np.abs(approx - exact).max() < 1e-9
+
+    def test_weighted(self, random_weighted_graph):
+        exact = exact_single_source(random_weighted_graph, 2, 0.1)
+        approx = chebyshev_single_source(random_weighted_graph, 2, 0.1,
+                                         tolerance=1e-12)
+        assert np.abs(approx - exact).max() < 1e-9
+
+    def test_dangling_graph(self, disconnected):
+        exact = exact_single_source(disconnected, 5, 0.2)
+        approx = chebyshev_single_source(disconnected, 5, 0.2,
+                                         tolerance=1e-12)
+        assert np.abs(approx - exact).max() < 1e-8
+
+
+class TestAcceleration:
+    def test_bound_beats_power_iteration(self):
+        """The Chebyshev round bound must be far below the power bound
+        at small alpha (the point of the acceleration)."""
+        for alpha in (0.1, 0.01, 0.001):
+            power_rounds = int(np.ceil(np.log(1e-9) / np.log1p(-alpha)))
+            cheb_rounds = chebyshev_iterations_bound(alpha, 1e-9)
+            assert cheb_rounds < power_rounds / 3
+
+    def test_converges_within_bound(self, graph):
+        alpha = 0.02
+        bound = chebyshev_iterations_bound(alpha, 1e-9)
+        # must converge without raising when capped near the bound
+        chebyshev_single_source(graph, 0, alpha, tolerance=1e-9,
+                                max_iterations=3 * bound)
+
+
+class TestValidation:
+    def test_bad_alpha(self, k5):
+        with pytest.raises(ConfigError):
+            chebyshev_single_source(k5, 0, 1.2)
+
+    def test_bad_node(self, k5):
+        with pytest.raises(ConfigError):
+            chebyshev_single_source(k5, 9, 0.2)
+
+    def test_budget_exhaustion(self, graph):
+        with pytest.raises(ConvergenceError):
+            chebyshev_single_source(graph, 0, 0.01, tolerance=1e-12,
+                                    max_iterations=3)
+
+    def test_bound_validation(self):
+        with pytest.raises(ConfigError):
+            chebyshev_iterations_bound(0.1, 2.0)

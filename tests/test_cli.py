@@ -1,0 +1,96 @@
+"""CLI tests (invoking :func:`repro.cli.main` in-process)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_query_defaults(self):
+        args = build_parser().parse_args(
+            ["query", "source", "youtube", "0"])
+        assert args.alpha == 0.01
+        assert args.kind == "source"
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "youtube" in out and "stackoverflow" in out
+
+    def test_query_source(self, capsys):
+        code = main(["query", "source", "youtube", "0",
+                     "--scale", "0.05", "--top", "3", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedlv" in out
+        assert "top 3:" in out
+
+    def test_query_target(self, capsys):
+        code = main(["query", "target", "youtube", "0",
+                     "--scale", "0.05", "--alpha", "0.1", "--seed", "1"])
+        assert code == 0
+        assert "backlv" in capsys.readouterr().out
+
+    def test_query_method_override(self, capsys):
+        code = main(["query", "source", "youtube", "0", "--scale", "0.05",
+                     "--method", "fora", "--alpha", "0.1", "--seed", "1"])
+        assert code == 0
+        assert "fora" in capsys.readouterr().out
+
+    def test_pair(self, capsys):
+        code = main(["pair", "youtube", "0", "1",
+                     "--scale", "0.05", "--alpha", "0.1", "--seed", "1"])
+        assert code == 0
+        assert "pi(0, 1)" in capsys.readouterr().out
+
+    def test_cluster(self, capsys):
+        code = main(["cluster", "youtube", "0", "--scale", "0.05",
+                     "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "conductance" in out
+
+    def test_spectrum(self, capsys):
+        code = main(["spectrum", "youtube", "--scale", "0.05",
+                     "--alphas", "0.1", "0.01", "--seed", "1"])
+        assert code == 0
+        assert "tau_lemma44" in capsys.readouterr().out
+
+    def test_error_path_returns_2(self, capsys):
+        code = main(["query", "source", "not-a-dataset", "0"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_node_returns_2(self, capsys):
+        code = main(["query", "source", "youtube", "999999999",
+                     "--scale", "0.05"])
+        assert code == 2
+
+    def test_selfcheck(self, capsys):
+        assert main(["selfcheck", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "self-check passed" in out
+        assert out.count("[ok]") == 3
+
+    def test_experiment_list(self, capsys):
+        assert main(["experiment", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out and "table1" in out
+
+    def test_experiment_unknown(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_experiment_runs_small_driver(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_GRAPH_SCALE", "0.05")
+        monkeypatch.setenv("REPRO_BENCH_QUERIES", "2")
+        monkeypatch.setenv("REPRO_BENCH_BUDGET", "0.05")
+        assert main(["experiment", "ablation_push_variants"]) == 0
+        out = capsys.readouterr().out
+        assert "residual_ceiling" in out

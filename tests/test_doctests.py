@@ -1,0 +1,35 @@
+"""Run the doctest examples embedded in docstrings.
+
+Only modules whose examples are seeded (hence deterministic) are
+included; this keeps the examples in the documentation honest.
+"""
+
+import doctest
+
+import pytest
+
+import repro.applications.clustering
+import repro.applications.smoothing
+import repro.bench.harness
+import repro.core.api
+import repro.core.batch
+import repro.core.pairwise
+
+MODULES = [
+    repro.bench.harness,
+    repro.core.api,
+    repro.core.batch,
+    repro.core.pairwise,
+    repro.applications.clustering,
+    repro.applications.smoothing,
+]
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=lambda module: module.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False,
+                              optionflags=doctest.ELLIPSIS)
+    assert results.failed == 0, (
+        f"{results.failed} doctest failure(s) in {module.__name__}")
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"

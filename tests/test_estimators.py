@@ -1,0 +1,206 @@
+"""Forest-estimator tests: conservation laws, conditional-expectation
+relations, unbiasedness and Lemma 5.1's variance ordering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigError
+from repro.forests import (
+    root_indicator,
+    sample_forests,
+    source_estimate_basic,
+    source_estimate_improved,
+    target_estimate_basic,
+    target_estimate_improved,
+)
+from repro.forests.forest import RootedForest
+from repro.forests.sampling import sample_forest
+from repro.graph.generators import erdos_renyi, with_random_weights
+from repro.linalg import exact_ppr_matrix
+
+
+def _simple_forest():
+    """Two trees: {0,1,2} rooted at 0 and {3,4} rooted at 4."""
+    return RootedForest(roots=np.array([0, 0, 0, 4, 4]),
+                        parents=np.array([-1, 0, 1, 4, -1]))
+
+
+class TestExactValues:
+    def test_source_basic(self):
+        forest = _simple_forest()
+        residual = np.array([0.1, 0.2, 0.3, 0.4, 0.5])
+        estimate = source_estimate_basic(forest, residual)
+        assert estimate[0] == pytest.approx(0.6)   # tree {0,1,2}
+        assert estimate[4] == pytest.approx(0.9)   # tree {3,4}
+        assert estimate[1] == estimate[2] == estimate[3] == 0.0
+
+    def test_source_improved(self):
+        forest = _simple_forest()
+        residual = np.array([0.1, 0.2, 0.3, 0.4, 0.5])
+        degrees = np.array([1.0, 2.0, 1.0, 3.0, 1.0])
+        estimate = source_estimate_improved(forest, residual, degrees)
+        # tree {0,1,2}: total residual 0.6, total degree 4
+        assert estimate[0] == pytest.approx(0.6 * 1.0 / 4.0)
+        assert estimate[1] == pytest.approx(0.6 * 2.0 / 4.0)
+        # tree {3,4}: total residual 0.9, total degree 4
+        assert estimate[3] == pytest.approx(0.9 * 3.0 / 4.0)
+
+    def test_target_basic(self):
+        forest = _simple_forest()
+        residual = np.array([0.1, 0.2, 0.3, 0.4, 0.5])
+        estimate = target_estimate_basic(forest, residual)
+        assert np.allclose(estimate, [0.1, 0.1, 0.1, 0.5, 0.5])
+
+    def test_target_improved(self):
+        forest = _simple_forest()
+        residual = np.array([0.1, 0.2, 0.3, 0.4, 0.5])
+        degrees = np.array([1.0, 2.0, 1.0, 3.0, 1.0])
+        estimate = target_estimate_improved(forest, residual, degrees)
+        tree_a = (0.1 * 1 + 0.2 * 2 + 0.3 * 1) / 4.0
+        tree_b = (0.4 * 3 + 0.5 * 1) / 4.0
+        assert np.allclose(estimate, [tree_a, tree_a, tree_a, tree_b, tree_b])
+
+    def test_root_indicator(self):
+        forest = _simple_forest()
+        assert root_indicator(forest, 0).tolist() == [True, True, True,
+                                                      False, False]
+        with pytest.raises(ConfigError):
+            root_indicator(forest, 9)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigError):
+            source_estimate_basic(_simple_forest(), np.ones(3))
+
+
+class TestConservation:
+    """Both source estimators redistribute — never create — residual mass."""
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_source_mass_conserved(self, seed):
+        graph = erdos_renyi(20, 0.2, rng=4)
+        rng = np.random.default_rng(seed)
+        forest = sample_forest(graph, 0.15, rng=rng)
+        residual = rng.random(20)
+        basic = source_estimate_basic(forest, residual)
+        improved = source_estimate_improved(forest, residual, graph.degrees)
+        assert basic.sum() == pytest.approx(residual.sum())
+        assert improved.sum() == pytest.approx(residual.sum())
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_improved_is_conditional_expectation_of_basic(self, seed):
+        """Within one forest, the improved target estimate is exactly
+        the degree-weighted average of the basic one over root choices
+        — i.e. averaging basic over the conditional root distribution
+        reproduces improved (the conditional-MC identity)."""
+        graph = erdos_renyi(15, 0.3, rng=6)
+        rng = np.random.default_rng(seed)
+        forest = sample_forest(graph, 0.2, rng=rng)
+        residual = rng.random(15)
+        degrees = graph.degrees
+        improved = target_estimate_improved(forest, residual, degrees)
+        for node in range(15):
+            component = forest.component_of(node)
+            weights = degrees[component] / degrees[component].sum()
+            conditional = float(np.sum(weights * residual[component]))
+            assert improved[node] == pytest.approx(conditional)
+
+
+class TestUnbiasedness:
+    """E[estimator] = Σ_u r(u) π(u, v) (source) / Σ_u π(v, u) r(u) (target)."""
+
+    @pytest.mark.parametrize("estimator_kind", ["basic", "improved"])
+    def test_source(self, estimator_kind):
+        graph = erdos_renyi(10, 0.4, rng=8)
+        alpha = 0.25
+        rng = np.random.default_rng(5)
+        residual = rng.random(10) / 10
+        exact = exact_ppr_matrix(graph, alpha)
+        want = residual @ exact  # sum_u r(u) pi(u, v)
+        total = np.zeros(10)
+        num_samples = 4000
+        for forest in sample_forests(graph, alpha, num_samples, rng=9):
+            if estimator_kind == "basic":
+                total += source_estimate_basic(forest, residual)
+            else:
+                total += source_estimate_improved(forest, residual,
+                                                  graph.degrees)
+        assert np.abs(total / num_samples - want).max() < 0.02
+
+    @pytest.mark.parametrize("estimator_kind", ["basic", "improved"])
+    def test_target(self, estimator_kind):
+        graph = erdos_renyi(10, 0.4, rng=8)
+        alpha = 0.25
+        rng = np.random.default_rng(15)
+        residual = rng.random(10) / 10
+        exact = exact_ppr_matrix(graph, alpha)
+        want = exact @ residual  # sum_u pi(v, u) r(u)
+        total = np.zeros(10)
+        num_samples = 4000
+        for forest in sample_forests(graph, alpha, num_samples, rng=19):
+            if estimator_kind == "basic":
+                total += target_estimate_basic(forest, residual)
+            else:
+                total += target_estimate_improved(forest, residual,
+                                                  graph.degrees)
+        assert np.abs(total / num_samples - want).max() < 0.02
+
+    def test_weighted_graph_source(self):
+        graph = with_random_weights(erdos_renyi(8, 0.5, rng=21), rng=3)
+        alpha = 0.3
+        residual = np.linspace(0.01, 0.1, 8)
+        exact = exact_ppr_matrix(graph, alpha)
+        want = residual @ exact
+        total = np.zeros(8)
+        num_samples = 4000
+        for forest in sample_forests(graph, alpha, num_samples, rng=29):
+            total += source_estimate_improved(forest, residual, graph.degrees)
+        assert np.abs(total / num_samples - want).max() < 0.02
+
+
+class TestVarianceReduction:
+    """Lemma 5.1: the improved estimator never has larger variance."""
+
+    def test_source_variance_ordering(self):
+        graph = erdos_renyi(15, 0.3, rng=33)
+        alpha = 0.1
+        rng = np.random.default_rng(3)
+        residual = rng.random(15) / 5
+        basics, improveds = [], []
+        for forest in sample_forests(graph, alpha, 600, rng=37):
+            basics.append(source_estimate_basic(forest, residual))
+            improveds.append(source_estimate_improved(forest, residual,
+                                                      graph.degrees))
+        basic_var = np.stack(basics).var(axis=0).sum()
+        improved_var = np.stack(improveds).var(axis=0).sum()
+        assert improved_var < basic_var
+
+    def test_target_variance_ordering(self):
+        graph = erdos_renyi(15, 0.3, rng=33)
+        alpha = 0.1
+        rng = np.random.default_rng(4)
+        residual = rng.random(15) / 5
+        basics, improveds = [], []
+        for forest in sample_forests(graph, alpha, 600, rng=41):
+            basics.append(target_estimate_basic(forest, residual))
+            improveds.append(target_estimate_improved(forest, residual,
+                                                      graph.degrees))
+        basic_var = np.stack(basics).var(axis=0).sum()
+        improved_var = np.stack(improveds).var(axis=0).sum()
+        assert improved_var < basic_var
+
+
+class TestIsolatedNodes:
+    def test_isolated_component_falls_back(self, disconnected):
+        forest = sample_forest(disconnected, 0.2, rng=0)
+        residual = np.full(disconnected.num_nodes, 0.5)
+        improved = source_estimate_improved(forest, residual,
+                                            disconnected.degrees)
+        # isolated node 5 roots itself with probability one
+        assert improved[5] == pytest.approx(0.5)
+        target_improved = target_estimate_improved(forest, residual,
+                                                   disconnected.degrees)
+        assert target_improved[5] == pytest.approx(0.5)

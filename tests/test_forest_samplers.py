@@ -1,0 +1,203 @@
+"""Sampler tests: structure, determinism, and — crucially — that both
+samplers draw the distribution of Theorem 4.3 (checked statistically
+against exact PPR via Theorem 3.6) with step counts matching τ."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.forests import (
+    RootedForest,
+    sample_forest,
+    sample_forest_cycle_popping,
+    sample_forest_wilson,
+    sample_forests,
+)
+from repro.graph import from_edges
+from repro.graph.generators import erdos_renyi, with_random_weights
+from repro.linalg import exact_ppr_matrix, tau_exact
+
+SAMPLERS = [sample_forest_wilson, sample_forest_cycle_popping]
+
+
+def _root_frequencies(graph, alpha, sampler, num_samples, seed):
+    counts = np.zeros((graph.num_nodes, graph.num_nodes))
+    rng = np.random.default_rng(seed)
+    total_steps = 0
+    for _ in range(num_samples):
+        forest = sampler(graph, alpha, rng=rng)
+        counts[np.arange(graph.num_nodes), forest.roots] += 1
+        total_steps += forest.num_steps
+    return counts / num_samples, total_steps / num_samples
+
+
+class TestStructure:
+    @pytest.mark.parametrize("sampler", SAMPLERS)
+    def test_valid_forest(self, random_graph, sampler):
+        forest = sampler(random_graph, 0.1, rng=0)
+        forest.validate()
+        assert forest.num_nodes == random_graph.num_nodes
+
+    @pytest.mark.parametrize("sampler", SAMPLERS)
+    def test_every_node_has_root(self, random_graph, sampler):
+        forest = sampler(random_graph, 0.2, rng=1)
+        assert np.all(forest.roots >= 0)
+        assert forest.num_trees >= 1
+
+    @pytest.mark.parametrize("sampler", SAMPLERS)
+    def test_tree_edges_are_graph_edges(self, random_graph, sampler):
+        forest = sampler(random_graph, 0.2, rng=2)
+        for node in range(forest.num_nodes):
+            parent = forest.parents[node]
+            if parent >= 0:
+                assert random_graph.has_edge(node, int(parent))
+
+    @pytest.mark.parametrize("sampler", SAMPLERS)
+    def test_components_are_graph_connected(self, disconnected, sampler):
+        # trees can never span different graph components
+        forest = sampler(disconnected, 0.3, rng=3)
+        labels = disconnected.connected_components
+        assert np.all(labels[forest.roots] == labels)
+
+    @pytest.mark.parametrize("sampler", SAMPLERS)
+    def test_isolated_node_roots_itself(self, disconnected, sampler):
+        forest = sampler(disconnected, 0.3, rng=4)
+        assert forest.roots[5] == 5
+
+    @pytest.mark.parametrize("sampler", SAMPLERS)
+    def test_deterministic_under_seed(self, random_graph, sampler):
+        first = sampler(random_graph, 0.1, rng=77)
+        second = sampler(random_graph, 0.1, rng=77)
+        assert np.array_equal(first.roots, second.roots)
+        assert np.array_equal(first.parents, second.parents)
+
+    @pytest.mark.parametrize("sampler", SAMPLERS)
+    def test_invalid_alpha(self, k5, sampler):
+        for alpha in (0.0, 1.0, -0.5):
+            with pytest.raises(ConfigError):
+                sampler(k5, alpha)
+
+    def test_alpha_near_one_all_roots(self, k5):
+        forest = sample_forest_cycle_popping(k5, 0.999999, rng=5)
+        assert forest.num_trees >= 4  # almost surely every node a root
+
+
+class TestDistribution:
+    """Statistical agreement with Theorem 3.6 (root frequency = PPR)."""
+
+    @pytest.mark.parametrize("sampler", SAMPLERS)
+    def test_unweighted(self, sampler):
+        graph = erdos_renyi(10, 0.4, rng=11)
+        alpha = 0.25
+        exact = exact_ppr_matrix(graph, alpha)
+        frequencies, _ = _root_frequencies(graph, alpha, sampler, 3000, 42)
+        assert np.abs(frequencies - exact).max() < 0.035
+
+    @pytest.mark.parametrize("sampler", SAMPLERS)
+    def test_weighted(self, sampler):
+        graph = with_random_weights(erdos_renyi(8, 0.5, rng=13), rng=5)
+        alpha = 0.3
+        exact = exact_ppr_matrix(graph, alpha)
+        frequencies, _ = _root_frequencies(graph, alpha, sampler, 3000, 43)
+        assert np.abs(frequencies - exact).max() < 0.035
+
+    def test_samplers_agree_with_each_other(self):
+        graph = erdos_renyi(12, 0.3, rng=17)
+        alpha = 0.1
+        wilson, _ = _root_frequencies(graph, alpha, sample_forest_wilson,
+                                      2500, 1)
+        popping, _ = _root_frequencies(graph, alpha,
+                                       sample_forest_cycle_popping, 2500, 2)
+        assert np.abs(wilson - popping).max() < 0.045
+
+    @pytest.mark.parametrize("sampler", SAMPLERS)
+    def test_mean_steps_match_tau(self, sampler):
+        """Empirical Lemma 4.4: average steps per forest ≈ τ."""
+        graph = erdos_renyi(15, 0.3, rng=19)
+        alpha = 0.15
+        tau = tau_exact(graph, alpha)
+        _, mean_steps = _root_frequencies(graph, alpha, sampler, 1500, 3)
+        assert mean_steps == pytest.approx(tau, rel=0.1)
+
+    def test_wilson_order_invariance(self):
+        """Wilson's key property: the processing order does not change
+        the sampled distribution (checked on root-count marginals)."""
+        graph = erdos_renyi(9, 0.4, rng=23)
+        alpha = 0.2
+        forward = np.zeros(9)
+        backward = np.zeros(9)
+        rng_a = np.random.default_rng(31)
+        rng_b = np.random.default_rng(32)
+        trials = 2500
+        for _ in range(trials):
+            f = sample_forest_wilson(graph, alpha, rng=rng_a,
+                                     order=np.arange(9))
+            forward[f.roots[0]] += 1
+            b = sample_forest_wilson(graph, alpha, rng=rng_b,
+                                     order=np.arange(8, -1, -1))
+            backward[b.roots[0]] += 1
+        assert np.abs(forward - backward).max() / trials < 0.04
+
+
+class TestBatchSampling:
+    def test_sample_forests_count(self, k5):
+        forests = list(sample_forests(k5, 0.2, 7, rng=0))
+        assert len(forests) == 7
+
+    def test_sample_forests_independent(self, k5):
+        forests = list(sample_forests(k5, 0.2, 30, rng=0))
+        roots = {tuple(f.roots.tolist()) for f in forests}
+        assert len(roots) > 1  # not all identical
+
+    def test_dispatch_by_name(self, k5):
+        assert sample_forest(k5, 0.2, rng=0, method="wilson").method == "wilson"
+        assert sample_forest(k5, 0.2, rng=0,
+                             method="cycle_popping").method == "cycle_popping"
+
+    def test_unknown_method(self, k5):
+        with pytest.raises(ConfigError):
+            sample_forest(k5, 0.2, method="aldous_broder")
+
+    def test_negative_count(self, k5):
+        with pytest.raises(ConfigError):
+            list(sample_forests(k5, 0.2, -1))
+
+
+class TestRootedForestType:
+    def test_component_queries(self):
+        roots = np.array([0, 0, 2, 2, 2])
+        parents = np.array([-1, 0, -1, 2, 3])
+        forest = RootedForest(roots=roots, parents=parents)
+        forest.validate()
+        assert forest.num_trees == 2
+        assert forest.root_set.tolist() == [0, 2]
+        assert forest.component_sizes[2] == 3
+        assert forest.component_of(3).tolist() == [2, 3, 4]
+        assert forest.same_tree(0, 1)
+        assert not forest.same_tree(1, 4)
+        assert forest.is_rooted_in(4, 2)
+
+    def test_degree_mass(self):
+        roots = np.array([0, 0, 2])
+        parents = np.array([-1, 0, -1])
+        forest = RootedForest(roots=roots, parents=parents)
+        degrees = np.array([1.0, 2.0, 5.0])
+        mass = forest.component_degree_mass(degrees)
+        assert mass[0] == pytest.approx(3.0)
+        assert mass[2] == pytest.approx(5.0)
+
+    def test_validate_rejects_root_with_parent(self):
+        forest = RootedForest(roots=np.array([0, 0]),
+                              parents=np.array([1, 0]))
+        with pytest.raises(Exception):
+            forest.validate()
+
+    def test_validate_rejects_cycle(self):
+        forest = RootedForest(roots=np.array([2, 2, 2]),
+                              parents=np.array([1, 0, -1]))
+        with pytest.raises(Exception):
+            forest.validate()
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(Exception):
+            RootedForest(roots=np.array([0, 1]), parents=np.array([-1]))

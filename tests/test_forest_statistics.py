@@ -1,0 +1,62 @@
+"""Forest-statistics diagnostics: the α·τ tree-count identity & co."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.forests import collect_forest_statistics
+from repro.graph.generators import erdos_renyi
+from repro.linalg import exact_ppr_matrix, tau_exact
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(40, 0.15, rng=901)
+
+
+class TestIdentities:
+    def test_mean_trees_equals_alpha_tau(self, graph):
+        """E[#trees] = Σ_u π(u,u) = α·τ (Theorem 3.6 + Lemma 4.4)."""
+        alpha = 0.2
+        stats = collect_forest_statistics(graph, alpha, num_forests=2000,
+                                          rng=1)
+        want = alpha * tau_exact(graph, alpha)
+        assert stats.mean_trees == pytest.approx(want, rel=0.05)
+
+    def test_root_frequency_is_ppr_diagonal(self, graph):
+        alpha = 0.25
+        stats = collect_forest_statistics(graph, alpha, num_forests=3000,
+                                          rng=2)
+        diagonal = np.diag(exact_ppr_matrix(graph, alpha))
+        assert np.abs(stats.root_frequency - diagonal).max() < 0.04
+
+    def test_implied_tau_matches_measured_steps(self, graph):
+        alpha = 0.15
+        stats = collect_forest_statistics(graph, alpha, num_forests=2000,
+                                          rng=3)
+        assert stats.implied_tau_at(alpha) == pytest.approx(
+            stats.mean_steps, rel=0.1)
+
+    def test_tree_sizes_partition_the_graph(self, graph):
+        stats = collect_forest_statistics(graph, 0.3, num_forests=200,
+                                          rng=4)
+        # mean size * mean trees = n (sizes partition V in every sample)
+        assert stats.tree_size_mean * stats.mean_trees == pytest.approx(
+            graph.num_nodes, rel=0.05)
+        assert 1 <= stats.tree_size_max <= graph.num_nodes
+
+    def test_more_trees_at_larger_alpha(self, graph):
+        low = collect_forest_statistics(graph, 0.05, num_forests=300, rng=5)
+        high = collect_forest_statistics(graph, 0.6, num_forests=300, rng=5)
+        assert high.mean_trees > low.mean_trees
+
+
+class TestValidation:
+    def test_bad_count(self, graph):
+        with pytest.raises(ConfigError):
+            collect_forest_statistics(graph, 0.2, num_forests=0)
+
+    def test_bad_alpha_for_implied_tau(self, graph):
+        stats = collect_forest_statistics(graph, 0.2, num_forests=5, rng=6)
+        with pytest.raises(ConfigError):
+            stats.implied_tau_at(0.0)

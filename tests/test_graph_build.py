@@ -1,0 +1,172 @@
+"""Unit tests for graph builders (edge lists and foreign formats)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import (
+    from_adjacency,
+    from_edges,
+    from_networkx,
+    from_scipy_sparse,
+)
+from repro.graph.validation import check_graph_invariants
+
+import scipy.sparse as sp
+
+
+class TestFromEdges:
+    def test_simple_undirected(self):
+        graph = from_edges([(0, 1), (1, 2)])
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 2
+        assert graph.has_edge(1, 0)
+
+    def test_num_nodes_inferred(self):
+        graph = from_edges([(0, 7)])
+        assert graph.num_nodes == 8
+
+    def test_num_nodes_explicit_allows_isolated(self):
+        graph = from_edges([(0, 1)], num_nodes=5)
+        assert graph.num_nodes == 5
+        assert graph.degree(4) == 0.0
+
+    def test_num_nodes_too_small_rejected(self):
+        with pytest.raises(GraphError):
+            from_edges([(0, 5)], num_nodes=3)
+
+    def test_self_loops_dropped_by_default(self):
+        graph = from_edges([(0, 0), (0, 1)])
+        assert graph.num_edges == 1
+
+    def test_self_loops_kept_when_allowed(self):
+        graph = from_edges([(0, 0), (0, 1)], allow_self_loops=True,
+                           directed=True)
+        assert graph.has_edge(0, 0)
+
+    def test_parallel_edges_merged_unweighted(self):
+        graph = from_edges([(0, 1), (0, 1), (1, 0)])
+        assert graph.num_edges == 1
+        assert graph.degree(0) == 1.0
+
+    def test_parallel_edges_sum_weights(self):
+        graph = from_edges([(0, 1), (0, 1)], weights=[2.0, 3.0])
+        assert graph.degree(0) == pytest.approx(5.0)
+
+    def test_directed(self):
+        graph = from_edges([(0, 1)], directed=True)
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(1, 0)
+
+    def test_empty_edge_list(self):
+        graph = from_edges([], num_nodes=3)
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 0
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(GraphError):
+            from_edges([(-1, 0)])
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(GraphError):
+            from_edges(np.array([[0, 1, 2]]))
+
+    def test_weight_count_mismatch_rejected(self):
+        with pytest.raises(GraphError):
+            from_edges([(0, 1)], weights=[1.0, 2.0])
+
+    def test_non_positive_weights_rejected(self):
+        with pytest.raises(GraphError):
+            from_edges([(0, 1)], weights=[0.0])
+
+    def test_symmetric_weighted_storage(self):
+        graph = from_edges([(0, 1)], weights=[2.5])
+        dense = graph.to_scipy_adjacency().toarray()
+        assert dense[0, 1] == dense[1, 0] == 2.5
+
+    def test_invariants(self):
+        graph = from_edges([(0, 1), (1, 2), (2, 0), (2, 3)],
+                           weights=[1, 2, 3, 4])
+        check_graph_invariants(graph)
+
+
+class TestFromAdjacency:
+    def test_round_trip(self):
+        dense = np.array([[0, 2.0, 0], [2.0, 0, 1.0], [0, 1.0, 0]])
+        graph = from_adjacency(dense)
+        assert graph.is_weighted
+        assert graph.degree(1) == pytest.approx(3.0)
+
+    def test_unweighted_detection(self):
+        dense = np.array([[0, 1], [1, 0]], dtype=float)
+        graph = from_adjacency(dense)
+        assert not graph.is_weighted
+
+    def test_diagonal_cleared(self):
+        dense = np.array([[5.0, 1], [1, 5.0]])
+        graph = from_adjacency(dense)
+        assert not graph.has_edge(0, 0)
+
+    def test_asymmetric_undirected_rejected(self):
+        with pytest.raises(GraphError):
+            from_adjacency(np.array([[0, 1.0], [0, 0]]))
+
+    def test_asymmetric_directed_ok(self):
+        graph = from_adjacency(np.array([[0, 1.0], [0, 0]]), directed=True)
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(1, 0)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(GraphError):
+            from_adjacency(np.zeros((2, 3)))
+
+    def test_negative_entries_rejected(self):
+        with pytest.raises(GraphError):
+            from_adjacency(np.array([[0, -1.0], [-1.0, 0]]))
+
+
+class TestFromScipySparse:
+    def test_csr_input(self):
+        matrix = sp.csr_matrix(np.array([[0, 1.0], [1.0, 0]]))
+        graph = from_scipy_sparse(matrix)
+        assert graph.num_edges == 1
+
+    def test_explicit_zero_removed(self):
+        matrix = sp.csr_matrix(np.array([[0, 1.0], [1.0, 0]]))
+        matrix[0, 1] = 0.0
+        matrix[1, 0] = 0.0
+        graph = from_scipy_sparse(matrix.tocsr(), directed=True)
+        assert graph.num_edges == 0
+
+    def test_force_weighted_flag(self):
+        matrix = sp.csr_matrix(np.array([[0, 1.0], [1.0, 0]]))
+        graph = from_scipy_sparse(matrix, weighted=True)
+        assert graph.is_weighted
+
+
+class TestFromNetworkx:
+    nx = pytest.importorskip("networkx")
+
+    def test_simple(self):
+        nx = self.nx
+        graph = from_networkx(nx.karate_club_graph())
+        assert graph.num_nodes == 34
+        assert graph.num_edges == 78
+
+    def test_weights_respected(self):
+        nx = self.nx
+        g = nx.Graph()
+        g.add_edge("a", "b", weight=2.0)
+        g.add_edge("b", "c", weight=3.0)
+        graph = from_networkx(g)
+        assert graph.is_weighted
+        # sorted labels: a=0, b=1, c=2
+        assert graph.degree(1) == pytest.approx(5.0)
+
+    def test_directed(self):
+        nx = self.nx
+        g = nx.DiGraph()
+        g.add_edge(0, 1)
+        graph = from_networkx(g)
+        assert graph.directed
+        assert not graph.has_edge(1, 0)

@@ -1,0 +1,99 @@
+"""Tests for the Table-1 stand-in dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.datasets import (
+    UNWEIGHTED_DATASETS,
+    WEIGHTED_DATASETS,
+    available_datasets,
+    clear_dataset_cache,
+    load_dataset,
+    table1_statistics,
+)
+from repro.graph.validation import check_graph_invariants
+
+
+class TestRegistry:
+    def test_seven_datasets(self):
+        specs = available_datasets()
+        assert len(specs) == 7
+        assert [s.name for s in specs] == list(
+            UNWEIGHTED_DATASETS + WEIGHTED_DATASETS)
+
+    def test_paper_statistics_recorded(self):
+        youtube = next(s for s in available_datasets() if s.name == "youtube")
+        assert youtube.paper_nodes == 1_134_890
+        assert youtube.paper_avg_degree == pytest.approx(5.27)
+
+    def test_weighted_flags(self):
+        for spec in available_datasets():
+            assert spec.weighted == (spec.name in WEIGHTED_DATASETS)
+
+
+class TestLoadDataset:
+    def test_unknown_name(self):
+        with pytest.raises(GraphError):
+            load_dataset("facebook")
+
+    def test_bad_scale(self):
+        with pytest.raises(GraphError):
+            load_dataset("youtube", scale=0.0)
+
+    def test_case_insensitive(self):
+        assert load_dataset("Youtube", scale=0.05) is load_dataset(
+            "youtube", scale=0.05)
+
+    def test_caching_identity(self):
+        first = load_dataset("youtube", scale=0.05)
+        second = load_dataset("youtube", scale=0.05)
+        assert first is second
+
+    def test_clear_cache(self):
+        first = load_dataset("youtube", scale=0.05)
+        clear_dataset_cache()
+        second = load_dataset("youtube", scale=0.05)
+        assert first is not second
+        assert first == second  # deterministic regeneration
+
+    def test_scale_changes_size(self):
+        small = load_dataset("pokec", scale=0.05)
+        larger = load_dataset("pokec", scale=0.1)
+        assert larger.num_nodes > small.num_nodes
+
+    def test_connected_by_default(self):
+        for name in ("youtube", "dblp"):
+            assert load_dataset(name, scale=0.05).is_connected
+
+    def test_weighted_datasets_have_weights(self):
+        graph = load_dataset("dblp", scale=0.05)
+        assert graph.is_weighted
+        assert np.all(graph.weights >= 1.0)
+
+    def test_unweighted_datasets_have_none(self):
+        assert load_dataset("orkut", scale=0.05).weights is None
+
+    def test_average_degree_in_ballpark(self):
+        # stand-ins should land within a factor ~2 of the target d-bar
+        for name in ("pokec", "livejournal"):
+            spec = next(s for s in available_datasets() if s.name == name)
+            graph = load_dataset(name, scale=0.2)
+            assert spec.avg_degree / 2 < graph.average_degree < spec.avg_degree * 2
+
+    def test_heavy_tail_present(self):
+        graph = load_dataset("youtube", scale=0.2)
+        assert graph.degrees.max() > 8 * graph.degrees.mean()
+
+    def test_invariants(self):
+        check_graph_invariants(load_dataset("stackoverflow", scale=0.05))
+
+
+class TestTable1:
+    def test_rows_cover_all_datasets(self):
+        rows = table1_statistics(scale=0.05)
+        assert [row["dataset"] for row in rows] == list(
+            UNWEIGHTED_DATASETS + WEIGHTED_DATASETS)
+        for row in rows:
+            assert row["n"] > 0 and row["m"] > 0
+            assert row["paper_n"] > row["n"]  # stand-ins are scaled down

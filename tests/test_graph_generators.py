@@ -1,0 +1,241 @@
+"""Generator tests: structural guarantees + reproducibility."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GraphError
+from repro.graph.generators import (
+    barabasi_albert,
+    chung_lu,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_graph,
+    path_graph,
+    powerlaw_configuration,
+    random_tree,
+    star_graph,
+    watts_strogatz,
+    with_random_weights,
+)
+from repro.graph.validation import check_graph_invariants
+
+
+class TestDeterministicTopologies:
+    def test_complete(self):
+        graph = complete_graph(6)
+        assert graph.num_edges == 15
+        assert np.all(graph.degrees == 5.0)
+
+    def test_cycle(self):
+        graph = cycle_graph(7)
+        assert graph.num_edges == 7
+        assert np.all(graph.degrees == 2.0)
+
+    def test_path(self):
+        graph = path_graph(5)
+        assert graph.num_edges == 4
+        assert graph.degree(0) == 1.0
+        assert graph.degree(2) == 2.0
+
+    def test_path_single_node(self):
+        assert path_graph(1).num_edges == 0
+
+    def test_star(self):
+        graph = star_graph(6)
+        assert graph.num_nodes == 7
+        assert graph.degree(0) == 6.0
+
+    def test_grid(self):
+        graph = grid_graph(3, 4)
+        assert graph.num_nodes == 12
+        # edges: 3*3 horizontal + 2*4 vertical
+        assert graph.num_edges == 17
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+
+class TestRandomTree:
+    def test_is_tree(self):
+        graph = random_tree(40, rng=5)
+        assert graph.num_edges == 39
+        assert graph.is_connected
+
+    def test_reproducible(self):
+        assert random_tree(20, rng=1) == random_tree(20, rng=1)
+
+    def test_single_node(self):
+        assert random_tree(1, rng=0).num_edges == 0
+
+
+class TestErdosRenyi:
+    def test_extreme_probabilities(self):
+        assert erdos_renyi(10, 0.0, rng=0).num_edges == 0
+        assert erdos_renyi(10, 1.0, rng=0).num_edges == 45
+
+    def test_edge_count_near_expectation(self):
+        graph = erdos_renyi(200, 0.1, rng=3)
+        expected = 0.1 * 200 * 199 / 2
+        assert abs(graph.num_edges - expected) < 5 * np.sqrt(expected)
+
+    def test_reproducible(self):
+        assert erdos_renyi(50, 0.2, rng=9) == erdos_renyi(50, 0.2, rng=9)
+
+    def test_invariants(self):
+        check_graph_invariants(erdos_renyi(60, 0.15, rng=2))
+
+    def test_bad_probability(self):
+        with pytest.raises(GraphError):
+            erdos_renyi(10, 1.5)
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        graph = barabasi_albert(50, 3, rng=4)
+        # seed clique C(4,2)=6 edges + 46 nodes * 3 attachments
+        assert graph.num_edges == 6 + 46 * 3
+        assert graph.is_connected
+
+    def test_hub_emerges(self):
+        graph = barabasi_albert(300, 2, rng=8)
+        assert graph.degrees.max() > 4 * graph.degrees.mean()
+
+    def test_parameter_validation(self):
+        with pytest.raises(GraphError):
+            barabasi_albert(5, 5)
+
+
+class TestChungLu:
+    def test_mean_degree_targeted(self):
+        expected = np.full(300, 8.0)
+        graph = chung_lu(expected, rng=11)
+        assert abs(graph.average_degree - 8.0) < 1.5
+
+    def test_heavy_tail_respected(self):
+        weights = np.ones(400)
+        weights[0] = 80.0
+        graph = chung_lu(weights, rng=13)
+        assert graph.degrees[0] > 5 * graph.degrees[1:].mean()
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(GraphError):
+            chung_lu(np.zeros(5))
+
+
+class TestPowerlawConfiguration:
+    def test_degree_bounds(self):
+        graph = powerlaw_configuration(200, exponent=2.5, min_degree=3,
+                                       max_degree=20, rng=17)
+        # erasure may reduce but never increase degrees
+        assert graph.degrees.max() <= 20
+        check_graph_invariants(graph)
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            powerlaw_configuration(10, exponent=0.5)
+
+
+class TestWattsStrogatz:
+    def test_no_rewire_is_ring(self):
+        graph = watts_strogatz(20, 2, 0.0, rng=0)
+        assert graph.num_edges == 40
+        assert np.all(graph.degrees == 4.0)
+
+    def test_rewire_keeps_simple(self):
+        graph = watts_strogatz(50, 3, 0.5, rng=23)
+        check_graph_invariants(graph)
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            watts_strogatz(10, 6, 0.1)
+
+
+class TestWithRandomWeights:
+    def test_symmetric_integer_weights(self):
+        base = erdos_renyi(30, 0.2, rng=31)
+        weighted = with_random_weights(base, low=1, high=10, rng=3)
+        assert weighted.is_weighted
+        dense = weighted.to_scipy_adjacency().toarray()
+        assert np.allclose(dense, dense.T)
+        assert np.all(weighted.weights == np.round(weighted.weights))
+        check_graph_invariants(weighted)
+
+    def test_same_topology(self):
+        base = erdos_renyi(30, 0.2, rng=31)
+        weighted = with_random_weights(base, rng=3)
+        assert np.array_equal(base.indptr, weighted.indptr)
+        assert weighted.num_edges == base.num_edges
+
+    def test_rejects_directed(self, directed_line):
+        with pytest.raises(GraphError):
+            with_random_weights(directed_line)
+
+
+class TestPropertyBased:
+    @given(n=st.integers(3, 40), p=st.floats(0.0, 1.0), seed=st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_erdos_renyi_always_valid(self, n, p, seed):
+        check_graph_invariants(erdos_renyi(n, p, rng=seed))
+
+    @given(n=st.integers(2, 40), seed=st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_random_tree_always_spanning(self, n, seed):
+        graph = random_tree(n, rng=seed)
+        assert graph.num_edges == n - 1
+        assert graph.is_connected
+
+    @given(n=st.integers(5, 40), m=st.integers(1, 4), seed=st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_barabasi_albert_always_connected(self, n, m, seed):
+        if m >= n:
+            return
+        graph = barabasi_albert(n, m, rng=seed)
+        assert graph.is_connected
+        check_graph_invariants(graph)
+
+
+class TestStochasticBlockModel:
+    def test_block_structure(self):
+        from repro.graph.generators import stochastic_block_model
+        graph = stochastic_block_model([40, 40], [[0.4, 0.01], [0.01, 0.4]],
+                                       rng=5)
+        assert graph.num_nodes == 80
+        check_graph_invariants(graph)
+        # internal edges dominate external
+        arcs = graph.edges()
+        internal = np.sum((arcs[:, 0] < 40) == (arcs[:, 1] < 40))
+        external = arcs.shape[0] - internal
+        assert internal > 5 * external
+
+    def test_edge_counts_near_expectation(self):
+        from repro.graph.generators import stochastic_block_model
+        graph = stochastic_block_model([50, 50], [[0.2, 0.05], [0.05, 0.2]],
+                                       rng=7)
+        expected = 2 * 0.2 * 50 * 49 / 2 + 0.05 * 50 * 50
+        assert abs(graph.num_edges - expected) < 5 * np.sqrt(expected)
+
+    def test_zero_probability_block(self):
+        from repro.graph.generators import stochastic_block_model
+        graph = stochastic_block_model([10, 10], [[0.5, 0.0], [0.0, 0.5]],
+                                       rng=9)
+        labels = graph.connected_components
+        assert labels[:10].max() != labels[10:].min() or not graph.is_connected
+
+    def test_reproducible(self):
+        from repro.graph.generators import stochastic_block_model
+        spec = ([15, 15], [[0.3, 0.1], [0.1, 0.3]])
+        assert stochastic_block_model(*spec, rng=3) == \
+            stochastic_block_model(*spec, rng=3)
+
+    def test_validation(self):
+        from repro.graph.generators import stochastic_block_model
+        with pytest.raises(GraphError):
+            stochastic_block_model([10], [[0.5, 0.1], [0.1, 0.5]])
+        with pytest.raises(GraphError):
+            stochastic_block_model([10, 10], [[0.5, 0.2], [0.1, 0.5]])
+        with pytest.raises(GraphError):
+            stochastic_block_model([10, 10], [[1.5, 0.1], [0.1, 0.5]])

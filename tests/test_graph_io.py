@@ -1,0 +1,80 @@
+"""Edge-list IO round-trip tests."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import from_edges, read_edge_list, write_edge_list
+
+
+class TestRoundTrip:
+    def test_unweighted(self, tmp_path, k5):
+        path = tmp_path / "k5.txt"
+        write_edge_list(k5, path)
+        loaded = read_edge_list(path)
+        assert loaded == k5
+
+    def test_weighted(self, tmp_path, weighted_small):
+        path = tmp_path / "w.txt"
+        write_edge_list(weighted_small, path)
+        loaded = read_edge_list(path)
+        assert loaded == weighted_small
+
+    def test_directed(self, tmp_path, directed_line):
+        path = tmp_path / "d.txt"
+        write_edge_list(directed_line, path)
+        loaded = read_edge_list(path, directed=True)
+        assert loaded == directed_line
+
+    def test_fractional_weights_survive(self, tmp_path):
+        graph = from_edges([(0, 1)], weights=[0.123456789012345])
+        path = tmp_path / "frac.txt"
+        write_edge_list(graph, path)
+        loaded = read_edge_list(path)
+        assert loaded.degree(0) == pytest.approx(0.123456789012345, rel=1e-15)
+
+
+class TestParsing:
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "c.txt"
+        path.write_text("# header\n\n% another comment\n0 1\n1 2\n")
+        graph = read_edge_list(path)
+        assert graph.num_edges == 2
+
+    def test_weight_column_autodetected(self, tmp_path):
+        path = tmp_path / "w.txt"
+        path.write_text("0 1 2.5\n1 2 1.0\n")
+        graph = read_edge_list(path)
+        assert graph.is_weighted
+        assert graph.degree(1) == pytest.approx(3.5)
+
+    def test_force_unweighted(self, tmp_path):
+        path = tmp_path / "w.txt"
+        path.write_text("0 1 2.5\n")
+        graph = read_edge_list(path, weighted=False)
+        assert not graph.is_weighted
+
+    def test_short_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
+    def test_garbage_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("zero one\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
+    def test_isolated_nodes_survive_round_trip(self, tmp_path):
+        graph = from_edges([(0, 1)], num_nodes=5)
+        path = tmp_path / "iso.txt"
+        write_edge_list(graph, path)
+        loaded = read_edge_list(path)
+        assert loaded.num_nodes == 5
+        assert loaded == graph
+
+    def test_header_parsing_tolerates_foreign_comments(self, tmp_path):
+        path = tmp_path / "foreign.txt"
+        path.write_text("# SNAP dataset something\n0 1\n")
+        graph = read_edge_list(path)
+        assert graph.num_nodes == 2

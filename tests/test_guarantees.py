@@ -1,0 +1,132 @@
+r"""End-to-end verification of the paper's accuracy guarantees.
+
+These run the two-stage algorithms at the *full* Chernoff budget
+(``budget_scale=1``) on small graphs and check the actual guarantee
+statements over repeated seeded runs:
+
+- **Theorem 5.3** (FORALV): for every ``t`` with ``π(s,t) > μ``,
+  ``|π̂(s,t) − π(s,t)| ≤ ε·d_t·π(s,t)`` w.p. ``≥ 1 − p_f``;
+- **Theorem 6.1** (BACKLV): for every ``v`` with ``π(v,t) > μ``,
+  ``|π̂(v,t) − π(v,t)| ≤ ε·π(v,t)`` w.p. ``≥ 1 − p_f``;
+- the classic additive guarantee of backward push;
+- FORA's relative guarantee, for cross-validation of the harness.
+
+Each trial checks *all* qualifying nodes of one query; the failure
+budget across trials is sized from ``p_f`` with slack (the bounds are
+conservative, so observed failures should be far rarer than allowed).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import PPRConfig
+from repro.core.single_source import fora, foralv
+from repro.core.single_target import backlv
+from repro.graph.generators import erdos_renyi
+from repro.linalg import ExactSolver
+
+ALPHA = 0.15
+EPSILON = 0.5
+TRIALS = 12
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(50, 0.15, rng=1001)
+
+
+@pytest.fixture(scope="module")
+def solver(graph):
+    return ExactSolver(graph, ALPHA)
+
+
+def _full_budget_config(seed: int) -> PPRConfig:
+    return PPRConfig(alpha=ALPHA, epsilon=EPSILON, budget_scale=1.0,
+                     seed=seed)
+
+
+class TestTheorem53:
+    def test_foralv_relative_guarantee(self, graph, solver):
+        """|π̂ − π| ≤ ε·d_t·π for all π > μ, w.p. ≥ 1 − p_f per node."""
+        mu = 1.0 / graph.num_nodes
+        degrees = graph.degrees
+        source = 0
+        exact = solver.single_source(source)
+        qualifying = np.flatnonzero(exact > mu)
+        assert qualifying.size > 0
+        violations = 0
+        checks = 0
+        for seed in range(TRIALS):
+            result = foralv(graph, source, _full_budget_config(seed))
+            errors = np.abs(result.estimates[qualifying]
+                            - exact[qualifying])
+            bound = EPSILON * degrees[qualifying] * exact[qualifying]
+            violations += int(np.sum(errors > bound))
+            checks += qualifying.size
+        # p_f = 1/n per node; allow generous slack over the expectation
+        allowed = max(5, int(0.05 * checks))
+        assert violations <= allowed, (
+            f"{violations}/{checks} guarantee violations")
+
+    def test_tighter_epsilon_tighter_errors(self, graph, solver):
+        exact = solver.single_source(3)
+        errors = {}
+        for epsilon in (1.0, 0.25):
+            config = PPRConfig(alpha=ALPHA, epsilon=epsilon,
+                               budget_scale=1.0, seed=7)
+            result = foralv(graph, 3, config)
+            errors[epsilon] = float(np.abs(result.estimates - exact).sum())
+        assert errors[0.25] <= errors[1.0] * 1.5  # stochastic slack
+
+
+class TestTheorem61:
+    def test_backlv_relative_guarantee(self, graph, solver):
+        """|π̂(v,t) − π(v,t)| ≤ ε·π(v,t) for all π > μ."""
+        mu = 1.0 / graph.num_nodes
+        target = int(np.argmax(graph.degrees))
+        exact = solver.single_target(target)
+        qualifying = np.flatnonzero(exact > mu)
+        assert qualifying.size > 0
+        violations = 0
+        checks = 0
+        for seed in range(TRIALS):
+            result = backlv(graph, target, _full_budget_config(seed))
+            errors = np.abs(result.estimates[qualifying]
+                            - exact[qualifying])
+            bound = EPSILON * exact[qualifying]
+            violations += int(np.sum(errors > bound))
+            checks += qualifying.size
+        allowed = max(5, int(0.05 * checks))
+        assert violations <= allowed, (
+            f"{violations}/{checks} guarantee violations")
+
+
+class TestBaselineGuarantees:
+    def test_fora_relative_guarantee(self, graph, solver):
+        mu = 1.0 / graph.num_nodes
+        exact = solver.single_source(2)
+        qualifying = np.flatnonzero(exact > mu)
+        violations = 0
+        checks = 0
+        for seed in range(TRIALS):
+            result = fora(graph, 2, _full_budget_config(seed))
+            errors = np.abs(result.estimates[qualifying]
+                            - exact[qualifying])
+            bound = EPSILON * exact[qualifying]
+            violations += int(np.sum(errors > bound))
+            checks += qualifying.size
+        allowed = max(5, int(0.05 * checks))
+        assert violations <= allowed
+
+    def test_back_additive_guarantee_always(self, graph, solver):
+        """BACK's additive bound is deterministic — zero tolerance."""
+        from repro.core.single_target import back
+        target = 4
+        exact = solver.single_target(target)
+        config = PPRConfig(alpha=ALPHA, epsilon=EPSILON, budget_scale=1.0,
+                           seed=0)
+        result = back(graph, target, config)
+        r_max = result.stats["r_max"]
+        gaps = exact - result.estimates
+        assert np.all(gaps >= -1e-10)
+        assert np.all(gaps <= r_max + 1e-10)

@@ -1,0 +1,145 @@
+"""Exact solver tests: Eq. 1/2/4 consistency, conventions, power iteration."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigError, ConvergenceError
+from repro.linalg import (
+    ExactSolver,
+    exact_ppr_matrix,
+    exact_single_source,
+    exact_single_target,
+    power_iteration_single_source,
+    power_iteration_single_target,
+)
+from repro.linalg.transition import dangling_nodes, transition_matrix
+
+
+class TestExactMatrix:
+    def test_rows_sum_to_one(self, random_graph):
+        matrix = exact_ppr_matrix(random_graph, 0.15)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    def test_nonnegative(self, random_graph):
+        assert np.all(exact_ppr_matrix(random_graph, 0.15) >= -1e-14)
+
+    def test_defining_linear_equation(self, weighted_small):
+        # p_s = alpha * e_s + (1 - alpha) * p_s P  (Eq. 1)
+        alpha = 0.2
+        matrix = exact_ppr_matrix(weighted_small, alpha)
+        transition = transition_matrix(weighted_small).toarray()
+        for source in range(weighted_small.num_nodes):
+            row = matrix[source]
+            unit = np.zeros(weighted_small.num_nodes)
+            unit[source] = 1.0
+            assert np.allclose(row, alpha * unit + (1 - alpha) * row @ transition)
+
+    def test_alpha_one_limit(self, k5):
+        # alpha -> 1: the walk stops immediately, PPR -> identity
+        matrix = exact_ppr_matrix(k5, 0.999999)
+        assert np.allclose(matrix, np.eye(5), atol=1e-5)
+
+    def test_diagonal_dominates_on_path_ends(self, path4):
+        matrix = exact_ppr_matrix(path4, 0.3)
+        assert matrix[0, 0] > matrix[0, 1] > matrix[0, 2] > matrix[0, 3]
+
+    def test_symmetric_graph_symmetry(self, cycle6):
+        # vertex-transitive graph: pi(s, t) depends only on distance
+        matrix = exact_ppr_matrix(cycle6, 0.2)
+        assert matrix[0, 1] == pytest.approx(matrix[0, 5], rel=1e-12)
+        assert matrix[0, 2] == pytest.approx(matrix[0, 4], rel=1e-12)
+
+    def test_invalid_alpha(self, k5):
+        for alpha in (0.0, 1.0, -0.1, 1.7):
+            with pytest.raises(ConfigError):
+                exact_ppr_matrix(k5, alpha)
+
+
+class TestExactSolver:
+    def test_row_and_column_agree_with_matrix(self, random_weighted_graph):
+        alpha = 0.1
+        matrix = exact_ppr_matrix(random_weighted_graph, alpha)
+        solver = ExactSolver(random_weighted_graph, alpha)
+        for node in (0, 3, 11):
+            assert np.allclose(solver.single_source(node), matrix[node],
+                               atol=1e-10)
+            assert np.allclose(solver.single_target(node), matrix[:, node],
+                               atol=1e-10)
+
+    def test_pairwise(self, k5):
+        solver = ExactSolver(k5, 0.3)
+        assert solver.pairwise(0, 1) == pytest.approx(
+            exact_ppr_matrix(k5, 0.3)[0, 1])
+
+    def test_one_shot_helpers(self, k5):
+        matrix = exact_ppr_matrix(k5, 0.25)
+        assert np.allclose(exact_single_source(k5, 2, 0.25), matrix[2])
+        assert np.allclose(exact_single_target(k5, 2, 0.25), matrix[:, 2])
+
+    def test_node_out_of_range(self, k5):
+        solver = ExactSolver(k5, 0.3)
+        with pytest.raises(ConfigError):
+            solver.single_source(5)
+
+
+class TestDanglingConvention:
+    def test_isolated_node_is_absorbing(self, disconnected):
+        vector = exact_single_source(disconnected, 5, 0.2)
+        assert vector[5] == pytest.approx(1.0)
+        assert np.allclose(np.delete(vector, 5), 0.0)
+
+    def test_directed_dangling_sink(self, directed_line):
+        # node 2 has no out-edges; all walks from 0 end at 1 or 2
+        vector = exact_single_source(directed_line, 0, 0.5)
+        assert vector.sum() == pytest.approx(1.0)
+        assert vector[2] > 0
+
+    def test_dangling_nodes_helper(self, disconnected, directed_line):
+        assert dangling_nodes(disconnected).tolist() == [5]
+        assert dangling_nodes(directed_line).tolist() == [2]
+
+    def test_backward_consistency_for_dangling(self, directed_line):
+        # column of node 2 must match the row-wise matrix
+        matrix = exact_ppr_matrix(directed_line, 0.5)
+        assert np.allclose(exact_single_target(directed_line, 2, 0.5),
+                           matrix[:, 2])
+
+
+class TestPowerIteration:
+    def test_matches_exact_solver(self, random_graph):
+        alpha = 0.12
+        for node in (0, 7):
+            lu = exact_single_source(random_graph, node, alpha)
+            power = power_iteration_single_source(random_graph, node, alpha,
+                                                  tolerance=1e-12)
+            assert np.allclose(lu, power, atol=1e-10)
+
+    def test_target_direction(self, random_weighted_graph):
+        alpha = 0.2
+        lu = exact_single_target(random_weighted_graph, 4, alpha)
+        power = power_iteration_single_target(random_weighted_graph, 4,
+                                              alpha, tolerance=1e-12)
+        assert np.allclose(lu, power, atol=1e-10)
+
+    def test_budget_exhaustion_raises(self, k5):
+        with pytest.raises(ConvergenceError) as info:
+            power_iteration_single_source(k5, 0, 0.01, tolerance=1e-12,
+                                          max_iterations=3)
+        assert info.value.iterations == 3
+        assert info.value.residual is not None
+
+    def test_invalid_tolerance(self, k5):
+        with pytest.raises(ConfigError):
+            power_iteration_single_source(k5, 0, 0.1, tolerance=0.0)
+
+
+class TestTransitionMatrix:
+    def test_absorbing_self_loop_added(self, disconnected):
+        matrix = transition_matrix(disconnected, absorb_dangling=True)
+        assert matrix[5, 5] == pytest.approx(1.0)
+        sums = np.asarray(matrix.sum(axis=1)).ravel()
+        assert np.allclose(sums, 1.0)
+
+    def test_raw_matrix_keeps_zero_row(self, disconnected):
+        matrix = transition_matrix(disconnected, absorb_dangling=False)
+        assert matrix[5].nnz == 0

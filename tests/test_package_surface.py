@@ -1,0 +1,70 @@
+"""Package-surface hygiene: exports resolve, modules are documented."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+SUBPACKAGES = ["repro.graph", "repro.linalg", "repro.forests", "repro.push",
+               "repro.montecarlo", "repro.core", "repro.applications",
+               "repro.bench"]
+
+
+def _walk_modules():
+    modules = [importlib.import_module("repro")]
+    for name in SUBPACKAGES:
+        package = importlib.import_module(name)
+        modules.append(package)
+        for info in pkgutil.iter_modules(package.__path__,
+                                         prefix=name + "."):
+            modules.append(importlib.import_module(info.name))
+    return modules
+
+
+class TestExports:
+    @pytest.mark.parametrize("module_name",
+                             ["repro"] + SUBPACKAGES)
+    def test_all_entries_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), (
+                f"{module_name}.__all__ lists missing name {name!r}")
+
+    def test_version_string(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+
+class TestDocumentation:
+    def test_every_module_has_docstring(self):
+        for module in _walk_modules():
+            assert module.__doc__ and module.__doc__.strip(), (
+                f"{module.__name__} lacks a module docstring")
+
+    def test_every_public_callable_has_docstring(self):
+        for module in _walk_modules():
+            for name in getattr(module, "__all__", []):
+                obj = getattr(module, name)
+                if callable(obj):
+                    assert obj.__doc__ and obj.__doc__.strip(), (
+                        f"{module.__name__}.{name} lacks a docstring")
+
+    def test_public_classes_document_their_methods(self):
+        import inspect
+        for module in _walk_modules():
+            for name in getattr(module, "__all__", []):
+                obj = getattr(module, name)
+                if not inspect.isclass(obj):
+                    continue
+                for method_name, method in inspect.getmembers(
+                        obj, inspect.isfunction):
+                    if method_name.startswith("_"):
+                        continue
+                    if method.__qualname__.split(".")[0] != obj.__name__:
+                        continue  # inherited
+                    assert method.__doc__ and method.__doc__.strip(), (
+                        f"{module.__name__}.{name}.{method_name} "
+                        f"lacks a docstring")

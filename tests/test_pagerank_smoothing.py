@@ -1,0 +1,122 @@
+"""Tests for the forest-based global PageRank and signal smoothing."""
+
+import numpy as np
+import pytest
+
+from repro.applications import (
+    global_pagerank_exact,
+    global_pagerank_forests,
+    smooth_signal_exact,
+    smooth_signal_forests,
+)
+from repro.exceptions import ConfigError
+from repro.graph import from_edges
+from repro.graph.generators import erdos_renyi, star_graph
+from repro.linalg import exact_ppr_matrix
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(60, 0.12, rng=501)
+
+
+class TestGlobalPageRankExact:
+    def test_sums_to_one(self, graph):
+        pagerank = global_pagerank_exact(graph, 0.15)
+        assert pagerank.sum() == pytest.approx(1.0)
+
+    def test_matches_column_average_of_ppr(self, graph):
+        pagerank = global_pagerank_exact(graph, 0.2)
+        matrix = exact_ppr_matrix(graph, 0.2)
+        assert np.allclose(pagerank, matrix.mean(axis=0), atol=1e-10)
+
+    def test_hub_ranks_first(self):
+        graph = star_graph(10)
+        pagerank = global_pagerank_exact(graph, 0.15)
+        assert int(np.argmax(pagerank)) == 0
+
+    def test_alpha_validation(self, graph):
+        with pytest.raises(ConfigError):
+            global_pagerank_exact(graph, 0.0)
+
+
+class TestGlobalPageRankForests:
+    @pytest.mark.parametrize("improved", [False, True])
+    def test_unbiased(self, graph, improved):
+        exact = global_pagerank_exact(graph, 0.2)
+        estimate = global_pagerank_forests(graph, 0.2, num_forests=3000,
+                                           improved=improved, rng=7)
+        assert np.abs(estimate - exact).max() < 0.01
+
+    def test_estimate_sums_to_one(self, graph):
+        estimate = global_pagerank_forests(graph, 0.2, num_forests=50, rng=3)
+        assert estimate.sum() == pytest.approx(1.0)
+
+    def test_improved_lower_variance(self, graph):
+        exact = global_pagerank_exact(graph, 0.2)
+        errors = {}
+        for improved in (False, True):
+            per_seed = []
+            for seed in range(8):
+                estimate = global_pagerank_forests(graph, 0.2,
+                                                   num_forests=20,
+                                                   improved=improved,
+                                                   rng=seed)
+                per_seed.append(np.abs(estimate - exact).sum())
+            errors[improved] = np.mean(per_seed)
+        assert errors[True] < errors[False]
+
+    def test_directed_improved_rejected(self):
+        directed = from_edges([(0, 1), (1, 0), (1, 2), (2, 0)],
+                              directed=True)
+        with pytest.raises(ConfigError):
+            global_pagerank_forests(directed, 0.2, improved=True)
+        # basic works
+        estimate = global_pagerank_forests(directed, 0.2, num_forests=20,
+                                           rng=1)
+        assert estimate.shape == (3,)
+
+    def test_count_validation(self, graph):
+        with pytest.raises(ConfigError):
+            global_pagerank_forests(graph, 0.2, num_forests=0)
+
+
+class TestSmoothing:
+    def test_exact_smoother_is_ppr_operator(self, graph):
+        rng = np.random.default_rng(2)
+        signal = rng.normal(size=graph.num_nodes)
+        matrix = exact_ppr_matrix(graph, 0.25)
+        assert np.allclose(smooth_signal_exact(graph, signal, 0.25),
+                           matrix @ signal, atol=1e-9)
+
+    def test_constant_signal_fixed_point(self, graph):
+        signal = np.full(graph.num_nodes, 3.5)
+        smoothed = smooth_signal_exact(graph, signal, 0.1)
+        assert np.allclose(smoothed, 3.5)
+
+    @pytest.mark.parametrize("improved", [False, True])
+    def test_forest_smoother_unbiased(self, graph, improved):
+        rng = np.random.default_rng(4)
+        signal = rng.normal(size=graph.num_nodes)
+        exact = smooth_signal_exact(graph, signal, 0.25)
+        estimate = smooth_signal_forests(graph, signal, 0.25,
+                                         num_forests=4000,
+                                         improved=improved, rng=9)
+        assert np.abs(estimate - exact).max() < 0.05
+
+    def test_denoising_effect(self, graph):
+        """Smoothing a noisy piecewise signal reduces its error."""
+        rng = np.random.default_rng(6)
+        clean = smooth_signal_exact(
+            graph, rng.normal(size=graph.num_nodes), 0.05)
+        noisy = clean + rng.normal(scale=1.0, size=graph.num_nodes)
+        denoised = smooth_signal_forests(graph, noisy, 0.2,
+                                         num_forests=200, rng=10)
+        assert (np.linalg.norm(denoised - clean)
+                < np.linalg.norm(noisy - clean))
+
+    def test_shape_validation(self, graph):
+        with pytest.raises(ConfigError):
+            smooth_signal_forests(graph, np.ones(3), 0.2)
+        with pytest.raises(ConfigError):
+            smooth_signal_exact(graph, np.ones(3), 0.2)

@@ -1,0 +1,118 @@
+"""Tests for the pair-query and batch-solver extensions."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BatchSourceSolver,
+    BatchTargetSolver,
+    PPRConfig,
+    l1_error,
+    pair_ppr,
+)
+from repro.exceptions import ConfigError
+from repro.graph.generators import erdos_renyi
+from repro.linalg import ExactSolver, exact_ppr_matrix
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(120, 0.08, rng=401)
+
+
+class TestPairPPR:
+    def test_close_to_exact(self, graph):
+        exact = exact_ppr_matrix(graph, 0.1)
+        for source, target in ((0, 1), (5, 30), (7, 7)):
+            value = pair_ppr(graph, source, target, alpha=0.1, seed=3)
+            assert abs(float(value) - exact[source, target]) < 0.02
+
+    def test_stats_attached(self, graph):
+        value = pair_ppr(graph, 0, 1, alpha=0.1, seed=3)
+        assert value.stats["num_forests"] >= 1
+        assert value.stats["estimator"] == "improved"
+        assert "push_seconds" in value.stats
+
+    def test_directed_uses_basic(self):
+        from repro.graph import from_edges
+        directed = from_edges([(0, 1), (1, 2), (2, 0), (1, 0)],
+                              directed=True)
+        exact = exact_ppr_matrix(directed, 0.3)
+        value = pair_ppr(directed, 0, 2, alpha=0.3, seed=4,
+                         num_forests=3000)
+        assert value.stats["estimator"] == "basic"
+        assert abs(float(value) - exact[0, 2]) < 0.03
+
+    def test_node_validation(self, graph):
+        with pytest.raises(ConfigError):
+            pair_ppr(graph, -1, 0)
+        with pytest.raises(ConfigError):
+            pair_ppr(graph, 0, 10**6)
+
+    def test_is_a_float(self, graph):
+        value = pair_ppr(graph, 0, 1, alpha=0.2, seed=5)
+        assert isinstance(value, float)
+        assert 0.0 <= float(value) <= 1.0 + 1e-9
+
+
+class TestBatchSourceSolver:
+    def test_many_queries_share_forests(self, graph):
+        solver = BatchSourceSolver(graph, alpha=0.1, seed=6,
+                                   num_forests=40)
+        assert solver.num_forests == 40
+        exact = ExactSolver(graph, 0.1)
+        for source in (0, 3, 17):
+            result = solver.query(source)
+            assert result.method == "batch-source"
+            assert l1_error(result, exact.single_source(source)) < 0.25
+
+    def test_deterministic_given_seed(self, graph):
+        first = BatchSourceSolver(graph, alpha=0.1, seed=9).query(0)
+        second = BatchSourceSolver(graph, alpha=0.1, seed=9).query(0)
+        assert np.allclose(first.estimates, second.estimates)
+
+    def test_query_validation(self, graph):
+        solver = BatchSourceSolver(graph, alpha=0.1, seed=6, num_forests=5)
+        with pytest.raises(ConfigError):
+            solver.query(10**6)
+
+    def test_config_object_accepted(self, graph):
+        config = PPRConfig(alpha=0.2, seed=1)
+        solver = BatchSourceSolver(graph, config=config, num_forests=5)
+        assert solver.config.alpha == 0.2
+
+
+class TestBatchTargetSolver:
+    def test_target_queries(self, graph):
+        solver = BatchTargetSolver(graph, alpha=0.1, seed=7, num_forests=40)
+        exact = ExactSolver(graph, 0.1)
+        target = int(np.argmax(graph.degrees))
+        result = solver.query(target)
+        assert result.method == "batch-target"
+        truth = exact.single_target(target)
+        assert l1_error(result, truth) < 0.1 * max(truth.sum(), 1.0)
+
+    def test_kind(self, graph):
+        solver = BatchTargetSolver(graph, alpha=0.1, seed=7, num_forests=5)
+        assert solver.query(0).kind == "target"
+
+
+class TestPairBiPPR:
+    def test_close_to_exact(self, graph):
+        from repro.core.pairwise import pair_ppr_bippr
+        from repro.linalg import exact_ppr_matrix
+        exact = exact_ppr_matrix(graph, 0.1)
+        for source, target in ((0, 1), (5, 30)):
+            value = pair_ppr_bippr(graph, source, target, alpha=0.1, seed=3)
+            assert abs(float(value) - exact[source, target]) < 0.02
+
+    def test_stats(self, graph):
+        from repro.core.pairwise import pair_ppr_bippr
+        value = pair_ppr_bippr(graph, 0, 1, alpha=0.1, seed=3)
+        assert value.stats["estimator"] == "bippr"
+        assert value.stats["num_walks"] >= 1
+
+    def test_validation(self, graph):
+        from repro.core.pairwise import pair_ppr_bippr
+        with pytest.raises(ConfigError):
+            pair_ppr_bippr(graph, -1, 0)

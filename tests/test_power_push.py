@@ -1,0 +1,66 @@
+"""Power-push tests (the SPEED* deterministic stage)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.linalg import exact_ppr_matrix
+from repro.push import power_push
+
+
+def _check_invariant(graph, source, alpha, result, atol=1e-10):
+    exact = exact_ppr_matrix(graph, alpha)
+    reconstructed = result.reserve + result.residual @ exact
+    assert np.allclose(reconstructed, exact[source], atol=atol)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("local_start", [True, False])
+    @pytest.mark.parametrize("target", [0.5, 0.1, 0.001])
+    def test_eq6_invariant(self, random_graph, local_start, target):
+        result = power_push(random_graph, 0, 0.15, target,
+                            local_start=local_start)
+        _check_invariant(random_graph, 0, 0.15, result)
+
+    def test_mass_criterion_met(self, random_graph):
+        result = power_push(random_graph, 0, 0.1, 0.01)
+        assert result.residual_mass <= 0.01 + 1e-12
+
+    def test_max_criterion_met(self, random_graph):
+        result = power_push(random_graph, 0, 0.1, 0.003, criterion="max")
+        assert result.residual.max() <= 0.003 + 1e-12
+        _check_invariant(random_graph, 0, 0.1, result)
+
+    def test_tiny_target_approaches_exact(self, random_graph):
+        alpha = 0.2
+        exact = exact_ppr_matrix(random_graph, alpha)[0]
+        result = power_push(random_graph, 0, alpha, 1e-10)
+        assert np.allclose(result.reserve, exact, atol=1e-8)
+
+    def test_weighted(self, random_weighted_graph):
+        result = power_push(random_weighted_graph, 1, 0.1, 0.01)
+        _check_invariant(random_weighted_graph, 1, 0.1, result)
+
+    def test_dangling_source(self, disconnected):
+        result = power_push(disconnected, 5, 0.2, 0.001)
+        assert result.reserve[5] == pytest.approx(1.0, abs=1e-3)
+
+
+class TestValidation:
+    def test_bad_target(self, k5):
+        with pytest.raises(ConfigError):
+            power_push(k5, 0, 0.1, 0.0)
+        with pytest.raises(ConfigError):
+            power_push(k5, 0, 0.1, 1.5)
+
+    def test_bad_criterion(self, k5):
+        with pytest.raises(ConfigError):
+            power_push(k5, 0, 0.1, 0.1, criterion="median")
+
+    def test_bad_node(self, k5):
+        with pytest.raises(ConfigError):
+            power_push(k5, 5, 0.1, 0.1)
+
+    def test_work_accounted(self, random_graph):
+        result = power_push(random_graph, 0, 0.1, 0.001)
+        assert result.work > 0

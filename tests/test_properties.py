@@ -1,0 +1,144 @@
+"""Cross-module property-based tests (hypothesis).
+
+These stress the library's core invariants over randomly generated
+graphs, parameters and seeds — beyond the fixed fixtures of the unit
+tests.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PPRConfig
+from repro.forests import sample_forest
+from repro.graph import from_edges
+from repro.graph.validation import check_graph_invariants
+from repro.linalg import exact_ppr_matrix
+from repro.push import backward_push, forward_push
+from repro.push.power_push import power_push
+
+
+@st.composite
+def small_graphs(draw):
+    """Random simple undirected graphs with 2..15 nodes, >= 1 edge."""
+    n = draw(st.integers(2, 15))
+    max_edges = n * (n - 1) // 2
+    edge_count = draw(st.integers(1, min(max_edges, 25)))
+    pairs = set()
+    for _ in range(edge_count * 3):
+        u = draw(st.integers(0, n - 1))
+        v = draw(st.integers(0, n - 1))
+        if u != v:
+            pairs.add((min(u, v), max(u, v)))
+        if len(pairs) >= edge_count:
+            break
+    if not pairs:
+        pairs = {(0, 1)}
+    weighted = draw(st.booleans())
+    weights = None
+    if weighted:
+        weights = [draw(st.floats(0.1, 10.0)) for _ in pairs]
+    return from_edges(sorted(pairs), num_nodes=n, weights=weights)
+
+
+class TestGraphProperties:
+    @given(graph=small_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_generated_graphs_valid(self, graph):
+        check_graph_invariants(graph)
+
+    @given(graph=small_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_ppr_matrix_is_stochastic(self, graph):
+        matrix = exact_ppr_matrix(graph, 0.2)
+        assert np.all(matrix >= -1e-12)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    @given(graph=small_graphs(), alpha=st.floats(0.05, 0.95))
+    @settings(max_examples=30, deadline=None)
+    def test_diagonal_dominates_alpha(self, graph, alpha):
+        """pi(s, s) >= alpha always: the walk stops at step 0 w.p. alpha."""
+        matrix = exact_ppr_matrix(graph, alpha)
+        assert np.all(np.diag(matrix) >= alpha - 1e-12)
+
+
+class TestPushProperties:
+    @given(graph=small_graphs(), alpha=st.floats(0.05, 0.9),
+           r_max=st.floats(0.001, 0.5), source=st.integers(0, 14))
+    @settings(max_examples=30, deadline=None)
+    def test_forward_push_invariant(self, graph, alpha, r_max, source):
+        source = source % graph.num_nodes
+        result = forward_push(graph, source, alpha, r_max)
+        matrix = exact_ppr_matrix(graph, alpha)
+        reconstructed = result.reserve + result.residual @ matrix
+        assert np.allclose(reconstructed, matrix[source], atol=1e-9)
+        assert np.all(result.residual >= -1e-12)
+        assert np.all(result.reserve >= -1e-12)
+
+    @given(graph=small_graphs(), alpha=st.floats(0.05, 0.9),
+           r_max=st.floats(0.001, 0.5), target=st.integers(0, 14))
+    @settings(max_examples=30, deadline=None)
+    def test_backward_push_invariant(self, graph, alpha, r_max, target):
+        target = target % graph.num_nodes
+        result = backward_push(graph, target, alpha, r_max)
+        matrix = exact_ppr_matrix(graph, alpha)
+        reconstructed = result.reserve + matrix @ result.residual
+        assert np.allclose(reconstructed, matrix[:, target], atol=1e-9)
+
+    @given(graph=small_graphs(), target=st.floats(0.001, 0.9),
+           source=st.integers(0, 14))
+    @settings(max_examples=20, deadline=None)
+    def test_power_push_invariant(self, graph, target, source):
+        source = source % graph.num_nodes
+        result = power_push(graph, source, 0.2, target)
+        matrix = exact_ppr_matrix(graph, 0.2)
+        reconstructed = result.reserve + result.residual @ matrix
+        assert np.allclose(reconstructed, matrix[source], atol=1e-9)
+        assert result.residual_mass <= target + 1e-12
+
+
+class TestForestProperties:
+    @given(graph=small_graphs(), alpha=st.floats(0.02, 0.95),
+           seed=st.integers(0, 10_000),
+           method=st.sampled_from(["wilson", "cycle_popping"]))
+    @settings(max_examples=40, deadline=None)
+    def test_sampled_forests_always_valid(self, graph, alpha, seed, method):
+        forest = sample_forest(graph, alpha, rng=seed, method=method)
+        forest.validate()
+        # roots stay within graph components
+        labels = graph.connected_components
+        assert np.all(labels[forest.roots] == labels)
+        # tree edges are graph edges
+        for node in range(graph.num_nodes):
+            parent = forest.parents[node]
+            if parent >= 0:
+                assert graph.has_edge(node, int(parent))
+
+    @given(graph=small_graphs(), alpha=st.floats(0.05, 0.9),
+           seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_estimator_conservation(self, graph, alpha, seed):
+        from repro.forests import (source_estimate_basic,
+                                   source_estimate_improved)
+        rng = np.random.default_rng(seed)
+        forest = sample_forest(graph, alpha, rng=rng)
+        residual = rng.random(graph.num_nodes)
+        basic = source_estimate_basic(forest, residual)
+        improved = source_estimate_improved(forest, residual, graph.degrees)
+        assert basic.sum() == pytest.approx(residual.sum())
+        assert improved.sum() == pytest.approx(residual.sum())
+
+
+class TestConfigProperties:
+    @given(alpha=st.floats(0.001, 0.999), epsilon=st.floats(0.01, 2.0),
+           scale=st.floats(0.001, 2.0))
+    @settings(max_examples=40, deadline=None)
+    def test_budget_monotonicity(self, alpha, epsilon, scale):
+        from repro.graph.generators import complete_graph
+        graph = complete_graph(6)
+        config = PPRConfig(alpha=alpha, epsilon=epsilon, budget_scale=scale)
+        budget = config.walk_budget(graph)
+        assert budget > 0
+        tighter = config.with_overrides(epsilon=epsilon / 2)
+        assert tighter.walk_budget(graph) > budget

@@ -1,0 +1,106 @@
+"""Backward-push tests: the Eq. 7 invariant, additive error, RBACK."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.linalg import exact_ppr_matrix
+from repro.push import backward_push, randomized_backward_push
+
+
+def _check_invariant(graph, target, alpha, result, atol=1e-10):
+    """pi(., t) = q + sum_u pi(., u) r(u) must hold exactly (Eq. 7)."""
+    exact = exact_ppr_matrix(graph, alpha)
+    reconstructed = result.reserve + exact @ result.residual
+    assert np.allclose(reconstructed, exact[:, target], atol=atol)
+
+
+class TestInvariant:
+    @pytest.mark.parametrize("alpha", [0.05, 0.2, 0.5])
+    @pytest.mark.parametrize("r_max", [0.5, 0.05, 0.005])
+    def test_eq7(self, random_graph, alpha, r_max):
+        result = backward_push(random_graph, 0, alpha, r_max)
+        _check_invariant(random_graph, 0, alpha, result)
+
+    def test_weighted_eq7(self, random_weighted_graph):
+        result = backward_push(random_weighted_graph, 3, 0.15, 0.01)
+        _check_invariant(random_weighted_graph, 3, 0.15, result)
+
+    def test_directed_eq7(self, directed_line):
+        # target node 1 reachable from 0; push crosses reversed arcs
+        result = backward_push(directed_line, 1, 0.3, 0.001)
+        _check_invariant(directed_line, 1, 0.3, result)
+
+    def test_directed_dangling_target_eq7(self, directed_line):
+        # node 2 is dangling: exercises the absorbing closed form
+        result = backward_push(directed_line, 2, 0.3, 0.001)
+        _check_invariant(directed_line, 2, 0.3, result)
+
+    def test_isolated_target(self, disconnected):
+        result = backward_push(disconnected, 5, 0.2, 0.001)
+        assert result.reserve[5] == pytest.approx(1.0)
+        assert np.allclose(np.delete(result.reserve, 5), 0.0)
+
+
+class TestAdditiveError:
+    @pytest.mark.parametrize("r_max", [0.1, 0.01])
+    def test_reserve_within_r_max_of_truth(self, random_graph, r_max):
+        alpha = 0.2
+        target = 7
+        exact = exact_ppr_matrix(random_graph, alpha)[:, target]
+        result = backward_push(random_graph, target, alpha, r_max)
+        errors = exact - result.reserve
+        assert np.all(errors >= -1e-12)          # reserve never overshoots
+        assert np.all(errors <= r_max + 1e-12)   # classic additive bound
+
+    def test_residual_below_threshold(self, random_graph):
+        result = backward_push(random_graph, 0, 0.2, 0.01)
+        assert np.all(result.residual < 0.01 + 1e-12)
+
+    def test_converges_to_exact(self, random_graph):
+        alpha = 0.3
+        exact = exact_ppr_matrix(random_graph, alpha)[:, 4]
+        result = backward_push(random_graph, 4, alpha, 1e-9)
+        assert np.allclose(result.reserve, exact, atol=1e-6)
+
+
+class TestRandomizedBackwardPush:
+    def test_residual_below_threshold(self, random_graph):
+        result = randomized_backward_push(random_graph, 0, 0.2, 0.01, rng=1)
+        assert np.all(result.residual < 0.01 + 1e-9)
+
+    def test_approximately_unbiased(self, random_graph):
+        """Averaging RBACK reserves over seeds approaches the truth."""
+        alpha = 0.2
+        target = 3
+        exact = exact_ppr_matrix(random_graph, alpha)[:, target]
+        total = np.zeros(random_graph.num_nodes)
+        trials = 60
+        for seed in range(trials):
+            result = randomized_backward_push(random_graph, target, alpha,
+                                              0.05, rng=seed)
+            total += result.reserve + exact @ result.residual
+        assert np.abs(total / trials - exact).max() < 0.02
+
+    def test_theta_validation(self, k5):
+        with pytest.raises(ConfigError):
+            randomized_backward_push(k5, 0, 0.2, 0.01, theta=0.0)
+
+    def test_deterministic_under_seed(self, random_graph):
+        a = randomized_backward_push(random_graph, 0, 0.2, 0.01, rng=5)
+        b = randomized_backward_push(random_graph, 0, 0.2, 0.01, rng=5)
+        assert np.allclose(a.reserve, b.reserve)
+
+
+class TestValidation:
+    def test_parameter_checks(self, k5):
+        with pytest.raises(ConfigError):
+            backward_push(k5, 9, 0.1, 0.01)
+        with pytest.raises(ConfigError):
+            backward_push(k5, 0, 0.0, 0.01)
+        with pytest.raises(ConfigError):
+            backward_push(k5, 0, 0.1, -1.0)
+
+    def test_max_pushes_guard(self, random_graph):
+        with pytest.raises(ConfigError):
+            backward_push(random_graph, 0, 0.01, 1e-10, max_pushes=3)

@@ -1,0 +1,113 @@
+"""Forward-push tests: the Eq. 6 invariant, thresholds, balanced variant."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.linalg import exact_ppr_matrix
+from repro.push import balanced_forward_push, forward_push
+from repro.graph.generators import erdos_renyi, with_random_weights
+
+
+def _check_invariant(graph, source, alpha, result, atol=1e-10):
+    """pi(s, .) = q + sum_u r(u) pi(u, .) must hold exactly (Eq. 6)."""
+    exact = exact_ppr_matrix(graph, alpha)
+    reconstructed = result.reserve + result.residual @ exact
+    assert np.allclose(reconstructed, exact[source], atol=atol)
+
+
+class TestInvariant:
+    @pytest.mark.parametrize("alpha", [0.05, 0.2, 0.5])
+    @pytest.mark.parametrize("r_max", [0.5, 0.05, 0.005])
+    def test_classic_eq6(self, random_graph, alpha, r_max):
+        result = forward_push(random_graph, 0, alpha, r_max)
+        _check_invariant(random_graph, 0, alpha, result)
+
+    @pytest.mark.parametrize("r_max", [0.5, 0.05, 0.005])
+    def test_balanced_eq6(self, random_graph, r_max):
+        result = balanced_forward_push(random_graph, 3, 0.1, r_max)
+        _check_invariant(random_graph, 3, 0.1, result)
+
+    def test_weighted_eq6(self, random_weighted_graph):
+        result = forward_push(random_weighted_graph, 2, 0.15, 0.01)
+        _check_invariant(random_weighted_graph, 2, 0.15, result)
+
+    def test_weighted_balanced_eq6(self, random_weighted_graph):
+        result = balanced_forward_push(random_weighted_graph, 2, 0.15, 0.01)
+        _check_invariant(random_weighted_graph, 2, 0.15, result)
+
+    def test_dangling_absorbs(self, disconnected):
+        result = forward_push(disconnected, 5, 0.2, 0.001)
+        assert result.reserve[5] == pytest.approx(1.0)
+        assert result.residual_mass == pytest.approx(0.0)
+
+    def test_directed_eq6(self, directed_line):
+        result = forward_push(directed_line, 0, 0.3, 0.001)
+        _check_invariant(directed_line, 0, 0.3, result)
+
+
+class TestThresholds:
+    def test_classic_post_condition(self, random_graph):
+        r_max = 0.01
+        result = forward_push(random_graph, 0, 0.1, r_max)
+        assert np.all(result.residual
+                      <= random_graph.degrees * r_max + 1e-12)
+
+    def test_balanced_post_condition(self, random_graph):
+        r_max = 0.01
+        result = balanced_forward_push(random_graph, 0, 0.1, r_max)
+        assert np.all(result.residual <= r_max + 1e-12)
+
+    def test_balanced_bounds_high_degree_residual(self):
+        """The point of the balanced variant (§5.2): a hub's residual
+        cannot hide behind its degree-scaled threshold."""
+        graph = erdos_renyi(60, 0.3, rng=5)
+        r_max = 0.02
+        hub = int(np.argmax(graph.degrees))
+        classic = forward_push(graph, hub, 0.1, r_max)
+        balanced = balanced_forward_push(graph, hub, 0.1, r_max)
+        assert balanced.residual.max() <= r_max + 1e-12
+        # classic may (and on a hub typically does) exceed r_max somewhere
+        assert classic.residual.max() <= graph.degrees.max() * r_max + 1e-12
+
+    def test_reserve_monotone_in_r_max(self, random_graph):
+        alpha = 0.1
+        coarse = forward_push(random_graph, 0, alpha, 0.1)
+        fine = forward_push(random_graph, 0, alpha, 0.001)
+        assert fine.reserve.sum() >= coarse.reserve.sum() - 1e-12
+
+    def test_reserve_underestimates_ppr(self, random_graph):
+        alpha = 0.1
+        exact = exact_ppr_matrix(random_graph, alpha)[0]
+        result = forward_push(random_graph, 0, alpha, 0.01)
+        assert np.all(result.reserve <= exact + 1e-10)
+
+    def test_converges_to_exact(self, random_graph):
+        alpha = 0.2
+        exact = exact_ppr_matrix(random_graph, alpha)[0]
+        result = forward_push(random_graph, 0, alpha, 1e-8)
+        assert np.allclose(result.reserve, exact, atol=1e-5)
+
+
+class TestAccounting:
+    def test_counters_populated(self, random_graph):
+        result = forward_push(random_graph, 0, 0.1, 0.01)
+        assert result.num_pushes > 0
+        assert result.work > 0
+
+    def test_max_pushes_guard(self, random_graph):
+        with pytest.raises(ConfigError):
+            forward_push(random_graph, 0, 0.01, 1e-9, max_pushes=5)
+
+    def test_parameter_validation(self, k5):
+        with pytest.raises(ConfigError):
+            forward_push(k5, 9, 0.1, 0.01)
+        with pytest.raises(ConfigError):
+            forward_push(k5, 0, 1.5, 0.01)
+        with pytest.raises(ConfigError):
+            forward_push(k5, 0, 0.1, 0.0)
+
+    def test_no_push_when_below_threshold(self, k5):
+        result = balanced_forward_push(k5, 0, 0.2, r_max=2.0)
+        assert result.num_pushes == 0
+        assert result.residual[0] == pytest.approx(1.0)

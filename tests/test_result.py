@@ -1,0 +1,58 @@
+"""PPRResult tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import PPRResult
+from repro.exceptions import ConfigError
+
+
+def _result(values, **kwargs):
+    defaults = dict(kind="source", query_node=0, method="test", alpha=0.1,
+                    epsilon=0.5)
+    defaults.update(kwargs)
+    return PPRResult(estimates=np.asarray(values, dtype=float), **defaults)
+
+
+class TestBasics:
+    def test_getitem_and_len(self):
+        result = _result([0.5, 0.3, 0.2])
+        assert result[1] == pytest.approx(0.3)
+        assert result.num_nodes == 3
+
+    def test_total_mass(self):
+        assert _result([0.5, 0.3, 0.2]).total_mass == pytest.approx(1.0)
+
+    def test_kind_validation(self):
+        with pytest.raises(ConfigError):
+            _result([1.0], kind="column")
+
+    def test_repr(self):
+        text = repr(_result([1.0]))
+        assert "method='test'" in text
+
+
+class TestTopK:
+    def test_order(self):
+        result = _result([0.1, 0.5, 0.2, 0.15, 0.05])
+        top = result.top_k(3)
+        assert [node for node, _ in top] == [1, 2, 3]
+        assert top[0][1] == pytest.approx(0.5)
+
+    def test_k_larger_than_n(self):
+        assert len(_result([0.6, 0.4]).top_k(10)) == 2
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            _result([1.0]).top_k(0)
+
+
+class TestStats:
+    def test_total_seconds_sums_stage_timers(self):
+        result = _result([1.0], stats={"push_seconds": 0.25,
+                                       "mc_seconds": 0.5,
+                                       "num_forests": 3})
+        assert result.total_seconds == pytest.approx(0.75)
+
+    def test_no_timers(self):
+        assert _result([1.0]).total_seconds == 0.0

@@ -1,0 +1,65 @@
+"""RNG helper tests."""
+
+import numpy as np
+import pytest
+
+from repro.rng import BlockUniforms, ensure_rng, spawn_children
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        assert ensure_rng(5).random() == ensure_rng(5).random()
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(1)
+        assert ensure_rng(generator) is generator
+
+    def test_numpy_integer_accepted(self):
+        assert isinstance(ensure_rng(np.int64(3)), np.random.Generator)
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+
+class TestSpawnChildren:
+    def test_count_and_independence(self):
+        children = spawn_children(0, 3)
+        assert len(children) == 3
+        draws = {child.random() for child in children}
+        assert len(draws) == 3
+
+    def test_reproducible(self):
+        first = [c.random() for c in spawn_children(7, 2)]
+        second = [c.random() for c in spawn_children(7, 2)]
+        assert first == second
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_children(0, -1)
+
+
+class TestBlockUniforms:
+    def test_values_in_unit_interval(self):
+        block = BlockUniforms(3, block_size=16)
+        values = [block.next() for _ in range(100)]  # crosses block edges
+        assert all(0.0 <= v < 1.0 for v in values)
+
+    def test_matches_generator_stream(self):
+        block = BlockUniforms(9, block_size=8)
+        reference = np.random.default_rng(9)
+        want = list(reference.random(8)) + list(reference.random(8))
+        got = [block.next() for _ in range(16)]
+        assert np.allclose(got, want)
+
+    def test_next_int_in_bounds(self):
+        block = BlockUniforms(1)
+        values = [block.next_int(7) for _ in range(200)]
+        assert min(values) >= 0 and max(values) < 7
+
+    def test_bad_block_size(self):
+        with pytest.raises(ValueError):
+            BlockUniforms(0, block_size=0)

@@ -1,0 +1,117 @@
+"""Integration tests of the single-target algorithms (§6)."""
+
+import numpy as np
+import pytest
+
+from repro.core import PPRConfig, l1_error
+from repro.core.single_target import back, backl, backlv, backlv_plus, rback
+from repro.exceptions import ConfigError
+from repro.graph.generators import erdos_renyi
+from repro.linalg import exact_single_target
+from repro.montecarlo import ForestIndex
+
+ALL = [back, rback, backl, backlv]
+
+
+@pytest.fixture(scope="module")
+def medium_graph():
+    return erdos_renyi(150, 0.06, rng=107)
+
+
+def _config(**kwargs):
+    defaults = dict(alpha=0.1, epsilon=0.5, seed=13)
+    defaults.update(kwargs)
+    return PPRConfig(**defaults)
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("algorithm", ALL)
+    def test_close_to_exact(self, medium_graph, algorithm):
+        target = int(np.argmax(medium_graph.degrees))
+        exact = exact_single_target(medium_graph, target, 0.1)
+        result = algorithm(medium_graph, target, _config())
+        if algorithm in (back, rback):
+            # push-only baselines carry the additive floor n*r_max = eps
+            assert l1_error(result, exact) < 0.5
+        else:
+            # the two-stage methods estimate the leftover and land far
+            # below the additive floor
+            assert l1_error(result, exact) < 0.1 * max(exact.sum(), 1.0)
+
+    def test_back_additive_guarantee(self, medium_graph):
+        target = 3
+        exact = exact_single_target(medium_graph, target, 0.1)
+        result = back(medium_graph, target, _config())
+        r_max = result.stats["r_max"]
+        assert np.all(exact - result.estimates >= -1e-10)
+        assert np.all(exact - result.estimates <= r_max + 1e-10)
+
+    def test_backlv_beats_backl_on_average(self, medium_graph):
+        target = int(np.argmax(medium_graph.degrees))
+        exact = exact_single_target(medium_graph, target, 0.1)
+        errors = {"backl": [], "backlv": []}
+        for seed in range(6):
+            for name, algorithm in (("backl", backl), ("backlv", backlv)):
+                result = algorithm(medium_graph, target,
+                                   _config(seed=seed, r_max=0.05))
+                errors[name].append(l1_error(result, exact))
+        assert np.mean(errors["backlv"]) < np.mean(errors["backl"])
+
+    def test_small_alpha(self, medium_graph):
+        target = int(np.argmax(medium_graph.degrees))
+        exact = exact_single_target(medium_graph, target, 0.01)
+        result = backlv(medium_graph, target, _config(alpha=0.01))
+        assert l1_error(result, exact) < 0.1 * max(exact.sum(), 1.0)
+
+
+class TestCostShape:
+    def test_two_stage_pushes_less_than_back(self, medium_graph):
+        """BACKL's r_max floor guarantees it never out-pushes BACK."""
+        target = int(np.argmax(medium_graph.degrees))
+        baseline = back(medium_graph, target, _config())
+        two_stage = backlv(medium_graph, target, _config())
+        assert two_stage.stats["num_pushes"] <= baseline.stats["num_pushes"]
+
+    def test_low_degree_targets_cheap(self, medium_graph):
+        """§7.6: low-degree targets finish almost immediately."""
+        low = int(np.argmin(medium_graph.degrees))
+        high = int(np.argmax(medium_graph.degrees))
+        cheap = back(medium_graph, low, _config())
+        costly = back(medium_graph, high, _config())
+        assert cheap.stats["num_pushes"] <= costly.stats["num_pushes"]
+
+
+class TestMetadata:
+    @pytest.mark.parametrize("algorithm,name", [
+        (back, "back"), (rback, "rback"), (backl, "backl"),
+        (backlv, "backlv")])
+    def test_method_and_kind(self, medium_graph, algorithm, name):
+        result = algorithm(medium_graph, 1, _config())
+        assert result.method == name
+        assert result.kind == "target"
+
+    def test_deterministic_under_seed(self, medium_graph):
+        first = backlv(medium_graph, 2, _config(seed=3))
+        second = backlv(medium_graph, 2, _config(seed=3))
+        assert np.allclose(first.estimates, second.estimates)
+
+    def test_target_out_of_range(self, medium_graph):
+        with pytest.raises(ConfigError):
+            backlv(medium_graph, -1, _config())
+
+
+class TestIndexedVariant:
+    def test_backlv_plus(self, medium_graph):
+        index = ForestIndex.build(medium_graph, 0.1, 40, rng=8)
+        target = int(np.argmax(medium_graph.degrees))
+        exact = exact_single_target(medium_graph, target, 0.1)
+        result = backlv_plus(medium_graph, target, index, _config())
+        assert result.method == "backlv+"
+        assert l1_error(result, exact) < 0.05 * max(exact.sum(), 1.0)
+
+    def test_index_checks(self, medium_graph, k5):
+        wrong_graph = ForestIndex.build(k5, 0.1, 5, rng=9)
+        with pytest.raises(ConfigError):
+            backlv_plus(medium_graph, 0, wrong_graph, _config())
+        with pytest.raises(ConfigError):
+            backlv_plus(medium_graph, 0, "not an index", _config())

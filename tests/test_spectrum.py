@@ -1,0 +1,146 @@
+"""Spectrum / τ tests — Lemma 4.4 and the KPM estimator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.graph.generators import erdos_renyi
+from repro.linalg import (
+    estimate_spectral_density,
+    exact_ppr_matrix,
+    tau_exact,
+    tau_from_density,
+    tau_from_eigenvalues,
+    transition_eigenvalues,
+)
+
+
+class TestEigenvalues:
+    def test_range_and_top(self, random_graph):
+        eigenvalues = transition_eigenvalues(random_graph)
+        assert eigenvalues.min() >= -1.0 - 1e-9
+        assert eigenvalues.max() == pytest.approx(1.0, abs=1e-9)
+
+    def test_count(self, k5):
+        assert transition_eigenvalues(k5).size == 5
+
+    def test_complete_graph_spectrum(self, k5):
+        # P of K_n has eigenvalues 1 and -1/(n-1) (multiplicity n-1)
+        eigenvalues = np.sort(transition_eigenvalues(k5))
+        assert np.allclose(eigenvalues[:4], -0.25, atol=1e-9)
+        assert eigenvalues[-1] == pytest.approx(1.0)
+
+    def test_bipartite_has_minus_one(self, path4):
+        eigenvalues = transition_eigenvalues(path4)
+        assert eigenvalues.min() == pytest.approx(-1.0, abs=1e-9)
+
+    def test_directed_rejected(self, directed_line):
+        with pytest.raises(ConfigError):
+            transition_eigenvalues(directed_line)
+
+
+class TestTauExact:
+    def test_lemma44_equals_diagonal_sum(self, random_graph):
+        """tau = sum_i 1/(1-(1-a)l_i) must equal sum_u pi(u,u)/alpha."""
+        alpha = 0.2
+        via_spectrum = tau_exact(random_graph, alpha)
+        diagonal = np.trace(exact_ppr_matrix(random_graph, alpha))
+        assert via_spectrum == pytest.approx(diagonal / alpha, rel=1e-9)
+
+    def test_weighted_graph(self, random_weighted_graph):
+        alpha = 0.1
+        via_spectrum = tau_exact(random_weighted_graph, alpha)
+        diagonal = np.trace(exact_ppr_matrix(random_weighted_graph, alpha))
+        assert via_spectrum == pytest.approx(diagonal / alpha, rel=1e-9)
+
+    def test_bounds(self, random_graph):
+        # each term lies in (1/(2-a), 1/a] so n/(2-a) < tau <= n/a
+        alpha = 0.05
+        n = random_graph.num_nodes
+        tau = tau_exact(random_graph, alpha)
+        assert n / (2 - alpha) < tau <= n / alpha + 1e-9
+
+    def test_monotone_in_alpha(self, random_graph):
+        taus = [tau_exact(random_graph, a) for a in (0.5, 0.1, 0.02)]
+        assert taus[0] < taus[1] < taus[2]
+
+    def test_insensitivity_vs_naive(self, random_graph):
+        """The headline claim: tau grows far slower than n/alpha.
+
+        The trivial eigenvalue 1 (one per connected component)
+        contributes exactly 1/alpha; on a 30-node test graph that term
+        dominates, so compare the growth of the non-trivial remainder —
+        the part that scales with n on real graphs.
+        """
+        def nontrivial_tau(alpha):
+            return tau_exact(random_graph, alpha) - 1.0 / alpha
+
+        growth_tau = nontrivial_tau(0.001) / nontrivial_tau(0.1)
+        growth_naive = 0.1 / 0.001
+        assert growth_tau < growth_naive / 5
+
+    def test_bad_eigenvalues_rejected(self):
+        with pytest.raises(ConfigError):
+            tau_from_eigenvalues(np.array([1.5]), 0.1)
+
+
+class TestKernelPolynomialMethod:
+    def test_density_integrates_to_one(self):
+        graph = erdos_renyi(300, 0.05, rng=5)
+        density = estimate_spectral_density(graph, num_moments=60,
+                                            num_probes=12, rng=1)
+        _, mass = density.histogram(bins=40)
+        assert mass.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_density_concentrates_near_zero_on_random_graph(self):
+        graph = erdos_renyi(400, 0.04, rng=6)
+        density = estimate_spectral_density(graph, num_moments=60,
+                                            num_probes=12, rng=2)
+        centres, mass = density.histogram(bins=20)
+        central = mass[np.abs(centres) < 0.4].sum()
+        assert central > 0.5
+
+    def test_tau_from_density_close_to_exact(self):
+        graph = erdos_renyi(250, 0.06, rng=7)
+        density = estimate_spectral_density(graph, num_moments=120,
+                                            num_probes=24, rng=3)
+        for alpha in (0.3, 0.1):
+            approx = tau_from_density(density, alpha)
+            exact = tau_exact(graph, alpha)
+            assert approx == pytest.approx(exact, rel=0.15)
+
+    def test_parameter_validation(self, k5):
+        with pytest.raises(ConfigError):
+            estimate_spectral_density(k5, num_moments=1)
+        with pytest.raises(ConfigError):
+            estimate_spectral_density(k5, num_probes=0)
+
+    def test_directed_rejected(self, directed_line):
+        with pytest.raises(ConfigError):
+            estimate_spectral_density(directed_line)
+
+
+class TestTauHutchinson:
+    def test_matches_exact(self, random_graph):
+        from repro.linalg import tau_hutchinson
+        alpha = 0.2
+        exact = tau_exact(random_graph, alpha)
+        estimate = tau_hutchinson(random_graph, alpha, num_probes=400,
+                                  rng=5)
+        assert estimate == pytest.approx(exact, rel=0.1)
+
+    def test_works_directed(self, directed_line):
+        from repro.linalg import tau_hutchinson
+        # tiny graph: tr[(I-(1-a)P)^-1] computable by hand via matrix
+        from repro.linalg.transition import transition_matrix
+        alpha = 0.5
+        dense = transition_matrix(directed_line).toarray()
+        want = np.trace(np.linalg.inv(np.eye(3) - (1 - alpha) * dense))
+        estimate = tau_hutchinson(directed_line, alpha, num_probes=600,
+                                  rng=6)
+        assert estimate == pytest.approx(want, rel=0.1)
+
+    def test_probe_validation(self, k5):
+        from repro.linalg import tau_hutchinson
+        with pytest.raises(ConfigError):
+            tau_hutchinson(k5, 0.2, num_probes=0)

@@ -1,0 +1,94 @@
+"""Adaptive top-k and heavy-hitter query tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    heavy_hitters,
+    top_k_single_source,
+)
+from repro.exceptions import ConfigError
+from repro.graph.generators import erdos_renyi
+from repro.linalg import exact_single_source
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(100, 0.08, rng=701)
+
+
+class TestTopK:
+    def test_recovers_exact_top_k(self, graph):
+        alpha = 0.15
+        exact = exact_single_source(graph, 0, alpha)
+        result = top_k_single_source(graph, 0, 5, alpha=alpha, seed=3,
+                                     max_forests=512)
+        true_top = set(np.argsort(-exact)[:5].tolist())
+        overlap = len(set(result.nodes.tolist()) & true_top)
+        assert overlap >= 4  # at least 4 of 5 (ties near the boundary)
+
+    def test_rank_order_descending(self, graph):
+        result = top_k_single_source(graph, 0, 8, alpha=0.2, seed=4)
+        assert np.all(np.diff(result.estimates) <= 1e-12)
+
+    def test_convergence_flag_and_counters(self, graph):
+        result = top_k_single_source(graph, 0, 3, alpha=0.2, seed=5,
+                                     max_forests=512)
+        assert result.num_forests >= 1
+        assert result.stats["forest_steps"] > 0
+        if result.converged:
+            assert result.num_forests <= 512
+
+    def test_tight_budget_flags_nonconvergence(self, graph):
+        result = top_k_single_source(graph, 0, 3, alpha=0.01, seed=6,
+                                     batch_size=2, max_forests=2)
+        assert result.num_forests == 2
+        # with 2 forests separation is very unlikely; either way the
+        # flag must be consistent with the budget
+        assert result.converged in (True, False)
+
+    def test_as_pairs(self, graph):
+        result = top_k_single_source(graph, 0, 3, alpha=0.2, seed=7)
+        pairs = result.as_pairs()
+        assert len(pairs) == 3
+        assert all(isinstance(node, int) for node, _ in pairs)
+
+    def test_validation(self, graph):
+        with pytest.raises(ConfigError):
+            top_k_single_source(graph, 0, 0)
+        with pytest.raises(ConfigError):
+            top_k_single_source(graph, 0, graph.num_nodes)
+        with pytest.raises(ConfigError):
+            top_k_single_source(graph, 0, 3, confidence=1.5)
+        with pytest.raises(ConfigError):
+            top_k_single_source(graph, 0, 3, batch_size=0)
+
+
+class TestHeavyHitters:
+    def test_finds_nodes_above_threshold(self, graph):
+        alpha = 0.2
+        exact = exact_single_source(graph, 0, alpha)
+        threshold = 0.02
+        result = heavy_hitters(graph, 0, threshold, alpha=alpha, seed=8,
+                               max_forests=512)
+        true_set = set(np.flatnonzero(exact > threshold).tolist())
+        found = set(result.nodes.tolist())
+        # recover the clear hitters; disagreements only near the line
+        clear = set(np.flatnonzero(exact > 1.5 * threshold).tolist())
+        assert clear <= found
+        spurious = found - true_set
+        assert all(exact[node] > 0.5 * threshold for node in spurious)
+
+    def test_source_always_a_hitter_for_small_threshold(self, graph):
+        result = heavy_hitters(graph, 0, 0.05, alpha=0.5, seed=9)
+        assert 0 in result.nodes.tolist()
+
+    def test_estimates_above_threshold(self, graph):
+        result = heavy_hitters(graph, 0, 0.01, alpha=0.2, seed=10)
+        assert np.all(result.estimates > 0.01)
+
+    def test_validation(self, graph):
+        with pytest.raises(ConfigError):
+            heavy_hitters(graph, 0, 0.0)
+        with pytest.raises(ConfigError):
+            heavy_hitters(graph, 0, 0.1, confidence=0.0)

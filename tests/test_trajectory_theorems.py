@@ -1,0 +1,153 @@
+r"""Verification of the trajectory laws of §4.1 (Theorems 4.1/4.2).
+
+Theorem 4.2: the loop-erased α-walk from a fixed start produces the
+trajectory ``γ = (v_1, …, v_j)`` *ending with an α-stop* with
+probability
+
+    Pr(Γ = γ) = β d_{v_j} · det((L+βD)^{Δ_k}) / det((L+βD)^{Δ_0}) · w(γ),
+
+where ``Δ_0`` is the former-trajectory (blocked) set, ``Δ_k = Δ_0 ∪ γ``,
+the minors delete those rows/columns, and ``w(γ)`` multiplies the
+traversed edge weights.  We enumerate every observed trajectory on
+tiny graphs and compare empirical frequencies against the formula —
+with empty and non-empty ``Δ_0``, unweighted and weighted.
+"""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.forests.wilson import loop_erased_alpha_walk
+from repro.graph import complete_graph, from_edges
+from repro.linalg.beta_laplacian import beta_from_alpha
+
+
+def _regularized_laplacian(graph, alpha):
+    beta = beta_from_alpha(alpha)
+    degrees = np.asarray(graph.degrees)
+    return (np.diag(degrees) - graph.to_scipy_adjacency().toarray()
+            + beta * np.diag(degrees)), beta
+
+
+def _det_minor(matrix, delete):
+    keep = [i for i in range(matrix.shape[0]) if i not in delete]
+    if not keep:
+        return 1.0
+    return float(np.linalg.det(matrix[np.ix_(keep, keep)]))
+
+
+def _trajectory_weight(graph, trajectory):
+    weight = 1.0
+    dense = graph.to_scipy_adjacency().toarray()
+    for u, v in zip(trajectory[:-1], trajectory[1:]):
+        weight *= dense[u, v]
+    return weight
+
+
+def _empirical_law(graph, start, alpha, blocked, trials, seed):
+    rng = np.random.default_rng(seed)
+    alpha_stopped = Counter()
+    for _ in range(trials):
+        trajectory, by_alpha = loop_erased_alpha_walk(
+            graph, start, alpha, rng=rng, blocked=blocked)
+        if by_alpha:
+            alpha_stopped[tuple(trajectory)] += 1
+    return alpha_stopped
+
+
+class TestTheorem42:
+    @pytest.mark.parametrize("alpha", [0.3, 0.6])
+    def test_triangle_empty_delta0(self, alpha):
+        graph = from_edges([(0, 1), (1, 2), (0, 2)])
+        matrix, beta = _regularized_laplacian(graph, alpha)
+        trials = 60_000
+        observed = _empirical_law(graph, 0, alpha, None, trials, seed=1)
+        denominator = _det_minor(matrix, set())
+        for trajectory, count in observed.items():
+            want = (beta * graph.degrees[trajectory[-1]]
+                    * _det_minor(matrix, set(trajectory)) / denominator
+                    * _trajectory_weight(graph, trajectory))
+            assert count / trials == pytest.approx(want, abs=0.01)
+
+    def test_k4_with_blocked_set(self):
+        graph = complete_graph(4)
+        alpha = 0.4
+        matrix, beta = _regularized_laplacian(graph, alpha)
+        blocked = {3}
+        trials = 60_000
+        observed = _empirical_law(graph, 0, alpha, blocked, trials, seed=2)
+        denominator = _det_minor(matrix, blocked)
+        for trajectory, count in observed.items():
+            assert 3 not in trajectory  # alpha-stopped paths avoid Delta_0
+            want = (beta * graph.degrees[trajectory[-1]]
+                    * _det_minor(matrix, blocked | set(trajectory))
+                    / denominator
+                    * _trajectory_weight(graph, trajectory))
+            assert count / trials == pytest.approx(want, abs=0.01)
+
+    def test_weighted_triangle(self, weighted_triangle):
+        alpha = 0.35
+        matrix, beta = _regularized_laplacian(weighted_triangle, alpha)
+        trials = 60_000
+        observed = _empirical_law(weighted_triangle, 0, alpha, None,
+                                  trials, seed=3)
+        denominator = _det_minor(matrix, set())
+        for trajectory, count in observed.items():
+            want = (beta * weighted_triangle.degrees[trajectory[-1]]
+                    * _det_minor(matrix, set(trajectory)) / denominator
+                    * _trajectory_weight(weighted_triangle, trajectory))
+            assert count / trials == pytest.approx(want, abs=0.012)
+
+    def test_alpha_stop_probabilities_sum_with_hits(self):
+        """α-stopped and blocked-hit trajectories partition the walks."""
+        graph = complete_graph(4)
+        rng = np.random.default_rng(4)
+        hits = 0
+        trials = 20_000
+        for _ in range(trials):
+            _, by_alpha = loop_erased_alpha_walk(graph, 0, 0.3, rng=rng,
+                                                 blocked={2})
+            hits += not by_alpha
+        assert 0 < hits < trials
+
+
+class TestWalkUtility:
+    def test_trajectory_is_self_avoiding(self, random_graph):
+        rng = np.random.default_rng(5)
+        for _ in range(50):
+            trajectory, _ = loop_erased_alpha_walk(random_graph, 0, 0.1,
+                                                   rng=rng)
+            assert len(set(trajectory)) == len(trajectory)
+
+    def test_consecutive_nodes_adjacent(self, random_graph):
+        trajectory, _ = loop_erased_alpha_walk(random_graph, 3, 0.1, rng=6)
+        for u, v in zip(trajectory[:-1], trajectory[1:]):
+            assert random_graph.has_edge(u, v)
+
+    def test_blocked_start_returns_immediately(self, k5):
+        trajectory, by_alpha = loop_erased_alpha_walk(k5, 0, 0.3,
+                                                      blocked={0})
+        assert trajectory == [0]
+        assert not by_alpha
+
+    def test_hit_ends_on_blocked_node(self, k5):
+        rng = np.random.default_rng(7)
+        for _ in range(30):
+            trajectory, by_alpha = loop_erased_alpha_walk(
+                k5, 0, 0.05, rng=rng, blocked={4})
+            if not by_alpha:
+                assert trajectory[-1] == 4
+
+    def test_dangling_start_is_instant_root(self, disconnected):
+        trajectory, by_alpha = loop_erased_alpha_walk(disconnected, 5, 0.2,
+                                                      rng=8)
+        assert trajectory == [5]
+        assert by_alpha
+
+    def test_validation(self, k5):
+        with pytest.raises(ConfigError):
+            loop_erased_alpha_walk(k5, 9, 0.2)
+        with pytest.raises(ConfigError):
+            loop_erased_alpha_walk(k5, 0, 0.0)

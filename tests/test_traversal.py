@@ -1,0 +1,93 @@
+"""BFS traversal utility tests."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.graph import from_edges
+from repro.graph.generators import cycle_graph, grid_graph, path_graph
+from repro.graph.traversal import (
+    average_distance_to,
+    bfs_distances,
+    eccentricity,
+    k_hop_neighborhood,
+)
+
+
+class TestBfsDistances:
+    def test_path_distances(self):
+        graph = path_graph(5)
+        assert bfs_distances(graph, 0).tolist() == [0, 1, 2, 3, 4]
+        assert bfs_distances(graph, 2).tolist() == [2, 1, 0, 1, 2]
+
+    def test_cycle_distances(self):
+        graph = cycle_graph(6)
+        assert bfs_distances(graph, 0).tolist() == [0, 1, 2, 3, 2, 1]
+
+    def test_grid_manhattan(self):
+        graph = grid_graph(3, 3)
+        distances = bfs_distances(graph, 0)
+        # corner-to-corner in a 3x3 grid is 4 hops
+        assert distances[8] == 4
+
+    def test_unreachable_marked(self, disconnected):
+        distances = bfs_distances(disconnected, 0)
+        assert distances[3] == -1
+        assert distances[5] == -1
+        assert distances[1] >= 0
+
+    def test_directed_follows_arcs(self, directed_line):
+        assert bfs_distances(directed_line, 0).tolist() == [0, 1, 2]
+        assert bfs_distances(directed_line, 2).tolist() == [-1, -1, 0]
+
+    def test_max_depth_truncates(self):
+        graph = path_graph(6)
+        distances = bfs_distances(graph, 0, max_depth=2)
+        assert distances[2] == 2
+        assert distances[3] == -1
+
+    def test_matches_scipy(self, random_graph):
+        import scipy.sparse.csgraph as csgraph
+        want = csgraph.shortest_path(random_graph.to_scipy_adjacency(),
+                                     unweighted=True, indices=0)
+        got = bfs_distances(random_graph, 0).astype(float)
+        got[got < 0] = np.inf
+        assert np.allclose(got, want)
+
+    def test_validation(self, k5):
+        with pytest.raises(ConfigError):
+            bfs_distances(k5, 9)
+
+
+class TestDerivedQueries:
+    def test_k_hop(self):
+        graph = path_graph(7)
+        assert k_hop_neighborhood(graph, 3, 1).tolist() == [2, 3, 4]
+        assert k_hop_neighborhood(graph, 3, 0).tolist() == [3]
+        with pytest.raises(ConfigError):
+            k_hop_neighborhood(graph, 3, -1)
+
+    def test_eccentricity(self):
+        assert eccentricity(path_graph(5), 0) == 4
+        assert eccentricity(path_graph(5), 2) == 2
+        assert eccentricity(cycle_graph(8), 0) == 4
+
+    def test_average_distance(self):
+        graph = path_graph(5)
+        assert average_distance_to(graph, 0,
+                                   np.array([1, 3])) == pytest.approx(2.0)
+
+    def test_average_distance_unreachable(self, disconnected):
+        assert average_distance_to(disconnected, 0,
+                                   np.array([5])) == float("inf")
+        with pytest.raises(ConfigError):
+            average_distance_to(disconnected, 0, np.array([], dtype=int))
+
+    def test_cluster_locality_use_case(self):
+        """The intended consumer: PPR clusters are BFS-local."""
+        from repro.applications import local_cluster
+        from repro.graph.generators import stochastic_block_model
+        graph = stochastic_block_model([60, 60],
+                                       [[0.3, 0.01], [0.01, 0.3]], rng=9)
+        cluster = local_cluster(graph, 5, alpha=0.05, seed=2)
+        assert average_distance_to(graph, 5, cluster.members) < 3.0

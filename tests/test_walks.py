@@ -1,0 +1,84 @@
+"""α-random-walk simulation tests."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.linalg import exact_ppr_matrix
+from repro.montecarlo import estimate_single_source_walks, simulate_alpha_walks
+from repro.graph.generators import erdos_renyi, with_random_weights
+
+
+class TestEndpoints:
+    def test_endpoint_distribution_matches_ppr(self, rng):
+        graph = erdos_renyi(12, 0.4, rng=1)
+        alpha = 0.25
+        exact = exact_ppr_matrix(graph, alpha)[0]
+        estimate = estimate_single_source_walks(graph, 0, alpha, 30000,
+                                                rng=rng)
+        assert np.abs(estimate - exact).max() < 0.02
+
+    def test_weighted_endpoint_distribution(self, rng):
+        graph = with_random_weights(erdos_renyi(8, 0.5, rng=2), rng=3)
+        alpha = 0.3
+        exact = exact_ppr_matrix(graph, alpha)[1]
+        estimate = estimate_single_source_walks(graph, 1, alpha, 30000,
+                                                rng=rng)
+        assert np.abs(estimate - exact).max() < 0.02
+
+    def test_estimate_sums_to_one(self, random_graph):
+        estimate = estimate_single_source_walks(random_graph, 0, 0.2, 500,
+                                                rng=0)
+        assert estimate.sum() == pytest.approx(1.0)
+
+    def test_mixed_starts(self, random_graph, rng):
+        starts = np.array([0, 1, 2, 0, 1, 2] * 50)
+        batch = simulate_alpha_walks(random_graph, starts, 0.3, rng=rng)
+        assert batch.num_walks == 300
+        assert np.array_equal(batch.starts, starts)
+
+    def test_dangling_start_stops_immediately(self, disconnected):
+        batch = simulate_alpha_walks(disconnected, np.array([5, 5, 5]), 0.2,
+                                     rng=0)
+        assert np.all(batch.endpoints == 5)
+        assert batch.total_steps == 0
+
+
+class TestWalkLength:
+    def test_mean_length_is_inverse_alpha(self, rng):
+        graph = erdos_renyi(20, 0.3, rng=4)
+        alpha = 0.2
+        batch = simulate_alpha_walks(graph, np.zeros(20000, dtype=np.int64),
+                                     alpha, rng=rng)
+        mean_length = batch.total_steps / batch.num_walks
+        # E[steps] = (1 - alpha) / alpha
+        assert mean_length == pytest.approx((1 - alpha) / alpha, rel=0.05)
+
+    def test_max_length_cap_respected(self, random_graph):
+        batch = simulate_alpha_walks(random_graph,
+                                     np.zeros(100, dtype=np.int64),
+                                     0.01, rng=1, max_length=5)
+        assert batch.total_steps <= 500
+
+
+class TestValidation:
+    def test_bad_alpha(self, k5):
+        with pytest.raises(ConfigError):
+            simulate_alpha_walks(k5, np.array([0]), 0.0)
+
+    def test_bad_start(self, k5):
+        with pytest.raises(ConfigError):
+            simulate_alpha_walks(k5, np.array([9]), 0.2)
+
+    def test_bad_walk_count(self, k5):
+        with pytest.raises(ConfigError):
+            estimate_single_source_walks(k5, 0, 0.2, 0)
+
+    def test_empty_batch(self, k5):
+        batch = simulate_alpha_walks(k5, np.array([], dtype=np.int64), 0.2)
+        assert batch.num_walks == 0
+
+    def test_deterministic_under_seed(self, random_graph):
+        a = simulate_alpha_walks(random_graph, np.arange(10), 0.2, rng=6)
+        b = simulate_alpha_walks(random_graph, np.arange(10), 0.2, rng=6)
+        assert np.array_equal(a.endpoints, b.endpoints)
