@@ -1,0 +1,191 @@
+"""The CI benchmark-regression gate: ``python -m repro.bench.ci_gate``.
+
+Runs a pinned quick-protocol subset of kernels — forest sampling
+(serial and through the parallel engine), the estimator fold, and the
+flagship single-source/single-target queries — on a fixed Chung–Lu
+graph with fixed seeds, and writes the result as JSON
+(:func:`repro.bench.reporting.write_benchmark_json`).
+
+With ``--baseline`` it compares against a committed run and exits
+non-zero if any tracked kernel regressed beyond the threshold
+(default 25%).  Wall clock is calibrated by a pure-NumPy reference
+workload so runner speed differences don't trip the gate; the work
+counters are machine-independent and compared raw.  See the "CI
+protocol" section of docs/BENCHMARKING.md for the baseline-refresh
+procedure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import platform
+import sys
+import time
+
+import numpy as np
+
+from repro.bench.reporting import (
+    compare_to_baseline,
+    format_markdown_table,
+    load_benchmark_json,
+    write_benchmark_json,
+)
+from repro.core import single_source, single_target
+from repro.graph.csr import Graph
+from repro.graph.generators import chung_lu
+from repro.parallel import parallel_estimate_stage, sample_forests_parallel
+
+__all__ = ["main", "run_kernels", "calibration_seconds"]
+
+SEED = 2022
+ALPHA = 0.1
+GRAPH_NODES = 4000
+TIMING_REPEATS = 3
+
+
+def _pinned_graph() -> Graph:
+    """The gate's fixed workload graph (heavy-tailed, ~4k nodes)."""
+    degrees = 2.0 + 8.0 * (np.arange(GRAPH_NODES, dtype=np.float64)
+                           % 97) / 96.0
+    return chung_lu(degrees, rng=SEED)
+
+
+def calibration_seconds() -> float:
+    """Time a fixed pure-NumPy workload (best of 3).
+
+    Scores the host's NumPy throughput on the mix the kernels use —
+    dense arithmetic, bincount, argsort — so kernel seconds can be
+    compared across machines as multiples of this figure.
+    """
+    rng = np.random.default_rng(SEED)
+    values = rng.random(400_000)
+    labels = rng.integers(0, 1_000, size=values.size)
+    best = float("inf")
+    for _ in range(TIMING_REPEATS):
+        started = time.perf_counter()
+        acc = np.zeros(1_000)
+        for _ in range(10):
+            acc += np.bincount(labels, weights=values, minlength=1_000)
+            values = np.sqrt(values * values + 1e-9)
+        np.argsort(acc)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _timed(func) -> tuple[float, dict]:
+    """Best-of-N wall clock plus the counters of the last run."""
+    best = float("inf")
+    counters: dict = {}
+    for _ in range(TIMING_REPEATS):
+        started = time.perf_counter()
+        counters = func()
+        best = min(best, time.perf_counter() - started)
+    return best, counters
+
+
+def run_kernels(workers: int = 4) -> dict[str, dict]:
+    """Run every tracked kernel; returns ``{name: {seconds, counters}}``."""
+    graph = _pinned_graph()
+    graph.alias_table  # build outside the timed regions
+    residual = np.zeros(graph.num_nodes)
+    residual[:64] = 1.0 / 64.0
+
+    def forest_serial():
+        from repro.counters import WorkCounters
+        work = WorkCounters()
+        sample_forests_parallel(graph, ALPHA, 16, rng=SEED, workers=1,
+                                counters=work)
+        return work.as_dict()
+
+    def forest_parallel():
+        from repro.counters import WorkCounters
+        work = WorkCounters()
+        sample_forests_parallel(graph, ALPHA, 16, rng=SEED, workers=workers,
+                                counters=work)
+        return work.as_dict()
+
+    def estimate_stage():
+        stage = parallel_estimate_stage(graph, ALPHA, 32, residual,
+                                        kind="source", improved=True,
+                                        rng=SEED, workers=1)
+        return stage.counters.as_dict()
+
+    def speedlv_query():
+        result = single_source(graph, 0, method="speedlv", alpha=ALPHA,
+                               budget_scale=0.05, seed=SEED)
+        return result.work.as_dict()
+
+    def backlv_query():
+        result = single_target(graph, 1, method="backlv", alpha=ALPHA,
+                               budget_scale=0.05, seed=SEED)
+        return result.work.as_dict()
+
+    kernels = {}
+    for name, func in [("forest_sampling_serial", forest_serial),
+                       ("forest_sampling_parallel", forest_parallel),
+                       ("estimate_stage_source_improved", estimate_stage),
+                       ("speedlv_query", speedlv_query),
+                       ("backlv_query", backlv_query)]:
+        seconds, counters = _timed(func)
+        kernels[name] = {"seconds": seconds, "counters": counters}
+    return kernels
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the gate; returns a process exit code (1 = regression)."""
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.ci_gate",
+        description="pinned benchmark subset + regression gate")
+    parser.add_argument("--output", default="BENCH_PR.json",
+                        help="where to write this run's JSON")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline JSON to gate against "
+                             "(omit to only record, e.g. when refreshing)")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional regression (default 0.25)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="worker count for the parallel kernel")
+    args = parser.parse_args(argv)
+
+    calibration = calibration_seconds()
+    kernels = run_kernels(workers=args.workers)
+    meta = {
+        "calibration_seconds": calibration,
+        "seed": SEED,
+        "alpha": ALPHA,
+        "graph_nodes": GRAPH_NODES,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    write_benchmark_json(args.output, kernels, meta)
+
+    rows = [{"kernel": name,
+             "seconds": entry["seconds"],
+             "x_calibration": entry["seconds"] / calibration,
+             **entry["counters"]}
+            for name, entry in kernels.items()]
+    print(format_markdown_table(rows))
+    print(f"\ncalibration: {calibration:.4f}s; wrote {args.output}")
+
+    if args.baseline is None:
+        return 0
+    try:
+        baseline = load_benchmark_json(args.baseline)
+    except OSError as error:
+        print(f"error: cannot read baseline {args.baseline!r}: {error}",
+              file=sys.stderr)
+        return 2
+    regressions = compare_to_baseline(load_benchmark_json(args.output),
+                                      baseline, threshold=args.threshold)
+    if regressions:
+        print("\nREGRESSIONS over "
+              f"{args.threshold:.0%} vs {args.baseline}:", file=sys.stderr)
+        print(format_markdown_table(regressions), file=sys.stderr)
+        return 1
+    print(f"gate passed: no kernel regressed >{args.threshold:.0%} "
+          f"vs {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

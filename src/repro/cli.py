@@ -56,6 +56,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="dataset scale factor")
     query.add_argument("--budget-scale", type=float, default=0.05)
     query.add_argument("--seed", type=int, default=2022)
+    query.add_argument("--workers", type=int, default=1,
+                       help="processes for the forest Monte-Carlo stage "
+                            "(0 = cpu count); estimates are identical "
+                            "for every value at a fixed seed")
 
     pair = commands.add_parser("pair", help="estimate one pi(s, t)")
     pair.add_argument("dataset")
@@ -87,6 +91,10 @@ def build_parser() -> argparse.ArgumentParser:
     selfcheck = commands.add_parser(
         "selfcheck", help="quick statistical self-test of the install")
     selfcheck.add_argument("--seed", type=int, default=2022)
+    selfcheck.add_argument("--workers", type=int, default=1,
+                           help="worker processes for the sampling checks; "
+                                "the printed report is identical for every "
+                                "value at a fixed seed")
 
     experiment = commands.add_parser(
         "experiment", help="run one paper experiment and print its table")
@@ -106,7 +114,8 @@ def _cmd_datasets(_: argparse.Namespace) -> int:
 def _cmd_query(args: argparse.Namespace) -> int:
     graph = load_dataset(args.dataset, scale=args.scale)
     common = dict(alpha=args.alpha, epsilon=args.epsilon,
-                  budget_scale=args.budget_scale, seed=args.seed)
+                  budget_scale=args.budget_scale, seed=args.seed,
+                  workers=args.workers)
     if args.kind == "source":
         result = single_source(graph, args.node,
                                method=args.method or "speedlv", **common)
@@ -161,16 +170,23 @@ def _cmd_spectrum(args: argparse.Namespace) -> int:
 
 
 def _cmd_selfcheck(args: argparse.Namespace) -> int:
-    """Three fast end-to-end checks against exact ground truth.
+    """Four fast end-to-end checks against exact ground truth.
 
     Exercises the theory-critical path (sampler law = PPR), the
-    flagship query algorithm, and the push invariant; exits non-zero
-    on any failure so CI and users can gate on it.
+    flagship query algorithm, the push invariant, and the parallel
+    engine's worker-count invariance; exits non-zero on any failure so
+    CI and users can gate on it.
+
+    Every printed line — including the estimate digest — is identical
+    for any ``--workers`` value at a fixed ``--seed``, so CI can diff
+    two runs to verify the engine's determinism contract.
     """
+    import hashlib
+
     from repro.core import l1_error, single_source
-    from repro.forests import sample_forests_batch
     from repro.graph.generators import erdos_renyi
     from repro.linalg import exact_ppr_matrix
+    from repro.parallel import sample_forests_parallel
     from repro.push import forward_push
 
     graph = erdos_renyi(12, 0.4, rng=args.seed)
@@ -180,8 +196,10 @@ def _cmd_selfcheck(args: argparse.Namespace) -> int:
 
     counts = np.zeros((12, 12))
     samples = 3000
-    for forest in sample_forests_batch(graph, alpha, samples,
-                                       rng=args.seed):
+    for forest in sample_forests_parallel(graph, alpha, samples,
+                                          rng=args.seed, batch=True,
+                                          workers=args.workers,
+                                          chunk_size=256):
         counts[np.arange(12), forest.roots] += 1
     sampler_err = float(np.abs(counts / samples - exact).max())
     ok = sampler_err < 0.04
@@ -190,7 +208,7 @@ def _cmd_selfcheck(args: argparse.Namespace) -> int:
           f"(max dev {sampler_err:.4f} < 0.04)")
 
     result = single_source(graph, 0, method="speedlv", alpha=alpha,
-                           seed=args.seed)
+                           seed=args.seed, workers=args.workers)
     query_err = l1_error(result, exact[0])
     ok = query_err < 0.1
     failures += not ok
@@ -204,6 +222,14 @@ def _cmd_selfcheck(args: argparse.Namespace) -> int:
     failures += not ok
     print(f"[{'ok' if ok else 'FAIL'}] push invariant "
           f"(max dev {invariant_err:.2e} < 1e-9)")
+
+    serial = single_source(graph, 0, method="speedlv", alpha=alpha,
+                           seed=args.seed, workers=1)
+    ok = np.array_equal(serial.estimates, result.estimates)
+    failures += not ok
+    digest = hashlib.sha256(result.estimates.tobytes()).hexdigest()[:16]
+    print(f"[{'ok' if ok else 'FAIL'}] parallel engine determinism "
+          f"(serial-equal estimates; digest {digest})")
 
     print("self-check " + ("passed" if failures == 0
                            else f"FAILED ({failures})"))

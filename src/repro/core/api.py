@@ -67,8 +67,12 @@ def single_source(graph: Graph, source: int, *, method: str = "speedlv",
         require ``index``).
     config:
         A :class:`PPRConfig`; keyword ``overrides`` (``alpha=``,
-        ``epsilon=``, ``seed=`` ...) are applied on top of it or of the
-        defaults.
+        ``epsilon=``, ``seed=``, ``workers=`` ...) are applied on top
+        of it or of the defaults.  ``workers`` fans the forest
+        Monte-Carlo stage out over that many processes via
+        :mod:`repro.parallel.engine`; with a fixed ``seed`` the
+        estimates are bit-identical for every worker count, so it is a
+        pure throughput knob.
     index:
         Prebuilt :class:`~repro.montecarlo.walk_index.WalkIndex` /
         :class:`~repro.montecarlo.forest_index.ForestIndex` for the

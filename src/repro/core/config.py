@@ -49,6 +49,11 @@ class PPRConfig:
     All fields have paper-faithful defaults; ``mu`` and
     ``failure_probability`` default to ``1/n`` at resolution time
     (they need the graph size, see :meth:`resolve`).
+
+    ``workers`` sets the process count for the chunked forest
+    Monte-Carlo stage (:mod:`repro.parallel.engine`): ``1`` runs
+    serially, ``0``/``None`` uses the cpu count.  For a fixed ``seed``
+    the estimates are bit-identical for every ``workers`` value.
     """
 
     alpha: float = 0.01
@@ -63,6 +68,7 @@ class PPRConfig:
     max_forests: int = 100_000
     max_walks: int = 50_000_000
     seed: int | None = None
+    workers: int | None = 1
 
     def __post_init__(self):
         if not 0.0 < self.alpha < 1.0:
@@ -83,6 +89,9 @@ class PPRConfig:
             raise ConfigError("push_cost_ratio must be positive")
         if self.max_forests < 1 or self.max_walks < 1:
             raise ConfigError("sample caps must be at least 1")
+        if self.workers is not None and self.workers < 0:
+            raise ConfigError(
+                f"workers must be >= 0 (0/None = cpu count), got {self.workers}")
 
     # ------------------------------------------------------------------
     def resolve(self, graph: Graph) -> "PPRConfig":

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.counters import WorkCounters
 from repro.exceptions import ConfigError
 
 __all__ = ["PPRResult"]
@@ -77,6 +78,17 @@ class PPRResult:
         """Wall-clock total across recorded stages (0 if not recorded)."""
         return float(sum(value for key, value in self.stats.items()
                          if key.endswith("_seconds")))
+
+    @property
+    def work(self) -> WorkCounters:
+        """Machine-independent work done (parsed from the ``work_*`` stats).
+
+        Walk steps, cycle pops, forests sampled and push operations —
+        the quantities the benchmark harness compares across hosts
+        instead of raw seconds.  All-zero for results produced by code
+        paths that do not record counters.
+        """
+        return WorkCounters.from_stats(self.stats)
 
     def __repr__(self) -> str:
         return (f"PPRResult({self.kind}={self.query_node}, "

@@ -38,16 +38,15 @@ import numpy as np
 
 from repro.core.config import PPRConfig
 from repro.core.result import PPRResult
+from repro.counters import WorkCounters
 from repro.exceptions import ConfigError
-from repro.forests.estimators import (
-    source_estimate_basic,
-    source_estimate_improved,
-)
+from repro.forests.estimators import accumulate_estimates
 from repro.forests.sampling import sample_forest
 from repro.graph.csr import Graph
 from repro.montecarlo.forest_index import ForestIndex
 from repro.montecarlo.walk_index import WalkIndex
 from repro.montecarlo.walks import simulate_alpha_walks
+from repro.parallel.engine import parallel_estimate_stage
 from repro.push.forward import balanced_forward_push, forward_push
 from repro.push.power_push import power_push
 from repro.rng import ensure_rng
@@ -68,7 +67,8 @@ def _walk_stage(graph: Graph, residual: np.ndarray, config: PPRConfig,
     budget = config.walk_budget(graph)
     nodes = np.flatnonzero(residual > 0)
     if nodes.size == 0:
-        return np.zeros(graph.num_nodes), {"num_walks": 0, "walk_steps": 0}
+        return np.zeros(graph.num_nodes), {"num_walks": 0, "walk_steps": 0,
+                                           "_counters": WorkCounters()}
     counts = np.ceil(residual[nodes] * budget).astype(np.int64)
     counts = np.maximum(counts, 1)
     total = int(counts.sum())
@@ -82,13 +82,20 @@ def _walk_stage(graph: Graph, residual: np.ndarray, config: PPRConfig,
     weights = np.repeat(residual[nodes] / counts, counts)
     estimate = np.bincount(batch.endpoints, weights=weights,
                            minlength=graph.num_nodes)
-    return estimate, {"num_walks": total, "walk_steps": batch.total_steps}
+    return estimate, {"num_walks": total, "walk_steps": batch.total_steps,
+                      "_counters": WorkCounters(
+                          walk_steps=int(batch.total_steps))}
 
 
 def _forest_stage(graph: Graph, residual: np.ndarray, config: PPRConfig,
                   rng, *, improved: bool, sample_ceiling: float,
-                  pilot=None) -> tuple[np.ndarray, dict]:
+                  pilot=None, kind: str = "source") -> tuple[np.ndarray, dict]:
     """Forest stage: ``ω = ⌈ceiling·W⌉`` forests, averaged estimator.
+
+    Runs through the chunked engine (:mod:`repro.parallel.engine`) with
+    ``config.workers`` processes; the chunk plan and per-chunk RNG
+    streams depend only on ω, so a fixed seed gives bit-identical
+    estimates for every worker count.
 
     With ``config.track_variance`` the per-node standard error of the
     Monte-Carlo mean (``σ̂/√ω``) is returned in the stats under
@@ -96,29 +103,35 @@ def _forest_stage(graph: Graph, residual: np.ndarray, config: PPRConfig,
     calibrated uncertainty for the sampled part of the answer.
     """
     omega = config.num_forests(graph, sample_ceiling)
-    degrees = graph.degrees
-    accumulated = np.zeros(graph.num_nodes)
-    squares = np.zeros(graph.num_nodes) if config.track_variance else None
-    steps = 0
+    counters = WorkCounters()
+    track = config.track_variance
+    sums = np.zeros(graph.num_nodes)
+    squares = np.zeros(graph.num_nodes) if track else None
     drawn = 0
-    forest = pilot
-    while drawn < omega or drawn == 0:
-        if forest is None:
-            forest = sample_forest(graph, config.alpha, rng=rng,
-                                   method=config.sampler)
-        estimate = (source_estimate_improved(forest, residual, degrees)
-                    if improved else
-                    source_estimate_basic(forest, residual))
-        accumulated += estimate
-        if squares is not None:
-            squares += estimate * estimate
-        steps += forest.num_steps
-        drawn += 1
-        forest = None
-        if drawn >= omega:
-            break
-    stats = {"num_forests": drawn, "forest_steps": steps, "omega": omega}
-    mean = accumulated / drawn
+    if pilot is not None:
+        # the pilot was already drawn from the parent stream; fold it
+        # in first so it is reused as the first Monte-Carlo sample
+        pilot_sums, pilot_squares, pilot_drawn = accumulate_estimates(
+            [pilot], residual, graph.degrees, kind=kind, improved=improved,
+            track_squares=track, counters=counters)
+        sums += pilot_sums
+        if squares is not None and pilot_squares is not None:
+            squares += pilot_squares
+        drawn += pilot_drawn
+    stage = parallel_estimate_stage(
+        graph, config.alpha, max(omega - drawn, 0), residual, kind=kind,
+        improved=improved, rng=rng, workers=config.workers,
+        method=config.sampler, track_squares=track)
+    sums += stage.sums
+    if squares is not None and stage.squares is not None:
+        squares += stage.squares
+    drawn += stage.drawn
+    counters.merge(stage.counters)
+    stats = {"num_forests": drawn, "forest_steps": counters.walk_steps,
+             "cycle_pops": counters.cycle_pops, "omega": omega,
+             "mc_workers": stage.workers_used, "mc_chunks": stage.num_chunks,
+             "_counters": counters}
+    mean = sums / drawn
     if squares is not None:
         variance = np.maximum(squares / drawn - mean * mean, 0.0)
         stats["mc_stderr"] = np.sqrt(variance / drawn)
@@ -143,6 +156,19 @@ def _finish(graph: Graph, source: int, method: str, config: PPRConfig,
     return PPRResult(estimates=reserve + mc_estimate, kind="source",
                      query_node=source, method=method, alpha=config.alpha,
                      epsilon=config.epsilon, stats=stats)
+
+
+def _merge_work(stats: dict, num_pushes: int) -> dict:
+    """Fold the stage's ``WorkCounters`` plus push count into ``stats``.
+
+    Pops the private ``"_counters"`` entry the Monte-Carlo stages leave
+    behind and flattens it into ``work_*`` keys (see
+    :mod:`repro.counters`) so the harness picks the counters up.
+    """
+    work = stats.pop("_counters", None) or WorkCounters()
+    work.pushes += int(num_pushes)
+    stats.update(work.as_stats())
+    return stats
 
 
 def _prepare(graph: Graph, source: int,
@@ -181,9 +207,10 @@ def fora(graph: Graph, source: int,
     t1 = time.perf_counter()
     mc, mc_stats = _walk_stage(graph, push.residual, config, rng)
     t2 = time.perf_counter()
-    stats = {"r_max": r_max, "num_pushes": push.num_pushes,
-             "push_work": push.work, "push_seconds": t1 - t0,
-             "mc_seconds": t2 - t1, **mc_stats}
+    stats = _merge_work({"r_max": r_max, "num_pushes": push.num_pushes,
+                         "push_work": push.work, "push_seconds": t1 - t0,
+                         "mc_seconds": t2 - t1, **mc_stats},
+                        push.num_pushes)
     return _finish(graph, source, "fora", config, push.reserve, mc, stats)
 
 
@@ -203,9 +230,10 @@ def _foral_family(graph: Graph, source: int, config: PPRConfig | None,
                                  improved=improved, sample_ceiling=r_max,
                                  pilot=pilot)
     t2 = time.perf_counter()
-    stats = {"r_max": r_max, "num_pushes": push.num_pushes,
-             "push_work": push.work, "push_seconds": t1 - t0,
-             "mc_seconds": t2 - t1, **mc_stats}
+    stats = _merge_work({"r_max": r_max, "num_pushes": push.num_pushes,
+                         "push_work": push.work, "push_seconds": t1 - t0,
+                         "mc_seconds": t2 - t1, **mc_stats},
+                        push.num_pushes)
     return _finish(graph, source, method, config, push.reserve, mc, stats)
 
 
@@ -260,9 +288,11 @@ def speedppr(graph: Graph, source: int,
     t1 = time.perf_counter()
     mc, mc_stats = _walk_stage(graph, push.residual, config, rng)
     t2 = time.perf_counter()
-    stats = {"residual_target": target, "num_pushes": push.num_pushes,
-             "push_work": push.work, "push_seconds": t1 - t0,
-             "mc_seconds": t2 - t1, **mc_stats}
+    stats = _merge_work({"residual_target": target,
+                         "num_pushes": push.num_pushes,
+                         "push_work": push.work, "push_seconds": t1 - t0,
+                         "mc_seconds": t2 - t1, **mc_stats},
+                        push.num_pushes)
     return _finish(graph, source, "speedppr", config, push.reserve, mc, stats)
 
 
@@ -285,9 +315,11 @@ def _speedl_family(graph: Graph, source: int, config: PPRConfig | None,
                                  improved=improved, sample_ceiling=ceiling,
                                  pilot=pilot)
     t2 = time.perf_counter()
-    stats = {"residual_target": target, "num_pushes": push.num_pushes,
-             "push_work": push.work, "push_seconds": t1 - t0,
-             "mc_seconds": t2 - t1, **mc_stats}
+    stats = _merge_work({"residual_target": target,
+                         "num_pushes": push.num_pushes,
+                         "push_work": push.work, "push_seconds": t1 - t0,
+                         "mc_seconds": t2 - t1, **mc_stats},
+                        push.num_pushes)
     return _finish(graph, source, method, config, push.reserve, mc, stats)
 
 
@@ -336,9 +368,11 @@ def fora_plus(graph: Graph, source: int, index: WalkIndex,
     t1 = time.perf_counter()
     mc = index.estimate_from_residual(push.residual, budget)
     t2 = time.perf_counter()
-    stats = {"r_max": r_max, "num_pushes": push.num_pushes,
-             "push_work": push.work, "push_seconds": t1 - t0,
-             "mc_seconds": t2 - t1, "index_walks": index.num_walks}
+    stats = _merge_work({"r_max": r_max, "num_pushes": push.num_pushes,
+                         "push_work": push.work, "push_seconds": t1 - t0,
+                         "mc_seconds": t2 - t1,
+                         "index_walks": index.num_walks},
+                        push.num_pushes)
     return _finish(graph, source, "fora+", config, push.reserve, mc, stats)
 
 
@@ -354,9 +388,12 @@ def speedppr_plus(graph: Graph, source: int, index: WalkIndex,
     mc = index.estimate_from_residual(push.residual,
                                       config.walk_budget(graph))
     t2 = time.perf_counter()
-    stats = {"residual_target": target, "num_pushes": push.num_pushes,
-             "push_work": push.work, "push_seconds": t1 - t0,
-             "mc_seconds": t2 - t1, "index_walks": index.num_walks}
+    stats = _merge_work({"residual_target": target,
+                         "num_pushes": push.num_pushes,
+                         "push_work": push.work, "push_seconds": t1 - t0,
+                         "mc_seconds": t2 - t1,
+                         "index_walks": index.num_walks},
+                        push.num_pushes)
     return _finish(graph, source, "speedppr+", config, push.reserve, mc,
                    stats)
 
@@ -374,9 +411,11 @@ def foralv_plus(graph: Graph, source: int, index: ForestIndex,
     t1 = time.perf_counter()
     mc = index.estimate_source(push.residual, improved=True)
     t2 = time.perf_counter()
-    stats = {"r_max": r_max, "num_pushes": push.num_pushes,
-             "push_work": push.work, "push_seconds": t1 - t0,
-             "mc_seconds": t2 - t1, "index_forests": index.num_forests}
+    stats = _merge_work({"r_max": r_max, "num_pushes": push.num_pushes,
+                         "push_work": push.work, "push_seconds": t1 - t0,
+                         "mc_seconds": t2 - t1,
+                         "index_forests": index.num_forests},
+                        push.num_pushes)
     return _finish(graph, source, "foralv+", config, push.reserve, mc, stats)
 
 
@@ -392,8 +431,11 @@ def speedlv_plus(graph: Graph, source: int, index: ForestIndex,
     t1 = time.perf_counter()
     mc = index.estimate_source(push.residual, improved=True)
     t2 = time.perf_counter()
-    stats = {"residual_target": target, "num_pushes": push.num_pushes,
-             "push_work": push.work, "push_seconds": t1 - t0,
-             "mc_seconds": t2 - t1, "index_forests": index.num_forests}
+    stats = _merge_work({"residual_target": target,
+                         "num_pushes": push.num_pushes,
+                         "push_work": push.work, "push_seconds": t1 - t0,
+                         "mc_seconds": t2 - t1,
+                         "index_forests": index.num_forests},
+                        push.num_pushes)
     return _finish(graph, source, "speedlv+", config, push.reserve, mc,
                    stats)

@@ -27,14 +27,13 @@ import numpy as np
 
 from repro.core.config import PPRConfig
 from repro.core.result import PPRResult
+from repro.counters import WorkCounters
 from repro.exceptions import ConfigError
-from repro.forests.estimators import (
-    target_estimate_basic,
-    target_estimate_improved,
-)
+from repro.forests.estimators import accumulate_estimates
 from repro.forests.sampling import sample_forest
 from repro.graph.csr import Graph
 from repro.montecarlo.forest_index import ForestIndex
+from repro.parallel.engine import parallel_estimate_stage
 from repro.push.backward import backward_push, randomized_backward_push
 from repro.rng import ensure_rng
 
@@ -77,7 +76,8 @@ def back(graph: Graph, target: int,
     t1 = time.perf_counter()
     stats = {"r_max": r_max, "num_pushes": push.num_pushes,
              "push_work": push.work, "push_seconds": t1 - t0,
-             "residual_mass": push.residual_mass}
+             "residual_mass": push.residual_mass,
+             **WorkCounters(pushes=int(push.num_pushes)).as_stats()}
     return _finish(graph, target, "back", config, push.reserve, stats)
 
 
@@ -95,7 +95,8 @@ def rback(graph: Graph, target: int,
     t1 = time.perf_counter()
     stats = {"r_max": r_max, "num_pushes": push.num_pushes,
              "push_work": push.work, "push_seconds": t1 - t0,
-             "residual_mass": push.residual_mass}
+             "residual_mass": push.residual_mass,
+             **WorkCounters(pushes=int(push.num_pushes)).as_stats()}
     return _finish(graph, target, "rback", config, push.reserve, stats)
 
 
@@ -138,30 +139,30 @@ def _backl_family(graph: Graph, target: int, config: PPRConfig | None,
     push = backward_push(graph, target, config.alpha, r_max)
     t1 = time.perf_counter()
     omega = config.num_forests(graph, r_max)
-    degrees = graph.degrees
+    counters = WorkCounters(pushes=int(push.num_pushes))
     accumulated = np.zeros(graph.num_nodes)
-    steps = 0
     drawn = 0
     if pilot is not None:
-        accumulated += (target_estimate_improved(pilot, push.residual, degrees)
-                        if improved else
-                        target_estimate_basic(pilot, push.residual))
-        steps += pilot.num_steps
-        drawn += 1
-    while drawn < omega:
-        forest = sample_forest(graph, config.alpha, rng=rng,
-                               method=config.sampler)
-        accumulated += (target_estimate_improved(forest, push.residual,
-                                                 degrees)
-                        if improved else
-                        target_estimate_basic(forest, push.residual))
-        steps += forest.num_steps
-        drawn += 1
+        pilot_sums, _, pilot_drawn = accumulate_estimates(
+            [pilot], push.residual, graph.degrees, kind="target",
+            improved=improved, counters=counters)
+        accumulated += pilot_sums
+        drawn += pilot_drawn
+    stage = parallel_estimate_stage(
+        graph, config.alpha, max(omega - drawn, 0), push.residual,
+        kind="target", improved=improved, rng=rng, workers=config.workers,
+        method=config.sampler)
+    accumulated += stage.sums
+    drawn += stage.drawn
+    counters.merge(stage.counters)
     t2 = time.perf_counter()
     stats = {"r_max": r_max, "num_pushes": push.num_pushes,
              "push_work": push.work, "push_seconds": t1 - t0,
              "mc_seconds": t2 - t1, "num_forests": drawn,
-             "forest_steps": steps, "omega": omega}
+             "forest_steps": counters.walk_steps,
+             "cycle_pops": counters.cycle_pops, "omega": omega,
+             "mc_workers": stage.workers_used,
+             "mc_chunks": stage.num_chunks, **counters.as_stats()}
     return _finish(graph, target, method, config,
                    push.reserve + accumulated / max(drawn, 1), stats)
 
@@ -203,6 +204,7 @@ def backlv_plus(graph: Graph, target: int, index: ForestIndex,
     t2 = time.perf_counter()
     stats = {"r_max": r_max, "num_pushes": push.num_pushes,
              "push_work": push.work, "push_seconds": t1 - t0,
-             "mc_seconds": t2 - t1, "index_forests": index.num_forests}
+             "mc_seconds": t2 - t1, "index_forests": index.num_forests,
+             **WorkCounters(pushes=int(push.num_pushes)).as_stats()}
     return _finish(graph, target, "backlv+", config, push.reserve + mc,
                    stats)

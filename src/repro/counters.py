@@ -1,0 +1,93 @@
+"""Machine-independent work accounting shared by every sampling stage.
+
+Wall-clock numbers depend on the host; the benchmark harness therefore
+prefers *work counters* — how many walk steps were taken, how many
+cycles were popped, how many forests were drawn, how many push
+operations ran.  :class:`WorkCounters` is the one record threaded from
+the samplers up through the query algorithms into
+:class:`~repro.core.result.PPRResult.stats`, and merged across worker
+processes by the parallel engine.
+
+The flat-dict form uses a ``work_`` key prefix so the counters coexist
+with the algorithms' historical stats keys (``num_forests``,
+``forest_steps``, ...) and are picked up automatically by
+:class:`~repro.bench.harness.QueryTimings`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["WorkCounters", "WORK_STATS_PREFIX"]
+
+#: Prefix used when flattening counters into a stats dict.
+WORK_STATS_PREFIX = "work_"
+
+
+@dataclass
+class WorkCounters:
+    """Additive work-done record.
+
+    Attributes
+    ----------
+    walk_steps:
+        Random-walk steps (arrow draws): forest-sampler draws plus
+        plain α-walk steps.
+    cycle_pops:
+        Arrows redrawn because a cycle was popped (equivalently, walk
+        visits erased by loop erasure — both equal ``steps − n`` per
+        forest, see :attr:`~repro.forests.forest.RootedForest.num_pops`).
+    forests_sampled:
+        Rooted spanning forests drawn.
+    pushes:
+        Deterministic push operations (forward/backward/power).
+    """
+
+    walk_steps: int = 0
+    cycle_pops: int = 0
+    forests_sampled: int = 0
+    pushes: int = 0
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "WorkCounters") -> "WorkCounters":
+        """Add ``other`` into ``self`` (in place) and return ``self``."""
+        for spec in fields(self):
+            setattr(self, spec.name,
+                    getattr(self, spec.name) + getattr(other, spec.name))
+        return self
+
+    def __add__(self, other: "WorkCounters") -> "WorkCounters":
+        return WorkCounters(*(getattr(self, f.name) + getattr(other, f.name)
+                              for f in fields(self)))
+
+    def record_forest(self, forest) -> None:
+        """Account for one sampled :class:`~repro.forests.forest.RootedForest`."""
+        self.forests_sampled += 1
+        self.walk_steps += int(forest.num_steps)
+        self.cycle_pops += int(forest.num_pops)
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict[str, int]:
+        """Plain ``{field: value}`` mapping."""
+        return {spec.name: int(getattr(self, spec.name))
+                for spec in fields(self)}
+
+    def as_stats(self) -> dict[str, int]:
+        """Flat stats entries, keys prefixed with :data:`WORK_STATS_PREFIX`."""
+        return {WORK_STATS_PREFIX + key: value
+                for key, value in self.as_dict().items()}
+
+    @classmethod
+    def from_stats(cls, stats: dict) -> "WorkCounters":
+        """Rebuild counters from a stats dict written by :meth:`as_stats`.
+
+        Missing keys default to zero, so results produced before the
+        counters existed still parse.
+        """
+        return cls(**{spec.name: int(stats.get(WORK_STATS_PREFIX + spec.name, 0))
+                      for spec in fields(cls)})
+
+    @property
+    def total(self) -> int:
+        """Sum of all counters — a single scalar "work done" figure."""
+        return sum(self.as_dict().values())

@@ -47,6 +47,8 @@ __all__ = [
     "source_estimate_improved",
     "target_estimate_basic",
     "target_estimate_improved",
+    "estimator_for",
+    "accumulate_estimates",
 ]
 
 
@@ -127,3 +129,63 @@ def target_estimate_improved(forest: RootedForest, residual: np.ndarray,
                           / tree_degree[labels[positive]])
     estimate[~positive] = residual[~positive]
     return estimate
+
+
+# ----------------------------------------------------------------------
+# Accumulation over forest streams (shared by the serial Monte-Carlo
+# stages and the parallel engine's worker chunks)
+# ----------------------------------------------------------------------
+def estimator_for(kind: str, improved: bool):
+    """Return ``f(forest, residual, degrees) -> estimate`` by name.
+
+    ``kind`` is ``"source"`` or ``"target"``; ``improved`` selects the
+    conditional-Monte-Carlo variant.  The basic estimators ignore the
+    ``degrees`` argument.
+    """
+    if kind == "source":
+        if improved:
+            return source_estimate_improved
+        return lambda forest, residual, degrees: source_estimate_basic(
+            forest, residual)
+    if kind == "target":
+        if improved:
+            return target_estimate_improved
+        return lambda forest, residual, degrees: target_estimate_basic(
+            forest, residual)
+    raise ConfigError(f"kind must be 'source' or 'target', got {kind!r}")
+
+
+def accumulate_estimates(forests, residual: np.ndarray,
+                         degrees: np.ndarray | None = None, *,
+                         kind: str = "source", improved: bool = False,
+                         track_squares: bool = False,
+                         counters=None) -> tuple[np.ndarray,
+                                                 np.ndarray | None, int]:
+    """Fold an iterable of forests into estimator sums.
+
+    Returns ``(sums, squares, drawn)`` where ``sums`` is the per-node
+    sum of the per-forest estimates, ``squares`` their elementwise
+    squares (``None`` unless ``track_squares``) and ``drawn`` the
+    number of forests consumed.  Accumulation order follows the
+    iterable, so a fixed forest sequence yields bit-identical sums —
+    the property the parallel engine's determinism contract rests on.
+
+    ``counters`` (a :class:`~repro.counters.WorkCounters`) is updated
+    with each forest's steps/pops if given.
+    """
+    residual = np.asarray(residual, dtype=np.float64)
+    estimator = estimator_for(kind, improved)
+    if improved and degrees is None:
+        raise ConfigError("improved estimators need the degree vector")
+    sums = np.zeros(residual.size)
+    squares = np.zeros(residual.size) if track_squares else None
+    drawn = 0
+    for forest in forests:
+        estimate = estimator(forest, residual, degrees)
+        sums += estimate
+        if squares is not None:
+            squares += estimate * estimate
+        if counters is not None:
+            counters.record_forest(forest)
+        drawn += 1
+    return sums, squares, drawn

@@ -57,6 +57,18 @@ class RootedForest:
         """Number of nodes covered by the forest."""
         return self.roots.size
 
+    @property
+    def num_pops(self) -> int:
+        """Arrow draws spent on popped cycles (erased walk visits).
+
+        Every node keeps exactly one surviving arrow in the final
+        forest, and each sampling step draws one arrow, so the wasted
+        draws are ``num_steps − n`` for both samplers: cycle popping
+        redraws exactly the popped nodes, and the loop-erased walk
+        erases exactly the revisited stretches.
+        """
+        return max(int(self.num_steps) - self.num_nodes, 0)
+
     @cached_property
     def root_set(self) -> np.ndarray:
         """Sorted ids of the root nodes."""

@@ -32,7 +32,8 @@ AUTO_SAMPLER_ALPHA_THRESHOLD = 1e-3
 
 def sample_forest(graph: Graph, alpha: float,
                   rng: np.random.Generator | int | None = None,
-                  method: str = "auto") -> RootedForest:
+                  method: str = "auto",
+                  counters=None) -> RootedForest:
     """Sample one rooted spanning forest.
 
     ``method`` selects between the vectorised production sampler
@@ -41,6 +42,9 @@ def sample_forest(graph: Graph, alpha: float,
     for moderate α and Wilson below
     :data:`AUTO_SAMPLER_ALPHA_THRESHOLD` — both draw the identical
     distribution, so the choice is purely a constant-factor matter.
+
+    ``counters`` (a :class:`~repro.counters.WorkCounters`) is credited
+    with the forest's walk steps and cycle pops if given.
     """
     if method == "auto":
         method = ("cycle_popping" if alpha >= AUTO_SAMPLER_ALPHA_THRESHOLD
@@ -51,19 +55,25 @@ def sample_forest(graph: Graph, alpha: float,
         raise ConfigError(
             f"unknown sampler {method!r}; choose from "
             f"{sorted(SAMPLERS) + ['auto']}") from None
-    return sampler(graph, alpha, rng=rng)
+    forest = sampler(graph, alpha, rng=rng)
+    if counters is not None:
+        counters.record_forest(forest)
+    return forest
 
 
 def sample_forests(graph: Graph, alpha: float, count: int,
                    rng: np.random.Generator | int | None = None,
-                   method: str = "auto") -> Iterator[RootedForest]:
+                   method: str = "auto",
+                   counters=None) -> Iterator[RootedForest]:
     """Yield ``count`` independent forests from one RNG stream.
 
     A generator so callers can fold estimates forest-by-forest without
-    holding all samples in memory (a forest is O(n)).
+    holding all samples in memory (a forest is O(n)).  ``counters`` is
+    credited per yielded forest, as in :func:`sample_forest`.
     """
     if count < 0:
         raise ConfigError("count must be non-negative")
     generator = ensure_rng(rng)
     for _ in range(count):
-        yield sample_forest(graph, alpha, rng=generator, method=method)
+        yield sample_forest(graph, alpha, rng=generator, method=method,
+                            counters=counters)

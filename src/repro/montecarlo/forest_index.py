@@ -22,6 +22,7 @@ import time
 
 import numpy as np
 
+from repro.counters import WorkCounters
 from repro.exceptions import ConfigError
 from repro.forests.estimators import (
     source_estimate_basic,
@@ -56,23 +57,46 @@ class ForestIndex:
         self.forests = forests
         self.build_seconds = build_seconds
         self.build_steps = sum(forest.num_steps for forest in forests)
+        self.build_counters = WorkCounters(
+            walk_steps=self.build_steps,
+            cycle_pops=sum(forest.num_pops for forest in forests),
+            forests_sampled=len(forests))
 
     @classmethod
     def build(cls, graph: Graph, alpha: float, num_forests: int,
               rng: np.random.Generator | int | None = None,
-              method: str = "cycle_popping") -> "ForestIndex":
-        """Sample and store ``num_forests`` independent forests."""
+              method: str = "cycle_popping",
+              workers: int | None = 1) -> "ForestIndex":
+        """Sample and store ``num_forests`` independent forests.
+
+        ``workers > 1`` fans the sampling out over worker processes via
+        the chunked engine (:mod:`repro.parallel.engine`); the stored
+        forests are identical for every worker count at a fixed seed,
+        so the knob only changes build wall clock.  The build's work
+        counters land on :attr:`build_counters`.
+        """
+        from repro.parallel.engine import sample_forests_parallel
+
         if num_forests <= 0:
             raise ConfigError("num_forests must be positive")
+        counters = WorkCounters()
         started = time.perf_counter()
-        forests = list(sample_forests(graph, alpha, num_forests, rng=rng,
-                                      method=method))
+        if workers is not None and workers == 1:
+            forests = list(sample_forests(graph, alpha, num_forests, rng=rng,
+                                          method=method, counters=counters))
+        else:
+            forests = sample_forests_parallel(graph, alpha, num_forests,
+                                              rng=rng, workers=workers,
+                                              method=method,
+                                              counters=counters)
         # materialise each forest's degree-mass cache now so queries
         # never pay for it
         for forest in forests:
             forest.component_degree_mass(graph.degrees)
-        return cls(graph, alpha, forests,
-                   build_seconds=time.perf_counter() - started)
+        index = cls(graph, alpha, forests,
+                    build_seconds=time.perf_counter() - started)
+        index.build_counters = counters
+        return index
 
     @classmethod
     def recommended_size(cls, graph: Graph, epsilon: float | None = None) -> int:

@@ -1,0 +1,26 @@
+"""Multi-process execution of the forest-sampling Monte-Carlo stage.
+
+See :mod:`repro.parallel.engine` for the chunked engine and its
+determinism contract, and :mod:`repro.parallel.shared_graph` for the
+shared-memory CSR carrier.
+"""
+
+from repro.parallel.engine import (
+    DEFAULT_CHUNK_SIZE,
+    StageResult,
+    parallel_estimate_stage,
+    plan_chunks,
+    resolve_workers,
+    sample_forests_parallel,
+)
+from repro.parallel.shared_graph import SharedCSRGraph
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "StageResult",
+    "SharedCSRGraph",
+    "parallel_estimate_stage",
+    "plan_chunks",
+    "resolve_workers",
+    "sample_forests_parallel",
+]

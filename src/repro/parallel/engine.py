@@ -1,0 +1,268 @@
+"""Chunked multi-process forest-sampling engine.
+
+The Monte-Carlo stage of every two-stage algorithm draws ω independent
+forests and folds each through an estimator — embarrassingly parallel
+across forests.  This engine splits the batch into *chunks*, runs each
+chunk in a worker process over shared read-only CSR arrays
+(:class:`~repro.parallel.shared_graph.SharedCSRGraph`), and merges the
+per-chunk accumulators in chunk order.
+
+Determinism contract
+--------------------
+A fixed seed yields **bit-identical** results for any worker count:
+
+- the chunk plan depends only on the sample count (never on the worker
+  count or the host),
+- each chunk gets its own child generator via
+  :func:`repro.rng.spawn_children`, so chunk *c* consumes the same
+  stream whether it runs in the parent or in any worker,
+- per-chunk accumulators are merged in chunk-index order, fixing the
+  floating-point summation order.
+
+The serial path (``workers=1``, or platforms without the ``fork``
+start method, or a single-chunk plan) executes the identical per-chunk
+closures in-process, so ``workers=1`` *is* the fallback, not a second
+code path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.counters import WorkCounters
+from repro.exceptions import ConfigError
+from repro.forests.batch_sampling import sample_forests_batch
+from repro.forests.estimators import accumulate_estimates
+from repro.forests.forest import RootedForest
+from repro.forests.sampling import sample_forests
+from repro.graph.csr import Graph
+from repro.parallel.shared_graph import SharedCSRGraph
+from repro.rng import spawn_children
+
+__all__ = ["plan_chunks", "resolve_workers", "sample_forests_parallel",
+           "parallel_estimate_stage", "StageResult", "DEFAULT_CHUNK_SIZE"]
+
+#: Forests per chunk when the caller does not override it.  Small
+#: enough that ω ≥ 32 already load-balances over 4 workers, large
+#: enough that per-task dispatch overhead stays negligible.
+DEFAULT_CHUNK_SIZE = 8
+
+
+def plan_chunks(count: int, chunk_size: int | None = None) -> list[int]:
+    """Split ``count`` samples into deterministic chunk sizes.
+
+    The plan is a pure function of ``count`` (and the explicit
+    ``chunk_size``) — never of the worker count — which is what makes
+    results worker-count-invariant.
+    """
+    if count < 0:
+        raise ConfigError("count must be non-negative")
+    size = DEFAULT_CHUNK_SIZE if chunk_size is None else int(chunk_size)
+    if size <= 0:
+        raise ConfigError("chunk_size must be positive")
+    full, rest = divmod(count, size)
+    return [size] * full + ([rest] if rest else [])
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalise a worker-count request (``None``/``0`` → cpu count)."""
+    if workers is None or workers == 0:
+        return max(os.cpu_count() or 1, 1)
+    if not isinstance(workers, (int, np.integer)) or workers < 1:
+        raise ConfigError(f"workers must be a positive int, got {workers!r}")
+    return int(workers)
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+@dataclass
+class StageResult:
+    """Merged output of a chunked estimator stage."""
+
+    sums: np.ndarray
+    squares: np.ndarray | None
+    drawn: int
+    counters: WorkCounters = field(default_factory=WorkCounters)
+    num_chunks: int = 0
+    workers_used: int = 1
+
+    @property
+    def mean(self) -> np.ndarray:
+        """Monte-Carlo mean estimate (zeros if nothing was drawn)."""
+        if self.drawn == 0:
+            return np.zeros_like(self.sums)
+        return self.sums / self.drawn
+
+    def stderr(self) -> np.ndarray | None:
+        """Per-node standard error of the mean (needs ``squares``)."""
+        if self.squares is None or self.drawn == 0:
+            return None
+        mean = self.mean
+        variance = np.maximum(self.squares / self.drawn - mean * mean, 0.0)
+        return np.sqrt(variance / self.drawn)
+
+
+# ----------------------------------------------------------------------
+# Worker plumbing.  The context travels through the fork, so the task
+# payload is just (chunk_count, child_generator).
+# ----------------------------------------------------------------------
+_WORKER_CTX: dict = {}
+
+
+def _init_worker(ctx: dict) -> None:
+    _WORKER_CTX.clear()
+    _WORKER_CTX.update(ctx)
+
+
+def _run_sample_chunk(task) -> list[RootedForest]:
+    chunk_count, generator = task
+    ctx = _WORKER_CTX
+    if ctx["batch"]:
+        return sample_forests_batch(ctx["graph"], ctx["alpha"], chunk_count,
+                                    rng=generator)
+    return list(sample_forests(ctx["graph"], ctx["alpha"], chunk_count,
+                               rng=generator, method=ctx["method"]))
+
+
+def _run_estimate_chunk(task) -> tuple[np.ndarray, np.ndarray | None,
+                                       int, dict]:
+    chunk_count, generator = task
+    ctx = _WORKER_CTX
+    counters = WorkCounters()
+    forests = sample_forests(ctx["graph"], ctx["alpha"], chunk_count,
+                             rng=generator, method=ctx["method"])
+    sums, squares, drawn = accumulate_estimates(
+        forests, ctx["residual"], ctx["degrees"], kind=ctx["kind"],
+        improved=ctx["improved"], track_squares=ctx["track_squares"],
+        counters=counters)
+    return sums, squares, drawn, counters.as_dict()
+
+
+def _run_chunked(graph: Graph, ctx: dict, runner, tasks: list,
+                 workers: int) -> tuple[list, int]:
+    """Run ``runner`` over ``tasks``, in a pool or serially.
+
+    Returns ``(results_in_task_order, workers_used)``.  The pool path
+    shares the CSR arrays; the serial path runs the identical closures
+    in-process, so both produce the same results bit for bit.
+    """
+    effective = min(workers, len(tasks))
+    if effective <= 1 or not _fork_available():
+        _init_worker(dict(ctx, graph=graph))
+        try:
+            return [runner(task) for task in tasks], 1
+        finally:
+            _WORKER_CTX.clear()
+    mp_ctx = multiprocessing.get_context("fork")
+    with SharedCSRGraph(graph) as shared:
+        worker_ctx = dict(ctx, graph=shared.graph)
+        with mp_ctx.Pool(processes=effective, initializer=_init_worker,
+                         initargs=(worker_ctx,)) as pool:
+            results = pool.map(runner, tasks, chunksize=1)
+    return results, effective
+
+
+def _tasks_for(count: int, rng, chunk_size: int | None) -> list:
+    plan = plan_chunks(count, chunk_size)
+    children = spawn_children(rng, len(plan))
+    return list(zip(plan, children))
+
+
+# ----------------------------------------------------------------------
+# Public entry points
+# ----------------------------------------------------------------------
+def sample_forests_parallel(graph: Graph, alpha: float, count: int,
+                            rng: np.random.Generator | int | None = None, *,
+                            workers: int | None = 1,
+                            method: str = "cycle_popping",
+                            batch: bool = False,
+                            chunk_size: int | None = None,
+                            counters: WorkCounters | None = None,
+                            ) -> list[RootedForest]:
+    """Sample ``count`` independent forests across worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes (``None``/``0`` → cpu count, ``1`` → serial).
+    method:
+        Sampler per forest (as :func:`~repro.forests.sampling.sample_forest`);
+        ignored when ``batch`` is set.
+    batch:
+        Use the layered batch sampler
+        (:func:`~repro.forests.batch_sampling.sample_forests_batch`)
+        inside each chunk instead of one-at-a-time sampling.
+    counters:
+        Optional :class:`~repro.counters.WorkCounters` accumulating the
+        work done across all chunks.
+
+    With a fixed seed the returned forests are identical for every
+    ``workers`` value (see the module determinism contract).
+    """
+    if count == 0:
+        return []
+    tasks = _tasks_for(count, rng, chunk_size)
+    ctx = {"alpha": alpha, "method": method, "batch": batch}
+    results, _ = _run_chunked(graph, ctx, _run_sample_chunk, tasks,
+                              resolve_workers(workers))
+    forests: list[RootedForest] = []
+    for chunk in results:
+        forests.extend(chunk)
+    if counters is not None:
+        for forest in forests:
+            counters.record_forest(forest)
+    return forests
+
+
+def parallel_estimate_stage(graph: Graph, alpha: float, count: int,
+                            residual: np.ndarray, *,
+                            kind: str, improved: bool,
+                            rng: np.random.Generator | int | None = None,
+                            workers: int | None = 1,
+                            method: str = "cycle_popping",
+                            track_squares: bool = False,
+                            chunk_size: int | None = None) -> StageResult:
+    """Sample ``count`` forests and fold them through an estimator.
+
+    The worker-side fold never ships forests back to the parent — each
+    chunk returns only its ``O(n)`` accumulator arrays — so the
+    inter-process traffic is independent of ω.
+
+    Returns a :class:`StageResult` whose ``sums``/``squares``/``drawn``
+    match a serial chunk-ordered fold bit for bit, for any ``workers``.
+    """
+    residual = np.asarray(residual, dtype=np.float64)
+    if residual.shape != (graph.num_nodes,):
+        raise ConfigError(
+            f"residual must have shape ({graph.num_nodes},), "
+            f"got {residual.shape}")
+    if count == 0:
+        return StageResult(
+            sums=np.zeros(graph.num_nodes),
+            squares=np.zeros(graph.num_nodes) if track_squares else None,
+            drawn=0)
+    tasks = _tasks_for(count, rng, chunk_size)
+    ctx = {"alpha": alpha, "method": method, "kind": kind,
+           "improved": improved, "residual": residual,
+           "degrees": graph.degrees, "track_squares": track_squares}
+    results, used = _run_chunked(graph, ctx, _run_estimate_chunk, tasks,
+                                 resolve_workers(workers))
+    sums = np.zeros(graph.num_nodes)
+    squares = np.zeros(graph.num_nodes) if track_squares else None
+    drawn = 0
+    counters = WorkCounters()
+    for chunk_sums, chunk_squares, chunk_drawn, chunk_counters in results:
+        sums += chunk_sums
+        if squares is not None and chunk_squares is not None:
+            squares += chunk_squares
+        drawn += chunk_drawn
+        counters.merge(WorkCounters(**chunk_counters))
+    return StageResult(sums=sums, squares=squares, drawn=drawn,
+                       counters=counters, num_chunks=len(tasks),
+                       workers_used=used)

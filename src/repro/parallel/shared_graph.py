@@ -1,0 +1,101 @@
+"""Read-only CSR arrays in ``multiprocessing.shared_memory``.
+
+The forest samplers only ever *read* the graph — ``indptr``,
+``indices`` and (optionally) ``weights`` — so worker processes can run
+against one shared copy instead of pickling the arrays into every
+task.  :class:`SharedCSRGraph` owns the shared-memory blocks, exposes a
+:class:`~repro.graph.csr.Graph` whose arrays are views into them, and
+cleans the blocks up on :meth:`close`.
+
+The engine uses the ``fork`` start method, so workers inherit the
+parent's mapping of the blocks directly; nothing is re-attached by
+name and the only extra per-worker cost is the lazily built alias
+table (``O(m)``, paid once per worker process).
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.graph.csr import Graph
+
+__all__ = ["SharedCSRGraph"]
+
+
+def _share_array(array: np.ndarray) -> tuple[shared_memory.SharedMemory,
+                                             np.ndarray]:
+    """Copy ``array`` into a fresh shared-memory block; return both."""
+    block = shared_memory.SharedMemory(create=True,
+                                       size=max(array.nbytes, 1))
+    view = np.ndarray(array.shape, dtype=array.dtype, buffer=block.buf)
+    view[...] = array
+    view.flags.writeable = False
+    return block, view
+
+
+class SharedCSRGraph:
+    """A :class:`Graph` whose CSR arrays live in shared memory.
+
+    Use as a context manager around a parallel sampling run::
+
+        with SharedCSRGraph(graph) as shared:
+            pool_work(shared.graph)   # workers inherit the mapping
+
+    The wrapped :attr:`graph` is structurally identical to the source
+    graph (same arrays bit for bit, ``validate=False`` since the source
+    already validated them) but is backed by shared pages, so forked
+    workers read it without any copy.
+    """
+
+    def __init__(self, source: Graph):
+        self._blocks: list[shared_memory.SharedMemory] = []
+        self._closed = False
+        try:
+            indptr_block, indptr = _share_array(source.indptr)
+            self._blocks.append(indptr_block)
+            indices_block, indices = _share_array(source.indices)
+            self._blocks.append(indices_block)
+            weights = None
+            if source.weights is not None:
+                weights_block, weights = _share_array(source.weights)
+                self._blocks.append(weights_block)
+        except Exception:
+            self.close()
+            raise
+        self.graph = Graph(indptr, indices, weights,
+                           directed=source.directed, validate=False)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release and unlink every shared block (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        # drop the numpy views before closing their backing buffers
+        self.graph = None  # type: ignore[assignment]
+        for block in self._blocks:
+            try:
+                block.unlink()
+            except (FileNotFoundError, OSError):  # already gone
+                pass
+            try:
+                block.close()
+            except BufferError:
+                # a caller still holds a view; the segment is unlinked,
+                # so it disappears once those references die
+                pass
+        self._blocks = []
+
+    def __enter__(self) -> "SharedCSRGraph":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass

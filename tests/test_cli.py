@@ -76,7 +76,13 @@ class TestCommands:
         assert main(["selfcheck", "--seed", "7"]) == 0
         out = capsys.readouterr().out
         assert "self-check passed" in out
-        assert out.count("[ok]") == 3
+        assert out.count("[ok]") == 4
+
+    def test_selfcheck_output_worker_invariant(self, capsys):
+        assert main(["selfcheck", "--seed", "7", "--workers", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["selfcheck", "--seed", "7", "--workers", "3"]) == 0
+        assert capsys.readouterr().out == serial
 
     def test_experiment_list(self, capsys):
         assert main(["experiment", "--list"]) == 0

@@ -24,6 +24,19 @@ class TestEnsureRng:
         with pytest.raises(TypeError):
             ensure_rng("seed")
 
+    def test_seed_forms_normalise_to_same_stream(self):
+        # every accepted seed form of the same value drives an
+        # identical stream — the parallel engine relies on this when a
+        # chunk seed round-trips through a worker process
+        from_int = ensure_rng(11).random(4)
+        from_np = ensure_rng(np.int64(11)).random(4)
+        from_generator = ensure_rng(np.random.default_rng(11)).random(4)
+        assert np.array_equal(from_int, from_np)
+        assert np.array_equal(from_int, from_generator)
+
+    def test_none_streams_are_fresh(self):
+        assert ensure_rng(None).random() != ensure_rng(None).random()
+
 
 class TestSpawnChildren:
     def test_count_and_independence(self):
@@ -40,6 +53,26 @@ class TestSpawnChildren:
     def test_negative_count(self):
         with pytest.raises(ValueError):
             spawn_children(0, -1)
+
+    def test_zero_count(self):
+        assert spawn_children(0, 0) == []
+
+    def test_streams_statistically_independent(self):
+        # chunk streams feed independent Monte-Carlo chunks; any pair
+        # correlation would bias the merged estimator
+        draws = np.array([child.random(2000)
+                          for child in spawn_children(2022, 8)])
+        correlations = np.corrcoef(draws)
+        off_diagonal = correlations[~np.eye(8, dtype=bool)]
+        assert np.abs(off_diagonal).max() < 0.08
+
+    def test_prefix_stability(self):
+        # the first k children are the same regardless of how many are
+        # spawned — this is what lets the engine's chunk plan grow
+        # without perturbing earlier chunks
+        few = [c.random() for c in spawn_children(3, 2)]
+        many = [c.random() for c in spawn_children(3, 5)]
+        assert few == many[:2]
 
 
 class TestBlockUniforms:
@@ -63,3 +96,22 @@ class TestBlockUniforms:
     def test_bad_block_size(self):
         with pytest.raises(ValueError):
             BlockUniforms(0, block_size=0)
+
+    def test_block_boundary_refill(self):
+        # the refill at an exhausted block must continue the underlying
+        # stream with no skipped or repeated variates
+        block = BlockUniforms(4, block_size=4)
+        spanning = [block.next() for _ in range(10)]
+        want = np.random.default_rng(4).random(12)[:10]
+        assert np.allclose(spanning, want)
+        assert len(set(spanning)) == len(spanning)
+
+    def test_refill_exactly_at_boundary(self):
+        block = BlockUniforms(4, block_size=4)
+        for _ in range(4):
+            block.next()
+        # next call crosses into the second block
+        second_block_first = block.next()
+        reference = np.random.default_rng(4)
+        reference.random(4)
+        assert second_block_first == reference.random(4)[0]
