@@ -1,7 +1,14 @@
-"""Fig. 8 — single-target query time, high-degree targets, α = 0.01.
+"""Fig. 8 — single-target query cost, high-degree targets, α = 0.01.
 
 Paper's shape: BACKLV achieves 1–3× speedups over BACK; RBACK is
 no better than BACK (its per-push sampling overhead dominates).
+
+The BACK-vs-BACKLV comparison is asserted on the machine-independent
+work counters: with the vectorized push backend a pure-push method's
+wall clock rides NumPy's ~100×-cheaper-per-op constant factor, which
+a compiled implementation would not see (the "counters over clocks"
+rule of docs/BENCHMARKING.md).  RBACK stays a wall-clock assertion —
+its overhead *is* per-push bookkeeping, visible only in time.
 """
 
 from conftest import full_protocol, mean_of
@@ -31,13 +38,15 @@ def bench_fig8(benchmark, show_table):
     # BACK's additive threshold forces deep pushes
     tight = min(EPSILONS)
     for dataset in DATASETS:
-        back_seconds = mean_of(rows, "mean_seconds", dataset=dataset,
-                               method="back", epsilon=tight)
+        back_work = mean_of(rows, "mean_work", dataset=dataset,
+                            method="back", epsilon=tight)
+        backlv_work = mean_of(rows, "mean_work", dataset=dataset,
+                              method="backlv", epsilon=tight)
         backlv_seconds = mean_of(rows, "mean_seconds", dataset=dataset,
                                  method="backlv", epsilon=tight)
         rback_seconds = mean_of(rows, "mean_seconds", dataset=dataset,
                                 method="rback", epsilon=tight)
-        assert backlv_seconds < back_seconds, (
-            f"{dataset}: the two-stage method should beat pure backward "
-            f"push on high-degree targets at eps={tight}")
+        assert backlv_work < back_work, (
+            f"{dataset}: the two-stage method should out-work pure "
+            f"backward push on high-degree targets at eps={tight}")
         assert rback_seconds > backlv_seconds

@@ -1,9 +1,10 @@
 """The CI benchmark-regression gate: ``python -m repro.bench.ci_gate``.
 
 Runs a pinned quick-protocol subset of kernels — forest sampling
-(serial and through the parallel engine), the estimator fold, and the
-flagship single-source/single-target queries — on a fixed Chung–Lu
-graph with fixed seeds, and writes the result as JSON
+(serial and through the parallel engine), the estimator fold, the
+forward/backward push sweeps in both backends, and the flagship
+single-source/single-target queries — on a fixed Chung–Lu graph with
+fixed seeds, and writes the result as JSON
 (:func:`repro.bench.reporting.write_benchmark_json`).
 
 With ``--baseline`` it compares against a committed run and exits
@@ -34,6 +35,7 @@ from repro.core import single_source, single_target
 from repro.graph.csr import Graph
 from repro.graph.generators import chung_lu
 from repro.parallel import parallel_estimate_stage, sample_forests_parallel
+from repro.push import backward_push, balanced_forward_push
 
 __all__ = ["main", "run_kernels", "calibration_seconds"]
 
@@ -110,6 +112,15 @@ def run_kernels(workers: int = 4) -> dict[str, dict]:
                                         rng=SEED, workers=1)
         return stage.counters.as_dict()
 
+    def push_kernel(func, backend, r_max=5e-5):
+        def run():
+            from repro.counters import WorkCounters
+            push = func(graph, 0, ALPHA, r_max, backend=backend)
+            work = WorkCounters()
+            work.record_push(push)
+            return work.as_dict()
+        return run
+
     def speedlv_query():
         result = single_source(graph, 0, method="speedlv", alpha=ALPHA,
                                budget_scale=0.05, seed=SEED)
@@ -124,6 +135,14 @@ def run_kernels(workers: int = 4) -> dict[str, dict]:
     for name, func in [("forest_sampling_serial", forest_serial),
                        ("forest_sampling_parallel", forest_parallel),
                        ("estimate_stage_source_improved", estimate_stage),
+                       ("forward_push_vectorized",
+                        push_kernel(balanced_forward_push, "vectorized")),
+                       ("forward_push_scalar",
+                        push_kernel(balanced_forward_push, "scalar")),
+                       ("backward_push_vectorized",
+                        push_kernel(backward_push, "vectorized")),
+                       ("backward_push_scalar",
+                        push_kernel(backward_push, "scalar")),
                        ("speedlv_query", speedlv_query),
                        ("backlv_query", backlv_query)]:
         seconds, counters = _timed(func)

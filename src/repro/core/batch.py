@@ -87,7 +87,8 @@ class BatchSourceSolver(_BatchSolverBase):
         r_max = self.config.r_max or self._default_r_max()
         t0 = time.perf_counter()
         push = balanced_forward_push(self.graph, source, self.config.alpha,
-                                     r_max)
+                                     r_max,
+                                     backend=self.config.push_backend)
         t1 = time.perf_counter()
         mc = self.index.estimate_source(push.residual,
                                         improved=self._improved)
@@ -113,7 +114,8 @@ class BatchTargetSolver(_BatchSolverBase):
             self._default_r_max(),
             self.config.epsilon * self.config.mu / self.config.budget_scale)
         t0 = time.perf_counter()
-        push = backward_push(self.graph, target, self.config.alpha, r_max)
+        push = backward_push(self.graph, target, self.config.alpha, r_max,
+                             backend=self.config.push_backend)
         t1 = time.perf_counter()
         mc = self.index.estimate_target(push.residual,
                                         improved=self._improved)

@@ -54,6 +54,12 @@ class PPRConfig:
     Monte-Carlo stage (:mod:`repro.parallel.engine`): ``1`` runs
     serially, ``0``/``None`` uses the cpu count.  For a fixed ``seed``
     the estimates are bit-identical for every ``workers`` value.
+
+    ``push_backend`` selects the sweep kernel of every deterministic
+    push stage (:mod:`repro.push.kernels`): ``"vectorized"`` (default)
+    batches each frontier into segment ops, ``"scalar"`` runs the
+    node-at-a-time reference loop.  Estimates and ``work_*`` counters
+    are backend-independent, so it is a pure throughput knob.
     """
 
     alpha: float = 0.01
@@ -69,6 +75,7 @@ class PPRConfig:
     max_walks: int = 50_000_000
     seed: int | None = None
     workers: int | None = 1
+    push_backend: str = "vectorized"
 
     def __post_init__(self):
         if not 0.0 < self.alpha < 1.0:
@@ -92,6 +99,10 @@ class PPRConfig:
         if self.workers is not None and self.workers < 0:
             raise ConfigError(
                 f"workers must be >= 0 (0/None = cpu count), got {self.workers}")
+        # local import: repro.push pulls in graph/linalg modules and must
+        # not be a hard import at config-module load time
+        from repro.push.kernels import validate_push_backend
+        validate_push_backend(self.push_backend)
 
     # ------------------------------------------------------------------
     def resolve(self, graph: Graph) -> "PPRConfig":

@@ -158,15 +158,16 @@ def _finish(graph: Graph, source: int, method: str, config: PPRConfig,
                      epsilon=config.epsilon, stats=stats)
 
 
-def _merge_work(stats: dict, num_pushes: int) -> dict:
-    """Fold the stage's ``WorkCounters`` plus push count into ``stats``.
+def _merge_work(stats: dict, push) -> dict:
+    """Fold the stage's ``WorkCounters`` plus the push stage into ``stats``.
 
     Pops the private ``"_counters"`` entry the Monte-Carlo stages leave
-    behind and flattens it into ``work_*`` keys (see
+    behind, accounts the :class:`~repro.push.forward.PushResult`'s
+    pushes/sweeps, and flattens everything into ``work_*`` keys (see
     :mod:`repro.counters`) so the harness picks the counters up.
     """
     work = stats.pop("_counters", None) or WorkCounters()
-    work.pushes += int(num_pushes)
+    work.record_push(push)
     stats.update(work.as_stats())
     return stats
 
@@ -203,14 +204,15 @@ def fora(graph: Graph, source: int,
         r_max = float(np.clip(1.0 / np.sqrt(budget * max(graph.num_arcs, 1)),
                               1e-9, 1.0))
     t0 = time.perf_counter()
-    push = forward_push(graph, source, config.alpha, r_max)
+    push = forward_push(graph, source, config.alpha, r_max,
+                        backend=config.push_backend)
     t1 = time.perf_counter()
     mc, mc_stats = _walk_stage(graph, push.residual, config, rng)
     t2 = time.perf_counter()
     stats = _merge_work({"r_max": r_max, "num_pushes": push.num_pushes,
                          "push_work": push.work, "push_seconds": t1 - t0,
                          "mc_seconds": t2 - t1, **mc_stats},
-                        push.num_pushes)
+                        push)
     return _finish(graph, source, "fora", config, push.reserve, mc, stats)
 
 
@@ -224,7 +226,8 @@ def _foral_family(graph: Graph, source: int, config: PPRConfig | None,
     r_max = config.r_max
     if r_max is None:
         r_max, pilot = _pilot_r_max(graph, config, rng)
-    push = balanced_forward_push(graph, source, config.alpha, r_max)
+    push = balanced_forward_push(graph, source, config.alpha, r_max,
+                                 backend=config.push_backend)
     t1 = time.perf_counter()
     mc, mc_stats = _forest_stage(graph, push.residual, config, rng,
                                  improved=improved, sample_ceiling=r_max,
@@ -233,7 +236,7 @@ def _foral_family(graph: Graph, source: int, config: PPRConfig | None,
     stats = _merge_work({"r_max": r_max, "num_pushes": push.num_pushes,
                          "push_work": push.work, "push_seconds": t1 - t0,
                          "mc_seconds": t2 - t1, **mc_stats},
-                        push.num_pushes)
+                        push)
     return _finish(graph, source, method, config, push.reserve, mc, stats)
 
 
@@ -284,7 +287,8 @@ def speedppr(graph: Graph, source: int,
     config, rng = _prepare(graph, source, config)
     target = _residual_target(graph, config)
     t0 = time.perf_counter()
-    push = power_push(graph, source, config.alpha, target)
+    push = power_push(graph, source, config.alpha, target,
+                      backend=config.push_backend)
     t1 = time.perf_counter()
     mc, mc_stats = _walk_stage(graph, push.residual, config, rng)
     t2 = time.perf_counter()
@@ -292,7 +296,7 @@ def speedppr(graph: Graph, source: int,
                          "num_pushes": push.num_pushes,
                          "push_work": push.work, "push_seconds": t1 - t0,
                          "mc_seconds": t2 - t1, **mc_stats},
-                        push.num_pushes)
+                        push)
     return _finish(graph, source, "speedppr", config, push.reserve, mc, stats)
 
 
@@ -308,7 +312,8 @@ def _speedl_family(graph: Graph, source: int, config: PPRConfig | None,
         pilot = sample_forest(graph, config.alpha, rng=rng,
                               method=config.sampler)
         target = _max_residual_target(graph, config, pilot.num_steps)
-    push = power_push(graph, source, config.alpha, target, criterion="max")
+    push = power_push(graph, source, config.alpha, target, criterion="max",
+                      backend=config.push_backend)
     t1 = time.perf_counter()
     ceiling = max(float(push.residual.max(initial=0.0)), 1e-12)
     mc, mc_stats = _forest_stage(graph, push.residual, config, rng,
@@ -319,7 +324,7 @@ def _speedl_family(graph: Graph, source: int, config: PPRConfig | None,
                          "num_pushes": push.num_pushes,
                          "push_work": push.work, "push_seconds": t1 - t0,
                          "mc_seconds": t2 - t1, **mc_stats},
-                        push.num_pushes)
+                        push)
     return _finish(graph, source, method, config, push.reserve, mc, stats)
 
 
@@ -364,7 +369,8 @@ def fora_plus(graph: Graph, source: int, index: WalkIndex,
         r_max = float(np.clip(1.0 / np.sqrt(budget * max(graph.num_arcs, 1)),
                               1e-9, 1.0))
     t0 = time.perf_counter()
-    push = forward_push(graph, source, config.alpha, r_max)
+    push = forward_push(graph, source, config.alpha, r_max,
+                        backend=config.push_backend)
     t1 = time.perf_counter()
     mc = index.estimate_from_residual(push.residual, budget)
     t2 = time.perf_counter()
@@ -372,7 +378,7 @@ def fora_plus(graph: Graph, source: int, index: WalkIndex,
                          "push_work": push.work, "push_seconds": t1 - t0,
                          "mc_seconds": t2 - t1,
                          "index_walks": index.num_walks},
-                        push.num_pushes)
+                        push)
     return _finish(graph, source, "fora+", config, push.reserve, mc, stats)
 
 
@@ -383,7 +389,8 @@ def speedppr_plus(graph: Graph, source: int, index: WalkIndex,
     _check_index(index, graph, config, WalkIndex, "speedppr_plus")
     target = _residual_target(graph, config)
     t0 = time.perf_counter()
-    push = power_push(graph, source, config.alpha, target)
+    push = power_push(graph, source, config.alpha, target,
+                      backend=config.push_backend)
     t1 = time.perf_counter()
     mc = index.estimate_from_residual(push.residual,
                                       config.walk_budget(graph))
@@ -393,7 +400,7 @@ def speedppr_plus(graph: Graph, source: int, index: WalkIndex,
                          "push_work": push.work, "push_seconds": t1 - t0,
                          "mc_seconds": t2 - t1,
                          "index_walks": index.num_walks},
-                        push.num_pushes)
+                        push)
     return _finish(graph, source, "speedppr+", config, push.reserve, mc,
                    stats)
 
@@ -407,7 +414,8 @@ def foralv_plus(graph: Graph, source: int, index: ForestIndex,
     if r_max is None:
         r_max, _ = _pilot_r_max(graph, config, rng)
     t0 = time.perf_counter()
-    push = balanced_forward_push(graph, source, config.alpha, r_max)
+    push = balanced_forward_push(graph, source, config.alpha, r_max,
+                                 backend=config.push_backend)
     t1 = time.perf_counter()
     mc = index.estimate_source(push.residual, improved=True)
     t2 = time.perf_counter()
@@ -415,7 +423,7 @@ def foralv_plus(graph: Graph, source: int, index: ForestIndex,
                          "push_work": push.work, "push_seconds": t1 - t0,
                          "mc_seconds": t2 - t1,
                          "index_forests": index.num_forests},
-                        push.num_pushes)
+                        push)
     return _finish(graph, source, "foralv+", config, push.reserve, mc, stats)
 
 
@@ -427,7 +435,8 @@ def speedlv_plus(graph: Graph, source: int, index: ForestIndex,
     _check_index(index, graph, config, ForestIndex, "speedlv_plus")
     target = _residual_target(graph, config)
     t0 = time.perf_counter()
-    push = power_push(graph, source, config.alpha, target)
+    push = power_push(graph, source, config.alpha, target,
+                      backend=config.push_backend)
     t1 = time.perf_counter()
     mc = index.estimate_source(push.residual, improved=True)
     t2 = time.perf_counter()
@@ -436,6 +445,6 @@ def speedlv_plus(graph: Graph, source: int, index: ForestIndex,
                          "push_work": push.work, "push_seconds": t1 - t0,
                          "mc_seconds": t2 - t1,
                          "index_forests": index.num_forests},
-                        push.num_pushes)
+                        push)
     return _finish(graph, source, "speedlv+", config, push.reserve, mc,
                    stats)

@@ -53,6 +53,13 @@ def _baseline_r_max(config: PPRConfig) -> float:
     return config.epsilon * config.mu
 
 
+def _push_counters(push) -> WorkCounters:
+    """Fresh :class:`WorkCounters` seeded with one push stage's work."""
+    counters = WorkCounters()
+    counters.record_push(push)
+    return counters
+
+
 def _finish(graph: Graph, target: int, method: str, config: PPRConfig,
             estimates: np.ndarray, stats: dict) -> PPRResult:
     return PPRResult(estimates=estimates, kind="target", query_node=target,
@@ -72,12 +79,13 @@ def back(graph: Graph, target: int,
     if r_max is None:
         r_max = _baseline_r_max(config) / config.budget_scale
     t0 = time.perf_counter()
-    push = backward_push(graph, target, config.alpha, r_max)
+    push = backward_push(graph, target, config.alpha, r_max,
+                         backend=config.push_backend)
     t1 = time.perf_counter()
     stats = {"r_max": r_max, "num_pushes": push.num_pushes,
              "push_work": push.work, "push_seconds": t1 - t0,
              "residual_mass": push.residual_mass,
-             **WorkCounters(pushes=int(push.num_pushes)).as_stats()}
+             **_push_counters(push).as_stats()}
     return _finish(graph, target, "back", config, push.reserve, stats)
 
 
@@ -96,7 +104,7 @@ def rback(graph: Graph, target: int,
     stats = {"r_max": r_max, "num_pushes": push.num_pushes,
              "push_work": push.work, "push_seconds": t1 - t0,
              "residual_mass": push.residual_mass,
-             **WorkCounters(pushes=int(push.num_pushes)).as_stats()}
+             **_push_counters(push).as_stats()}
     return _finish(graph, target, "rback", config, push.reserve, stats)
 
 
@@ -136,10 +144,11 @@ def _backl_family(graph: Graph, target: int, config: PPRConfig | None,
     if r_max is None:
         r_max, pilot = _two_stage_r_max(graph, target, config, rng)
     t0 = time.perf_counter()
-    push = backward_push(graph, target, config.alpha, r_max)
+    push = backward_push(graph, target, config.alpha, r_max,
+                         backend=config.push_backend)
     t1 = time.perf_counter()
     omega = config.num_forests(graph, r_max)
-    counters = WorkCounters(pushes=int(push.num_pushes))
+    counters = _push_counters(push)
     accumulated = np.zeros(graph.num_nodes)
     drawn = 0
     if pilot is not None:
@@ -198,13 +207,14 @@ def backlv_plus(graph: Graph, target: int, index: ForestIndex,
     if r_max is None:
         r_max, _ = _two_stage_r_max(graph, target, config, rng)
     t0 = time.perf_counter()
-    push = backward_push(graph, target, config.alpha, r_max)
+    push = backward_push(graph, target, config.alpha, r_max,
+                         backend=config.push_backend)
     t1 = time.perf_counter()
     mc = index.estimate_target(push.residual, improved=True)
     t2 = time.perf_counter()
     stats = {"r_max": r_max, "num_pushes": push.num_pushes,
              "push_work": push.work, "push_seconds": t1 - t0,
              "mc_seconds": t2 - t1, "index_forests": index.num_forests,
-             **WorkCounters(pushes=int(push.num_pushes)).as_stats()}
+             **_push_counters(push).as_stats()}
     return _finish(graph, target, "backlv+", config, push.reserve + mc,
                    stats)

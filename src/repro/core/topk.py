@@ -80,7 +80,8 @@ class _SequentialEstimator:
         r_max = config.r_max or 1.0 / max(
             np.sqrt(config.walk_budget(graph)), 2.0)
         self.push = balanced_forward_push(graph, source, config.alpha,
-                                          min(max(r_max, 1e-9), 1.0))
+                                          min(max(r_max, 1e-9), 1.0),
+                                          backend=config.push_backend)
         self.r_max = r_max
         self.count = 0
         self.sum = np.zeros(graph.num_nodes)

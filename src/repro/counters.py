@@ -40,13 +40,19 @@ class WorkCounters:
     forests_sampled:
         Rooted spanning forests drawn.
     pushes:
-        Deterministic push operations (forward/backward/power).
+        Deterministic push operations (forward/backward/power) —
+        total frontier memberships across sweeps, identical for every
+        push backend.
+    push_sweeps:
+        Synchronous frontier sweeps executed by the push stage;
+        ``pushes / push_sweeps`` is the mean frontier size.
     """
 
     walk_steps: int = 0
     cycle_pops: int = 0
     forests_sampled: int = 0
     pushes: int = 0
+    push_sweeps: int = 0
 
     # ------------------------------------------------------------------
     def merge(self, other: "WorkCounters") -> "WorkCounters":
@@ -65,6 +71,11 @@ class WorkCounters:
         self.forests_sampled += 1
         self.walk_steps += int(forest.num_steps)
         self.cycle_pops += int(forest.num_pops)
+
+    def record_push(self, push) -> None:
+        """Account for one :class:`~repro.push.forward.PushResult`."""
+        self.pushes += int(push.num_pushes)
+        self.push_sweeps += int(push.num_sweeps)
 
     # ------------------------------------------------------------------
     def as_dict(self) -> dict[str, int]:

@@ -11,11 +11,19 @@ starting from ``r = e_t``.  Pushing ``u`` moves ``α r(u)`` into
 forward push.  The uniform threshold ``r(u) ≥ r_max`` yields the
 classic additive guarantee ``|π(v,t) − q(v)| ≤ r_max`` for all ``v``.
 
+:func:`backward_push` runs as synchronous frontier sweeps over the
+reverse CSR through :func:`repro.push.kernels.backward_scatter`
+(``backend="vectorized"`` batches the whole frontier,
+``backend="scalar"`` is the node-at-a-time reference loop; the sweep
+schedule and exit state are backend-independent).
+
 :func:`randomized_backward_push` implements the RBACK baseline
 (Wang et al., KDD'20): residual increments below a threshold ``θ`` are
 rounded up to ``θ`` with probability ``increment/θ`` and dropped
 otherwise — an unbiased sparsification that skips work on tiny
-increments at the cost of extra randomness per push.
+increments at the cost of extra randomness per push.  Because its
+random stream is consumed push by push it stays queue-based and
+scalar-only.
 """
 
 from __future__ import annotations
@@ -27,6 +35,11 @@ import numpy as np
 from repro.exceptions import ConfigError
 from repro.graph.csr import Graph
 from repro.push.forward import PushResult
+from repro.push.kernels import (
+    DEFAULT_PUSH_BACKEND,
+    backward_scatter,
+    validate_push_backend,
+)
 from repro.rng import ensure_rng
 
 __all__ = ["backward_push", "randomized_backward_push"]
@@ -53,13 +66,15 @@ def _in_edges(graph: Graph):
 
 
 def backward_push(graph: Graph, target: int, alpha: float, r_max: float,
-                  max_pushes: int = 50_000_000) -> PushResult:
+                  max_pushes: int = 50_000_000, *,
+                  backend: str = DEFAULT_PUSH_BACKEND) -> PushResult:
     """Algorithm 4: deterministic backward push from ``target``.
 
     Guarantees ``0 ≤ π(v, t) − q(v) ≤ r_max`` for every ``v`` on exit
     (additive error), at cost ``O(π(t) · d̄ / (α · r_max))``.
     """
     _check(graph, target, alpha, r_max)
+    validate_push_backend(backend)
     n = graph.num_nodes
     indptr, indices, weights = _in_edges(graph)
     degrees = graph.degrees
@@ -67,47 +82,31 @@ def backward_push(graph: Graph, target: int, alpha: float, r_max: float,
     residual = np.zeros(n)
     residual[target] = 1.0
 
-    queue: deque[int] = deque([target])
-    in_queue = np.zeros(n, dtype=bool)
-    in_queue[target] = True
     pushes = 0
     work = 0
-    while queue:
-        if pushes >= max_pushes:
+    frontier_sizes: list[int] = []
+    while True:
+        frontier = np.flatnonzero(residual >= r_max)
+        if frontier.size == 0:
+            break
+        if pushes + frontier.size > max_pushes:
             raise ConfigError(
                 f"backward push exceeded max_pushes={max_pushes}")
-        u = queue.popleft()
-        in_queue[u] = False
-        mass = residual[u]
-        if mass < r_max:
-            continue  # stale entry
-        pushes += 1
-        if degrees[u] == 0:
-            # dangling node: absorbing self-loop summed in closed form
-            reserve[u] += mass
-            spread = (1.0 - alpha) / alpha * mass
-        else:
-            reserve[u] += alpha * mass
-            spread = (1.0 - alpha) * mass
-        residual[u] = 0.0
-        lo, hi = indptr[u], indptr[u + 1]
-        sources = indices[lo:hi]
-        if sources.size:
-            edge_w = np.ones(hi - lo) if weights is None else weights[lo:hi]
-            receiver_deg = degrees[sources]
-            # in-neighbours necessarily have an out-edge, so
-            # receiver_deg > 0; guard anyway for pathological input
-            increments = np.zeros(hi - lo)
-            ok = receiver_deg > 0
-            increments[ok] = spread * edge_w[ok] / receiver_deg[ok]
-            np.add.at(residual, sources, increments)
-            work += hi - lo
-            hot = sources[(residual[sources] >= r_max) & ~in_queue[sources]]
-            for z in hot:
-                queue.append(int(z))
-                in_queue[z] = True
+        pushes += int(frontier.size)
+        frontier_sizes.append(int(frontier.size))
+        mass = residual[frontier].copy()
+        residual[frontier] = 0.0
+        # dangling node: absorbing self-loop summed in closed form
+        dangling = degrees[frontier] == 0
+        reserve[frontier] += np.where(dangling, mass, alpha * mass)
+        spread = np.where(dangling, (1.0 - alpha) / alpha * mass,
+                          (1.0 - alpha) * mass)
+        work += backward_scatter(indptr, indices, weights, degrees,
+                                 frontier, spread, residual, backend)
     return PushResult(reserve=reserve, residual=residual,
-                      num_pushes=pushes, work=work)
+                      num_pushes=pushes, work=work,
+                      num_sweeps=len(frontier_sizes),
+                      frontier_sizes=tuple(frontier_sizes))
 
 
 def randomized_backward_push(graph: Graph, target: int, alpha: float,

@@ -14,19 +14,31 @@ fixed number ``⌈r_max · W⌉`` of forest samples suffices for the
 Chernoff argument of Theorem 5.3 (high-degree nodes may no longer hide
 large residuals behind a degree-scaled threshold).
 
+Both variants run as synchronous *frontier sweeps*: every iteration
+pushes the entire above-threshold frontier at once through a
+:mod:`repro.push.kernels` scatter kernel (``backend="vectorized"``
+batches all frontier rows into one segment-scatter;
+``backend="scalar"`` is the node-at-a-time reference loop).  The
+sweep schedule — and hence ``num_pushes`` and the exit state — is
+identical for both backends; only the per-sweep execution differs.
+
 Dangling nodes absorb their entire residual into reserve, matching the
 library-wide absorbing-walk convention.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.exceptions import ConfigError
 from repro.graph.csr import Graph
+from repro.push.kernels import (
+    DEFAULT_PUSH_BACKEND,
+    forward_scatter,
+    validate_push_backend,
+)
 
 __all__ = ["PushResult", "forward_push", "balanced_forward_push"]
 
@@ -42,21 +54,33 @@ class PushResult:
     residual:
         ``r`` — the unsettled mass per node (non-negative).
     num_pushes:
-        Number of push operations executed.
+        Number of push operations executed (total frontier memberships
+        across all sweeps; equal for every backend).
     work:
         Total edge traversals, the machine-independent cost measure
         used by the benchmark harness.
+    num_sweeps:
+        Synchronous frontier sweeps executed.
+    frontier_sizes:
+        Frontier size per sweep; sums to ``num_pushes``.
     """
 
     reserve: np.ndarray
     residual: np.ndarray
     num_pushes: int = 0
     work: int = 0
+    num_sweeps: int = 0
+    frontier_sizes: tuple[int, ...] = field(default_factory=tuple)
 
     @property
     def residual_mass(self) -> float:
         """Total unsettled mass ``Σ_u r(u)``."""
         return float(self.residual.sum())
+
+    @property
+    def peak_frontier(self) -> int:
+        """Largest frontier pushed in one sweep (0 if nothing pushed)."""
+        return max(self.frontier_sizes, default=0)
 
 
 def _check_common(graph: Graph, node: int, alpha: float, r_max: float) -> None:
@@ -70,78 +94,70 @@ def _check_common(graph: Graph, node: int, alpha: float, r_max: float) -> None:
 
 def _forward_push_impl(graph: Graph, source: int, alpha: float,
                        r_max: float, *, balanced: bool,
-                       max_pushes: int) -> PushResult:
+                       max_pushes: int, backend: str) -> PushResult:
+    validate_push_backend(backend)
     n = graph.num_nodes
-    indptr, indices = graph.indptr, graph.indices
-    weights = graph.weights
     degrees = graph.degrees
     reserve = np.zeros(n)
     residual = np.zeros(n)
     residual[source] = 1.0
 
-    # threshold per node: r_max (balanced) or d_u * r_max (classic)
+    # threshold per node: r_max (balanced) or d_u * r_max (classic);
+    # a dangling node's classic threshold is 0, so the `residual > 0`
+    # clause keeps already-absorbed nodes out of the frontier
     thresholds = np.full(n, r_max) if balanced else degrees * r_max
-    # classic push on a zero-degree node would have threshold 0 and
-    # spin forever; both variants absorb dangling residual outright
-    queue: deque[int] = deque()
-    in_queue = np.zeros(n, dtype=bool)
-    if residual[source] >= thresholds[source] or degrees[source] == 0:
-        queue.append(source)
-        in_queue[source] = True
 
     pushes = 0
     work = 0
-    while queue:
-        if pushes >= max_pushes:
+    frontier_sizes: list[int] = []
+    while True:
+        frontier = np.flatnonzero((residual >= thresholds)
+                                  & (residual > 0.0))
+        if frontier.size == 0:
+            break
+        if pushes + frontier.size > max_pushes:
             raise ConfigError(
                 f"forward push exceeded max_pushes={max_pushes}; "
                 f"raise the limit or increase r_max")
-        u = queue.popleft()
-        in_queue[u] = False
-        mass = residual[u]
-        if degrees[u] == 0:
-            reserve[u] += mass  # absorbing node: the walk ends here
-            residual[u] = 0.0
-            pushes += 1
-            continue
-        if mass < thresholds[u]:
-            continue  # stale queue entry
-        pushes += 1
-        reserve[u] += alpha * mass
-        residual[u] = 0.0
-        lo, hi = indptr[u], indptr[u + 1]
-        neighbors = indices[lo:hi]
-        if weights is None:
-            share = (1.0 - alpha) * mass / degrees[u]
-            np.add.at(residual, neighbors, share)
-        else:
-            np.add.at(residual, neighbors,
-                      (1.0 - alpha) * mass * weights[lo:hi] / degrees[u])
-        work += hi - lo
-        hot = neighbors[(residual[neighbors] >= thresholds[neighbors])
-                        & ~in_queue[neighbors]]
-        for z in hot:
-            queue.append(int(z))
-            in_queue[z] = True
+        pushes += int(frontier.size)
+        frontier_sizes.append(int(frontier.size))
+        mass = residual[frontier].copy()
+        residual[frontier] = 0.0
+        dangling = degrees[frontier] == 0
+        if dangling.any():
+            # absorbing node: the walk ends here
+            reserve[frontier[dangling]] += mass[dangling]
+        pushable = frontier[~dangling]
+        if pushable.size:
+            push_mass = mass[~dangling]
+            reserve[pushable] += alpha * push_mass
+            work += forward_scatter(graph, pushable, push_mass, alpha,
+                                    residual, backend)
     return PushResult(reserve=reserve, residual=residual,
-                      num_pushes=pushes, work=work)
+                      num_pushes=pushes, work=work,
+                      num_sweeps=len(frontier_sizes),
+                      frontier_sizes=tuple(frontier_sizes))
 
 
 def forward_push(graph: Graph, source: int, alpha: float, r_max: float,
-                 max_pushes: int = 50_000_000) -> PushResult:
+                 max_pushes: int = 50_000_000, *,
+                 backend: str = DEFAULT_PUSH_BACKEND) -> PushResult:
     """Algorithm 2: classic forward push, threshold ``d_u · r_max``.
 
     Runs in ``O(1 / (α · r_max))`` pushes; the reserve under-estimates
     ``π(source, ·)`` and the invariant Eq. 6 holds exactly (tested).
+    ``backend`` picks the sweep kernel (see :mod:`repro.push.kernels`);
+    the result is backend-independent.
     """
     _check_common(graph, source, alpha, r_max)
     return _forward_push_impl(graph, source, alpha, r_max, balanced=False,
-                              max_pushes=max_pushes)
+                              max_pushes=max_pushes, backend=backend)
 
 
 def balanced_forward_push(graph: Graph, source: int, alpha: float,
                           r_max: float,
-                          max_pushes: int = 50_000_000) -> PushResult:
+                          max_pushes: int = 50_000_000, *,
+                          backend: str = DEFAULT_PUSH_BACKEND) -> PushResult:
     """§5.2's balanced forward push: uniform threshold ``r_max``.
 
     Guarantees ``r(u) < r_max`` for every node on exit — the property
@@ -150,4 +166,4 @@ def balanced_forward_push(graph: Graph, source: int, alpha: float,
     """
     _check_common(graph, source, alpha, r_max)
     return _forward_push_impl(graph, source, alpha, r_max, balanced=True,
-                              max_pushes=max_pushes)
+                              max_pushes=max_pushes, backend=backend)

@@ -15,9 +15,13 @@ complexity.  Our SPEED* algorithms run this as their deterministic
 stage and hand the final residual to either α-walks (SPEEDPPR) or
 forest sampling (SPEEDL / SPEEDLV).
 
-A hybrid refinement (``local_start=True``) runs a queue-based local
+A hybrid refinement (``local_start=True``) runs a frontier-sweep local
 push first while the frontier is narrow, then switches to full
-mat-vecs — mirroring SPEEDPPR's actual implementation.
+mat-vecs — mirroring SPEEDPPR's actual implementation.  ``backend``
+selects the local phase's sweep kernel (see
+:mod:`repro.push.kernels`); the whole-vector rounds are already one
+maximal-frontier vector kernel (a CSR mat-vec) and are shared by both
+backends, so the result is backend-independent.
 """
 
 from __future__ import annotations
@@ -28,6 +32,7 @@ from repro.exceptions import ConfigError
 from repro.graph.csr import Graph
 from repro.linalg.transition import transition_matrix
 from repro.push.forward import PushResult, forward_push
+from repro.push.kernels import DEFAULT_PUSH_BACKEND, validate_push_backend
 
 __all__ = ["power_push"]
 
@@ -35,7 +40,8 @@ __all__ = ["power_push"]
 def power_push(graph: Graph, source: int, alpha: float,
                residual_target: float, *, criterion: str = "mass",
                local_start: bool = True,
-               max_rounds: int = 100_000) -> PushResult:
+               max_rounds: int = 100_000,
+               backend: str = DEFAULT_PUSH_BACKEND) -> PushResult:
     """Push until the residual drops below ``residual_target``.
 
     Parameters
@@ -51,11 +57,15 @@ def power_push(graph: Graph, source: int, alpha: float,
     local_start:
         Begin with a classic local forward push (cheap while the
         frontier is small) before switching to whole-vector rounds.
+    backend:
+        Sweep kernel for the local phase (whole-vector rounds are
+        backend-independent).
 
     Returns
     -------
     PushResult
-        ``work`` counts edge traversals across both phases.
+        ``work`` counts edge traversals across both phases;
+        ``num_sweeps`` counts local sweeps plus whole-vector rounds.
     """
     if not 0 <= source < graph.num_nodes:
         raise ConfigError(f"node {source} out of range")
@@ -65,17 +75,21 @@ def power_push(graph: Graph, source: int, alpha: float,
         raise ConfigError("residual_target must lie in (0, 1]")
     if criterion not in ("mass", "max"):
         raise ConfigError("criterion must be 'mass' or 'max'")
+    validate_push_backend(backend)
 
     work = 0
     pushes = 0
+    frontier_sizes: list[int] = []
     if local_start:
         # a moderately coarse local push clears the easy mass first
         warm = forward_push(graph, source, alpha,
                             r_max=max(residual_target, 1.0 / max(
-                                graph.num_nodes, 1)))
+                                graph.num_nodes, 1)),
+                            backend=backend)
         reserve, residual = warm.reserve, warm.residual
         work += warm.work
         pushes += warm.num_pushes
+        frontier_sizes.extend(warm.frontier_sizes)
     else:
         reserve = np.zeros(graph.num_nodes)
         residual = np.zeros(graph.num_nodes)
@@ -91,9 +105,12 @@ def power_push(graph: Graph, source: int, alpha: float,
         residual = (1.0 - alpha) * (operator @ residual)
         work += arcs
         pushes += graph.num_nodes
+        frontier_sizes.append(graph.num_nodes)
     else:
         raise ConfigError(
             f"power push did not reach residual_target={residual_target} "
             f"within {max_rounds} rounds")
     return PushResult(reserve=reserve, residual=residual,
-                      num_pushes=pushes, work=work)
+                      num_pushes=pushes, work=work,
+                      num_sweeps=len(frontier_sizes),
+                      frontier_sizes=tuple(frontier_sizes))

@@ -1,8 +1,44 @@
-"""CLI tests (invoking :func:`repro.cli.main` in-process)."""
+"""CLI tests (invoking :func:`repro.cli.main` in-process), including
+byte-exact golden-output regression tests.
+
+Golden files live in ``tests/golden/``; regenerate them after an
+intentional output change with
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_cli.py
+
+and commit the diff alongside the change that caused it.
+"""
+
+import os
+import re
+from pathlib import Path
 
 import pytest
 
 from repro.cli import build_parser, main
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+# wall-clock stats are the only nondeterministic output; scrub them
+_SECONDS = re.compile(r"('(?:push|mc)_seconds': )[0-9.e+-]+")
+
+
+def _scrub(text: str) -> str:
+    return _SECONDS.sub(r"\1<seconds>", text)
+
+
+def _assert_matches_golden(name: str, out: str) -> None:
+    path = GOLDEN_DIR / name
+    scrubbed = _scrub(out)
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        path.write_text(scrubbed)
+        return
+    assert path.exists(), (
+        f"missing golden file {path}; regenerate with "
+        f"REPRO_UPDATE_GOLDEN=1")
+    assert scrubbed == path.read_text(), (
+        f"output of {name} drifted from the committed golden file; if "
+        f"intentional, regenerate with REPRO_UPDATE_GOLDEN=1 and commit")
 
 
 class TestParser:
@@ -15,6 +51,16 @@ class TestParser:
             ["query", "source", "youtube", "0"])
         assert args.alpha == 0.01
         assert args.kind == "source"
+        assert args.push_backend == "vectorized"
+
+    def test_push_backend_choices(self):
+        args = build_parser().parse_args(
+            ["query", "source", "youtube", "0", "--push-backend", "scalar"])
+        assert args.push_backend == "scalar"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["query", "source", "youtube", "0",
+                 "--push-backend", "cuda"])
 
 
 class TestCommands:
@@ -76,7 +122,7 @@ class TestCommands:
         assert main(["selfcheck", "--seed", "7"]) == 0
         out = capsys.readouterr().out
         assert "self-check passed" in out
-        assert out.count("[ok]") == 4
+        assert out.count("[ok]") == 5
 
     def test_selfcheck_output_worker_invariant(self, capsys):
         assert main(["selfcheck", "--seed", "7", "--workers", "1"]) == 0
@@ -100,3 +146,33 @@ class TestCommands:
         assert main(["experiment", "ablation_push_variants"]) == 0
         out = capsys.readouterr().out
         assert "residual_ceiling" in out
+
+
+class TestGoldenOutput:
+    """Byte-exact CLI regression tests against committed transcripts."""
+
+    QUERY_SOURCE = ["query", "source", "youtube", "0", "--scale", "0.05",
+                    "--alpha", "0.1", "--top", "5", "--seed", "2022"]
+    QUERY_TARGET = ["query", "target", "youtube", "1", "--scale", "0.05",
+                    "--alpha", "0.1", "--top", "5", "--seed", "2022"]
+
+    def test_query_source_speedlv(self, capsys):
+        assert main(self.QUERY_SOURCE) == 0
+        _assert_matches_golden("query_source_speedlv.txt",
+                               capsys.readouterr().out)
+
+    def test_query_target_backlv(self, capsys):
+        assert main(self.QUERY_TARGET) == 0
+        _assert_matches_golden("query_target_backlv.txt",
+                               capsys.readouterr().out)
+
+    def test_selfcheck(self, capsys):
+        assert main(["selfcheck", "--seed", "2022"]) == 0
+        _assert_matches_golden("selfcheck.txt", capsys.readouterr().out)
+
+    def test_scalar_backend_prints_identical_query(self, capsys):
+        """The backend flag must not change a single printed byte."""
+        assert main(self.QUERY_SOURCE) == 0
+        vectorized = _scrub(capsys.readouterr().out)
+        assert main(self.QUERY_SOURCE + ["--push-backend", "scalar"]) == 0
+        assert _scrub(capsys.readouterr().out) == vectorized

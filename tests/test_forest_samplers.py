@@ -1,9 +1,14 @@
 """Sampler tests: structure, determinism, and — crucially — that both
 samplers draw the distribution of Theorem 4.3 (checked statistically
-against exact PPR via Theorem 3.6) with step counts matching τ."""
+against exact PPR via Theorem 3.6, and exactly via a chi-square
+goodness-of-fit test against the enumerated rooted-forest law) with
+step counts matching τ."""
+
+from itertools import product
 
 import numpy as np
 import pytest
+from scipy.stats import chi2
 
 from repro.exceptions import ConfigError
 from repro.forests import (
@@ -12,6 +17,10 @@ from repro.forests import (
     sample_forest_cycle_popping,
     sample_forest_wilson,
     sample_forests,
+)
+from repro.forests.enumeration import (
+    enumerate_spanning_forests,
+    forest_probability,
 )
 from repro.graph import from_edges
 from repro.graph.generators import erdos_renyi, with_random_weights
@@ -137,6 +146,77 @@ class TestDistribution:
                                      order=np.arange(8, -1, -1))
             backward[b.roots[0]] += 1
         assert np.abs(forward - backward).max() / trials < 0.04
+
+
+def _rooted_forest_law(graph, alpha):
+    """Exact distribution over rooted forests via enumeration.
+
+    Returns ``{(edge_set, root_set): probability}`` covering every
+    rooted spanning forest of ``graph`` (Theorem 4.3).
+    """
+    law = {}
+    for forest in enumerate_spanning_forests(graph):
+        trees: dict[int, list[int]] = {}
+        for node, label in enumerate(forest.labels):
+            trees.setdefault(label, []).append(node)
+        edge_key = frozenset(tuple(sorted(edge)) for edge in forest.edges)
+        for roots in product(*trees.values()):
+            law[(edge_key, frozenset(roots))] = forest_probability(
+                graph, alpha, forest, roots)
+    return law
+
+
+def _forest_key(forest: RootedForest):
+    """Category key of a sampled forest: (undirected edges, roots)."""
+    edges = frozenset(
+        (min(int(node), int(parent)), max(int(node), int(parent)))
+        for node, parent in enumerate(forest.parents) if parent >= 0)
+    return edges, frozenset(forest.root_set.tolist())
+
+
+@pytest.mark.slow
+class TestGoodnessOfFit:
+    """Chi-square GOF of both samplers against the enumerated law.
+
+    Protocol (documented in docs/THEORY.md): the category space is
+    the full set of rooted spanning forests of a ≤6-node graph, the
+    expected counts come from Theorem 4.3 via exact enumeration, seeds
+    are fixed, and the significance level is 1e-3 — a fixed-seed run
+    either passes forever or flags a genuine sampler bug; there is no
+    re-roll-until-green.
+    """
+
+    SIGNIFICANCE = 1e-3
+    SAMPLES = 4000
+
+    def _chi_square(self, graph, alpha, sampler, seed):
+        law = _rooted_forest_law(graph, alpha)
+        assert sum(law.values()) == pytest.approx(1.0, abs=1e-12)
+        expected = {key: self.SAMPLES * p for key, p in law.items()}
+        # the chi-square approximation needs every expected cell >= 5
+        assert min(expected.values()) >= 5.0, \
+            "workload too small for the chi-square approximation"
+        observed = dict.fromkeys(law, 0)
+        rng = np.random.default_rng(seed)
+        for _ in range(self.SAMPLES):
+            key = _forest_key(sampler(graph, alpha, rng=rng))
+            assert key in law, f"sampled forest outside the law: {key}"
+            observed[key] += 1
+        statistic = sum(
+            (observed[key] - expected[key]) ** 2 / expected[key]
+            for key in law)
+        critical = chi2.ppf(1.0 - self.SIGNIFICANCE, df=len(law) - 1)
+        assert statistic <= critical, (
+            f"chi-square {statistic:.2f} > critical {critical:.2f} "
+            f"(df={len(law) - 1}, significance={self.SIGNIFICANCE})")
+
+    @pytest.mark.parametrize("sampler", SAMPLERS)
+    def test_path_graph(self, path4, sampler):
+        self._chi_square(path4, 0.3, sampler, seed=20220301)
+
+    @pytest.mark.parametrize("sampler", SAMPLERS)
+    def test_weighted_triangle(self, weighted_triangle, sampler):
+        self._chi_square(weighted_triangle, 0.25, sampler, seed=20220302)
 
 
 class TestBatchSampling:

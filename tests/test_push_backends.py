@@ -1,0 +1,162 @@
+"""Cross-backend push equivalence: scalar vs vectorized sweep kernels.
+
+Both backends run the same synchronous frontier sweeps and differ only
+in how one sweep's residual mass is scattered, so every output —
+reserve, residual, ``num_pushes``, ``num_sweeps``, ``frontier_sizes``
+— must agree (values to ≤1e-12; counters exactly) across alphas,
+weighted/directed graphs, and end-to-end queries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import PPRConfig, single_source, single_target
+from repro.exceptions import ConfigError
+from repro.graph import from_edges
+from repro.graph.generators import erdos_renyi, with_random_weights
+from repro.push import (
+    DEFAULT_PUSH_BACKEND,
+    PUSH_BACKENDS,
+    backward_push,
+    balanced_forward_push,
+    forward_push,
+    power_push,
+)
+from repro.push.kernels import validate_push_backend
+
+ALPHAS = [0.1, 0.2, 0.5]
+TOLERANCE = 1e-12
+
+
+def _graphs():
+    plain = erdos_renyi(40, 0.12, rng=2022)
+    weighted = with_random_weights(erdos_renyi(35, 0.15, rng=7),
+                                   low=0.5, high=4.0, rng=11)
+    rng = np.random.default_rng(5)
+    pairs = rng.integers(0, 30, size=(160, 2))
+    pairs = pairs[pairs[:, 0] != pairs[:, 1]]
+    pairs = pairs[pairs[:, 0] != 29]  # node 29 is a pure sink (dangling)
+    directed = from_edges(pairs, directed=True, num_nodes=30)
+    return [("unweighted", plain), ("weighted", weighted),
+            ("directed", directed)]
+
+
+GRAPHS = _graphs()
+
+
+def _assert_equivalent(vectorized, scalar):
+    assert np.abs(vectorized.reserve - scalar.reserve).max() <= TOLERANCE
+    assert np.abs(vectorized.residual - scalar.residual).max() <= TOLERANCE
+    assert vectorized.num_pushes == scalar.num_pushes
+    assert vectorized.num_sweeps == scalar.num_sweeps
+    assert vectorized.frontier_sizes == scalar.frontier_sizes
+    assert vectorized.work == scalar.work
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("alpha", ALPHAS)
+    @pytest.mark.parametrize("label,graph", GRAPHS)
+    def test_forward(self, label, graph, alpha):
+        for seed_node in (0, 3):
+            _assert_equivalent(
+                forward_push(graph, seed_node, alpha, 1e-4,
+                             backend="vectorized"),
+                forward_push(graph, seed_node, alpha, 1e-4,
+                             backend="scalar"))
+
+    @pytest.mark.parametrize("alpha", ALPHAS)
+    @pytest.mark.parametrize("label,graph", GRAPHS)
+    def test_balanced_forward(self, label, graph, alpha):
+        _assert_equivalent(
+            balanced_forward_push(graph, 1, alpha, 1e-4,
+                                  backend="vectorized"),
+            balanced_forward_push(graph, 1, alpha, 1e-4,
+                                  backend="scalar"))
+
+    @pytest.mark.parametrize("alpha", ALPHAS)
+    @pytest.mark.parametrize("label,graph", GRAPHS)
+    def test_backward(self, label, graph, alpha):
+        _assert_equivalent(
+            backward_push(graph, 2, alpha, 1e-4, backend="vectorized"),
+            backward_push(graph, 2, alpha, 1e-4, backend="scalar"))
+
+    @pytest.mark.parametrize("alpha", ALPHAS)
+    def test_power_push(self, alpha):
+        graph = GRAPHS[0][1]
+        _assert_equivalent(
+            power_push(graph, 0, alpha, 1e-3, backend="vectorized"),
+            power_push(graph, 0, alpha, 1e-3, backend="scalar"))
+
+    @pytest.mark.parametrize("label,graph", GRAPHS)
+    def test_sweep_accounting(self, label, graph):
+        push = balanced_forward_push(graph, 0, 0.2, 1e-4,
+                                     backend="vectorized")
+        assert sum(push.frontier_sizes) == push.num_pushes
+        assert len(push.frontier_sizes) == push.num_sweeps
+        assert push.peak_frontier == max(push.frontier_sizes)
+
+    def test_dangling_nodes(self, directed_line):
+        # node 2 has out-degree 0: its residual must be absorbed, not
+        # pushed, identically in both backends
+        for alpha in ALPHAS:
+            _assert_equivalent(
+                forward_push(directed_line, 0, alpha, 1e-6,
+                             backend="vectorized"),
+                forward_push(directed_line, 0, alpha, 1e-6,
+                             backend="scalar"))
+
+
+class TestEndToEnd:
+    """Whole-query equality: the Monte-Carlo stage consumes the same
+    residual, so fixed-seed estimates must be bit-comparable."""
+
+    def test_foralv_scalar_matches_vectorized(self):
+        graph = GRAPHS[0][1]
+        results = {
+            backend: single_source(graph, 0, method="foralv", alpha=0.2,
+                                   seed=99, push_backend=backend)
+            for backend in PUSH_BACKENDS}
+        vec, sca = results["vectorized"], results["scalar"]
+        assert np.abs(vec.estimates - sca.estimates).max() <= TOLERANCE
+        assert vec.stats["work_pushes"] == sca.stats["work_pushes"]
+        assert vec.stats["work_push_sweeps"] == sca.stats["work_push_sweeps"]
+
+    def test_backlv_scalar_matches_vectorized(self):
+        graph = GRAPHS[0][1]
+        results = {
+            backend: single_target(graph, 1, method="backlv", alpha=0.2,
+                                   seed=99, push_backend=backend)
+            for backend in PUSH_BACKENDS}
+        vec, sca = results["vectorized"], results["scalar"]
+        assert np.abs(vec.estimates - sca.estimates).max() <= TOLERANCE
+        assert vec.stats["work_pushes"] == sca.stats["work_pushes"]
+
+    def test_work_counters_in_stats(self):
+        graph = GRAPHS[0][1]
+        result = single_source(graph, 0, method="foralv", alpha=0.2,
+                               seed=1)
+        assert result.stats["work_pushes"] == result.stats["num_pushes"]
+        assert result.stats["work_push_sweeps"] > 0
+
+
+class TestValidation:
+    def test_backends_registry(self):
+        assert DEFAULT_PUSH_BACKEND in PUSH_BACKENDS
+        for backend in PUSH_BACKENDS:
+            validate_push_backend(backend)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigError):
+            validate_push_backend("simd")
+
+    def test_config_rejects_unknown_backend(self):
+        with pytest.raises(ConfigError):
+            PPRConfig(push_backend="gpu")
+
+    def test_push_functions_reject_unknown_backend(self, k5):
+        with pytest.raises(ConfigError):
+            forward_push(k5, 0, 0.2, 1e-3, backend="nope")
+        with pytest.raises(ConfigError):
+            backward_push(k5, 0, 0.2, 1e-3, backend="nope")
+        with pytest.raises(ConfigError):
+            power_push(k5, 0, 0.2, 1e-2, backend="nope")
