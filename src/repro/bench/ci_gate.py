@@ -131,6 +131,23 @@ def run_kernels(workers: int = 4) -> dict[str, dict]:
                                budget_scale=0.05, seed=SEED)
         return result.work.as_dict()
 
+    # the serving path: one shared bank, a whole micro-batch through the
+    # sparse estimator fold (bank build cost is tracked by the
+    # forest-sampling kernels, so it stays outside this timed region)
+    from repro.core.batch import BatchSourceSolver
+    from repro.counters import WorkCounters
+    batch_solver = BatchSourceSolver(graph, alpha=ALPHA, epsilon=0.5,
+                                     budget_scale=0.05, seed=SEED,
+                                     num_forests=16)
+    batch_solver.query_many([0])  # materialise the fold operators
+
+    def service_query_many():
+        results = batch_solver.query_many(list(range(16)))
+        work = WorkCounters()
+        for result in results:
+            work.merge(result.work)
+        return work.as_dict()
+
     kernels = {}
     for name, func in [("forest_sampling_serial", forest_serial),
                        ("forest_sampling_parallel", forest_parallel),
@@ -144,7 +161,8 @@ def run_kernels(workers: int = 4) -> dict[str, dict]:
                        ("backward_push_scalar",
                         push_kernel(backward_push, "scalar")),
                        ("speedlv_query", speedlv_query),
-                       ("backlv_query", backlv_query)]:
+                       ("backlv_query", backlv_query),
+                       ("service_query_many_16", service_query_many)]:
         seconds, counters = _timed(func)
         kernels[name] = {"seconds": seconds, "counters": counters}
     return kernels

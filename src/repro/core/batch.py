@@ -15,16 +15,26 @@ Both are thin, explicit wrappers over
 :class:`~repro.montecarlo.forest_index.ForestIndex` plus the
 appropriate push, returning ordinary
 :class:`~repro.core.result.PPRResult` objects.
+
+Lifecycle: a solver may be constructed around a pre-built, shared
+``index=`` (the serving layer's :class:`~repro.service.IndexManager`
+does this so one bank backs many solvers), used as a context manager,
+and observed via :meth:`~_BatchSolverBase.stats` — bank size, queries
+served, cumulative push work.  :meth:`~_BatchSolverBase.close`
+releases an owned bank; a solver that merely borrowed an injected
+index leaves it untouched.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 
 import numpy as np
 
 from repro.core.config import PPRConfig
 from repro.core.result import PPRResult
+from repro.counters import WorkCounters
 from repro.exceptions import ConfigError
 from repro.graph.csr import Graph
 from repro.montecarlo.forest_index import ForestIndex
@@ -37,20 +47,97 @@ __all__ = ["BatchSourceSolver", "BatchTargetSolver"]
 
 class _BatchSolverBase:
     def __init__(self, graph: Graph, *, config: PPRConfig | None = None,
-                 num_forests: int | None = None, **overrides):
+                 num_forests: int | None = None,
+                 index: ForestIndex | None = None, **overrides):
         config = config or PPRConfig()
         if overrides:
             config = config.with_overrides(**overrides)
         self.config = config.resolve(graph)
         self.graph = graph
         self._improved = not graph.directed
-        if num_forests is None:
-            num_forests = ForestIndex.recommended_size(
-                graph, self.config.epsilon)
-        self.index = ForestIndex.build(graph, self.config.alpha,
-                                       num_forests,
-                                       rng=ensure_rng(self.config.seed),
-                                       method=self.config.sampler)
+        if index is not None:
+            if index.graph.num_nodes != graph.num_nodes:
+                raise ConfigError(
+                    f"injected index was built for "
+                    f"{index.graph.num_nodes} nodes, graph has "
+                    f"{graph.num_nodes}")
+            if abs(index.alpha - self.config.alpha) > 1e-12:
+                raise ConfigError(
+                    f"injected index was built for alpha={index.alpha}, "
+                    f"config says alpha={self.config.alpha}")
+            self.index = index
+            self._owns_index = False
+        else:
+            if num_forests is None:
+                num_forests = ForestIndex.recommended_size(
+                    graph, self.config.epsilon)
+            self.index = ForestIndex.build(graph, self.config.alpha,
+                                           num_forests,
+                                           rng=ensure_rng(self.config.seed),
+                                           method=self.config.sampler)
+            self._owns_index = True
+        self._closed = False
+        self._queries_served = 0
+        self._push_work = 0
+        self._lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def close(self) -> None:
+        """Release the forest bank (if owned) and refuse further queries.
+
+        Idempotent.  A solver built around an injected ``index=`` only
+        drops its reference — the shared bank stays valid for every
+        other solver borrowing it.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_index:
+            self.index.forests.clear()
+        self.index = None  # type: ignore[assignment]
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    def stats(self) -> dict:
+        """Point-in-time lifecycle snapshot for monitoring.
+
+        Keys: ``num_forests`` / ``index_size_bytes`` (bank footprint),
+        ``queries_served``, ``push_work`` (cumulative push operations),
+        ``push_work_per_query`` (mean), ``owns_index``, ``closed``.
+        """
+        with self._lock:
+            served = self._queries_served
+            push_work = self._push_work
+        return {
+            "num_forests": 0 if self._closed else self.index.num_forests,
+            "index_size_bytes": 0 if self._closed else self.index.size_bytes,
+            "queries_served": served,
+            "push_work": push_work,
+            "push_work_per_query": push_work / served if served else 0.0,
+            "owns_index": self._owns_index,
+            "closed": self._closed,
+        }
+
+    # -- internals -----------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ConfigError(
+                f"{type(self).__name__} is closed; build a new solver")
+
+    def _record_query(self, push) -> None:
+        with self._lock:
+            self._queries_served += 1
+            self._push_work += int(push.num_pushes)
 
     @property
     def num_forests(self) -> int:
@@ -58,12 +145,58 @@ class _BatchSolverBase:
         return self.index.num_forests
 
     def _default_r_max(self) -> float:
+        self._check_open()
         budget = self.config.walk_budget(self.graph)
         tau_hat = max(self.index.build_steps / self.index.num_forests, 1.0)
         mean_degree = max(self.graph.average_degree, 1.0)
         return float(np.clip(
             np.sqrt(mean_degree / (self.config.alpha * budget * tau_hat)),
             1e-9, 1.0))
+
+    def _query_stats(self, push, r_max: float, push_seconds: float,
+                     mc_seconds: float, batch_size: int) -> dict:
+        work = WorkCounters()
+        work.record_push(push)
+        stats = {"r_max": r_max, "num_pushes": push.num_pushes,
+                 "push_work": push.work, "push_seconds": push_seconds,
+                 "mc_seconds": mc_seconds,
+                 "index_forests": self.index.num_forests,
+                 "batch_size": batch_size}
+        stats.update(work.as_stats())
+        return stats
+
+    def _run_batch(self, nodes, label: str, push_fn, r_max: float,
+                   estimate_many, kind: str, method: str):
+        """Shared push-then-batched-fold body of both ``query_many``."""
+        self._check_open()
+        nodes = [int(node) for node in nodes]
+        for node in nodes:
+            if not 0 <= node < self.graph.num_nodes:
+                raise ConfigError(f"{label} {node} out of range")
+        if not nodes:
+            return []
+        pushes = []
+        push_seconds = []
+        for node in nodes:
+            t0 = time.perf_counter()
+            pushes.append(push_fn(node))
+            push_seconds.append(time.perf_counter() - t0)
+        t1 = time.perf_counter()
+        residuals = np.stack([push.residual for push in pushes])
+        mc = estimate_many(residuals, improved=self._improved)
+        mc_seconds = (time.perf_counter() - t1) / len(nodes)
+        results = []
+        for position, node in enumerate(nodes):
+            push = pushes[position]
+            self._record_query(push)
+            results.append(PPRResult(
+                estimates=push.reserve + mc[position], kind=kind,
+                query_node=node, method=method,
+                alpha=self.config.alpha, epsilon=self.config.epsilon,
+                stats=self._query_stats(push, r_max,
+                                        push_seconds[position],
+                                        mc_seconds, len(nodes))))
+        return results
 
 
 class BatchSourceSolver(_BatchSolverBase):
@@ -74,57 +207,63 @@ class BatchSourceSolver(_BatchSolverBase):
     >>> import repro
     >>> from repro.core.batch import BatchSourceSolver
     >>> g = repro.load_dataset("youtube", scale=0.05)
-    >>> solver = BatchSourceSolver(g, alpha=0.05, seed=1, budget_scale=0.05)
-    >>> results = [solver.query(s) for s in (0, 1, 2)]
+    >>> with BatchSourceSolver(g, alpha=0.05, seed=1,
+    ...                        budget_scale=0.05) as solver:
+    ...     results = [solver.query(s) for s in (0, 1, 2)]
     >>> all(abs(r.total_mass - 1.0) < 0.3 for r in results)
     True
+    >>> solver.stats()["queries_served"]
+    3
     """
 
     def query(self, source: int) -> PPRResult:
-        """``π(source, ·)`` via balanced forward push + the shared bank."""
-        if not 0 <= source < self.graph.num_nodes:
-            raise ConfigError(f"source {source} out of range")
+        """``π(source, ·)`` via balanced forward push + the shared bank.
+
+        Exactly ``query_many([source])[0]`` — single and micro-batched
+        serving share one code path, so they are byte-identical.
+        """
+        return self.query_many([source])[0]
+
+    def query_many(self, sources) -> list[PPRResult]:
+        """Answer a micro-batch of single-source queries in one fold.
+
+        The per-query pushes run individually (their cost is bounded by
+        ``r_max``), then one batched estimator fold
+        (:meth:`~repro.montecarlo.forest_index.ForestIndex.estimate_source_many`)
+        amortises the per-forest segment work across the whole batch.
+        Each returned :class:`~repro.core.result.PPRResult` is
+        bit-identical to a standalone :meth:`query` for that source.
+        """
         r_max = self.config.r_max or self._default_r_max()
-        t0 = time.perf_counter()
-        push = balanced_forward_push(self.graph, source, self.config.alpha,
-                                     r_max,
-                                     backend=self.config.push_backend)
-        t1 = time.perf_counter()
-        mc = self.index.estimate_source(push.residual,
-                                        improved=self._improved)
-        t2 = time.perf_counter()
-        stats = {"r_max": r_max, "num_pushes": push.num_pushes,
-                 "push_work": push.work, "push_seconds": t1 - t0,
-                 "mc_seconds": t2 - t1,
-                 "index_forests": self.index.num_forests}
-        return PPRResult(estimates=push.reserve + mc, kind="source",
-                         query_node=source, method="batch-source",
-                         alpha=self.config.alpha,
-                         epsilon=self.config.epsilon, stats=stats)
+        return self._run_batch(
+            sources, "source",
+            lambda node: balanced_forward_push(
+                self.graph, node, self.config.alpha, r_max,
+                backend=self.config.push_backend),
+            r_max, self.index.estimate_source_many, "source",
+            "batch-source")
 
 
 class BatchTargetSolver(_BatchSolverBase):
     """Answer many single-target queries against one forest bank."""
 
     def query(self, target: int) -> PPRResult:
-        """``π(·, target)`` via backward push + the shared bank."""
-        if not 0 <= target < self.graph.num_nodes:
-            raise ConfigError(f"target {target} out of range")
+        """``π(·, target)`` via backward push + the shared bank.
+
+        Exactly ``query_many([target])[0]`` — see
+        :meth:`BatchSourceSolver.query`.
+        """
+        return self.query_many([target])[0]
+
+    def query_many(self, targets) -> list[PPRResult]:
+        """Micro-batch of single-target queries in one estimator fold."""
         r_max = self.config.r_max or max(
             self._default_r_max(),
             self.config.epsilon * self.config.mu / self.config.budget_scale)
-        t0 = time.perf_counter()
-        push = backward_push(self.graph, target, self.config.alpha, r_max,
-                             backend=self.config.push_backend)
-        t1 = time.perf_counter()
-        mc = self.index.estimate_target(push.residual,
-                                        improved=self._improved)
-        t2 = time.perf_counter()
-        stats = {"r_max": r_max, "num_pushes": push.num_pushes,
-                 "push_work": push.work, "push_seconds": t1 - t0,
-                 "mc_seconds": t2 - t1,
-                 "index_forests": self.index.num_forests}
-        return PPRResult(estimates=push.reserve + mc, kind="target",
-                         query_node=target, method="batch-target",
-                         alpha=self.config.alpha,
-                         epsilon=self.config.epsilon, stats=stats)
+        return self._run_batch(
+            targets, "target",
+            lambda node: backward_push(
+                self.graph, node, self.config.alpha, r_max,
+                backend=self.config.push_backend),
+            r_max, self.index.estimate_target_many, "target",
+            "batch-target")

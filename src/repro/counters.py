@@ -55,11 +55,26 @@ class WorkCounters:
     push_sweeps: int = 0
 
     # ------------------------------------------------------------------
-    def merge(self, other: "WorkCounters") -> "WorkCounters":
-        """Add ``other`` into ``self`` (in place) and return ``self``."""
+    def merge(self, other) -> "WorkCounters":
+        """Add ``other`` into ``self`` (in place) and return ``self``.
+
+        ``other`` may be another :class:`WorkCounters` or any mapping in
+        :meth:`as_dict` / :meth:`as_stats` form (unknown keys are
+        ignored, missing keys count as zero), so scheduler batches can
+        fold plain stats dicts straight into an aggregate.  The merge
+        itself is not synchronised — callers aggregating from several
+        threads (e.g. the service metrics registry) must hold their own
+        lock around it.
+        """
+        if isinstance(other, WorkCounters):
+            values = other.as_dict()
+        else:
+            values = {spec.name: int(other.get(
+                spec.name, other.get(WORK_STATS_PREFIX + spec.name, 0)))
+                for spec in fields(self)}
         for spec in fields(self):
             setattr(self, spec.name,
-                    getattr(self, spec.name) + getattr(other, spec.name))
+                    getattr(self, spec.name) + values.get(spec.name, 0))
         return self
 
     def __add__(self, other: "WorkCounters") -> "WorkCounters":
@@ -82,6 +97,18 @@ class WorkCounters:
         """Plain ``{field: value}`` mapping."""
         return {spec.name: int(getattr(self, spec.name))
                 for spec in fields(self)}
+
+    def snapshot_dict(self) -> dict[str, int]:
+        """Point-in-time copy of the counters plus the :attr:`total`.
+
+        The returned dict is detached from the live record — later
+        :meth:`merge` / ``record_*`` calls do not mutate it — which is
+        what metrics endpoints need when the counters keep advancing
+        under them.
+        """
+        snapshot = self.as_dict()
+        snapshot["total"] = sum(snapshot.values())
+        return snapshot
 
     def as_stats(self) -> dict[str, int]:
         """Flat stats entries, keys prefixed with :data:`WORK_STATS_PREFIX`."""

@@ -1,0 +1,56 @@
+r"""Long-lived PPR query service (serving layer).
+
+Everything one-shot in the library — CLI queries, the batch solvers —
+rebuilds graphs and forest banks per invocation.  The paper's §5.3
+index idea (forests are query-independent) is exactly what makes a
+*resident* process the right architecture for heavy query traffic,
+and this package is that process, dependency-free (stdlib + NumPy):
+
+- :class:`~repro.service.index_manager.IndexManager` — forest-bank
+  lifecycle: build/warm, per-(graph, α) keying, background refresh
+  with atomic swap, memory accounting;
+- :class:`~repro.service.scheduler.MicroBatchScheduler` — bounded
+  admission queue, compatibility-grouped micro-batches with
+  deadline-based flush and backpressure;
+- :class:`~repro.service.cache.ResultCache` — ε-aware LRU (a tight
+  answer serves any looser query) with hit/miss/eviction counters;
+- :class:`~repro.service.metrics.ServiceMetrics` — work counters,
+  latency quantile rings, batch-size histogram, Prometheus text;
+- :class:`~repro.service.service.PPRService` — the embeddable facade
+  composing the four;
+- :mod:`repro.service.http` — the ``/query`` ``/pair`` ``/healthz``
+  ``/metrics`` HTTP front end behind ``repro serve``;
+- :mod:`repro.service.loadgen` — closed-loop load generator / CI
+  smoke checker.
+
+See docs/SERVING.md for architecture and tuning guidance.
+"""
+
+from repro.service.cache import ResultCache, cache_key
+from repro.service.config import ServiceConfig
+from repro.service.index_manager import IndexManager
+from repro.service.metrics import (
+    BatchSizeHistogram,
+    LatencyRing,
+    ServiceMetrics,
+)
+from repro.service.scheduler import (
+    MicroBatchScheduler,
+    QueryRequest,
+    SchedulerFull,
+)
+from repro.service.service import PPRService
+
+__all__ = [
+    "BatchSizeHistogram",
+    "IndexManager",
+    "LatencyRing",
+    "MicroBatchScheduler",
+    "PPRService",
+    "QueryRequest",
+    "ResultCache",
+    "SchedulerFull",
+    "ServiceConfig",
+    "ServiceMetrics",
+    "cache_key",
+]

@@ -1,0 +1,126 @@
+r"""ε-aware LRU result cache for the serving layer.
+
+PPR answers are keyed by what determines them — ``(graph, algo, kind,
+node, α)`` — while the accuracy parameter ε lives *inside* the entry:
+an answer computed at ε′ carries at least the accuracy of any looser
+ε ≥ ε′, so a single cached tight answer satisfies every looser query
+for the same key (the ε-dominance rule).  Storing ε in the key instead
+would fragment the cache across accuracy tiers and never let a tight
+answer serve a loose request.
+
+The cache is a plain lock-guarded ``OrderedDict`` LRU with hit / miss /
+eviction counters for the ``/metrics`` endpoint.  Values are whatever
+the service stores (full :class:`~repro.core.result.PPRResult` objects
+by default), so capacity should be sized against
+``entries × num_nodes × 8`` bytes.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+__all__ = ["ResultCache", "cache_key"]
+
+
+def cache_key(graph: str, algo: str, kind: str, node: Hashable,
+              alpha: float) -> tuple:
+    """Canonical cache key — everything that determines the answer
+    except ε (which is ε-dominance-matched at lookup time)."""
+    return (graph, algo, kind, node, float(alpha))
+
+
+@dataclass
+class _Entry:
+    epsilon: float
+    value: Any
+
+
+class ResultCache:
+    """Thread-safe LRU cache with ε-dominance lookup semantics.
+
+    ``capacity=0`` disables the cache: every ``get`` misses and ``put``
+    is a no-op, so callers never need to special-case the off switch.
+
+    Examples
+    --------
+    >>> cache = ResultCache(capacity=2)
+    >>> key = cache_key("youtube", "batch", "source", 7, 0.01)
+    >>> cache.put(key, epsilon=0.25, value="tight answer")
+    >>> cache.get(key, epsilon=0.5)   # looser query: tight answer ok
+    'tight answer'
+    >>> cache.get(key, epsilon=0.1) is None   # tighter query: miss
+    True
+    >>> cache.stats()["hits"], cache.stats()["misses"]
+    (1, 1)
+    """
+
+    def __init__(self, capacity: int = 512):
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[tuple, _Entry] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    def get(self, key: tuple, epsilon: float):
+        """Return the cached value if one exists at ε′ ≤ ``epsilon``.
+
+        A hit refreshes the entry's LRU position; a stored answer
+        *looser* than the request counts as a miss (the caller must
+        recompute, and its :meth:`put` will tighten the entry).
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry.epsilon <= epsilon:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return entry.value
+            self._misses += 1
+            return None
+
+    def put(self, key: tuple, epsilon: float, value) -> None:
+        """Store ``value`` computed at accuracy ``epsilon``.
+
+        Never *loosens* an entry: if a tighter answer is already cached
+        under ``key`` its value is kept and only its LRU position is
+        refreshed.  Evicts least-recently-used entries beyond capacity.
+        """
+        if self.capacity == 0:
+            return
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or epsilon < entry.epsilon:
+                self._entries[key] = _Entry(float(epsilon), value)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept — they are lifetime
+        totals for the metrics endpoint)."""
+        with self._lock:
+            self._entries.clear()
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Snapshot: size, capacity, hits, misses, evictions, hit_rate."""
+        with self._lock:
+            lookups = self._hits + self._misses
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "hit_rate": self._hits / lookups if lookups else 0.0,
+            }

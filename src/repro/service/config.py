@@ -1,0 +1,116 @@
+"""Configuration for the long-lived PPR query service.
+
+:class:`ServiceConfig` gathers every serving knob — which graph/α the
+index is warmed for, the micro-batching window, cache sizing, and the
+HTTP bind address — in one frozen record, mirroring how
+:class:`~repro.core.config.PPRConfig` centralises the query-algorithm
+parameters.  ``repro serve --dry-run`` prints :meth:`describe` and
+exits, which the golden-output tests pin byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.config import PPRConfig
+from repro.exceptions import ConfigError
+
+__all__ = ["ServiceConfig"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Immutable serving configuration.
+
+    Attributes
+    ----------
+    graph, scale:
+        Dataset name (see ``repro datasets``) and scale factor the
+        service loads and warms at startup.
+    alpha, epsilon, budget_scale, seed, workers, push_backend:
+        The :class:`~repro.core.config.PPRConfig` fields the warmed
+        index and its solvers are built with; ``workers`` fans the
+        index *build* out over the parallel engine (queries themselves
+        are served by threads).
+    max_batch:
+        Most requests one batch-solver call may group.
+    max_wait_ms:
+        Deadline: a partially filled batch is flushed once its oldest
+        request has waited this long.
+    queue_capacity:
+        Bound on admitted-but-unserved requests; beyond it the
+        scheduler rejects with a retry-after hint (backpressure).
+    cache_entries:
+        Result-cache capacity in entries (``0`` disables caching).
+        Each entry stores one full estimate vector, so memory is about
+        ``cache_entries * num_nodes * 8`` bytes.
+    host, port:
+        HTTP bind address (``port=0`` lets the OS pick, handy in tests).
+    """
+
+    graph: str = "youtube"
+    scale: float = 0.25
+    alpha: float = 0.01
+    epsilon: float = 0.5
+    budget_scale: float = 0.05
+    seed: int = 2022
+    workers: int = 1
+    push_backend: str = "vectorized"
+    max_batch: int = 32
+    max_wait_ms: float = 10.0
+    queue_capacity: int = 256
+    cache_entries: int = 512
+    host: str = "127.0.0.1"
+    port: int = 8471
+
+    def __post_init__(self):
+        if self.max_batch < 1:
+            raise ConfigError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_wait_ms < 0:
+            raise ConfigError(
+                f"max_wait_ms must be >= 0, got {self.max_wait_ms}")
+        if self.queue_capacity < 1:
+            raise ConfigError(
+                f"queue_capacity must be >= 1, got {self.queue_capacity}")
+        if self.cache_entries < 0:
+            raise ConfigError(
+                f"cache_entries must be >= 0, got {self.cache_entries}")
+        if not 0 <= self.port <= 65535:
+            raise ConfigError(f"port must be in [0, 65535], got {self.port}")
+        if self.scale <= 0:
+            raise ConfigError(f"scale must be positive, got {self.scale}")
+        # delegate the query-parameter checks (alpha range, epsilon > 0,
+        # workers >= 0, known push backend) to PPRConfig
+        self.ppr_config()
+
+    # ------------------------------------------------------------------
+    def ppr_config(self) -> PPRConfig:
+        """The query configuration served requests are solved under."""
+        return PPRConfig(alpha=self.alpha, epsilon=self.epsilon,
+                         budget_scale=self.budget_scale, seed=self.seed,
+                         workers=self.workers,
+                         push_backend=self.push_backend)
+
+    def with_overrides(self, **changes) -> "ServiceConfig":
+        """Functional update helper (``dataclasses.replace`` wrapper)."""
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        """Deterministic multi-line rendering for ``serve --dry-run``."""
+        lines = ["service config:"]
+        for label, value in [
+                ("graph", f"{self.graph} (scale {self.scale})"),
+                ("alpha", self.alpha),
+                ("epsilon", self.epsilon),
+                ("budget_scale", self.budget_scale),
+                ("seed", self.seed),
+                ("workers", self.workers),
+                ("push_backend", self.push_backend),
+                ("max_batch", self.max_batch),
+                ("max_wait_ms", self.max_wait_ms),
+                ("queue_capacity", self.queue_capacity),
+                ("cache_entries", self.cache_entries),
+                ("bind", f"{self.host}:{self.port}"),
+        ]:
+            lines.append(f"  {label:<15} {value}")
+        return "\n".join(lines)

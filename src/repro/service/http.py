@@ -1,0 +1,146 @@
+"""Thin HTTP front end for :class:`~repro.service.service.PPRService`.
+
+Pure stdlib (:mod:`http.server` with the threading mixin — one thread
+per connection, which is plenty because the real concurrency lives in
+the micro-batching scheduler behind it).  Endpoints:
+
+- ``POST /query``  — body ``{"kind": "source"|"target", "node": int,
+  "alpha"?, "epsilon"?, "top"?}`` → top-k JSON;
+- ``POST /pair``   — body ``{"source": int, "target": int, "alpha"?,
+  "epsilon"?}`` → one π(s, t) value;
+- ``GET /healthz`` — liveness/readiness JSON;
+- ``GET /metrics`` — Prometheus text format.
+
+Error mapping: malformed body → 400, unknown path → 404, queue
+backpressure (:class:`~repro.service.scheduler.SchedulerFull`) → 429
+with a ``Retry-After`` header, configuration errors → 400, anything
+else → 500.  Responses are always JSON except ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.exceptions import ReproError
+from repro.service.scheduler import SchedulerFull
+from repro.service.service import PPRService
+
+__all__ = ["PPRServiceServer", "make_server", "serve_forever"]
+
+_MAX_BODY_BYTES = 1 << 20
+
+
+class PPRServiceServer(ThreadingHTTPServer):
+    """HTTP server bound to one :class:`PPRService` instance."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: tuple[str, int], service: PPRService):
+        super().__init__(address, _Handler)
+        self.service = service
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: PPRServiceServer
+    protocol_version = "HTTP/1.1"
+
+    # the default handler logs every request to stderr; route through
+    # nothing — the service has /metrics for observability
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+    # -- plumbing ------------------------------------------------------
+    def _send(self, status: int, payload, *,
+              content_type: str = "application/json",
+              headers: dict[str, str] | None = None) -> None:
+        body = (payload if isinstance(payload, bytes)
+                else json.dumps(payload).encode())
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if not 0 < length <= _MAX_BODY_BYTES:
+            raise ValueError(f"body length {length} outside "
+                             f"(0, {_MAX_BODY_BYTES}]")
+        payload = json.loads(self.rfile.read(length))
+        if not isinstance(payload, dict):
+            raise ValueError("body must be a JSON object")
+        return payload
+
+    # -- routes --------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path == "/healthz":
+            self._send(200, self.server.service.healthz())
+        elif self.path == "/metrics":
+            self._send(200, self.server.service.metrics_text().encode(),
+                       content_type="text/plain; version=0.0.4")
+        else:
+            self._send(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path not in ("/query", "/pair"):
+            self._send(404, {"error": f"unknown path {self.path!r}"})
+            return
+        try:
+            body = self._read_json()
+            service = self.server.service
+            if self.path == "/query":
+                payload = service.query(
+                    str(body.get("kind", "source")), int(body["node"]),
+                    alpha=_opt_float(body, "alpha"),
+                    epsilon=_opt_float(body, "epsilon"),
+                    top=int(body.get("top", 10)))
+            else:
+                payload = service.pair(
+                    int(body["source"]), int(body["target"]),
+                    alpha=_opt_float(body, "alpha"),
+                    epsilon=_opt_float(body, "epsilon"))
+        except SchedulerFull as full:
+            self._send(429, {"error": str(full),
+                             "retry_after": full.retry_after},
+                       headers={"Retry-After":
+                                f"{max(full.retry_after, 0.001):.3f}"})
+        except (KeyError, TypeError, ValueError,
+                json.JSONDecodeError) as error:
+            self._send(400, {"error": f"bad request: {error}"})
+        except ReproError as error:
+            self._send(400, {"error": str(error)})
+        except Exception as error:  # pragma: no cover - defensive
+            self._send(500, {"error": f"internal error: {error}"})
+        else:
+            self._send(200, payload)
+
+
+def _opt_float(body: dict, key: str) -> float | None:
+    value = body.get(key)
+    return None if value is None else float(value)
+
+
+def make_server(service: PPRService, host: str | None = None,
+                port: int | None = None) -> PPRServiceServer:
+    """Bind (without serving) — ``server.server_port`` has the real
+    port when ``port=0`` asked the OS to pick one."""
+    host = service.config.host if host is None else host
+    port = service.config.port if port is None else port
+    return PPRServiceServer((host, port), service)
+
+
+def serve_forever(server: PPRServiceServer, *,
+                  in_thread: bool = False) -> threading.Thread | None:
+    """Run the accept loop, optionally on a daemon thread (tests)."""
+    if in_thread:
+        thread = threading.Thread(target=server.serve_forever,
+                                  name="ppr-http", daemon=True)
+        thread.start()
+        return thread
+    server.serve_forever()
+    return None

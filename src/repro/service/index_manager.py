@@ -1,0 +1,232 @@
+r"""Index lifecycle for the serving layer.
+
+The paper's §5.3 structural fact — forests are query-independent — is
+what makes a *long-lived* service the right shape: one
+:class:`~repro.montecarlo.forest_index.ForestIndex` bank per
+``(graph, α)`` pair serves every request, with only the cheap push
+stage per query.  :class:`IndexManager` owns those banks:
+
+- **build / warm** — banks are built on first use (or eagerly via
+  :meth:`warm`), fanned out over the parallel engine when
+  ``workers > 1``;
+- **keying** — one bank per ``(graph, α)``; solvers are keyed
+  ``(graph, α, ε, kind)`` and *borrow* the shared bank through the
+  batch solvers' ``index=`` injection, so an ε change never resamples
+  forests;
+- **background refresh with atomic swap** — :meth:`refresh` rebuilds a
+  bank off-thread under a fresh deterministic seed and swaps it (and
+  drops the solvers borrowing the old one) under the manager lock;
+  in-flight queries keep the bank they already hold, new queries see
+  the new generation;
+- **memory accounting** — :meth:`memory_bytes` / :meth:`stats` report
+  per-bank and total footprint via the index-size machinery the Fig-6
+  experiment already uses.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+
+from repro.core.batch import BatchSourceSolver, BatchTargetSolver
+from repro.core.config import PPRConfig
+from repro.exceptions import ConfigError
+from repro.graph.csr import Graph
+from repro.montecarlo.forest_index import ForestIndex
+
+__all__ = ["IndexManager"]
+
+
+class _ManagedIndex:
+    """One (graph, α) bank plus its provenance."""
+
+    def __init__(self, index: ForestIndex, generation: int, seed: int):
+        self.index = index
+        self.generation = generation
+        self.seed = seed
+        self.built_at = time.time()
+
+
+class IndexManager:
+    """Owns graph registrations, forest banks, and borrowed solvers.
+
+    Parameters
+    ----------
+    config:
+        Baseline :class:`~repro.core.config.PPRConfig`; per-request ε
+        overrides it at solver-build time, everything else (seed,
+        budget scale, push backend, build workers) comes from here.
+    num_forests:
+        Bank size; defaults to
+        :meth:`ForestIndex.recommended_size` for the baseline ε.
+    """
+
+    def __init__(self, config: PPRConfig | None = None, *,
+                 num_forests: int | None = None):
+        self.config = config or PPRConfig()
+        self.num_forests = num_forests
+        self._graphs: dict[str, Graph] = {}
+        self._indexes: dict[tuple[str, float], _ManagedIndex] = {}
+        self._solvers: dict[tuple, BatchSourceSolver | BatchTargetSolver] = {}
+        self._lock = threading.RLock()
+        self._builds = 0
+
+    # -- graph registry ------------------------------------------------
+    def register_graph(self, name: str, graph: Graph) -> None:
+        """Register ``graph`` under ``name`` for later index builds."""
+        with self._lock:
+            self._graphs[name] = graph
+
+    def graph(self, name: str) -> Graph:
+        """The registered graph, or :class:`ConfigError` if unknown."""
+        with self._lock:
+            if name not in self._graphs:
+                raise ConfigError(
+                    f"unknown graph {name!r}; registered: "
+                    f"{sorted(self._graphs)}")
+            return self._graphs[name]
+
+    # -- bank lifecycle ------------------------------------------------
+    def _build_seed(self, name: str, alpha: float, generation: int) -> int:
+        """Deterministic per-(graph, α, generation) build seed."""
+        base = self.config.seed or 0
+        salt = zlib.crc32(f"{name}:{alpha!r}".encode())
+        return (base + salt + generation) % (2**31)
+
+    def _build(self, name: str, alpha: float,
+               generation: int) -> _ManagedIndex:
+        graph = self.graph(name)
+        size = self.num_forests or ForestIndex.recommended_size(
+            graph, self.config.epsilon)
+        seed = self._build_seed(name, alpha, generation)
+        index = ForestIndex.build(graph, alpha, size, rng=seed,
+                                  method=self.config.sampler,
+                                  workers=self.config.workers)
+        with self._lock:
+            self._builds += 1
+        return _ManagedIndex(index, generation, seed)
+
+    def get_index(self, name: str, alpha: float | None = None) -> ForestIndex:
+        """The bank for ``(name, α)``, building it on first use."""
+        alpha = self.config.alpha if alpha is None else float(alpha)
+        key = (name, alpha)
+        with self._lock:
+            managed = self._indexes.get(key)
+            if managed is not None:
+                return managed.index
+        # build outside the lock (it can take seconds); last writer
+        # wins, which is fine because both builds are deterministic
+        # from the same generation-0 seed
+        managed = self._build(name, alpha, generation=0)
+        with self._lock:
+            existing = self._indexes.get(key)
+            if existing is not None:
+                return existing.index
+            self._indexes[key] = managed
+            return managed.index
+
+    def warm(self, name: str, alpha: float | None = None) -> ForestIndex:
+        """Eagerly build the bank (alias of :meth:`get_index`)."""
+        return self.get_index(name, alpha)
+
+    def refresh(self, name: str, alpha: float | None = None, *,
+                block: bool = True) -> threading.Thread:
+        """Rebuild the ``(name, α)`` bank and atomically swap it in.
+
+        The replacement is sampled under the next generation's seed, so
+        refreshing genuinely redraws the forests (deterministically —
+        generation ``g`` always yields the same bank).  With
+        ``block=False`` the rebuild runs on a daemon thread and the
+        swap happens whenever it finishes; either way solvers borrowing
+        the old bank are dropped at swap time so the next request binds
+        the new generation, while queries already executing keep their
+        reference (the old bank stays alive until they return).
+        """
+        alpha = self.config.alpha if alpha is None else float(alpha)
+        key = (name, alpha)
+        with self._lock:
+            current = self._indexes.get(key)
+            generation = current.generation + 1 if current else 0
+
+        def rebuild():
+            managed = self._build(name, alpha, generation)
+            with self._lock:
+                self._indexes[key] = managed
+                for solver_key in [k for k in self._solvers
+                                   if k[0] == name and k[1] == alpha]:
+                    del self._solvers[solver_key]
+
+        thread = threading.Thread(target=rebuild, name=f"refresh-{name}",
+                                  daemon=True)
+        thread.start()
+        if block:
+            thread.join()
+        return thread
+
+    def drop(self, name: str, alpha: float | None = None) -> None:
+        """Forget the bank and solvers for ``(name, α)`` (if any)."""
+        alpha = self.config.alpha if alpha is None else float(alpha)
+        with self._lock:
+            self._indexes.pop((name, alpha), None)
+            for solver_key in [k for k in self._solvers
+                               if k[0] == name and k[1] == alpha]:
+                del self._solvers[solver_key]
+
+    # -- solvers -------------------------------------------------------
+    def get_solver(self, name: str, kind: str, alpha: float | None = None,
+                   epsilon: float | None = None):
+        """A batch solver for ``(name, α, ε, kind)`` borrowing the bank.
+
+        ``kind`` is ``"source"`` or ``"target"``.  Solvers are cached;
+        all ε values for one ``(graph, α)`` share one forest bank.
+        """
+        alpha = self.config.alpha if alpha is None else float(alpha)
+        epsilon = self.config.epsilon if epsilon is None else float(epsilon)
+        if kind not in ("source", "target"):
+            raise ConfigError(f"kind must be 'source' or 'target', "
+                              f"got {kind!r}")
+        key = (name, alpha, epsilon, kind)
+        with self._lock:
+            solver = self._solvers.get(key)
+            if solver is not None:
+                return solver
+        index = self.get_index(name, alpha)
+        cls = BatchSourceSolver if kind == "source" else BatchTargetSolver
+        solver = cls(self.graph(name),
+                     config=self.config.with_overrides(
+                         alpha=alpha, epsilon=epsilon),
+                     index=index)
+        with self._lock:
+            return self._solvers.setdefault(key, solver)
+
+    # -- accounting ----------------------------------------------------
+    def generation(self, name: str, alpha: float | None = None) -> int:
+        """Refresh generation of the bank (-1 if not built yet)."""
+        alpha = self.config.alpha if alpha is None else float(alpha)
+        with self._lock:
+            managed = self._indexes.get((name, alpha))
+            return managed.generation if managed else -1
+
+    def memory_bytes(self) -> int:
+        """Total footprint of every resident bank."""
+        with self._lock:
+            managed = list(self._indexes.values())
+        return sum(entry.index.size_bytes for entry in managed)
+
+    def stats(self) -> dict:
+        """Snapshot: builds, per-bank size/generation, total bytes."""
+        with self._lock:
+            managed = dict(self._indexes)
+            builds = self._builds
+            solvers = len(self._solvers)
+        banks = {
+            f"{name}@{alpha}": {
+                "num_forests": entry.index.num_forests,
+                "size_bytes": entry.index.size_bytes,
+                "generation": entry.generation,
+                "build_seconds": entry.index.build_seconds,
+            }
+            for (name, alpha), entry in sorted(managed.items())}
+        return {"builds": builds, "solvers": solvers, "banks": banks,
+                "memory_bytes": sum(b["size_bytes"] for b in banks.values())}

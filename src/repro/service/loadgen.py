@@ -1,0 +1,185 @@
+"""Closed-loop HTTP load generator for the PPR service.
+
+Each of ``concurrency`` clients issues its next request only after the
+previous one completes (closed loop), drawing source nodes from a
+Zipf-like distribution — the workload shape the paper's Fig-12
+query-distribution experiment uses and the shape real PPR serving
+sees (a heavy head of popular seeds).  Doubles as the CI smoke
+checker:
+
+    python -m repro.service.loadgen --url http://127.0.0.1:8471 \
+        --requests 64 --concurrency 8 --check-metrics
+
+exits non-zero unless every request returned 200 with valid JSON and
+(with ``--check-metrics``) the ``/metrics`` endpoint shows non-zero
+request/batch counters and a populated latency summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+
+__all__ = ["run_load", "main"]
+
+
+def _post_json(url: str, payload: dict, timeout: float = 30.0) -> dict:
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"}, method="POST")
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.loads(response.read())
+
+
+def _get(url: str, timeout: float = 10.0) -> str:
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.read().decode()
+
+
+def zipf_nodes(num_nodes: int, count: int, *, exponent: float = 1.1,
+               seed: int = 2022) -> np.ndarray:
+    """``count`` node ids with Zipf(``exponent``) popularity over the
+    node range (ranks clipped into ``[0, num_nodes)``)."""
+    rng = np.random.default_rng(seed)
+    ranks = rng.zipf(exponent, size=count)
+    return np.minimum(ranks - 1, num_nodes - 1).astype(np.int64)
+
+
+def run_load(base_url: str, *, requests: int = 64, concurrency: int = 8,
+             num_nodes: int | None = None, kind: str = "source",
+             zipf_exponent: float = 1.1, seed: int = 2022,
+             timeout: float = 30.0) -> dict:
+    """Fire a closed-loop burst; returns an outcome summary dict.
+
+    ``num_nodes`` defaults to what ``/healthz`` is willing to admit —
+    node 0 only — so pass the real graph size for a spread workload.
+    """
+    nodes = zipf_nodes(num_nodes or 1, requests, exponent=zipf_exponent,
+                       seed=seed)
+    cursor = {"next": 0}
+    lock = threading.Lock()
+    outcomes: list[dict] = []
+
+    def client():
+        while True:
+            with lock:
+                position = cursor["next"]
+                if position >= requests:
+                    return
+                cursor["next"] += 1
+            node = int(nodes[position])
+            started = time.perf_counter()
+            try:
+                payload = _post_json(f"{base_url}/query",
+                                     {"kind": kind, "node": node},
+                                     timeout=timeout)
+                outcome = {"ok": "top" in payload,
+                           "cached": payload.get("cached", False)}
+            except urllib.error.HTTPError as error:
+                outcome = {"ok": False, "status": error.code}
+            except Exception as error:  # connection refused, timeout, ...
+                outcome = {"ok": False, "error": str(error)}
+            outcome["seconds"] = time.perf_counter() - started
+            with lock:
+                outcomes.append(outcome)
+
+    started = time.perf_counter()
+    threads = [threading.Thread(target=client, daemon=True)
+               for _ in range(max(1, concurrency))]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    succeeded = sum(1 for outcome in outcomes if outcome["ok"])
+    return {
+        "requests": requests,
+        "succeeded": succeeded,
+        "failed": requests - succeeded,
+        "cached": sum(1 for o in outcomes if o.get("cached")),
+        "seconds": elapsed,
+        "throughput_qps": requests / elapsed if elapsed else 0.0,
+    }
+
+
+def check_metrics(base_url: str) -> list[str]:
+    """Return failure messages (empty = the smoke assertions hold)."""
+    text = _get(f"{base_url}/metrics")
+    failures = []
+
+    def value_of(prefix: str) -> float | None:
+        for line in text.splitlines():
+            if line.startswith(prefix) and not line.startswith("#"):
+                try:
+                    return float(line.rsplit(None, 1)[1])
+                except ValueError:
+                    return None
+        return None
+
+    for metric in ("repro_service_batches_total",
+                   "repro_service_batch_size_count",
+                   "repro_service_latency_seconds_count"):
+        value = value_of(metric)
+        if not value:
+            failures.append(f"{metric} missing or zero (got {value})")
+    for metric in ("repro_service_queue_depth",
+                   "repro_service_cache_hit_rate",
+                   'repro_service_latency_seconds{quantile="0.99"}'):
+        if value_of(metric) is None:
+            failures.append(f"{metric} missing")
+    if value_of('repro_service_requests_total{endpoint="source"}') is None:
+        failures.append("per-endpoint request counter missing")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code (non-zero = smoke
+    failure)."""
+    parser = argparse.ArgumentParser(
+        prog="repro.service.loadgen",
+        description="closed-loop load generator / smoke checker")
+    parser.add_argument("--url", required=True,
+                        help="service base url, e.g. http://127.0.0.1:8471")
+    parser.add_argument("--requests", type=int, default=64)
+    parser.add_argument("--concurrency", type=int, default=8)
+    parser.add_argument("--num-nodes", type=int, default=None,
+                        help="node-id range for the Zipf stream "
+                             "(default: read from /healthz)")
+    parser.add_argument("--zipf", type=float, default=1.1)
+    parser.add_argument("--seed", type=int, default=2022)
+    parser.add_argument("--check-metrics", action="store_true",
+                        help="also assert /metrics is populated")
+    args = parser.parse_args(argv)
+
+    num_nodes = args.num_nodes
+    if num_nodes is None:
+        health = json.loads(_get(f"{args.url}/healthz"))
+        num_nodes = int(health.get("num_nodes", 1))
+    summary = run_load(args.url, requests=args.requests,
+                       concurrency=args.concurrency, num_nodes=num_nodes,
+                       zipf_exponent=args.zipf, seed=args.seed)
+    print(json.dumps(summary, indent=2))
+    code = 0
+    if summary["failed"]:
+        print(f"FAIL: {summary['failed']} request(s) failed",
+              file=sys.stderr)
+        code = 1
+    if args.check_metrics:
+        failures = check_metrics(args.url)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        code = code or (1 if failures else 0)
+    if code == 0:
+        print("load burst ok")
+    return code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,230 @@
+"""Service metrics: latency rings, batch histogram, Prometheus text.
+
+The serving layer reports two kinds of numbers:
+
+- machine-independent *work* — the same
+  :class:`~repro.counters.WorkCounters` threaded through every sampler
+  and push kernel, aggregated across scheduler batches under a lock
+  (the counters themselves are deliberately unsynchronised, see
+  :meth:`~repro.counters.WorkCounters.merge`);
+- *serving* statistics — request/rejection totals, queue depth, batch
+  sizes, and request latency quantiles from fixed-size rings.
+
+Everything is exposed in Prometheus text format (v0.0.4) by
+:meth:`ServiceMetrics.render`, which is what the HTTP front end serves
+at ``/metrics``.  Gauges owned by other components (queue depth, cache
+stats, index footprint) are *pulled* at render time through registered
+callables, so the registry never holds stale copies.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+import numpy as np
+
+from repro.counters import WorkCounters
+
+__all__ = ["LatencyRing", "BatchSizeHistogram", "ServiceMetrics"]
+
+#: Upper bucket bounds for the batch-size histogram (plus +Inf).
+BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+class LatencyRing:
+    """Fixed-size ring of the most recent latencies, for quantiles.
+
+    A bounded ring keeps the quantile computation O(window) regardless
+    of service uptime and naturally weights towards recent traffic —
+    the behaviour expected of a p99 gauge.
+    """
+
+    def __init__(self, window: int = 2048):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self._values = np.zeros(window)
+        self._next = 0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def record(self, seconds: float) -> None:
+        """Add one observation (thread-safe)."""
+        with self._lock:
+            self._values[self._next] = seconds
+            self._next = (self._next + 1) % self._values.size
+            self._count = min(self._count + 1, self._values.size)
+
+    @property
+    def count(self) -> int:
+        """Observations recorded (lifetime, capped reporting window)."""
+        return self._count
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile over the current window (0.0 if empty)."""
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            return float(np.quantile(self._values[:self._count], q))
+
+
+class BatchSizeHistogram:
+    """Cumulative-bucket histogram of executed batch sizes."""
+
+    def __init__(self, bounds=BATCH_SIZE_BUCKETS):
+        self.bounds = tuple(bounds)
+        self._counts = [0] * (len(self.bounds) + 1)  # trailing +Inf
+        self._sum = 0
+        self._total = 0
+        self._lock = threading.Lock()
+
+    def record(self, size: int) -> None:
+        """Account one executed batch of ``size`` requests."""
+        with self._lock:
+            for i, bound in enumerate(self.bounds):
+                if size <= bound:
+                    self._counts[i] += 1
+                    break
+            else:
+                self._counts[-1] += 1
+            self._sum += size
+            self._total += 1
+
+    def snapshot(self) -> dict:
+        """``{"buckets": [(le, cumulative), ...], "sum": .., "count": ..}``."""
+        with self._lock:
+            cumulative = []
+            running = 0
+            for bound, count in zip(self.bounds, self._counts):
+                running += count
+                cumulative.append((str(bound), running))
+            cumulative.append(("+Inf", running + self._counts[-1]))
+            return {"buckets": cumulative, "sum": self._sum,
+                    "count": self._total}
+
+
+class ServiceMetrics:
+    """Aggregation point for every number ``/metrics`` exposes."""
+
+    def __init__(self, latency_window: int = 2048):
+        self.work = WorkCounters()
+        self.latency = LatencyRing(latency_window)
+        self.batch_sizes = BatchSizeHistogram()
+        self._lock = threading.Lock()
+        self._requests: dict[str, int] = {}
+        self._rejected = 0
+        self._batches = 0
+        self._errors = 0
+        self._gauges: dict[str, Callable[[], dict | float]] = {}
+
+    # ------------------------------------------------------------------
+    def record_request(self, endpoint: str, seconds: float) -> None:
+        """One completed request on ``endpoint`` taking ``seconds``."""
+        with self._lock:
+            self._requests[endpoint] = self._requests.get(endpoint, 0) + 1
+        self.latency.record(seconds)
+
+    def record_rejection(self) -> None:
+        """One request rejected by backpressure."""
+        with self._lock:
+            self._rejected += 1
+
+    def record_error(self) -> None:
+        """One request that raised past the solver."""
+        with self._lock:
+            self._errors += 1
+
+    def record_batch(self, size: int, work: WorkCounters | dict) -> None:
+        """One executed scheduler batch and the work it performed."""
+        self.batch_sizes.record(size)
+        with self._lock:
+            self._batches += 1
+            self.work.merge(work)
+
+    def register_gauge(self, name: str, supplier: Callable) -> None:
+        """Register a pull-at-render-time gauge.
+
+        ``supplier`` returns either a float (one gauge line) or a
+        ``{label_suffix: value}`` dict (one line per entry, the suffix
+        appended to the metric name as-is, e.g. a ``{...}`` label set).
+        """
+        self._gauges[name] = supplier
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Plain-dict summary (tests and ``/healthz`` read this)."""
+        with self._lock:
+            requests = dict(self._requests)
+            rejected, batches, errors = (self._rejected, self._batches,
+                                         self._errors)
+            work = self.work.snapshot_dict()
+        return {
+            "requests": requests,
+            "rejected": rejected,
+            "batches": batches,
+            "errors": errors,
+            "work": work,
+            "latency_p50": self.latency.quantile(0.5),
+            "latency_p99": self.latency.quantile(0.99),
+            "batch_size": self.batch_sizes.snapshot(),
+        }
+
+    def render(self) -> str:
+        """Prometheus text-format (v0.0.4) exposition."""
+        snap = self.snapshot()
+        lines: list[str] = []
+
+        def emit(name: str, kind: str, help_text: str, samples) -> None:
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            for suffix, value in samples:
+                lines.append(f"{name}{suffix} {_fmt(value)}")
+
+        emit("repro_service_requests_total", "counter",
+             "Completed requests by endpoint.",
+             [(f'{{endpoint="{ep}"}}', count)
+              for ep, count in sorted(snap["requests"].items())] or
+             [('{endpoint="query"}', 0)])
+        emit("repro_service_rejected_total", "counter",
+             "Requests rejected by queue backpressure.",
+             [("", snap["rejected"])])
+        emit("repro_service_errors_total", "counter",
+             "Requests that failed with an internal error.",
+             [("", snap["errors"])])
+        emit("repro_service_batches_total", "counter",
+             "Micro-batches executed by the scheduler.",
+             [("", snap["batches"])])
+
+        hist = snap["batch_size"]
+        emit("repro_service_batch_size", "histogram",
+             "Requests grouped per executed micro-batch.",
+             [(f'_bucket{{le="{le}"}}', count)
+              for le, count in hist["buckets"]]
+             + [("_sum", hist["sum"]), ("_count", hist["count"])])
+
+        emit("repro_service_latency_seconds", "summary",
+             "Request latency over the recent window.",
+             [('{quantile="0.5"}', snap["latency_p50"]),
+              ('{quantile="0.99"}', snap["latency_p99"]),
+              ("_count", self.latency.count)])
+
+        for name, value in sorted(snap["work"].items()):
+            if name == "total":
+                continue
+            emit(f"repro_service_work_{name}_total", "counter",
+                 f"Aggregated WorkCounters field '{name}'.",
+                 [("", value)])
+
+        for name, supplier in sorted(self._gauges.items()):
+            value = supplier()
+            samples = (sorted(value.items()) if isinstance(value, dict)
+                       else [("", value)])
+            emit(name, "gauge", "Pulled at render time.", samples)
+
+        return "\n".join(lines) + "\n"
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)

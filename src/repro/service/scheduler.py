@@ -1,0 +1,271 @@
+r"""Micro-batching scheduler: group compatible queries, share the bank.
+
+A forest bank answers any number of queries, but every solver call has
+fixed per-call overhead (push setup, estimator fold dispatch) and —
+more importantly for a service — every *naive per-request* path
+resamples its forests from scratch.  The scheduler sits between the
+front end and the batch solvers and
+
+- admits requests into a **bounded queue** (total across groups);
+  beyond ``queue_capacity`` it rejects with
+  :class:`SchedulerFull` carrying a ``retry_after`` hint
+  (backpressure, surfaced as HTTP 429);
+- groups requests by **compatibility key** ``(graph, kind, α, ε)`` —
+  requests that can share one batch-solver call.  Incompatible
+  configurations are never mixed: a group's batch binds exactly one
+  solver;
+- flushes a group when it reaches **max_batch** or when its oldest
+  request has waited **max_wait** (deadline-based flush), whichever
+  comes first.  A deadline wake-up that finds the group already
+  drained is a no-op, not an error.
+
+Results are per-request :class:`~repro.core.result.PPRResult` objects
+— bit-identical to calling the underlying solver directly, because a
+batch is exactly ``[solver.query(r.node) for r in batch]`` against the
+shared deterministic bank.  Batching changes *when* work happens,
+never *what* is computed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigError, ReproError
+from repro.service.index_manager import IndexManager
+from repro.service.metrics import ServiceMetrics
+
+__all__ = ["QueryRequest", "SchedulerFull", "MicroBatchScheduler"]
+
+
+class SchedulerFull(ReproError):
+    """Raised when the admission queue is at capacity.
+
+    ``retry_after`` is the suggested client back-off in seconds (one
+    flush window — by then at least one batch has drained).
+    """
+
+    def __init__(self, depth: int, retry_after: float):
+        super().__init__(
+            f"scheduler queue full ({depth} pending); "
+            f"retry after {retry_after:.3f}s")
+        self.depth = depth
+        self.retry_after = retry_after
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One admitted query.
+
+    ``kind`` is ``"source"``, ``"target"`` or ``"pair"``; pairs ride
+    the single-target solver (π(s, t) is entry ``s`` of the
+    ``π(·, t)`` column), so they batch together with plain target
+    queries for the same configuration.
+    """
+
+    graph: str
+    kind: str
+    node: int
+    alpha: float
+    epsilon: float
+    source: int | None = None  # pair queries: the row to read out
+
+    def __post_init__(self):
+        if self.kind not in ("source", "target", "pair"):
+            raise ConfigError(
+                f"kind must be source/target/pair, got {self.kind!r}")
+        if self.kind == "pair" and self.source is None:
+            raise ConfigError("pair requests need source=")
+
+    @property
+    def solver_kind(self) -> str:
+        """Which batch solver serves this request."""
+        return "source" if self.kind == "source" else "target"
+
+    @property
+    def group_key(self) -> tuple:
+        """Compatibility key — requests sharing it may share a batch."""
+        return (self.graph, self.solver_kind, self.alpha, self.epsilon)
+
+
+class _Pending:
+    """A request waiting in the queue plus its completion latch."""
+
+    __slots__ = ("request", "event", "result", "error", "enqueued_at")
+
+    def __init__(self, request: QueryRequest, enqueued_at: float):
+        self.request = request
+        self.event = threading.Event()
+        self.result = None
+        self.error: BaseException | None = None
+        self.enqueued_at = enqueued_at
+
+    def resolve(self, timeout: float | None = None):
+        if not self.event.wait(timeout):
+            raise TimeoutError("scheduler did not answer in time")
+        if self.error is not None:
+            raise self.error
+        return self.result
+
+
+class MicroBatchScheduler:
+    """Deadline-flushed, bounded, compatibility-grouped batcher."""
+
+    def __init__(self, index_manager: IndexManager, *,
+                 max_batch: int = 32, max_wait_ms: float = 10.0,
+                 queue_capacity: int = 256,
+                 metrics: ServiceMetrics | None = None,
+                 executors: int = 1):
+        if max_batch < 1:
+            raise ConfigError(f"max_batch must be >= 1, got {max_batch}")
+        if queue_capacity < 1:
+            raise ConfigError(
+                f"queue_capacity must be >= 1, got {queue_capacity}")
+        self.index_manager = index_manager
+        self.max_batch = int(max_batch)
+        self.max_wait = float(max_wait_ms) / 1000.0
+        self.queue_capacity = int(queue_capacity)
+        self.metrics = metrics
+        self._groups: OrderedDict[tuple, deque[_Pending]] = OrderedDict()
+        self._depth = 0
+        self._cond = threading.Condition()
+        self._stop = threading.Event()
+        self._threads = [
+            threading.Thread(target=self._loop, daemon=True,
+                             name=f"ppr-batch-{i}")
+            for i in range(max(1, executors))]
+        self._started = False
+        self.batches_executed = 0
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "MicroBatchScheduler":
+        """Start the executor thread(s); idempotent."""
+        if not self._started:
+            self._started = True
+            for thread in self._threads:
+                thread.start()
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the executors, optionally draining pending requests."""
+        if drain:
+            deadline = time.monotonic() + max(1.0, 50 * self.max_wait)
+            with self._cond:
+                while self._depth and time.monotonic() < deadline:
+                    self._cond.wait(timeout=0.05)
+        self._stop.set()
+        with self._cond:
+            self._cond.notify_all()
+        for thread in self._threads:
+            if thread.is_alive():
+                thread.join(timeout=2.0)
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests admitted but not yet handed to a solver."""
+        with self._cond:
+            return self._depth
+
+    # -- admission -----------------------------------------------------
+    def submit_nowait(self, request: QueryRequest) -> _Pending:
+        """Admit ``request``; raises :class:`SchedulerFull` at capacity."""
+        now = time.monotonic()
+        with self._cond:
+            if self._depth >= self.queue_capacity:
+                raise SchedulerFull(self._depth,
+                                    retry_after=max(self.max_wait, 0.001))
+            pending = _Pending(request, now)
+            self._groups.setdefault(request.group_key,
+                                    deque()).append(pending)
+            self._depth += 1
+            self._cond.notify()
+            return pending
+
+    def submit(self, request: QueryRequest, timeout: float | None = 30.0):
+        """Admit and block until the batch containing it executes.
+
+        Returns the request's :class:`~repro.core.result.PPRResult`
+        (pair requests included — the caller reads out entry
+        ``request.source``).
+        """
+        return self.submit_nowait(request).resolve(timeout)
+
+    # -- executor loop -------------------------------------------------
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            with self._cond:
+                batch = self._collect_locked(time.monotonic())
+                if batch is None:
+                    self._cond.wait(timeout=self._next_wait_locked())
+                    continue
+            self._execute(batch)
+
+    def _collect_locked(self, now: float) -> list[_Pending] | None:
+        """Pop one ready batch, or ``None`` when nothing is due.
+
+        Ready = a group at ``max_batch``, or any group whose oldest
+        request has aged past the flush deadline.  Groups whose
+        deadline fires after being drained by another executor simply
+        no longer exist here — the empty-flush case is a silent no-op.
+        """
+        for key, group in self._groups.items():
+            if (len(group) >= self.max_batch
+                    or now - group[0].enqueued_at >= self.max_wait):
+                batch = [group.popleft()
+                         for _ in range(min(self.max_batch, len(group)))]
+                if not group:
+                    del self._groups[key]
+                self._depth -= len(batch)
+                self._cond.notify_all()
+                return batch
+        return None
+
+    def _next_wait_locked(self) -> float | None:
+        """Seconds until the earliest group deadline (None = idle)."""
+        if not self._groups:
+            return None
+        now = time.monotonic()
+        oldest = min(group[0].enqueued_at
+                     for group in self._groups.values())
+        return max(oldest + self.max_wait - now, 0.0)
+
+    def _execute(self, batch: list[_Pending]) -> None:
+        request = batch[0].request
+        try:
+            solver = self.index_manager.get_solver(
+                request.graph, request.solver_kind,
+                alpha=request.alpha, epsilon=request.epsilon)
+        except BaseException as error:  # propagate to every waiter
+            for pending in batch:
+                pending.error = error
+                pending.event.set()
+            if self.metrics is not None:
+                self.metrics.record_error()
+            return
+        work_sum = None
+        try:
+            results = solver.query_many(
+                [pending.request.node for pending in batch])
+        except BaseException as error:
+            for pending in batch:
+                pending.error = error
+                pending.event.set()
+            if self.metrics is not None:
+                self.metrics.record_error()
+                self.metrics.record_batch(len(batch), {})
+            with self._cond:
+                self.batches_executed += 1
+            return
+        for pending, result in zip(batch, results):
+            work_sum = (result.work if work_sum is None
+                        else work_sum.merge(result.work))
+            pending.result = result
+            pending.event.set()
+        with self._cond:
+            self.batches_executed += 1
+        if self.metrics is not None and work_sum is not None:
+            self.metrics.record_batch(len(batch), work_sum)
+        elif self.metrics is not None:
+            self.metrics.record_batch(len(batch), {})

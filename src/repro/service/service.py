@@ -1,0 +1,217 @@
+"""The PPR query service facade: cache → scheduler → solvers.
+
+:class:`PPRService` is the embeddable composition of the four serving
+components — :class:`~repro.service.index_manager.IndexManager`,
+:class:`~repro.service.scheduler.MicroBatchScheduler`,
+:class:`~repro.service.cache.ResultCache`,
+:class:`~repro.service.metrics.ServiceMetrics` — behind three calls:
+:meth:`query`, :meth:`pair`, :meth:`healthz` (plus
+:meth:`metrics_text` for Prometheus scrapes).  The HTTP front end in
+:mod:`repro.service.http` is a thin JSON shim over exactly these
+methods; benchmarks and tests drive the facade in-process to keep the
+network out of the measurement.
+
+Every answer is bit-identical to a direct
+:class:`~repro.core.batch.BatchSourceSolver` /
+:class:`~repro.core.batch.BatchTargetSolver` call against the same
+bank — batching and caching change latency and throughput, never the
+estimates.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.result import PPRResult
+from repro.exceptions import ConfigError
+from repro.graph.csr import Graph
+from repro.graph.datasets import load_dataset
+from repro.service.cache import ResultCache, cache_key
+from repro.service.config import ServiceConfig
+from repro.service.index_manager import IndexManager
+from repro.service.metrics import ServiceMetrics
+from repro.service.scheduler import (
+    MicroBatchScheduler,
+    QueryRequest,
+    SchedulerFull,
+)
+
+__all__ = ["PPRService"]
+
+
+class PPRService:
+    """Long-lived serving layer over one (or more) registered graphs.
+
+    Examples
+    --------
+    >>> from repro.graph.generators import erdos_renyi
+    >>> from repro.service import PPRService, ServiceConfig
+    >>> config = ServiceConfig(graph="demo", alpha=0.2, seed=7,
+    ...                        max_wait_ms=1.0, budget_scale=0.05)
+    >>> with PPRService(config, graph=erdos_renyi(40, 0.2, rng=7)) as svc:
+    ...     payload = svc.query("source", 0, top=3)
+    >>> payload["kind"], len(payload["top"])
+    ('source', 3)
+    """
+
+    def __init__(self, config: ServiceConfig | None = None, *,
+                 graph: Graph | None = None):
+        self.config = config or ServiceConfig()
+        if graph is None:
+            graph = load_dataset(self.config.graph, scale=self.config.scale)
+        self.index_manager = IndexManager(self.config.ppr_config())
+        self.index_manager.register_graph(self.config.graph, graph)
+        self.cache = ResultCache(self.config.cache_entries)
+        self.metrics = ServiceMetrics()
+        self.scheduler = MicroBatchScheduler(
+            self.index_manager,
+            max_batch=self.config.max_batch,
+            max_wait_ms=self.config.max_wait_ms,
+            queue_capacity=self.config.queue_capacity,
+            metrics=self.metrics)
+        self.metrics.register_gauge(
+            "repro_service_queue_depth",
+            lambda: float(self.scheduler.queue_depth))
+        self.metrics.register_gauge(
+            "repro_service_cache",
+            lambda: {f"_{key}": float(value)
+                     for key, value in self.cache.stats().items()})
+        self.metrics.register_gauge(
+            "repro_service_index_bytes",
+            lambda: {f'{{bank="{bank}"}}': float(entry["size_bytes"])
+                     for bank, entry
+                     in self.index_manager.stats()["banks"].items()}
+            or {"": 0.0})
+        self._started_at = time.time()
+        self._running = False
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self, warm: bool = True) -> "PPRService":
+        """Warm the default bank and start the scheduler; idempotent."""
+        if warm:
+            self.index_manager.warm(self.config.graph, self.config.alpha)
+        self.scheduler.start()
+        self._running = True
+        return self
+
+    def stop(self) -> None:
+        """Drain and stop the scheduler."""
+        if self._running:
+            self.scheduler.stop(drain=True)
+            self._running = False
+
+    def __enter__(self) -> "PPRService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb):
+        self.stop()
+        return False
+
+    # -- raw query path (benchmarks / tests) ---------------------------
+    def query_result(self, kind: str, node: int, *,
+                     alpha: float | None = None,
+                     epsilon: float | None = None,
+                     use_cache: bool = True) -> tuple[PPRResult, bool]:
+        """Answer one query; returns ``(result, was_cache_hit)``.
+
+        ``kind`` is ``"source"`` or ``"target"``; pair queries go
+        through the target path (see :meth:`pair`).  The result is
+        bit-identical to ``solver.query(node)`` on the corresponding
+        batch solver.
+        """
+        if kind not in ("source", "target"):
+            raise ConfigError(f"kind must be 'source' or 'target', "
+                              f"got {kind!r}")
+        alpha = self.config.alpha if alpha is None else float(alpha)
+        epsilon = self.config.epsilon if epsilon is None else float(epsilon)
+        graph = self.index_manager.graph(self.config.graph)
+        if not 0 <= int(node) < graph.num_nodes:
+            # validate before admission so one bad node can never fail
+            # the whole micro-batch it would have joined
+            raise ConfigError(f"{kind} node {node} out of range "
+                              f"[0, {graph.num_nodes})")
+        key = cache_key(self.config.graph, "batch", kind, int(node), alpha)
+        started = time.perf_counter()
+        if use_cache:
+            cached = self.cache.get(key, epsilon)
+            if cached is not None:
+                self.metrics.record_request(kind, time.perf_counter()
+                                            - started)
+                return cached, True
+        try:
+            result = self.scheduler.submit(QueryRequest(
+                graph=self.config.graph, kind=kind, node=int(node),
+                alpha=alpha, epsilon=epsilon))
+        except SchedulerFull:
+            self.metrics.record_rejection()
+            raise
+        if use_cache:
+            self.cache.put(key, epsilon, result)
+        self.metrics.record_request(kind, time.perf_counter() - started)
+        return result, False
+
+    # -- JSON-shaped endpoints -----------------------------------------
+    def query(self, kind: str, node: int, *, alpha: float | None = None,
+              epsilon: float | None = None, top: int = 10,
+              use_cache: bool = True) -> dict:
+        """``/query`` semantics: top-k answer plus provenance."""
+        result, hit = self.query_result(kind, node, alpha=alpha,
+                                        epsilon=epsilon,
+                                        use_cache=use_cache)
+        return {
+            "kind": kind,
+            "node": int(node),
+            "alpha": result.alpha,
+            "epsilon": result.epsilon,
+            "method": result.method,
+            "total_mass": result.total_mass,
+            "top": [[node_id, score] for node_id, score
+                    in result.top_k(top)],
+            "cached": hit,
+            "work": result.work.as_dict(),
+        }
+
+    def pair(self, source: int, target: int, *,
+             alpha: float | None = None, epsilon: float | None = None,
+             use_cache: bool = True) -> dict:
+        """``/pair`` semantics: one π(source, target) value.
+
+        Rides the single-target path — π(s, t) is entry ``s`` of the
+        ``π(·, t)`` column — so pairs share batches *and* cache entries
+        with plain target queries for the same target.
+        """
+        graph = self.index_manager.graph(self.config.graph)
+        if not 0 <= source < graph.num_nodes:
+            raise ConfigError(f"source {source} out of range")
+        result, hit = self.query_result("target", target, alpha=alpha,
+                                        epsilon=epsilon,
+                                        use_cache=use_cache)
+        return {
+            "source": int(source),
+            "target": int(target),
+            "alpha": result.alpha,
+            "epsilon": result.epsilon,
+            "value": result[source],
+            "cached": hit,
+        }
+
+    # -- observability -------------------------------------------------
+    def healthz(self) -> dict:
+        """Liveness + readiness summary for ``/healthz``."""
+        snap = self.metrics.snapshot()
+        return {
+            "status": "ok" if self._running else "stopped",
+            "uptime_seconds": time.time() - self._started_at,
+            "graph": self.config.graph,
+            "num_nodes": self.index_manager.graph(
+                self.config.graph).num_nodes,
+            "alpha": self.config.alpha,
+            "queue_depth": self.scheduler.queue_depth,
+            "batches": snap["batches"],
+            "requests": sum(snap["requests"].values()),
+            "index": self.index_manager.stats(),
+        }
+
+    def metrics_text(self) -> str:
+        """Prometheus exposition for ``/metrics``."""
+        return self.metrics.render()

@@ -170,6 +170,14 @@ class TestGoldenOutput:
         assert main(["selfcheck", "--seed", "2022"]) == 0
         _assert_matches_golden("selfcheck.txt", capsys.readouterr().out)
 
+    def test_serve_dry_run(self, capsys):
+        assert main(["serve", "--graph", "youtube", "--scale", "0.05",
+                     "--alpha", "0.1", "--port", "9000", "--max-batch",
+                     "16", "--max-wait-ms", "5", "--cache-entries", "64",
+                     "--seed", "2022", "--dry-run"]) == 0
+        _assert_matches_golden("serve_dry_run.txt",
+                               capsys.readouterr().out)
+
     def test_scalar_backend_prints_identical_query(self, capsys):
         """The backend flag must not change a single printed byte."""
         assert main(self.QUERY_SOURCE) == 0

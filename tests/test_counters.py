@@ -1,0 +1,122 @@
+"""WorkCounters: merge semantics, snapshots, stats round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.counters import WORK_STATS_PREFIX, WorkCounters
+
+
+class TestMerge:
+    def test_merge_counters_in_place(self):
+        base = WorkCounters(walk_steps=3, pushes=2)
+        other = WorkCounters(walk_steps=10, cycle_pops=4,
+                             forests_sampled=1, push_sweeps=5)
+        returned = base.merge(other)
+        assert returned is base
+        assert base.walk_steps == 13
+        assert base.cycle_pops == 4
+        assert base.forests_sampled == 1
+        assert base.pushes == 2
+        assert base.push_sweeps == 5
+        # the source record is untouched
+        assert other.walk_steps == 10
+
+    def test_merge_plain_dict(self):
+        base = WorkCounters(pushes=1)
+        base.merge({"pushes": 2, "walk_steps": 7})
+        assert base.pushes == 3
+        assert base.walk_steps == 7
+
+    def test_merge_stats_form_and_unknown_keys(self):
+        base = WorkCounters()
+        base.merge({WORK_STATS_PREFIX + "walk_steps": 5,
+                    "r_max": 0.25, "batch_size": 32})
+        assert base.walk_steps == 5
+        assert base.total == 5
+
+    def test_merge_empty_mapping_is_noop(self):
+        base = WorkCounters(walk_steps=2)
+        base.merge({})
+        assert base.as_dict() == WorkCounters(walk_steps=2).as_dict()
+
+    def test_add_returns_new_record(self):
+        a = WorkCounters(walk_steps=1)
+        b = WorkCounters(walk_steps=2, pushes=3)
+        c = a + b
+        assert (c.walk_steps, c.pushes) == (3, 3)
+        assert a.walk_steps == 1 and b.walk_steps == 2
+
+
+class TestSnapshots:
+    def test_snapshot_dict_includes_total(self):
+        counters = WorkCounters(walk_steps=4, pushes=6)
+        snap = counters.snapshot_dict()
+        assert snap["walk_steps"] == 4
+        assert snap["pushes"] == 6
+        assert snap["total"] == 10
+
+    def test_snapshot_dict_is_detached(self):
+        counters = WorkCounters(walk_steps=1)
+        snap = counters.snapshot_dict()
+        counters.merge(WorkCounters(walk_steps=100, pushes=9))
+        assert snap["walk_steps"] == 1
+        assert snap["total"] == 1
+        assert counters.total == 110
+
+    def test_total_property(self):
+        assert WorkCounters().total == 0
+        assert WorkCounters(walk_steps=1, cycle_pops=2, forests_sampled=3,
+                            pushes=4, push_sweeps=5).total == 15
+
+
+class TestStatsRoundTrip:
+    def test_as_stats_prefix(self):
+        stats = WorkCounters(walk_steps=2).as_stats()
+        assert stats[WORK_STATS_PREFIX + "walk_steps"] == 2
+        assert all(key.startswith(WORK_STATS_PREFIX) for key in stats)
+
+    def test_from_stats_roundtrip(self):
+        original = WorkCounters(walk_steps=9, cycle_pops=8,
+                                forests_sampled=7, pushes=6, push_sweeps=5)
+        rebuilt = WorkCounters.from_stats(original.as_stats())
+        assert rebuilt == original
+
+    def test_from_stats_missing_keys_default_zero(self):
+        rebuilt = WorkCounters.from_stats({"unrelated": 1})
+        assert rebuilt == WorkCounters()
+
+
+class TestRecording:
+    def test_record_forest(self):
+        class FakeForest:
+            num_steps = 11
+            num_pops = 3
+
+        counters = WorkCounters()
+        counters.record_forest(FakeForest())
+        assert counters.forests_sampled == 1
+        assert counters.walk_steps == 11
+        assert counters.cycle_pops == 3
+
+    def test_record_push(self):
+        class FakePush:
+            num_pushes = 21
+            num_sweeps = 4
+
+        counters = WorkCounters()
+        counters.record_push(FakePush())
+        assert counters.pushes == 21
+        assert counters.push_sweeps == 4
+
+    @pytest.mark.parametrize("kind", ["dict", "stats"])
+    def test_scheduler_fold_shapes(self, kind):
+        """The service metrics fold PPRResult work in both dict shapes."""
+        aggregate = WorkCounters()
+        per_query = WorkCounters(walk_steps=5, pushes=2)
+        payload = (per_query.as_dict() if kind == "dict"
+                   else per_query.as_stats())
+        for _ in range(3):
+            aggregate.merge(payload)
+        assert aggregate.walk_steps == 15
+        assert aggregate.pushes == 6

@@ -9,7 +9,7 @@ import repro
 
 SUBPACKAGES = ["repro.graph", "repro.linalg", "repro.forests", "repro.push",
                "repro.montecarlo", "repro.core", "repro.applications",
-               "repro.bench", "repro.parallel"]
+               "repro.bench", "repro.parallel", "repro.service"]
 
 
 def _walk_modules():

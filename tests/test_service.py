@@ -1,0 +1,479 @@
+"""Serving layer: cache, metrics, scheduler, index lifecycle, HTTP."""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core.batch import BatchSourceSolver, BatchTargetSolver
+from repro.core.config import PPRConfig
+from repro.exceptions import ConfigError
+from repro.graph.generators import erdos_renyi
+from repro.montecarlo.forest_index import ForestIndex
+from repro.service import (
+    IndexManager,
+    MicroBatchScheduler,
+    PPRService,
+    QueryRequest,
+    ResultCache,
+    SchedulerFull,
+    ServiceConfig,
+    ServiceMetrics,
+    cache_key,
+)
+from repro.service.http import make_server, serve_forever
+from repro.service.metrics import BatchSizeHistogram, LatencyRing
+
+SEED = 2022
+ALPHA = 0.2
+EPSILON = 0.5
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(300, 0.02, rng=SEED)
+
+
+@pytest.fixture(scope="module")
+def service_config():
+    return ServiceConfig(graph="test", alpha=ALPHA, epsilon=EPSILON,
+                         budget_scale=0.05, seed=SEED, max_batch=8,
+                         max_wait_ms=5.0, queue_capacity=64,
+                         cache_entries=16, port=0)
+
+
+@pytest.fixture(scope="module")
+def service(graph, service_config):
+    with PPRService(service_config, graph=graph) as svc:
+        yield svc
+
+
+class TestResultCache:
+    def test_epsilon_dominance(self):
+        cache = ResultCache(capacity=4)
+        key = cache_key("g", "batch", "source", 1, 0.1)
+        cache.put(key, epsilon=0.25, value="tight")
+        assert cache.get(key, epsilon=0.25) == "tight"
+        assert cache.get(key, epsilon=0.5) == "tight"   # looser query OK
+        assert cache.get(key, epsilon=0.1) is None      # tighter: miss
+
+    def test_put_never_loosens(self):
+        cache = ResultCache(capacity=4)
+        key = cache_key("g", "batch", "source", 1, 0.1)
+        cache.put(key, epsilon=0.2, value="tight")
+        cache.put(key, epsilon=0.9, value="loose")
+        assert cache.get(key, epsilon=0.2) == "tight"
+        cache.put(key, epsilon=0.05, value="tighter")
+        assert cache.get(key, epsilon=0.1) == "tighter"
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(capacity=2)
+        keys = [cache_key("g", "batch", "source", n, 0.1) for n in range(3)]
+        cache.put(keys[0], 0.5, "a")
+        cache.put(keys[1], 0.5, "b")
+        assert cache.get(keys[0], 0.5) == "a"   # refresh key 0
+        cache.put(keys[2], 0.5, "c")            # evicts key 1, not key 0
+        assert cache.get(keys[0], 0.5) == "a"
+        assert cache.get(keys[1], 0.5) is None
+        assert cache.stats()["evictions"] == 1
+
+    def test_capacity_zero_disables(self):
+        cache = ResultCache(capacity=0)
+        key = cache_key("g", "batch", "source", 1, 0.1)
+        cache.put(key, 0.5, "value")
+        assert cache.get(key, 0.5) is None
+        assert len(cache) == 0
+
+    def test_stats_counters(self):
+        cache = ResultCache(capacity=4)
+        key = cache_key("g", "batch", "source", 1, 0.1)
+        assert cache.get(key, 0.5) is None
+        cache.put(key, 0.5, "v")
+        assert cache.get(key, 0.5) == "v"
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["size"] == 1
+        assert stats["hit_rate"] == 0.5
+
+    def test_epsilon_excluded_from_key(self):
+        tight = cache_key("g", "batch", "source", 1, 0.1)
+        assert tight == cache_key("g", "batch", "source", 1, 0.1)
+        assert tight != cache_key("g", "batch", "target", 1, 0.1)
+        assert tight != cache_key("g", "batch", "source", 1, 0.2)
+
+
+class TestMetrics:
+    def test_latency_ring_quantiles(self):
+        ring = LatencyRing(window=8)
+        assert ring.quantile(0.99) == 0.0
+        for value in (1.0, 2.0, 3.0, 4.0):
+            ring.record(value)
+        assert ring.count == 4
+        assert ring.quantile(0.5) == pytest.approx(2.5)
+        # the ring keeps only the most recent window
+        for value in (10.0,) * 8:
+            ring.record(value)
+        assert ring.quantile(0.5) == 10.0
+
+    def test_batch_histogram_buckets(self):
+        hist = BatchSizeHistogram()
+        for size in (1, 3, 8, 200):
+            hist.record(size)
+        snap = hist.snapshot()
+        buckets = dict(snap["buckets"])
+        assert buckets["1"] == 1
+        assert buckets["4"] == 2
+        assert buckets["8"] == 3
+        assert buckets["+Inf"] == 4
+        assert snap["sum"] == 212
+        assert snap["count"] == 4
+
+    def test_render_exposes_required_series(self):
+        metrics = ServiceMetrics()
+        metrics.record_request("query", 0.012)
+        metrics.record_batch(4, {"walk_steps": 10, "pushes": 3})
+        metrics.record_rejection()
+        metrics.register_gauge("repro_service_queue_depth", lambda: 2.0)
+        metrics.register_gauge(
+            "repro_service_cache",
+            lambda: {"_hit_rate": 0.25, "_size": 3.0})
+        text = metrics.render()
+        assert 'repro_service_requests_total{endpoint="query"} 1' in text
+        assert "repro_service_rejected_total 1" in text
+        assert "repro_service_batches_total 1" in text
+        assert 'repro_service_batch_size_bucket{le="4"} 1' in text
+        assert "repro_service_batch_size_count 1" in text
+        assert 'repro_service_latency_seconds{quantile="0.99"}' in text
+        assert "repro_service_work_walk_steps_total 10" in text
+        assert "repro_service_work_pushes_total 3" in text
+        assert "repro_service_queue_depth 2.0" in text
+        assert "repro_service_cache_hit_rate 0.25" in text
+
+    def test_snapshot_work_is_detached(self):
+        metrics = ServiceMetrics()
+        metrics.record_batch(1, {"walk_steps": 5})
+        snap = metrics.snapshot()
+        metrics.record_batch(1, {"walk_steps": 5})
+        assert snap["work"]["walk_steps"] == 5
+        assert metrics.snapshot()["work"]["walk_steps"] == 10
+
+
+class TestIndexManager:
+    def _manager(self, graph, **overrides):
+        config = PPRConfig(alpha=ALPHA, epsilon=EPSILON, seed=SEED,
+                           budget_scale=0.05, **overrides)
+        manager = IndexManager(config, num_forests=6)
+        manager.register_graph("test", graph)
+        return manager
+
+    def test_build_once_per_graph_alpha(self, graph):
+        manager = self._manager(graph)
+        first = manager.get_index("test")
+        assert manager.get_index("test") is first
+        assert manager.stats()["builds"] == 1
+        other_alpha = manager.get_index("test", alpha=0.5)
+        assert other_alpha is not first
+        assert manager.stats()["builds"] == 2
+
+    def test_unknown_graph_raises(self, graph):
+        manager = self._manager(graph)
+        with pytest.raises(ConfigError, match="unknown graph"):
+            manager.get_index("nope")
+
+    def test_solvers_share_one_bank_across_epsilon(self, graph):
+        manager = self._manager(graph)
+        tight = manager.get_solver("test", "source", epsilon=0.25)
+        loose = manager.get_solver("test", "source", epsilon=0.5)
+        assert tight is not loose
+        assert tight.index is loose.index          # shared bank
+        assert manager.stats()["builds"] == 1      # epsilon never rebuilds
+        assert not tight._owns_index
+        assert manager.get_solver("test", "source", epsilon=0.25) is tight
+
+    def test_refresh_swaps_generation_and_drops_solvers(self, graph):
+        manager = self._manager(graph)
+        before = manager.get_index("test")
+        solver = manager.get_solver("test", "source")
+        assert manager.generation("test") == 0
+        manager.refresh("test", block=True)
+        after = manager.get_index("test")
+        assert manager.generation("test") == 1
+        assert after is not before
+        # old bank object is untouched for in-flight holders
+        assert before.num_forests == after.num_forests
+        assert manager.get_solver("test", "source") is not solver
+        # refreshed bank is deterministically different (new seed)
+        assert not all(
+            np.array_equal(a.roots, b.roots)
+            for a, b in zip(before.forests, after.forests))
+
+    def test_drop_and_memory_accounting(self, graph):
+        manager = self._manager(graph)
+        manager.warm("test")
+        assert manager.memory_bytes() > 0
+        stats = manager.stats()
+        assert stats["memory_bytes"] == manager.memory_bytes()
+        (bank_stats,) = stats["banks"].values()
+        assert bank_stats["num_forests"] == 6
+        manager.drop("test")
+        assert manager.memory_bytes() == 0
+        assert manager.stats()["banks"] == {}
+
+
+class TestBatchSolverLifecycle:
+    def test_context_manager_and_close_idempotent(self, graph):
+        with BatchSourceSolver(graph, alpha=ALPHA, epsilon=EPSILON,
+                               seed=SEED, budget_scale=0.05,
+                               num_forests=4) as solver:
+            solver.query(0)
+            assert not solver.closed
+        assert solver.closed
+        solver.close()  # idempotent
+        with pytest.raises(ConfigError, match="closed"):
+            solver.query(0)
+
+    def test_injected_index_not_rebuilt_and_kept_open(self, graph):
+        index = ForestIndex.build(graph, ALPHA, 4, rng=SEED)
+        forests_before = list(index.forests)
+        solver = BatchSourceSolver(graph, alpha=ALPHA, epsilon=EPSILON,
+                                   seed=SEED, budget_scale=0.05,
+                                   index=index)
+        assert solver.index is index
+        assert solver.stats()["owns_index"] is False
+        solver.close()
+        # borrowed bank survives the borrower
+        assert index.forests == forests_before
+
+    def test_injected_index_validation(self, graph):
+        index = ForestIndex.build(graph, ALPHA, 2, rng=SEED)
+        with pytest.raises(ConfigError, match="alpha"):
+            BatchSourceSolver(graph, alpha=0.5, index=index)
+        small = erdos_renyi(10, 0.3, rng=1)
+        with pytest.raises(ConfigError, match="nodes"):
+            BatchSourceSolver(small, alpha=ALPHA, index=index)
+
+    def test_stats_track_queries(self, graph):
+        with BatchTargetSolver(graph, alpha=ALPHA, epsilon=EPSILON,
+                               seed=SEED, budget_scale=0.05,
+                               num_forests=4) as solver:
+            solver.query_many([0, 1, 2])
+            stats = solver.stats()
+            assert stats["queries_served"] == 3
+            assert stats["push_work"] > 0
+            assert stats["push_work_per_query"] == stats["push_work"] / 3
+            assert stats["index_size_bytes"] > 0
+
+    def test_query_is_query_many_of_one(self, graph):
+        with BatchSourceSolver(graph, alpha=ALPHA, epsilon=EPSILON,
+                               seed=SEED, budget_scale=0.05,
+                               num_forests=4) as solver:
+            alone = solver.query(3)
+            batched = solver.query_many([3, 7, 11])[0]
+            assert np.array_equal(alone.estimates, batched.estimates)
+
+
+class TestScheduler:
+    def _scheduler(self, graph, **overrides):
+        manager = IndexManager(
+            PPRConfig(alpha=ALPHA, epsilon=EPSILON, seed=SEED,
+                      budget_scale=0.05), num_forests=4)
+        manager.register_graph("test", graph)
+        defaults = dict(max_batch=8, max_wait_ms=5.0, queue_capacity=8)
+        defaults.update(overrides)
+        return MicroBatchScheduler(manager, **defaults)
+
+    def test_empty_deadline_flush_is_noop(self, graph):
+        scheduler = self._scheduler(graph, max_wait_ms=1.0)
+        scheduler.start()
+        try:
+            time.sleep(0.05)  # several empty deadline windows pass
+            assert scheduler.batches_executed == 0
+            assert scheduler.queue_depth == 0
+            result = scheduler.submit(QueryRequest(
+                graph="test", kind="source", node=0,
+                alpha=ALPHA, epsilon=EPSILON))
+            assert result.query_node == 0
+        finally:
+            scheduler.stop()
+
+    def test_full_queue_rejects_with_retry_after(self, graph):
+        scheduler = self._scheduler(graph, queue_capacity=2)
+        # not started: admissions accumulate
+        for node in (0, 1):
+            scheduler.submit_nowait(QueryRequest(
+                graph="test", kind="source", node=node,
+                alpha=ALPHA, epsilon=EPSILON))
+        with pytest.raises(SchedulerFull) as excinfo:
+            scheduler.submit_nowait(QueryRequest(
+                graph="test", kind="source", node=2,
+                alpha=ALPHA, epsilon=EPSILON))
+        assert excinfo.value.depth == 2
+        assert excinfo.value.retry_after > 0
+        assert scheduler.queue_depth == 2
+
+    def test_mixed_epsilon_never_shares_a_batch(self, graph):
+        scheduler = self._scheduler(graph, max_batch=16, max_wait_ms=20.0)
+        pendings = []
+        for node in range(4):
+            pendings.append(scheduler.submit_nowait(QueryRequest(
+                graph="test", kind="source", node=node,
+                alpha=ALPHA, epsilon=0.5)))
+        for node in range(3):
+            pendings.append(scheduler.submit_nowait(QueryRequest(
+                graph="test", kind="source", node=node,
+                alpha=ALPHA, epsilon=0.25)))
+        assert len({p.request.group_key for p in pendings}) == 2
+        scheduler.start()
+        try:
+            results = [p.resolve(timeout=30.0) for p in pendings]
+        finally:
+            scheduler.stop()
+        # each answer was solved at its own epsilon, in exactly 2 batches
+        assert [r.epsilon for r in results] == [0.5] * 4 + [0.25] * 3
+        assert scheduler.batches_executed == 2
+
+    def test_pair_rides_target_group(self):
+        pair = QueryRequest(graph="g", kind="pair", node=5, alpha=0.1,
+                            epsilon=0.5, source=2)
+        target = QueryRequest(graph="g", kind="target", node=5, alpha=0.1,
+                              epsilon=0.5)
+        assert pair.solver_kind == "target"
+        assert pair.group_key == target.group_key
+        with pytest.raises(ConfigError, match="source="):
+            QueryRequest(graph="g", kind="pair", node=5, alpha=0.1,
+                         epsilon=0.5)
+
+    def test_batched_results_match_direct_solver(self, graph):
+        scheduler = self._scheduler(graph, max_batch=4, max_wait_ms=2.0)
+        scheduler.start()
+        try:
+            results = [scheduler.submit(QueryRequest(
+                graph="test", kind="source", node=node,
+                alpha=ALPHA, epsilon=EPSILON)) for node in range(5)]
+        finally:
+            scheduler.stop()
+        direct = scheduler.index_manager.get_solver(
+            "test", "source", alpha=ALPHA, epsilon=EPSILON)
+        for node, result in enumerate(results):
+            assert np.array_equal(result.estimates,
+                                  direct.query(node).estimates)
+
+
+class TestPPRService:
+    def test_query_caches_and_is_deterministic(self, service):
+        first, hit_first = service.query_result("source", 5)
+        again, hit_again = service.query_result("source", 5)
+        assert not hit_first and hit_again
+        assert np.array_equal(first.estimates, again.estimates)
+
+    def test_node_validation_before_admission(self, service):
+        with pytest.raises(ConfigError, match="out of range"):
+            service.query_result("source", 10_000)
+        with pytest.raises(ConfigError, match="kind"):
+            service.query_result("walks", 0)
+
+    def test_query_payload_shape(self, service):
+        payload = service.query("source", 3, top=5)
+        assert payload["kind"] == "source"
+        assert payload["alpha"] == ALPHA
+        assert len(payload["top"]) == 5
+        assert payload["top"] == sorted(payload["top"], key=lambda kv: -kv[1])
+        assert payload["work"]["pushes"] >= 0
+
+    def test_pair_matches_target_column(self, service):
+        payload = service.pair(2, 9)
+        target_result, _ = service.query_result("target", 9)
+        assert payload["value"] == target_result[2]
+        with pytest.raises(ConfigError, match="source"):
+            service.pair(10_000, 9)
+
+    def test_healthz_and_metrics_populated(self, service):
+        service.query("source", 1)
+        health = service.healthz()
+        assert health["status"] == "ok"
+        assert health["graph"] == "test"
+        assert health["num_nodes"] == 300
+        assert health["requests"] >= 1
+        assert health["batches"] >= 1
+        assert health["index"]["builds"] >= 1
+        text = service.metrics_text()
+        assert "repro_service_queue_depth 0.0" in text
+        assert "repro_service_cache_hits" in text
+        assert 'repro_service_index_bytes{bank="test@0.2"}' in text
+
+    def test_results_match_standalone_manager(self, graph, service,
+                                              service_config):
+        """Service answers == direct solver calls from a fresh manager."""
+        fresh = PPRService(service_config, graph=graph).index_manager
+        direct = fresh.get_solver("test", "source", alpha=ALPHA,
+                                  epsilon=EPSILON)
+        for node in (0, 5, 17):
+            served, _ = service.query_result("source", node,
+                                             use_cache=False)
+            assert np.array_equal(served.estimates,
+                                  direct.query(node).estimates)
+
+
+class TestHTTP:
+    @pytest.fixture(scope="class")
+    def base_url(self, service):
+        server = make_server(service, port=0)
+        serve_forever(server, in_thread=True)
+        yield f"http://127.0.0.1:{server.server_port}"
+        server.shutdown()
+        server.server_close()
+
+    def _get(self, url):
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return response.status, response.read()
+
+    def _post(self, url, payload):
+        body = json.dumps(payload).encode()
+        request = urllib.request.Request(
+            url, data=body, headers={"Content-Type": "application/json"})
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+
+    def test_healthz(self, base_url):
+        status, body = self._get(f"{base_url}/healthz")
+        assert status == 200
+        assert json.loads(body)["status"] == "ok"
+
+    def test_query_roundtrip(self, base_url):
+        status, payload = self._post(f"{base_url}/query",
+                                     {"kind": "source", "node": 4, "top": 3})
+        assert status == 200
+        assert payload["node"] == 4
+        assert len(payload["top"]) == 3
+
+    def test_pair_roundtrip(self, base_url):
+        status, payload = self._post(f"{base_url}/pair",
+                                     {"source": 1, "target": 6})
+        assert status == 200
+        assert isinstance(payload["value"], float)
+
+    def test_bad_requests(self, base_url):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._post(f"{base_url}/query", {"kind": "source"})  # no node
+        assert excinfo.value.code == 400
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._post(f"{base_url}/query",
+                       {"kind": "source", "node": 10_000})
+        assert excinfo.value.code == 400
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._get(f"{base_url}/nope")
+        assert excinfo.value.code == 404
+
+    def test_metrics_endpoint(self, base_url):
+        self._post(f"{base_url}/query", {"kind": "source", "node": 2})
+        status, body = self._get(f"{base_url}/metrics")
+        assert status == 200
+        text = body.decode()
+        assert "repro_service_batches_total" in text
+        assert "repro_service_latency_seconds" in text
