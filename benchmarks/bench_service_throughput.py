@@ -22,6 +22,7 @@ not memoisation.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 
@@ -140,3 +141,86 @@ def bench_service_throughput(benchmark, show_table):
     assert service_row["speedup"] >= 3.0, (
         f"expected >=3x over per-request single_source, got "
         f"{service_row['speedup']:.2f}x")
+
+
+SCALING_QUERIES = 192
+SCALING_WORKERS = (1, 2, 4)
+
+
+def bench_service_worker_scaling(benchmark, show_table):
+    """Process-executor scaling: qps at 1/2/4 workers vs thread mode.
+
+    The thread-mode fold serializes on the GIL, so adding front-end
+    threads cannot add throughput; the process executor folds batches
+    in forked workers over shared-memory banks.  On a box with >=4
+    cores, 4 workers must deliver >=2x the thread-mode qps (the CSR
+    folds are pure compute, so the pool's speedup is near-linear until
+    the core count runs out).  Thread mode (``workers=0``) and the
+    2/4-worker process modes all build through the parallel engine,
+    whose output is bit-identical across worker counts — so those
+    modes must serve byte-identical answers (``workers=1`` draws its
+    bank from the serial sampler and is excluded from the digest
+    check).
+    """
+    graph = _bench_graph()
+    graph.alias_table
+    stream = zipf_nodes(NODES, SCALING_QUERIES, exponent=1.1, seed=11)
+
+    def run_mode(executor: str, workers: int) -> dict:
+        config = ServiceConfig(graph="bench", alpha=ALPHA,
+                               epsilon=EPSILON,
+                               budget_scale=BUDGET_SCALE, seed=SEED,
+                               max_batch=MAX_BATCH, max_wait_ms=15.0,
+                               queue_capacity=1024, cache_entries=0,
+                               workers=workers, executor=executor)
+        with PPRService(config, graph=graph) as service:
+            service.query_result("source", 0, use_cache=False)
+            elapsed = _drive(service, stream)
+            stats = service.healthz()["executor"]
+            digest = service.query_result(
+                "source", 1, use_cache=False)[0].estimates.tobytes()
+        label = (f"process x{workers}" if executor == "process"
+                 else "thread")
+        return {
+            "mode": label,
+            "workers": workers,
+            "qps": stream.size / elapsed,
+            "ms_per_query": 1000 * elapsed / stream.size,
+            "fallbacks": service.scheduler.fallback_batches,
+            "respawns": stats.get("respawns", 0),
+            "_digest": digest,
+        }
+
+    def measure():
+        # workers=0 -> engine build, same bank bytes as process mode
+        rows = [run_mode("thread", 0)]
+        for workers in SCALING_WORKERS:
+            rows.append(run_mode("process", workers))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    digests = set()
+    for row in rows:
+        digest = row.pop("_digest")
+        if row["workers"] != 1:  # serial-sampler bank differs by design
+            digests.add(digest)
+    show_table(f"Executor scaling on n={NODES} Chung-Lu "
+               f"({SCALING_QUERIES} queries, max_batch={MAX_BATCH})",
+               rows)
+
+    assert len(digests) == 1, \
+        "executor modes returned different estimate bytes"
+    assert all(row["fallbacks"] == 0 for row in rows[1:]), \
+        "process executor fell back to inline folding"
+    assert all(row["respawns"] == 0 for row in rows[1:]), \
+        "workers crashed during the scaling run"
+    cores = os.cpu_count() or 1
+    thread_qps = rows[0]["qps"]
+    four_worker_qps = rows[-1]["qps"]
+    if cores >= 4:
+        assert four_worker_qps >= 2.0 * thread_qps, (
+            f"expected >=2x thread-mode qps with 4 workers on "
+            f"{cores} cores, got {four_worker_qps / thread_qps:.2f}x")
+    else:
+        print(f"\n(cpu_count={cores}: scaling assertion skipped; "
+              f"4-worker/thread ratio {four_worker_qps / thread_qps:.2f}x)")

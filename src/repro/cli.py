@@ -14,6 +14,9 @@ spectrum
     τ versus α for a dataset (the Fig-2 insensitivity check).
 serve
     Long-lived PPR query service (micro-batching + index + cache).
+index
+    Pre-build (``build``) or describe (``inspect``) an on-disk
+    memmap-able forest-index bank.
 
 All stochastic commands accept ``--seed`` and are fully reproducible.
 """
@@ -128,11 +131,42 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-entries", type=int, default=512,
                        help="result-cache capacity (0 disables)")
     serve.add_argument("--workers", type=int, default=1,
-                       help="processes for index builds (0 = cpu count)")
+                       help="processes for index builds (0 = cpu count); "
+                            "in process-executor mode also the size of "
+                            "the query worker pool")
+    serve.add_argument("--executor", choices=["thread", "process"],
+                       default="thread",
+                       help="batch-fold execution: in-process threads "
+                            "(default) or a forked worker pool attached "
+                            "to shared-memory banks; answers are "
+                            "byte-identical either way")
     serve.add_argument("--push-backend", choices=list(PUSH_BACKENDS),
                        default=DEFAULT_PUSH_BACKEND)
     serve.add_argument("--dry-run", action="store_true",
                        help="print the resolved service config and exit")
+
+    index = commands.add_parser(
+        "index", help="build or inspect an on-disk forest-index bank")
+    index_actions = index.add_subparsers(dest="action", required=True)
+    index_build = index_actions.add_parser(
+        "build", help="sample a forest bank and save it memmap-able")
+    index_build.add_argument("dataset", help="dataset name")
+    index_build.add_argument("out_dir", help="output bank directory")
+    index_build.add_argument("--scale", type=float, default=0.25)
+    index_build.add_argument("--alpha", type=float, default=0.01)
+    index_build.add_argument("--epsilon", type=float, default=0.5,
+                             help="target relative error used to size "
+                                  "the bank (see recommended_size)")
+    index_build.add_argument("--num-forests", type=int, default=None,
+                             help="explicit bank size (overrides "
+                                  "--epsilon sizing)")
+    index_build.add_argument("--seed", type=int, default=2022)
+    index_build.add_argument("--workers", type=int, default=1,
+                             help="processes for the sampling stage "
+                                  "(0 = cpu count)")
+    index_inspect = index_actions.add_parser(
+        "inspect", help="describe a saved bank without loading arrays")
+    index_inspect.add_argument("bank_dir", help="bank directory to read")
 
     experiment = commands.add_parser(
         "experiment", help="run one paper experiment and print its table")
@@ -306,7 +340,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         seed=args.seed, workers=args.workers,
         push_backend=args.push_backend, max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms, queue_capacity=args.queue_capacity,
-        cache_entries=args.cache_entries, host=args.host, port=args.port)
+        cache_entries=args.cache_entries, host=args.host, port=args.port,
+        executor=args.executor)
     print(config.describe())
     if args.dry_run:
         print("dry run: config ok, not starting the server")
@@ -328,6 +363,54 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         server.server_close()
         service.stop()
+    return 0
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    """Build or inspect an on-disk forest-index bank.
+
+    Every printed line is deterministic for fixed flags — no wall
+    clock, no absolute paths — so the golden-output tests can pin the
+    transcript byte-for-byte.
+    """
+    from repro.montecarlo.forest_index import ForestIndex
+    from repro.parallel.shared_bank import bank_manifest
+
+    if args.action == "build":
+        graph = load_dataset(args.dataset, scale=args.scale)
+        size = args.num_forests or ForestIndex.recommended_size(
+            graph, args.epsilon)
+        index = ForestIndex.build(graph, args.alpha, size,
+                                  rng=args.seed, workers=args.workers)
+        index.save_bank(args.out_dir)
+        manifest = bank_manifest(args.out_dir)
+        payload = sum(spec["nbytes"]
+                      for spec in manifest["arrays"].values())
+        print(f"built bank: {args.dataset} (scale {args.scale:g}, "
+              f"{graph.num_nodes} nodes, {graph.num_edges} edges)")
+        print(f"  alpha {args.alpha:g}  forests {index.num_forests}  "
+              f"steps {index.build_steps}")
+        print(f"  arrays {len(manifest['arrays'])}  "
+              f"payload {payload} bytes  "
+              f"format v{manifest['version']}")
+        return 0
+
+    manifest = bank_manifest(args.bank_dir)
+    meta = manifest.get("meta", {})
+    payload = sum(spec["nbytes"] for spec in manifest["arrays"].values())
+    print(f"array bank, format v{manifest['version']}")
+    # build_seconds is wall clock — everything printed here is stable
+    for key in ("kind", "alpha", "num_nodes", "num_forests",
+                "build_steps", "degree_checksum"):
+        if key in meta:
+            print(f"  {key:16s} {meta[key]}")
+    print(f"  {'arrays':16s} {len(manifest['arrays'])}")
+    print(f"  {'payload_bytes':16s} {payload}")
+    for name in sorted(manifest["arrays"]):
+        spec = manifest["arrays"][name]
+        shape = "x".join(map(str, spec["shape"])) or "scalar"
+        print(f"    {name:24s} {spec['dtype']:10s} {shape:>12s}  "
+              f"{spec['nbytes']} bytes")
     return 0
 
 
@@ -368,6 +451,7 @@ _COMMANDS = {
     "spectrum": _cmd_spectrum,
     "selfcheck": _cmd_selfcheck,
     "serve": _cmd_serve,
+    "index": _cmd_index,
     "experiment": _cmd_experiment,
 }
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import os
 import time
+import zlib
 
 import numpy as np
 
@@ -34,7 +35,25 @@ from repro.forests.forest import RootedForest
 from repro.forests.sampling import sample_forests
 from repro.graph.csr import Graph
 
-__all__ = ["ForestIndex"]
+__all__ = ["ForestIndex", "degree_checksum"]
+
+#: Sparse operators exported to / rebuilt from array banks, in a fixed
+#: order so bank layouts are deterministic.
+_OPERATOR_NAMES = ("tree_sum", "spread_source", "scatter_root",
+                   "spread_target", "gather_root")
+
+
+def degree_checksum(graph: Graph) -> int:
+    """CRC-32 of the graph's weighted degree vector.
+
+    Saved inside every index artifact so :meth:`ForestIndex.load` /
+    :meth:`ForestIndex.load_bank` can refuse an index built for a
+    *different* graph of the same size — silently folding foreign
+    roots over the wrong degrees produces garbage estimates with no
+    error anywhere downstream.
+    """
+    return zlib.crc32(np.ascontiguousarray(
+        graph.degrees, dtype=np.float64).tobytes())
 
 
 class _BankOperators:
@@ -95,6 +114,8 @@ class _BankOperators:
         self.num_forests = len(forests)
         self.degree_zero = np.flatnonzero(degrees == 0)
         segment_degree = np.concatenate(seg_degree)
+        self.segment_degree = segment_degree
+        self.segment_root = np.concatenate(seg_roots)
         ones = np.ones(cols.size)
         # P: per-tree residual sums (global segment space)
         self.tree_sum = sparse.csr_matrix(
@@ -104,8 +125,7 @@ class _BankOperators:
             (np.tile(degrees, len(forests)) / segment_degree[cols],
              (rows, cols)), shape=(num_nodes, offset))
         self.scatter_root = sparse.csr_matrix(
-            (np.ones(offset), (np.concatenate(seg_roots),
-                               np.arange(offset))),
+            (np.ones(offset), (self.segment_root, np.arange(offset))),
             shape=(num_nodes, offset))
         self.spread_target = sparse.csr_matrix(
             (1.0 / segment_degree[cols], (rows, cols)),
@@ -114,6 +134,62 @@ class _BankOperators:
         self.gather_root = sparse.csr_matrix(
             (np.ones(rows.size), (rows, np.concatenate(root_cols))),
             shape=(num_nodes, num_nodes))
+
+    # ------------------------------------------------------------------
+    # Array-bank (de)hydration — the zero-copy serving representation
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Flatten every operator into named CSR triplets.
+
+        The result is exactly what :class:`repro.parallel.shared_bank`
+        carriers transport: ``<op>_indptr`` / ``<op>_indices`` /
+        ``<op>_data`` per operator, plus the degree-zero node list and
+        the per-segment root / degree-mass vectors.
+        """
+        arrays: dict[str, np.ndarray] = {
+            "degree_zero": self.degree_zero,
+            "segment_root": self.segment_root,
+            "segment_degree": self.segment_degree,
+        }
+        for name in _OPERATOR_NAMES:
+            matrix = getattr(self, name)
+            arrays[f"{name}_indptr"] = matrix.indptr
+            arrays[f"{name}_indices"] = matrix.indices
+            arrays[f"{name}_data"] = matrix.data
+        return arrays
+
+    @classmethod
+    def from_arrays(cls, arrays: dict[str, np.ndarray], *,
+                    num_nodes: int, num_forests: int) -> "_BankOperators":
+        """Rebuild operators over bank arrays without copying them.
+
+        An empty CSR matrix is created and its ``data`` / ``indices`` /
+        ``indptr`` attributes assigned directly — the ``csr_matrix``
+        constructor would copy the arrays (and downcast the index
+        dtype), defeating the shared-memory / memmap attach.
+        """
+        import scipy.sparse as sparse
+
+        ops = object.__new__(cls)
+        ops.num_forests = int(num_forests)
+        ops.degree_zero = np.asarray(arrays["degree_zero"])
+        ops.segment_root = np.asarray(arrays["segment_root"])
+        ops.segment_degree = np.asarray(arrays["segment_degree"])
+        num_segments = ops.segment_root.size
+        shapes = {
+            "tree_sum": (num_segments, num_nodes),
+            "spread_source": (num_nodes, num_segments),
+            "scatter_root": (num_nodes, num_segments),
+            "spread_target": (num_nodes, num_segments),
+            "gather_root": (num_nodes, num_nodes),
+        }
+        for name in _OPERATOR_NAMES:
+            matrix = sparse.csr_matrix(shapes[name])
+            matrix.indptr = np.asarray(arrays[f"{name}_indptr"])
+            matrix.indices = np.asarray(arrays[f"{name}_indices"])
+            matrix.data = np.asarray(arrays[f"{name}_data"])
+            setattr(ops, name, matrix)
+        return ops
 
 
 class ForestIndex:
@@ -130,16 +206,27 @@ class ForestIndex:
     """
 
     def __init__(self, graph: Graph, alpha: float,
-                 forests: list[RootedForest], build_seconds: float):
+                 forests: list[RootedForest], build_seconds: float,
+                 *, num_forests: int | None = None,
+                 build_steps: int | None = None):
         self.graph = graph
         self.alpha = alpha
         self.forests = forests
         self.build_seconds = build_seconds
-        self.build_steps = sum(forest.num_steps for forest in forests)
+        # bank-attached indexes carry no forest objects, only the fold
+        # operators — the count and build cost come from the bank meta
+        self._num_forests = (len(forests) if num_forests is None
+                             else int(num_forests))
+        self.build_steps = (sum(forest.num_steps for forest in forests)
+                            if build_steps is None else int(build_steps))
         self.build_counters = WorkCounters(
             walk_steps=self.build_steps,
-            cycle_pops=sum(forest.num_pops for forest in forests),
-            forests_sampled=len(forests))
+            cycle_pops=(sum(forest.num_pops for forest in forests)
+                        if forests else
+                        max(self.build_steps
+                            - self._num_forests * graph.num_nodes, 0)),
+            forests_sampled=self._num_forests)
+        self._operators_cache: _BankOperators | None = None
 
     @classmethod
     def build(cls, graph: Graph, alpha: float, num_forests: int,
@@ -191,8 +278,8 @@ class ForestIndex:
     # ------------------------------------------------------------------
     @property
     def num_forests(self) -> int:
-        """Number of stored forests."""
-        return len(self.forests)
+        """Number of forests folded by this index (stored or attached)."""
+        return self._num_forests
 
     @property
     def size_bytes(self) -> int:
@@ -200,8 +287,13 @@ class ForestIndex:
 
         ``parents`` arrays are excluded — queries never read them, and
         the paper's index stores exactly root + component-mass
-        information (Fig. 6 compares on this footing).
+        information (Fig. 6 compares on this footing).  An
+        operator-only (bank-attached) index reports its operator
+        arrays instead.
         """
+        if not self.forests and self._operators_cache is not None:
+            return sum(array.nbytes for array
+                       in self._operators_cache.to_arrays().values())
         total = 0
         for forest in self.forests:
             total += forest.roots.nbytes
@@ -218,10 +310,15 @@ class ForestIndex:
         metadata; the graph itself is *not* stored (pass the same graph
         to :meth:`load`).
         """
+        if not self.forests:
+            raise ConfigError(
+                "operator-only index cannot be saved as .npz (no forests "
+                "stored); use save_bank on the original index instead")
         np.savez_compressed(
             path,
             alpha=np.float64(self.alpha),
             num_nodes=np.int64(self.graph.num_nodes),
+            degree_checksum=np.uint32(degree_checksum(self.graph)),
             roots=np.stack([forest.roots for forest in self.forests]),
             parents=np.stack([forest.parents for forest in self.forests]),
             steps=np.asarray([forest.num_steps for forest in self.forests],
@@ -229,17 +326,35 @@ class ForestIndex:
             build_seconds=np.float64(self.build_seconds),
         )
 
+    @staticmethod
+    def _check_graph_match(graph: Graph, num_nodes: int,
+                           checksum: int | None, origin: str) -> None:
+        """Refuse to attach an index to a graph it was not built for."""
+        if int(num_nodes) != graph.num_nodes:
+            raise ConfigError(
+                f"{origin} was built for a graph with {int(num_nodes)} "
+                f"nodes, got {graph.num_nodes}")
+        if checksum is not None and int(checksum) != degree_checksum(graph):
+            raise ConfigError(
+                f"{origin} was built for a different graph: the degree "
+                f"checksum does not match (same node count, different "
+                f"edges or weights)")
+
     @classmethod
     def load(cls, path: str | os.PathLike, graph: Graph) -> "ForestIndex":
-        """Load an index saved with :meth:`save` for the same graph."""
+        """Load an index saved with :meth:`save` for the same graph.
+
+        Raises :class:`~repro.exceptions.ConfigError` when the file was
+        built for a different graph — node count and (for files written
+        since the checksum was added) the degree checksum must match.
+        """
         from repro.forests.forest import RootedForest
 
         with np.load(path) as data:
-            if int(data["num_nodes"]) != graph.num_nodes:
-                raise ConfigError(
-                    f"index was built for a graph with "
-                    f"{int(data['num_nodes'])} nodes, got "
-                    f"{graph.num_nodes}")
+            checksum = (int(data["degree_checksum"])
+                        if "degree_checksum" in data else None)
+            cls._check_graph_match(graph, int(data["num_nodes"]), checksum,
+                                   f"index file {os.fspath(path)!r}")
             forests = [
                 RootedForest(roots=roots, parents=parents,
                              num_steps=int(steps), method="loaded")
@@ -252,12 +367,88 @@ class ForestIndex:
         return index
 
     # ------------------------------------------------------------------
+    # Array-bank persistence / attach (zero-copy serving path)
+    # ------------------------------------------------------------------
+    def bank_arrays(self) -> tuple[dict[str, np.ndarray], dict]:
+        """The ``(arrays, meta)`` bank contents for this index.
+
+        The arrays are the flattened fold operators (see
+        :meth:`_BankOperators.to_arrays`); the meta records α, the
+        graph fingerprint (node count + degree checksum) and the build
+        cost so an attached index reproduces ``num_forests`` /
+        ``build_steps`` exactly.
+        """
+        arrays = self._operators.to_arrays()
+        meta = {
+            "kind": "forest-index",
+            "alpha": float(self.alpha),
+            "num_nodes": int(self.graph.num_nodes),
+            "num_forests": int(self.num_forests),
+            "build_steps": int(self.build_steps),
+            "build_seconds": float(self.build_seconds),
+            "degree_checksum": int(degree_checksum(self.graph)),
+        }
+        return arrays, meta
+
+    def save_bank(self, path: str | os.PathLike) -> None:
+        """Write the uncompressed, memmap-able bank directory.
+
+        Unlike :meth:`save`, the result can be attached in O(1): one
+        plain ``.npy`` file per operator array plus ``manifest.json``
+        (see :func:`repro.parallel.shared_bank.save_array_bank`), so
+        ``np.load(..., mmap_mode="r")`` maps a multi-hundred-MB bank
+        without copying a byte.
+        """
+        from repro.parallel.shared_bank import save_array_bank
+
+        arrays, meta = self.bank_arrays()
+        save_array_bank(path, arrays, meta)
+
+    @classmethod
+    def attach_bank(cls, arrays: dict[str, np.ndarray], meta: dict,
+                    graph: Graph) -> "ForestIndex":
+        """Build an operator-only index over externally owned arrays.
+
+        ``arrays``/``meta`` come from :func:`load_array_bank` (memmap)
+        or an attached shared-memory bank; nothing is copied.  The
+        resulting index serves :meth:`estimate_source_many` /
+        :meth:`estimate_target_many` (all the batch solvers need) but
+        has no per-forest objects.
+        """
+        if meta.get("kind") != "forest-index":
+            raise ConfigError(
+                f"bank is not a forest index (kind={meta.get('kind')!r})")
+        cls._check_graph_match(graph, int(meta["num_nodes"]),
+                               meta.get("degree_checksum"), "index bank")
+        index = cls(graph, float(meta["alpha"]), [],
+                    build_seconds=float(meta.get("build_seconds", 0.0)),
+                    num_forests=int(meta["num_forests"]),
+                    build_steps=int(meta.get("build_steps", 0)))
+        index._operators_cache = _BankOperators.from_arrays(
+            arrays, num_nodes=graph.num_nodes,
+            num_forests=int(meta["num_forests"]))
+        return index
+
+    @classmethod
+    def load_bank(cls, path: str | os.PathLike, graph: Graph, *,
+                  mmap: bool = True) -> "ForestIndex":
+        """Attach to a :meth:`save_bank` directory (memmap by default)."""
+        from repro.parallel.shared_bank import load_array_bank
+
+        arrays, meta = load_array_bank(path, mmap=mmap)
+        return cls.attach_bank(arrays, meta, graph)
+
+    # ------------------------------------------------------------------
     # Batched estimation (the serving layer's micro-batch fold)
     # ------------------------------------------------------------------
     @property
     def _operators(self) -> _BankOperators:
         """Whole-bank sparse fold operators (lazy, cached)."""
-        if getattr(self, "_operators_cache", None) is None:
+        if self._operators_cache is None:
+            if not self.forests:
+                raise ConfigError(
+                    "operator-only index lost its operators — rebuild or "
+                    "reattach the bank")
             self._operators_cache = _BankOperators(self.forests,
                                                    self.graph.degrees)
         return self._operators_cache
@@ -314,6 +505,12 @@ class ForestIndex:
 
     # ------------------------------------------------------------------
     def _combine(self, residual: np.ndarray, estimator) -> np.ndarray:
+        if not self.forests:
+            raise ConfigError(
+                "this index is operator-only (attached from a bank); "
+                "per-forest estimators need an index with stored forests "
+                "— use estimate_source_many / estimate_target_many or "
+                "load the full .npz index")
         estimates = np.zeros(self.graph.num_nodes)
         for forest in self.forests:
             estimates += estimator(forest, residual)

@@ -1,8 +1,9 @@
 """Multi-process execution of the forest-sampling Monte-Carlo stage.
 
 See :mod:`repro.parallel.engine` for the chunked engine and its
-determinism contract, and :mod:`repro.parallel.shared_graph` for the
-shared-memory CSR carrier.
+determinism contract, :mod:`repro.parallel.shared_bank` for the
+general named-array shared-memory / memmap carriers, and
+:mod:`repro.parallel.shared_graph` for the CSR-graph specialisation.
 """
 
 from repro.parallel.engine import (
@@ -13,14 +14,30 @@ from repro.parallel.engine import (
     resolve_workers,
     sample_forests_parallel,
 )
+from repro.parallel.shared_bank import (
+    AttachedBank,
+    BankHandle,
+    SharedArrayBank,
+    attach_bank,
+    bank_manifest,
+    load_array_bank,
+    save_array_bank,
+)
 from repro.parallel.shared_graph import SharedCSRGraph
 
 __all__ = [
+    "AttachedBank",
+    "BankHandle",
     "DEFAULT_CHUNK_SIZE",
-    "StageResult",
+    "SharedArrayBank",
     "SharedCSRGraph",
+    "StageResult",
+    "attach_bank",
+    "bank_manifest",
+    "load_array_bank",
     "parallel_estimate_stage",
     "plan_chunks",
     "resolve_workers",
     "sample_forests_parallel",
+    "save_array_bank",
 ]

@@ -3,36 +3,51 @@
 The forest samplers only ever *read* the graph — ``indptr``,
 ``indices`` and (optionally) ``weights`` — so worker processes can run
 against one shared copy instead of pickling the arrays into every
-task.  :class:`SharedCSRGraph` owns the shared-memory blocks, exposes a
-:class:`~repro.graph.csr.Graph` whose arrays are views into them, and
-cleans the blocks up on :meth:`close`.
+task.  :class:`SharedCSRGraph` is the graph-shaped specialisation of
+the general :class:`~repro.parallel.shared_bank.SharedArrayBank`
+carrier: it owns one bank holding the CSR triplet, exposes a
+:class:`~repro.graph.csr.Graph` whose arrays are views into it, and
+cleans the segments up on :meth:`close`.
 
-The engine uses the ``fork`` start method, so workers inherit the
-parent's mapping of the blocks directly; nothing is re-attached by
-name and the only extra per-worker cost is the lazily built alias
-table (``O(m)``, paid once per worker process).
+The sampling engine uses the ``fork`` start method, so its workers
+inherit the parent's mapping directly; the serving executor's
+longer-lived workers instead attach by name through
+:meth:`SharedCSRGraph.handle` (see :mod:`repro.service.executor`).
 """
 
 from __future__ import annotations
 
-from multiprocessing import shared_memory
-
 import numpy as np
 
 from repro.graph.csr import Graph
+from repro.parallel.shared_bank import (
+    AttachedBank,
+    BankHandle,
+    SharedArrayBank,
+)
 
-__all__ = ["SharedCSRGraph"]
+__all__ = ["SharedCSRGraph", "graph_bank_arrays", "graph_from_bank"]
 
 
-def _share_array(array: np.ndarray) -> tuple[shared_memory.SharedMemory,
-                                             np.ndarray]:
-    """Copy ``array`` into a fresh shared-memory block; return both."""
-    block = shared_memory.SharedMemory(create=True,
-                                       size=max(array.nbytes, 1))
-    view = np.ndarray(array.shape, dtype=array.dtype, buffer=block.buf)
-    view[...] = array
-    view.flags.writeable = False
-    return block, view
+def graph_bank_arrays(graph: Graph) -> tuple[dict[str, np.ndarray], dict]:
+    """The ``(arrays, meta)`` bank contents describing ``graph``."""
+    arrays = {"indptr": graph.indptr, "indices": graph.indices}
+    if graph.weights is not None:
+        arrays["weights"] = graph.weights
+    return arrays, {"directed": bool(graph.directed),
+                    "num_nodes": int(graph.num_nodes)}
+
+
+def graph_from_bank(arrays: dict[str, np.ndarray], meta: dict) -> Graph:
+    """Rebuild a :class:`Graph` over bank-provided arrays, no copy.
+
+    ``validate=False`` because the source graph already validated the
+    identical bytes; the arrays may be read-only shared-memory or
+    memmap views.
+    """
+    return Graph(arrays["indptr"], arrays["indices"],
+                 arrays.get("weights"), directed=bool(meta["directed"]),
+                 validate=False)
 
 
 class SharedCSRGraph:
@@ -44,49 +59,42 @@ class SharedCSRGraph:
             pool_work(shared.graph)   # workers inherit the mapping
 
     The wrapped :attr:`graph` is structurally identical to the source
-    graph (same arrays bit for bit, ``validate=False`` since the source
-    already validated them) but is backed by shared pages, so forked
-    workers read it without any copy.
+    graph (same arrays bit for bit) but is backed by shared pages, so
+    forked workers read it without any copy, and :attr:`handle` lets a
+    non-inheriting process attach by segment name.
     """
 
     def __init__(self, source: Graph):
-        self._blocks: list[shared_memory.SharedMemory] = []
-        self._closed = False
-        try:
-            indptr_block, indptr = _share_array(source.indptr)
-            self._blocks.append(indptr_block)
-            indices_block, indices = _share_array(source.indices)
-            self._blocks.append(indices_block)
-            weights = None
-            if source.weights is not None:
-                weights_block, weights = _share_array(source.weights)
-                self._blocks.append(weights_block)
-        except Exception:
-            self.close()
-            raise
-        self.graph = Graph(indptr, indices, weights,
-                           directed=source.directed, validate=False)
+        arrays, meta = graph_bank_arrays(source)
+        self._bank: SharedArrayBank | None = SharedArrayBank(arrays, meta)
+        self.graph = graph_from_bank(self._bank.arrays, meta)
+
+    @property
+    def handle(self) -> BankHandle:
+        """Picklable attach-by-name handle for the CSR segments."""
+        if self._bank is None:
+            raise RuntimeError("SharedCSRGraph is closed")
+        return self._bank.handle
+
+    @classmethod
+    def attach(cls, handle: BankHandle) -> tuple[Graph, AttachedBank]:
+        """Attach to another process's shared CSR graph by handle.
+
+        Returns ``(graph, attached_bank)`` — keep the bank alive for
+        as long as the graph is used.
+        """
+        bank = AttachedBank(handle)
+        return graph_from_bank(bank.arrays, bank.meta), bank
 
     # ------------------------------------------------------------------
     def close(self) -> None:
         """Release and unlink every shared block (idempotent)."""
-        if self._closed:
+        if self._bank is None:
             return
-        self._closed = True
         # drop the numpy views before closing their backing buffers
         self.graph = None  # type: ignore[assignment]
-        for block in self._blocks:
-            try:
-                block.unlink()
-            except (FileNotFoundError, OSError):  # already gone
-                pass
-            try:
-                block.close()
-            except BufferError:
-                # a caller still holds a view; the segment is unlinked,
-                # so it disappears once those references die
-                pass
-        self._blocks = []
+        self._bank.close()
+        self._bank = None
 
     def __enter__(self) -> "SharedCSRGraph":
         return self

@@ -15,7 +15,11 @@ and this package is that process, dependency-free (stdlib + NumPy):
 - :class:`~repro.service.cache.ResultCache` — ε-aware LRU (a tight
   answer serves any looser query) with hit/miss/eviction counters;
 - :class:`~repro.service.metrics.ServiceMetrics` — work counters,
-  latency quantile rings, batch-size histogram, Prometheus text;
+  latency quantile rings (end-to-end and per-batch fold), batch-size
+  histogram, Prometheus text;
+- :class:`~repro.service.executor.ProcessExecutor` — forked worker
+  pool folding batches against shared-memory banks (zero-copy tasks,
+  crash respawn, byte-identical answers to the in-process path);
 - :class:`~repro.service.service.PPRService` — the embeddable facade
   composing the four;
 - :mod:`repro.service.http` — the ``/query`` ``/pair`` ``/healthz``
@@ -28,7 +32,8 @@ See docs/SERVING.md for architecture and tuning guidance.
 
 from repro.service.cache import ResultCache, cache_key
 from repro.service.config import ServiceConfig
-from repro.service.index_manager import IndexManager
+from repro.service.executor import ExecutorError, ProcessExecutor
+from repro.service.index_manager import IndexManager, SharedIndexView
 from repro.service.metrics import (
     BatchSizeHistogram,
     LatencyRing,
@@ -43,14 +48,17 @@ from repro.service.service import PPRService
 
 __all__ = [
     "BatchSizeHistogram",
+    "ExecutorError",
     "IndexManager",
     "LatencyRing",
     "MicroBatchScheduler",
     "PPRService",
+    "ProcessExecutor",
     "QueryRequest",
     "ResultCache",
     "SchedulerFull",
     "ServiceConfig",
     "ServiceMetrics",
+    "SharedIndexView",
     "cache_key",
 ]

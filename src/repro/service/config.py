@@ -30,8 +30,14 @@ class ServiceConfig:
     alpha, epsilon, budget_scale, seed, workers, push_backend:
         The :class:`~repro.core.config.PPRConfig` fields the warmed
         index and its solvers are built with; ``workers`` fans the
-        index *build* out over the parallel engine (queries themselves
-        are served by threads).
+        index *build* out over the parallel engine and — in process
+        executor mode — also sizes the query worker pool.
+    executor:
+        ``"thread"`` folds batches in-process on the scheduler
+        threads; ``"process"`` dispatches them to a pool of
+        ``workers`` forked worker processes attached to the
+        shared-memory bank (see :mod:`repro.service.executor`).
+        Answers are byte-identical either way.
     max_batch:
         Most requests one batch-solver call may group.
     max_wait_ms:
@@ -56,6 +62,7 @@ class ServiceConfig:
     seed: int = 2022
     workers: int = 1
     push_backend: str = "vectorized"
+    executor: str = "thread"
     max_batch: int = 32
     max_wait_ms: float = 10.0
     queue_capacity: int = 256
@@ -79,6 +86,14 @@ class ServiceConfig:
             raise ConfigError(f"port must be in [0, 65535], got {self.port}")
         if self.scale <= 0:
             raise ConfigError(f"scale must be positive, got {self.scale}")
+        if self.executor not in ("thread", "process"):
+            raise ConfigError(
+                f"executor must be 'thread' or 'process', "
+                f"got {self.executor!r}")
+        if self.executor == "process" and self.workers < 1:
+            raise ConfigError(
+                "executor='process' needs workers >= 1 "
+                f"(got workers={self.workers})")
         # delegate the query-parameter checks (alpha range, epsilon > 0,
         # workers >= 0, known push backend) to PPRConfig
         self.ppr_config()
@@ -106,6 +121,7 @@ class ServiceConfig:
                 ("seed", self.seed),
                 ("workers", self.workers),
                 ("push_backend", self.push_backend),
+                ("executor", self.executor),
                 ("max_batch", self.max_batch),
                 ("max_wait_ms", self.max_wait_ms),
                 ("queue_capacity", self.queue_capacity),

@@ -1,0 +1,627 @@
+r"""Multiprocess query executor: fold micro-batches off the GIL.
+
+The scheduler's batched estimator fold is two CSR × dense products —
+pure compute that the ``ThreadingHTTPServer`` front end serializes on
+the GIL, so a thread-mode service uses one core no matter how many the
+box has.  :class:`ProcessExecutor` moves the fold into a pool of
+forked worker processes:
+
+- **zero-copy tasks** — a task stub carries only
+  :class:`~repro.parallel.shared_bank.BankHandle` references (segment
+  names + layout) to the graph CSR bank and the index operator bank
+  published by :meth:`IndexManager.shared_view`, plus the resolved
+  :class:`~repro.core.config.PPRConfig` and the node list; no array
+  bytes are pickled;
+- **warm attach** — each worker caches its attached graphs, indexes
+  and solvers per handle, so after the first batch (or an explicit
+  :meth:`warm`) a task costs zero attach work;
+- **byte identity** — the worker runs the *identical*
+  :class:`~repro.core.batch.BatchSourceSolver` /
+  :class:`~repro.core.batch.BatchTargetSolver` ``query_many`` code
+  path under the identical config against the identical (shared)
+  bytes, so every estimate is bit-equal to the in-process path for
+  any batch size and worker count;
+- **bounded in-flight** — at most ``max_in_flight`` batches are
+  admitted at once; further ``run_batch`` calls block, pushing
+  backpressure up into the scheduler's own bounded queue;
+- **crash isolation** — every worker talks over its *own* pipe pair
+  (single reader, single writer per pipe), so a SIGKILLed worker can
+  never poison a shared queue lock the way a shared
+  ``SimpleQueue.get`` — which holds the reader lock while blocked —
+  would.  The parent assigns tasks to workers itself, so on a death
+  it knows exactly which task was in flight: the monitor respawns the
+  worker on fresh pipes and re-dispatches that task.  A batch that
+  still cannot complete times out into :class:`ExecutorError`, which
+  the scheduler answers by folding inline — degraded throughput,
+  identical answers;
+- **graceful shutdown** — sentinel per worker, bounded join, then
+  terminate; outstanding tasks fail with :class:`ExecutorError`.
+
+Fork is the right start method here: spawn would re-import the world
+per worker, while forked workers inherit the loaded modules and
+attach segments *by name*, so they can bind banks created after the
+fork (an index refresh mid-flight).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from collections import deque
+from multiprocessing import connection
+
+from repro.core.batch import BatchSourceSolver, BatchTargetSolver
+from repro.core.config import PPRConfig
+from repro.exceptions import ReproError
+from repro.parallel.shared_bank import BankHandle, attach_bank
+from repro.parallel.shared_graph import graph_from_bank
+from repro.service.index_manager import IndexManager
+
+__all__ = ["ProcessExecutor", "ExecutorError"]
+
+
+class ExecutorError(ReproError):
+    """A batch could not be completed by the worker pool.
+
+    The scheduler treats this as "fold inline instead" — the executor
+    degrades to the single-process path rather than failing queries.
+    """
+
+
+class _Task:
+    """Picklable work stub: handles + config + nodes, no array bytes."""
+
+    __slots__ = ("graph_handle", "index_handle", "config", "kind", "nodes")
+
+    def __init__(self, graph_handle: BankHandle, index_handle: BankHandle,
+                 config: PPRConfig, kind: str, nodes: tuple[int, ...]):
+        self.graph_handle = graph_handle
+        self.index_handle = index_handle
+        self.config = config
+        self.kind = kind
+        self.nodes = nodes
+
+    def __getstate__(self):
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __setstate__(self, state):
+        for slot, value in state.items():
+            setattr(self, slot, value)
+
+
+class _TaskState:
+    """Parent-side bookkeeping for one admitted batch."""
+
+    __slots__ = ("task", "view", "event", "results", "error", "worker",
+                 "pin", "done")
+
+    def __init__(self, task: _Task, view, pin: int | None = None):
+        self.task = task
+        self.view = view
+        self.event = threading.Event()
+        self.results = None
+        self.error: str | None = None
+        self.worker: int | None = None  # assigned worker (while running)
+        self.pin = pin                  # warm tasks target one worker
+        self.done = False
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+class _WorkerCache:
+    """Per-worker warm-attach cache: handle → live attachment.
+
+    Bounded FIFO (old generations are retired rarely); evicted
+    attachments are closed so the worker does not pin unlinked
+    segments forever.
+    """
+
+    def __init__(self, capacity: int = 8):
+        self.capacity = capacity
+        self.graphs: dict[BankHandle, tuple] = {}
+        self.indexes: dict[tuple[BankHandle, BankHandle], tuple] = {}
+        self.solvers: dict[tuple, object] = {}
+
+    def graph_for(self, handle: BankHandle):
+        entry = self.graphs.get(handle)
+        if entry is None:
+            bank = attach_bank(handle)
+            entry = (graph_from_bank(bank.arrays, bank.meta), bank)
+            self._evict(self.graphs)
+            self.graphs[handle] = entry
+        return entry[0]
+
+    def index_for(self, graph_handle: BankHandle, index_handle: BankHandle):
+        from repro.montecarlo.forest_index import ForestIndex
+
+        key = (graph_handle, index_handle)
+        entry = self.indexes.get(key)
+        if entry is None:
+            graph = self.graph_for(graph_handle)
+            bank = attach_bank(index_handle)
+            index = ForestIndex.attach_bank(bank.arrays, bank.meta, graph)
+            self._evict(self.indexes)
+            entry = (index, bank)
+            self.indexes[key] = entry
+            self._drop_stale_solvers()
+        return entry[0]
+
+    def solver_for(self, task: _Task):
+        key = (task.graph_handle, task.index_handle, task.config, task.kind)
+        solver = self.solvers.get(key)
+        if solver is None:
+            graph = self.graph_for(task.graph_handle)
+            index = self.index_for(task.graph_handle, task.index_handle)
+            cls = (BatchSourceSolver if task.kind == "source"
+                   else BatchTargetSolver)
+            solver = cls(graph, config=task.config, index=index)
+            self._evict(self.solvers)
+            self.solvers[key] = solver
+        return solver
+
+    def _evict(self, cache: dict) -> None:
+        while len(cache) >= self.capacity:
+            entry = cache.pop(next(iter(cache)))  # FIFO: oldest first
+            if isinstance(entry, tuple) and len(entry) == 2:
+                entry[1].close()
+
+    def _drop_stale_solvers(self) -> None:
+        for key in [k for k in self.solvers
+                    if (k[0], k[1]) not in self.indexes]:
+            del self.solvers[key]
+
+
+def _worker_main(conn) -> None:
+    """Worker loop: recv a task, attach warm, fold, reply; None exits."""
+    cache = _WorkerCache()
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):
+            return
+        if task is None:
+            return
+        try:
+            if task.nodes:
+                solver = cache.solver_for(task)
+                answer = solver.query_many(list(task.nodes))
+            else:  # warm-attach task: bind the bank, answer nothing
+                cache.index_for(task.graph_handle, task.index_handle)
+                answer = []
+        except BaseException as error:
+            reply = ("error", f"{type(error).__name__}: {error}")
+        else:
+            reply = ("done", answer)
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            return
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+class ProcessExecutor:
+    """Forked worker pool folding scheduler batches off-process.
+
+    Parameters
+    ----------
+    index_manager:
+        Source of shared-memory views (graphs + index operator banks).
+    workers:
+        Pool size; each worker is one fold at a time.
+    max_in_flight:
+        Bound on admitted-but-unfinished batches (default
+        ``2 * workers``); :meth:`run_batch` blocks beyond it.
+    task_timeout:
+        Seconds one batch may stay unanswered (spanning respawns)
+        before :meth:`run_batch` gives up with :class:`ExecutorError`.
+    """
+
+    def __init__(self, index_manager: IndexManager, *, workers: int = 2,
+                 max_in_flight: int | None = None,
+                 task_timeout: float = 120.0):
+        if workers < 1:
+            raise ReproError(f"workers must be >= 1, got {workers}")
+        self.index_manager = index_manager
+        self.num_workers = int(workers)
+        self.task_timeout = float(task_timeout)
+        self._ctx = multiprocessing.get_context("fork")
+        self._sema = threading.BoundedSemaphore(
+            max_in_flight or 2 * self.num_workers)
+        self._cond = threading.Condition()
+        self._pending: deque[_TaskState] = deque()
+        self._procs: list[multiprocessing.Process | None] = \
+            [None] * self.num_workers
+        self._conns: list = [None] * self.num_workers  # parent pipe ends
+        # Closing a Connection while another thread is mid-recv/send on
+        # it is unsafe: os.close frees the fd number, a respawn's fresh
+        # pipe can reuse it instantly, and the in-flight call then reads
+        # or writes an unrelated pipe (stealing message bytes and
+        # desynchronizing the new worker's stream).  So stale conns are
+        # only ever closed ON the collector thread, between its recv
+        # cycles (the collector is the sole reader), after passing
+        # through this graveyard; sends are serialized against those
+        # closes by per-worker locks.
+        self._graveyard: list = []  # (worker_id, stale conn) pairs
+        self._send_locks = [threading.Lock()
+                            for _ in range(self.num_workers)]
+        self._busy: list[_TaskState | None] = [None] * self.num_workers
+        self._busy_since = [0.0] * self.num_workers
+        self._busy_seconds = [0.0] * self.num_workers
+        self._tasks_done = [0] * self.num_workers
+        self._respawns = 0
+        self._started = False
+        self._stopping = threading.Event()
+        self._started_at = time.monotonic()
+        self._dispatcher: threading.Thread | None = None
+        self._collector: threading.Thread | None = None
+        self._monitor: threading.Thread | None = None
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "ProcessExecutor":
+        """Fork the workers and start the service threads; idempotent."""
+        if self._started:
+            return self
+        self._started = True
+        self._started_at = time.monotonic()
+        for worker_id in range(self.num_workers):
+            self._spawn(worker_id)
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="ppr-exec-dispatch",
+            daemon=True)
+        self._collector = threading.Thread(
+            target=self._collect_loop, name="ppr-exec-collect", daemon=True)
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="ppr-exec-monitor", daemon=True)
+        self._dispatcher.start()
+        self._collector.start()
+        self._monitor.start()
+        return self
+
+    def _spawn(self, worker_id: int) -> None:
+        """Fork one worker on a fresh pipe pair (caller holds no locks)."""
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main, args=(child_conn,),
+            name=f"ppr-exec-worker-{worker_id}", daemon=True)
+        process.start()
+        child_conn.close()  # the worker's end lives in the worker only
+        # publish the pair atomically: the dispatcher must never see a
+        # live process next to a stale/absent pipe
+        with self._cond:
+            self._procs[worker_id] = process
+            self._conns[worker_id] = parent_conn
+            self._cond.notify_all()
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Graceful stop: sentinels, bounded join, terminate stragglers.
+
+        Outstanding batches fail with :class:`ExecutorError` (the
+        scheduler then folds them inline).  Idempotent.
+        """
+        if self._stopping.is_set():
+            return
+        self._stopping.set()
+        with self._cond:
+            self._cond.notify_all()
+        if not self._started:
+            return
+        # stop the dispatcher first so nothing else writes task pipes
+        # while the sentinels go out (Connection.send is not
+        # thread-safe per connection)
+        if self._dispatcher is not None and self._dispatcher.is_alive():
+            self._dispatcher.join(timeout=2.0)
+        for worker_id, conn in enumerate(self._conns):
+            if conn is not None:
+                try:
+                    with self._send_locks[worker_id]:
+                        conn.send(None)
+                except (BrokenPipeError, OSError, TypeError, ValueError):
+                    pass
+        deadline = time.monotonic() + timeout
+        for process in self._procs:
+            if process is None:
+                continue
+            process.join(timeout=max(deadline - time.monotonic(), 0.1))
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+        for thread in (self._dispatcher, self._collector, self._monitor):
+            if thread is not None and thread.is_alive():
+                thread.join(timeout=2.0)
+        with self._cond:
+            orphans = list(self._pending) + [state for state in self._busy
+                                             if state is not None]
+        for state in orphans:
+            self._finish(state, error="executor shut down")
+        with self._cond:
+            graveyard, self._graveyard = self._graveyard, []
+        for conn in ([conn for conn in self._conns if conn is not None]
+                     + [conn for _, conn in graveyard]):
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ProcessExecutor":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -- dispatch ------------------------------------------------------
+    def run_batch(self, graph: str, kind: str, alpha: float,
+                  epsilon: float, nodes, *,
+                  pin: int | None = None) -> list:
+        """Fold one batch in a worker; blocks until the answer returns.
+
+        Byte-identical to the in-process
+        ``get_solver(...).query_many(nodes)`` for the same arguments.
+        Raises :class:`ExecutorError` on worker failure, timeout, or
+        shutdown — callers fall back to the inline fold.
+        """
+        if not self._started or self._stopping.is_set():
+            raise ExecutorError("executor is not running")
+        view = self.index_manager.shared_view(graph, alpha)
+        try:
+            config = self.index_manager.config.with_overrides(
+                alpha=alpha, epsilon=epsilon)
+            task = _Task(view.graph_handle, view.index_handle, config,
+                         kind, tuple(int(node) for node in nodes))
+        except BaseException:
+            view.release()
+            raise
+        state = _TaskState(task, view, pin=pin)
+        self._sema.acquire()
+        with self._cond:
+            self._pending.append(state)
+            self._cond.notify_all()
+        if not state.event.wait(self.task_timeout):
+            self._finish(state, error="task timed out")
+        if state.error is not None:
+            raise ExecutorError(f"worker batch failed: {state.error}")
+        return state.results
+
+    def warm(self, graph: str, alpha: float | None = None,
+             timeout: float = 30.0) -> int:
+        """Per-worker warm attach of the current bank.
+
+        Dispatches one zero-node task *pinned to each worker* so every
+        worker binds the graph + index segments before real traffic
+        arrives.  Returns how many workers completed the warm-up
+        within ``timeout``.
+        """
+        alpha = (self.index_manager.config.alpha if alpha is None
+                 else float(alpha))
+        threads = []
+        completed = []
+
+        def one(worker_id: int):
+            try:
+                self.run_batch(graph, "source", alpha,
+                               self.index_manager.config.epsilon, (),
+                               pin=worker_id)
+                completed.append(worker_id)
+            except ExecutorError:
+                pass
+
+        for worker_id in range(self.num_workers):
+            thread = threading.Thread(target=one, args=(worker_id,),
+                                      daemon=True)
+            thread.start()
+            threads.append(thread)
+        deadline = time.monotonic() + timeout
+        for thread in threads:
+            thread.join(timeout=max(deadline - time.monotonic(), 0.05))
+        return len(completed)
+
+    # -- completion plumbing -------------------------------------------
+    def _finish(self, state: _TaskState, *, results=None,
+                error: str | None = None) -> None:
+        """Resolve a batch exactly once (idempotent against races)."""
+        with self._cond:
+            if state.done:
+                return
+            state.done = True
+            try:
+                self._pending.remove(state)
+            except ValueError:
+                pass
+            if (state.worker is not None
+                    and self._busy[state.worker] is state):
+                self._busy[state.worker] = None
+            self._cond.notify_all()
+        state.results = results
+        state.error = error
+        state.view.release()
+        self._sema.release()
+        state.event.set()
+
+    def _dispatch_loop(self) -> None:
+        """Assign pending batches to idle workers over their own pipes."""
+        while not self._stopping.is_set():
+            with self._cond:
+                assignment = self._pick_locked()
+                if assignment is None:
+                    self._cond.wait(timeout=0.1)
+                    continue
+                worker_id, state = assignment
+                state.worker = worker_id
+                self._busy[worker_id] = state
+                self._busy_since[worker_id] = time.monotonic()
+                conn = self._conns[worker_id]
+            try:
+                if conn is None:  # worker mid-respawn: treat as dead
+                    raise BrokenPipeError
+                with self._send_locks[worker_id]:
+                    conn.send(state.task)
+            # a conn the collector closed between our lookup and the
+            # send surfaces as TypeError/ValueError from its nulled
+            # handle, not just OSError
+            except (BrokenPipeError, OSError, TypeError, ValueError):
+                # worker just died; hand the task back, the monitor
+                # respawns the worker
+                with self._cond:
+                    if self._busy[worker_id] is state:
+                        self._busy[worker_id] = None
+                    state.worker = None
+                    if not state.done:
+                        self._pending.appendleft(state)
+
+    def _pick_locked(self):
+        """First dispatchable (worker, task) pair, else ``None``."""
+        for state in self._pending:
+            candidates = ([state.pin] if state.pin is not None
+                          else range(self.num_workers))
+            for worker_id in candidates:
+                process = self._procs[worker_id]
+                if (self._busy[worker_id] is None and process is not None
+                        and self._conns[worker_id] is not None
+                        and process.is_alive()):
+                    self._pending.remove(state)
+                    return worker_id, state
+        return None
+
+    def _collect_loop(self) -> None:
+        """Read completions; every pipe has exactly one reader (us).
+
+        This thread is also the only place stale conns are *closed*
+        (see ``_graveyard``): between recv cycles it cannot race its
+        own reads, so a close can never redirect an in-flight recv
+        onto a recycled fd.
+        """
+        while not self._stopping.is_set():
+            with self._cond:
+                graveyard, self._graveyard = self._graveyard, []
+                live = [(worker_id, conn) for worker_id, conn
+                        in enumerate(self._conns) if conn is not None]
+            for worker_id, stale in graveyard:
+                with self._send_locks[worker_id]:
+                    try:
+                        stale.close()
+                    except OSError:
+                        pass
+            try:
+                ready = connection.wait([conn for _, conn in live],
+                                        timeout=0.1)
+            except (OSError, ValueError):
+                continue
+            for worker_id, conn in live:
+                if conn not in ready:
+                    continue
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    # dead worker: retire its conn NOW so we do not
+                    # spin on the EOF until the monitor notices, and
+                    # so nobody re-reads it once the fd is recycled
+                    with self._cond:
+                        if self._conns[worker_id] is conn:
+                            self._conns[worker_id] = None
+                            self._graveyard.append((worker_id, conn))
+                    continue
+                now = time.monotonic()
+                with self._cond:
+                    state = self._busy[worker_id]
+                    if state is not None:
+                        self._busy[worker_id] = None
+                        self._busy_seconds[worker_id] += \
+                            now - self._busy_since[worker_id]
+                        self._tasks_done[worker_id] += 1
+                if state is None or message is None:
+                    continue
+                kind, payload = message
+                if kind == "done":
+                    self._finish(state, results=payload)
+                else:
+                    self._finish(state, error=payload)
+
+    def _monitor_loop(self) -> None:
+        """Respawn broken workers and re-dispatch their in-flight task.
+
+        A worker is broken when its process died, or when the
+        collector retired its pipe (EOF/IO error) — a live process
+        without a pipe can never be dispatched to again, so it is
+        replaced the same way.
+        """
+        while not self._stopping.wait(0.2):
+            for worker_id, process in enumerate(self._procs):
+                if process is None or self._stopping.is_set():
+                    continue
+                with self._cond:
+                    conn_gone = self._conns[worker_id] is None
+                if process.is_alive():
+                    if not conn_gone:
+                        continue
+                    process.terminate()
+                    process.join(timeout=1.0)
+                exitcode = process.exitcode
+                with self._cond:
+                    self._respawns += 1
+                    stale_conn = self._conns[worker_id]
+                    self._conns[worker_id] = None
+                    if stale_conn is not None:
+                        # closed by the collector (sole safe closer),
+                        # not here: the collector may be mid-recv
+                        self._graveyard.append((worker_id, stale_conn))
+                    lost = self._busy[worker_id]
+                    self._busy[worker_id] = None
+                    if lost is not None and not lost.done:
+                        lost.worker = None
+                        if lost.pin is not None:
+                            # a pinned warm task for a dead worker is
+                            # moot; the fresh worker attaches lazily
+                            pass
+                        self._pending.appendleft(lost)
+                    self._cond.notify_all()
+                self._spawn(worker_id)
+                print(f"[executor] worker {worker_id} died "
+                      f"(exit {exitcode}); respawned"
+                      + (", task re-dispatched" if lost is not None
+                         else ""), flush=True)
+
+    # -- observability -------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        """Admitted-but-unfinished batches (executor queue depth)."""
+        with self._cond:
+            return (len(self._pending)
+                    + sum(1 for state in self._busy if state is not None))
+
+    def utilization(self) -> list[float]:
+        """Per-worker busy fraction since :meth:`start`."""
+        now = time.monotonic()
+        uptime = max(now - self._started_at, 1e-9)
+        with self._cond:
+            busy = []
+            for worker_id in range(self.num_workers):
+                seconds = self._busy_seconds[worker_id]
+                if self._busy[worker_id] is not None:
+                    seconds += now - self._busy_since[worker_id]
+                busy.append(min(seconds / uptime, 1.0))
+        return busy
+
+    def stats(self) -> dict:
+        """Point-in-time pool snapshot for ``/metrics`` and tests."""
+        with self._cond:
+            tasks_done = list(self._tasks_done)
+            respawns = self._respawns
+            alive = [process is not None and process.is_alive()
+                     for process in self._procs]
+            in_flight = (len(self._pending)
+                         + sum(1 for state in self._busy
+                               if state is not None))
+        return {
+            "mode": "process",
+            "workers": self.num_workers,
+            "alive": alive,
+            "in_flight": in_flight,
+            "tasks_done": tasks_done,
+            "respawns": respawns,
+            "utilization": self.utilization(),
+            "pid": os.getpid(),
+        }

@@ -20,7 +20,13 @@ stage per query.  :class:`IndexManager` owns those banks:
   the new generation;
 - **memory accounting** — :meth:`memory_bytes` / :meth:`stats` report
   per-bank and total footprint via the index-size machinery the Fig-6
-  experiment already uses.
+  experiment already uses;
+- **shared-memory views** — :meth:`shared_view` publishes the graph's
+  CSR arrays and the bank's fold operators as named shared-memory
+  segments for the multiprocess executor; a refresh *retires* the old
+  generation's segments, which are unlinked only once the last
+  borrower releases them (in-flight worker batches finish on the old
+  bank, new batches attach the new one).
 """
 
 from __future__ import annotations
@@ -34,8 +40,10 @@ from repro.core.config import PPRConfig
 from repro.exceptions import ConfigError
 from repro.graph.csr import Graph
 from repro.montecarlo.forest_index import ForestIndex
+from repro.parallel.shared_bank import BankHandle, SharedArrayBank
+from repro.parallel.shared_graph import graph_bank_arrays
 
-__all__ = ["IndexManager"]
+__all__ = ["IndexManager", "SharedIndexView"]
 
 
 class _ManagedIndex:
@@ -46,6 +54,46 @@ class _ManagedIndex:
         self.generation = generation
         self.seed = seed
         self.built_at = time.time()
+
+
+class SharedIndexView:
+    """A borrowed reference to one generation's shared segments.
+
+    Couples the graph CSR bank with the index operator bank under one
+    acquire/release pair so a dispatched batch pins *both* for its
+    lifetime.  Views are handed out already acquired (under the
+    manager lock, so a concurrent retirement can never unlink between
+    construction and acquisition); callers must :meth:`release`
+    exactly once.
+    """
+
+    def __init__(self, graph_bank: SharedArrayBank,
+                 index_bank: SharedArrayBank, generation: int):
+        self._graph_bank = graph_bank
+        self._index_bank = index_bank
+        self.generation = generation
+
+    @property
+    def graph_handle(self) -> BankHandle:
+        return self._graph_bank.handle
+
+    @property
+    def index_handle(self) -> BankHandle:
+        return self._index_bank.handle
+
+    def _acquire(self) -> "SharedIndexView":
+        self._graph_bank.acquire()
+        try:
+            self._index_bank.acquire()
+        except BaseException:
+            self._graph_bank.release()
+            raise
+        return self
+
+    def release(self) -> None:
+        """Drop the borrow; retired segments unlink on the last drop."""
+        self._index_bank.release()
+        self._graph_bank.release()
 
 
 class IndexManager:
@@ -69,6 +117,9 @@ class IndexManager:
         self._graphs: dict[str, Graph] = {}
         self._indexes: dict[tuple[str, float], _ManagedIndex] = {}
         self._solvers: dict[tuple, BatchSourceSolver | BatchTargetSolver] = {}
+        self._shared_graphs: dict[str, SharedArrayBank] = {}
+        self._shared_indexes: dict[tuple[str, float],
+                                   tuple[SharedArrayBank, int]] = {}
         self._lock = threading.RLock()
         self._builds = 0
 
@@ -77,6 +128,9 @@ class IndexManager:
         """Register ``graph`` under ``name`` for later index builds."""
         with self._lock:
             self._graphs[name] = graph
+            stale = self._shared_graphs.pop(name, None)
+        if stale is not None:
+            stale.retire()
 
     def graph(self, name: str) -> Graph:
         """The registered graph, or :class:`ConfigError` if unknown."""
@@ -156,6 +210,10 @@ class IndexManager:
                 for solver_key in [k for k in self._solvers
                                    if k[0] == name and k[1] == alpha]:
                     del self._solvers[solver_key]
+                stale = self._shared_indexes.pop(key, None)
+            if stale is not None:
+                # unlink happens once the last in-flight borrower drops
+                stale[0].retire()
 
         thread = threading.Thread(target=rebuild, name=f"refresh-{name}",
                                   daemon=True)
@@ -172,6 +230,60 @@ class IndexManager:
             for solver_key in [k for k in self._solvers
                                if k[0] == name and k[1] == alpha]:
                 del self._solvers[solver_key]
+            stale = self._shared_indexes.pop((name, alpha), None)
+        if stale is not None:
+            stale[0].retire()
+
+    # -- shared-memory views (multiprocess executor) -------------------
+    def shared_view(self, name: str,
+                    alpha: float | None = None) -> SharedIndexView:
+        """An *acquired* shared-memory view of ``(name, α)``.
+
+        Publishes the graph CSR arrays and the bank's fold operators
+        as named shared-memory segments (built lazily, reused across
+        calls for the same generation) and returns a view pinning
+        both.  The caller — one executor batch — must
+        :meth:`SharedIndexView.release` when done; a refresh that
+        lands mid-batch retires the old segments, and the unlink is
+        deferred until that release.
+        """
+        alpha = self.config.alpha if alpha is None else float(alpha)
+        index = self.get_index(name, alpha)
+        # materialise the fold operators outside the lock (first call
+        # builds them; they are cached on the index afterwards)
+        index._operators  # noqa: B018 - intentional cache warm
+        with self._lock:
+            managed = self._indexes[(name, alpha)]
+            # re-read under the lock: a refresh may have swapped the
+            # bank between get_index and here
+            index, generation = managed.index, managed.generation
+            graph_bank = self._shared_graphs.get(name)
+            if graph_bank is None or graph_bank.retired:
+                arrays, meta = graph_bank_arrays(self._graphs[name])
+                graph_bank = SharedArrayBank(arrays, meta)
+                self._shared_graphs[name] = graph_bank
+            entry = self._shared_indexes.get((name, alpha))
+            if entry is None or entry[1] != generation or entry[0].retired:
+                if entry is not None:
+                    entry[0].retire()
+                index_bank = SharedArrayBank(*index.bank_arrays())
+                self._shared_indexes[(name, alpha)] = (index_bank,
+                                                       generation)
+            else:
+                index_bank = entry[0]
+            return SharedIndexView(graph_bank, index_bank,
+                                   generation)._acquire()
+
+    def close_shared(self) -> None:
+        """Force-unlink every shared segment (shutdown path)."""
+        with self._lock:
+            graph_banks = list(self._shared_graphs.values())
+            index_banks = [entry[0]
+                          for entry in self._shared_indexes.values()]
+            self._shared_graphs.clear()
+            self._shared_indexes.clear()
+        for bank in index_banks + graph_banks:
+            bank.close()
 
     # -- solvers -------------------------------------------------------
     def get_solver(self, name: str, kind: str, alpha: float | None = None,

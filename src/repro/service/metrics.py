@@ -109,6 +109,9 @@ class ServiceMetrics:
     def __init__(self, latency_window: int = 2048):
         self.work = WorkCounters()
         self.latency = LatencyRing(latency_window)
+        # solver-fold time per batch, split out from end-to-end request
+        # latency so queueing delay and compute are separately visible
+        self.fold = LatencyRing(latency_window)
         self.batch_sizes = BatchSizeHistogram()
         self._lock = threading.Lock()
         self._requests: dict[str, int] = {}
@@ -141,6 +144,11 @@ class ServiceMetrics:
             self._batches += 1
             self.work.merge(work)
 
+    def record_fold(self, seconds: float) -> None:
+        """Solver-fold wall time of one executed batch (compute only,
+        no queueing) — the p50/p99 split the executor sizing needs."""
+        self.fold.record(seconds)
+
     def register_gauge(self, name: str, supplier: Callable) -> None:
         """Register a pull-at-render-time gauge.
 
@@ -166,6 +174,8 @@ class ServiceMetrics:
             "work": work,
             "latency_p50": self.latency.quantile(0.5),
             "latency_p99": self.latency.quantile(0.99),
+            "fold_p50": self.fold.quantile(0.5),
+            "fold_p99": self.fold.quantile(0.99),
             "batch_size": self.batch_sizes.snapshot(),
         }
 
@@ -207,6 +217,12 @@ class ServiceMetrics:
              [('{quantile="0.5"}', snap["latency_p50"]),
               ('{quantile="0.99"}', snap["latency_p99"]),
               ("_count", self.latency.count)])
+
+        emit("repro_service_fold_seconds", "summary",
+             "Per-batch solver-fold time (compute, no queueing).",
+             [('{quantile="0.5"}', snap["fold_p50"]),
+              ('{quantile="0.99"}', snap["fold_p99"]),
+              ("_count", self.fold.count)])
 
         for name, value in sorted(snap["work"].items()):
             if name == "total":

@@ -117,7 +117,7 @@ class MicroBatchScheduler:
                  max_batch: int = 32, max_wait_ms: float = 10.0,
                  queue_capacity: int = 256,
                  metrics: ServiceMetrics | None = None,
-                 executors: int = 1):
+                 executors: int = 1, executor=None):
         if max_batch < 1:
             raise ConfigError(f"max_batch must be >= 1, got {max_batch}")
         if queue_capacity < 1:
@@ -128,6 +128,11 @@ class MicroBatchScheduler:
         self.max_wait = float(max_wait_ms) / 1000.0
         self.queue_capacity = int(queue_capacity)
         self.metrics = metrics
+        #: optional ProcessExecutor; batches are folded in its worker
+        #: pool, falling back inline on ExecutorError (same bytes
+        #: either way, see repro.service.executor)
+        self.executor = executor
+        self.fallback_batches = 0
         self._groups: OrderedDict[tuple, deque[_Pending]] = OrderedDict()
         self._depth = 0
         self._cond = threading.Condition()
@@ -234,9 +239,15 @@ class MicroBatchScheduler:
     def _execute(self, batch: list[_Pending]) -> None:
         request = batch[0].request
         try:
-            solver = self.index_manager.get_solver(
-                request.graph, request.solver_kind,
-                alpha=request.alpha, epsilon=request.epsilon)
+            if self.executor is not None:
+                # cheap pre-validation so an unknown graph fails at the
+                # same stage it would on the inline path
+                self.index_manager.graph(request.graph)
+                solver = None
+            else:
+                solver = self.index_manager.get_solver(
+                    request.graph, request.solver_kind,
+                    alpha=request.alpha, epsilon=request.epsilon)
         except BaseException as error:  # propagate to every waiter
             for pending in batch:
                 pending.error = error
@@ -244,10 +255,11 @@ class MicroBatchScheduler:
             if self.metrics is not None:
                 self.metrics.record_error()
             return
+        nodes = [pending.request.node for pending in batch]
         work_sum = None
+        started = time.perf_counter()
         try:
-            results = solver.query_many(
-                [pending.request.node for pending in batch])
+            results = self._fold(request, nodes, solver)
         except BaseException as error:
             for pending in batch:
                 pending.error = error
@@ -258,6 +270,7 @@ class MicroBatchScheduler:
             with self._cond:
                 self.batches_executed += 1
             return
+        fold_seconds = time.perf_counter() - started
         for pending, result in zip(batch, results):
             work_sum = (result.work if work_sum is None
                         else work_sum.merge(result.work))
@@ -265,7 +278,29 @@ class MicroBatchScheduler:
             pending.event.set()
         with self._cond:
             self.batches_executed += 1
-        if self.metrics is not None and work_sum is not None:
-            self.metrics.record_batch(len(batch), work_sum)
-        elif self.metrics is not None:
-            self.metrics.record_batch(len(batch), {})
+        if self.metrics is not None:
+            self.metrics.record_batch(
+                len(batch), work_sum if work_sum is not None else {})
+            self.metrics.record_fold(fold_seconds)
+
+    def _fold(self, request: QueryRequest, nodes: list[int], solver):
+        """Run one batch — in a worker process when an executor is
+        attached (falling back inline on :class:`ExecutorError`),
+        inline otherwise.  Both paths run the identical
+        ``query_many`` code against the identical bank bytes, so the
+        answers are byte-equal."""
+        if self.executor is not None:
+            from repro.service.executor import ExecutorError
+
+            try:
+                return self.executor.run_batch(
+                    request.graph, request.solver_kind,
+                    request.alpha, request.epsilon, nodes)
+            except ExecutorError:
+                with self._cond:
+                    self.fallback_batches += 1
+        if solver is None:
+            solver = self.index_manager.get_solver(
+                request.graph, request.solver_kind,
+                alpha=request.alpha, epsilon=request.epsilon)
+        return solver.query_many(nodes)

@@ -63,15 +63,39 @@ class PPRService:
         self.index_manager.register_graph(self.config.graph, graph)
         self.cache = ResultCache(self.config.cache_entries)
         self.metrics = ServiceMetrics()
+        self.executor = None
+        if self.config.executor == "process":
+            from repro.service.executor import ProcessExecutor
+
+            self.executor = ProcessExecutor(
+                self.index_manager, workers=self.config.workers)
         self.scheduler = MicroBatchScheduler(
             self.index_manager,
             max_batch=self.config.max_batch,
             max_wait_ms=self.config.max_wait_ms,
             queue_capacity=self.config.queue_capacity,
-            metrics=self.metrics)
+            metrics=self.metrics,
+            # one flush thread per worker so the pool actually fills
+            executors=(self.config.workers
+                       if self.executor is not None else 1),
+            executor=self.executor)
         self.metrics.register_gauge(
             "repro_service_queue_depth",
             lambda: float(self.scheduler.queue_depth))
+        if self.executor is not None:
+            self.metrics.register_gauge(
+                "repro_service_executor_queue_depth",
+                lambda: float(self.executor.in_flight))
+            self.metrics.register_gauge(
+                "repro_service_executor_utilization",
+                lambda: {f'{{worker="{worker}"}}': value
+                         for worker, value
+                         in enumerate(self.executor.utilization())})
+            self.metrics.register_gauge(
+                "repro_service_executor_tasks",
+                lambda: {f'{{worker="{worker}"}}': float(value)
+                         for worker, value in enumerate(
+                             self.executor.stats()["tasks_done"])})
         self.metrics.register_gauge(
             "repro_service_cache",
             lambda: {f"_{key}": float(value)
@@ -87,18 +111,30 @@ class PPRService:
 
     # -- lifecycle -----------------------------------------------------
     def start(self, warm: bool = True) -> "PPRService":
-        """Warm the default bank and start the scheduler; idempotent."""
+        """Warm the default bank and start the scheduler; idempotent.
+
+        In process-executor mode the worker pool forks here — before
+        the scheduler threads start — and each worker warm-attaches
+        the shared bank so the first real batch pays no attach cost.
+        """
         if warm:
             self.index_manager.warm(self.config.graph, self.config.alpha)
+        if self.executor is not None:
+            self.executor.start()
+            if warm:
+                self.executor.warm(self.config.graph, self.config.alpha)
         self.scheduler.start()
         self._running = True
         return self
 
     def stop(self) -> None:
-        """Drain and stop the scheduler."""
+        """Drain the scheduler, stop the pool, unlink shared segments."""
         if self._running:
             self.scheduler.stop(drain=True)
             self._running = False
+        if self.executor is not None:
+            self.executor.shutdown()
+        self.index_manager.close_shared()
 
     def __enter__(self) -> "PPRService":
         return self.start()
@@ -210,6 +246,9 @@ class PPRService:
             "batches": snap["batches"],
             "requests": sum(snap["requests"].values()),
             "index": self.index_manager.stats(),
+            "executor": (self.executor.stats()
+                         if self.executor is not None
+                         else {"mode": "thread", "workers": 0}),
         }
 
     def metrics_text(self) -> str:

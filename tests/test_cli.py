@@ -130,6 +130,30 @@ class TestCommands:
         assert main(["selfcheck", "--seed", "7", "--workers", "3"]) == 0
         assert capsys.readouterr().out == serial
 
+    def test_index_build_then_load(self, capsys, tmp_path):
+        from repro.graph.datasets import load_dataset
+        from repro.montecarlo.forest_index import ForestIndex
+
+        bank = str(tmp_path / "bank")
+        assert main(["index", "build", "youtube", bank, "--scale", "0.05",
+                     "--num-forests", "3", "--seed", "11"]) == 0
+        out = capsys.readouterr().out
+        assert "built bank: youtube" in out
+        assert "forests 3" in out
+        graph = load_dataset("youtube", scale=0.05)
+        index = ForestIndex.load_bank(bank, graph)
+        assert index.num_forests == 3
+
+    def test_index_inspect_rejects_non_bank(self, capsys, tmp_path):
+        assert main(["index", "inspect", str(tmp_path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_dry_run_process_executor(self, capsys):
+        assert main(["serve", "--dry-run", "--executor", "process",
+                     "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "executor        process" in out
+
     def test_experiment_list(self, capsys):
         assert main(["experiment", "--list"]) == 0
         out = capsys.readouterr().out
@@ -177,6 +201,18 @@ class TestGoldenOutput:
                      "--seed", "2022", "--dry-run"]) == 0
         _assert_matches_golden("serve_dry_run.txt",
                                capsys.readouterr().out)
+
+    def test_index_build_inspect(self, capsys, tmp_path):
+        """`repro index` build + inspect transcript is byte-stable."""
+        bank = str(tmp_path / "bank")
+        assert main(["index", "build", "youtube", bank, "--scale", "0.05",
+                     "--alpha", "0.1", "--num-forests", "4",
+                     "--seed", "2022"]) == 0
+        build_out = capsys.readouterr().out
+        assert main(["index", "inspect", bank]) == 0
+        _assert_matches_golden("index_build_inspect.txt",
+                               build_out + "---\n"
+                               + capsys.readouterr().out)
 
     def test_scalar_backend_prints_identical_query(self, capsys):
         """The backend flag must not change a single printed byte."""
