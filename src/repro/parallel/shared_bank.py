@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import json
 import os
+import sys
 import threading
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
@@ -123,8 +124,7 @@ class SharedArrayBank:
         try:
             for name, array in arrays.items():
                 array = np.ascontiguousarray(array)
-                block = shared_memory.SharedMemory(
-                    create=True, size=max(array.nbytes, 1))
+                block = _create_segment(max(array.nbytes, 1))
                 view = np.ndarray(array.shape, dtype=array.dtype,
                                   buffer=block.buf)
                 view[...] = array
@@ -217,21 +217,42 @@ class SharedArrayBank:
             pass
 
 
-_attach_lock = threading.Lock()
+#: ``SharedMemory(track=...)`` exists from Python 3.13; before that the
+#: only way to attach untracked is to suppress ``register`` while the
+#: attach runs.
+_HAS_TRACK = sys.version_info >= (3, 13)
+
+#: Pre-3.13 only: serializes every ``SharedMemory`` construction in
+#: this process — attaches (which suppress ``register``) AND creates
+#: (which must NOT land inside an attacher's suppression window, or the
+#: new segment is never registered and a crash leaks it in
+#: ``/dev/shm``).  Creators in *other* processes see their own
+#: ``resource_tracker.register`` and are unaffected.
+_tracker_lock = threading.Lock()
+
+
+def _create_segment(size: int) -> shared_memory.SharedMemory:
+    """Create a tracked segment, safe against concurrent attachers."""
+    if _HAS_TRACK:
+        return shared_memory.SharedMemory(create=True, size=size)
+    with _tracker_lock:
+        return shared_memory.SharedMemory(create=True, size=size)
 
 
 def _attach_untracked(shm_name: str) -> shared_memory.SharedMemory:
     """Attach to an existing segment without resource-tracker tracking.
 
-    Before 3.13 (which grew ``track=False``) attaching registers the
-    segment with the resource tracker as if the attacher owned it.
-    That breaks both deployment shapes: a forked worker shares the
-    owner's tracker process, so *any* dereg/unlink pairing double-books
-    the one cache entry, and an unrelated attacher's tracker tries to
-    unlink the owner's segment at exit.  Suppress the registration at
-    its source instead.
+    Attaching must not register the segment as if the attacher owned
+    it: a forked worker shares the owner's tracker process, so *any*
+    dereg/unlink pairing double-books the one cache entry, and an
+    unrelated attacher's tracker tries to unlink the owner's segment
+    at exit.  On 3.13+ ``track=False`` says exactly that; before,
+    suppress the registration at its source, under the same lock
+    creators take so no concurrent create goes unregistered.
     """
-    with _attach_lock:
+    if _HAS_TRACK:
+        return shared_memory.SharedMemory(name=shm_name, track=False)
+    with _tracker_lock:
         original = resource_tracker.register
         resource_tracker.register = lambda name, rtype: None
         try:

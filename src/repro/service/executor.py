@@ -45,6 +45,7 @@ fork (an index refresh mid-flight).
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
 import os
 import threading
@@ -52,9 +53,18 @@ import time
 from collections import deque
 from multiprocessing import connection
 
+# Workers are forked — possibly by the monitor thread while the
+# dispatcher, collector, HTTP server and index-refresh threads are all
+# live.  A forked child that then runs `import x` can inherit the
+# parent's import lock mid-acquisition and deadlock before serving its
+# first task, so everything the worker code path touches lazily must
+# be fully imported HERE, at module import time, before any fork.
+import scipy.sparse  # noqa: F401  (pre-fork: _BankOperators lazy import)
+
 from repro.core.batch import BatchSourceSolver, BatchTargetSolver
 from repro.core.config import PPRConfig
 from repro.exceptions import ReproError
+from repro.montecarlo.forest_index import ForestIndex
 from repro.parallel.shared_bank import BankHandle, attach_bank
 from repro.parallel.shared_graph import graph_from_bank
 from repro.service.index_manager import IndexManager
@@ -71,12 +81,23 @@ class ExecutorError(ReproError):
 
 
 class _Task:
-    """Picklable work stub: handles + config + nodes, no array bytes."""
+    """Picklable work stub: handles + config + nodes, no array bytes.
 
-    __slots__ = ("graph_handle", "index_handle", "config", "kind", "nodes")
+    ``task_id`` is echoed back in the worker's reply so the collector
+    can match replies to tasks: after a timeout the parent marks the
+    worker idle while the worker is still computing, and the next task
+    queues behind that computation on the same pipe — without the id a
+    late reply for the timed-out task would be attributed to the new
+    one, silently serving one batch's estimates to another's caller.
+    """
 
-    def __init__(self, graph_handle: BankHandle, index_handle: BankHandle,
-                 config: PPRConfig, kind: str, nodes: tuple[int, ...]):
+    __slots__ = ("task_id", "graph_handle", "index_handle", "config",
+                 "kind", "nodes")
+
+    def __init__(self, task_id: int, graph_handle: BankHandle,
+                 index_handle: BankHandle, config: PPRConfig, kind: str,
+                 nodes: tuple[int, ...]):
+        self.task_id = task_id
         self.graph_handle = graph_handle
         self.index_handle = index_handle
         self.config = config
@@ -130,13 +151,11 @@ class _WorkerCache:
         if entry is None:
             bank = attach_bank(handle)
             entry = (graph_from_bank(bank.arrays, bank.meta), bank)
-            self._evict(self.graphs)
+            self._evict_graphs()
             self.graphs[handle] = entry
         return entry[0]
 
     def index_for(self, graph_handle: BankHandle, index_handle: BankHandle):
-        from repro.montecarlo.forest_index import ForestIndex
-
         key = (graph_handle, index_handle)
         entry = self.indexes.get(key)
         if entry is None:
@@ -168,6 +187,22 @@ class _WorkerCache:
             if isinstance(entry, tuple) and len(entry) == 2:
                 entry[1].close()
 
+    def _evict_graphs(self) -> None:
+        """Evict oldest graphs plus everything built on top of them.
+
+        Indexes and solvers keyed on an evicted graph hold live views
+        into its segments; dropping only the graph entry would keep
+        those (possibly unlinked) segments mapped forever, defeating
+        the eviction.
+        """
+        while len(self.graphs) >= self.capacity:
+            handle = next(iter(self.graphs))  # FIFO: oldest first
+            _, bank = self.graphs.pop(handle)
+            for key in [k for k in self.indexes if k[0] == handle]:
+                self.indexes.pop(key)[1].close()
+            self._drop_stale_solvers()
+            bank.close()
+
     def _drop_stale_solvers(self) -> None:
         for key in [k for k in self.solvers
                     if (k[0], k[1]) not in self.indexes]:
@@ -182,6 +217,10 @@ def _worker_main(conn) -> None:
             task = conn.recv()
         except (EOFError, OSError):
             return
+        except KeyboardInterrupt:
+            # a terminal Ctrl-C hits the whole process group; exit
+            # quietly instead of spraying one traceback per worker
+            return
         if task is None:
             return
         try:
@@ -192,9 +231,10 @@ def _worker_main(conn) -> None:
                 cache.index_for(task.graph_handle, task.index_handle)
                 answer = []
         except BaseException as error:
-            reply = ("error", f"{type(error).__name__}: {error}")
+            reply = (task.task_id, "error",
+                     f"{type(error).__name__}: {error}")
         else:
-            reply = ("done", answer)
+            reply = (task.task_id, "done", answer)
         try:
             conn.send(reply)
         except (BrokenPipeError, OSError):
@@ -249,6 +289,7 @@ class ProcessExecutor:
         self._graveyard: list = []  # (worker_id, stale conn) pairs
         self._send_locks = [threading.Lock()
                             for _ in range(self.num_workers)]
+        self._task_ids = itertools.count()  # GIL-atomic next()
         self._busy: list[_TaskState | None] = [None] * self.num_workers
         self._busy_since = [0.0] * self.num_workers
         self._busy_seconds = [0.0] * self.num_workers
@@ -356,13 +397,15 @@ class ProcessExecutor:
     # -- dispatch ------------------------------------------------------
     def run_batch(self, graph: str, kind: str, alpha: float,
                   epsilon: float, nodes, *,
-                  pin: int | None = None) -> list:
+                  pin: int | None = None,
+                  timeout: float | None = None) -> list:
         """Fold one batch in a worker; blocks until the answer returns.
 
         Byte-identical to the in-process
         ``get_solver(...).query_many(nodes)`` for the same arguments.
         Raises :class:`ExecutorError` on worker failure, timeout, or
-        shutdown — callers fall back to the inline fold.
+        shutdown — callers fall back to the inline fold.  ``timeout``
+        overrides the pool-wide ``task_timeout`` for this call.
         """
         if not self._started or self._stopping.is_set():
             raise ExecutorError("executor is not running")
@@ -370,8 +413,9 @@ class ProcessExecutor:
         try:
             config = self.index_manager.config.with_overrides(
                 alpha=alpha, epsilon=epsilon)
-            task = _Task(view.graph_handle, view.index_handle, config,
-                         kind, tuple(int(node) for node in nodes))
+            task = _Task(next(self._task_ids), view.graph_handle,
+                         view.index_handle, config, kind,
+                         tuple(int(node) for node in nodes))
         except BaseException:
             view.release()
             raise
@@ -380,7 +424,8 @@ class ProcessExecutor:
         with self._cond:
             self._pending.append(state)
             self._cond.notify_all()
-        if not state.event.wait(self.task_timeout):
+        wait = self.task_timeout if timeout is None else float(timeout)
+        if not state.event.wait(wait):
             self._finish(state, error="task timed out")
         if state.error is not None:
             raise ExecutorError(f"worker batch failed: {state.error}")
@@ -393,19 +438,28 @@ class ProcessExecutor:
         Dispatches one zero-node task *pinned to each worker* so every
         worker binds the graph + index segments before real traffic
         arrives.  Returns how many workers completed the warm-up
-        within ``timeout``.
+        within ``timeout``: each pinned call carries the warm deadline
+        as its own task timeout (not the pool-wide ``task_timeout``),
+        so no warm thread outlives the deadline by more than a beat
+        and the returned count is a settled total, not a snapshot a
+        straggler could bump later.
         """
         alpha = (self.index_manager.config.alpha if alpha is None
                  else float(alpha))
+        deadline = time.monotonic() + timeout
         threads = []
-        completed = []
+        completed_lock = threading.Lock()
+        completed: list[int] = []
 
         def one(worker_id: int):
             try:
                 self.run_batch(graph, "source", alpha,
                                self.index_manager.config.epsilon, (),
-                               pin=worker_id)
-                completed.append(worker_id)
+                               pin=worker_id,
+                               timeout=max(deadline - time.monotonic(),
+                                           0.05))
+                with completed_lock:
+                    completed.append(worker_id)
             except ExecutorError:
                 pass
 
@@ -414,10 +468,11 @@ class ProcessExecutor:
                                       daemon=True)
             thread.start()
             threads.append(thread)
-        deadline = time.monotonic() + timeout
         for thread in threads:
-            thread.join(timeout=max(deadline - time.monotonic(), 0.05))
-        return len(completed)
+            thread.join(timeout=max(deadline - time.monotonic(), 0.05)
+                        + 0.5)
+        with completed_lock:
+            return len(completed)
 
     # -- completion plumbing -------------------------------------------
     def _finish(self, state: _TaskState, *, results=None,
@@ -426,6 +481,10 @@ class ProcessExecutor:
         with self._cond:
             if state.done:
                 return
+            # results/error must be visible before done is: a racing
+            # run_batch returns the moment it sees done and reads them
+            state.results = results
+            state.error = error
             state.done = True
             try:
                 self._pending.remove(state)
@@ -435,8 +494,6 @@ class ProcessExecutor:
                     and self._busy[state.worker] is state):
                 self._busy[state.worker] = None
             self._cond.notify_all()
-        state.results = results
-        state.error = error
         state.view.release()
         self._sema.release()
         state.event.set()
@@ -525,16 +582,29 @@ class ProcessExecutor:
                             self._graveyard.append((worker_id, conn))
                     continue
                 now = time.monotonic()
+                try:
+                    task_id, kind, payload = message
+                except (TypeError, ValueError):
+                    continue
                 with self._cond:
                     state = self._busy[worker_id]
-                    if state is not None:
+                    if state is None or state.task.task_id != task_id:
+                        # stale reply for a task run_batch already timed
+                        # out: the worker was marked idle mid-compute,
+                        # so _busy may now hold the NEXT task, queued on
+                        # the pipe behind the old one.  Attributing this
+                        # payload to it would hand one batch's estimates
+                        # to another batch's caller — drop it and leave
+                        # _busy alone; the worker still owes a reply for
+                        # whatever _busy holds.
+                        state = None
+                    else:
                         self._busy[worker_id] = None
                         self._busy_seconds[worker_id] += \
                             now - self._busy_since[worker_id]
                         self._tasks_done[worker_id] += 1
-                if state is None or message is None:
+                if state is None:
                     continue
-                kind, payload = message
                 if kind == "done":
                     self._finish(state, results=payload)
                 else:

@@ -16,6 +16,7 @@ import time
 import numpy as np
 import pytest
 
+from repro.core.batch import BatchSourceSolver
 from repro.core.config import PPRConfig
 from repro.exceptions import ConfigError, ReproError
 from repro.graph.generators import erdos_renyi
@@ -180,6 +181,46 @@ class TestProcessExecutor:
         for ours, theirs in zip(before, after):
             assert np.array_equal(ours.estimates, theirs.estimates)
 
+    def test_timed_out_reply_is_not_misattributed(self, graph,
+                                                  monkeypatch):
+        """A late reply for a timed-out task must never answer the next.
+
+        After a timeout the parent marks the worker idle while the
+        worker is still computing; the next batch queues on the same
+        pipe behind it.  The worker's reply for the OLD task arrives
+        first — without task-id matching it would be attributed to the
+        NEW batch, silently serving one caller another's estimates.
+        """
+        slow_node = 13
+
+        original = BatchSourceSolver.query_many
+
+        def slow(self, nodes):
+            if list(nodes) == [slow_node]:
+                time.sleep(1.0)
+            return original(self, nodes)
+
+        # patched before start(): the forked worker inherits the patch
+        monkeypatch.setattr(BatchSourceSolver, "query_many", slow)
+        manager = _manager(graph)
+        executor = ProcessExecutor(manager, workers=1).start()
+        try:
+            with pytest.raises(ExecutorError, match="timed out"):
+                executor.run_batch("test", "source", ALPHA, EPSILON,
+                                   [slow_node], timeout=0.2)
+            fresh = executor.run_batch("test", "source", ALPHA, EPSILON,
+                                       [7])
+            solver = manager.get_solver("test", "source")
+            assert len(fresh) == 1
+            assert np.array_equal(fresh[0].estimates,
+                                  solver.query_many([7])[0].estimates)
+            assert not np.array_equal(
+                fresh[0].estimates,
+                solver.query_many([slow_node])[0].estimates)
+        finally:
+            executor.shutdown()
+            manager.close_shared()
+
     def test_run_after_shutdown_raises(self, graph):
         manager = _manager(graph)
         executor = ProcessExecutor(manager, workers=1).start()
@@ -187,6 +228,37 @@ class TestProcessExecutor:
         with pytest.raises(ExecutorError, match="not running"):
             executor.run_batch("test", "source", ALPHA, EPSILON, [0])
         manager.close_shared()
+
+
+class TestWorkerCacheEviction:
+    def test_graph_eviction_drops_dependent_indexes_and_solvers(
+            self, graph):
+        """Evicting a graph must not strand index/solver views on it."""
+        from repro.service.executor import _Task, _WorkerCache
+
+        manager = _manager(graph)
+        manager.register_graph("other", erdos_renyi(150, 0.03,
+                                                    rng=SEED + 1))
+        view_a = manager.shared_view("test")
+        view_b = manager.shared_view("other")
+        try:
+            cache = _WorkerCache(capacity=1)
+            task = _Task(0, view_a.graph_handle, view_a.index_handle,
+                         manager.config, "source", (0,))
+            cache.solver_for(task)
+            assert set(cache.graphs) == {view_a.graph_handle}
+            assert len(cache.indexes) == 1 and len(cache.solvers) == 1
+            # a second graph evicts the first AND everything keyed on
+            # it — otherwise those entries pin the evicted (possibly
+            # unlinked) segments forever
+            cache.graph_for(view_b.graph_handle)
+            assert set(cache.graphs) == {view_b.graph_handle}
+            assert not cache.indexes
+            assert not cache.solvers
+        finally:
+            view_a.release()
+            view_b.release()
+            manager.close_shared()
 
 
 class _FailingExecutor:
