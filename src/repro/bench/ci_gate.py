@@ -37,7 +37,8 @@ from repro.graph.generators import chung_lu
 from repro.parallel import parallel_estimate_stage, sample_forests_parallel
 from repro.push import backward_push, balanced_forward_push
 
-__all__ = ["main", "run_kernels", "calibration_seconds"]
+__all__ = ["main", "run_kernels", "calibration_seconds",
+           "check_trace_overhead"]
 
 SEED = 2022
 ALPHA = 0.1
@@ -169,6 +170,17 @@ def run_kernels(workers: int = 4) -> dict[str, dict]:
             work.merge(result.work)
         return work.as_dict()
 
+    # same workload with full span collection enabled — the ci_gate
+    # overhead check compares this against the untraced kernel above
+    def service_query_many_mp_traced():
+        results = mp_executor.run_batch("gate", "source", ALPHA, 0.5,
+                                        list(range(16)), trace=True,
+                                        stats={})
+        work = WorkCounters()
+        for result in results:
+            work.merge(result.work)
+        return work.as_dict()
+
     kernels = {}
     try:
         for name, func in [("forest_sampling_serial", forest_serial),
@@ -188,13 +200,41 @@ def run_kernels(workers: int = 4) -> dict[str, dict]:
                            ("backlv_query", backlv_query),
                            ("service_query_many_16", service_query_many),
                            ("service_query_many_16_mp",
-                            service_query_many_mp)]:
+                            service_query_many_mp),
+                           ("service_query_many_16_traced",
+                            service_query_many_mp_traced)]:
             seconds, counters = _timed(func)
             kernels[name] = {"seconds": seconds, "counters": counters}
     finally:
         mp_executor.shutdown()
         mp_manager.close_shared()
     return kernels
+
+
+#: The tracing-overhead budget: the traced micro-batch kernel may be at
+#: most this much slower than its untraced twin (fractional).
+TRACE_OVERHEAD_BUDGET = 0.05
+
+
+def check_trace_overhead(kernels: dict[str, dict],
+                         budget: float = TRACE_OVERHEAD_BUDGET
+                         ) -> tuple[bool, str]:
+    """Compare the traced vs untraced micro-batch kernels.
+
+    Both are best-of-N on the same warm executor, so the ratio isolates
+    span construction + pipe serialization.  Sub-millisecond kernels
+    are pure timer noise at 5%, so the check is skipped (passes) when
+    the untraced floor is under 1 ms.
+    """
+    base = kernels["service_query_many_16_mp"]["seconds"]
+    traced = kernels["service_query_many_16_traced"]["seconds"]
+    overhead = traced / base - 1.0 if base > 0 else 0.0
+    detail = (f"tracing overhead: {overhead:+.1%} "
+              f"({traced:.4f}s traced vs {base:.4f}s untraced, "
+              f"budget {budget:.0%})")
+    if base < 1e-3:
+        return True, detail + " [skipped: untraced floor < 1 ms]"
+    return overhead <= budget, detail
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -232,6 +272,13 @@ def main(argv: list[str] | None = None) -> int:
             for name, entry in kernels.items()]
     print(format_markdown_table(rows))
     print(f"\ncalibration: {calibration:.4f}s; wrote {args.output}")
+
+    trace_ok, trace_detail = check_trace_overhead(kernels)
+    print(trace_detail)
+    if not trace_ok:
+        print("TRACING OVERHEAD over budget "
+              f"({TRACE_OVERHEAD_BUDGET:.0%})", file=sys.stderr)
+        return 1
 
     if args.baseline is None:
         return 0

@@ -13,10 +13,16 @@ cluster
 spectrum
     τ versus α for a dataset (the Fig-2 insensitivity check).
 serve
-    Long-lived PPR query service (micro-batching + index + cache).
+    Long-lived PPR query service (micro-batching + index + cache),
+    with opt-in request tracing / slow-query logging / profiling.
 index
     Pre-build (``build``) or describe (``inspect``) an on-disk
     memmap-able forest-index bank.
+trace
+    Read a slow-query log: ``tail`` prints recent entries, one per
+    line; ``summarize`` aggregates latency and span-stage statistics.
+bench
+    Run the calibrated CI benchmark gate (see ``repro.bench.ci_gate``).
 
 All stochastic commands accept ``--seed`` and are fully reproducible.
 """
@@ -142,6 +148,20 @@ def build_parser() -> argparse.ArgumentParser:
                             "byte-identical either way")
     serve.add_argument("--push-backend", choices=list(PUSH_BACKENDS),
                        default=DEFAULT_PUSH_BACKEND)
+    serve.add_argument("--trace-sample-rate", type=float, default=0.0,
+                       help="fraction of requests recording a span tree "
+                            "(head sampling; 0 disables tracing)")
+    serve.add_argument("--trace-buffer", type=int, default=256,
+                       help="finished traces kept in the in-memory ring")
+    serve.add_argument("--slowlog", default=None, metavar="PATH",
+                       help="JSON-lines slow-query log destination")
+    serve.add_argument("--slowlog-threshold-ms", type=float,
+                       default=250.0,
+                       help="latency at/above which an ok request is "
+                            "slow-logged (errors always are)")
+    serve.add_argument("--profile", default=None, metavar="PATH",
+                       help="sample the whole process and write "
+                            "collapsed stacks here on shutdown")
     serve.add_argument("--dry-run", action="store_true",
                        help="print the resolved service config and exit")
 
@@ -175,6 +195,31 @@ def build_parser() -> argparse.ArgumentParser:
                                  "(omit or use --list to enumerate)")
     experiment.add_argument("--list", action="store_true", dest="list_all",
                             help="list available experiments and exit")
+
+    trace = commands.add_parser(
+        "trace", help="read a slow-query log (tail / summarize)")
+    trace_actions = trace.add_subparsers(dest="action", required=True)
+    trace_tail = trace_actions.add_parser(
+        "tail", help="print the last entries, one line each")
+    trace_tail.add_argument("slowlog", help="JSON-lines slow-log file")
+    trace_tail.add_argument("-n", "--lines", type=int, default=20,
+                            help="how many trailing entries to print")
+    trace_summarize = trace_actions.add_parser(
+        "summarize", help="aggregate latency + span-stage statistics")
+    trace_summarize.add_argument("slowlog",
+                                 help="JSON-lines slow-log file")
+
+    bench = commands.add_parser(
+        "bench", help="run the calibrated benchmark gate")
+    bench.add_argument("--output", default=None,
+                       help="write kernel timings JSON here")
+    bench.add_argument("--baseline", default=None,
+                       help="baseline JSON to compare against")
+    bench.add_argument("--threshold", type=float, default=0.25,
+                       help="allowed slowdown vs baseline")
+    bench.add_argument("--workers", type=int, default=4)
+    bench.add_argument("--profile", default=None, metavar="PATH",
+                       help="write collapsed profiler stacks here")
     return parser
 
 
@@ -341,11 +386,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         push_backend=args.push_backend, max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms, queue_capacity=args.queue_capacity,
         cache_entries=args.cache_entries, host=args.host, port=args.port,
-        executor=args.executor)
+        executor=args.executor,
+        trace_sample_rate=args.trace_sample_rate,
+        trace_buffer=args.trace_buffer,
+        slowlog_path=args.slowlog,
+        slowlog_threshold_ms=args.slowlog_threshold_ms)
     print(config.describe())
     if args.dry_run:
         print("dry run: config ok, not starting the server")
         return 0
+
+    profiler = None
+    if args.profile:
+        from repro.obs.profiler import SamplingProfiler
+
+        profiler = SamplingProfiler()
+        profiler.start()
 
     service = PPRService(config).start()
     server = make_server(service)
@@ -363,6 +419,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         server.server_close()
         service.stop()
+        if profiler is not None:
+            samples = profiler.stop().dump(args.profile)
+            print(f"profile: {samples} samples -> {args.profile}")
     return 0
 
 
@@ -443,6 +502,72 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Read a slow-query log written by ``repro serve --slowlog``.
+
+    ``tail`` prints the last entries one per line; ``summarize``
+    aggregates latency and per-stage span time.  Both print only what
+    the log contains — deterministic for a fixed file, so the golden
+    tests can pin the ``summarize`` transcript.
+    """
+    from repro.obs.slowlog import (format_entry, read_slowlog,
+                                   summarize_entries)
+
+    try:
+        entries = read_slowlog(args.slowlog)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.action == "tail":
+        for entry in entries[-max(args.lines, 0):]:
+            print(format_entry(entry))
+        return 0
+
+    summary = summarize_entries(entries)
+    overview = summary["overview"]
+    print(f"entries      {overview['entries']}")
+    print(f"errors       {overview['errors']}")
+    print(f"cached       {overview['cached']}")
+    print(f"p50_seconds  {overview['p50_seconds']:.6f}")
+    print(f"p95_seconds  {overview['p95_seconds']:.6f}")
+    print(f"max_seconds  {overview['max_seconds']:.6f}")
+    for name in sorted(overview["dispositions"]):
+        print(f"  disposition {name:10s} {overview['dispositions'][name]}")
+    if summary["stages"]:
+        print(f"{'span':14s} {'count':>6s} {'total_ms':>10s} "
+              f"{'mean_ms':>10s} {'max_ms':>10s}")
+        for stage in summary["stages"]:
+            print(f"{stage['span']:14s} {stage['count']:6d} "
+                  f"{stage['total_ms']:10.3f} {stage['mean_ms']:10.3f} "
+                  f"{stage['max_ms']:10.3f}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run the calibrated CI gate, optionally under the profiler."""
+    from repro.bench import ci_gate
+
+    argv = ["--workers", str(args.workers),
+            "--threshold", str(args.threshold)]
+    if args.output:
+        argv += ["--output", args.output]
+    if args.baseline:
+        argv += ["--baseline", args.baseline]
+
+    profiler = None
+    if args.profile:
+        from repro.obs.profiler import SamplingProfiler
+
+        profiler = SamplingProfiler()
+        profiler.start()
+    try:
+        return ci_gate.main(argv)
+    finally:
+        if profiler is not None:
+            samples = profiler.stop().dump(args.profile)
+            print(f"profile: {samples} samples -> {args.profile}")
+
+
 _COMMANDS = {
     "datasets": _cmd_datasets,
     "query": _cmd_query,
@@ -453,6 +578,8 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "index": _cmd_index,
     "experiment": _cmd_experiment,
+    "trace": _cmd_trace,
+    "bench": _cmd_bench,
 }
 
 

@@ -1,0 +1,59 @@
+r"""Dependency-free observability layer for the PPR serving stack.
+
+Four pillars, threaded through every service component (see
+docs/OBSERVABILITY.md for the full model):
+
+- :mod:`repro.obs.tracing` — request ids, head-sampled per-request
+  span trees with cross-process stitching over the executor's worker
+  pipes, and a bounded ring of finished traces;
+- :mod:`repro.obs.histogram` — fixed log-spaced-bucket latency
+  histograms with lock-cheap per-thread shards, one per pipeline
+  stage, rendered in Prometheus histogram text format;
+- :mod:`repro.obs.slowlog` — a structured JSON-lines slow-query log
+  (threshold-admitted, errors always sampled) carrying the span tree
+  and work counters of each offending request;
+- :mod:`repro.obs.profiler` — an opt-in sampling profiler dumping
+  collapsed stacks for flamegraphs (``--profile``).
+
+Everything is stdlib-only and safe to import before the executor
+forks.  The disabled path (sample rate 0, no slow-log file, profiler
+off) is engineered to be near-zero overhead: unsampled requests
+thread a no-op :data:`~repro.obs.tracing.NULL_SPAN` through the exact
+same code path as sampled ones.
+"""
+
+from repro.obs.histogram import (
+    DEFAULT_BUCKETS,
+    STAGES,
+    HistogramRegistry,
+    LatencyHistogram,
+)
+from repro.obs.profiler import SamplingProfiler
+from repro.obs.slowlog import SlowLog, read_slowlog, summarize_entries
+from repro.obs.tracing import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullSpan,
+    NullTracer,
+    Span,
+    Tracer,
+    new_request_id,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "HistogramRegistry",
+    "LatencyHistogram",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullSpan",
+    "NullTracer",
+    "SamplingProfiler",
+    "SlowLog",
+    "STAGES",
+    "Span",
+    "Tracer",
+    "new_request_id",
+    "read_slowlog",
+    "summarize_entries",
+]

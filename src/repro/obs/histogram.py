@@ -1,0 +1,183 @@
+r"""Fixed-bucket latency histograms with lock-cheap per-thread shards.
+
+The p50/p99 ring the service shipped with answers "how slow are
+requests lately", but a ring cannot be merged across scrapes, cannot
+express tail shape beyond two pinned quantiles, and every ``record``
+contends one lock.  Prometheus-style fixed-bucket histograms fix all
+three: bucket counts are additive (across threads, scrapes, and
+restarts), any quantile is recoverable to bucket resolution, and the
+fixed layout makes recording a bisect + increment.
+
+Sharding: each recording thread owns a private shard (bucket counts +
+sum) guarded by its own lock.  The shard lock is effectively
+uncontended — only the owning thread records into it; the aggregating
+reader takes each shard lock briefly at snapshot time — so the hot
+path cost is one uncontended acquire, a bisect over ~20 bounds, and
+two increments.  Shards are kept alive in the histogram's registry
+after their thread dies, so counts from short-lived HTTP connection
+threads are never lost.
+
+Bucket bounds are log-spaced (1–2.5–5 per decade) from 10 µs to 10 s,
+matching the dynamic range between a cache hit and a worst-case cold
+fold.  All ``le`` labels are rendered exactly as Prometheus expects
+(cumulative, closed upper bounds, trailing ``+Inf``).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+__all__ = ["DEFAULT_BUCKETS", "STAGES", "LatencyHistogram",
+           "HistogramRegistry", "format_le"]
+
+#: Upper bucket bounds in seconds: 1–2.5–5 per decade, 10 µs … 10 s.
+DEFAULT_BUCKETS: tuple[float, ...] = tuple(
+    round(mantissa * 10.0 ** exponent, 10)
+    for exponent in range(-5, 1)
+    for mantissa in (1.0, 2.5, 5.0)) + (10.0,)
+
+#: The serving pipeline's instrumented stages, in pipeline order.
+STAGES: tuple[str, ...] = ("admission", "cache_lookup", "batch_wait",
+                           "dispatch", "fold", "merge", "serialize")
+
+
+def format_le(bound: float) -> str:
+    """Prometheus ``le`` label text for one finite bucket bound."""
+    text = repr(float(bound))
+    return text[:-2] if text.endswith(".0") else text
+
+
+class _Shard:
+    """One thread's private counts; the owner records, readers sum."""
+
+    __slots__ = ("lock", "counts", "sum")
+
+    def __init__(self, num_buckets: int):
+        self.lock = threading.Lock()
+        self.counts = [0] * num_buckets
+        self.sum = 0.0
+
+
+class LatencyHistogram:
+    """Cumulative-bucket histogram over log-spaced latency buckets.
+
+    ``observe`` is safe from any thread and cheap (per-thread shard,
+    uncontended lock); ``snapshot`` folds every shard into one
+    Prometheus-ready view.
+    """
+
+    def __init__(self, bounds: tuple[float, ...] = DEFAULT_BUCKETS):
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("bounds must be a non-empty ascending tuple")
+        self.bounds = tuple(float(bound) for bound in bounds)
+        self._num_buckets = len(self.bounds) + 1  # trailing +Inf
+        self._local = threading.local()
+        self._shards: list[_Shard] = []
+        self._shards_lock = threading.Lock()
+
+    def _shard(self) -> _Shard:
+        shard = getattr(self._local, "shard", None)
+        if shard is None:
+            shard = _Shard(self._num_buckets)
+            with self._shards_lock:
+                self._shards.append(shard)
+            self._local.shard = shard
+        return shard
+
+    def observe(self, seconds: float) -> None:
+        """Record one latency observation (thread-safe, lock-cheap)."""
+        index = bisect_left(self.bounds, seconds)
+        shard = self._shard()
+        with shard.lock:
+            shard.counts[index] += 1
+            shard.sum += seconds
+
+    # ------------------------------------------------------------------
+    def _totals(self) -> tuple[list[int], float]:
+        with self._shards_lock:
+            shards = list(self._shards)
+        counts = [0] * self._num_buckets
+        total = 0.0
+        for shard in shards:
+            with shard.lock:
+                for index, value in enumerate(shard.counts):
+                    counts[index] += value
+                total += shard.sum
+        return counts, total
+
+    @property
+    def count(self) -> int:
+        """Total observations across every shard."""
+        return sum(self._totals()[0])
+
+    def snapshot(self) -> dict:
+        """``{"buckets": [(le, cumulative), ...], "sum": .., "count": ..}``
+
+        Buckets are cumulative with a trailing ``("+Inf", count)``
+        entry, exactly the Prometheus histogram exposition shape.
+        """
+        counts, total = self._totals()
+        cumulative: list[tuple[str, int]] = []
+        running = 0
+        for bound, value in zip(self.bounds, counts):
+            running += value
+            cumulative.append((format_le(bound), running))
+        cumulative.append(("+Inf", running + counts[-1]))
+        return {"buckets": cumulative, "sum": total,
+                "count": running + counts[-1]}
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the ``q``-quantile.
+
+        Resolution is one bucket (≤ 2.5× by construction); overflow
+        observations report the largest finite bound.  ``0.0`` when
+        empty — the same convention the latency ring used.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        counts, _ = self._totals()
+        total = sum(counts)
+        if total == 0:
+            return 0.0
+        target = q * total
+        running = 0
+        for bound, value in zip(self.bounds, counts):
+            running += value
+            if running >= target:
+                return bound
+        return self.bounds[-1]
+
+
+class HistogramRegistry:
+    """Named per-stage histograms sharing one bucket layout.
+
+    The registry is created with its full stage list up front, so the
+    hot path (``observe``) is a plain dict lookup — no locking, no
+    lazy creation — and the exposition order is stable.
+    """
+
+    def __init__(self, stages: tuple[str, ...] = STAGES,
+                 bounds: tuple[float, ...] = DEFAULT_BUCKETS):
+        self.bounds = tuple(bounds)
+        self._histograms: dict[str, LatencyHistogram] = {
+            stage: LatencyHistogram(self.bounds) for stage in stages}
+
+    @property
+    def stages(self) -> tuple[str, ...]:
+        return tuple(self._histograms)
+
+    def observe(self, stage: str, seconds: float) -> None:
+        """Record one observation for ``stage`` (unknown stage raises)."""
+        self._histograms[stage].observe(seconds)
+
+    def histogram(self, stage: str) -> LatencyHistogram:
+        return self._histograms[stage]
+
+    def snapshot(self) -> dict[str, dict]:
+        """``{stage: histogram snapshot}`` for every stage, in order."""
+        return {stage: hist.snapshot()
+                for stage, hist in self._histograms.items()}
+
+    def quantile(self, stage: str, q: float) -> float:
+        return self._histograms[stage].quantile(q)

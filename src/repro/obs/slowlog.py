@@ -1,0 +1,252 @@
+r"""Structured slow-query log: one JSON line per slow (or failed) query.
+
+Aggregate histograms say *that* the tail got worse; the slow log says
+*which queries* are in the tail and what each one was doing — the span
+tree, the work counters, the batch it rode in, and how it was served
+(cache / inline fold / process executor / executor fallback).  Each
+entry is a single self-contained JSON object on its own line, so the
+log is greppable, tailable, and machine-readable without a parser
+beyond ``json.loads``.
+
+Admission policy: a request is logged when its end-to-end latency
+meets ``threshold_ms``, or unconditionally when it errored
+(always-sample-errors — failures are precisely the requests you can
+least afford to lose).  A bounded in-memory ring of recent entries is
+kept either way, so tests and debug endpoints can inspect the log
+without a file.
+
+Entry schema (stable; additions are backwards-compatible)::
+
+    {
+      "ts": <unix seconds>,          "request_id": "<pid>-<seq>",
+      "endpoint": "query"|"pair",    "kind": "source"|"target",
+      "node": int,  "alpha": float,  "epsilon": float,
+      "seconds": float,              "status": "ok"|"error",
+      "error": str|null,             "cached": bool,
+      "batch_size": int|null,        "disposition": str|null,
+      "work": {counter: int, ...},   "trace": {span tree}|null
+    }
+
+``repro trace tail`` and ``repro trace summarize`` read this format
+(see :func:`read_slowlog` / :func:`summarize_entries`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+
+__all__ = ["SlowLog", "read_slowlog", "summarize_entries", "format_entry"]
+
+#: Keys every slow-log entry carries (schema v1).
+ENTRY_FIELDS = ("ts", "request_id", "endpoint", "kind", "node", "alpha",
+                "epsilon", "seconds", "status", "error", "cached",
+                "batch_size", "disposition", "work", "trace")
+
+
+class SlowLog:
+    """Threshold-filtered JSON-lines logger for slow and failed queries.
+
+    Parameters
+    ----------
+    path:
+        Destination file (appended, line-buffered).  ``None`` keeps
+        entries only in the in-memory ring.
+    threshold_ms:
+        Latency at or above which an ``ok`` request is logged.
+        Errors are always logged regardless of latency.
+    capacity:
+        In-memory ring size (most recent admitted entries).
+    """
+
+    def __init__(self, path: str | os.PathLike | None = None,
+                 threshold_ms: float = 250.0, capacity: int = 128):
+        if threshold_ms < 0:
+            raise ValueError(
+                f"threshold_ms must be >= 0, got {threshold_ms}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.path = os.fspath(path) if path is not None else None
+        self.threshold = float(threshold_ms) / 1000.0
+        self._ring: deque[dict] = deque(maxlen=int(capacity))
+        self._lock = threading.Lock()
+        self._handle = None
+        self._written = 0
+        self._skipped = 0
+
+    # ------------------------------------------------------------------
+    def admit(self, seconds: float, *, error: bool = False) -> bool:
+        """The admission rule: slow enough, or an error."""
+        return error or seconds >= self.threshold
+
+    def record(self, *, request_id: str, endpoint: str, kind: str,
+               node: int, alpha: float, epsilon: float, seconds: float,
+               error: str | None = None, cached: bool = False,
+               batch_size: int | None = None,
+               disposition: str | None = None,
+               work: dict | None = None,
+               trace: dict | None = None) -> dict | None:
+        """Log one completed request if it meets the admission rule.
+
+        Returns the entry dict when admitted, ``None`` when skipped.
+        """
+        if not self.admit(seconds, error=error is not None):
+            with self._lock:
+                self._skipped += 1
+            return None
+        entry = {
+            "ts": round(time.time(), 6),
+            "request_id": request_id,
+            "endpoint": endpoint,
+            "kind": kind,
+            "node": int(node),
+            "alpha": float(alpha),
+            "epsilon": float(epsilon),
+            "seconds": round(float(seconds), 6),
+            "status": "error" if error is not None else "ok",
+            "error": error,
+            "cached": bool(cached),
+            "batch_size": batch_size,
+            "disposition": disposition,
+            "work": dict(work or {}),
+            "trace": trace,
+        }
+        line = json.dumps(entry, sort_keys=True)
+        with self._lock:
+            self._ring.append(entry)
+            self._written += 1
+            if self.path is not None:
+                if self._handle is None:
+                    self._handle = open(self.path, "a",  # noqa: SIM115
+                                        encoding="utf-8", buffering=1)
+                self._handle.write(line + "\n")
+        return entry
+
+    def recent(self) -> list[dict]:
+        """Most recent admitted entries, oldest first."""
+        with self._lock:
+            return list(self._ring)
+
+    def stats(self) -> dict:
+        """Counters for ``/healthz``."""
+        with self._lock:
+            return {"written": self._written, "skipped": self._skipped,
+                    "threshold_ms": self.threshold * 1000.0,
+                    "path": self.path}
+
+    def close(self) -> None:
+        """Flush and close the file handle (idempotent)."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "SlowLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Readers — the `repro trace` subcommand drives these
+# ----------------------------------------------------------------------
+def read_slowlog(path: str | os.PathLike) -> list[dict]:
+    """Parse a slow-log file; raises ``ValueError`` on a corrupt line."""
+    entries = []
+    with open(path, encoding="utf-8") as handle:
+        for number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}: line {number} is not valid JSON "
+                    f"({error})") from error
+            if not isinstance(entry, dict):
+                raise ValueError(
+                    f"{path}: line {number} is not a JSON object")
+            entries.append(entry)
+    return entries
+
+
+def _walk_spans(node: dict, acc: dict[str, list[float]]) -> None:
+    name = node.get("name")
+    if name:
+        acc.setdefault(name, []).append(
+            float(node.get("duration_ms", 0.0)))
+    for child in node.get("children", ()):  # pragma: no branch
+        _walk_spans(child, acc)
+
+
+def summarize_entries(entries: list[dict]) -> dict:
+    """Aggregate a slow log for ``repro trace summarize``.
+
+    Returns ``{"overview": {...}, "stages": [row, ...]}`` where stage
+    rows aggregate span durations by span name across every entry that
+    carried a trace.  Deterministic for a fixed input file.
+    """
+    seconds = sorted(float(entry.get("seconds", 0.0))
+                     for entry in entries)
+    errors = sum(1 for entry in entries
+                 if entry.get("status") == "error")
+    cached = sum(1 for entry in entries if entry.get("cached"))
+    dispositions: dict[str, int] = {}
+    for entry in entries:
+        label = entry.get("disposition") or "unknown"
+        dispositions[label] = dispositions.get(label, 0) + 1
+
+    def rank(values: list[float], q: float) -> float:
+        if not values:
+            return 0.0
+        index = min(int(q * len(values)), len(values) - 1)
+        return values[index]
+
+    overview = {
+        "entries": len(entries),
+        "errors": errors,
+        "cached": cached,
+        "p50_seconds": round(rank(seconds, 0.50), 6),
+        "p95_seconds": round(rank(seconds, 0.95), 6),
+        "max_seconds": round(seconds[-1] if seconds else 0.0, 6),
+        "dispositions": dict(sorted(dispositions.items())),
+    }
+
+    spans: dict[str, list[float]] = {}
+    for entry in entries:
+        trace = entry.get("trace")
+        if isinstance(trace, dict):
+            _walk_spans(trace, spans)
+    stages = [{
+        "span": name,
+        "count": len(values),
+        "total_ms": round(sum(values), 3),
+        "mean_ms": round(sum(values) / len(values), 3),
+        "max_ms": round(max(values), 3),
+    } for name, values in sorted(spans.items())]
+    return {"overview": overview, "stages": stages}
+
+
+def format_entry(entry: dict) -> str:
+    """One-line human rendering for ``repro trace tail``."""
+    status = entry.get("status", "?")
+    marker = "ok " if status == "ok" else "ERR"
+    where = (f"{entry.get('endpoint', '?')}/{entry.get('kind', '?')}"
+             f" node={entry.get('node', '?')}")
+    extras = []
+    if entry.get("cached"):
+        extras.append("cached")
+    if entry.get("batch_size") is not None:
+        extras.append(f"batch={entry['batch_size']}")
+    if entry.get("disposition"):
+        extras.append(str(entry["disposition"]))
+    if entry.get("error"):
+        extras.append(str(entry["error"]))
+    suffix = f"  [{', '.join(extras)}]" if extras else ""
+    return (f"{marker} {entry.get('seconds', 0.0):8.4f}s  "
+            f"{entry.get('request_id', '-'):<12s} {where}{suffix}")

@@ -1,0 +1,322 @@
+r"""Request ids and a lightweight span tree for the serving stack.
+
+The serving pipeline built in PRs 3–4 is multi-stage (HTTP → cache →
+micro-batch scheduler → process executor → shared-bank fold) and
+multi-process, which makes aggregate counters blind to the question
+that matters under load: *where did this slow query spend its time*.
+This module is the answer's substrate:
+
+- :class:`Span` — one timed node in a per-request tree.  Timings use
+  the monotonic clock; on Linux ``CLOCK_MONOTONIC`` is system-wide,
+  so spans recorded in a forked worker are directly comparable to
+  spans recorded in the parent and can be stitched into one tree
+  (see :meth:`Span.add_raw` and the executor's reply protocol).
+- :class:`Tracer` — head-sampling (the keep/drop decision is made
+  once at request admission, deterministically from the request id
+  and a seed) plus a bounded ring buffer of finished traces.
+- :data:`NULL_SPAN` / :data:`NULL_TRACER` — the disabled path.  Every
+  operation on them is a no-op returning the singleton, so
+  instrumented code never branches on "is tracing on" and the
+  disabled overhead is one attribute access per stage.
+
+Nothing here imports beyond the stdlib, and nothing allocates unless
+a trace is actually sampled — the two properties the serving hot path
+needs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+import zlib
+from collections import deque
+
+__all__ = [
+    "Span",
+    "NullSpan",
+    "Tracer",
+    "NullTracer",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "new_request_id",
+]
+
+_request_counter = itertools.count(1)  # GIL-atomic next()
+
+
+def new_request_id() -> str:
+    """A process-unique request id (``<pid>-<seq>``, hex).
+
+    Ids are generated, not random, so a fixed request sequence yields
+    a fixed id sequence — which is what makes head-sampling decisions
+    reproducible in tests (see :meth:`Tracer.should_sample`).
+    """
+    return f"{os.getpid():x}-{next(_request_counter):x}"
+
+
+class Span:
+    """One timed operation; children nest, raw subtrees graft.
+
+    A span carries absolute monotonic ``start``/``end`` seconds plus a
+    free-form ``attrs`` dict.  Children are either live :class:`Span`
+    objects (same process) or *raw* span dicts shipped across a worker
+    pipe (see :meth:`to_raw` / :meth:`add_raw`); :meth:`to_dict`
+    renders both uniformly with offsets relative to the tree root.
+    """
+
+    __slots__ = ("name", "attrs", "start", "end", "children")
+
+    #: real spans record; the :data:`NULL_SPAN` overrides this
+    enabled = True
+
+    def __init__(self, name: str, **attrs):
+        self.name = name
+        self.attrs = attrs
+        self.start = time.monotonic()
+        self.end: float | None = None
+        self.children: list = []
+
+    # -- construction --------------------------------------------------
+    def child(self, name: str, **attrs) -> "Span":
+        """Start a child span (caller must :meth:`finish` it)."""
+        span = Span(name, **attrs)
+        self.children.append(span)
+        return span
+
+    def add_raw(self, raw: dict | list | None) -> None:
+        """Graft a finished raw span subtree (or a list of them).
+
+        Raw spans are :meth:`to_raw` dicts produced in another process
+        on the same machine; their monotonic timestamps share this
+        process's clock, so they slot into the tree unchanged.
+        """
+        if raw is None:
+            return
+        if isinstance(raw, list):
+            self.children.extend(raw)
+        else:
+            self.children.append(raw)
+
+    def annotate(self, **attrs) -> "Span":
+        """Attach key/value attributes; returns ``self`` for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    def finish(self, error: str | None = None) -> "Span":
+        """Close the span (idempotent — the first close wins)."""
+        if self.end is None:
+            self.end = time.monotonic()
+            if error is not None:
+                self.attrs["error"] = error
+        return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.finish(error=None if exc is None else
+                    f"{getattr(exc_type, '__name__', exc_type)}: {exc}")
+
+    # -- inspection ----------------------------------------------------
+    @property
+    def duration(self) -> float:
+        """Seconds from start to finish (to *now* while still open)."""
+        return (self.end if self.end is not None
+                else time.monotonic()) - self.start
+
+    def to_raw(self) -> dict:
+        """Absolute-clock dict form, safe to pickle across a pipe."""
+        return {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end if self.end is not None else time.monotonic(),
+            "attrs": dict(self.attrs),
+            "children": [child.to_raw() if isinstance(child, Span)
+                         else child for child in self.children],
+        }
+
+    def to_dict(self, origin: float | None = None) -> dict:
+        """JSON-friendly tree with millisecond offsets from ``origin``
+        (defaults to this span's own start — i.e. call it on the root)."""
+        return _raw_to_dict(self.to_raw(),
+                            self.start if origin is None else origin)
+
+
+def _raw_to_dict(raw: dict, origin: float) -> dict:
+    end = raw["end"] if raw["end"] is not None else raw["start"]
+    node = {
+        "name": raw["name"],
+        "offset_ms": round((raw["start"] - origin) * 1e3, 3),
+        "duration_ms": round((end - raw["start"]) * 1e3, 3),
+    }
+    if raw.get("attrs"):
+        node["attrs"] = raw["attrs"]
+    if raw.get("children"):
+        node["children"] = [_raw_to_dict(child, origin)
+                            for child in raw["children"]]
+    return node
+
+
+class NullSpan:
+    """The disabled span: every operation is a free no-op.
+
+    A single module-level instance (:data:`NULL_SPAN`) is threaded
+    through un-sampled requests so the instrumented code path is
+    identical whether tracing is on or off — no branches, no
+    allocation, near-zero overhead.
+    """
+
+    __slots__ = ()
+    enabled = False
+    name = ""
+    attrs: dict = {}
+    start = 0.0
+    end = 0.0
+    children: list = []
+
+    def child(self, name: str, **attrs) -> "NullSpan":
+        return self
+
+    def add_raw(self, raw) -> None:
+        pass
+
+    def annotate(self, **attrs) -> "NullSpan":
+        return self
+
+    def finish(self, error: str | None = None) -> "NullSpan":
+        return self
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+    @property
+    def duration(self) -> float:
+        return 0.0
+
+    def to_raw(self) -> dict:
+        return {}
+
+    def to_dict(self, origin: float | None = None) -> dict:
+        return {}
+
+
+NULL_SPAN = NullSpan()
+
+
+class Tracer:
+    """Head-sampled request tracing with a bounded finished-trace ring.
+
+    Parameters
+    ----------
+    sample_rate:
+        Fraction of requests traced, decided once per request id
+        (head sampling).  ``0.0`` disables request tracing entirely —
+        :meth:`trace` returns :data:`NULL_SPAN` without hashing.
+    capacity:
+        Finished traces retained (newest-first eviction).
+    seed:
+        Salts the id hash so sampling is deterministic per
+        ``(seed, request_id)`` — rerunning a request stream under the
+        same seed samples the same subset.
+    """
+
+    def __init__(self, sample_rate: float = 0.0, capacity: int = 256,
+                 seed: int = 0):
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(
+                f"sample_rate must be in [0, 1], got {sample_rate}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sample_rate = float(sample_rate)
+        self.seed = int(seed)
+        self._ring: deque[dict] = deque(maxlen=int(capacity))
+        self._lock = threading.Lock()
+        self._started = 0
+        self._dropped = 0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any request can be head-sampled."""
+        return self.sample_rate > 0.0
+
+    def should_sample(self, request_id: str) -> bool:
+        """The deterministic head-sampling decision for one request."""
+        if self.sample_rate <= 0.0:
+            return False
+        if self.sample_rate >= 1.0:
+            return True
+        digest = zlib.crc32(f"{self.seed}:{request_id}".encode())
+        return digest / 2**32 < self.sample_rate
+
+    def trace(self, name: str, request_id: str | None = None, *,
+              force: bool = False):
+        """Root span for one request, or :data:`NULL_SPAN` if unsampled.
+
+        ``force=True`` bypasses sampling (debug requests, index
+        lifecycle events) — the span is recorded even at rate 0.
+        """
+        if not force and not self.should_sample(request_id or ""):
+            with self._lock:
+                self._dropped += 1
+            return NULL_SPAN
+        with self._lock:
+            self._started += 1
+        span = Span(name)
+        if request_id is not None:
+            span.attrs["request_id"] = request_id
+        return span
+
+    def finish(self, span) -> dict | None:
+        """Close ``span`` and retain its rendered tree in the ring."""
+        if not span.enabled:
+            return None
+        span.finish()
+        tree = span.to_dict()
+        with self._lock:
+            self._ring.append(tree)
+        return tree
+
+    def traces(self) -> list[dict]:
+        """Finished traces, oldest first (bounded by ``capacity``)."""
+        with self._lock:
+            return list(self._ring)
+
+    def stats(self) -> dict:
+        """Counters for ``/healthz``: sampled, dropped, buffered."""
+        with self._lock:
+            return {"sampled": self._started, "dropped": self._dropped,
+                    "buffered": len(self._ring),
+                    "sample_rate": self.sample_rate}
+
+
+class NullTracer:
+    """Tracer stand-in for components built without one."""
+
+    __slots__ = ()
+    enabled = False
+    sample_rate = 0.0
+
+    def should_sample(self, request_id: str) -> bool:
+        return False
+
+    def trace(self, name: str, request_id: str | None = None, *,
+              force: bool = False) -> NullSpan:
+        return NULL_SPAN
+
+    def finish(self, span) -> None:
+        return None
+
+    def traces(self) -> list:
+        return []
+
+    def stats(self) -> dict:
+        return {"sampled": 0, "dropped": 0, "buffered": 0,
+                "sample_rate": 0.0}
+
+
+NULL_TRACER = NullTracer()

@@ -52,6 +52,18 @@ class ServiceConfig:
         ``cache_entries * num_nodes * 8`` bytes.
     host, port:
         HTTP bind address (``port=0`` lets the OS pick, handy in tests).
+    trace_sample_rate:
+        Fraction of requests that record a full span tree
+        (head-sampling, deterministic per request id; ``0`` disables
+        tracing entirely — the no-op span path).
+    trace_buffer:
+        How many finished traces the in-memory ring retains.
+    slowlog_path:
+        JSON-lines slow-query log destination (``None`` keeps the
+        in-memory ring only).
+    slowlog_threshold_ms:
+        Latency at or above which an ok request enters the slow log;
+        errors are always logged.
     """
 
     graph: str = "youtube"
@@ -69,6 +81,10 @@ class ServiceConfig:
     cache_entries: int = 512
     host: str = "127.0.0.1"
     port: int = 8471
+    trace_sample_rate: float = 0.0
+    trace_buffer: int = 256
+    slowlog_path: str | None = None
+    slowlog_threshold_ms: float = 250.0
 
     def __post_init__(self):
         if self.max_batch < 1:
@@ -94,6 +110,17 @@ class ServiceConfig:
             raise ConfigError(
                 "executor='process' needs workers >= 1 "
                 f"(got workers={self.workers})")
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise ConfigError(
+                f"trace_sample_rate must be in [0, 1], "
+                f"got {self.trace_sample_rate}")
+        if self.trace_buffer < 1:
+            raise ConfigError(
+                f"trace_buffer must be >= 1, got {self.trace_buffer}")
+        if self.slowlog_threshold_ms < 0:
+            raise ConfigError(
+                f"slowlog_threshold_ms must be >= 0, "
+                f"got {self.slowlog_threshold_ms}")
         # delegate the query-parameter checks (alpha range, epsilon > 0,
         # workers >= 0, known push backend) to PPRConfig
         self.ppr_config()
@@ -127,6 +154,8 @@ class ServiceConfig:
                 ("queue_capacity", self.queue_capacity),
                 ("cache_entries", self.cache_entries),
                 ("bind", f"{self.host}:{self.port}"),
+                ("trace_sample_rate", self.trace_sample_rate),
+                ("slowlog", self.slowlog_path or "off"),
         ]:
             lines.append(f"  {label:<15} {value}")
         return "\n".join(lines)

@@ -65,6 +65,7 @@ from repro.core.batch import BatchSourceSolver, BatchTargetSolver
 from repro.core.config import PPRConfig
 from repro.exceptions import ReproError
 from repro.montecarlo.forest_index import ForestIndex
+from repro.obs.tracing import Span
 from repro.parallel.shared_bank import BankHandle, attach_bank
 from repro.parallel.shared_graph import graph_from_bank
 from repro.service.index_manager import IndexManager
@@ -92,17 +93,18 @@ class _Task:
     """
 
     __slots__ = ("task_id", "graph_handle", "index_handle", "config",
-                 "kind", "nodes")
+                 "kind", "nodes", "trace")
 
     def __init__(self, task_id: int, graph_handle: BankHandle,
                  index_handle: BankHandle, config: PPRConfig, kind: str,
-                 nodes: tuple[int, ...]):
+                 nodes: tuple[int, ...], trace: bool = False):
         self.task_id = task_id
         self.graph_handle = graph_handle
         self.index_handle = index_handle
         self.config = config
         self.kind = kind
         self.nodes = nodes
+        self.trace = trace
 
     def __getstate__(self):
         return {slot: getattr(self, slot) for slot in self.__slots__}
@@ -116,7 +118,7 @@ class _TaskState:
     """Parent-side bookkeeping for one admitted batch."""
 
     __slots__ = ("task", "view", "event", "results", "error", "worker",
-                 "pin", "done")
+                 "pin", "done", "extra")
 
     def __init__(self, task: _Task, view, pin: int | None = None):
         self.task = task
@@ -127,6 +129,7 @@ class _TaskState:
         self.worker: int | None = None  # assigned worker (while running)
         self.pin = pin                  # warm tasks target one worker
         self.done = False
+        self.extra: dict | None = None  # worker-side timings/spans
 
 
 # ----------------------------------------------------------------------
@@ -210,7 +213,15 @@ class _WorkerCache:
 
 
 def _worker_main(conn) -> None:
-    """Worker loop: recv a task, attach warm, fold, reply; None exits."""
+    """Worker loop: recv a task, attach warm, fold, reply; None exits.
+
+    Replies are ``(task_id, "done"|"error", payload, extra)`` where
+    ``extra`` carries worker-side observability: the fold wall time
+    (always — one subtraction) and, when ``task.trace`` is set, a raw
+    span subtree (attach + fold under a ``worker`` root).  Monotonic
+    timestamps are system-wide on Linux, so the parent grafts those
+    spans straight into the request's tree (:meth:`Span.add_raw`).
+    """
     cache = _WorkerCache()
     while True:
         try:
@@ -223,18 +234,35 @@ def _worker_main(conn) -> None:
             return
         if task is None:
             return
+        span = None
+        fold_seconds = 0.0
         try:
             if task.nodes:
-                solver = cache.solver_for(task)
-                answer = solver.query_many(list(task.nodes))
+                if task.trace:
+                    span = Span("worker", pid=os.getpid(),
+                                batch=len(task.nodes))
+                    with span.child("attach"):
+                        solver = cache.solver_for(task)
+                else:
+                    solver = cache.solver_for(task)
+                started = time.perf_counter()
+                if span is not None:
+                    with span.child("fold"):
+                        answer = solver.query_many(list(task.nodes))
+                else:
+                    answer = solver.query_many(list(task.nodes))
+                fold_seconds = time.perf_counter() - started
             else:  # warm-attach task: bind the bank, answer nothing
                 cache.index_for(task.graph_handle, task.index_handle)
                 answer = []
         except BaseException as error:
             reply = (task.task_id, "error",
-                     f"{type(error).__name__}: {error}")
+                     f"{type(error).__name__}: {error}", None)
         else:
-            reply = (task.task_id, "done", answer)
+            extra = {"fold_seconds": fold_seconds,
+                     "spans": (span.finish().to_raw()
+                               if span is not None else None)}
+            reply = (task.task_id, "done", answer, extra)
         try:
             conn.send(reply)
         except (BrokenPipeError, OSError):
@@ -398,7 +426,9 @@ class ProcessExecutor:
     def run_batch(self, graph: str, kind: str, alpha: float,
                   epsilon: float, nodes, *,
                   pin: int | None = None,
-                  timeout: float | None = None) -> list:
+                  timeout: float | None = None,
+                  trace: bool = False,
+                  stats: dict | None = None) -> list:
         """Fold one batch in a worker; blocks until the answer returns.
 
         Byte-identical to the in-process
@@ -406,6 +436,11 @@ class ProcessExecutor:
         Raises :class:`ExecutorError` on worker failure, timeout, or
         shutdown — callers fall back to the inline fold.  ``timeout``
         overrides the pool-wide ``task_timeout`` for this call.
+
+        ``trace=True`` asks the worker to record attach/fold spans;
+        pass a ``stats`` dict to receive the worker-side extras
+        (``fold_seconds`` always, ``spans`` when traced) — the result
+        list itself is unchanged either way.
         """
         if not self._started or self._stopping.is_set():
             raise ExecutorError("executor is not running")
@@ -415,7 +450,8 @@ class ProcessExecutor:
                 alpha=alpha, epsilon=epsilon)
             task = _Task(next(self._task_ids), view.graph_handle,
                          view.index_handle, config, kind,
-                         tuple(int(node) for node in nodes))
+                         tuple(int(node) for node in nodes),
+                         trace=trace)
         except BaseException:
             view.release()
             raise
@@ -429,6 +465,8 @@ class ProcessExecutor:
             self._finish(state, error="task timed out")
         if state.error is not None:
             raise ExecutorError(f"worker batch failed: {state.error}")
+        if stats is not None and state.extra is not None:
+            stats.update(state.extra)
         return state.results
 
     def warm(self, graph: str, alpha: float | None = None,
@@ -476,7 +514,8 @@ class ProcessExecutor:
 
     # -- completion plumbing -------------------------------------------
     def _finish(self, state: _TaskState, *, results=None,
-                error: str | None = None) -> None:
+                error: str | None = None,
+                extra: dict | None = None) -> None:
         """Resolve a batch exactly once (idempotent against races)."""
         with self._cond:
             if state.done:
@@ -485,6 +524,7 @@ class ProcessExecutor:
             # run_batch returns the moment it sees done and reads them
             state.results = results
             state.error = error
+            state.extra = extra
             state.done = True
             try:
                 self._pending.remove(state)
@@ -583,7 +623,7 @@ class ProcessExecutor:
                     continue
                 now = time.monotonic()
                 try:
-                    task_id, kind, payload = message
+                    task_id, kind, payload, extra = message
                 except (TypeError, ValueError):
                     continue
                 with self._cond:
@@ -606,7 +646,7 @@ class ProcessExecutor:
                 if state is None:
                     continue
                 if kind == "done":
-                    self._finish(state, results=payload)
+                    self._finish(state, results=payload, extra=extra)
                 else:
                     self._finish(state, error=payload)
 

@@ -11,6 +11,12 @@ the micro-batching scheduler behind it).  Endpoints:
 - ``GET /healthz`` — liveness/readiness JSON;
 - ``GET /metrics`` — Prometheus text format.
 
+Request correlation: an inbound ``X-Request-Id`` header is propagated
+into the trace/slow-log pipeline and echoed back; without one the
+service mints an id and the response still carries it.  Appending
+``?debug=1`` to ``/query`` or ``/pair`` forces a trace and inlines
+the span tree + work counters in the response's ``debug`` block.
+
 Error mapping: malformed body → 400, unknown path → 404, queue
 backpressure (:class:`~repro.service.scheduler.SchedulerFull`) → 429
 with a ``Retry-After`` header, configuration errors → 400, anything
@@ -22,8 +28,10 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
 
 from repro.exceptions import ReproError
+from repro.obs.tracing import new_request_id
 from repro.service.scheduler import SchedulerFull
 from repro.service.service import PPRService
 
@@ -87,37 +95,50 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(404, {"error": f"unknown path {self.path!r}"})
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
-        if self.path not in ("/query", "/pair"):
+        split = urlsplit(self.path)
+        if split.path not in ("/query", "/pair"):
             self._send(404, {"error": f"unknown path {self.path!r}"})
             return
+        # inbound correlation id (minted here when the client sent
+        # none) — echoed on EVERY response below, including errors
+        request_id = (self.headers.get("X-Request-Id")
+                      or new_request_id())
+        echo = {"X-Request-Id": request_id}
+        query_args = parse_qs(split.query)
+        debug = query_args.get("debug", ["0"])[-1] not in ("", "0",
+                                                           "false")
         try:
             body = self._read_json()
             service = self.server.service
-            if self.path == "/query":
+            if split.path == "/query":
                 payload = service.query(
                     str(body.get("kind", "source")), int(body["node"]),
                     alpha=_opt_float(body, "alpha"),
                     epsilon=_opt_float(body, "epsilon"),
-                    top=int(body.get("top", 10)))
+                    top=int(body.get("top", 10)),
+                    request_id=request_id, debug=debug)
             else:
                 payload = service.pair(
                     int(body["source"]), int(body["target"]),
                     alpha=_opt_float(body, "alpha"),
-                    epsilon=_opt_float(body, "epsilon"))
+                    epsilon=_opt_float(body, "epsilon"),
+                    request_id=request_id, debug=debug)
         except SchedulerFull as full:
             self._send(429, {"error": str(full),
                              "retry_after": full.retry_after},
-                       headers={"Retry-After":
+                       headers={**echo, "Retry-After":
                                 f"{max(full.retry_after, 0.001):.3f}"})
         except (KeyError, TypeError, ValueError,
                 json.JSONDecodeError) as error:
-            self._send(400, {"error": f"bad request: {error}"})
+            self._send(400, {"error": f"bad request: {error}"},
+                       headers=echo)
         except ReproError as error:
-            self._send(400, {"error": str(error)})
+            self._send(400, {"error": str(error)}, headers=echo)
         except Exception as error:  # pragma: no cover - defensive
-            self._send(500, {"error": f"internal error: {error}"})
+            self._send(500, {"error": f"internal error: {error}"},
+                       headers=echo)
         else:
-            self._send(200, payload)
+            self._send(200, payload, headers=echo)
 
 
 def _opt_float(body: dict, key: str) -> float | None:

@@ -40,6 +40,7 @@ from repro.core.config import PPRConfig
 from repro.exceptions import ConfigError
 from repro.graph.csr import Graph
 from repro.montecarlo.forest_index import ForestIndex
+from repro.obs.tracing import NULL_TRACER
 from repro.parallel.shared_bank import BankHandle, SharedArrayBank
 from repro.parallel.shared_graph import graph_bank_arrays
 
@@ -108,12 +109,17 @@ class IndexManager:
     num_forests:
         Bank size; defaults to
         :meth:`ForestIndex.recommended_size` for the baseline ε.
+    tracer:
+        Optional :class:`~repro.obs.tracing.Tracer`.  Index lifecycle
+        events (refresh, drop) record *forced* traces — they are rare
+        and expensive, so they are always worth a span tree.
     """
 
     def __init__(self, config: PPRConfig | None = None, *,
-                 num_forests: int | None = None):
+                 num_forests: int | None = None, tracer=None):
         self.config = config or PPRConfig()
         self.num_forests = num_forests
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._graphs: dict[str, Graph] = {}
         self._indexes: dict[tuple[str, float], _ManagedIndex] = {}
         self._solvers: dict[tuple, BatchSourceSolver | BatchTargetSolver] = {}
@@ -204,16 +210,22 @@ class IndexManager:
             generation = current.generation + 1 if current else 0
 
         def rebuild():
-            managed = self._build(name, alpha, generation)
-            with self._lock:
-                self._indexes[key] = managed
-                for solver_key in [k for k in self._solvers
-                                   if k[0] == name and k[1] == alpha]:
-                    del self._solvers[solver_key]
-                stale = self._shared_indexes.pop(key, None)
+            span = self.tracer.trace("index_refresh", force=True)
+            span.annotate(graph=name, alpha=alpha, generation=generation)
+            with span.child("build"):
+                managed = self._build(name, alpha, generation)
+            with span.child("swap"):
+                with self._lock:
+                    self._indexes[key] = managed
+                    for solver_key in [k for k in self._solvers
+                                       if k[0] == name and k[1] == alpha]:
+                        del self._solvers[solver_key]
+                    stale = self._shared_indexes.pop(key, None)
             if stale is not None:
                 # unlink happens once the last in-flight borrower drops
-                stale[0].retire()
+                with span.child("retire"):
+                    stale[0].retire()
+            self.tracer.finish(span)
 
         thread = threading.Thread(target=rebuild, name=f"refresh-{name}",
                                   daemon=True)
@@ -225,6 +237,8 @@ class IndexManager:
     def drop(self, name: str, alpha: float | None = None) -> None:
         """Forget the bank and solvers for ``(name, α)`` (if any)."""
         alpha = self.config.alpha if alpha is None else float(alpha)
+        span = self.tracer.trace("index_drop", force=True)
+        span.annotate(graph=name, alpha=alpha)
         with self._lock:
             self._indexes.pop((name, alpha), None)
             for solver_key in [k for k in self._solvers
@@ -232,7 +246,9 @@ class IndexManager:
                 del self._solvers[solver_key]
             stale = self._shared_indexes.pop((name, alpha), None)
         if stale is not None:
-            stale[0].retire()
+            with span.child("retire"):
+                stale[0].retire()
+        self.tracer.finish(span)
 
     # -- shared-memory views (multiprocess executor) -------------------
     def shared_view(self, name: str,

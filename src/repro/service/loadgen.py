@@ -99,6 +99,15 @@ def run_load(base_url: str, *, requests: int = 64, concurrency: int = 8,
         thread.join()
     elapsed = time.perf_counter() - started
     succeeded = sum(1 for outcome in outcomes if outcome["ok"])
+    latencies = sorted(outcome["seconds"] for outcome in outcomes)
+
+    def percentile(q: float) -> float:
+        if not latencies:
+            return 0.0
+        index = min(len(latencies) - 1,
+                    max(0, round(q * (len(latencies) - 1))))
+        return latencies[index]
+
     return {
         "requests": requests,
         "succeeded": succeeded,
@@ -106,6 +115,13 @@ def run_load(base_url: str, *, requests: int = 64, concurrency: int = 8,
         "cached": sum(1 for o in outcomes if o.get("cached")),
         "seconds": elapsed,
         "throughput_qps": requests / elapsed if elapsed else 0.0,
+        "latency": {
+            "p50_seconds": percentile(0.50),
+            "p95_seconds": percentile(0.95),
+            "p99_seconds": percentile(0.99),
+            "max_seconds": latencies[-1] if latencies else 0.0,
+        },
+        "latencies_seconds": latencies,
     }
 
 
@@ -130,10 +146,12 @@ def check_metrics(base_url: str) -> list[str]:
         if not value:
             failures.append(f"{metric} missing or zero (got {value})")
     for metric in ("repro_service_queue_depth",
-                   "repro_service_cache_hit_rate",
-                   'repro_service_latency_seconds{quantile="0.99"}'):
+                   'repro_service_cache{stat="hit_rate"}',
+                   'repro_service_latency_seconds_bucket{le="+Inf"}'):
         if value_of(metric) is None:
             failures.append(f"{metric} missing")
+    if not value_of('repro_service_stage_seconds_count{stage="fold"}'):
+        failures.append("fold stage histogram missing or zero")
     if value_of('repro_service_requests_total{endpoint="source"}') is None:
         failures.append("per-endpoint request counter missing")
     return failures
@@ -156,6 +174,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=2022)
     parser.add_argument("--check-metrics", action="store_true",
                         help="also assert /metrics is populated")
+    parser.add_argument("--latency-out", default=None, metavar="PATH",
+                        help="write the full summary (including every "
+                             "per-request latency) as JSON to this file")
     args = parser.parse_args(argv)
 
     num_nodes = args.num_nodes
@@ -165,7 +186,14 @@ def main(argv: list[str] | None = None) -> int:
     summary = run_load(args.url, requests=args.requests,
                        concurrency=args.concurrency, num_nodes=num_nodes,
                        zipf_exponent=args.zipf, seed=args.seed)
-    print(json.dumps(summary, indent=2))
+    if args.latency_out:
+        with open(args.latency_out, "w", encoding="utf-8") as sink:
+            json.dump(summary, sink, indent=2, sort_keys=True)
+            sink.write("\n")
+    # the raw latency list is file-only; stdout stays a short summary
+    printed = {key: value for key, value in summary.items()
+               if key != "latencies_seconds"}
+    print(json.dumps(printed, indent=2))
     code = 0
     if summary["failed"]:
         print(f"FAIL: {summary['failed']} request(s) failed",

@@ -1,20 +1,33 @@
-"""Service metrics: latency rings, batch histogram, Prometheus text.
+"""Service metrics: stage histograms, work counters, Prometheus text.
 
-The serving layer reports two kinds of numbers:
+The serving layer reports three kinds of numbers:
 
 - machine-independent *work* — the same
   :class:`~repro.counters.WorkCounters` threaded through every sampler
-  and push kernel, aggregated across scheduler batches under a lock
-  (the counters themselves are deliberately unsynchronised, see
-  :meth:`~repro.counters.WorkCounters.merge`);
+  and push kernel, aggregated across scheduler batches under the
+  registry lock (the counters themselves are deliberately
+  unsynchronised, see :meth:`~repro.counters.WorkCounters.merge`);
 - *serving* statistics — request/rejection totals, queue depth, batch
-  sizes, and request latency quantiles from fixed-size rings.
+  sizes, and request latency quantiles from a fixed-size ring;
+- *stage latencies* — one fixed-bucket log-spaced histogram per
+  pipeline stage (admission, cache lookup, batch wait, dispatch,
+  fold, merge, serialize; see :data:`repro.obs.histogram.STAGES`),
+  sharded per thread so recording never contends a global lock.
+  These replaced the bespoke p50/p99 summaries: histogram buckets are
+  additive across threads and scrapes and expose the whole tail, not
+  two pinned quantiles.
 
 Everything is exposed in Prometheus text format (v0.0.4) by
 :meth:`ServiceMetrics.render`, which is what the HTTP front end serves
 at ``/metrics``.  Gauges owned by other components (queue depth, cache
 stats, index footprint) are *pulled* at render time through registered
 callables, so the registry never holds stale copies.
+
+Consistency: every multi-field update (request count + latency ring,
+batch count + work counters + batch-size histogram) happens under the
+registry lock, and :meth:`snapshot` reads under the same lock — so
+``/healthz`` and ``/metrics`` can never observe a torn update (e.g. a
+request counted but its latency not yet recorded).
 """
 
 from __future__ import annotations
@@ -25,6 +38,7 @@ from typing import Callable
 import numpy as np
 
 from repro.counters import WorkCounters
+from repro.obs.histogram import STAGES, HistogramRegistry, LatencyHistogram
 
 __all__ = ["LatencyRing", "BatchSizeHistogram", "ServiceMetrics"]
 
@@ -37,7 +51,9 @@ class LatencyRing:
 
     A bounded ring keeps the quantile computation O(window) regardless
     of service uptime and naturally weights towards recent traffic —
-    the behaviour expected of a p99 gauge.
+    the behaviour expected of a p99 gauge.  The ring feeds the
+    ``/healthz`` snapshot; the ``/metrics`` exposition uses the
+    mergeable fixed-bucket histograms instead.
     """
 
     def __init__(self, window: int = 2048):
@@ -109,9 +125,10 @@ class ServiceMetrics:
     def __init__(self, latency_window: int = 2048):
         self.work = WorkCounters()
         self.latency = LatencyRing(latency_window)
-        # solver-fold time per batch, split out from end-to-end request
-        # latency so queueing delay and compute are separately visible
-        self.fold = LatencyRing(latency_window)
+        #: end-to-end request latency, histogram form (the exposition)
+        self.latency_hist = LatencyHistogram()
+        #: per-stage latency histograms (admission … serialize)
+        self.stages = HistogramRegistry(STAGES)
         self.batch_sizes = BatchSizeHistogram()
         self._lock = threading.Lock()
         self._requests: dict[str, int] = {}
@@ -122,10 +139,15 @@ class ServiceMetrics:
 
     # ------------------------------------------------------------------
     def record_request(self, endpoint: str, seconds: float) -> None:
-        """One completed request on ``endpoint`` taking ``seconds``."""
+        """One completed request on ``endpoint`` taking ``seconds``.
+
+        The counter and the latency observation land under one lock so
+        a concurrent :meth:`snapshot` sees both or neither.
+        """
         with self._lock:
             self._requests[endpoint] = self._requests.get(endpoint, 0) + 1
-        self.latency.record(seconds)
+            self.latency.record(seconds)
+        self.latency_hist.observe(seconds)
 
     def record_rejection(self) -> None:
         """One request rejected by backpressure."""
@@ -139,15 +161,19 @@ class ServiceMetrics:
 
     def record_batch(self, size: int, work: WorkCounters | dict) -> None:
         """One executed scheduler batch and the work it performed."""
-        self.batch_sizes.record(size)
         with self._lock:
+            self.batch_sizes.record(size)
             self._batches += 1
             self.work.merge(work)
 
+    def record_stage(self, stage: str, seconds: float) -> None:
+        """One observation for a pipeline-stage latency histogram."""
+        self.stages.observe(stage, seconds)
+
     def record_fold(self, seconds: float) -> None:
         """Solver-fold wall time of one executed batch (compute only,
-        no queueing) — the p50/p99 split the executor sizing needs."""
-        self.fold.record(seconds)
+        no queueing) — the stage split executor sizing needs."""
+        self.stages.observe("fold", seconds)
 
     def register_gauge(self, name: str, supplier: Callable) -> None:
         """Register a pull-at-render-time gauge.
@@ -160,23 +186,32 @@ class ServiceMetrics:
 
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
-        """Plain-dict summary (tests and ``/healthz`` read this)."""
+        """Plain-dict summary (tests and ``/healthz`` read this).
+
+        All counter fields are read under the registry lock, so the
+        returned dict is a consistent point-in-time cut — request
+        totals, latency window, batch totals and work counters all
+        reflect the same set of completed updates.
+        """
         with self._lock:
             requests = dict(self._requests)
             rejected, batches, errors = (self._rejected, self._batches,
                                          self._errors)
             work = self.work.snapshot_dict()
+            latency_p50 = self.latency.quantile(0.5)
+            latency_p99 = self.latency.quantile(0.99)
+            batch_size = self.batch_sizes.snapshot()
         return {
             "requests": requests,
             "rejected": rejected,
             "batches": batches,
             "errors": errors,
             "work": work,
-            "latency_p50": self.latency.quantile(0.5),
-            "latency_p99": self.latency.quantile(0.99),
-            "fold_p50": self.fold.quantile(0.5),
-            "fold_p99": self.fold.quantile(0.99),
-            "batch_size": self.batch_sizes.snapshot(),
+            "latency_p50": latency_p50,
+            "latency_p99": latency_p99,
+            "fold_p50": self.stages.quantile("fold", 0.5),
+            "fold_p99": self.stages.quantile("fold", 0.99),
+            "batch_size": batch_size,
         }
 
     def render(self) -> str:
@@ -189,6 +224,15 @@ class ServiceMetrics:
             lines.append(f"# TYPE {name} {kind}")
             for suffix, value in samples:
                 lines.append(f"{name}{suffix} {_fmt(value)}")
+
+        def histogram_samples(snapshot: dict, labels: str = "") -> list:
+            sep = "," if labels else ""
+            samples = [(f'_bucket{{{labels}{sep}le="{le}"}}', count)
+                       for le, count in snapshot["buckets"]]
+            wrap = f"{{{labels}}}" if labels else ""
+            samples.append((f"_sum{wrap}", snapshot["sum"]))
+            samples.append((f"_count{wrap}", snapshot["count"]))
+            return samples
 
         emit("repro_service_requests_total", "counter",
              "Completed requests by endpoint.",
@@ -205,24 +249,23 @@ class ServiceMetrics:
              "Micro-batches executed by the scheduler.",
              [("", snap["batches"])])
 
-        hist = snap["batch_size"]
         emit("repro_service_batch_size", "histogram",
              "Requests grouped per executed micro-batch.",
-             [(f'_bucket{{le="{le}"}}', count)
-              for le, count in hist["buckets"]]
-             + [("_sum", hist["sum"]), ("_count", hist["count"])])
+             histogram_samples(snap["batch_size"]))
 
-        emit("repro_service_latency_seconds", "summary",
-             "Request latency over the recent window.",
-             [('{quantile="0.5"}', snap["latency_p50"]),
-              ('{quantile="0.99"}', snap["latency_p99"]),
-              ("_count", self.latency.count)])
+        emit("repro_service_latency_seconds", "histogram",
+             "End-to-end request latency.",
+             histogram_samples(self.latency_hist.snapshot()))
 
-        emit("repro_service_fold_seconds", "summary",
-             "Per-batch solver-fold time (compute, no queueing).",
-             [('{quantile="0.5"}', snap["fold_p50"]),
-              ('{quantile="0.99"}', snap["fold_p99"]),
-              ("_count", self.fold.count)])
+        stage_samples: list = []
+        for stage, snapshot in self.stages.snapshot().items():
+            stage_samples.extend(
+                histogram_samples(snapshot, labels=f'stage="{stage}"'))
+        emit("repro_service_stage_seconds", "histogram",
+             "Per-stage pipeline latency "
+             "(admission|cache_lookup|batch_wait|dispatch|fold|merge|"
+             "serialize).",
+             stage_samples)
 
         for name, value in sorted(snap["work"].items()):
             if name == "total":

@@ -34,6 +34,7 @@ from collections import OrderedDict, deque
 from dataclasses import dataclass
 
 from repro.exceptions import ConfigError, ReproError
+from repro.obs.tracing import NULL_SPAN, Span
 from repro.service.index_manager import IndexManager
 from repro.service.metrics import ServiceMetrics
 
@@ -91,16 +92,28 @@ class QueryRequest:
 
 
 class _Pending:
-    """A request waiting in the queue plus its completion latch."""
+    """A request waiting in the queue plus its completion latch.
 
-    __slots__ = ("request", "event", "result", "error", "enqueued_at")
+    ``span`` is the caller's request span (:data:`NULL_SPAN` when the
+    request is unsampled); the scheduler grafts the shared batch
+    subtree onto it.  ``batch_size`` and ``disposition`` record how
+    the request was ultimately served — the slow log reads them after
+    :meth:`resolve` returns.
+    """
 
-    def __init__(self, request: QueryRequest, enqueued_at: float):
+    __slots__ = ("request", "event", "result", "error", "enqueued_at",
+                 "span", "batch_size", "disposition")
+
+    def __init__(self, request: QueryRequest, enqueued_at: float,
+                 span=NULL_SPAN):
         self.request = request
         self.event = threading.Event()
         self.result = None
         self.error: BaseException | None = None
         self.enqueued_at = enqueued_at
+        self.span = span
+        self.batch_size: int | None = None
+        self.disposition: str | None = None
 
     def resolve(self, timeout: float | None = None):
         if not self.event.wait(timeout):
@@ -174,14 +187,20 @@ class MicroBatchScheduler:
             return self._depth
 
     # -- admission -----------------------------------------------------
-    def submit_nowait(self, request: QueryRequest) -> _Pending:
-        """Admit ``request``; raises :class:`SchedulerFull` at capacity."""
+    def submit_nowait(self, request: QueryRequest,
+                      span=NULL_SPAN) -> _Pending:
+        """Admit ``request``; raises :class:`SchedulerFull` at capacity.
+
+        ``span`` (if sampled) receives the executed batch's span
+        subtree — queue wait, dispatch, fold, merge — once the batch
+        containing this request completes.
+        """
         now = time.monotonic()
         with self._cond:
             if self._depth >= self.queue_capacity:
                 raise SchedulerFull(self._depth,
                                     retry_after=max(self.max_wait, 0.001))
-            pending = _Pending(request, now)
+            pending = _Pending(request, now, span)
             self._groups.setdefault(request.group_key,
                                     deque()).append(pending)
             self._depth += 1
@@ -238,6 +257,20 @@ class MicroBatchScheduler:
 
     def _execute(self, batch: list[_Pending]) -> None:
         request = batch[0].request
+        now = time.monotonic()
+        if self.metrics is not None:
+            for pending in batch:
+                self.metrics.record_stage(
+                    "batch_wait", max(now - pending.enqueued_at, 0.0))
+        for pending in batch:
+            pending.batch_size = len(batch)
+        # one real span tree is shared by every sampled request in the
+        # batch — the work happened once, so it is recorded once and
+        # grafted (as a finished raw subtree) onto each sampled span
+        traced = [pending for pending in batch if pending.span.enabled]
+        batch_span = (Span("batch", size=len(batch),
+                           kind=request.solver_kind)
+                      if traced else NULL_SPAN)
         try:
             if self.executor is not None:
                 # cheap pre-validation so an unknown graph fails at the
@@ -249,7 +282,9 @@ class MicroBatchScheduler:
                     request.graph, request.solver_kind,
                     alpha=request.alpha, epsilon=request.epsilon)
         except BaseException as error:  # propagate to every waiter
+            self._attach_batch_span(traced, batch_span, error=str(error))
             for pending in batch:
+                pending.disposition = "error"
                 pending.error = error
                 pending.event.set()
             if self.metrics is not None:
@@ -257,11 +292,15 @@ class MicroBatchScheduler:
             return
         nodes = [pending.request.node for pending in batch]
         work_sum = None
+        stats: dict = {}
         started = time.perf_counter()
         try:
-            results = self._fold(request, nodes, solver)
+            results = self._fold(request, nodes, solver, batch_span,
+                                 stats)
         except BaseException as error:
+            self._attach_batch_span(traced, batch_span, error=str(error))
             for pending in batch:
+                pending.disposition = "error"
                 pending.error = error
                 pending.event.set()
             if self.metrics is not None:
@@ -270,11 +309,24 @@ class MicroBatchScheduler:
             with self._cond:
                 self.batches_executed += 1
             return
-        fold_seconds = time.perf_counter() - started
+        total_seconds = time.perf_counter() - started
+        # worker-reported compute time when the executor served us,
+        # otherwise the inline fold IS the whole call
+        fold_seconds = stats.get("fold_seconds", total_seconds)
+        disposition = stats.get("disposition", "inline")
+        merge_span = batch_span.child("merge")
+        merge_started = time.perf_counter()
         for pending, result in zip(batch, results):
             work_sum = (result.work if work_sum is None
                         else work_sum.merge(result.work))
+            pending.disposition = disposition
             pending.result = result
+        merge_seconds = time.perf_counter() - merge_started
+        merge_span.finish()
+        self._attach_batch_span(traced, batch_span)
+        # wake the waiters only after their spans are grafted —
+        # resolve() reads pending.span/disposition immediately
+        for pending in batch:
             pending.event.set()
         with self._cond:
             self.batches_executed += 1
@@ -282,25 +334,60 @@ class MicroBatchScheduler:
             self.metrics.record_batch(
                 len(batch), work_sum if work_sum is not None else {})
             self.metrics.record_fold(fold_seconds)
+            self.metrics.record_stage("merge", merge_seconds)
+            if disposition == "executor":
+                self.metrics.record_stage("dispatch",
+                                          max(total_seconds
+                                              - fold_seconds, 0.0))
 
-    def _fold(self, request: QueryRequest, nodes: list[int], solver):
+    @staticmethod
+    def _attach_batch_span(traced: list[_Pending], batch_span,
+                           error: str | None = None) -> None:
+        """Finish the shared batch span and graft it onto every
+        sampled request in the batch."""
+        if not traced:
+            return
+        raw = batch_span.finish(error=error).to_raw()
+        for pending in traced:
+            pending.span.add_raw(raw)
+
+    def _fold(self, request: QueryRequest, nodes: list[int], solver,
+              span, stats: dict):
         """Run one batch — in a worker process when an executor is
         attached (falling back inline on :class:`ExecutorError`),
         inline otherwise.  Both paths run the identical
         ``query_many`` code against the identical bank bytes, so the
-        answers are byte-equal."""
+        answers are byte-equal.
+
+        ``span`` gets a ``dispatch`` child (worker round trip, with
+        the worker's own attach/fold spans grafted inside) or an
+        inline ``fold`` child; ``stats`` comes back with
+        ``fold_seconds`` and ``disposition``
+        (``executor``/``fallback``/``inline``)."""
         if self.executor is not None:
             from repro.service.executor import ExecutorError
 
             try:
-                return self.executor.run_batch(
-                    request.graph, request.solver_kind,
-                    request.alpha, request.epsilon, nodes)
+                with span.child("dispatch") as dispatch:
+                    results = self.executor.run_batch(
+                        request.graph, request.solver_kind,
+                        request.alpha, request.epsilon, nodes,
+                        trace=span.enabled, stats=stats)
+                    dispatch.add_raw(stats.pop("spans", None))
+                stats["disposition"] = "executor"
+                return results
             except ExecutorError:
                 with self._cond:
                     self.fallback_batches += 1
+                stats.pop("fold_seconds", None)
+                stats["disposition"] = "fallback"
         if solver is None:
             solver = self.index_manager.get_solver(
                 request.graph, request.solver_kind,
                 alpha=request.alpha, epsilon=request.epsilon)
-        return solver.query_many(nodes)
+        with span.child("fold"):
+            started = time.perf_counter()
+            results = solver.query_many(nodes)
+            stats["fold_seconds"] = time.perf_counter() - started
+        stats.setdefault("disposition", "inline")
+        return results

@@ -26,6 +26,8 @@ from repro.core.result import PPRResult
 from repro.exceptions import ConfigError
 from repro.graph.csr import Graph
 from repro.graph.datasets import load_dataset
+from repro.obs.slowlog import SlowLog
+from repro.obs.tracing import NULL_SPAN, Tracer, new_request_id
 from repro.service.cache import ResultCache, cache_key
 from repro.service.config import ServiceConfig
 from repro.service.index_manager import IndexManager
@@ -59,7 +61,14 @@ class PPRService:
         self.config = config or ServiceConfig()
         if graph is None:
             graph = load_dataset(self.config.graph, scale=self.config.scale)
-        self.index_manager = IndexManager(self.config.ppr_config())
+        self.tracer = Tracer(self.config.trace_sample_rate,
+                             capacity=self.config.trace_buffer,
+                             seed=self.config.seed)
+        self.slowlog = SlowLog(
+            self.config.slowlog_path,
+            threshold_ms=self.config.slowlog_threshold_ms)
+        self.index_manager = IndexManager(self.config.ppr_config(),
+                                          tracer=self.tracer)
         self.index_manager.register_graph(self.config.graph, graph)
         self.cache = ResultCache(self.config.cache_entries)
         self.metrics = ServiceMetrics()
@@ -98,7 +107,7 @@ class PPRService:
                              self.executor.stats()["tasks_done"])})
         self.metrics.register_gauge(
             "repro_service_cache",
-            lambda: {f"_{key}": float(value)
+            lambda: {f'{{stat="{key}"}}': float(value)
                      for key, value in self.cache.stats().items()})
         self.metrics.register_gauge(
             "repro_service_index_bytes",
@@ -135,6 +144,7 @@ class PPRService:
         if self.executor is not None:
             self.executor.shutdown()
         self.index_manager.close_shared()
+        self.slowlog.close()
 
     def __enter__(self) -> "PPRService":
         return self.start()
@@ -155,81 +165,203 @@ class PPRService:
         bit-identical to ``solver.query(node)`` on the corresponding
         batch solver.
         """
+        result, hit, _ = self._query_traced(kind, node, alpha=alpha,
+                                            epsilon=epsilon,
+                                            use_cache=use_cache,
+                                            span=NULL_SPAN)
+        return result, hit
+
+    def _query_traced(self, kind: str, node: int, *,
+                      alpha: float | None, epsilon: float | None,
+                      use_cache: bool,
+                      span) -> tuple[PPRResult, bool, dict]:
+        """The instrumented query core behind every endpoint.
+
+        ``span`` is the request's root span (:data:`NULL_SPAN` when
+        unsampled — every operation on it is then a free no-op, so
+        this is also the uninstrumented fast path).  Returns
+        ``(result, was_cache_hit, meta)`` where ``meta`` carries how
+        the request was served (batch size / disposition) for the slow
+        log and debug responses.
+        """
         if kind not in ("source", "target"):
             raise ConfigError(f"kind must be 'source' or 'target', "
                               f"got {kind!r}")
         alpha = self.config.alpha if alpha is None else float(alpha)
         epsilon = self.config.epsilon if epsilon is None else float(epsilon)
-        graph = self.index_manager.graph(self.config.graph)
-        if not 0 <= int(node) < graph.num_nodes:
-            # validate before admission so one bad node can never fail
-            # the whole micro-batch it would have joined
-            raise ConfigError(f"{kind} node {node} out of range "
-                              f"[0, {graph.num_nodes})")
-        key = cache_key(self.config.graph, "batch", kind, int(node), alpha)
         started = time.perf_counter()
+        with span.child("admission"):
+            graph = self.index_manager.graph(self.config.graph)
+            if not 0 <= int(node) < graph.num_nodes:
+                # validate before admission so one bad node can never
+                # fail the whole micro-batch it would have joined
+                raise ConfigError(f"{kind} node {node} out of range "
+                                  f"[0, {graph.num_nodes})")
+            key = cache_key(self.config.graph, "batch", kind, int(node),
+                            alpha)
+        self.metrics.record_stage("admission",
+                                  time.perf_counter() - started)
         if use_cache:
-            cached = self.cache.get(key, epsilon)
+            lookup_started = time.perf_counter()
+            with span.child("cache_lookup"):
+                cached = self.cache.get(key, epsilon)
+            self.metrics.record_stage(
+                "cache_lookup", time.perf_counter() - lookup_started)
             if cached is not None:
+                span.annotate(cached=True)
                 self.metrics.record_request(kind, time.perf_counter()
                                             - started)
-                return cached, True
+                return cached, True, {"batch_size": None,
+                                      "disposition": "cache"}
         try:
-            result = self.scheduler.submit(QueryRequest(
+            pending = self.scheduler.submit_nowait(QueryRequest(
                 graph=self.config.graph, kind=kind, node=int(node),
-                alpha=alpha, epsilon=epsilon))
+                alpha=alpha, epsilon=epsilon), span)
+            result = pending.resolve(30.0)
         except SchedulerFull:
             self.metrics.record_rejection()
             raise
         if use_cache:
             self.cache.put(key, epsilon, result)
         self.metrics.record_request(kind, time.perf_counter() - started)
-        return result, False
+        return result, False, {"batch_size": pending.batch_size,
+                               "disposition": pending.disposition}
 
     # -- JSON-shaped endpoints -----------------------------------------
     def query(self, kind: str, node: int, *, alpha: float | None = None,
               epsilon: float | None = None, top: int = 10,
-              use_cache: bool = True) -> dict:
-        """``/query`` semantics: top-k answer plus provenance."""
-        result, hit = self.query_result(kind, node, alpha=alpha,
-                                        epsilon=epsilon,
-                                        use_cache=use_cache)
-        return {
-            "kind": kind,
-            "node": int(node),
-            "alpha": result.alpha,
-            "epsilon": result.epsilon,
-            "method": result.method,
-            "total_mass": result.total_mass,
-            "top": [[node_id, score] for node_id, score
-                    in result.top_k(top)],
-            "cached": hit,
-            "work": result.work.as_dict(),
-        }
+              use_cache: bool = True, request_id: str | None = None,
+              debug: bool = False) -> dict:
+        """``/query`` semantics: top-k answer plus provenance.
+
+        ``request_id`` propagates the client's ``X-Request-Id`` (one
+        is generated otherwise); ``debug=True`` forces a trace and
+        adds a ``debug`` block (span tree + work counters) to the
+        response.  Without ``debug``, the payload is byte-identical
+        whether or not the request was sampled.
+        """
+        request_id = request_id or new_request_id()
+        span = self.tracer.trace("query", request_id, force=debug)
+        span.annotate(endpoint="query", kind=kind, node=int(node))
+        started = time.perf_counter()
+        try:
+            result, hit, meta = self._query_traced(
+                kind, node, alpha=alpha, epsilon=epsilon,
+                use_cache=use_cache, span=span)
+        except BaseException as error:
+            self._observe_failure(span, request_id, "query", kind, node,
+                                  alpha, epsilon, started, error)
+            raise
+        with span.child("serialize"):
+            serialize_started = time.perf_counter()
+            payload = {
+                "kind": kind,
+                "node": int(node),
+                "alpha": result.alpha,
+                "epsilon": result.epsilon,
+                "method": result.method,
+                "total_mass": result.total_mass,
+                "top": [[node_id, score] for node_id, score
+                        in result.top_k(top)],
+                "cached": hit,
+                "work": result.work.as_dict(),
+            }
+            self.metrics.record_stage(
+                "serialize", time.perf_counter() - serialize_started)
+        seconds = time.perf_counter() - started
+        tree = self.tracer.finish(span) if span.enabled else None
+        self.slowlog.record(
+            request_id=request_id, endpoint="query", kind=kind,
+            node=int(node), alpha=result.alpha, epsilon=result.epsilon,
+            seconds=seconds, cached=hit, batch_size=meta["batch_size"],
+            disposition=meta["disposition"],
+            work=result.work.as_dict(), trace=tree)
+        if debug:
+            payload["debug"] = {
+                "request_id": request_id,
+                "trace": tree,
+                "batch_size": meta["batch_size"],
+                "disposition": meta["disposition"],
+                "counters": self.metrics.snapshot()["work"],
+            }
+        return payload
 
     def pair(self, source: int, target: int, *,
              alpha: float | None = None, epsilon: float | None = None,
-             use_cache: bool = True) -> dict:
+             use_cache: bool = True, request_id: str | None = None,
+             debug: bool = False) -> dict:
         """``/pair`` semantics: one π(source, target) value.
 
         Rides the single-target path — π(s, t) is entry ``s`` of the
         ``π(·, t)`` column — so pairs share batches *and* cache entries
         with plain target queries for the same target.
         """
-        graph = self.index_manager.graph(self.config.graph)
-        if not 0 <= source < graph.num_nodes:
-            raise ConfigError(f"source {source} out of range")
-        result, hit = self.query_result("target", target, alpha=alpha,
-                                        epsilon=epsilon,
-                                        use_cache=use_cache)
-        return {
-            "source": int(source),
-            "target": int(target),
-            "alpha": result.alpha,
-            "epsilon": result.epsilon,
-            "value": result[source],
-            "cached": hit,
-        }
+        request_id = request_id or new_request_id()
+        span = self.tracer.trace("pair", request_id, force=debug)
+        span.annotate(endpoint="pair", source=int(source),
+                      target=int(target))
+        started = time.perf_counter()
+        try:
+            graph = self.index_manager.graph(self.config.graph)
+            if not 0 <= source < graph.num_nodes:
+                raise ConfigError(f"source {source} out of range")
+            result, hit, meta = self._query_traced(
+                "target", target, alpha=alpha, epsilon=epsilon,
+                use_cache=use_cache, span=span)
+        except BaseException as error:
+            self._observe_failure(span, request_id, "pair", "target",
+                                  target, alpha, epsilon, started, error)
+            raise
+        with span.child("serialize"):
+            serialize_started = time.perf_counter()
+            payload = {
+                "source": int(source),
+                "target": int(target),
+                "alpha": result.alpha,
+                "epsilon": result.epsilon,
+                "value": result[source],
+                "cached": hit,
+            }
+            self.metrics.record_stage(
+                "serialize", time.perf_counter() - serialize_started)
+        seconds = time.perf_counter() - started
+        tree = self.tracer.finish(span) if span.enabled else None
+        self.slowlog.record(
+            request_id=request_id, endpoint="pair", kind="target",
+            node=int(target), alpha=result.alpha,
+            epsilon=result.epsilon, seconds=seconds, cached=hit,
+            batch_size=meta["batch_size"],
+            disposition=meta["disposition"],
+            work=result.work.as_dict(), trace=tree)
+        if debug:
+            payload["debug"] = {
+                "request_id": request_id,
+                "trace": tree,
+                "batch_size": meta["batch_size"],
+                "disposition": meta["disposition"],
+                "counters": self.metrics.snapshot()["work"],
+            }
+        return payload
+
+    def _observe_failure(self, span, request_id: str, endpoint: str,
+                         kind: str, node: int, alpha: float | None,
+                         epsilon: float | None, started: float,
+                         error: BaseException) -> None:
+        """Record a failed request: error-annotated trace + slow log
+        (errors bypass the latency threshold)."""
+        seconds = time.perf_counter() - started
+        text = f"{type(error).__name__}: {error}"
+        tree = None
+        if span.enabled:
+            span.finish(error=text)
+            tree = self.tracer.finish(span)
+        self.slowlog.record(
+            request_id=request_id, endpoint=endpoint, kind=kind,
+            node=int(node),
+            alpha=self.config.alpha if alpha is None else float(alpha),
+            epsilon=(self.config.epsilon if epsilon is None
+                     else float(epsilon)),
+            seconds=seconds, error=text, trace=tree)
 
     # -- observability -------------------------------------------------
     def healthz(self) -> dict:
@@ -249,6 +381,10 @@ class PPRService:
             "executor": (self.executor.stats()
                          if self.executor is not None
                          else {"mode": "thread", "workers": 0}),
+            "observability": {
+                "tracing": self.tracer.stats(),
+                "slowlog": self.slowlog.stats(),
+            },
         }
 
     def metrics_text(self) -> str:

@@ -62,6 +62,41 @@ class TestParser:
                 ["query", "source", "youtube", "0",
                  "--push-backend", "cuda"])
 
+    def test_serve_observability_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--trace-sample-rate", "0.25",
+             "--trace-buffer", "64", "--slowlog", "/tmp/slow.jsonl",
+             "--slowlog-threshold-ms", "100", "--profile",
+             "/tmp/prof.txt"])
+        assert args.trace_sample_rate == 0.25
+        assert args.trace_buffer == 64
+        assert args.slowlog == "/tmp/slow.jsonl"
+        assert args.slowlog_threshold_ms == 100.0
+        assert args.profile == "/tmp/prof.txt"
+
+    def test_serve_observability_defaults_off(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.trace_sample_rate == 0.0
+        assert args.slowlog is None
+        assert args.profile is None
+
+    def test_trace_subcommand(self):
+        args = build_parser().parse_args(
+            ["trace", "tail", "slow.jsonl", "-n", "7"])
+        assert (args.action, args.slowlog, args.lines) == (
+            "tail", "slow.jsonl", 7)
+        args = build_parser().parse_args(["trace", "summarize", "s.jsonl"])
+        assert args.action == "summarize"
+        with pytest.raises(SystemExit):  # an action is required
+            build_parser().parse_args(["trace"])
+
+    def test_bench_subcommand(self):
+        args = build_parser().parse_args(
+            ["bench", "--profile", "prof.txt", "--threshold", "0.5"])
+        assert args.profile == "prof.txt"
+        assert args.threshold == 0.5
+        assert args.baseline is None
+
 
 class TestCommands:
     def test_datasets(self, capsys):
@@ -171,6 +206,18 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "residual_ceiling" in out
 
+    def test_trace_tail(self, capsys):
+        fixture = str(GOLDEN_DIR / "slowlog_fixture.jsonl")
+        assert main(["trace", "tail", fixture, "-n", "2"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("ok ") and "inline" in lines[0]
+        assert lines[1].startswith("ERR") and "outside" in lines[1]
+
+    def test_trace_missing_file_returns_2(self, capsys, tmp_path):
+        assert main(["trace", "summarize",
+                     str(tmp_path / "nope.jsonl")]) == 2
+
 
 class TestGoldenOutput:
     """Byte-exact CLI regression tests against committed transcripts."""
@@ -213,6 +260,13 @@ class TestGoldenOutput:
         _assert_matches_golden("index_build_inspect.txt",
                                build_out + "---\n"
                                + capsys.readouterr().out)
+
+    def test_trace_summarize(self, capsys):
+        """`repro trace summarize` on the canned slow log is byte-stable."""
+        fixture = str(GOLDEN_DIR / "slowlog_fixture.jsonl")
+        assert main(["trace", "summarize", fixture]) == 0
+        _assert_matches_golden("trace_summarize.txt",
+                               capsys.readouterr().out)
 
     def test_scalar_backend_prints_identical_query(self, capsys):
         """The backend flag must not change a single printed byte."""

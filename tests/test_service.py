@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import re
 import time
 import urllib.error
 import urllib.request
@@ -32,6 +33,73 @@ from repro.service.metrics import BatchSizeHistogram, LatencyRing
 SEED = 2022
 ALPHA = 0.2
 EPSILON = 0.5
+
+
+def assert_prometheus_exposition(text: str) -> None:
+    """Strict Prometheus text-format (v0.0.4) structural checks.
+
+    Every sample must be preceded by its family's ``# HELP`` and
+    ``# TYPE`` lines and must parse against the exposition grammar;
+    histogram bucket series must be cumulative (non-decreasing in
+    emission order), terminate with ``le="+Inf"``, and the ``+Inf``
+    bucket must equal the family's ``_count`` for the same label set.
+    """
+    sample_re = re.compile(
+        r'^([a-zA-Z_:][a-zA-Z0-9_:]*)'
+        r'(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"'
+        r'(?:,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})?'
+        r" (\S+)$")
+    le_re = re.compile(r'(?:\{|,)le="([^"]+)"')
+    helped: set[str] = set()
+    types: dict[str, str] = {}
+    buckets: dict[tuple[str, str], list[tuple[str, float]]] = {}
+    counts: dict[tuple[str, str], float] = {}
+
+    def family(name: str) -> str:
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[:-len(suffix)] in types:
+                return name[:-len(suffix)]
+        return name
+
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            helped.add(line.split()[2])
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            assert parts[3] in ("counter", "gauge", "histogram"), line
+            types[parts[2]] = parts[3]
+            continue
+        match = sample_re.match(line)
+        assert match, f"unparseable sample line: {line!r}"
+        name, labels, value_text = match.groups()
+        value = float(value_text)  # grammar: value must parse
+        base = family(name)
+        assert base in types, f"sample before its TYPE line: {line!r}"
+        assert base in helped, f"sample before its HELP line: {line!r}"
+        if types[base] == "histogram" and name.endswith("_bucket"):
+            le = le_re.search(labels or "")
+            assert le, f"histogram bucket without le label: {line!r}"
+            rest = re.sub(r'(\{|,)le="[^"]*",?', r"\1", labels)
+            rest = rest.replace("{,", "{").replace(",}", "}")
+            buckets.setdefault((base, rest), []).append(
+                (le.group(1), value))
+        elif types[base] == "histogram" and name.endswith("_count"):
+            counts[(base, labels or "{}")] = value
+    assert buckets, "no histogram series in exposition"
+    for (base, labels), series in buckets.items():
+        values = [value for _, value in series]
+        assert values == sorted(values), (
+            f"non-cumulative buckets for {base}{labels}: {series}")
+        assert series[-1][0] == "+Inf", (
+            f"{base}{labels} bucket series does not end with +Inf")
+        assert (base, labels) in counts, (
+            f"histogram {base}{labels} has no _count sample")
+        assert series[-1][1] == counts[(base, labels)], (
+            f"{base}{labels}: +Inf bucket {series[-1][1]} != "
+            f"_count {counts[(base, labels)]}")
 
 
 @pytest.fixture(scope="module")
@@ -142,18 +210,21 @@ class TestMetrics:
         metrics.register_gauge("repro_service_queue_depth", lambda: 2.0)
         metrics.register_gauge(
             "repro_service_cache",
-            lambda: {"_hit_rate": 0.25, "_size": 3.0})
+            lambda: {'{stat="hit_rate"}': 0.25, '{stat="size"}': 3.0})
         text = metrics.render()
         assert 'repro_service_requests_total{endpoint="query"} 1' in text
         assert "repro_service_rejected_total 1" in text
         assert "repro_service_batches_total 1" in text
         assert 'repro_service_batch_size_bucket{le="4"} 1' in text
         assert "repro_service_batch_size_count 1" in text
-        assert 'repro_service_latency_seconds{quantile="0.99"}' in text
+        assert 'repro_service_latency_seconds_bucket{le="0.025"} 1' in text
+        assert "repro_service_latency_seconds_count 1" in text
+        assert ('repro_service_stage_seconds_bucket{stage="fold",'
+                in text)
         assert "repro_service_work_walk_steps_total 10" in text
         assert "repro_service_work_pushes_total 3" in text
         assert "repro_service_queue_depth 2.0" in text
-        assert "repro_service_cache_hit_rate 0.25" in text
+        assert 'repro_service_cache{stat="hit_rate"} 0.25' in text
 
     def test_snapshot_work_is_detached(self):
         metrics = ServiceMetrics()
@@ -162,6 +233,25 @@ class TestMetrics:
         metrics.record_batch(1, {"walk_steps": 5})
         assert snap["work"]["walk_steps"] == 5
         assert metrics.snapshot()["work"]["walk_steps"] == 10
+
+    def test_stage_histograms_feed_snapshot_quantiles(self):
+        metrics = ServiceMetrics()
+        for seconds in (0.001, 0.002, 0.2):
+            metrics.record_fold(seconds)
+        metrics.record_stage("serialize", 0.0001)
+        snap = metrics.snapshot()
+        assert snap["fold_p50"] > 0
+        assert snap["fold_p99"] >= snap["fold_p50"]
+
+    def test_exposition_is_strictly_well_formed(self):
+        metrics = ServiceMetrics()
+        metrics.record_request("query", 0.012)
+        metrics.record_request("pair", 3.5)
+        metrics.record_stage("admission", 1e-6)
+        metrics.record_fold(0.02)
+        metrics.record_batch(3, {"pushes": 1})
+        metrics.register_gauge("repro_service_queue_depth", lambda: 0.0)
+        assert_prometheus_exposition(metrics.render())
 
 
 class TestIndexManager:
@@ -404,8 +494,10 @@ class TestPPRService:
         assert health["index"]["builds"] >= 1
         text = service.metrics_text()
         assert "repro_service_queue_depth 0.0" in text
-        assert "repro_service_cache_hits" in text
+        assert 'repro_service_cache{stat="hits"}' in text
         assert 'repro_service_index_bytes{bank="test@0.2"}' in text
+        assert health["observability"]["tracing"]["sample_rate"] == 0.0
+        assert health["observability"]["slowlog"]["written"] >= 0
 
     def test_results_match_standalone_manager(self, graph, service,
                                               service_config):
@@ -476,4 +568,29 @@ class TestHTTP:
         assert status == 200
         text = body.decode()
         assert "repro_service_batches_total" in text
-        assert "repro_service_latency_seconds" in text
+        assert "repro_service_latency_seconds_bucket" in text
+        assert 'repro_service_stage_seconds_bucket{stage="batch_wait"' \
+            in text
+        assert_prometheus_exposition(text)
+
+    def test_request_id_echoed_and_propagated(self, base_url):
+        body = json.dumps({"kind": "source", "node": 7}).encode()
+        request = urllib.request.Request(
+            f"{base_url}/query?debug=1", data=body,
+            headers={"Content-Type": "application/json",
+                     "X-Request-Id": "trace-me-42"})
+        with urllib.request.urlopen(request, timeout=30) as response:
+            assert response.headers["X-Request-Id"] == "trace-me-42"
+            payload = json.loads(response.read())
+        debug = payload["debug"]
+        assert debug["request_id"] == "trace-me-42"
+        assert debug["trace"]["name"] == "query"
+        assert debug["trace"]["attrs"]["request_id"] == "trace-me-42"
+        # a minted id comes back when the client sends none
+        request = urllib.request.Request(
+            f"{base_url}/query", data=body,
+            headers={"Content-Type": "application/json"})
+        with urllib.request.urlopen(request, timeout=30) as response:
+            assert response.headers["X-Request-Id"]
+            payload = json.loads(response.read())
+        assert "debug" not in payload
