@@ -38,7 +38,7 @@ from repro.parallel import parallel_estimate_stage, sample_forests_parallel
 from repro.push import backward_push, balanced_forward_push
 
 __all__ = ["main", "run_kernels", "calibration_seconds",
-           "check_trace_overhead"]
+           "check_trace_overhead", "check_topk_early_termination"]
 
 SEED = 2022
 ALPHA = 0.1
@@ -181,6 +181,27 @@ def run_kernels(workers: int = 4) -> dict[str, dict]:
             work.merge(result.work)
         return work.as_dict()
 
+    # the top-k serving path: same 16-query micro-batch, once with the
+    # variance-bound early-termination rule and once forced to the full
+    # forest budget — check_topk_early_termination compares the two
+    from repro.core.topk import BatchTopKSolver
+    topk_items = [(node, TOPK_K) for node in range(16)]
+    topk_early = BatchTopKSolver(graph, alpha=ALPHA, epsilon=0.5,
+                                 budget_scale=0.05, seed=SEED,
+                                 max_forests=128)
+    topk_full = BatchTopKSolver(graph, alpha=ALPHA, epsilon=0.5,
+                                budget_scale=0.05, seed=SEED,
+                                max_forests=128, early_stop=False)
+
+    def topk_kernel(solver):
+        def run():
+            results = solver.run_items(topk_items)
+            work = WorkCounters()
+            for result in results:
+                work.merge(result.work)
+            return work.as_dict()
+        return run
+
     kernels = {}
     try:
         for name, func in [("forest_sampling_serial", forest_serial),
@@ -202,10 +223,23 @@ def run_kernels(workers: int = 4) -> dict[str, dict]:
                            ("service_query_many_16_mp",
                             service_query_many_mp),
                            ("service_query_many_16_traced",
-                            service_query_many_mp_traced)]:
+                            service_query_many_mp_traced),
+                           ("service_topk_16", topk_kernel(topk_early)),
+                           ("service_topk_16_full",
+                            topk_kernel(topk_full))]:
             seconds, counters = _timed(func)
             kernels[name] = {"seconds": seconds, "counters": counters}
+        # matched-accuracy side of the early-termination check: the
+        # smallest per-query overlap between the early-stopped and
+        # full-budget top-k sets (deterministic, so safe as a counter)
+        early_sets = topk_early.run_items(topk_items)
+        full_sets = topk_full.run_items(topk_items)
+        kernels["service_topk_16"]["counters"]["topk_min_overlap"] = min(
+            len(set(e.nodes.tolist()) & set(f.nodes.tolist()))
+            for e, f in zip(early_sets, full_sets))
     finally:
+        topk_early.close()
+        topk_full.close()
         mp_executor.shutdown()
         mp_manager.close_shared()
     return kernels
@@ -214,6 +248,14 @@ def run_kernels(workers: int = 4) -> dict[str, dict]:
 #: The tracing-overhead budget: the traced micro-batch kernel may be at
 #: most this much slower than its untraced twin (fractional).
 TRACE_OVERHEAD_BUDGET = 0.05
+
+#: Top-k gate: ranking depth of the pinned top-k micro-batch, the
+#: minimum fractional walk-step saving early termination must deliver
+#: vs the full-budget twin, and the per-query top-k set overlap both
+#: must agree on (matched accuracy: at least k-1 of k nodes shared).
+TOPK_K = 5
+TOPK_REDUCTION_FLOOR = 0.20
+TOPK_OVERLAP_FLOOR = TOPK_K - 1
 
 
 def check_trace_overhead(kernels: dict[str, dict],
@@ -235,6 +277,29 @@ def check_trace_overhead(kernels: dict[str, dict],
     if base < 1e-3:
         return True, detail + " [skipped: untraced floor < 1 ms]"
     return overhead <= budget, detail
+
+
+def check_topk_early_termination(kernels: dict[str, dict],
+                                 floor: float = TOPK_REDUCTION_FLOOR
+                                 ) -> tuple[bool, str]:
+    """Early termination must cut walk steps at matched accuracy.
+
+    Both top-k kernels replay the same deterministic forest stream, so
+    the walk-step ratio isolates exactly what the variance-bound
+    stopping rule saves; ``topk_min_overlap`` (the worst per-query
+    agreement between the early-stopped and full-budget top-k sets)
+    guards against buying that saving with a degraded ranking.
+    """
+    early = kernels["service_topk_16"]["counters"]
+    full = kernels["service_topk_16_full"]["counters"]
+    reduction = (1.0 - early["walk_steps"] / full["walk_steps"]
+                 if full["walk_steps"] else 0.0)
+    overlap = early["topk_min_overlap"]
+    detail = (f"top-k early termination: {reduction:.1%} walk-step "
+              f"saving ({early['walk_steps']} vs {full['walk_steps']} "
+              f"steps, floor {floor:.0%}), min top-{TOPK_K} overlap "
+              f"{overlap}/{TOPK_K} (floor {TOPK_OVERLAP_FLOOR})")
+    return (reduction >= floor and overlap >= TOPK_OVERLAP_FLOOR), detail
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -278,6 +343,15 @@ def main(argv: list[str] | None = None) -> int:
     if not trace_ok:
         print("TRACING OVERHEAD over budget "
               f"({TRACE_OVERHEAD_BUDGET:.0%})", file=sys.stderr)
+        return 1
+
+    topk_ok, topk_detail = check_topk_early_termination(kernels)
+    print(topk_detail)
+    if not topk_ok:
+        print("TOP-K EARLY TERMINATION below floor "
+              f"({TOPK_REDUCTION_FLOOR:.0%} saving at "
+              f">={TOPK_OVERLAP_FLOOR}/{TOPK_K} overlap)",
+              file=sys.stderr)
         return 1
 
     if args.baseline is None:

@@ -5,7 +5,11 @@ Commands
 datasets
     Print the Table-1 stand-in registry with measured statistics.
 query
-    Run a single-source or single-target PPR query and print the top-k.
+    Run a single-source or single-target PPR query and print the
+    top-k.  ``--top-k`` switches to the early-terminating top-k
+    estimator, ``--seeds`` to a weighted multi-seed query, and
+    ``--pair`` to a forest+push pairwise estimate — the same three
+    query kinds the service exposes over HTTP.
 pair
     Estimate one π(s, t) value.
 cluster
@@ -58,9 +62,25 @@ def build_parser() -> argparse.ArgumentParser:
     query = commands.add_parser("query", help="run a PPR query")
     query.add_argument("kind", choices=["source", "target"])
     query.add_argument("dataset", help="dataset name (see `datasets`)")
-    query.add_argument("node", type=int, help="query node id")
+    query.add_argument("node", type=int, nargs="?", default=None,
+                       help="query node id (optional with --seeds)")
     query.add_argument("--method", default=None,
                        help="algorithm (default speedlv / backlv)")
+    query.add_argument("--top-k", type=int, default=None, metavar="K",
+                       help="early-terminating top-k estimation from "
+                            "NODE (source kind only): stops sampling "
+                            "forests once the top-K order is stable "
+                            "under the estimator's variance bound")
+    query.add_argument("--seeds", default=None, metavar="IDS",
+                       help="comma-separated seed set — runs a "
+                            "multi-seed (personalization vector) "
+                            "query instead of a single-seed one")
+    query.add_argument("--weights", default=None, metavar="WS",
+                       help="comma-separated weights for --seeds "
+                            "(default: uniform; normalized to sum 1)")
+    query.add_argument("--pair", type=int, default=None, metavar="T",
+                       help="pairwise estimate of ppr(NODE, T) via the "
+                            "forest-estimate + push meet-in-the-middle")
     query.add_argument("--alpha", type=float, default=0.01)
     query.add_argument("--epsilon", type=float, default=0.5)
     query.add_argument("--top", type=int, default=10)
@@ -228,11 +248,65 @@ def _cmd_datasets(_: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_int_list(text: str, label: str) -> list[int]:
+    try:
+        return [int(part) for part in text.split(",") if part.strip()]
+    except ValueError as error:
+        raise ReproError(f"bad {label} list {text!r}: {error}") from None
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
+    modes = [name for name, on in [("--top-k", args.top_k is not None),
+                                   ("--seeds", args.seeds is not None),
+                                   ("--pair", args.pair is not None)]
+             if on]
+    if len(modes) > 1:
+        raise ReproError(f"{' and '.join(modes)} are mutually exclusive")
+    if args.node is None and not args.seeds:
+        raise ReproError("node id is required unless --seeds is given")
     graph = load_dataset(args.dataset, scale=args.scale)
     common = dict(alpha=args.alpha, epsilon=args.epsilon,
                   budget_scale=args.budget_scale, seed=args.seed,
                   workers=args.workers, push_backend=args.push_backend)
+
+    if args.top_k is not None:
+        if args.kind != "source":
+            raise ReproError("--top-k only applies to source queries")
+        from repro.core.topk import BatchTopKSolver
+        with BatchTopKSolver(graph, **common) as solver:
+            result = solver.query_topk(args.node, args.top_k)
+        verdict = "converged" if result.converged else "budget-exhausted"
+        print(f"top-{result.k} from node {result.node} "
+              f"({verdict} after {result.num_forests} forests, "
+              f"{result.stats['work_walk_steps']} walk steps)")
+        for node, score in result.as_pairs():
+            print(f"  {node:8d}  {score:.6f}")
+        return 0
+
+    if args.seeds is not None:
+        from repro.core.batch import BatchMultiSeedSolver
+        seeds = _parse_int_list(args.seeds, "--seeds")
+        weights = (None if args.weights is None else
+                   [float(part) for part in args.weights.split(",")
+                    if part.strip()])
+        with BatchMultiSeedSolver(graph, **common) as solver:
+            result = solver.query_multiseed(seeds, weights)
+        print(f"multiseed over {result.stats['num_seeds']} seeds "
+              f"{list(result.stats['seeds'])} "
+              f"weights {[round(w, 6) for w in result.stats['weights']]}")
+        print(f"top {args.top}:")
+        for node, score in result.top_k(args.top):
+            print(f"  {node:8d}  {score:.6f}")
+        return 0
+
+    if args.pair is not None:
+        from repro.core.batch import BatchPairSolver
+        with BatchPairSolver(graph, **common) as solver:
+            result = solver.query_pair(args.node, args.pair)
+        print(f"pi({result.source}, {result.target}) ~= "
+              f"{float(result):.8f}  [{result.method}]")
+        return 0
+
     if args.kind == "source":
         result = single_source(graph, args.node,
                                method=args.method or "speedlv", **common)

@@ -1,7 +1,7 @@
 """The paper's query algorithms (§5, §6) behind a uniform API."""
 
 from repro.core.config import PPRConfig
-from repro.core.result import PPRResult
+from repro.core.result import PairResult, PPRResult
 from repro.core.api import (
     single_source,
     single_target,
@@ -23,8 +23,20 @@ from repro.core.single_source import (
 )
 from repro.core.single_target import back, rback, backl, backlv, backlv_plus
 from repro.core.pairwise import PairEstimate, pair_ppr
-from repro.core.batch import BatchSourceSolver, BatchTargetSolver
-from repro.core.topk import TopKResult, top_k_single_source, heavy_hitters
+from repro.core.batch import (
+    BatchMultiSeedSolver,
+    BatchPairSolver,
+    BatchSourceSolver,
+    BatchTargetSolver,
+    normalize_seed_set,
+)
+from repro.core.topk import (
+    BatchTopKSolver,
+    TopKQueryResult,
+    TopKResult,
+    top_k_single_source,
+    heavy_hitters,
+)
 from repro.core.accuracy import (
     l1_error,
     max_relative_error,
@@ -56,9 +68,15 @@ __all__ = [
     "backlv",
     "backlv_plus",
     "PairEstimate",
+    "PairResult",
     "pair_ppr",
+    "BatchMultiSeedSolver",
+    "BatchPairSolver",
     "BatchSourceSolver",
     "BatchTargetSolver",
+    "BatchTopKSolver",
+    "normalize_seed_set",
+    "TopKQueryResult",
     "TopKResult",
     "top_k_single_source",
     "heavy_hitters",

@@ -33,16 +33,55 @@ import time
 import numpy as np
 
 from repro.core.config import PPRConfig
-from repro.core.result import PPRResult
+from repro.core.result import PairResult, PPRResult
 from repro.counters import WorkCounters
 from repro.exceptions import ConfigError
+from repro.forests.estimators import weighted_combine
 from repro.graph.csr import Graph
 from repro.montecarlo.forest_index import ForestIndex
 from repro.push.backward import backward_push
 from repro.push.forward import balanced_forward_push
 from repro.rng import ensure_rng
 
-__all__ = ["BatchSourceSolver", "BatchTargetSolver"]
+__all__ = [
+    "BatchSourceSolver",
+    "BatchTargetSolver",
+    "BatchMultiSeedSolver",
+    "BatchPairSolver",
+    "normalize_seed_set",
+]
+
+
+def normalize_seed_set(seeds, weights, num_nodes: int) -> tuple[tuple[int, ...],
+                                                                tuple[float, ...]]:
+    """Validate and canonicalise one ``(seeds, weights)`` item.
+
+    Seeds become a tuple of in-range ints; weights default to uniform
+    and are normalised to sum to 1 (deterministically: ``w / w.sum()``),
+    so every layer — solver, cache key, HTTP echo — agrees on one
+    canonical personalization vector.
+    """
+    seeds = tuple(int(seed) for seed in seeds)
+    if not seeds:
+        raise ConfigError("seed set must not be empty")
+    for seed in seeds:
+        if not 0 <= seed < num_nodes:
+            raise ConfigError(f"seed {seed} out of range")
+    if weights is None:
+        weights = np.full(len(seeds), 1.0 / len(seeds))
+    else:
+        weights = np.asarray(list(weights), dtype=np.float64)
+        if weights.shape != (len(seeds),):
+            raise ConfigError(
+                f"need one weight per seed, got {weights.size} weights "
+                f"for {len(seeds)} seeds")
+        if not np.all(np.isfinite(weights)) or np.any(weights < 0):
+            raise ConfigError("weights must be finite and non-negative")
+        total = float(weights.sum())
+        if total <= 0:
+            raise ConfigError("weights must have positive sum")
+        weights = weights / total
+    return seeds, tuple(float(weight) for weight in weights)
 
 
 class _BatchSolverBase:
@@ -128,6 +167,17 @@ class _BatchSolverBase:
             "closed": self._closed,
         }
 
+    def run_items(self, items) -> list:
+        """Uniform micro-batch entry point used by the serving layer.
+
+        Every batch solver answers a sequence of kind-specific items
+        (plain node ids here; ``(seeds, weights)`` / ``(node, k)`` /
+        ``(source, target)`` tuples for the richer kinds) through this
+        one method, so the scheduler and the process-executor workers
+        need no per-kind dispatch.
+        """
+        return self.query_many(items)
+
     # -- internals -----------------------------------------------------
     def _check_open(self) -> None:
         if self._closed:
@@ -152,6 +202,17 @@ class _BatchSolverBase:
         return float(np.clip(
             np.sqrt(mean_degree / (self.config.alpha * budget * tau_hat)),
             1e-9, 1.0))
+
+    def _target_r_max(self) -> float:
+        """Backward-push threshold shared by the target and pair paths.
+
+        Kept in one place so a pair query's push stage is bit-identical
+        to the single-target solver's — the foundation of the
+        ``pair == full-vector entry`` contract.
+        """
+        return self.config.r_max or max(
+            self._default_r_max(),
+            self.config.epsilon * self.config.mu / self.config.budget_scale)
 
     def _query_stats(self, push, r_max: float, push_seconds: float,
                      mc_seconds: float, batch_size: int) -> dict:
@@ -257,9 +318,7 @@ class BatchTargetSolver(_BatchSolverBase):
 
     def query_many(self, targets) -> list[PPRResult]:
         """Micro-batch of single-target queries in one estimator fold."""
-        r_max = self.config.r_max or max(
-            self._default_r_max(),
-            self.config.epsilon * self.config.mu / self.config.budget_scale)
+        r_max = self._target_r_max()
         return self._run_batch(
             targets, "target",
             lambda node: backward_push(
@@ -267,3 +326,113 @@ class BatchTargetSolver(_BatchSolverBase):
                 backend=self.config.push_backend),
             r_max, self.index.estimate_target_many, "target",
             "batch-target")
+
+
+class BatchMultiSeedSolver(BatchSourceSolver):
+    r"""Weighted seed-set personalization over one forest bank.
+
+    ``π(w, ·) = Σ_i w_i · π(s_i, ·)`` by linearity of PPR in the
+    personalization vector — and the forest estimators are linear in
+    the residual, so the fold below (single-seed rows combined by
+    :func:`~repro.forests.estimators.weighted_combine`) is *bit
+    identical* to the weighted sum of the single-seed
+    :meth:`~BatchSourceSolver.query` rows, not merely close.  A batch
+    of seed-set items flattens every seed into one
+    :meth:`~BatchSourceSolver.query_many` fold, so the per-forest
+    segment work is still paid once per micro-batch.
+    """
+
+    def query_multiseed(self, seeds, weights=None) -> PPRResult:
+        """One weighted seed-set query (``weights`` default uniform)."""
+        return self.run_items([(tuple(seeds),
+                                None if weights is None
+                                else tuple(weights))])[0]
+
+    def run_items(self, items) -> list[PPRResult]:
+        """Answer ``[(seeds, weights), ...]`` items in one shared fold."""
+        self._check_open()
+        parsed = [normalize_seed_set(seeds, weights, self.graph.num_nodes)
+                  for seeds, weights in items]
+        if not parsed:
+            return []
+        flat = [seed for seeds, _ in parsed for seed in seeds]
+        rows = self.query_many(flat)
+        results = []
+        position = 0
+        for seeds, weights in parsed:
+            chunk = rows[position:position + len(seeds)]
+            position += len(seeds)
+            estimates = weighted_combine(
+                [row.estimates for row in chunk], weights)
+            work = WorkCounters()
+            for row in chunk:
+                work.merge(row.stats)
+            stats = {"num_seeds": len(seeds),
+                     "seeds": list(seeds),
+                     "weights": list(weights),
+                     "batch_size": len(parsed),
+                     "index_forests": self.index.num_forests}
+            stats.update(work.as_stats())
+            results.append(PPRResult(
+                estimates=estimates, kind="source", query_node=seeds[0],
+                method="multiseed", alpha=self.config.alpha,
+                epsilon=self.config.epsilon, stats=stats))
+        return results
+
+
+class BatchPairSolver(_BatchSolverBase):
+    """Answer ``π(source, target)`` pair queries against one bank.
+
+    Meet-in-the-middle: a backward push from each target (bounded by
+    the same ``r_max`` as :class:`BatchTargetSolver`) leaves a reserve
+    plus residual; the forest fold then gathers only the *source* row
+    of each operator instead of spreading to all ``n`` nodes
+    (:meth:`~repro.montecarlo.forest_index.ForestIndex.estimate_target_entries`),
+    so the answer is bit-identical to
+    ``BatchTargetSolver.query(target)[source]`` at roughly half the
+    fold cost.
+    """
+
+    def query_pair(self, source: int, target: int) -> PairResult:
+        """One ``π(source, target)`` scalar."""
+        return self.run_items([(int(source), int(target))])[0]
+
+    def run_items(self, items) -> list[PairResult]:
+        """Answer ``[(source, target), ...]`` items in one gather fold."""
+        self._check_open()
+        pairs = [(int(source), int(target)) for source, target in items]
+        for source, target in pairs:
+            if not 0 <= source < self.graph.num_nodes:
+                raise ConfigError(f"source {source} out of range")
+            if not 0 <= target < self.graph.num_nodes:
+                raise ConfigError(f"target {target} out of range")
+        if not pairs:
+            return []
+        r_max = self._target_r_max()
+        pushes = []
+        push_seconds = []
+        for _, target in pairs:
+            t0 = time.perf_counter()
+            pushes.append(backward_push(
+                self.graph, target, self.config.alpha, r_max,
+                backend=self.config.push_backend))
+            push_seconds.append(time.perf_counter() - t0)
+        t1 = time.perf_counter()
+        residuals = np.stack([push.residual for push in pushes])
+        entries = np.array([source for source, _ in pairs], dtype=np.int64)
+        mc = self.index.estimate_target_entries(residuals, entries,
+                                                improved=self._improved)
+        mc_seconds = (time.perf_counter() - t1) / len(pairs)
+        results = []
+        for position, (source, target) in enumerate(pairs):
+            push = pushes[position]
+            self._record_query(push)
+            value = float(push.reserve[source] + mc[position])
+            stats = self._query_stats(push, r_max, push_seconds[position],
+                                      mc_seconds, len(pairs))
+            stats["estimator"] = ("improved" if self._improved else "basic")
+            results.append(PairResult(
+                source=source, target=target, value=value,
+                method="batch-pair", alpha=self.config.alpha,
+                epsilon=self.config.epsilon, stats=stats))
+        return results

@@ -9,7 +9,7 @@ import numpy as np
 from repro.counters import WorkCounters
 from repro.exceptions import ConfigError
 
-__all__ = ["PPRResult"]
+__all__ = ["PPRResult", "PairResult"]
 
 
 @dataclass
@@ -94,3 +94,34 @@ class PPRResult:
         return (f"PPRResult({self.kind}={self.query_node}, "
                 f"method={self.method!r}, alpha={self.alpha}, "
                 f"mass={self.total_mass:.4f})")
+
+
+@dataclass
+class PairResult:
+    """A single ``π(source, target)`` scalar plus cost accounting.
+
+    The pairwise analogue of :class:`PPRResult` — the batch pair
+    solver returns one of these per ``(s, t)`` item instead of a full
+    vector, which is what lets the serving layer skip materialising
+    ``n`` estimates for a one-number answer.
+    """
+
+    source: int
+    target: int
+    value: float
+    method: str
+    alpha: float
+    epsilon: float
+    stats: dict = field(default_factory=dict)
+
+    def __float__(self) -> float:
+        return float(self.value)
+
+    @property
+    def work(self) -> WorkCounters:
+        """Machine-independent work done (parsed from ``work_*`` stats)."""
+        return WorkCounters.from_stats(self.stats)
+
+    def __repr__(self) -> str:
+        return (f"PairResult({self.source}->{self.target}, "
+                f"value={self.value:.6g}, alpha={self.alpha})")

@@ -49,6 +49,7 @@ __all__ = [
     "target_estimate_improved",
     "estimator_for",
     "accumulate_estimates",
+    "weighted_combine",
 ]
 
 
@@ -153,6 +154,30 @@ def estimator_for(kind: str, improved: bool):
         return lambda forest, residual, degrees: target_estimate_basic(
             forest, residual)
     raise ConfigError(f"kind must be 'source' or 'target', got {kind!r}")
+
+
+def weighted_combine(rows, weights) -> np.ndarray:
+    """Fold estimate rows into ``Σ_i w_i · rows[i]`` in row order.
+
+    The multi-seed personalization fold: by linearity of every forest
+    estimator in the residual, the weighted sum of single-seed rows
+    *is* the PPR vector of the seed-set personalization.  Accumulation
+    is sequential in the given row order, so a fixed ``(rows, weights)``
+    sequence yields bit-identical output — the contract the
+    ``query_multiseed == Σ w_i · row_i`` tests pin down.
+    """
+    rows = list(rows)
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (len(rows),):
+        raise ConfigError(
+            f"need one weight per row, got {weights.size} weights "
+            f"for {len(rows)} rows")
+    if not rows:
+        raise ConfigError("weighted_combine needs at least one row")
+    out = np.zeros_like(np.asarray(rows[0], dtype=np.float64))
+    for row, weight in zip(rows, weights):
+        out += weight * np.asarray(row, dtype=np.float64)
+    return out
 
 
 def accumulate_estimates(forests, residual: np.ndarray,

@@ -503,6 +503,47 @@ class ForestIndex:
             estimates[ops.degree_zero] = batch[ops.degree_zero]
         return estimates.T
 
+    def estimate_target_entries(self, residuals: np.ndarray,
+                                entries: np.ndarray, *,
+                                improved: bool = True) -> np.ndarray:
+        """One scalar of :meth:`estimate_target_many` per batch row.
+
+        ``entries[b]`` names the node whose estimate batch row ``b``
+        wants (the pair query's source).  The tree sums are still
+        folded for the whole batch in one CSR product, but the second
+        product gathers only the ``B`` requested operator rows instead
+        of spreading to all ``n`` — roughly halving the fold cost of a
+        pair query versus materialising the full target vector.
+
+        Bit-identity: CSR row slicing preserves each row's stored
+        nonzero order, and scipy accumulates every output entry along
+        that order, so ``estimate_target_entries(R, e)[b]`` equals
+        ``estimate_target_many(R)[b, e[b]]`` bit-for-bit.
+        """
+        batch = self._as_batch(residuals)
+        entries = np.asarray(entries, dtype=np.int64)
+        if entries.shape != (batch.shape[1],):
+            raise ConfigError(
+                f"need one entry node per batch row, got {entries.shape} "
+                f"for batch of {batch.shape[1]}")
+        if entries.size and (entries.min() < 0
+                             or entries.max() >= self.graph.num_nodes):
+            raise ConfigError("entry node out of range")
+        ops = self._operators
+        rows = np.arange(entries.size)
+        if not improved:
+            sub = ops.gather_root[entries]
+            estimates = np.asarray(sub @ batch)[rows, rows]
+            return estimates / ops.num_forests
+        tree_sums = ops.tree_sum @ (batch * self.graph.degrees[:, None])
+        sub = ops.spread_target[entries]
+        estimates = np.asarray(sub @ tree_sums)[rows, rows]
+        estimates = estimates / ops.num_forests
+        zero = self.graph.degrees[entries] == 0
+        if zero.any():
+            estimates[zero] = batch[entries[zero], rows[zero]]
+        return estimates
+
     # ------------------------------------------------------------------
     def _combine(self, residual: np.ndarray, estimator) -> np.ndarray:
         if not self.forests:

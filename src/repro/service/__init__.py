@@ -22,8 +22,9 @@ and this package is that process, dependency-free (stdlib + NumPy):
   crash respawn, byte-identical answers to the in-process path);
 - :class:`~repro.service.service.PPRService` — the embeddable facade
   composing the four;
-- :mod:`repro.service.http` — the ``/query`` ``/pair`` ``/healthz``
-  ``/metrics`` HTTP front end behind ``repro serve``;
+- :mod:`repro.service.http` — the ``/query`` ``/topk``
+  ``/multiseed`` ``/pair`` ``/healthz`` ``/metrics`` HTTP front end
+  behind ``repro serve``;
 - :mod:`repro.service.loadgen` — closed-loop load generator / CI
   smoke checker.
 

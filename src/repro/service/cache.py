@@ -8,6 +8,15 @@ for the same key (the ε-dominance rule).  Storing ε in the key instead
 would fragment the cache across accuracy tiers and never let a tight
 answer serve a loose request.
 
+Top-k answers need a second dominance axis: a depth-``k`` ranking
+contains every depth-``k' ≤ k`` ranking as its prefix, *and* a deeper
+answer was frozen at (or after) the shallower one's convergence point,
+so it is at least as refined.  :meth:`ResultCache.get_topk` /
+:meth:`ResultCache.put_topk` implement this **prefix-dominance** rule:
+a stored entry serves any request with ``k' ≤ stored k`` (trimmed to
+the requested depth via ``value.prefix(k')``), and admission only ever
+*deepens* an entry — mirroring how ``put`` never loosens ε.
+
 The cache is a plain lock-guarded ``OrderedDict`` LRU with hit / miss /
 eviction counters for the ``/metrics`` endpoint.  Values are whatever
 the service stores (full :class:`~repro.core.result.PPRResult` objects
@@ -36,6 +45,7 @@ def cache_key(graph: str, algo: str, kind: str, node: Hashable,
 class _Entry:
     epsilon: float
     value: Any
+    k: int | None = None
 
 
 class ResultCache:
@@ -100,6 +110,46 @@ class ResultCache:
             entry = self._entries.get(key)
             if entry is None or epsilon < entry.epsilon:
                 self._entries[key] = _Entry(float(epsilon), value)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def get_topk(self, key: tuple, epsilon: float, k: int):
+        """Prefix-dominance lookup for a depth-``k`` top-k request.
+
+        A hit requires a stored top-k entry that dominates on *both*
+        axes — ``entry.k >= k`` (the answer contains the requested
+        prefix) and ``entry.epsilon <= epsilon`` — and serves the
+        stored value trimmed to the requested depth.  A shallower or
+        looser entry is a miss.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if (entry is not None and entry.k is not None
+                    and entry.k >= k and entry.epsilon <= epsilon):
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return entry.value.prefix(k)
+            self._misses += 1
+            return None
+
+    def put_topk(self, key: tuple, epsilon: float, k: int, value) -> None:
+        """Prefix-dominance admission for a depth-``k`` answer.
+
+        Only ever *deepens* (or, at equal depth, tightens) the stored
+        entry: a depth-20 answer replaces a depth-10 one and then
+        serves every ``k <= 20`` request, while a depth-5 answer
+        arriving later leaves the deeper entry in place and just
+        refreshes its LRU position.
+        """
+        if self.capacity == 0:
+            return
+        with self._lock:
+            entry = self._entries.get(key)
+            if (entry is None or entry.k is None or k > entry.k
+                    or (k == entry.k and epsilon < entry.epsilon)):
+                self._entries[key] = _Entry(float(epsilon), value, int(k))
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)

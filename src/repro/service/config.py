@@ -50,6 +50,14 @@ class ServiceConfig:
         Result-cache capacity in entries (``0`` disables caching).
         Each entry stores one full estimate vector, so memory is about
         ``cache_entries * num_nodes * 8`` bytes.
+    topk_max_k:
+        Admission bound on a ``/topk`` request's ranking depth — a
+        front-end guard only (it never changes how an admitted query
+        is computed, so thread and process executors stay
+        byte-identical).
+    multiseed_max_seeds:
+        Admission bound on a ``/multiseed`` request's seed-set size;
+        front-end guard only, like ``topk_max_k``.
     host, port:
         HTTP bind address (``port=0`` lets the OS pick, handy in tests).
     trace_sample_rate:
@@ -79,6 +87,8 @@ class ServiceConfig:
     max_wait_ms: float = 10.0
     queue_capacity: int = 256
     cache_entries: int = 512
+    topk_max_k: int = 100
+    multiseed_max_seeds: int = 64
     host: str = "127.0.0.1"
     port: int = 8471
     trace_sample_rate: float = 0.0
@@ -98,6 +108,13 @@ class ServiceConfig:
         if self.cache_entries < 0:
             raise ConfigError(
                 f"cache_entries must be >= 0, got {self.cache_entries}")
+        if self.topk_max_k < 1:
+            raise ConfigError(
+                f"topk_max_k must be >= 1, got {self.topk_max_k}")
+        if self.multiseed_max_seeds < 1:
+            raise ConfigError(
+                f"multiseed_max_seeds must be >= 1, "
+                f"got {self.multiseed_max_seeds}")
         if not 0 <= self.port <= 65535:
             raise ConfigError(f"port must be in [0, 65535], got {self.port}")
         if self.scale <= 0:
@@ -153,6 +170,8 @@ class ServiceConfig:
                 ("max_wait_ms", self.max_wait_ms),
                 ("queue_capacity", self.queue_capacity),
                 ("cache_entries", self.cache_entries),
+                ("topk_max_k", self.topk_max_k),
+                ("multiseed_max_seeds", self.multiseed_max_seeds),
                 ("bind", f"{self.host}:{self.port}"),
                 ("trace_sample_rate", self.trace_sample_rate),
                 ("slowlog", self.slowlog_path or "off"),

@@ -61,16 +61,34 @@ from multiprocessing import connection
 # be fully imported HERE, at module import time, before any fork.
 import scipy.sparse  # noqa: F401  (pre-fork: _BankOperators lazy import)
 
-from repro.core.batch import BatchSourceSolver, BatchTargetSolver
 from repro.core.config import PPRConfig
 from repro.exceptions import ReproError
 from repro.montecarlo.forest_index import ForestIndex
 from repro.obs.tracing import Span
 from repro.parallel.shared_bank import BankHandle, attach_bank
 from repro.parallel.shared_graph import graph_from_bank
-from repro.service.index_manager import IndexManager
+from repro.service.index_manager import IndexManager, SOLVER_CLASSES
 
 __all__ = ["ProcessExecutor", "ExecutorError"]
+
+
+def _normalize_items(kind: str, items) -> tuple:
+    """Canonical, picklable item tuples for one batch of ``kind``.
+
+    Plain ints for full-vector kinds, ``(source, target)`` /
+    ``(node, k)`` int pairs, and ``(seeds, weights)`` tuple pairs for
+    multiseed — the same shapes ``run_items`` consumes, so the worker
+    passes them through untouched.
+    """
+    if kind == "pair":
+        return tuple((int(source), int(target)) for source, target in items)
+    if kind == "topk":
+        return tuple((int(node), int(k)) for node, k in items)
+    if kind == "multiseed":
+        return tuple((tuple(int(seed) for seed in seeds),
+                      tuple(float(weight) for weight in weights))
+                     for seeds, weights in items)
+    return tuple(int(node) for node in items)
 
 
 class ExecutorError(ReproError):
@@ -176,10 +194,15 @@ class _WorkerCache:
         solver = self.solvers.get(key)
         if solver is None:
             graph = self.graph_for(task.graph_handle)
-            index = self.index_for(task.graph_handle, task.index_handle)
-            cls = (BatchSourceSolver if task.kind == "source"
-                   else BatchTargetSolver)
-            solver = cls(graph, config=task.config, index=index)
+            cls = SOLVER_CLASSES[task.kind]
+            if task.kind == "topk":
+                # the top-k solver samples its own deterministic forest
+                # stream; it needs the graph but borrows no bank
+                solver = cls(graph, config=task.config)
+            else:
+                index = self.index_for(task.graph_handle,
+                                       task.index_handle)
+                solver = cls(graph, config=task.config, index=index)
             self._evict(self.solvers)
             self.solvers[key] = solver
         return solver
@@ -248,9 +271,9 @@ def _worker_main(conn) -> None:
                 started = time.perf_counter()
                 if span is not None:
                     with span.child("fold"):
-                        answer = solver.query_many(list(task.nodes))
+                        answer = solver.run_items(list(task.nodes))
                 else:
-                    answer = solver.query_many(list(task.nodes))
+                    answer = solver.run_items(list(task.nodes))
                 fold_seconds = time.perf_counter() - started
             else:  # warm-attach task: bind the bank, answer nothing
                 cache.index_for(task.graph_handle, task.index_handle)
@@ -431,8 +454,11 @@ class ProcessExecutor:
                   stats: dict | None = None) -> list:
         """Fold one batch in a worker; blocks until the answer returns.
 
+        ``nodes`` holds kind-specific items (plain node ids, or the
+        pair/top-k/multiseed tuples of
+        :attr:`~repro.service.scheduler.QueryRequest.payload_item`).
         Byte-identical to the in-process
-        ``get_solver(...).query_many(nodes)`` for the same arguments.
+        ``get_solver(...).run_items(items)`` for the same arguments.
         Raises :class:`ExecutorError` on worker failure, timeout, or
         shutdown — callers fall back to the inline fold.  ``timeout``
         overrides the pool-wide ``task_timeout`` for this call.
@@ -450,7 +476,7 @@ class ProcessExecutor:
                 alpha=alpha, epsilon=epsilon)
             task = _Task(next(self._task_ids), view.graph_handle,
                          view.index_handle, config, kind,
-                         tuple(int(node) for node in nodes),
+                         _normalize_items(kind, nodes),
                          trace=trace)
         except BaseException:
             view.release()

@@ -4,18 +4,24 @@ Pure stdlib (:mod:`http.server` with the threading mixin — one thread
 per connection, which is plenty because the real concurrency lives in
 the micro-batching scheduler behind it).  Endpoints:
 
-- ``POST /query``  — body ``{"kind": "source"|"target", "node": int,
+- ``POST /query``     — body ``{"kind": "source"|"target", "node": int,
   "alpha"?, "epsilon"?, "top"?}`` → top-k JSON;
-- ``POST /pair``   — body ``{"source": int, "target": int, "alpha"?,
-  "epsilon"?}`` → one π(s, t) value;
-- ``GET /healthz`` — liveness/readiness JSON;
-- ``GET /metrics`` — Prometheus text format.
+- ``POST /topk``      — body ``{"node": int, "k": int, "alpha"?,
+  "epsilon"?}`` → the k highest-PPR nodes with the early-termination
+  verdict (``converged``, ``num_forests``);
+- ``POST /multiseed`` — body ``{"seeds": [int, ...], "weights"?:
+  [float, ...], "alpha"?, "epsilon"?, "top"?}`` → top-k of the
+  seed-set personalization vector;
+- ``POST /pair``      — body ``{"source": int, "target": int,
+  "alpha"?, "epsilon"?}`` → one π(s, t) value;
+- ``GET /healthz``    — liveness/readiness JSON;
+- ``GET /metrics``    — Prometheus text format.
 
 Request correlation: an inbound ``X-Request-Id`` header is propagated
 into the trace/slow-log pipeline and echoed back; without one the
 service mints an id and the response still carries it.  Appending
-``?debug=1`` to ``/query`` or ``/pair`` forces a trace and inlines
-the span tree + work counters in the response's ``debug`` block.
+``?debug=1`` to any POST route forces a trace and inlines the span
+tree + work counters in the response's ``debug`` block.
 
 Error mapping: malformed body → 400, unknown path → 404, queue
 backpressure (:class:`~repro.service.scheduler.SchedulerFull`) → 429
@@ -96,7 +102,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         split = urlsplit(self.path)
-        if split.path not in ("/query", "/pair"):
+        if split.path not in ("/query", "/topk", "/multiseed", "/pair"):
             self._send(404, {"error": f"unknown path {self.path!r}"})
             return
         # inbound correlation id (minted here when the client sent
@@ -113,6 +119,21 @@ class _Handler(BaseHTTPRequestHandler):
             if split.path == "/query":
                 payload = service.query(
                     str(body.get("kind", "source")), int(body["node"]),
+                    alpha=_opt_float(body, "alpha"),
+                    epsilon=_opt_float(body, "epsilon"),
+                    top=int(body.get("top", 10)),
+                    request_id=request_id, debug=debug)
+            elif split.path == "/topk":
+                payload = service.query_topk(
+                    int(body["node"]), int(body["k"]),
+                    alpha=_opt_float(body, "alpha"),
+                    epsilon=_opt_float(body, "epsilon"),
+                    request_id=request_id, debug=debug)
+            elif split.path == "/multiseed":
+                payload = service.query_multiseed(
+                    [int(seed) for seed in body["seeds"]],
+                    (None if body.get("weights") is None
+                     else [float(w) for w in body["weights"]]),
                     alpha=_opt_float(body, "alpha"),
                     epsilon=_opt_float(body, "epsilon"),
                     top=int(body.get("top", 10)),

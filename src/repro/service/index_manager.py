@@ -35,8 +35,14 @@ import threading
 import time
 import zlib
 
-from repro.core.batch import BatchSourceSolver, BatchTargetSolver
+from repro.core.batch import (
+    BatchMultiSeedSolver,
+    BatchPairSolver,
+    BatchSourceSolver,
+    BatchTargetSolver,
+)
 from repro.core.config import PPRConfig
+from repro.core.topk import BatchTopKSolver
 from repro.exceptions import ConfigError
 from repro.graph.csr import Graph
 from repro.montecarlo.forest_index import ForestIndex
@@ -44,7 +50,17 @@ from repro.obs.tracing import NULL_TRACER
 from repro.parallel.shared_bank import BankHandle, SharedArrayBank
 from repro.parallel.shared_graph import graph_bank_arrays
 
-__all__ = ["IndexManager", "SharedIndexView"]
+__all__ = ["IndexManager", "SharedIndexView", "SOLVER_CLASSES"]
+
+#: Query kind → batch solver class; the one dispatch table shared by
+#: the in-process scheduler path and the executor workers.
+SOLVER_CLASSES = {
+    "source": BatchSourceSolver,
+    "target": BatchTargetSolver,
+    "multiseed": BatchMultiSeedSolver,
+    "topk": BatchTopKSolver,
+    "pair": BatchPairSolver,
+}
 
 
 class _ManagedIndex:
@@ -306,25 +322,30 @@ class IndexManager:
                    epsilon: float | None = None):
         """A batch solver for ``(name, α, ε, kind)`` borrowing the bank.
 
-        ``kind`` is ``"source"`` or ``"target"``.  Solvers are cached;
-        all ε values for one ``(graph, α)`` share one forest bank.
+        ``kind`` is one of ``"source"``, ``"target"``, ``"multiseed"``,
+        ``"topk"`` or ``"pair"``.  Solvers are cached; every
+        bank-backed kind and ε value for one ``(graph, α)`` shares one
+        forest bank (the top-k solver samples its own deterministic
+        forest stream per call and borrows no bank).
         """
         alpha = self.config.alpha if alpha is None else float(alpha)
         epsilon = self.config.epsilon if epsilon is None else float(epsilon)
-        if kind not in ("source", "target"):
-            raise ConfigError(f"kind must be 'source' or 'target', "
-                              f"got {kind!r}")
+        if kind not in SOLVER_CLASSES:
+            raise ConfigError(
+                f"kind must be one of {sorted(SOLVER_CLASSES)}, "
+                f"got {kind!r}")
         key = (name, alpha, epsilon, kind)
         with self._lock:
             solver = self._solvers.get(key)
             if solver is not None:
                 return solver
-        index = self.get_index(name, alpha)
-        cls = BatchSourceSolver if kind == "source" else BatchTargetSolver
-        solver = cls(self.graph(name),
-                     config=self.config.with_overrides(
-                         alpha=alpha, epsilon=epsilon),
-                     index=index)
+        cls = SOLVER_CLASSES[kind]
+        config = self.config.with_overrides(alpha=alpha, epsilon=epsilon)
+        if kind == "topk":
+            solver = cls(self.graph(name), config=config)
+        else:
+            index = self.get_index(name, alpha)
+            solver = cls(self.graph(name), config=config, index=index)
         with self._lock:
             return self._solvers.setdefault(key, solver)
 

@@ -13,6 +13,14 @@ checker:
 exits non-zero unless every request returned 200 with valid JSON and
 (with ``--check-metrics``) the ``/metrics`` endpoint shows non-zero
 request/batch counters and a populated latency summary.
+
+Scenarios: ``--kind`` picks the request shape — ``source``/``target``
+hit ``POST /query``, ``topk`` hits ``/topk`` (depth ``--topk-k``),
+``multiseed`` hits ``/multiseed`` (``--seeds-per-query`` seeds drawn
+from the same Zipf stream), ``pair`` hits ``/pair``, and ``mixed``
+round-robins across all of them.  Every scenario is deterministic in
+``--seed``, so two services fed the same burst see byte-identical
+request streams.
 """
 
 from __future__ import annotations
@@ -27,7 +35,9 @@ import urllib.request
 
 import numpy as np
 
-__all__ = ["run_load", "main"]
+__all__ = ["build_requests", "run_load", "main"]
+
+KINDS = ("source", "target", "topk", "multiseed", "pair", "mixed")
 
 
 def _post_json(url: str, payload: dict, timeout: float = 30.0) -> dict:
@@ -52,8 +62,47 @@ def zipf_nodes(num_nodes: int, count: int, *, exponent: float = 1.1,
     return np.minimum(ranks - 1, num_nodes - 1).astype(np.int64)
 
 
+def build_requests(kind: str, nodes, num_nodes: int, *,
+                   topk_k: int = 10, seeds_per_query: int = 3,
+                   seed: int = 2022) -> list[tuple[str, dict, str]]:
+    """One ``(path, body, ok_key)`` triple per burst position.
+
+    ``ok_key`` is the response field whose presence marks success
+    (``"top"`` for ranked answers, ``"value"`` for pair answers).
+    Deterministic in ``seed`` so identical bursts can be replayed
+    against two services for byte-level comparison.
+    """
+    if kind not in KINDS:
+        raise ValueError(f"unknown load kind {kind!r} (choose from {KINDS})")
+    rng = np.random.default_rng(seed + 1)
+    num_nodes = max(1, num_nodes)
+    plans: list[tuple[str, dict, str]] = []
+    for position, node in enumerate(int(n) for n in nodes):
+        shape = kind
+        if kind == "mixed":
+            shape = ("source", "topk", "multiseed",
+                     "pair")[position % 4]
+        if shape in ("source", "target"):
+            plans.append(("/query", {"kind": shape, "node": node}, "top"))
+        elif shape == "topk":
+            plans.append(("/topk", {"node": node,
+                                    "k": max(1, min(topk_k, num_nodes - 1))},
+                          "top"))
+        elif shape == "multiseed":
+            extra = rng.integers(0, num_nodes,
+                                 size=max(0, seeds_per_query - 1))
+            seeds = sorted({node, *(int(s) for s in extra)})
+            plans.append(("/multiseed", {"seeds": seeds}, "top"))
+        else:  # pair
+            target = int(rng.integers(0, num_nodes))
+            plans.append(("/pair", {"source": node, "target": target},
+                          "value"))
+    return plans
+
+
 def run_load(base_url: str, *, requests: int = 64, concurrency: int = 8,
              num_nodes: int | None = None, kind: str = "source",
+             topk_k: int = 10, seeds_per_query: int = 3,
              zipf_exponent: float = 1.1, seed: int = 2022,
              timeout: float = 30.0) -> dict:
     """Fire a closed-loop burst; returns an outcome summary dict.
@@ -63,6 +112,8 @@ def run_load(base_url: str, *, requests: int = 64, concurrency: int = 8,
     """
     nodes = zipf_nodes(num_nodes or 1, requests, exponent=zipf_exponent,
                        seed=seed)
+    plans = build_requests(kind, nodes, num_nodes or 1, topk_k=topk_k,
+                           seeds_per_query=seeds_per_query, seed=seed)
     cursor = {"next": 0}
     lock = threading.Lock()
     outcomes: list[dict] = []
@@ -74,13 +125,12 @@ def run_load(base_url: str, *, requests: int = 64, concurrency: int = 8,
                 if position >= requests:
                     return
                 cursor["next"] += 1
-            node = int(nodes[position])
+            path, body, ok_key = plans[position]
             started = time.perf_counter()
             try:
-                payload = _post_json(f"{base_url}/query",
-                                     {"kind": kind, "node": node},
+                payload = _post_json(f"{base_url}{path}", body,
                                      timeout=timeout)
-                outcome = {"ok": "top" in payload,
+                outcome = {"ok": ok_key in payload,
                            "cached": payload.get("cached", False)}
             except urllib.error.HTTPError as error:
                 outcome = {"ok": False, "status": error.code}
@@ -170,6 +220,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--num-nodes", type=int, default=None,
                         help="node-id range for the Zipf stream "
                              "(default: read from /healthz)")
+    parser.add_argument("--kind", choices=KINDS, default="source",
+                        help="request scenario (default: source; "
+                             "'mixed' round-robins all kinds)")
+    parser.add_argument("--topk-k", type=int, default=10,
+                        help="ranking depth for --kind topk/mixed")
+    parser.add_argument("--seeds-per-query", type=int, default=3,
+                        help="seed-set size for --kind multiseed/mixed")
     parser.add_argument("--zipf", type=float, default=1.1)
     parser.add_argument("--seed", type=int, default=2022)
     parser.add_argument("--check-metrics", action="store_true",
@@ -185,6 +242,8 @@ def main(argv: list[str] | None = None) -> int:
         num_nodes = int(health.get("num_nodes", 1))
     summary = run_load(args.url, requests=args.requests,
                        concurrency=args.concurrency, num_nodes=num_nodes,
+                       kind=args.kind, topk_k=args.topk_k,
+                       seeds_per_query=args.seeds_per_query,
                        zipf_exponent=args.zipf, seed=args.seed)
     if args.latency_out:
         with open(args.latency_out, "w", encoding="utf-8") as sink:

@@ -19,11 +19,15 @@ front end and the batch solvers and
   comes first.  A deadline wake-up that finds the group already
   drained is a no-op, not an error.
 
-Results are per-request :class:`~repro.core.result.PPRResult` objects
-— bit-identical to calling the underlying solver directly, because a
-batch is exactly ``[solver.query(r.node) for r in batch]`` against the
-shared deterministic bank.  Batching changes *when* work happens,
-never *what* is computed.
+Results are per-request result objects — full-vector
+:class:`~repro.core.result.PPRResult`, pair
+:class:`~repro.core.result.PairResult`, or top-k
+:class:`~repro.core.topk.TopKQueryResult` — bit-identical to calling
+the underlying solver directly, because a batch is exactly
+``solver.run_items([r.payload_item for r in batch])`` against the
+shared deterministic bank (or, for top-k, the shared deterministic
+forest stream).  Batching changes *when* work happens, never *what*
+is computed.
 """
 
 from __future__ import annotations
@@ -60,10 +64,18 @@ class SchedulerFull(ReproError):
 class QueryRequest:
     """One admitted query.
 
-    ``kind`` is ``"source"``, ``"target"`` or ``"pair"``; pairs ride
-    the single-target solver (π(s, t) is entry ``s`` of the
-    ``π(·, t)`` column), so they batch together with plain target
-    queries for the same configuration.
+    ``kind`` is one of ``"source"``, ``"target"``, ``"pair"``,
+    ``"topk"`` or ``"multiseed"``.  Every kind batches *only* with its
+    own kind (plus matching graph/α/ε): the full-vector folds, the
+    pair gather fold, the early-terminating top-k stream and the
+    seed-set fold are different solver calls with different cost
+    shapes, so mixing them in one batch would serialize unlike work
+    behind one latch.
+
+    Per-kind extras: pairs carry ``source`` (``node`` is the target,
+    matching the backward-push anchor), top-k carries ``k``, multiseed
+    carries canonical ``seeds``/``weights`` tuples (see
+    :func:`~repro.core.batch.normalize_seed_set`).
     """
 
     graph: str
@@ -71,19 +83,44 @@ class QueryRequest:
     node: int
     alpha: float
     epsilon: float
-    source: int | None = None  # pair queries: the row to read out
+    source: int | None = None          # pair: the row to read out
+    k: int | None = None               # topk: ranking depth
+    seeds: tuple | None = None         # multiseed: seed nodes
+    weights: tuple | None = None       # multiseed: normalized weights
 
     def __post_init__(self):
-        if self.kind not in ("source", "target", "pair"):
+        if self.kind not in ("source", "target", "pair", "topk",
+                             "multiseed"):
             raise ConfigError(
-                f"kind must be source/target/pair, got {self.kind!r}")
+                f"kind must be source/target/pair/topk/multiseed, "
+                f"got {self.kind!r}")
         if self.kind == "pair" and self.source is None:
             raise ConfigError("pair requests need source=")
+        if self.kind == "topk" and (self.k is None or self.k < 1):
+            raise ConfigError("topk requests need k >= 1")
+        if self.kind == "multiseed":
+            if not self.seeds or self.weights is None:
+                raise ConfigError(
+                    "multiseed requests need seeds= and weights=")
+            object.__setattr__(self, "seeds", tuple(self.seeds))
+            object.__setattr__(self, "weights", tuple(self.weights))
 
     @property
     def solver_kind(self) -> str:
-        """Which batch solver serves this request."""
-        return "source" if self.kind == "source" else "target"
+        """Which batch solver serves this request (the kind itself —
+        every kind owns a solver and a batching group)."""
+        return self.kind
+
+    @property
+    def payload_item(self):
+        """The kind-specific item handed to ``solver.run_items``."""
+        if self.kind == "pair":
+            return (self.source, self.node)
+        if self.kind == "topk":
+            return (self.node, self.k)
+        if self.kind == "multiseed":
+            return (self.seeds, self.weights)
+        return self.node
 
     @property
     def group_key(self) -> tuple:
@@ -290,7 +327,7 @@ class MicroBatchScheduler:
             if self.metrics is not None:
                 self.metrics.record_error()
             return
-        nodes = [pending.request.node for pending in batch]
+        nodes = [pending.request.payload_item for pending in batch]
         work_sum = None
         stats: dict = {}
         started = time.perf_counter()
@@ -351,12 +388,12 @@ class MicroBatchScheduler:
         for pending in traced:
             pending.span.add_raw(raw)
 
-    def _fold(self, request: QueryRequest, nodes: list[int], solver,
+    def _fold(self, request: QueryRequest, nodes: list, solver,
               span, stats: dict):
         """Run one batch — in a worker process when an executor is
         attached (falling back inline on :class:`ExecutorError`),
         inline otherwise.  Both paths run the identical
-        ``query_many`` code against the identical bank bytes, so the
+        ``run_items`` code against the identical bank bytes, so the
         answers are byte-equal.
 
         ``span`` gets a ``dispatch`` child (worker round trip, with
@@ -387,7 +424,7 @@ class MicroBatchScheduler:
                 alpha=request.alpha, epsilon=request.epsilon)
         with span.child("fold"):
             started = time.perf_counter()
-            results = solver.query_many(nodes)
+            results = solver.run_items(nodes)
             stats["fold_seconds"] = time.perf_counter() - started
         stats.setdefault("disposition", "inline")
         return results

@@ -4,9 +4,10 @@
 components — :class:`~repro.service.index_manager.IndexManager`,
 :class:`~repro.service.scheduler.MicroBatchScheduler`,
 :class:`~repro.service.cache.ResultCache`,
-:class:`~repro.service.metrics.ServiceMetrics` — behind three calls:
-:meth:`query`, :meth:`pair`, :meth:`healthz` (plus
-:meth:`metrics_text` for Prometheus scrapes).  The HTTP front end in
+:class:`~repro.service.metrics.ServiceMetrics` — behind the query
+endpoints :meth:`query`, :meth:`query_topk`, :meth:`query_multiseed`,
+:meth:`pair` and :meth:`healthz` (plus :meth:`metrics_text` for
+Prometheus scrapes).  The HTTP front end in
 :mod:`repro.service.http` is a thin JSON shim over exactly these
 methods; benchmarks and tests drive the facade in-process to keep the
 network out of the measurement.
@@ -22,6 +23,7 @@ from __future__ import annotations
 
 import time
 
+from repro.core.batch import normalize_seed_set
 from repro.core.result import PPRResult
 from repro.exceptions import ConfigError
 from repro.graph.csr import Graph
@@ -160,8 +162,9 @@ class PPRService:
                      use_cache: bool = True) -> tuple[PPRResult, bool]:
         """Answer one query; returns ``(result, was_cache_hit)``.
 
-        ``kind`` is ``"source"`` or ``"target"``; pair queries go
-        through the target path (see :meth:`pair`).  The result is
+        ``kind`` is ``"source"`` or ``"target"``; the richer kinds
+        have their own raw accessors (:meth:`topk_result`,
+        :meth:`multiseed_result`, :meth:`pair_result`).  The result is
         bit-identical to ``solver.query(node)`` on the corresponding
         batch solver.
         """
@@ -201,31 +204,169 @@ class PPRService:
                             alpha)
         self.metrics.record_stage("admission",
                                   time.perf_counter() - started)
+        request = QueryRequest(graph=self.config.graph, kind=kind,
+                               node=int(node), alpha=alpha,
+                               epsilon=epsilon)
+        return self._serve_request(
+            request, key, span, use_cache, started, metric_kind=kind,
+            cache_get=lambda k: self.cache.get(k, epsilon),
+            cache_put=lambda k, result: self.cache.put(k, epsilon,
+                                                       result))
+
+    def _serve_request(self, request: QueryRequest, key, span,
+                       use_cache: bool, started: float, *,
+                       metric_kind: str, cache_get, cache_put):
+        """Cache-lookup → scheduler-submit → cache-put core shared by
+        every query kind; the kind-specific cache policy (ε-dominance
+        vs. top-k prefix-dominance) comes in as the two closures."""
         if use_cache:
             lookup_started = time.perf_counter()
             with span.child("cache_lookup"):
-                cached = self.cache.get(key, epsilon)
+                cached = cache_get(key)
             self.metrics.record_stage(
                 "cache_lookup", time.perf_counter() - lookup_started)
             if cached is not None:
                 span.annotate(cached=True)
-                self.metrics.record_request(kind, time.perf_counter()
-                                            - started)
+                self.metrics.record_request(metric_kind,
+                                            time.perf_counter() - started)
                 return cached, True, {"batch_size": None,
                                       "disposition": "cache"}
         try:
-            pending = self.scheduler.submit_nowait(QueryRequest(
-                graph=self.config.graph, kind=kind, node=int(node),
-                alpha=alpha, epsilon=epsilon), span)
+            pending = self.scheduler.submit_nowait(request, span)
             result = pending.resolve(30.0)
         except SchedulerFull:
             self.metrics.record_rejection()
             raise
         if use_cache:
-            self.cache.put(key, epsilon, result)
-        self.metrics.record_request(kind, time.perf_counter() - started)
+            cache_put(key, result)
+        self.metrics.record_request(metric_kind,
+                                    time.perf_counter() - started)
         return result, False, {"batch_size": pending.batch_size,
                                "disposition": pending.disposition}
+
+    def _topk_traced(self, node: int, k: int, *, alpha: float | None,
+                     epsilon: float | None, use_cache: bool, span):
+        """Instrumented top-k core: prefix-dominance cache + scheduler."""
+        alpha = self.config.alpha if alpha is None else float(alpha)
+        epsilon = self.config.epsilon if epsilon is None else float(epsilon)
+        node, k = int(node), int(k)
+        started = time.perf_counter()
+        with span.child("admission"):
+            graph = self.index_manager.graph(self.config.graph)
+            if not 0 <= node < graph.num_nodes:
+                raise ConfigError(f"source node {node} out of range "
+                                  f"[0, {graph.num_nodes})")
+            if not 1 <= k < graph.num_nodes:
+                raise ConfigError(f"k must lie in [1, {graph.num_nodes})")
+            if k > self.config.topk_max_k:
+                raise ConfigError(
+                    f"k={k} exceeds the admission limit "
+                    f"topk_max_k={self.config.topk_max_k}")
+            key = cache_key(self.config.graph, "batch", "topk", node,
+                            alpha)
+        self.metrics.record_stage("admission",
+                                  time.perf_counter() - started)
+        request = QueryRequest(graph=self.config.graph, kind="topk",
+                               node=node, alpha=alpha, epsilon=epsilon,
+                               k=k)
+        return self._serve_request(
+            request, key, span, use_cache, started, metric_kind="topk",
+            cache_get=lambda ck: self.cache.get_topk(ck, epsilon, k),
+            cache_put=lambda ck, result: self.cache.put_topk(
+                ck, epsilon, result.k, result))
+
+    def _multiseed_traced(self, seeds, weights, *, alpha: float | None,
+                          epsilon: float | None, use_cache: bool, span):
+        """Instrumented multiseed core: canonical seed set + ε cache."""
+        alpha = self.config.alpha if alpha is None else float(alpha)
+        epsilon = self.config.epsilon if epsilon is None else float(epsilon)
+        started = time.perf_counter()
+        with span.child("admission"):
+            graph = self.index_manager.graph(self.config.graph)
+            seeds, weights = normalize_seed_set(seeds, weights,
+                                                graph.num_nodes)
+            if len(seeds) > self.config.multiseed_max_seeds:
+                raise ConfigError(
+                    f"{len(seeds)} seeds exceed the admission limit "
+                    f"multiseed_max_seeds="
+                    f"{self.config.multiseed_max_seeds}")
+            key = cache_key(self.config.graph, "batch", "multiseed",
+                            (seeds, weights), alpha)
+        self.metrics.record_stage("admission",
+                                  time.perf_counter() - started)
+        request = QueryRequest(graph=self.config.graph, kind="multiseed",
+                               node=seeds[0], alpha=alpha,
+                               epsilon=epsilon, seeds=seeds,
+                               weights=weights)
+        result, hit, meta = self._serve_request(
+            request, key, span, use_cache, started,
+            metric_kind="multiseed",
+            cache_get=lambda ck: self.cache.get(ck, epsilon),
+            cache_put=lambda ck, res: self.cache.put(ck, epsilon, res))
+        return result, hit, meta, seeds, weights
+
+    def _pair_traced(self, source: int, target: int, *,
+                     alpha: float | None, epsilon: float | None,
+                     use_cache: bool, span):
+        """Instrumented pair core: its own batch group + ε cache keyed
+        on the ``(source, target)`` tuple."""
+        alpha = self.config.alpha if alpha is None else float(alpha)
+        epsilon = self.config.epsilon if epsilon is None else float(epsilon)
+        source, target = int(source), int(target)
+        started = time.perf_counter()
+        with span.child("admission"):
+            graph = self.index_manager.graph(self.config.graph)
+            if not 0 <= source < graph.num_nodes:
+                raise ConfigError(f"source {source} out of range "
+                                  f"[0, {graph.num_nodes})")
+            if not 0 <= target < graph.num_nodes:
+                raise ConfigError(f"target {target} out of range "
+                                  f"[0, {graph.num_nodes})")
+            key = cache_key(self.config.graph, "batch", "pair",
+                            (source, target), alpha)
+        self.metrics.record_stage("admission",
+                                  time.perf_counter() - started)
+        request = QueryRequest(graph=self.config.graph, kind="pair",
+                               node=target, alpha=alpha, epsilon=epsilon,
+                               source=source)
+        return self._serve_request(
+            request, key, span, use_cache, started, metric_kind="pair",
+            cache_get=lambda ck: self.cache.get(ck, epsilon),
+            cache_put=lambda ck, result: self.cache.put(ck, epsilon,
+                                                        result))
+
+    # -- raw query paths (benchmarks / tests) --------------------------
+    def topk_result(self, node: int, k: int, *,
+                    alpha: float | None = None,
+                    epsilon: float | None = None,
+                    use_cache: bool = True):
+        """One top-k query; returns ``(TopKQueryResult, was_cache_hit)``."""
+        result, hit, _ = self._topk_traced(node, k, alpha=alpha,
+                                           epsilon=epsilon,
+                                           use_cache=use_cache,
+                                           span=NULL_SPAN)
+        return result, hit
+
+    def multiseed_result(self, seeds, weights=None, *,
+                         alpha: float | None = None,
+                         epsilon: float | None = None,
+                         use_cache: bool = True):
+        """One seed-set query; returns ``(PPRResult, was_cache_hit)``."""
+        result, hit, _, _, _ = self._multiseed_traced(
+            seeds, weights, alpha=alpha, epsilon=epsilon,
+            use_cache=use_cache, span=NULL_SPAN)
+        return result, hit
+
+    def pair_result(self, source: int, target: int, *,
+                    alpha: float | None = None,
+                    epsilon: float | None = None,
+                    use_cache: bool = True):
+        """One pair query; returns ``(PairResult, was_cache_hit)``."""
+        result, hit, _ = self._pair_traced(source, target, alpha=alpha,
+                                           epsilon=epsilon,
+                                           use_cache=use_cache,
+                                           span=NULL_SPAN)
+        return result, hit
 
     # -- JSON-shaped endpoints -----------------------------------------
     def query(self, kind: str, node: int, *, alpha: float | None = None,
@@ -286,15 +427,143 @@ class PPRService:
             }
         return payload
 
+    def query_topk(self, node: int, k: int, *,
+                   alpha: float | None = None,
+                   epsilon: float | None = None,
+                   use_cache: bool = True, request_id: str | None = None,
+                   debug: bool = False) -> dict:
+        """``/topk`` semantics: early-terminated ranked prefix.
+
+        The answer set comes from the adaptive solver
+        (:class:`~repro.core.topk.BatchTopKSolver`) — ``converged``
+        and ``num_forests`` report how early the sequential stopping
+        rule froze the ranking.  Cache hits follow prefix-dominance: a
+        stored deeper ranking serves any shallower ``k``.
+        """
+        request_id = request_id or new_request_id()
+        span = self.tracer.trace("topk", request_id, force=debug)
+        span.annotate(endpoint="topk", node=int(node), k=int(k))
+        started = time.perf_counter()
+        try:
+            result, hit, meta = self._topk_traced(
+                node, k, alpha=alpha, epsilon=epsilon,
+                use_cache=use_cache, span=span)
+        except BaseException as error:
+            self._observe_failure(span, request_id, "topk", "topk", node,
+                                  alpha, epsilon, started, error)
+            raise
+        with span.child("serialize"):
+            serialize_started = time.perf_counter()
+            payload = {
+                "kind": "topk",
+                "node": int(node),
+                "k": int(k),
+                "alpha": result.alpha,
+                "epsilon": result.epsilon,
+                "converged": bool(result.converged),
+                "num_forests": int(result.num_forests),
+                "top": [[node_id, score] for node_id, score
+                        in result.as_pairs()],
+                "cached": hit,
+                "work": result.work.as_dict(),
+            }
+            self.metrics.record_stage(
+                "serialize", time.perf_counter() - serialize_started)
+        seconds = time.perf_counter() - started
+        tree = self.tracer.finish(span) if span.enabled else None
+        self.slowlog.record(
+            request_id=request_id, endpoint="topk", kind="topk",
+            node=int(node), alpha=result.alpha, epsilon=result.epsilon,
+            seconds=seconds, cached=hit, batch_size=meta["batch_size"],
+            disposition=meta["disposition"],
+            work=result.work.as_dict(), trace=tree)
+        if debug:
+            payload["debug"] = {
+                "request_id": request_id,
+                "trace": tree,
+                "batch_size": meta["batch_size"],
+                "disposition": meta["disposition"],
+                "counters": self.metrics.snapshot()["work"],
+            }
+        return payload
+
+    def query_multiseed(self, seeds, weights=None, *,
+                        alpha: float | None = None,
+                        epsilon: float | None = None, top: int = 10,
+                        use_cache: bool = True,
+                        request_id: str | None = None,
+                        debug: bool = False) -> dict:
+        """``/multiseed`` semantics: weighted seed-set personalization.
+
+        ``weights`` default to uniform and are normalised to sum to 1;
+        the response echoes the canonical seed set.  The estimate is
+        bit-identical to the weighted sum of the single-seed rows (see
+        :class:`~repro.core.batch.BatchMultiSeedSolver`).
+        """
+        request_id = request_id or new_request_id()
+        span = self.tracer.trace("multiseed", request_id, force=debug)
+        span.annotate(endpoint="multiseed", seeds=len(tuple(seeds)))
+        started = time.perf_counter()
+        try:
+            result, hit, meta, canonical_seeds, canonical_weights = \
+                self._multiseed_traced(seeds, weights, alpha=alpha,
+                                       epsilon=epsilon,
+                                       use_cache=use_cache, span=span)
+        except BaseException as error:
+            self._observe_failure(span, request_id, "multiseed",
+                                  "multiseed", -1, alpha, epsilon,
+                                  started, error)
+            raise
+        with span.child("serialize"):
+            serialize_started = time.perf_counter()
+            payload = {
+                "kind": "multiseed",
+                "seeds": [int(seed) for seed in canonical_seeds],
+                "weights": [float(weight)
+                            for weight in canonical_weights],
+                "alpha": result.alpha,
+                "epsilon": result.epsilon,
+                "method": result.method,
+                "total_mass": result.total_mass,
+                "top": [[node_id, score] for node_id, score
+                        in result.top_k(top)],
+                "cached": hit,
+                "work": result.work.as_dict(),
+            }
+            self.metrics.record_stage(
+                "serialize", time.perf_counter() - serialize_started)
+        seconds = time.perf_counter() - started
+        tree = self.tracer.finish(span) if span.enabled else None
+        self.slowlog.record(
+            request_id=request_id, endpoint="multiseed",
+            kind="multiseed", node=int(canonical_seeds[0]),
+            alpha=result.alpha, epsilon=result.epsilon, seconds=seconds,
+            cached=hit, batch_size=meta["batch_size"],
+            disposition=meta["disposition"],
+            work=result.work.as_dict(), trace=tree)
+        if debug:
+            payload["debug"] = {
+                "request_id": request_id,
+                "trace": tree,
+                "batch_size": meta["batch_size"],
+                "disposition": meta["disposition"],
+                "counters": self.metrics.snapshot()["work"],
+            }
+        return payload
+
     def pair(self, source: int, target: int, *,
              alpha: float | None = None, epsilon: float | None = None,
              use_cache: bool = True, request_id: str | None = None,
              debug: bool = False) -> dict:
         """``/pair`` semantics: one π(source, target) value.
 
-        Rides the single-target path — π(s, t) is entry ``s`` of the
-        ``π(·, t)`` column — so pairs share batches *and* cache entries
-        with plain target queries for the same target.
+        Served by the dedicated pair solver
+        (:class:`~repro.core.batch.BatchPairSolver`): a backward push
+        from the target plus a forest fold that gathers only the
+        source entry — bit-identical to reading entry ``s`` of the
+        full ``π(·, t)`` column at roughly half the fold cost.  Pairs
+        batch with other pairs and cache under their own
+        ``(source, target)`` key.
         """
         request_id = request_id or new_request_id()
         span = self.tracer.trace("pair", request_id, force=debug)
@@ -302,14 +571,11 @@ class PPRService:
                       target=int(target))
         started = time.perf_counter()
         try:
-            graph = self.index_manager.graph(self.config.graph)
-            if not 0 <= source < graph.num_nodes:
-                raise ConfigError(f"source {source} out of range")
-            result, hit, meta = self._query_traced(
-                "target", target, alpha=alpha, epsilon=epsilon,
+            result, hit, meta = self._pair_traced(
+                source, target, alpha=alpha, epsilon=epsilon,
                 use_cache=use_cache, span=span)
         except BaseException as error:
-            self._observe_failure(span, request_id, "pair", "target",
+            self._observe_failure(span, request_id, "pair", "pair",
                                   target, alpha, epsilon, started, error)
             raise
         with span.child("serialize"):
@@ -319,7 +585,8 @@ class PPRService:
                 "target": int(target),
                 "alpha": result.alpha,
                 "epsilon": result.epsilon,
-                "value": result[source],
+                "value": float(result),
+                "method": result.method,
                 "cached": hit,
             }
             self.metrics.record_stage(
@@ -327,7 +594,7 @@ class PPRService:
         seconds = time.perf_counter() - started
         tree = self.tracer.finish(span) if span.enabled else None
         self.slowlog.record(
-            request_id=request_id, endpoint="pair", kind="target",
+            request_id=request_id, endpoint="pair", kind="pair",
             node=int(target), alpha=result.alpha,
             epsilon=result.epsilon, seconds=seconds, cached=hit,
             batch_size=meta["batch_size"],

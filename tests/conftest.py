@@ -1,4 +1,5 @@
-"""Shared fixtures: small graphs with known structure."""
+"""Shared fixtures: small graphs with known structure, plus memoized
+exact-PPR oracles (the ground truth several suites compare against)."""
 
 from __future__ import annotations
 
@@ -14,6 +15,7 @@ from repro.graph import (
     star_graph,
 )
 from repro.graph.generators import erdos_renyi, with_random_weights
+from repro.linalg import exact_ppr_matrix
 
 
 @pytest.fixture
@@ -89,3 +91,29 @@ def random_weighted_graph():
 def rng():
     """Seeded generator for deterministic statistical tests."""
     return np.random.default_rng(2022)
+
+
+@pytest.fixture(scope="session")
+def exact_matrix():
+    """Memoized exact-PPR oracle: ``oracle(graph, alpha)`` returns the
+    dense π matrix (rows = sources), computed once per (graph, α)."""
+    cache: dict[tuple[int, float], np.ndarray] = {}
+
+    def oracle(graph, alpha: float) -> np.ndarray:
+        key = (id(graph), float(alpha))
+        if key not in cache:
+            cache[key] = exact_ppr_matrix(graph, alpha)
+        return cache[key]
+
+    return oracle
+
+
+@pytest.fixture(scope="session")
+def exact_vector(exact_matrix):
+    """Memoized exact single-source oracle: ``oracle(graph, alpha,
+    source)`` is the π_source row of the exact matrix."""
+
+    def oracle(graph, alpha: float, source: int) -> np.ndarray:
+        return exact_matrix(graph, alpha)[source]
+
+    return oracle

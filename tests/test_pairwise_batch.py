@@ -4,15 +4,18 @@ import numpy as np
 import pytest
 
 from repro.core import (
+    BatchMultiSeedSolver,
+    BatchPairSolver,
     BatchSourceSolver,
     BatchTargetSolver,
     PPRConfig,
     l1_error,
+    normalize_seed_set,
     pair_ppr,
 )
 from repro.exceptions import ConfigError
 from repro.graph.generators import erdos_renyi
-from repro.linalg import ExactSolver, exact_ppr_matrix
+from repro.linalg import ExactSolver
 
 
 @pytest.fixture(scope="module")
@@ -21,8 +24,8 @@ def graph():
 
 
 class TestPairPPR:
-    def test_close_to_exact(self, graph):
-        exact = exact_ppr_matrix(graph, 0.1)
+    def test_close_to_exact(self, graph, exact_matrix):
+        exact = exact_matrix(graph, 0.1)
         for source, target in ((0, 1), (5, 30), (7, 7)):
             value = pair_ppr(graph, source, target, alpha=0.1, seed=3)
             assert abs(float(value) - exact[source, target]) < 0.02
@@ -33,11 +36,11 @@ class TestPairPPR:
         assert value.stats["estimator"] == "improved"
         assert "push_seconds" in value.stats
 
-    def test_directed_uses_basic(self):
+    def test_directed_uses_basic(self, exact_matrix):
         from repro.graph import from_edges
         directed = from_edges([(0, 1), (1, 2), (2, 0), (1, 0)],
                               directed=True)
-        exact = exact_ppr_matrix(directed, 0.3)
+        exact = exact_matrix(directed, 0.3)
         value = pair_ppr(directed, 0, 2, alpha=0.3, seed=4,
                          num_forests=3000)
         assert value.stats["estimator"] == "basic"
@@ -97,11 +100,118 @@ class TestBatchTargetSolver:
         assert solver.query(0).kind == "target"
 
 
+class TestBatchPairSolver:
+    def test_matches_target_column_entry(self, graph):
+        """π(s, t) from the pair path == the s entry of the full
+        single-target vector, bit for bit (shared r_max + shared
+        forest bank make the two paths algebraically identical)."""
+        index_kwargs = dict(alpha=0.1, epsilon=0.5, budget_scale=0.05,
+                            seed=6, num_forests=24)
+        with BatchTargetSolver(graph, **index_kwargs) as targets, \
+                BatchPairSolver(graph, index=targets.index,
+                                **index_kwargs) as pairs:
+            for source, target in ((0, 1), (5, 30), (7, 7)):
+                full = targets.query(target)
+                value = pairs.query_pair(source, target)
+                assert float(value) == full[source]
+
+    def test_close_to_exact(self, graph, exact_matrix):
+        exact = exact_matrix(graph, 0.1)
+        with BatchPairSolver(graph, alpha=0.1, seed=3,
+                             num_forests=600) as solver:
+            for source, target in ((0, 1), (5, 30)):
+                value = solver.query_pair(source, target)
+                assert abs(float(value)
+                           - exact[source, target]) < 0.02
+
+    def test_run_items_matches_individual(self, graph):
+        items = [(0, 1), (5, 30), (7, 7)]
+        with BatchPairSolver(graph, alpha=0.1, seed=6,
+                             num_forests=24) as solver:
+            batched = solver.run_items(items)
+            for (source, target), result in zip(items, batched):
+                alone = solver.query_pair(source, target)
+                assert float(result) == float(alone)
+                assert (result.source, result.target) == (source, target)
+
+    def test_result_shape_and_stats(self, graph):
+        with BatchPairSolver(graph, alpha=0.1, seed=6,
+                             num_forests=24) as solver:
+            result = solver.query_pair(3, 8)
+        assert result.method == "batch-pair"
+        assert result.stats["estimator"] == "improved"
+        assert result.work.pushes >= 1
+        assert 0.0 <= float(result) <= 1.0 + 1e-9
+
+    def test_validation(self, graph):
+        with BatchPairSolver(graph, alpha=0.1, seed=6,
+                             num_forests=5) as solver:
+            with pytest.raises(ConfigError):
+                solver.query_pair(-1, 0)
+            with pytest.raises(ConfigError):
+                solver.query_pair(0, 10**6)
+
+
+class TestBatchMultiSeedSolver:
+    def test_bit_identical_to_weighted_sum(self, graph):
+        """The tentpole invariant: a multi-seed answer IS the weighted
+        sum of the single-seed rows, bit for bit."""
+        seeds, weights = [0, 5, 17], [0.2, 0.3, 0.5]
+        with BatchMultiSeedSolver(graph, alpha=0.1, seed=6,
+                                  num_forests=24) as solver:
+            combined = solver.query_multiseed(seeds, weights)
+            rows = solver.query_many(seeds)
+        manual = np.zeros(graph.num_nodes)
+        for weight, row in zip(weights, rows):
+            manual += weight * row.estimates
+        assert np.array_equal(combined.estimates, manual)
+
+    def test_uniform_default_and_normalization(self, graph):
+        with BatchMultiSeedSolver(graph, alpha=0.1, seed=6,
+                                  num_forests=24) as solver:
+            uniform = solver.query_multiseed([2, 9])
+            scaled = solver.query_multiseed([2, 9], [10.0, 10.0])
+        assert list(uniform.stats["weights"]) == [0.5, 0.5]
+        assert np.array_equal(uniform.estimates, scaled.estimates)
+
+    def test_single_seed_equals_plain_query(self, graph):
+        with BatchMultiSeedSolver(graph, alpha=0.1, seed=6,
+                                  num_forests=24) as solver:
+            multi = solver.query_multiseed([7])
+            plain = solver.query(7)
+        assert np.array_equal(multi.estimates, plain.estimates)
+
+    def test_run_items_matches_individual(self, graph):
+        items = [((0, 5), (0.5, 0.5)), ((3,), (1.0,))]
+        with BatchMultiSeedSolver(graph, alpha=0.1, seed=6,
+                                  num_forests=24) as solver:
+            batched = solver.run_items(items)
+            for (seeds, weights), result in zip(items, batched):
+                alone = solver.query_multiseed(list(seeds), list(weights))
+                assert np.array_equal(result.estimates, alone.estimates)
+
+    def test_normalize_seed_set(self, graph):
+        seeds, weights = normalize_seed_set([4, 1], None, 120)
+        assert seeds == (4, 1)
+        assert weights == (0.5, 0.5)
+        seeds, weights = normalize_seed_set([0, 1], [1.0, 3.0], 120)
+        assert weights == (0.25, 0.75)
+        with pytest.raises(ConfigError):
+            normalize_seed_set([], None, 120)
+        with pytest.raises(ConfigError):
+            normalize_seed_set([0, 200], None, 120)
+        with pytest.raises(ConfigError):
+            normalize_seed_set([0, 1], [1.0], 120)
+        with pytest.raises(ConfigError):
+            normalize_seed_set([0, 1], [0.0, 0.0], 120)
+        with pytest.raises(ConfigError):
+            normalize_seed_set([0, 1], [-1.0, 2.0], 120)
+
+
 class TestPairBiPPR:
-    def test_close_to_exact(self, graph):
+    def test_close_to_exact(self, graph, exact_matrix):
         from repro.core.pairwise import pair_ppr_bippr
-        from repro.linalg import exact_ppr_matrix
-        exact = exact_ppr_matrix(graph, 0.1)
+        exact = exact_matrix(graph, 0.1)
         for source, target in ((0, 1), (5, 30)):
             value = pair_ppr_bippr(graph, source, target, alpha=0.1, seed=3)
             assert abs(float(value) - exact[source, target]) < 0.02

@@ -428,16 +428,50 @@ class TestScheduler:
         assert [r.epsilon for r in results] == [0.5] * 4 + [0.25] * 3
         assert scheduler.batches_executed == 2
 
-    def test_pair_rides_target_group(self):
-        pair = QueryRequest(graph="g", kind="pair", node=5, alpha=0.1,
-                            epsilon=0.5, source=2)
-        target = QueryRequest(graph="g", kind="target", node=5, alpha=0.1,
-                              epsilon=0.5)
-        assert pair.solver_kind == "target"
-        assert pair.group_key == target.group_key
+    def test_each_kind_batches_separately(self):
+        """Top-k and pairwise queries have their own batching rules:
+        every kind groups only with itself (same graph/α/ε)."""
+        requests = {
+            "source": QueryRequest(graph="g", kind="source", node=5,
+                                   alpha=0.1, epsilon=0.5),
+            "target": QueryRequest(graph="g", kind="target", node=5,
+                                   alpha=0.1, epsilon=0.5),
+            "pair": QueryRequest(graph="g", kind="pair", node=5,
+                                 alpha=0.1, epsilon=0.5, source=2),
+            "topk": QueryRequest(graph="g", kind="topk", node=5,
+                                 alpha=0.1, epsilon=0.5, k=3),
+            "multiseed": QueryRequest(graph="g", kind="multiseed",
+                                      node=5, alpha=0.1, epsilon=0.5,
+                                      seeds=[5, 7], weights=[0.5, 0.5]),
+        }
+        for kind, request in requests.items():
+            assert request.solver_kind == kind
+        keys = {request.group_key for request in requests.values()}
+        assert len(keys) == len(requests)
         with pytest.raises(ConfigError, match="source="):
             QueryRequest(graph="g", kind="pair", node=5, alpha=0.1,
                          epsilon=0.5)
+        with pytest.raises(ConfigError, match="k"):
+            QueryRequest(graph="g", kind="topk", node=5, alpha=0.1,
+                         epsilon=0.5)
+        with pytest.raises(ConfigError, match="seeds"):
+            QueryRequest(graph="g", kind="multiseed", node=5, alpha=0.1,
+                         epsilon=0.5)
+
+    def test_payload_items_per_kind(self):
+        pair = QueryRequest(graph="g", kind="pair", node=5, alpha=0.1,
+                            epsilon=0.5, source=2)
+        topk = QueryRequest(graph="g", kind="topk", node=5, alpha=0.1,
+                            epsilon=0.5, k=3)
+        multi = QueryRequest(graph="g", kind="multiseed", node=5,
+                             alpha=0.1, epsilon=0.5, seeds=[5, 7],
+                             weights=[0.25, 0.75])
+        plain = QueryRequest(graph="g", kind="source", node=5,
+                             alpha=0.1, epsilon=0.5)
+        assert pair.payload_item == (2, 5)
+        assert topk.payload_item == (5, 3)
+        assert multi.payload_item == ((5, 7), (0.25, 0.75))
+        assert plain.payload_item == 5
 
     def test_batched_results_match_direct_solver(self, graph):
         scheduler = self._scheduler(graph, max_batch=4, max_wait_ms=2.0)
@@ -512,6 +546,102 @@ class TestPPRService:
                                   direct.query(node).estimates)
 
 
+class TestQuerySurface:
+    """The three first-class query kinds, end to end through the
+    service facade: scheduler batching, cache policy, and the
+    estimator identities each kind is built on."""
+
+    def test_multiseed_is_weighted_sum_bit_identical(self, service):
+        seeds, weights = [0, 5, 17], [0.2, 0.3, 0.5]
+        combined, _ = service.multiseed_result(seeds, weights,
+                                               use_cache=False)
+        manual = np.zeros(300)
+        for seed, weight in zip(seeds, weights):
+            row, _ = service.query_result("source", seed, use_cache=False)
+            manual += weight * row.estimates
+        assert np.array_equal(combined.estimates, manual)
+
+    def test_topk_is_prefix_of_full_vector_ranking(self, service):
+        """At a fixed seed the early-terminating answer agrees with
+        the full-budget ranking over the same forest stream, and the
+        full-budget rankings are exact prefixes of each other."""
+        from repro.core.topk import BatchTopKSolver
+        served, _ = service.topk_result(3, 5, use_cache=False)
+        solver = service.index_manager.get_solver(
+            "test", "topk", alpha=ALPHA, epsilon=EPSILON)
+        full = BatchTopKSolver(service.index_manager.graph("test"),
+                               config=solver.config, early_stop=False,
+                               max_forests=solver.max_forests)
+        try:
+            full10 = full.query_topk(3, 10)
+            full5 = full.query_topk(3, 5)
+        finally:
+            full.close()
+        # deeper full-budget rankings extend shallower ones exactly
+        assert full5.nodes.tolist() == full10.nodes.tolist()[:5]
+        # the early-stopped set matches the full-budget set at k
+        overlap = len(set(served.nodes.tolist())
+                      & set(full5.nodes.tolist()))
+        assert overlap >= 4
+        if not served.converged:
+            assert served.nodes.tolist() == full5.nodes.tolist()
+
+    def test_pair_agrees_with_full_vector_entry(self, service):
+        result, _ = service.pair_result(2, 9, use_cache=False)
+        column, _ = service.query_result("target", 9, use_cache=False)
+        assert float(result) == column[2]
+        assert result.method == "batch-pair"
+
+    def test_topk_cache_prefix_dominance(self, service):
+        node = 11
+        deep, hit_deep = service.topk_result(node, 8)
+        shallow, hit_shallow = service.topk_result(node, 5)
+        assert not hit_deep and hit_shallow
+        # the shallow hit is served as an exact prefix of the deep entry
+        assert shallow.nodes.tolist() == deep.nodes.tolist()[:5]
+        assert np.array_equal(shallow.estimates, deep.estimates[:5])
+        # a deeper request than any cached entry must miss
+        deeper, hit_deeper = service.topk_result(node, 10)
+        assert not hit_deeper
+        assert deeper.k == 10
+
+    def test_topk_and_multiseed_payload_shapes(self, service):
+        topk = service.query_topk(4, 3)
+        assert topk["kind"] == "topk"
+        assert topk["k"] == 3
+        assert len(topk["top"]) == 3
+        assert isinstance(topk["converged"], bool)
+        assert topk["num_forests"] >= 1
+        assert topk["work"]["forests_sampled"] >= 1
+        multi = service.query_multiseed([4, 9], top=5)
+        assert multi["kind"] == "multiseed"
+        assert multi["seeds"] == [4, 9]
+        assert multi["weights"] == [0.5, 0.5]
+        assert len(multi["top"]) == 5
+        assert multi["total_mass"] == pytest.approx(1.0, abs=1e-9)
+
+    def test_admission_guards(self, service):
+        with pytest.raises(ConfigError, match="topk_max_k"):
+            service.query_topk(0, service.config.topk_max_k + 1)
+        with pytest.raises(ConfigError, match="multiseed_max_seeds"):
+            service.query_multiseed(
+                list(range(service.config.multiseed_max_seeds + 1)))
+        with pytest.raises(ConfigError):
+            service.query_topk(10_000, 3)
+        with pytest.raises(ConfigError):
+            service.query_multiseed([0, 10_000])
+
+    def test_per_kind_request_counters(self, service):
+        service.query_topk(6, 3)
+        service.query_multiseed([6, 8])
+        service.pair(6, 8)
+        text = service.metrics_text()
+        for kind in ("topk", "multiseed", "pair"):
+            assert (f'repro_service_requests_total{{endpoint="{kind}"}}'
+                    in text)
+        assert_prometheus_exposition(text)
+
+
 class TestHTTP:
     @pytest.fixture(scope="class")
     def base_url(self, service):
@@ -550,6 +680,24 @@ class TestHTTP:
         assert status == 200
         assert isinstance(payload["value"], float)
 
+    def test_topk_roundtrip(self, base_url):
+        status, payload = self._post(f"{base_url}/topk",
+                                     {"node": 4, "k": 3})
+        assert status == 200
+        assert payload["kind"] == "topk"
+        assert len(payload["top"]) == 3
+        assert isinstance(payload["converged"], bool)
+
+    def test_multiseed_roundtrip(self, base_url):
+        status, payload = self._post(
+            f"{base_url}/multiseed",
+            {"seeds": [1, 6], "weights": [0.25, 0.75], "top": 4})
+        assert status == 200
+        assert payload["kind"] == "multiseed"
+        assert payload["seeds"] == [1, 6]
+        assert payload["weights"] == [0.25, 0.75]
+        assert len(payload["top"]) == 4
+
     def test_bad_requests(self, base_url):
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             self._post(f"{base_url}/query", {"kind": "source"})  # no node
@@ -557,6 +705,12 @@ class TestHTTP:
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             self._post(f"{base_url}/query",
                        {"kind": "source", "node": 10_000})
+        assert excinfo.value.code == 400
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._post(f"{base_url}/topk", {"node": 4})  # no k
+        assert excinfo.value.code == 400
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._post(f"{base_url}/multiseed", {"seeds": []})
         assert excinfo.value.code == 400
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             self._get(f"{base_url}/nope")

@@ -4,12 +4,12 @@ import numpy as np
 import pytest
 
 from repro.core import (
+    BatchTopKSolver,
     heavy_hitters,
     top_k_single_source,
 )
 from repro.exceptions import ConfigError
 from repro.graph.generators import erdos_renyi
-from repro.linalg import exact_single_source
 
 
 @pytest.fixture(scope="module")
@@ -18,9 +18,9 @@ def graph():
 
 
 class TestTopK:
-    def test_recovers_exact_top_k(self, graph):
+    def test_recovers_exact_top_k(self, graph, exact_vector):
         alpha = 0.15
-        exact = exact_single_source(graph, 0, alpha)
+        exact = exact_vector(graph, alpha, 0)
         result = top_k_single_source(graph, 0, 5, alpha=alpha, seed=3,
                                      max_forests=512)
         true_top = set(np.argsort(-exact)[:5].tolist())
@@ -64,10 +64,85 @@ class TestTopK:
             top_k_single_source(graph, 0, 3, batch_size=0)
 
 
+class TestBatchTopKSolver:
+    def test_recovers_exact_top_k(self, graph, exact_vector):
+        alpha = 0.15
+        exact = exact_vector(graph, alpha, 0)
+        with BatchTopKSolver(graph, alpha=alpha, seed=3,
+                             max_forests=512) as solver:
+            result = solver.query_topk(0, 5)
+        true_top = set(np.argsort(-exact)[:5].tolist())
+        assert len(set(result.nodes.tolist()) & true_top) >= 4
+
+    def test_batch_composition_independent(self, graph):
+        """A query's answer depends only on (graph, config, node, k) —
+        never on what else shares its micro-batch."""
+        with BatchTopKSolver(graph, alpha=0.2, seed=11,
+                             max_forests=256) as solver:
+            alone = solver.run_items([(0, 5)])[0]
+            crowded = solver.run_items([(3, 4), (0, 5), (7, 3)])[1]
+        assert np.array_equal(alone.nodes, crowded.nodes)
+        assert np.array_equal(alone.estimates, crowded.estimates)
+        assert alone.num_forests == crowded.num_forests
+        assert alone.converged == crowded.converged
+
+    def test_early_stop_cuts_walk_steps(self, graph):
+        """The variance-bound stopping rule must do less walk work
+        than the full-budget comparator on the same forest stream."""
+        kwargs = dict(alpha=0.2, seed=11, max_forests=256)
+        with BatchTopKSolver(graph, **kwargs) as early, \
+                BatchTopKSolver(graph, early_stop=False,
+                                **kwargs) as full:
+            stopped = early.query_topk(0, 3)
+            exhausted = full.query_topk(0, 3)
+        if stopped.converged:
+            assert stopped.num_forests < exhausted.num_forests
+            assert (stopped.stats["work_walk_steps"]
+                    < exhausted.stats["work_walk_steps"])
+        assert exhausted.num_forests == 256
+
+    def test_prefix_view(self, graph):
+        with BatchTopKSolver(graph, alpha=0.2, seed=12,
+                             max_forests=64) as solver:
+            result = solver.query_topk(0, 6)
+        prefix = result.prefix(3)
+        assert prefix.k == 3
+        assert np.array_equal(prefix.nodes, result.nodes[:3])
+        assert np.array_equal(prefix.estimates, result.estimates[:3])
+        with pytest.raises(ConfigError):
+            result.prefix(7)
+
+    def test_lifecycle_and_stats(self, graph):
+        solver = BatchTopKSolver(graph, alpha=0.2, seed=13,
+                                 max_forests=32)
+        solver.query_topk(0, 3)
+        stats = solver.stats()
+        assert stats["queries_served"] == 1
+        assert stats["owns_index"] is False
+        solver.close()
+        solver.close()  # idempotent
+        assert solver.closed
+
+    def test_validation(self, graph):
+        with BatchTopKSolver(graph, alpha=0.2, seed=14) as solver:
+            with pytest.raises(ConfigError):
+                solver.query_topk(0, 0)
+            with pytest.raises(ConfigError):
+                solver.query_topk(0, graph.num_nodes)
+            with pytest.raises(ConfigError):
+                solver.query_topk(10**6, 3)
+        with pytest.raises(ConfigError):
+            BatchTopKSolver(graph, confidence=1.5)
+        with pytest.raises(ConfigError):
+            BatchTopKSolver(graph, batch_draw=0)
+        with pytest.raises(ConfigError):
+            BatchTopKSolver(graph, max_forests=0)
+
+
 class TestHeavyHitters:
-    def test_finds_nodes_above_threshold(self, graph):
+    def test_finds_nodes_above_threshold(self, graph, exact_vector):
         alpha = 0.2
-        exact = exact_single_source(graph, 0, alpha)
+        exact = exact_vector(graph, alpha, 0)
         threshold = 0.02
         result = heavy_hitters(graph, 0, threshold, alpha=alpha, seed=8,
                                max_forests=512)
