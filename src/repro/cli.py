@@ -20,8 +20,9 @@ serve
     Long-lived PPR query service (micro-batching + index + cache),
     with opt-in request tracing / slow-query logging / profiling.
 index
-    Pre-build (``build``) or describe (``inspect``) an on-disk
-    memmap-able forest-index bank.
+    Pre-build (``build``), edit (``mutate``, for ``--dynamic`` banks)
+    or describe (``inspect``) an on-disk memmap-able forest-index
+    bank.
 trace
     Read a slow-query log: ``tail`` prints recent entries, one per
     line; ``summarize`` aggregates latency and span-stage statistics.
@@ -160,6 +161,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="processes for index builds (0 = cpu count); "
                             "in process-executor mode also the size of "
                             "the query worker pool")
+    serve.add_argument("--dynamic", action="store_true",
+                       help="build repairable dynamic banks so POST "
+                            "/mutate repairs forests incrementally "
+                            "instead of rebuilding")
     serve.add_argument("--executor", choices=["thread", "process"],
                        default="thread",
                        help="batch-fold execution: in-process threads "
@@ -201,9 +206,39 @@ def build_parser() -> argparse.ArgumentParser:
                              help="explicit bank size (overrides "
                                   "--epsilon sizing)")
     index_build.add_argument("--seed", type=int, default=2022)
+    index_build.add_argument("--dynamic", action="store_true",
+                             help="store arrow records alongside the "
+                                  "forests so `index mutate` can repair "
+                                  "the bank incrementally")
     index_build.add_argument("--workers", type=int, default=1,
                              help="processes for the sampling stage "
                                   "(0 = cpu count)")
+    index_mutate = index_actions.add_parser(
+        "mutate", help="apply edge updates to a dynamic bank")
+    index_mutate.add_argument("bank_dir",
+                              help="dynamic bank directory "
+                                   "(from `index build --dynamic`)")
+    index_mutate.add_argument("--add", action="append", default=[],
+                              metavar="U:V[:W]",
+                              help="insert an edge (repeatable)")
+    index_mutate.add_argument("--remove", action="append", default=[],
+                              metavar="U:V",
+                              help="delete an edge (repeatable)")
+    index_mutate.add_argument("--set-weight", dest="set_weight",
+                              action="append", default=[],
+                              metavar="U:V:W",
+                              help="reweight an existing edge "
+                                   "(repeatable)")
+    index_mutate.add_argument("--upsert", action="append", default=[],
+                              metavar="U:V:W",
+                              help="insert-or-reweight an edge "
+                                   "(repeatable)")
+    index_mutate.add_argument("--out", default=None, metavar="DIR",
+                              help="write the repaired bank here "
+                                   "(default: update in place)")
+    index_mutate.add_argument("--seed", type=int, default=2022,
+                              help="seed for the fresh arrow draws")
+
     index_inspect = index_actions.add_parser(
         "inspect", help="describe a saved bank without loading arrays")
     index_inspect.add_argument("bank_dir", help="bank directory to read")
@@ -460,7 +495,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         push_backend=args.push_backend, max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms, queue_capacity=args.queue_capacity,
         cache_entries=args.cache_entries, host=args.host, port=args.port,
-        executor=args.executor,
+        executor=args.executor, dynamic=args.dynamic,
         trace_sample_rate=args.trace_sample_rate,
         trace_buffer=args.trace_buffer,
         slowlog_path=args.slowlog,
@@ -513,19 +548,59 @@ def _cmd_index(args: argparse.Namespace) -> int:
         graph = load_dataset(args.dataset, scale=args.scale)
         size = args.num_forests or ForestIndex.recommended_size(
             graph, args.epsilon)
-        index = ForestIndex.build(graph, args.alpha, size,
-                                  rng=args.seed, workers=args.workers)
-        index.save_bank(args.out_dir)
+        if args.dynamic:
+            from repro.montecarlo.dynamic_index import DynamicForestIndex
+
+            index = DynamicForestIndex.build(graph, args.alpha, size,
+                                             rng=args.seed)
+            index.save_dynamic_bank(args.out_dir)
+        else:
+            index = ForestIndex.build(graph, args.alpha, size,
+                                      rng=args.seed,
+                                      workers=args.workers)
+            index.save_bank(args.out_dir)
         manifest = bank_manifest(args.out_dir)
         payload = sum(spec["nbytes"]
                       for spec in manifest["arrays"].values())
-        print(f"built bank: {args.dataset} (scale {args.scale:g}, "
+        kind = "dynamic bank" if args.dynamic else "bank"
+        print(f"built {kind}: {args.dataset} (scale {args.scale:g}, "
               f"{graph.num_nodes} nodes, {graph.num_edges} edges)")
         print(f"  alpha {args.alpha:g}  forests {index.num_forests}  "
               f"steps {index.build_steps}")
         print(f"  arrays {len(manifest['arrays'])}  "
               f"payload {payload} bytes  "
               f"format v{manifest['version']}")
+        return 0
+
+    if args.action == "mutate":
+        from repro.exceptions import ConfigError
+        from repro.graph.delta import GraphDelta, parse_edge_spec
+        from repro.montecarlo.dynamic_index import DynamicForestIndex
+
+        ops = (
+            [parse_edge_spec(spec, op="add") for spec in args.add]
+            + [parse_edge_spec(spec, op="remove")
+               for spec in args.remove]
+            + [parse_edge_spec(spec, op="set_weight")
+               for spec in args.set_weight]
+            + [parse_edge_spec(spec, op="upsert")
+               for spec in args.upsert])
+        if not ops:
+            raise ConfigError(
+                "index mutate needs at least one of "
+                "--add/--remove/--set-weight/--upsert")
+        delta = GraphDelta(ops)
+        index = DynamicForestIndex.load_dynamic_bank(args.bank_dir)
+        new_index, work = index.mutated(delta, rng=args.seed)
+        new_index.save_dynamic_bank(args.out or args.bank_dir)
+        graph = new_index.graph
+        print(f"mutated bank: {len(delta)} ops, "
+              f"{delta.touched_nodes().size} dirty nodes")
+        print(f"  graph {graph.num_nodes} nodes, "
+              f"{graph.num_edges} edges")
+        print(f"  forests {new_index.num_forests}  "
+              f"fresh steps {work.repair_fresh_steps}  "
+              f"replayed {work.repair_replayed_steps}")
         return 0
 
     manifest = bank_manifest(args.bank_dir)

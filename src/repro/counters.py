@@ -46,6 +46,17 @@ class WorkCounters:
     push_sweeps:
         Synchronous frontier sweeps executed by the push stage;
         ``pushes / push_sweeps`` is the mean frontier size.
+    repair_fresh_steps:
+        New arrow draws made while incrementally repairing recorded
+        forests after a graph mutation — the *paid* part of a repair,
+        directly comparable to the ``walk_steps`` a full rebuild would
+        have cost.
+    repair_replayed_steps:
+        Recorded arrows re-read during repair (no RNG, no sampling
+        work; a memory pass over the surviving stacks).
+    repair_dirty_nodes:
+        Node records invalidated by mutations, summed over repaired
+        forests.
     """
 
     walk_steps: int = 0
@@ -53,6 +64,9 @@ class WorkCounters:
     forests_sampled: int = 0
     pushes: int = 0
     push_sweeps: int = 0
+    repair_fresh_steps: int = 0
+    repair_replayed_steps: int = 0
+    repair_dirty_nodes: int = 0
 
     # ------------------------------------------------------------------
     def merge(self, other) -> "WorkCounters":

@@ -19,6 +19,11 @@ the basic and variance-reduced PPR estimators of §5.2/§6.2.
 from repro.forests.forest import RootedForest
 from repro.forests.wilson import sample_forest_wilson, loop_erased_alpha_walk
 from repro.forests.cycle_popping import sample_forest_cycle_popping
+from repro.forests.repair import (
+    ForestRecord,
+    repair_forest,
+    sample_forest_recorded,
+)
 from repro.forests.sampling import sample_forest, sample_forests
 from repro.forests.batch_sampling import sample_forests_batch
 from repro.forests.statistics import (
@@ -50,6 +55,9 @@ __all__ = [
     "sample_forest_wilson",
     "loop_erased_alpha_walk",
     "sample_forest_cycle_popping",
+    "ForestRecord",
+    "sample_forest_recorded",
+    "repair_forest",
     "enumerate_spanning_forests",
     "total_rooted_forest_weight",
     "rooted_in_probability_matrix",

@@ -36,6 +36,7 @@ from repro.graph.datasets import (
     table1_statistics,
 )
 from repro.graph.alias import AliasTable
+from repro.graph.delta import EdgeOp, GraphDelta, parse_edge_spec
 from repro.graph.validation import check_graph_invariants
 
 __all__ = [
@@ -64,5 +65,8 @@ __all__ = [
     "load_dataset",
     "table1_statistics",
     "AliasTable",
+    "EdgeOp",
+    "GraphDelta",
+    "parse_edge_spec",
     "check_graph_invariants",
 ]

@@ -1,0 +1,293 @@
+"""Streaming edge-update log for dynamic graphs.
+
+:class:`GraphDelta` is an ordered log of edge mutations — add, remove,
+set-weight, upsert — applied atomically to an immutable
+:class:`~repro.graph.csr.Graph` to produce a *new* graph.  The source
+graph is never modified; :meth:`GraphDelta.apply` splices only the CSR
+rows whose adjacency actually changed and bulk-copies every other row,
+so a single-edge update on a large graph costs O(touched rows), not
+O(m).
+
+The delta also knows its *dirty set* (:meth:`touched_nodes`): the nodes
+whose outgoing arrow distribution may differ between the old and new
+graph.  That set is what incremental forest repair
+(:mod:`repro.forests.repair`) invalidates — every other node's recorded
+arrow draws remain valid samples, which is the whole point of streaming
+updates.
+
+Ops are validated against the *running* state of the log, so a single
+delta may remove an edge and re-add it with a new weight.  ``upsert``
+(add-or-set-weight) is the idempotent form used by churn workloads
+where the caller does not know whether the edge currently exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graph.csr import Graph
+
+__all__ = ["EdgeOp", "GraphDelta", "parse_edge_spec"]
+
+#: Recognised operation names, in the order used everywhere they are listed.
+OP_NAMES = ("add", "remove", "set_weight", "upsert")
+
+
+@dataclass(frozen=True)
+class EdgeOp:
+    """One edge mutation.
+
+    ``weight`` is required for ``set_weight`` / ``upsert``, defaults to
+    1.0 for ``add``, and must be absent for ``remove``.
+    """
+
+    op: str
+    u: int
+    v: int
+    weight: float | None = None
+
+    def __post_init__(self):
+        if self.op not in OP_NAMES:
+            raise GraphError(
+                f"unknown edge op {self.op!r} (choose from {OP_NAMES})")
+        object.__setattr__(self, "u", int(self.u))
+        object.__setattr__(self, "v", int(self.v))
+        if self.u == self.v:
+            raise GraphError(f"self-loop ({self.u}, {self.v}) not supported")
+        if self.u < 0 or self.v < 0:
+            raise GraphError(f"negative node id in ({self.u}, {self.v})")
+        if self.op == "remove":
+            if self.weight is not None:
+                raise GraphError("remove takes no weight")
+        elif self.op in ("set_weight", "upsert") and self.weight is None:
+            raise GraphError(f"{self.op} requires a weight")
+        if self.weight is not None:
+            weight = float(self.weight)
+            if not weight > 0.0 or not np.isfinite(weight):
+                raise GraphError(
+                    f"edge weight must be finite and positive, got {weight}")
+            object.__setattr__(self, "weight", weight)
+
+    def to_dict(self) -> dict:
+        """Wire form: ``{"op", "u", "v"}`` plus ``"weight"`` when set."""
+        payload = {"op": self.op, "u": self.u, "v": self.v}
+        if self.weight is not None:
+            payload["weight"] = self.weight
+        return payload
+
+
+def parse_edge_spec(spec: str, *, op: str) -> EdgeOp:
+    """Parse a CLI edge spec ``"U:V"`` or ``"U:V:W"`` into an op."""
+    parts = str(spec).split(":")
+    want_weight = op in ("set_weight", "upsert")
+    try:
+        if len(parts) == 2 and op != "set_weight" and op != "upsert":
+            return EdgeOp(op, int(parts[0]), int(parts[1]))
+        if len(parts) == 3 and op != "remove":
+            return EdgeOp(op, int(parts[0]), int(parts[1]), float(parts[2]))
+    except ValueError as error:
+        raise GraphError(f"bad edge spec {spec!r}: {error}") from None
+    shape = "U:V:W" if want_weight else ("U:V" if op == "remove"
+                                         else "U:V or U:V:W")
+    raise GraphError(f"bad edge spec {spec!r} for {op} (expected {shape})")
+
+
+class GraphDelta:
+    """An ordered, validated log of edge mutations.
+
+    Builder methods are fluent (they return ``self``) so a delta can be
+    assembled inline::
+
+        delta = GraphDelta().add_edge(0, 5).set_weight(1, 2, 0.5)
+    """
+
+    def __init__(self, ops=()):
+        self._ops: list[EdgeOp] = []
+        for op in ops:
+            self._append(op)
+
+    def _append(self, op) -> "GraphDelta":
+        if isinstance(op, EdgeOp):
+            self._ops.append(op)
+        elif isinstance(op, dict):
+            self._ops.append(EdgeOp(**op))
+        else:
+            raise GraphError(f"cannot interpret {op!r} as an edge op")
+        return self
+
+    # ------------------------------------------------------------------
+    # Fluent builders
+    # ------------------------------------------------------------------
+    def add_edge(self, u: int, v: int, weight: float = 1.0) -> "GraphDelta":
+        """Add edge ``(u, v)``; error at apply time if it exists."""
+        return self._append(EdgeOp("add", u, v, weight))
+
+    def remove_edge(self, u: int, v: int) -> "GraphDelta":
+        """Remove edge ``(u, v)``; error at apply time if missing."""
+        return self._append(EdgeOp("remove", u, v))
+
+    def set_weight(self, u: int, v: int, weight: float) -> "GraphDelta":
+        """Change the weight of existing edge ``(u, v)``."""
+        return self._append(EdgeOp("set_weight", u, v, weight))
+
+    def upsert_edge(self, u: int, v: int, weight: float = 1.0) -> "GraphDelta":
+        """Add ``(u, v)`` or overwrite its weight — always valid."""
+        return self._append(EdgeOp("upsert", u, v, weight))
+
+    # ------------------------------------------------------------------
+    # Wire forms
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dicts(cls, items) -> "GraphDelta":
+        """Build a delta from JSON-shaped op dicts (the HTTP body form).
+
+        Each item is ``{"op": ..., "u": ..., "v": ...[, "weight": ...]}``.
+        An empty op list is rejected — a mutation request that does
+        nothing is almost certainly a caller bug.
+        """
+        if not isinstance(items, (list, tuple)):
+            raise GraphError("ops must be a list of edge-op objects")
+        if not items:
+            raise GraphError("delta has no operations")
+        delta = cls()
+        for item in items:
+            if not isinstance(item, dict):
+                raise GraphError(f"bad edge op {item!r} (expected an object)")
+            unknown = set(item) - {"op", "u", "v", "weight"}
+            if unknown:
+                raise GraphError(
+                    f"unknown edge-op field(s) {sorted(unknown)}")
+            try:
+                delta._append(EdgeOp(
+                    str(item.get("op", "")), item.get("u", -1),
+                    item.get("v", -1), item.get("weight")))
+            except (TypeError, ValueError) as error:
+                raise GraphError(f"bad edge op {item!r}: {error}") from None
+        return delta
+
+    def to_dicts(self) -> list[dict]:
+        """The JSON-shaped op list (inverse of :meth:`from_dicts`)."""
+        return [op.to_dict() for op in self._ops]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __iter__(self):
+        return iter(self._ops)
+
+    def __repr__(self) -> str:
+        return f"GraphDelta({len(self._ops)} op(s))"
+
+    def touched_nodes(self) -> np.ndarray:
+        """Sorted unique endpoints of every op — the repair dirty set.
+
+        Both endpoints are always included.  For undirected graphs both
+        rows change; for directed graphs only row ``u`` does, but a
+        superset is always *safe* (resampling a clean node's record
+        from its unchanged row is still an exact draw), so we do not
+        special-case directedness here.
+        """
+        if not self._ops:
+            return np.empty(0, dtype=np.int64)
+        nodes = {op.u for op in self._ops} | {op.v for op in self._ops}
+        return np.asarray(sorted(nodes), dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+    def apply(self, graph: Graph) -> Graph:
+        """Apply the log to ``graph`` and return a new validated graph.
+
+        Only the touched CSR rows are rebuilt; untouched rows are
+        copied in bulk slices, preserving their neighbour order (added
+        neighbours append after the survivors in op order).  The result
+        stays unweighted when the source graph is unweighted and no op
+        introduces a weight other than 1.0.
+        """
+        if not self._ops:
+            return graph
+        n = graph.num_nodes
+        rows: dict[int, dict[int, float]] = {}
+
+        def row(node: int) -> dict[int, float]:
+            if node not in rows:
+                lo, hi = int(graph.indptr[node]), int(graph.indptr[node + 1])
+                neighbors = graph.indices[lo:hi].tolist()
+                weights = ([1.0] * (hi - lo) if graph.weights is None
+                           else graph.weights[lo:hi].tolist())
+                rows[node] = dict(zip(neighbors, weights))
+            return rows[node]
+
+        for op in self._ops:
+            if op.u >= n or op.v >= n:
+                raise GraphError(
+                    f"edge ({op.u}, {op.v}) out of range [0, {n})")
+            arcs = [(op.u, op.v)] if graph.directed else [(op.u, op.v),
+                                                          (op.v, op.u)]
+            for a, b in arcs:
+                adjacency = row(a)
+                if op.op == "add":
+                    if b in adjacency:
+                        raise GraphError(
+                            f"edge ({op.u}, {op.v}) already exists")
+                    adjacency[b] = op.weight if op.weight is not None else 1.0
+                elif op.op == "remove":
+                    if b not in adjacency:
+                        raise GraphError(
+                            f"edge ({op.u}, {op.v}) does not exist")
+                    del adjacency[b]
+                elif op.op == "set_weight":
+                    if b not in adjacency:
+                        raise GraphError(
+                            f"edge ({op.u}, {op.v}) does not exist")
+                    adjacency[b] = op.weight
+                else:  # upsert
+                    adjacency[b] = op.weight
+
+        weighted = graph.is_weighted or any(
+            op.weight is not None and op.weight != 1.0 for op in self._ops)
+        counts = graph.out_degrees.copy()
+        for node, adjacency in rows.items():
+            counts[node] = len(adjacency)
+        new_indptr = np.concatenate(
+            ([0], np.cumsum(counts, dtype=np.int64)))
+        total = int(new_indptr[-1])
+        new_indices = np.empty(total, dtype=np.int64)
+        new_weights = np.empty(total, dtype=np.float64) if weighted else None
+
+        old_weights = graph.weights
+        cursor_row = 0  # first row of the next untouched span
+        for node in sorted(rows):
+            if cursor_row < node:  # bulk-copy the untouched span before it
+                src_lo = int(graph.indptr[cursor_row])
+                src_hi = int(graph.indptr[node])
+                dst_lo = int(new_indptr[cursor_row])
+                dst_hi = dst_lo + (src_hi - src_lo)
+                new_indices[dst_lo:dst_hi] = graph.indices[src_lo:src_hi]
+                if weighted:
+                    new_weights[dst_lo:dst_hi] = (
+                        1.0 if old_weights is None
+                        else old_weights[src_lo:src_hi])
+            adjacency = rows[node]
+            dst_lo = int(new_indptr[node])
+            dst_hi = int(new_indptr[node + 1])
+            new_indices[dst_lo:dst_hi] = list(adjacency.keys())
+            if weighted:
+                new_weights[dst_lo:dst_hi] = list(adjacency.values())
+            cursor_row = node + 1
+        if cursor_row < n:  # trailing untouched span
+            src_lo = int(graph.indptr[cursor_row])
+            dst_lo = int(new_indptr[cursor_row])
+            new_indices[dst_lo:total] = graph.indices[src_lo:]
+            if weighted:
+                new_weights[dst_lo:total] = (
+                    1.0 if old_weights is None else old_weights[src_lo:])
+
+        return Graph(new_indptr, new_indices, new_weights,
+                     directed=graph.directed, validate=True)

@@ -10,6 +10,7 @@ from repro.montecarlo.walks import (
 )
 from repro.montecarlo.walk_index import WalkIndex
 from repro.montecarlo.forest_index import ForestIndex
+from repro.montecarlo.dynamic_index import DynamicForestIndex
 
 __all__ = [
     "WalkBatch",
@@ -17,4 +18,5 @@ __all__ = [
     "estimate_single_source_walks",
     "WalkIndex",
     "ForestIndex",
+    "DynamicForestIndex",
 ]

@@ -38,6 +38,14 @@ class ServiceConfig:
         ``workers`` forked worker processes attached to the
         shared-memory bank (see :mod:`repro.service.executor`).
         Answers are byte-identical either way.
+    dynamic:
+        Build repairable
+        :class:`~repro.montecarlo.dynamic_index.DynamicForestIndex`
+        banks so ``POST /mutate`` repairs forests incrementally
+        instead of rebuilding them (see
+        :meth:`~repro.service.index_manager.IndexManager.mutate`).
+        Off by default: records cost memory and mutate works either
+        way (it falls back to a full rebuild on static banks).
     max_batch:
         Most requests one batch-solver call may group.
     max_wait_ms:
@@ -83,6 +91,7 @@ class ServiceConfig:
     workers: int = 1
     push_backend: str = "vectorized"
     executor: str = "thread"
+    dynamic: bool = False
     max_batch: int = 32
     max_wait_ms: float = 10.0
     queue_capacity: int = 256
@@ -166,6 +175,7 @@ class ServiceConfig:
                 ("workers", self.workers),
                 ("push_backend", self.push_backend),
                 ("executor", self.executor),
+                ("dynamic", self.dynamic),
                 ("max_batch", self.max_batch),
                 ("max_wait_ms", self.max_wait_ms),
                 ("queue_capacity", self.queue_capacity),

@@ -14,6 +14,11 @@ the micro-batching scheduler behind it).  Endpoints:
   seed-set personalization vector;
 - ``POST /pair``      — body ``{"source": int, "target": int,
   "alpha"?, "epsilon"?}`` → one π(s, t) value;
+- ``POST /mutate``    — body ``{"ops": [{"op": "add"|"remove"|
+  "set_weight"|"upsert", "u": int, "v": int, "weight"?: float}, ...]}``
+  → applies the edge updates to the served graph (dynamic banks repair
+  incrementally, static banks rebuild) and reports per-bank
+  generations plus the work counters;
 - ``GET /healthz``    — liveness/readiness JSON;
 - ``GET /metrics``    — Prometheus text format.
 
@@ -102,7 +107,8 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         split = urlsplit(self.path)
-        if split.path not in ("/query", "/topk", "/multiseed", "/pair"):
+        if split.path not in ("/query", "/topk", "/multiseed", "/pair",
+                              "/mutate"):
             self._send(404, {"error": f"unknown path {self.path!r}"})
             return
         # inbound correlation id (minted here when the client sent
@@ -138,6 +144,10 @@ class _Handler(BaseHTTPRequestHandler):
                     epsilon=_opt_float(body, "epsilon"),
                     top=int(body.get("top", 10)),
                     request_id=request_id, debug=debug)
+            elif split.path == "/mutate":
+                payload = service.mutate(body["ops"],
+                                         request_id=request_id,
+                                         debug=debug)
             else:
                 payload = service.pair(
                     int(body["source"]), int(body["target"]),

@@ -43,8 +43,11 @@ from repro.core.batch import (
 )
 from repro.core.config import PPRConfig
 from repro.core.topk import BatchTopKSolver
+from repro.counters import WorkCounters
 from repro.exceptions import ConfigError
 from repro.graph.csr import Graph
+from repro.graph.delta import GraphDelta
+from repro.montecarlo.dynamic_index import DynamicForestIndex
 from repro.montecarlo.forest_index import ForestIndex
 from repro.obs.tracing import NULL_TRACER
 from repro.parallel.shared_bank import BankHandle, SharedArrayBank
@@ -127,14 +130,22 @@ class IndexManager:
         :meth:`ForestIndex.recommended_size` for the baseline ε.
     tracer:
         Optional :class:`~repro.obs.tracing.Tracer`.  Index lifecycle
-        events (refresh, drop) record *forced* traces — they are rare
-        and expensive, so they are always worth a span tree.
+        events (refresh, drop, mutate) record *forced* traces — they
+        are rare and expensive, so they are always worth a span tree.
+    dynamic:
+        Build repairable
+        :class:`~repro.montecarlo.dynamic_index.DynamicForestIndex`
+        banks (arrow records kept), so :meth:`mutate` repairs
+        incrementally instead of rebuilding.  Costs record memory and
+        a serial build; off by default.
     """
 
     def __init__(self, config: PPRConfig | None = None, *,
-                 num_forests: int | None = None, tracer=None):
+                 num_forests: int | None = None, tracer=None,
+                 dynamic: bool = False):
         self.config = config or PPRConfig()
         self.num_forests = num_forests
+        self.dynamic = bool(dynamic)
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._graphs: dict[str, Graph] = {}
         self._indexes: dict[tuple[str, float], _ManagedIndex] = {}
@@ -176,9 +187,14 @@ class IndexManager:
         size = self.num_forests or ForestIndex.recommended_size(
             graph, self.config.epsilon)
         seed = self._build_seed(name, alpha, generation)
-        index = ForestIndex.build(graph, alpha, size, rng=seed,
-                                  method=self.config.sampler,
-                                  workers=self.config.workers)
+        if self.dynamic:
+            # recorded sampling: repairable banks, cycle popping only
+            index = DynamicForestIndex.build(graph, alpha, size, rng=seed,
+                                             method="cycle_popping")
+        else:
+            index = ForestIndex.build(graph, alpha, size, rng=seed,
+                                      method=self.config.sampler,
+                                      workers=self.config.workers)
         with self._lock:
             self._builds += 1
         return _ManagedIndex(index, generation, seed)
@@ -249,6 +265,92 @@ class IndexManager:
         if block:
             thread.join()
         return thread
+
+    def mutate(self, name: str, delta: GraphDelta) -> dict:
+        """Apply a :class:`GraphDelta` to ``name`` — the third lifecycle
+        verb beside refresh/drop.
+
+        The registered graph is replaced by ``delta.apply(graph)`` and
+        every resident ``(name, α)`` bank is brought onto the new
+        graph: :class:`DynamicForestIndex` banks are *repaired*
+        incrementally (replaying their arrow records, fresh draws only
+        where the mutation invalidated them), any other bank is fully
+        rebuilt.  Replacements are computed off-lock, then swapped in
+        atomically exactly like :meth:`refresh` — generations bump,
+        solvers borrowing old banks drop, shared-memory segments for
+        the graph and old banks retire once their last borrower
+        releases.  In-flight queries keep whatever they already hold.
+
+        Returns a summary: per-bank generations and ``repaired`` flags,
+        the dirty-node list, and the merged work counters (all
+        ``repair_*`` for repaired banks; ``walk_steps`` only when a
+        non-dynamic bank forced a rebuild).  Deterministic for a given
+        delta and generation history.
+        """
+        span = self.tracer.trace("index_mutate", force=True)
+        old_graph = self.graph(name)
+        span.annotate(graph=name, ops=len(delta))
+        with span.child("apply_delta"):
+            new_graph = delta.apply(old_graph)
+        dirty = delta.touched_nodes()
+        with self._lock:
+            resident = {key: entry for key, entry in self._indexes.items()
+                        if key[0] == name}
+        counters = WorkCounters()
+        replacements: dict[tuple[str, float], _ManagedIndex] = {}
+        repaired_flags: dict[tuple[str, float], bool] = {}
+        for (key, entry) in sorted(resident.items()):
+            alpha = key[1]
+            generation = entry.generation + 1
+            seed = self._build_seed(name, alpha, generation)
+            if isinstance(entry.index, DynamicForestIndex):
+                with span.child("repair"):
+                    index, repair_work = entry.index.mutated(delta, rng=seed)
+                counters.merge(repair_work)
+                repaired_flags[key] = True
+            else:
+                # no records to replay: the bank must be resampled
+                # against the new graph (correct, just not incremental)
+                with span.child("rebuild"):
+                    size = entry.index.num_forests
+                    index = ForestIndex.build(new_graph, alpha, size,
+                                              rng=seed,
+                                              method=self.config.sampler,
+                                              workers=self.config.workers)
+                counters.merge(index.build_counters)
+                repaired_flags[key] = False
+            replacements[key] = _ManagedIndex(index, generation, seed)
+        with span.child("swap"):
+            with self._lock:
+                self._graphs[name] = new_graph
+                self._indexes.update(replacements)
+                for solver_key in [k for k in self._solvers
+                                   if k[0] == name]:
+                    del self._solvers[solver_key]
+                stale_graph = self._shared_graphs.pop(name, None)
+                stale_banks = [self._shared_indexes.pop(key)
+                               for key in list(self._shared_indexes)
+                               if key[0] == name]
+        with span.child("retire"):
+            if stale_graph is not None:
+                stale_graph.retire()
+            for bank, _generation in stale_banks:
+                bank.retire()
+        self.tracer.finish(span)
+        return {
+            "graph": name,
+            "ops": len(delta),
+            "num_nodes": new_graph.num_nodes,
+            "num_edges": new_graph.num_edges,
+            "dirty_nodes": [int(node) for node in dirty],
+            "banks": {
+                f"{key[0]}@{key[1]}": {
+                    "generation": managed.generation,
+                    "repaired": repaired_flags[key],
+                }
+                for key, managed in sorted(replacements.items())},
+            "work": counters.as_dict(),
+        }
 
     def drop(self, name: str, alpha: float | None = None) -> None:
         """Forget the bank and solvers for ``(name, α)`` (if any)."""

@@ -17,10 +17,14 @@ request/batch counters and a populated latency summary.
 Scenarios: ``--kind`` picks the request shape — ``source``/``target``
 hit ``POST /query``, ``topk`` hits ``/topk`` (depth ``--topk-k``),
 ``multiseed`` hits ``/multiseed`` (``--seeds-per-query`` seeds drawn
-from the same Zipf stream), ``pair`` hits ``/pair``, and ``mixed``
-round-robins across all of them.  Every scenario is deterministic in
-``--seed``, so two services fed the same burst see byte-identical
-request streams.
+from the same Zipf stream), ``pair`` hits ``/pair``, ``mixed``
+round-robins across all of them, and ``churn`` interleaves queries
+with graph mutations — every ``--mutate-every``-th request is a
+``POST /mutate`` carrying one ``upsert`` edge op (upsert is always
+valid whether or not the edge exists, so concurrent clients can never
+race each other into a rejected delta).  Every scenario is
+deterministic in ``--seed``, so two services fed the same burst see
+byte-identical request streams.
 """
 
 from __future__ import annotations
@@ -37,7 +41,8 @@ import numpy as np
 
 __all__ = ["build_requests", "run_load", "main"]
 
-KINDS = ("source", "target", "topk", "multiseed", "pair", "mixed")
+KINDS = ("source", "target", "topk", "multiseed", "pair", "mixed",
+         "churn")
 
 
 def _post_json(url: str, payload: dict, timeout: float = 30.0) -> dict:
@@ -64,13 +69,15 @@ def zipf_nodes(num_nodes: int, count: int, *, exponent: float = 1.1,
 
 def build_requests(kind: str, nodes, num_nodes: int, *,
                    topk_k: int = 10, seeds_per_query: int = 3,
+                   mutate_every: int = 8,
                    seed: int = 2022) -> list[tuple[str, dict, str]]:
     """One ``(path, body, ok_key)`` triple per burst position.
 
     ``ok_key`` is the response field whose presence marks success
-    (``"top"`` for ranked answers, ``"value"`` for pair answers).
-    Deterministic in ``seed`` so identical bursts can be replayed
-    against two services for byte-level comparison.
+    (``"top"`` for ranked answers, ``"value"`` for pair answers,
+    ``"banks"`` for mutations).  Deterministic in ``seed`` so
+    identical bursts can be replayed against two services for
+    byte-level comparison.
     """
     if kind not in KINDS:
         raise ValueError(f"unknown load kind {kind!r} (choose from {KINDS})")
@@ -82,7 +89,21 @@ def build_requests(kind: str, nodes, num_nodes: int, *,
         if kind == "mixed":
             shape = ("source", "topk", "multiseed",
                      "pair")[position % 4]
-        if shape in ("source", "target"):
+        elif kind == "churn":
+            # queries with a mutation every mutate_every-th request;
+            # a one-node graph has no edge to upsert, so stay a query
+            mutating = (num_nodes > 1 and mutate_every > 0
+                        and position % mutate_every == mutate_every - 1)
+            shape = "mutate" if mutating else "source"
+        if shape == "mutate":
+            other = (node + 1 + int(rng.integers(num_nodes - 1))) \
+                % num_nodes
+            weight = round(float(rng.uniform(0.5, 2.0)), 3)
+            plans.append(("/mutate", {"ops": [{"op": "upsert", "u": node,
+                                               "v": other,
+                                               "weight": weight}]},
+                          "banks"))
+        elif shape in ("source", "target"):
             plans.append(("/query", {"kind": shape, "node": node}, "top"))
         elif shape == "topk":
             plans.append(("/topk", {"node": node,
@@ -103,8 +124,8 @@ def build_requests(kind: str, nodes, num_nodes: int, *,
 def run_load(base_url: str, *, requests: int = 64, concurrency: int = 8,
              num_nodes: int | None = None, kind: str = "source",
              topk_k: int = 10, seeds_per_query: int = 3,
-             zipf_exponent: float = 1.1, seed: int = 2022,
-             timeout: float = 30.0) -> dict:
+             mutate_every: int = 8, zipf_exponent: float = 1.1,
+             seed: int = 2022, timeout: float = 30.0) -> dict:
     """Fire a closed-loop burst; returns an outcome summary dict.
 
     ``num_nodes`` defaults to what ``/healthz`` is willing to admit —
@@ -113,7 +134,8 @@ def run_load(base_url: str, *, requests: int = 64, concurrency: int = 8,
     nodes = zipf_nodes(num_nodes or 1, requests, exponent=zipf_exponent,
                        seed=seed)
     plans = build_requests(kind, nodes, num_nodes or 1, topk_k=topk_k,
-                           seeds_per_query=seeds_per_query, seed=seed)
+                           seeds_per_query=seeds_per_query,
+                           mutate_every=mutate_every, seed=seed)
     cursor = {"next": 0}
     lock = threading.Lock()
     outcomes: list[dict] = []
@@ -227,6 +249,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="ranking depth for --kind topk/mixed")
     parser.add_argument("--seeds-per-query", type=int, default=3,
                         help="seed-set size for --kind multiseed/mixed")
+    parser.add_argument("--mutate-every", type=int, default=8,
+                        help="for --kind churn: one /mutate per this "
+                             "many requests")
     parser.add_argument("--zipf", type=float, default=1.1)
     parser.add_argument("--seed", type=int, default=2022)
     parser.add_argument("--check-metrics", action="store_true",
@@ -244,6 +269,7 @@ def main(argv: list[str] | None = None) -> int:
                        concurrency=args.concurrency, num_nodes=num_nodes,
                        kind=args.kind, topk_k=args.topk_k,
                        seeds_per_query=args.seeds_per_query,
+                       mutate_every=args.mutate_every,
                        zipf_exponent=args.zipf, seed=args.seed)
     if args.latency_out:
         with open(args.latency_out, "w", encoding="utf-8") as sink:

@@ -135,6 +135,7 @@ class ServiceMetrics:
         self._rejected = 0
         self._batches = 0
         self._errors = 0
+        self._mutations = 0
         self._gauges: dict[str, Callable[[], dict | float]] = {}
 
     # ------------------------------------------------------------------
@@ -164,6 +165,13 @@ class ServiceMetrics:
         with self._lock:
             self.batch_sizes.record(size)
             self._batches += 1
+            self.work.merge(work)
+
+    def record_mutation(self, work: WorkCounters | dict) -> None:
+        """One applied graph mutation and the repair/rebuild work it
+        cost (the ``repair_*`` counter fields land here)."""
+        with self._lock:
+            self._mutations += 1
             self.work.merge(work)
 
     def record_stage(self, stage: str, seconds: float) -> None:
@@ -197,6 +205,7 @@ class ServiceMetrics:
             requests = dict(self._requests)
             rejected, batches, errors = (self._rejected, self._batches,
                                          self._errors)
+            mutations = self._mutations
             work = self.work.snapshot_dict()
             latency_p50 = self.latency.quantile(0.5)
             latency_p99 = self.latency.quantile(0.99)
@@ -206,6 +215,7 @@ class ServiceMetrics:
             "rejected": rejected,
             "batches": batches,
             "errors": errors,
+            "mutations": mutations,
             "work": work,
             "latency_p50": latency_p50,
             "latency_p99": latency_p99,
@@ -248,6 +258,9 @@ class ServiceMetrics:
         emit("repro_service_batches_total", "counter",
              "Micro-batches executed by the scheduler.",
              [("", snap["batches"])])
+        emit("repro_service_mutations_total", "counter",
+             "Graph mutations applied through /mutate.",
+             [("", snap["mutations"])])
 
         emit("repro_service_batch_size", "histogram",
              "Requests grouped per executed micro-batch.",

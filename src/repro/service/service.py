@@ -6,8 +6,8 @@ components — :class:`~repro.service.index_manager.IndexManager`,
 :class:`~repro.service.cache.ResultCache`,
 :class:`~repro.service.metrics.ServiceMetrics` — behind the query
 endpoints :meth:`query`, :meth:`query_topk`, :meth:`query_multiseed`,
-:meth:`pair` and :meth:`healthz` (plus :meth:`metrics_text` for
-Prometheus scrapes).  The HTTP front end in
+:meth:`pair`, the graph-mutation verb :meth:`mutate` and
+:meth:`healthz` (plus :meth:`metrics_text` for Prometheus scrapes).  The HTTP front end in
 :mod:`repro.service.http` is a thin JSON shim over exactly these
 methods; benchmarks and tests drive the facade in-process to keep the
 network out of the measurement.
@@ -28,6 +28,7 @@ from repro.core.result import PPRResult
 from repro.exceptions import ConfigError
 from repro.graph.csr import Graph
 from repro.graph.datasets import load_dataset
+from repro.graph.delta import GraphDelta
 from repro.obs.slowlog import SlowLog
 from repro.obs.tracing import NULL_SPAN, Tracer, new_request_id
 from repro.service.cache import ResultCache, cache_key
@@ -70,7 +71,8 @@ class PPRService:
             self.config.slowlog_path,
             threshold_ms=self.config.slowlog_threshold_ms)
         self.index_manager = IndexManager(self.config.ppr_config(),
-                                          tracer=self.tracer)
+                                          tracer=self.tracer,
+                                          dynamic=self.config.dynamic)
         self.index_manager.register_graph(self.config.graph, graph)
         self.cache = ResultCache(self.config.cache_entries)
         self.metrics = ServiceMetrics()
@@ -606,6 +608,61 @@ class PPRService:
                 "trace": tree,
                 "batch_size": meta["batch_size"],
                 "disposition": meta["disposition"],
+                "counters": self.metrics.snapshot()["work"],
+            }
+        return payload
+
+    # -- graph mutation ------------------------------------------------
+    def mutate(self, ops, *, request_id: str | None = None,
+               debug: bool = False) -> dict:
+        """``/mutate`` semantics: stream edge updates into the served
+        graph.
+
+        ``ops`` is a list of edge-operation dicts (see
+        :meth:`~repro.graph.delta.GraphDelta.from_dicts`) or an
+        already-built :class:`~repro.graph.delta.GraphDelta`.  The
+        delta is applied through
+        :meth:`~repro.service.index_manager.IndexManager.mutate`:
+        dynamic banks repair their forests incrementally, static banks
+        rebuild, and either way the new generation swaps in atomically
+        while in-flight queries finish on the old one.
+
+        The result cache is cleared afterwards — unlike ``refresh``
+        (which resamples the *same* graph, so cached answers stay
+        valid), a mutation changes the graph itself and every cached
+        estimate describes the old one.
+
+        Mutations are rare, structural events, so they always record a
+        full trace regardless of the sampling rate.
+        """
+        request_id = request_id or new_request_id()
+        span = self.tracer.trace("mutate", request_id, force=True)
+        started = time.perf_counter()
+        try:
+            delta = (ops if isinstance(ops, GraphDelta)
+                     else GraphDelta.from_dicts(ops))
+            span.annotate(endpoint="mutate", ops=len(delta))
+            summary = self.index_manager.mutate(self.config.graph, delta)
+            with span.child("cache_clear"):
+                self.cache.clear()
+        except BaseException as error:
+            self._observe_failure(span, request_id, "mutate", "mutate",
+                                  -1, None, None, started, error)
+            raise
+        self.metrics.record_mutation(summary["work"])
+        seconds = time.perf_counter() - started
+        tree = self.tracer.finish(span) if span.enabled else None
+        self.slowlog.record(
+            request_id=request_id, endpoint="mutate", kind="mutate",
+            node=-1, alpha=self.config.alpha,
+            epsilon=self.config.epsilon, seconds=seconds,
+            work=summary["work"], trace=tree)
+        payload = dict(summary)
+        payload["request_id"] = request_id
+        if debug:
+            payload["debug"] = {
+                "request_id": request_id,
+                "trace": tree,
                 "counters": self.metrics.snapshot()["work"],
             }
         return payload

@@ -1,0 +1,231 @@
+"""Property-based fuzz tests for :class:`ResultCache`.
+
+The cache's contract has three interacting rules — ε-dominance for
+plain entries, prefix-dominance (depth *and* ε) for top-k entries,
+and LRU eviction with lifetime counters — and the unit tests in
+``test_service.py`` only probe hand-picked corners.  Here we drive the
+real cache and an intentionally naive reference model (recency kept as
+an explicit list, dominance checks written out longhand) through long
+seeded random operation sequences and require bit-for-bit agreement on
+every lookup result, every stats snapshot, and the full eviction
+order.  Seeds are fixed, so a failure replays exactly.
+"""
+
+import random
+
+import pytest
+
+from repro.service.cache import ResultCache, cache_key
+
+
+class _Ranking:
+    """Stand-in for a top-k result: remembers its depth and supports
+    the ``prefix`` trim the cache performs on partial hits."""
+
+    def __init__(self, tag, k):
+        self.items = tuple((tag, position) for position in range(k))
+
+    def prefix(self, k):
+        return self.items[:k]
+
+
+class _ReferenceCache:
+    """Brute-force model of the documented semantics.
+
+    Entries are ``key -> (epsilon, value, k)`` with recency tracked as
+    a plain list (index 0 = least recently used); every rule from the
+    ``ResultCache`` docstrings is spelled out independently so the two
+    implementations can only agree by both being right.
+    """
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.entries = {}
+        self.recency = []
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def _touch(self, key):
+        self.recency.remove(key)
+        self.recency.append(key)
+
+    def _admit(self, key):
+        if key in self.recency:
+            self._touch(key)
+        else:
+            self.recency.append(key)
+        while len(self.recency) > self.capacity:
+            victim = self.recency.pop(0)
+            del self.entries[victim]
+            self.evictions += 1
+
+    def get(self, key, epsilon):
+        entry = self.entries.get(key)
+        if entry is not None and entry[0] <= epsilon:
+            self._touch(key)
+            self.hits += 1
+            return entry[1]
+        self.misses += 1
+        return None
+
+    def put(self, key, epsilon, value):
+        if self.capacity == 0:
+            return
+        entry = self.entries.get(key)
+        if entry is None or epsilon < entry[0]:
+            self.entries[key] = (epsilon, value, None)
+        self._admit(key)
+
+    def get_topk(self, key, epsilon, k):
+        entry = self.entries.get(key)
+        if (entry is not None and entry[2] is not None and entry[2] >= k
+                and entry[0] <= epsilon):
+            self._touch(key)
+            self.hits += 1
+            return entry[1].prefix(k)
+        self.misses += 1
+        return None
+
+    def put_topk(self, key, epsilon, k, value):
+        if self.capacity == 0:
+            return
+        entry = self.entries.get(key)
+        if (entry is None or entry[2] is None or k > entry[2]
+                or (k == entry[2] and epsilon < entry[0])):
+            self.entries[key] = (epsilon, value, k)
+        self._admit(key)
+
+    def clear(self):
+        self.entries.clear()
+        self.recency.clear()
+
+    def stats(self):
+        lookups = self.hits + self.misses
+        return {
+            "size": len(self.entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hits / lookups if lookups else 0.0,
+        }
+
+
+EPSILONS = (0.05, 0.1, 0.25, 0.5, 1.0)
+DEPTHS = (1, 2, 5, 10)
+
+
+def _run_sequence(seed, capacity, steps, *, clear_chance=0.02):
+    """Drive both caches through one op sequence, asserting agreement
+    after every single operation."""
+    rng = random.Random(seed)
+    cache = ResultCache(capacity=capacity)
+    model = _ReferenceCache(capacity)
+    keys = [cache_key("g", "batch", kind, node, 0.2)
+            for kind in ("source", "topk") for node in range(6)]
+    serial = 0
+    for step in range(steps):
+        key = rng.choice(keys)
+        epsilon = rng.choice(EPSILONS)
+        roll = rng.random()
+        if roll < clear_chance:
+            cache.clear()
+            model.clear()
+        elif roll < 0.30:
+            assert cache.get(key, epsilon) == model.get(key, epsilon), \
+                f"get diverged at step {step} (seed {seed})"
+        elif roll < 0.55:
+            value = f"v{serial}"
+            serial += 1
+            cache.put(key, epsilon, value)
+            model.put(key, epsilon, value)
+        elif roll < 0.80:
+            k = rng.choice(DEPTHS)
+            got = cache.get_topk(key, epsilon, k)
+            want = model.get_topk(key, epsilon, k)
+            assert got == want, \
+                f"get_topk diverged at step {step} (seed {seed})"
+        else:
+            k = rng.choice(DEPTHS)
+            ranking = _Ranking(f"r{serial}", k)
+            serial += 1
+            cache.put_topk(key, epsilon, k, ranking)
+            model.put_topk(key, epsilon, k, ranking)
+        assert len(cache) == len(model.entries)
+        assert cache.stats() == model.stats(), \
+            f"stats diverged at step {step} (seed {seed})"
+
+
+class TestFuzzAgainstReference:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_small_capacity_heavy_eviction(self, seed):
+        _run_sequence(seed, capacity=3, steps=600)
+
+    @pytest.mark.parametrize("seed", range(100, 104))
+    def test_roomy_capacity(self, seed):
+        _run_sequence(seed, capacity=32, steps=600)
+
+    @pytest.mark.parametrize("seed", [7, 8])
+    def test_capacity_one(self, seed):
+        _run_sequence(seed, capacity=1, steps=400)
+
+    def test_capacity_zero_is_inert(self):
+        _run_sequence(55, capacity=0, steps=300, clear_chance=0.1)
+
+    def test_frequent_clears(self):
+        _run_sequence(91, capacity=4, steps=600, clear_chance=0.25)
+
+
+class TestDominanceProperties:
+    """Targeted invariants the fuzz relies on, stated directly."""
+
+    def test_tight_answer_serves_all_looser_queries(self):
+        cache = ResultCache(capacity=4)
+        key = cache_key("g", "batch", "source", 0, 0.2)
+        cache.put(key, 0.05, "tight")
+        for epsilon in EPSILONS:
+            assert cache.get(key, epsilon) == "tight"
+
+    def test_put_never_loosens(self):
+        cache = ResultCache(capacity=4)
+        key = cache_key("g", "batch", "source", 0, 0.2)
+        cache.put(key, 0.05, "tight")
+        cache.put(key, 0.5, "loose")
+        assert cache.get(key, 0.05) == "tight"
+
+    def test_deep_topk_serves_every_shallower_depth(self):
+        cache = ResultCache(capacity=4)
+        key = cache_key("g", "batch", "topk", 0, 0.2)
+        ranking = _Ranking("deep", 10)
+        cache.put_topk(key, 0.1, 10, ranking)
+        for k in DEPTHS:
+            assert cache.get_topk(key, 0.25, k) == ranking.prefix(k)
+
+    def test_put_topk_never_shallows(self):
+        cache = ResultCache(capacity=4)
+        key = cache_key("g", "batch", "topk", 0, 0.2)
+        deep = _Ranking("deep", 10)
+        cache.put_topk(key, 0.1, 10, deep)
+        cache.put_topk(key, 0.05, 2, _Ranking("shallow", 2))
+        assert cache.get_topk(key, 0.25, 10) == deep.prefix(10)
+
+    def test_plain_hit_never_serves_topk_and_vice_versa(self):
+        cache = ResultCache(capacity=4)
+        key = cache_key("g", "batch", "topk", 0, 0.2)
+        cache.put(key, 0.05, "plain")
+        assert cache.get_topk(key, 0.5, 1) is None  # entry.k is None
+        cache.put_topk(key, 0.05, 5, _Ranking("r", 5))
+        assert cache.get_topk(key, 0.5, 5) is not None
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(capacity=2)
+        keys = [cache_key("g", "batch", "source", node, 0.2)
+                for node in range(3)]
+        cache.put(keys[0], 0.1, "a")
+        cache.put(keys[1], 0.1, "b")
+        assert cache.get(keys[0], 0.5) == "a"  # refresh 0's recency
+        cache.put(keys[2], 0.1, "c")           # evicts 1, not 0
+        assert cache.get(keys[1], 0.5) is None
+        assert cache.get(keys[0], 0.5) == "a"
+        assert cache.stats()["evictions"] == 1

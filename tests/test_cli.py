@@ -41,6 +41,18 @@ def _assert_matches_golden(name: str, out: str) -> None:
         f"intentional, regenerate with REPRO_UPDATE_GOLDEN=1 and commit")
 
 
+def _error_transcript(argv, capsys) -> str:
+    """Run ``repro`` argv, assert it fails with exit code 2, and render
+    a ``$ cmd / exit / stderr`` block for the golden transcript."""
+    code = main(argv)
+    captured = capsys.readouterr()
+    assert code == 2, f"{argv} exited {code}, expected 2"
+    assert captured.err.startswith("error:"), captured.err
+    return (f"$ repro {' '.join(argv)}\n"
+            f"exit {code}\n"
+            f"{captured.err}")
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -96,6 +108,39 @@ class TestParser:
         assert args.profile == "prof.txt"
         assert args.threshold == 0.5
         assert args.baseline is None
+
+    def test_serve_dynamic_flag(self):
+        assert build_parser().parse_args(["serve"]).dynamic is False
+        assert build_parser().parse_args(
+            ["serve", "--dynamic"]).dynamic is True
+
+    def test_index_build_dynamic_flag(self):
+        args = build_parser().parse_args(
+            ["index", "build", "youtube", "bank", "--dynamic"])
+        assert args.dynamic is True
+        assert build_parser().parse_args(
+            ["index", "build", "youtube", "bank"]).dynamic is False
+
+    def test_index_mutate_subcommand(self):
+        args = build_parser().parse_args(
+            ["index", "mutate", "bank", "--add", "0:1", "--add", "2:3:1.5",
+             "--remove", "4:5", "--set-weight", "6:7:2.0",
+             "--upsert", "8:9:0.5", "--out", "other", "--seed", "9"])
+        assert args.action == "mutate"
+        assert args.bank_dir == "bank"
+        assert args.add == ["0:1", "2:3:1.5"]
+        assert args.remove == ["4:5"]
+        assert args.set_weight == ["6:7:2.0"]
+        assert args.upsert == ["8:9:0.5"]
+        assert args.out == "other"
+        assert args.seed == 9
+
+    def test_index_mutate_defaults(self):
+        args = build_parser().parse_args(["index", "mutate", "bank"])
+        assert args.add == [] and args.remove == []
+        assert args.set_weight == [] and args.upsert == []
+        assert args.out is None
+        assert args.seed == 2022
 
 
 class TestCommands:
@@ -274,3 +319,73 @@ class TestGoldenOutput:
         vectorized = _scrub(capsys.readouterr().out)
         assert main(self.QUERY_SOURCE + ["--push-backend", "scalar"]) == 0
         assert _scrub(capsys.readouterr().out) == vectorized
+
+    def test_index_build_dynamic_then_mutate(self, capsys, tmp_path,
+                                             monkeypatch):
+        """`repro index build --dynamic` + `mutate` transcript is
+        byte-stable (run from tmp_path so the bank path is relative)."""
+        monkeypatch.chdir(tmp_path)
+        assert main(["index", "build", "youtube", "bank",
+                     "--scale", "0.05", "--alpha", "0.1", "--dynamic",
+                     "--num-forests", "3", "--seed", "2022"]) == 0
+        build_out = capsys.readouterr().out
+        assert main(["index", "mutate", "bank",
+                     "--upsert", "0:3:2.0", "--seed", "2022"]) == 0
+        _assert_matches_golden("index_dynamic_mutate.txt",
+                               build_out + "---\n"
+                               + capsys.readouterr().out)
+
+
+class TestErrorTranscripts:
+    """Golden stderr transcripts for the CLI's refusal paths: the
+    exact wording users see on malformed query modes and bad `index
+    mutate` invocations is part of the interface."""
+
+    def test_query_and_mutate_error_paths(self, capsys, tmp_path,
+                                          monkeypatch):
+        monkeypatch.chdir(tmp_path)  # keeps bank paths relative
+        query = ["query", "source", "youtube"]
+        blocks = [
+            _error_transcript(
+                query + ["0", "--scale", "0.05", "--seeds", "1,2",
+                         "--pair", "3"], capsys),
+            _error_transcript(
+                query + ["0", "--scale", "0.05", "--top-k", "5",
+                         "--pair", "3"], capsys),
+            _error_transcript(query + ["--scale", "0.05"], capsys),
+            _error_transcript(
+                ["query", "target", "youtube", "0", "--scale", "0.05",
+                 "--top-k", "5"], capsys),
+            _error_transcript(
+                query + ["--scale", "0.05", "--seeds", "1,two"], capsys),
+            _error_transcript(
+                ["index", "mutate", "missing-bank",
+                 "--upsert", "0:1:2.0"], capsys),
+            _error_transcript(["index", "mutate", "missing-bank"],
+                              capsys),
+            _error_transcript(
+                ["index", "mutate", "missing-bank", "--add", "1:2:3:4"],
+                capsys),
+        ]
+        _assert_matches_golden("cli_error_paths.txt",
+                               "---\n".join(blocks))
+
+    def test_mutate_rejects_static_bank(self, capsys, tmp_path):
+        bank = str(tmp_path / "static-bank")
+        assert main(["index", "build", "youtube", bank, "--scale", "0.05",
+                     "--num-forests", "2", "--seed", "5"]) == 0
+        capsys.readouterr()
+        assert main(["index", "mutate", bank,
+                     "--upsert", "0:1:2.0"]) == 2
+        err = capsys.readouterr().err
+        assert "not a dynamic forest index" in err
+        assert "repro index build --dynamic" in err
+
+    def test_mutate_bad_specs_fail_before_loading(self, capsys,
+                                                  tmp_path):
+        """Spec validation must not require the bank to exist."""
+        for argv in (["index", "mutate", "nope", "--remove", "0:1:2.0"],
+                     ["index", "mutate", "nope", "--set-weight", "0:1"],
+                     ["index", "mutate", "nope", "--add", "0:0"]):
+            assert main(argv) == 2
+            assert "error:" in capsys.readouterr().err

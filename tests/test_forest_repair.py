@@ -1,0 +1,266 @@
+"""Incremental forest repair tests.
+
+Three layers of evidence that recorded-stack replay is correct:
+
+1. **Bit-identity** — with an empty record, the recorded sampler IS
+   :func:`sample_forest_cycle_popping` (same RNG consumption order),
+   and an identity repair (empty dirty set) replays the exact same
+   forest with zero fresh draws.
+2. **Structural validity** — repaired forests are valid rooted forests
+   of the *new* graph after adds, removes, and reweights, including
+   chains of successive mutations.
+3. **Distributional exactness** (the tentpole's acceptance criterion,
+   ``slow``-marked) — a chi-square goodness-of-fit test certifies that
+   *sample on G, mutate to G', repair* draws from exactly the same
+   Theorem-4.3 law as fresh sampling on G'.  This is the test that
+   kills the tempting-but-biased "keep untouched trees" shortcut.
+
+The repair-vs-rebuild work bound is also asserted here: a single-edge
+update must cost a small fraction of a rebuild's walk steps, measured
+by the ``repair_*`` work counters.
+"""
+
+from itertools import product
+
+import numpy as np
+import pytest
+from scipy.stats import chi2
+
+from repro.counters import WorkCounters
+from repro.exceptions import ConfigError
+from repro.forests import (
+    ForestRecord,
+    repair_forest,
+    sample_forest_cycle_popping,
+    sample_forest_recorded,
+)
+from repro.forests.enumeration import (
+    enumerate_spanning_forests,
+    forest_probability,
+)
+from repro.forests.repair import STOP_ARROW
+from repro.graph import GraphDelta
+from repro.graph.generators import erdos_renyi
+
+
+def _assert_forest_of(forest, graph):
+    """Structural validity against a specific graph: every non-root
+    parent arc must be an actual edge."""
+    forest.validate()
+    for node, parent in enumerate(forest.parents):
+        if parent >= 0:
+            lo, hi = int(graph.indptr[node]), int(graph.indptr[node + 1])
+            assert parent in graph.indices[lo:hi], (
+                f"parent arc {node}->{parent} is not an edge")
+
+
+class TestRecordedSampler:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_bit_identical_to_cycle_popping(self, random_graph, seed):
+        plain = sample_forest_cycle_popping(random_graph, 0.2, rng=seed)
+        recorded, _ = sample_forest_recorded(random_graph, 0.2, rng=seed)
+        assert np.array_equal(plain.roots, recorded.roots)
+        assert np.array_equal(plain.parents, recorded.parents)
+        assert plain.num_steps == recorded.num_steps
+
+    def test_record_entries_are_lawful(self, random_graph):
+        _, record = sample_forest_recorded(random_graph, 0.2, rng=3)
+        assert record.num_nodes == random_graph.num_nodes
+        lengths = record.lengths()
+        assert (lengths >= 0).all()
+        for node in range(random_graph.num_nodes):
+            lo, hi = int(record.indptr[node]), int(record.indptr[node + 1])
+            glo = int(random_graph.indptr[node])
+            ghi = int(random_graph.indptr[node + 1])
+            neighbors = set(random_graph.indices[glo:ghi].tolist())
+            for arrow in record.arrows[lo:hi].tolist():
+                assert arrow == STOP_ARROW or arrow in neighbors
+
+    def test_counters_credited(self, random_graph):
+        counters = WorkCounters()
+        forest, _ = sample_forest_recorded(random_graph, 0.2, rng=0,
+                                           counters=counters)
+        assert counters.forests_sampled == 1
+        assert counters.walk_steps == forest.num_steps
+
+    def test_alpha_validated(self, path4):
+        with pytest.raises(ConfigError, match="alpha"):
+            sample_forest_recorded(path4, 1.5, rng=0)
+
+
+class TestRepair:
+    def test_identity_repair_replays_exactly(self, random_graph):
+        forest, record = sample_forest_recorded(random_graph, 0.2, rng=8)
+        counters = WorkCounters()
+        repaired, new_record = repair_forest(
+            random_graph, 0.2, record, np.empty(0, dtype=np.int64),
+            rng=123, counters=counters)
+        assert np.array_equal(repaired.roots, forest.roots)
+        assert np.array_equal(repaired.parents, forest.parents)
+        assert counters.repair_fresh_steps == 0
+        assert counters.repair_replayed_steps == forest.num_steps
+        assert np.array_equal(new_record.arrows, record.arrows)
+
+    @pytest.mark.parametrize("mutation", [
+        lambda: GraphDelta().upsert_edge(0, 15, 2.0),
+        lambda: GraphDelta().upsert_edge(0, 29, 1.0),
+        lambda: GraphDelta().upsert_edge(3, 7, 0.5).upsert_edge(8, 9, 4.0),
+    ])
+    def test_repaired_forest_is_valid(self, random_graph, mutation):
+        _, record = sample_forest_recorded(random_graph, 0.2, rng=5)
+        delta = mutation()
+        new_graph = delta.apply(random_graph)
+        repaired, _ = repair_forest(new_graph, 0.2, record,
+                                    delta.touched_nodes(), rng=6)
+        _assert_forest_of(repaired, new_graph)
+
+    def test_repair_after_edge_removal(self, random_graph):
+        _, record = sample_forest_recorded(random_graph, 0.2, rng=5)
+        u = 0
+        v = int(random_graph.indices[0])  # first neighbour of node 0
+        delta = GraphDelta().remove_edge(u, v)
+        new_graph = delta.apply(random_graph)
+        repaired, _ = repair_forest(new_graph, 0.2, record,
+                                    delta.touched_nodes(), rng=6)
+        _assert_forest_of(repaired, new_graph)
+
+    def test_repair_counters_only(self, random_graph):
+        _, record = sample_forest_recorded(random_graph, 0.2, rng=5)
+        delta = GraphDelta().upsert_edge(0, 15, 2.0)
+        counters = WorkCounters()
+        repair_forest(delta.apply(random_graph), 0.2, record,
+                      delta.touched_nodes(), rng=6, counters=counters)
+        assert counters.repair_dirty_nodes == 2
+        assert counters.repair_fresh_steps > 0
+        assert counters.repair_replayed_steps > 0
+        assert counters.walk_steps == 0  # repair is not sampling work
+
+    def test_sequence_of_repairs_stays_valid(self, random_graph):
+        graph = random_graph
+        _, record = sample_forest_recorded(graph, 0.2, rng=1)
+        rng = np.random.default_rng(77)
+        for step in range(4):
+            delta = GraphDelta().upsert_edge(
+                step, (step + 11) % graph.num_nodes,
+                1.0 + 0.5 * step)
+            graph = delta.apply(graph)
+            repaired, record = repair_forest(graph, 0.2, record,
+                                             delta.touched_nodes(),
+                                             rng=rng)
+            _assert_forest_of(repaired, graph)
+
+    def test_dirty_out_of_range(self, path4):
+        _, record = sample_forest_recorded(path4, 0.3, rng=0)
+        with pytest.raises(ConfigError, match="out of range"):
+            repair_forest(path4, 0.3, record, np.array([9]), rng=0)
+
+    def test_record_graph_mismatch(self, path4, k5):
+        _, record = sample_forest_recorded(path4, 0.3, rng=0)
+        with pytest.raises(ConfigError, match="record covers"):
+            repair_forest(k5, 0.3, record, np.empty(0, dtype=np.int64),
+                          rng=0)
+
+    def test_single_edge_repair_beats_rebuild(self):
+        """Acceptance criterion at the kernel level: repairing a bank
+        of forests after one edge update costs a small fraction of the
+        fresh draws a rebuild would make."""
+        graph = erdos_renyi(60, 0.1, rng=7)
+        build = WorkCounters()
+        rng = np.random.default_rng(42)
+        records = []
+        for _ in range(8):
+            _, record = sample_forest_recorded(graph, 0.2, rng=rng,
+                                               counters=build)
+            records.append(record)
+        delta = GraphDelta().upsert_edge(0, 30, 2.0)
+        new_graph = delta.apply(graph)
+        repair = WorkCounters()
+        for record in records:
+            repair_forest(new_graph, 0.2, record, delta.touched_nodes(),
+                          rng=rng, counters=repair)
+        # the only sampling work a repair pays is its fresh draws
+        assert repair.repair_fresh_steps * 5 < build.walk_steps, (
+            f"repair cost {repair.repair_fresh_steps} fresh steps vs "
+            f"{build.walk_steps} rebuild walk steps")
+
+
+def _rooted_forest_law(graph, alpha):
+    """Exact Theorem-4.3 distribution over rooted forests (same
+    protocol as tests/test_forest_samplers.py)."""
+    law = {}
+    for forest in enumerate_spanning_forests(graph):
+        trees = {}
+        for node, label in enumerate(forest.labels):
+            trees.setdefault(label, []).append(node)
+        edge_key = frozenset(tuple(sorted(edge)) for edge in forest.edges)
+        for roots in product(*trees.values()):
+            law[(edge_key, frozenset(roots))] = forest_probability(
+                graph, alpha, forest, roots)
+    return law
+
+
+def _forest_key(forest):
+    edges = frozenset(
+        (min(int(node), int(parent)), max(int(node), int(parent)))
+        for node, parent in enumerate(forest.parents) if parent >= 0)
+    return edges, frozenset(forest.root_set.tolist())
+
+
+@pytest.mark.slow
+class TestRepairedDistribution:
+    """Chi-square GOF: the *sample on G → mutate → repair* pipeline
+    must draw from the new graph's exact forest law.
+
+    Same fixed-seed protocol as the sampler GOF suite (significance
+    1e-3, expected cells >= 5, no re-rolling): each trial samples a
+    recorded forest on the pre-mutation graph, applies the delta, and
+    repairs — the repaired forest is the categorised observation.
+    This is precisely the distributional equivalence Theorem 4.3
+    requires of a streaming index, and a biased repair rule (e.g.
+    keeping untouched trees conditioned on the old popping history)
+    fails it by a wide margin at these sample sizes.
+    """
+
+    SIGNIFICANCE = 1e-3
+    SAMPLES = 4000
+
+    def _chi_square_repaired(self, graph, delta, alpha, seed):
+        new_graph = delta.apply(graph)
+        dirty = delta.touched_nodes()
+        law = _rooted_forest_law(new_graph, alpha)
+        assert sum(law.values()) == pytest.approx(1.0, abs=1e-12)
+        expected = {key: self.SAMPLES * p for key, p in law.items()}
+        assert min(expected.values()) >= 5.0, \
+            "workload too small for the chi-square approximation"
+        observed = dict.fromkeys(law, 0)
+        rng = np.random.default_rng(seed)
+        for _ in range(self.SAMPLES):
+            _, record = sample_forest_recorded(graph, alpha, rng=rng)
+            repaired, _ = repair_forest(new_graph, alpha, record, dirty,
+                                        rng=rng)
+            key = _forest_key(repaired)
+            assert key in law, f"repaired forest outside the law: {key}"
+            observed[key] += 1
+        statistic = sum(
+            (observed[key] - expected[key]) ** 2 / expected[key]
+            for key in law)
+        critical = chi2.ppf(1.0 - self.SIGNIFICANCE, df=len(law) - 1)
+        assert statistic <= critical, (
+            f"chi-square {statistic:.2f} > critical {critical:.2f} "
+            f"(df={len(law) - 1}, significance={self.SIGNIFICANCE}) — "
+            f"repaired forests do not match the fresh-sample law")
+
+    def test_path_reweighted(self, path4):
+        self._chi_square_repaired(
+            path4, GraphDelta().set_weight(1, 2, 2.5), 0.3,
+            seed=20260808)
+
+    def test_triangle_edge_removed(self, weighted_triangle):
+        self._chi_square_repaired(
+            weighted_triangle, GraphDelta().remove_edge(0, 1), 0.25,
+            seed=20260809)
+
+    def test_path_edge_added(self, path4):
+        self._chi_square_repaired(
+            path4, GraphDelta().add_edge(1, 3, 2.0), 0.35,
+            seed=20260810)

@@ -1,0 +1,238 @@
+"""GraphDelta tests: op validation, CLI spec parsing, wire forms, and
+CSR splicing — :meth:`GraphDelta.apply` must agree exactly with
+rebuilding the mutated edge list from scratch."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import EdgeOp, GraphDelta, from_edges, parse_edge_spec
+from repro.graph.generators import erdos_renyi, with_random_weights
+
+
+def _rows(graph):
+    """``{node: sorted [(neighbor, weight), ...]}`` — order-insensitive
+    adjacency view for comparing two CSR graphs."""
+    out = {}
+    for node in range(graph.num_nodes):
+        lo, hi = int(graph.indptr[node]), int(graph.indptr[node + 1])
+        weights = ([1.0] * (hi - lo) if graph.weights is None
+                   else graph.weights[lo:hi].tolist())
+        out[node] = sorted(zip(graph.indices[lo:hi].tolist(), weights))
+    return out
+
+
+class TestEdgeOp:
+    def test_unknown_op(self):
+        with pytest.raises(GraphError, match="unknown edge op"):
+            EdgeOp("toggle", 0, 1)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError, match="self-loop"):
+            EdgeOp("add", 3, 3)
+
+    def test_negative_node(self):
+        with pytest.raises(GraphError, match="negative"):
+            EdgeOp("add", -1, 2)
+
+    def test_remove_takes_no_weight(self):
+        with pytest.raises(GraphError, match="no weight"):
+            EdgeOp("remove", 0, 1, 2.0)
+
+    def test_set_weight_requires_weight(self):
+        with pytest.raises(GraphError, match="requires a weight"):
+            EdgeOp("set_weight", 0, 1)
+
+    def test_upsert_requires_weight(self):
+        with pytest.raises(GraphError, match="requires a weight"):
+            EdgeOp("upsert", 0, 1)
+
+    @pytest.mark.parametrize("weight", [0.0, -1.5, float("nan"),
+                                        float("inf")])
+    def test_bad_weight(self, weight):
+        with pytest.raises(GraphError, match="finite and positive"):
+            EdgeOp("add", 0, 1, weight)
+
+    def test_to_dict_round_trip(self):
+        op = EdgeOp("set_weight", 2, 5, 1.5)
+        assert op.to_dict() == {"op": "set_weight", "u": 2, "v": 5,
+                                "weight": 1.5}
+        assert EdgeOp(**op.to_dict()) == op
+
+    def test_remove_to_dict_omits_weight(self):
+        assert EdgeOp("remove", 1, 0).to_dict() == {"op": "remove",
+                                                    "u": 1, "v": 0}
+
+
+class TestParseEdgeSpec:
+    def test_add_without_weight(self):
+        op = parse_edge_spec("3:7", op="add")
+        assert (op.op, op.u, op.v, op.weight) == ("add", 3, 7, None)
+
+    def test_add_with_weight(self):
+        op = parse_edge_spec("3:7:2.5", op="add")
+        assert op.weight == 2.5
+
+    def test_remove(self):
+        op = parse_edge_spec("0:1", op="remove")
+        assert (op.op, op.weight) == ("remove", None)
+
+    def test_remove_rejects_weight(self):
+        with pytest.raises(GraphError, match="expected U:V"):
+            parse_edge_spec("0:1:2.0", op="remove")
+
+    def test_set_weight_needs_weight(self):
+        with pytest.raises(GraphError, match="expected U:V:W"):
+            parse_edge_spec("0:1", op="set_weight")
+
+    def test_garbage_spec(self):
+        with pytest.raises(GraphError, match="bad edge spec"):
+            parse_edge_spec("a:b", op="add")
+
+    def test_too_many_fields(self):
+        with pytest.raises(GraphError, match="bad edge spec"):
+            parse_edge_spec("1:2:3:4", op="add")
+
+
+class TestWireForms:
+    def test_from_dicts_rejects_non_list(self):
+        with pytest.raises(GraphError, match="must be a list"):
+            GraphDelta.from_dicts({"op": "add", "u": 0, "v": 1})
+
+    def test_from_dicts_rejects_empty(self):
+        with pytest.raises(GraphError, match="no operations"):
+            GraphDelta.from_dicts([])
+
+    def test_from_dicts_rejects_non_dict_item(self):
+        with pytest.raises(GraphError, match="expected an object"):
+            GraphDelta.from_dicts(["add"])
+
+    def test_from_dicts_rejects_unknown_field(self):
+        with pytest.raises(GraphError, match="unknown edge-op field"):
+            GraphDelta.from_dicts([{"op": "add", "u": 0, "v": 1,
+                                    "cost": 2}])
+
+    def test_round_trip(self):
+        delta = (GraphDelta().add_edge(0, 1, 2.0).remove_edge(2, 3)
+                 .upsert_edge(4, 5, 0.5))
+        again = GraphDelta.from_dicts(delta.to_dicts())
+        assert again.to_dicts() == delta.to_dicts()
+        assert len(again) == 3
+
+    def test_touched_nodes_sorted_unique(self):
+        delta = GraphDelta().add_edge(5, 1).remove_edge(1, 3)
+        assert delta.touched_nodes().tolist() == [1, 3, 5]
+
+    def test_touched_nodes_empty(self):
+        assert GraphDelta().touched_nodes().size == 0
+
+
+class TestApply:
+    def test_empty_delta_is_identity(self, path4):
+        assert GraphDelta().apply(path4) is path4
+
+    def test_add_edge_undirected(self, path4):
+        new = GraphDelta().add_edge(0, 3).apply(path4)
+        assert new.num_edges == path4.num_edges + 1
+        assert _rows(new)[0] == [(1, 1.0), (3, 1.0)]
+        assert _rows(new)[3] == [(0, 1.0), (2, 1.0)]
+        # the source graph is untouched
+        assert path4.num_edges == 3
+
+    def test_add_existing_edge_fails(self, path4):
+        with pytest.raises(GraphError, match="already exists"):
+            GraphDelta().add_edge(0, 1).apply(path4)
+
+    def test_remove_edge(self, path4):
+        new = GraphDelta().remove_edge(1, 2).apply(path4)
+        assert new.num_edges == 2
+        assert _rows(new)[1] == [(0, 1.0)]
+        assert _rows(new)[2] == [(3, 1.0)]
+
+    def test_remove_missing_edge_fails(self, path4):
+        with pytest.raises(GraphError, match="does not exist"):
+            GraphDelta().remove_edge(0, 2).apply(path4)
+
+    def test_set_weight(self, weighted_triangle):
+        new = GraphDelta().set_weight(1, 2, 9.0).apply(weighted_triangle)
+        assert _rows(new)[1] == [(0, 1.0), (2, 9.0)]
+        assert _rows(new)[2] == [(0, 3.0), (1, 9.0)]
+
+    def test_set_weight_missing_edge_fails(self, path4):
+        with pytest.raises(GraphError, match="does not exist"):
+            GraphDelta().set_weight(0, 2, 2.0).apply(path4)
+
+    def test_upsert_inserts_then_overwrites(self, path4):
+        new = (GraphDelta().upsert_edge(0, 2, 2.0)
+               .upsert_edge(0, 2, 5.0).apply(path4))
+        assert _rows(new)[0] == [(1, 1.0), (2, 5.0)]
+
+    def test_weighted_op_promotes_unweighted_graph(self, path4):
+        assert path4.weights is None
+        new = GraphDelta().add_edge(0, 3, 2.0).apply(path4)
+        assert new.weights is not None
+        # untouched edges get the implicit weight 1.0
+        assert _rows(new)[1] == [(0, 1.0), (2, 1.0)]
+
+    def test_unit_weight_ops_stay_unweighted(self, path4):
+        new = GraphDelta().add_edge(0, 3).apply(path4)
+        assert new.weights is None
+
+    def test_remove_then_readd_in_one_delta(self, path4):
+        new = (GraphDelta().remove_edge(0, 1)
+               .add_edge(0, 1, 4.0).apply(path4))
+        assert _rows(new)[0] == [(1, 4.0)]
+
+    def test_out_of_range_edge_fails(self, path4):
+        with pytest.raises(GraphError, match="out of range"):
+            GraphDelta().add_edge(0, 99).apply(path4)
+
+    def test_directed_touches_one_row(self, directed_line):
+        new = GraphDelta().add_edge(2, 0).apply(directed_line)
+        assert new.directed
+        assert _rows(new)[2] == [(0, 1.0)]
+        assert _rows(new)[0] == [(1, 1.0)]  # 0's row unchanged
+
+    def test_untouched_rows_bit_identical(self, random_graph):
+        new = GraphDelta().upsert_edge(0, 1, 2.0).apply(random_graph)
+        for node in range(2, random_graph.num_nodes):
+            lo, hi = (int(random_graph.indptr[node]),
+                      int(random_graph.indptr[node + 1]))
+            nlo, nhi = int(new.indptr[node]), int(new.indptr[node + 1])
+            assert np.array_equal(new.indices[nlo:nhi],
+                                  random_graph.indices[lo:hi])
+
+    def test_matches_from_edges_reference(self):
+        """A mixed op sequence must agree with a from-scratch rebuild."""
+        graph = with_random_weights(erdos_renyi(25, 0.2, rng=11),
+                                    low=1.0, high=3.0, rng=4)
+        delta = (GraphDelta().remove_edge(*_first_edge(graph))
+                 .upsert_edge(0, 24, 2.5)
+                 .set_weight(*_first_edge(graph, skip=1), 7.0))
+        new = delta.apply(graph)
+
+        edges = {}
+        for node, neighbors in _rows(graph).items():
+            for neighbor, weight in neighbors:
+                edges[tuple(sorted((node, neighbor)))] = weight
+        del edges[tuple(sorted(_first_edge(graph)))]
+        edges[(0, 24)] = 2.5
+        edges[tuple(sorted(_first_edge(graph, skip=1)))] = 7.0
+        reference = from_edges(sorted(edges),
+                               weights=[edges[e] for e in sorted(edges)],
+                               num_nodes=graph.num_nodes)
+        assert _rows(new) == _rows(reference)
+        assert new.num_edges == reference.num_edges
+
+
+def _first_edge(graph, skip: int = 0):
+    """The ``skip``-th undirected edge of ``graph`` in CSR order."""
+    seen = 0
+    for node in range(graph.num_nodes):
+        lo, hi = int(graph.indptr[node]), int(graph.indptr[node + 1])
+        for neighbor in graph.indices[lo:hi].tolist():
+            if node < neighbor:
+                if seen == skip:
+                    return node, neighbor
+                seen += 1
+    raise AssertionError("graph has too few edges")
