@@ -170,6 +170,28 @@ def run_kernels(workers: int = 4) -> dict[str, dict]:
             work.merge(result.work)
         return work.as_dict()
 
+    # the same micro-batch scatter-gathered across two shard worker
+    # groups: each folds only its half of the output rows and the
+    # router concatenates the partials (bit-identical to the flat
+    # pool); pool boot and per-shard warm stay outside the timing
+    from repro.shard.router import ShardRouter
+
+    shard_manager = IndexManager(
+        PPRConfig(alpha=ALPHA, epsilon=0.5, budget_scale=0.05,
+                  seed=SEED, workers=0), num_forests=16, shards=2)
+    shard_manager.register_graph("gate", graph)
+    shard_router = ShardRouter(shard_manager,
+                               workers_per_shard=1).start()
+    shard_router.warm("gate", ALPHA)
+
+    def service_query_many_sharded():
+        results = shard_router.run_batch("gate", "source", ALPHA, 0.5,
+                                         list(range(16)))
+        work = WorkCounters()
+        for result in results:
+            work.merge(result.work)
+        return work.as_dict()
+
     # same workload with full span collection enabled — the ci_gate
     # overhead check compares this against the untraced kernel above
     def service_query_many_mp_traced():
@@ -222,6 +244,8 @@ def run_kernels(workers: int = 4) -> dict[str, dict]:
                            ("service_query_many_16", service_query_many),
                            ("service_query_many_16_mp",
                             service_query_many_mp),
+                           ("service_query_many_16_sharded",
+                            service_query_many_sharded),
                            ("service_query_many_16_traced",
                             service_query_many_mp_traced),
                            ("service_topk_16", topk_kernel(topk_early)),
@@ -240,6 +264,8 @@ def run_kernels(workers: int = 4) -> dict[str, dict]:
     finally:
         topk_early.close()
         topk_full.close()
+        shard_router.shutdown()
+        shard_manager.close_shared()
         mp_executor.shutdown()
         mp_manager.close_shared()
     return kernels

@@ -171,6 +171,17 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default) or a forked worker pool attached "
                             "to shared-memory banks; answers are "
                             "byte-identical either way")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="partition the node space across this many "
+                            "worker pools of --workers processes each "
+                            "and scatter-gather every query (needs "
+                            "--executor process; answers stay "
+                            "byte-identical to --shards 1)")
+    serve.add_argument("--shard-strategy", choices=["hash", "range"],
+                       default="hash",
+                       help="node->shard assignment: multiplicative "
+                            "hash (default, balances hubs) or "
+                            "contiguous ranges (locality-friendly)")
     serve.add_argument("--push-backend", choices=list(PUSH_BACKENDS),
                        default=DEFAULT_PUSH_BACKEND)
     serve.add_argument("--trace-sample-rate", type=float, default=0.0,
@@ -213,6 +224,13 @@ def build_parser() -> argparse.ArgumentParser:
     index_build.add_argument("--workers", type=int, default=1,
                              help="processes for the sampling stage "
                                   "(0 = cpu count)")
+    index_build.add_argument("--shards", type=int, default=1,
+                             help="also write per-shard restricted "
+                                  "banks under OUT_DIR/shard-K plus a "
+                                  "shards.json layout manifest")
+    index_build.add_argument("--shard-strategy",
+                             choices=["hash", "range"], default="hash",
+                             help="node->shard assignment for --shards")
     index_mutate = index_actions.add_parser(
         "mutate", help="apply edge updates to a dynamic bank")
     index_mutate.add_argument("bank_dir",
@@ -496,6 +514,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_wait_ms=args.max_wait_ms, queue_capacity=args.queue_capacity,
         cache_entries=args.cache_entries, host=args.host, port=args.port,
         executor=args.executor, dynamic=args.dynamic,
+        shards=args.shards, shard_strategy=args.shard_strategy,
         trace_sample_rate=args.trace_sample_rate,
         trace_buffer=args.trace_buffer,
         slowlog_path=args.slowlog,
@@ -534,6 +553,52 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_shard_banks(args: argparse.Namespace, graph, index) -> None:
+    """Write per-shard restricted banks plus a ``shards.json`` layout.
+
+    Each ``OUT_DIR/shard-K`` directory is a self-contained v2 bank
+    whose fold operators cover only shard K's rows; ``shards.json``
+    records the :class:`~repro.shard.partition.ShardMap` triple and
+    per-shard node/edge counts so ``index inspect`` can print the
+    layout without loading the graph.
+    """
+    import json
+    import os
+
+    from repro.parallel.shared_bank import bank_manifest
+    from repro.shard.partition import ShardMap
+
+    shard_map = ShardMap(graph.num_nodes, args.shards,
+                         strategy=args.shard_strategy)
+    degrees = graph.out_degrees
+    entries = []
+    print(f"  shards {shard_map.num_shards} ({shard_map.strategy})")
+    for shard in range(shard_map.num_shards):
+        local_nodes = shard_map.local_nodes(shard)
+        restricted = index.restrict(
+            local_nodes, shard_index=shard,
+            shard_count=shard_map.num_shards,
+            strategy=shard_map.strategy)
+        shard_dir = os.path.join(args.out_dir, f"shard-{shard}")
+        restricted.save_bank(shard_dir)
+        shard_manifest = bank_manifest(shard_dir)
+        shard_bytes = sum(spec["nbytes"]
+                          for spec in shard_manifest["arrays"].values())
+        nodes = int(local_nodes.size)
+        edges = int(degrees[local_nodes].sum())
+        entries.append({"shard": shard, "dir": f"shard-{shard}",
+                        "nodes": nodes, "edges": edges})
+        print(f"    shard-{shard}  {nodes} nodes  {edges} edges  "
+              f"{shard_bytes} bank bytes")
+    layout = {"version": 1, "shard_map": shard_map.to_dict(),
+              "dataset": args.dataset, "scale": args.scale,
+              "alpha": args.alpha, "shards": entries}
+    with open(os.path.join(args.out_dir, "shards.json"), "w",
+              encoding="utf-8") as handle:
+        json.dump(layout, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
 def _cmd_index(args: argparse.Namespace) -> int:
     """Build or inspect an on-disk forest-index bank.
 
@@ -545,6 +610,15 @@ def _cmd_index(args: argparse.Namespace) -> int:
     from repro.parallel.shared_bank import bank_manifest
 
     if args.action == "build":
+        from repro.exceptions import ConfigError
+
+        if args.shards < 1:
+            raise ConfigError(f"--shards must be >= 1, got {args.shards}")
+        if args.shards > 1 and args.dynamic:
+            raise ConfigError(
+                "--shards does not combine with --dynamic banks; "
+                "sharded dynamic repair lives in the service "
+                "(`repro serve --shards N --dynamic`)")
         graph = load_dataset(args.dataset, scale=args.scale)
         size = args.num_forests or ForestIndex.recommended_size(
             graph, args.epsilon)
@@ -570,6 +644,8 @@ def _cmd_index(args: argparse.Namespace) -> int:
         print(f"  arrays {len(manifest['arrays'])}  "
               f"payload {payload} bytes  "
               f"format v{manifest['version']}")
+        if args.shards > 1:
+            _write_shard_banks(args, graph, index)
         return 0
 
     if args.action == "mutate":
@@ -601,6 +677,29 @@ def _cmd_index(args: argparse.Namespace) -> int:
         print(f"  forests {new_index.num_forests}  "
               f"fresh steps {work.repair_fresh_steps}  "
               f"replayed {work.repair_replayed_steps}")
+        return 0
+
+    import json
+    import os
+
+    shards_path = os.path.join(args.bank_dir, "shards.json")
+    if os.path.exists(shards_path):
+        with open(shards_path, encoding="utf-8") as handle:
+            layout = json.load(handle)
+        shard_map = layout["shard_map"]
+        print(f"sharded bank, {len(layout['shards'])} shards")
+        print(f"  {'strategy':16s} {shard_map['strategy']}")
+        print(f"  {'num_nodes':16s} {shard_map['num_nodes']}")
+        for entry in layout["shards"]:
+            shard_dir = os.path.join(args.bank_dir, entry["dir"])
+            shard_manifest = bank_manifest(shard_dir)
+            shard_bytes = sum(
+                spec["nbytes"]
+                for spec in shard_manifest["arrays"].values())
+            print(f"    {entry['dir']:10s} {entry['nodes']:>8d} nodes "
+                  f"{entry['edges']:>8d} edges "
+                  f"{shard_bytes:>10d} bank bytes  "
+                  f"format v{shard_manifest['version']}")
         return 0
 
     manifest = bank_manifest(args.bank_dir)

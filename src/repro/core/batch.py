@@ -40,6 +40,7 @@ from repro.forests.estimators import weighted_combine
 from repro.graph.csr import Graph
 from repro.montecarlo.forest_index import ForestIndex
 from repro.push.backward import backward_push
+from repro.shard.partial import ShardPartial
 from repro.push.forward import balanced_forward_push
 from repro.rng import ensure_rng
 
@@ -246,17 +247,29 @@ class _BatchSolverBase:
         residuals = np.stack([push.residual for push in pushes])
         mc = estimate_many(residuals, improved=self._improved)
         mc_seconds = (time.perf_counter() - t1) / len(nodes)
+        local_nodes = getattr(self.index, "local_nodes", None)
         results = []
         for position, node in enumerate(nodes):
             push = pushes[position]
             self._record_query(push)
-            results.append(PPRResult(
-                estimates=push.reserve + mc[position], kind=kind,
-                query_node=node, method=method,
-                alpha=self.config.alpha, epsilon=self.config.epsilon,
-                stats=self._query_stats(push, r_max,
-                                        push_seconds[position],
-                                        mc_seconds, len(nodes))))
+            stats = self._query_stats(push, r_max, push_seconds[position],
+                                      mc_seconds, len(nodes))
+            if local_nodes is None:
+                results.append(PPRResult(
+                    estimates=push.reserve + mc[position], kind=kind,
+                    query_node=node, method=method,
+                    alpha=self.config.alpha, epsilon=self.config.epsilon,
+                    stats=stats))
+            else:
+                # restricted bank: the fold produced only this shard's
+                # rows; slicing the reserve before the add matches
+                # (reserve + mc_full)[local] bit for bit, so the
+                # router's reassembly is pure placement
+                results.append(ShardPartial(
+                    estimates=push.reserve[local_nodes] + mc[position],
+                    kind=kind, query_node=node, method=method,
+                    alpha=self.config.alpha, epsilon=self.config.epsilon,
+                    stats=stats))
         return results
 
 
@@ -357,6 +370,11 @@ class BatchMultiSeedSolver(BatchSourceSolver):
             return []
         flat = [seed for seeds, _ in parsed for seed in seeds]
         rows = self.query_many(flat)
+        # sharded banks yield ShardPartial rows; weighted_combine is
+        # elementwise, so combining the local rows equals the full
+        # combination's local slice bit for bit
+        result_cls = (ShardPartial if rows
+                      and isinstance(rows[0], ShardPartial) else PPRResult)
         results = []
         position = 0
         for seeds, weights in parsed:
@@ -373,7 +391,7 @@ class BatchMultiSeedSolver(BatchSourceSolver):
                      "batch_size": len(parsed),
                      "index_forests": self.index.num_forests}
             stats.update(work.as_stats())
-            results.append(PPRResult(
+            results.append(result_cls(
                 estimates=estimates, kind="source", query_node=seeds[0],
                 method="multiseed", alpha=self.config.alpha,
                 epsilon=self.config.epsilon, stats=stats))

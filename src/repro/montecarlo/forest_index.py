@@ -112,7 +112,10 @@ class _BankOperators:
         cols = np.concatenate(seg_cols)
         rows = np.tile(node_ids, len(forests))
         self.num_forests = len(forests)
+        # whole-node-space operators: output rows ARE global node ids
+        self.local_nodes = None
         self.degree_zero = np.flatnonzero(degrees == 0)
+        self.degree_zero_nodes = self.degree_zero
         segment_degree = np.concatenate(seg_degree)
         self.segment_degree = segment_degree
         self.segment_root = np.concatenate(seg_roots)
@@ -151,6 +154,10 @@ class _BankOperators:
             "segment_root": self.segment_root,
             "segment_degree": self.segment_degree,
         }
+        if self.local_nodes is not None:
+            # shard-restricted bank: output rows are local positions
+            # into this owned-node list (degree_zero included)
+            arrays["local_nodes"] = self.local_nodes
         for name in _OPERATOR_NAMES:
             matrix = getattr(self, name)
             arrays[f"{name}_indptr"] = matrix.indptr
@@ -175,13 +182,21 @@ class _BankOperators:
         ops.degree_zero = np.asarray(arrays["degree_zero"])
         ops.segment_root = np.asarray(arrays["segment_root"])
         ops.segment_degree = np.asarray(arrays["segment_degree"])
+        local = arrays.get("local_nodes")
+        ops.local_nodes = None if local is None else np.asarray(local)
+        if ops.local_nodes is None:
+            num_rows = num_nodes
+            ops.degree_zero_nodes = ops.degree_zero
+        else:  # shard bank: degree_zero holds local row positions
+            num_rows = ops.local_nodes.size
+            ops.degree_zero_nodes = ops.local_nodes[ops.degree_zero]
         num_segments = ops.segment_root.size
         shapes = {
             "tree_sum": (num_segments, num_nodes),
-            "spread_source": (num_nodes, num_segments),
-            "scatter_root": (num_nodes, num_segments),
-            "spread_target": (num_nodes, num_segments),
-            "gather_root": (num_nodes, num_nodes),
+            "spread_source": (num_rows, num_segments),
+            "scatter_root": (num_rows, num_segments),
+            "spread_target": (num_rows, num_segments),
+            "gather_root": (num_rows, num_nodes),
         }
         for name in _OPERATOR_NAMES:
             matrix = sparse.csr_matrix(shapes[name])
@@ -189,6 +204,73 @@ class _BankOperators:
             matrix.indices = np.asarray(arrays[f"{name}_indices"])
             matrix.data = np.asarray(arrays[f"{name}_data"])
             setattr(ops, name, matrix)
+        return ops
+
+    @classmethod
+    def restricted(cls, source: "_BankOperators",
+                   local_nodes: np.ndarray) -> "_BankOperators":
+        r"""Row-restrict whole-bank operators to one shard's nodes.
+
+        The fold stays ``(1/F) Q (P r)``; sharding partitions it by
+        **output rows**.  The ``Q`` operators keep only the owned
+        rows (a CSR row slice preserves each row's stored nonzero
+        order), while ``P`` (``tree_sum``) keeps only the segments
+        those rows touch — **with every member column intact**, owned
+        or not.  That is the cut-edge handling: residual mass on a
+        non-owned node still reaches an owned node's estimate through
+        their shared tree segment, exactly as in the unsharded fold.
+
+        The surviving segment ids are compacted through a strictly
+        monotone old→new map (``searchsorted`` into the sorted
+        survivor list), so per-row nonzero order — and therefore
+        scipy's accumulation order — is unchanged.  Every output
+        entry is then computed by the *identical* sequence of
+        floating-point operations as the unsharded fold:
+        shard-restricted estimates are bit-identical to the matching
+        rows of the full fold.
+        """
+        import scipy.sparse as sparse
+
+        if source.local_nodes is not None:
+            raise ConfigError(
+                "cannot restrict an already-restricted operator set; "
+                "restrict the whole-node-space bank instead")
+        local_nodes = np.asarray(local_nodes, dtype=np.int64)
+        if local_nodes.size > 1 and np.any(np.diff(local_nodes) <= 0):
+            raise ConfigError("local_nodes must be strictly ascending")
+        ops = object.__new__(cls)
+        ops.num_forests = source.num_forests
+        ops.local_nodes = local_nodes
+        spread_source = source.spread_source[local_nodes]
+        scatter_root = source.scatter_root[local_nodes]
+        spread_target = source.spread_target[local_nodes]
+        ops.gather_root = source.gather_root[local_nodes]
+        # segments touched by any owned row (scatter_root's columns
+        # are a subset: a root is a member of its own segment)
+        needed = np.unique(np.concatenate(
+            (spread_source.indices, scatter_root.indices,
+             spread_target.indices))) if local_nodes.size \
+            else np.empty(0, dtype=spread_source.indices.dtype)
+        ops.tree_sum = source.tree_sum[needed]
+        ops.segment_root = np.asarray(source.segment_root)[needed]
+        ops.segment_degree = np.asarray(source.segment_degree)[needed]
+        for name, sliced in (("spread_source", spread_source),
+                             ("scatter_root", scatter_root),
+                             ("spread_target", spread_target)):
+            matrix = sparse.csr_matrix(
+                (sliced.shape[0], int(needed.size)))
+            matrix.indptr = sliced.indptr
+            matrix.indices = np.searchsorted(needed, sliced.indices) \
+                .astype(sliced.indices.dtype)
+            matrix.data = sliced.data
+            setattr(ops, name, matrix)
+        dz = np.asarray(source.degree_zero_nodes)
+        positions = np.searchsorted(local_nodes, dz)
+        in_range = positions < local_nodes.size
+        owned = np.zeros(dz.size, dtype=bool)
+        owned[in_range] = local_nodes[positions[in_range]] == dz[in_range]
+        ops.degree_zero = positions[owned]          # local rows
+        ops.degree_zero_nodes = dz[owned]           # global node ids
         return ops
 
 
@@ -227,6 +309,12 @@ class ForestIndex:
                             - self._num_forests * graph.num_nodes, 0)),
             forests_sampled=self._num_forests)
         self._operators_cache: _BankOperators | None = None
+        # shard-restricted indexes fold only these rows of the
+        # estimate vector (None = the whole node space, the default)
+        self.local_nodes: np.ndarray | None = None
+        self.shard_index: int | None = None
+        self.shard_count: int | None = None
+        self.shard_strategy: str | None = None
 
     @classmethod
     def build(cls, graph: Graph, alpha: float, num_forests: int,
@@ -367,6 +455,35 @@ class ForestIndex:
         return index
 
     # ------------------------------------------------------------------
+    # Sharding
+    # ------------------------------------------------------------------
+    def restrict(self, local_nodes: np.ndarray, *, shard_index: int = 0,
+                 shard_count: int = 1,
+                 strategy: str = "hash") -> "ForestIndex":
+        """An operator-only index folding just the owned estimate rows.
+
+        The restriction is pure slicing of the cached fold operators
+        (see :meth:`_BankOperators.restricted`) — no resampling, no
+        arithmetic — so it is cheap to recompute per generation and
+        the restricted rows stay bit-identical to the same rows of
+        this index's fold.  The returned index keeps the *full* graph
+        (pushes still run over the whole node space; only the fold is
+        partitioned) and the full-graph fingerprint, so shard banks
+        attach against the same shared CSR segments as the global one.
+        """
+        restricted = ForestIndex(
+            self.graph, self.alpha, [],
+            build_seconds=self.build_seconds,
+            num_forests=self.num_forests, build_steps=self.build_steps)
+        restricted._operators_cache = _BankOperators.restricted(
+            self._operators, local_nodes)
+        restricted.local_nodes = restricted._operators_cache.local_nodes
+        restricted.shard_index = int(shard_index)
+        restricted.shard_count = int(shard_count)
+        restricted.shard_strategy = str(strategy)
+        return restricted
+
+    # ------------------------------------------------------------------
     # Array-bank persistence / attach (zero-copy serving path)
     # ------------------------------------------------------------------
     def bank_arrays(self) -> tuple[dict[str, np.ndarray], dict]:
@@ -388,6 +505,16 @@ class ForestIndex:
             "build_seconds": float(self.build_seconds),
             "degree_checksum": int(degree_checksum(self.graph)),
         }
+        if self.local_nodes is not None:
+            # bank format v2: shard provenance rides in the meta; the
+            # num_nodes / degree_checksum fingerprint stays the FULL
+            # graph's, because shard banks attach against it
+            meta.update({
+                "shard_index": int(self.shard_index or 0),
+                "shard_count": int(self.shard_count or 1),
+                "shard_strategy": str(self.shard_strategy or "hash"),
+                "shard_nodes": int(self.local_nodes.size),
+            })
         return arrays, meta
 
     def save_bank(self, path: str | os.PathLike) -> None:
@@ -427,6 +554,11 @@ class ForestIndex:
         index._operators_cache = _BankOperators.from_arrays(
             arrays, num_nodes=graph.num_nodes,
             num_forests=int(meta["num_forests"]))
+        if index._operators_cache.local_nodes is not None:
+            index.local_nodes = index._operators_cache.local_nodes
+            index.shard_index = int(meta.get("shard_index", 0))
+            index.shard_count = int(meta.get("shard_count", 1))
+            index.shard_strategy = str(meta.get("shard_strategy", "hash"))
         return index
 
     @classmethod
@@ -483,8 +615,11 @@ class ForestIndex:
         estimates /= ops.num_forests
         if improved and ops.degree_zero.size:
             # degree-0 singletons: the estimator returns the node's own
-            # residual in every forest
-            estimates[ops.degree_zero] = batch[ops.degree_zero]
+            # residual in every forest.  degree_zero indexes the OUTPUT
+            # rows (local positions on a shard bank), degree_zero_nodes
+            # the residual (always global node ids); the two coincide
+            # on a whole-node-space bank.
+            estimates[ops.degree_zero] = batch[ops.degree_zero_nodes]
         return estimates.T
 
     def estimate_target_many(self, residuals: np.ndarray, *,
@@ -500,7 +635,7 @@ class ForestIndex:
         estimates = ops.spread_target @ tree_sums
         estimates /= ops.num_forests
         if ops.degree_zero.size:
-            estimates[ops.degree_zero] = batch[ops.degree_zero]
+            estimates[ops.degree_zero] = batch[ops.degree_zero_nodes]
         return estimates.T
 
     def estimate_target_entries(self, residuals: np.ndarray,
@@ -531,12 +666,25 @@ class ForestIndex:
             raise ConfigError("entry node out of range")
         ops = self._operators
         rows = np.arange(entries.size)
+        if ops.local_nodes is None:
+            op_rows = entries
+        else:
+            # shard bank: operator rows are local positions; every
+            # requested entry must be owned by this shard (the router
+            # splits pair batches by source ownership)
+            op_rows = np.searchsorted(ops.local_nodes, entries)
+            in_range = op_rows < ops.local_nodes.size
+            if entries.size and (not in_range.all() or not np.array_equal(
+                    ops.local_nodes[op_rows[in_range]],
+                    entries[in_range])):
+                raise ConfigError(
+                    "entry node(s) not owned by this shard")
         if not improved:
-            sub = ops.gather_root[entries]
+            sub = ops.gather_root[op_rows]
             estimates = np.asarray(sub @ batch)[rows, rows]
             return estimates / ops.num_forests
         tree_sums = ops.tree_sum @ (batch * self.graph.degrees[:, None])
-        sub = ops.spread_target[entries]
+        sub = ops.spread_target[op_rows]
         estimates = np.asarray(sub @ tree_sums)[rows, rows]
         estimates = estimates / ops.num_forests
         zero = self.graph.degrees[entries] == 0

@@ -55,7 +55,11 @@ __all__ = [
 ]
 
 #: On-disk manifest schema version (bump on incompatible changes).
-BANK_FORMAT_VERSION = 1
+#: v2 adds optional shard metadata to forest banks (a ``local_nodes``
+#: array plus ``shard_*`` meta keys).  The change is additive, so v1
+#: banks stay readable — :func:`bank_manifest` rejects only versions
+#: *newer* than this.
+BANK_FORMAT_VERSION = 2
 
 _MANIFEST = "manifest.json"
 

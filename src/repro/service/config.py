@@ -46,6 +46,14 @@ class ServiceConfig:
         :meth:`~repro.service.index_manager.IndexManager.mutate`).
         Off by default: records cost memory and mutate works either
         way (it falls back to a full rebuild on static banks).
+    shards, shard_strategy:
+        Partition the node space across ``shards`` worker pools of
+        ``workers`` processes each, scatter-gathering every query
+        through the :class:`~repro.shard.router.ShardRouter`
+        (requires ``executor="process"``; answers stay byte-identical
+        to ``shards=1``).  ``shard_strategy`` picks the
+        :class:`~repro.shard.partition.ShardMap` flavour
+        (``"hash"`` or ``"range"``).
     max_batch:
         Most requests one batch-solver call may group.
     max_wait_ms:
@@ -92,6 +100,8 @@ class ServiceConfig:
     push_backend: str = "vectorized"
     executor: str = "thread"
     dynamic: bool = False
+    shards: int = 1
+    shard_strategy: str = "hash"
     max_batch: int = 32
     max_wait_ms: float = 10.0
     queue_capacity: int = 256
@@ -136,6 +146,16 @@ class ServiceConfig:
             raise ConfigError(
                 "executor='process' needs workers >= 1 "
                 f"(got workers={self.workers})")
+        if self.shards < 1:
+            raise ConfigError(f"shards must be >= 1, got {self.shards}")
+        if self.shard_strategy not in ("hash", "range"):
+            raise ConfigError(
+                f"shard_strategy must be 'hash' or 'range', "
+                f"got {self.shard_strategy!r}")
+        if self.shards > 1 and self.executor != "process":
+            raise ConfigError(
+                "shards > 1 needs executor='process' "
+                f"(got executor={self.executor!r})")
         if not 0.0 <= self.trace_sample_rate <= 1.0:
             raise ConfigError(
                 f"trace_sample_rate must be in [0, 1], "
@@ -176,6 +196,7 @@ class ServiceConfig:
                 ("push_backend", self.push_backend),
                 ("executor", self.executor),
                 ("dynamic", self.dynamic),
+                ("shards", f"{self.shards} ({self.shard_strategy})"),
                 ("max_batch", self.max_batch),
                 ("max_wait_ms", self.max_wait_ms),
                 ("queue_capacity", self.queue_capacity),

@@ -310,16 +310,24 @@ class ProcessExecutor:
     task_timeout:
         Seconds one batch may stay unanswered (spanning respawns)
         before :meth:`run_batch` gives up with :class:`ExecutorError`.
+    shard:
+        Pin this pool to one shard of the manager's partitioning:
+        every view it requests is the shard's *restricted* bank, so
+        its workers fold only that shard's rows.  The
+        :class:`~repro.shard.router.ShardRouter` runs one such pool
+        per shard; ``None`` (default) serves the whole node space.
     """
 
     def __init__(self, index_manager: IndexManager, *, workers: int = 2,
                  max_in_flight: int | None = None,
-                 task_timeout: float = 120.0):
+                 task_timeout: float = 120.0,
+                 shard: int | None = None):
         if workers < 1:
             raise ReproError(f"workers must be >= 1, got {workers}")
         self.index_manager = index_manager
         self.num_workers = int(workers)
         self.task_timeout = float(task_timeout)
+        self.shard = None if shard is None else int(shard)
         self._ctx = multiprocessing.get_context("fork")
         self._sema = threading.BoundedSemaphore(
             max_in_flight or 2 * self.num_workers)
@@ -470,7 +478,8 @@ class ProcessExecutor:
         """
         if not self._started or self._stopping.is_set():
             raise ExecutorError("executor is not running")
-        view = self.index_manager.shared_view(graph, alpha)
+        view = self.index_manager.shared_view(graph, alpha,
+                                              shard=self.shard)
         try:
             config = self.index_manager.config.with_overrides(
                 alpha=alpha, epsilon=epsilon)
@@ -495,29 +504,44 @@ class ProcessExecutor:
             stats.update(state.extra)
         return state.results
 
-    def warm(self, graph: str, alpha: float | None = None,
-             timeout: float = 30.0) -> int:
-        """Per-worker warm attach of the current bank.
+    def warm(self, graph: str | None = None, alpha: float | None = None,
+             timeout: float = 30.0, *, banks=None) -> int:
+        """Per-worker warm attach of the current bank(s).
 
         Dispatches one zero-node task *pinned to each worker* so every
         worker binds the graph + index segments before real traffic
-        arrives.  Returns how many workers completed the warm-up
-        within ``timeout``: each pinned call carries the warm deadline
-        as its own task timeout (not the pool-wide ``task_timeout``),
-        so no warm thread outlives the deadline by more than a beat
-        and the returned count is a settled total, not a snapshot a
-        straggler could bump later.
+        arrives.  By default all workers warm ``(graph, alpha)``;
+        ``banks=`` overrides that with one entry per worker — a
+        ``(graph, alpha)`` pair (``alpha=None`` for the config
+        default) or ``None`` to leave that worker cold — so a pool
+        whose workers serve different banks warms each against only
+        its own (a sharded pool's view is already pinned to
+        ``self.shard``, so its warm attaches that shard's restricted
+        bank and nothing else).  Returns how many workers completed
+        the warm-up within ``timeout``: each pinned call carries the
+        warm deadline as its own task timeout (not the pool-wide
+        ``task_timeout``), so no warm thread outlives the deadline by
+        more than a beat and the returned count is a settled total,
+        not a snapshot a straggler could bump later.
         """
-        alpha = (self.index_manager.config.alpha if alpha is None
-                 else float(alpha))
+        if banks is None:
+            if graph is None:
+                raise ReproError("warm() needs a graph name or banks=")
+            banks = [(graph, alpha)] * self.num_workers
+        else:
+            banks = list(banks)
+            if len(banks) != self.num_workers:
+                raise ReproError(
+                    f"banks= needs one entry per worker "
+                    f"({self.num_workers}), got {len(banks)}")
         deadline = time.monotonic() + timeout
         threads = []
         completed_lock = threading.Lock()
         completed: list[int] = []
 
-        def one(worker_id: int):
+        def one(worker_id: int, bank_graph: str, bank_alpha: float):
             try:
-                self.run_batch(graph, "source", alpha,
+                self.run_batch(bank_graph, "source", bank_alpha,
                                self.index_manager.config.epsilon, (),
                                pin=worker_id,
                                timeout=max(deadline - time.monotonic(),
@@ -527,9 +551,15 @@ class ProcessExecutor:
             except ExecutorError:
                 pass
 
-        for worker_id in range(self.num_workers):
-            thread = threading.Thread(target=one, args=(worker_id,),
-                                      daemon=True)
+        for worker_id, spec in enumerate(banks):
+            if spec is None:
+                continue
+            bank_graph, bank_alpha = spec
+            bank_alpha = (self.index_manager.config.alpha
+                          if bank_alpha is None else float(bank_alpha))
+            thread = threading.Thread(
+                target=one, args=(worker_id, bank_graph, bank_alpha),
+                daemon=True)
             thread.start()
             threads.append(thread)
         for thread in threads:
@@ -754,6 +784,7 @@ class ProcessExecutor:
         return {
             "mode": "process",
             "workers": self.num_workers,
+            "shard": self.shard,
             "alive": alive,
             "in_flight": in_flight,
             "tasks_done": tasks_done,

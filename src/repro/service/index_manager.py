@@ -35,6 +35,8 @@ import threading
 import time
 import zlib
 
+import numpy as np
+
 from repro.core.batch import (
     BatchMultiSeedSolver,
     BatchPairSolver,
@@ -52,6 +54,7 @@ from repro.montecarlo.forest_index import ForestIndex
 from repro.obs.tracing import NULL_TRACER
 from repro.parallel.shared_bank import BankHandle, SharedArrayBank
 from repro.parallel.shared_graph import graph_bank_arrays
+from repro.shard.partition import STRATEGIES, ShardMap
 
 __all__ = ["IndexManager", "SharedIndexView", "SOLVER_CLASSES"]
 
@@ -138,21 +141,43 @@ class IndexManager:
         banks (arrow records kept), so :meth:`mutate` repairs
         incrementally instead of rebuilding.  Costs record memory and
         a serial build; off by default.
+    shards / shard_strategy:
+        Node-space partitioning for the scatter-gather router.  The
+        whole-space bank is still built once per ``(graph, α)`` —
+        forests are sampled globally so sharded answers stay
+        bit-identical — and :meth:`shared_view` publishes per-shard
+        *restrictions* of it (``shard=k``) for each shard's worker
+        group.  ``shards=1`` (default) disables all of this.
     """
 
     def __init__(self, config: PPRConfig | None = None, *,
                  num_forests: int | None = None, tracer=None,
-                 dynamic: bool = False):
+                 dynamic: bool = False, shards: int = 1,
+                 shard_strategy: str = "hash"):
         self.config = config or PPRConfig()
         self.num_forests = num_forests
         self.dynamic = bool(dynamic)
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        shards = int(shards)
+        if shards < 1:
+            raise ConfigError(f"shards must be >= 1, got {shards}")
+        if shard_strategy not in STRATEGIES:
+            raise ConfigError(
+                f"shard_strategy must be one of {STRATEGIES}, "
+                f"got {shard_strategy!r}")
+        self.shards = shards
+        self.shard_strategy = str(shard_strategy)
         self._graphs: dict[str, Graph] = {}
         self._indexes: dict[tuple[str, float], _ManagedIndex] = {}
         self._solvers: dict[tuple, BatchSourceSolver | BatchTargetSolver] = {}
         self._shared_graphs: dict[str, SharedArrayBank] = {}
-        self._shared_indexes: dict[tuple[str, float],
+        # keyed (name, alpha, shard); shard None is the whole-space bank
+        self._shared_indexes: dict[tuple[str, float, int | None],
                                    tuple[SharedArrayBank, int]] = {}
+        self._shard_maps: dict[str, ShardMap] = {}
+        # per-generation shard restrictions, keyed (name, alpha, shard)
+        self._restricted: dict[tuple[str, float, int],
+                               tuple[ForestIndex, int]] = {}
         self._lock = threading.RLock()
         self._builds = 0
 
@@ -162,8 +187,25 @@ class IndexManager:
         with self._lock:
             self._graphs[name] = graph
             stale = self._shared_graphs.pop(name, None)
+            self._shard_maps.pop(name, None)
+            for key in [k for k in self._restricted if k[0] == name]:
+                del self._restricted[key]
         if stale is not None:
             stale.retire()
+
+    def shard_map(self, name: str) -> ShardMap:
+        """The node ↔ shard mapping for ``name`` under this manager's
+        shard count and strategy (cached; deterministic)."""
+        graph = self.graph(name)
+        with self._lock:
+            cached = self._shard_maps.get(name)
+            if (cached is not None
+                    and cached.num_nodes == graph.num_nodes):
+                return cached
+            shard_map = ShardMap(graph.num_nodes, self.shards,
+                                 self.shard_strategy)
+            self._shard_maps[name] = shard_map
+            return shard_map
 
     def graph(self, name: str) -> Graph:
         """The registered graph, or :class:`ConfigError` if unknown."""
@@ -252,11 +294,17 @@ class IndexManager:
                     for solver_key in [k for k in self._solvers
                                        if k[0] == name and k[1] == alpha]:
                         del self._solvers[solver_key]
-                    stale = self._shared_indexes.pop(key, None)
-            if stale is not None:
+                    stale = [self._shared_indexes.pop(k)
+                             for k in list(self._shared_indexes)
+                             if k[0] == name and k[1] == alpha]
+                    for cache_key in [k for k in self._restricted
+                                      if k[0] == name and k[1] == alpha]:
+                        del self._restricted[cache_key]
+            if stale:
                 # unlink happens once the last in-flight borrower drops
                 with span.child("retire"):
-                    stale[0].retire()
+                    for bank, _generation in stale:
+                        bank.retire()
             self.tracer.finish(span)
 
         thread = threading.Thread(target=rebuild, name=f"refresh-{name}",
@@ -331,13 +379,16 @@ class IndexManager:
                 stale_banks = [self._shared_indexes.pop(key)
                                for key in list(self._shared_indexes)
                                if key[0] == name]
+                for cache_key in [k for k in self._restricted
+                                  if k[0] == name]:
+                    del self._restricted[cache_key]
         with span.child("retire"):
             if stale_graph is not None:
                 stale_graph.retire()
             for bank, _generation in stale_banks:
                 bank.retire()
         self.tracer.finish(span)
-        return {
+        summary = {
             "graph": name,
             "ops": len(delta),
             "num_nodes": new_graph.num_nodes,
@@ -351,6 +402,25 @@ class IndexManager:
                 for key, managed in sorted(replacements.items())},
             "work": counters.as_dict(),
         }
+        if self.shards > 1:
+            # attribute the repair to owning shards: the global counter
+            # is (forests repaired) x |dirty|, so splitting by each
+            # shard's dirty-node count decomposes it exactly — and
+            # proves untouched shards did zero repair work
+            shard_map = self.shard_map(name)
+            dirty_arr = np.asarray(dirty, dtype=np.int64)
+            per_shard_dirty = np.bincount(
+                shard_map.shard_of[dirty_arr] if dirty_arr.size
+                else np.empty(0, dtype=np.int64),
+                minlength=self.shards)
+            unit = (counters.repair_dirty_nodes // dirty_arr.size
+                    if dirty_arr.size else 0)
+            summary["shards"] = [
+                {"shard": shard,
+                 "dirty_nodes": int(per_shard_dirty[shard]),
+                 "repair_dirty_nodes": int(unit * per_shard_dirty[shard])}
+                for shard in range(self.shards)]
+        return summary
 
     def drop(self, name: str, alpha: float | None = None) -> None:
         """Forget the bank and solvers for ``(name, α)`` (if any)."""
@@ -362,26 +432,41 @@ class IndexManager:
             for solver_key in [k for k in self._solvers
                                if k[0] == name and k[1] == alpha]:
                 del self._solvers[solver_key]
-            stale = self._shared_indexes.pop((name, alpha), None)
-        if stale is not None:
+            stale = [self._shared_indexes.pop(k)
+                     for k in list(self._shared_indexes)
+                     if k[0] == name and k[1] == alpha]
+            for cache_key in [k for k in self._restricted
+                              if k[0] == name and k[1] == alpha]:
+                del self._restricted[cache_key]
+        if stale:
             with span.child("retire"):
-                stale[0].retire()
+                for bank, _generation in stale:
+                    bank.retire()
         self.tracer.finish(span)
 
     # -- shared-memory views (multiprocess executor) -------------------
-    def shared_view(self, name: str,
-                    alpha: float | None = None) -> SharedIndexView:
-        """An *acquired* shared-memory view of ``(name, α)``.
+    def shared_view(self, name: str, alpha: float | None = None, *,
+                    shard: int | None = None) -> SharedIndexView:
+        """An *acquired* shared-memory view of ``(name, α[, shard])``.
 
         Publishes the graph CSR arrays and the bank's fold operators
         as named shared-memory segments (built lazily, reused across
         calls for the same generation) and returns a view pinning
-        both.  The caller — one executor batch — must
+        both.  With ``shard=k`` the index bank carries the shard-``k``
+        restriction of the whole-space bank (same forests, same
+        generation — just this shard's output rows), while the graph
+        bank stays the full CSR: every shard runs the full push.  The
+        caller — one executor batch — must
         :meth:`SharedIndexView.release` when done; a refresh that
         lands mid-batch retires the old segments, and the unlink is
         deferred until that release.
         """
         alpha = self.config.alpha if alpha is None else float(alpha)
+        if shard is not None:
+            shard = int(shard)
+            if not 0 <= shard < self.shards:
+                raise ConfigError(
+                    f"shard {shard} out of range [0, {self.shards})")
         index = self.get_index(name, alpha)
         # materialise the fold operators outside the lock (first call
         # builds them; they are cached on the index afterwards)
@@ -391,18 +476,35 @@ class IndexManager:
             # re-read under the lock: a refresh may have swapped the
             # bank between get_index and here
             index, generation = managed.index, managed.generation
+            if shard is not None:
+                cached = self._restricted.get((name, alpha, shard))
+                if cached is not None and cached[1] == generation:
+                    publish = cached[0]
+                else:
+                    # pure row slicing of the warmed operators — cheap
+                    # enough to run under the lock, and doing so pins
+                    # the restriction to this exact generation
+                    shard_map = self.shard_map(name)
+                    publish = index.restrict(
+                        shard_map.local_nodes(shard), shard_index=shard,
+                        shard_count=self.shards,
+                        strategy=self.shard_strategy)
+                    self._restricted[(name, alpha, shard)] = (publish,
+                                                              generation)
+            else:
+                publish = index
             graph_bank = self._shared_graphs.get(name)
             if graph_bank is None or graph_bank.retired:
                 arrays, meta = graph_bank_arrays(self._graphs[name])
                 graph_bank = SharedArrayBank(arrays, meta)
                 self._shared_graphs[name] = graph_bank
-            entry = self._shared_indexes.get((name, alpha))
+            key = (name, alpha, shard)
+            entry = self._shared_indexes.get(key)
             if entry is None or entry[1] != generation or entry[0].retired:
                 if entry is not None:
                     entry[0].retire()
-                index_bank = SharedArrayBank(*index.bank_arrays())
-                self._shared_indexes[(name, alpha)] = (index_bank,
-                                                       generation)
+                index_bank = SharedArrayBank(*publish.bank_arrays())
+                self._shared_indexes[key] = (index_bank, generation)
             else:
                 index_bank = entry[0]
             return SharedIndexView(graph_bank, index_bank,
@@ -480,4 +582,6 @@ class IndexManager:
             }
             for (name, alpha), entry in sorted(managed.items())}
         return {"builds": builds, "solvers": solvers, "banks": banks,
-                "memory_bytes": sum(b["size_bytes"] for b in banks.values())}
+                "memory_bytes": sum(b["size_bytes"] for b in banks.values()),
+                "shards": self.shards,
+                "shard_strategy": self.shard_strategy}

@@ -229,6 +229,54 @@ def check_metrics(base_url: str) -> list[str]:
     return failures
 
 
+def shard_fold_report(base_url: str, shards: int) -> tuple[list, list]:
+    """Per-shard fold-latency quantiles from the stage histograms.
+
+    Scrapes ``/metrics`` and reads the cumulative buckets of
+    ``repro_service_shard_fold_seconds{shard="k"}``; the reported p99
+    is the upper bound of the first bucket covering the 0.99 mass —
+    the same resolution Prometheus' ``histogram_quantile`` has.
+    Returns ``(rows, failures)`` where ``rows`` holds one
+    ``{"shard", "count", "p50_seconds", "p99_seconds"}`` dict per shard
+    and ``failures`` lists shards whose histogram is missing or empty.
+    """
+    text = _get(f"{base_url}/metrics")
+    buckets: dict[int, list[tuple[float, float]]] = {}
+    prefix = "repro_service_shard_fold_seconds_bucket{"
+    for line in text.splitlines():
+        if not line.startswith(prefix):
+            continue
+        labels, value = line[len(prefix):].rsplit(None, 1)
+        labels = labels.rstrip("}")
+        fields = dict(part.split("=", 1) for part in labels.split(","))
+        shard = int(fields['shard'].strip('"'))
+        le = fields["le"].strip('"')
+        bound = float("inf") if le == "+Inf" else float(le)
+        buckets.setdefault(shard, []).append((bound, float(value)))
+
+    def quantile(cumulative: list[tuple[float, float]], q: float) -> float:
+        total = cumulative[-1][1]
+        for bound, count in cumulative:
+            if count >= q * total:
+                return bound
+        return cumulative[-1][0]
+
+    rows, failures = [], []
+    for shard in range(shards):
+        if shard not in buckets or not buckets[shard][-1][1]:
+            failures.append(
+                f"shard {shard} fold histogram missing or zero")
+            continue
+        cumulative = sorted(buckets[shard])
+        rows.append({
+            "shard": shard,
+            "count": int(cumulative[-1][1]),
+            "p50_seconds": quantile(cumulative, 0.50),
+            "p99_seconds": quantile(cumulative, 0.99),
+        })
+    return rows, failures
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code (non-zero = smoke
     failure)."""
@@ -256,6 +304,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=2022)
     parser.add_argument("--check-metrics", action="store_true",
                         help="also assert /metrics is populated")
+    parser.add_argument("--shards", type=int, default=0, metavar="N",
+                        help="service shard count: report per-shard "
+                             "p99 fold latency from the shard stage "
+                             "histograms and fail if any of the N "
+                             "shards folded nothing")
     parser.add_argument("--latency-out", default=None, metavar="PATH",
                         help="write the full summary (including every "
                              "per-request latency) as JSON to this file")
@@ -286,6 +339,15 @@ def main(argv: list[str] | None = None) -> int:
         code = 1
     if args.check_metrics:
         failures = check_metrics(args.url)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        code = code or (1 if failures else 0)
+    if args.shards > 1:
+        rows, failures = shard_fold_report(args.url, args.shards)
+        for row in rows:
+            print(f"shard {row['shard']}: {row['count']} folds, "
+                  f"fold p50 <= {row['p50_seconds']:g}s, "
+                  f"p99 <= {row['p99_seconds']:g}s")
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         code = code or (1 if failures else 0)

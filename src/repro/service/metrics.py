@@ -130,6 +130,9 @@ class ServiceMetrics:
         #: per-stage latency histograms (admission … serialize)
         self.stages = HistogramRegistry(STAGES)
         self.batch_sizes = BatchSizeHistogram()
+        #: per-shard fold latency (sharded executor only), created
+        #: lazily per shard label under the registry lock
+        self._shard_folds: dict[int, LatencyHistogram] = {}
         self._lock = threading.Lock()
         self._requests: dict[str, int] = {}
         self._rejected = 0
@@ -182,6 +185,21 @@ class ServiceMetrics:
         """Solver-fold wall time of one executed batch (compute only,
         no queueing) — the stage split executor sizing needs."""
         self.stages.observe("fold", seconds)
+
+    def record_shard_fold(self, shard: int, seconds: float) -> None:
+        """One shard's fold wall time for one scatter-gathered batch.
+
+        Feeds ``repro_service_shard_fold_seconds{shard="k"}`` so shard
+        imbalance — one partition folding consistently slower than its
+        peers — is visible straight from ``/metrics``.
+        """
+        shard = int(shard)
+        histogram = self._shard_folds.get(shard)
+        if histogram is None:
+            with self._lock:
+                histogram = self._shard_folds.setdefault(
+                    shard, LatencyHistogram())
+        histogram.observe(seconds)
 
     def register_gauge(self, name: str, supplier: Callable) -> None:
         """Register a pull-at-render-time gauge.
@@ -279,6 +297,17 @@ class ServiceMetrics:
              "(admission|cache_lookup|batch_wait|dispatch|fold|merge|"
              "serialize).",
              stage_samples)
+
+        with self._lock:
+            shard_folds = sorted(self._shard_folds.items())
+        if shard_folds:
+            shard_samples: list = []
+            for shard, histogram in shard_folds:
+                shard_samples.extend(histogram_samples(
+                    histogram.snapshot(), labels=f'shard="{shard}"'))
+            emit("repro_service_shard_fold_seconds", "histogram",
+                 "Per-shard fold latency of scatter-gathered batches.",
+                 shard_samples)
 
         for name, value in sorted(snap["work"].items()):
             if name == "total":

@@ -70,14 +70,22 @@ class PPRService:
         self.slowlog = SlowLog(
             self.config.slowlog_path,
             threshold_ms=self.config.slowlog_threshold_ms)
-        self.index_manager = IndexManager(self.config.ppr_config(),
-                                          tracer=self.tracer,
-                                          dynamic=self.config.dynamic)
+        self.index_manager = IndexManager(
+            self.config.ppr_config(), tracer=self.tracer,
+            dynamic=self.config.dynamic, shards=self.config.shards,
+            shard_strategy=self.config.shard_strategy)
         self.index_manager.register_graph(self.config.graph, graph)
         self.cache = ResultCache(self.config.cache_entries)
         self.metrics = ServiceMetrics()
         self.executor = None
-        if self.config.executor == "process":
+        if self.config.shards > 1:
+            from repro.shard.router import ShardRouter
+
+            self.executor = ShardRouter(
+                self.index_manager,
+                workers_per_shard=self.config.workers,
+                metrics=self.metrics)
+        elif self.config.executor == "process":
             from repro.service.executor import ProcessExecutor
 
             self.executor = ProcessExecutor(
@@ -89,7 +97,7 @@ class PPRService:
             queue_capacity=self.config.queue_capacity,
             metrics=self.metrics,
             # one flush thread per worker so the pool actually fills
-            executors=(self.config.workers
+            executors=(self.executor.num_workers
                        if self.executor is not None else 1),
             executor=self.executor)
         self.metrics.register_gauge(
@@ -691,12 +699,14 @@ class PPRService:
     def healthz(self) -> dict:
         """Liveness + readiness summary for ``/healthz``."""
         snap = self.metrics.snapshot()
+        graph = self.index_manager.graph(self.config.graph)
+        shard_map = self.index_manager.shard_map(self.config.graph)
+        degrees = graph.out_degrees
         return {
             "status": "ok" if self._running else "stopped",
             "uptime_seconds": time.time() - self._started_at,
             "graph": self.config.graph,
-            "num_nodes": self.index_manager.graph(
-                self.config.graph).num_nodes,
+            "num_nodes": graph.num_nodes,
             "alpha": self.config.alpha,
             "queue_depth": self.scheduler.queue_depth,
             "batches": snap["batches"],
@@ -705,6 +715,16 @@ class PPRService:
             "executor": (self.executor.stats()
                          if self.executor is not None
                          else {"mode": "thread", "workers": 0}),
+            "shards": {
+                "count": shard_map.num_shards,
+                "strategy": shard_map.strategy,
+                "per_shard": [
+                    {"shard": shard,
+                     "nodes": int(shard_map.shard_sizes[shard]),
+                     "edges": int(degrees[
+                         shard_map.local_nodes(shard)].sum())}
+                    for shard in range(shard_map.num_shards)],
+            },
             "observability": {
                 "tracing": self.tracer.stats(),
                 "slowlog": self.slowlog.stats(),

@@ -1,0 +1,36 @@
+"""Sharded forest index: partitioning, partial results, routing.
+
+- :mod:`repro.shard.partition` — deterministic node ↔ shard maps
+  (hash / range strategies), exact CSR partition/merge round-trips;
+- :mod:`repro.shard.partial` — the per-shard partial result the
+  scatter-gather protocol ships between workers and the router;
+- :mod:`repro.shard.router` — :class:`~repro.shard.router.ShardRouter`,
+  the executor-shaped scatter-gather front over one
+  :class:`~repro.service.executor.ProcessExecutor` per shard.
+
+The router is exported lazily: it imports the service executor stack,
+which itself imports the core batch solvers — and the batch solvers
+import :mod:`repro.shard.partial` from here, so an eager import would
+cycle.
+"""
+
+from repro.shard.partial import ShardPartial
+from repro.shard.partition import (
+    STRATEGIES,
+    ShardMap,
+    ShardSubgraph,
+    merge_subgraphs,
+    partition_graph,
+)
+
+__all__ = ["STRATEGIES", "ShardMap", "ShardSubgraph", "ShardPartial",
+           "partition_graph", "merge_subgraphs", "ShardRouter",
+           "bounded_topk_merge"]
+
+
+def __getattr__(name: str):
+    if name in ("ShardRouter", "bounded_topk_merge"):
+        from repro.shard import router
+
+        return getattr(router, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

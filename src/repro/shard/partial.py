@@ -1,0 +1,62 @@
+"""Per-shard partial query results for scatter-gather routing.
+
+A shard worker folds only its **own rows** of the estimate vector
+(the restricted bank, see
+:meth:`~repro.montecarlo.forest_index.ForestIndex.restrict`), so it
+cannot build a full :class:`~repro.core.result.PPRResult`.  It ships a
+:class:`ShardPartial` instead: the local estimate rows plus the same
+provenance fields a full result carries, so the router reassembles
+``PPRResult`` objects by pure array placement — no floating-point
+arithmetic happens at merge time, which is what keeps the merged
+vector bit-identical to the unsharded fold.
+
+This module imports only the standard library and numpy so the core
+batch solvers and the forked executor workers can both use it without
+pulling in the service layer (no import cycles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ShardPartial"]
+
+
+@dataclass
+class ShardPartial:
+    """The shard-local rows of one query's estimate vector.
+
+    ``estimates[i]`` is the estimate for global node
+    ``local_nodes[i]`` of the producing shard, where ``local_nodes``
+    is the shard map's owned-node list (ascending global order) — the
+    partial does not ship the id list itself; the router already
+    knows it from the deterministic :class:`~repro.shard.partition.ShardMap`.
+
+    ``kind`` / ``query_node`` / ``method`` / ``alpha`` / ``epsilon`` /
+    ``stats`` mirror :class:`~repro.core.result.PPRResult` exactly, so
+    a merged result copies them through unchanged.  Because every
+    shard runs the identical deterministic push for the same request,
+    these fields agree across shards; the router takes shard 0's.
+    """
+
+    estimates: np.ndarray
+    kind: str
+    query_node: int
+    method: str
+    alpha: float
+    epsilon: float
+    stats: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.estimates = np.asarray(self.estimates, dtype=np.float64)
+
+    @property
+    def num_rows(self) -> int:
+        """Owned rows carried by this partial."""
+        return int(self.estimates.size)
+
+    def __repr__(self) -> str:
+        return (f"ShardPartial({self.kind}={self.query_node}, "
+                f"rows={self.num_rows}, method={self.method!r})")

@@ -1,0 +1,248 @@
+r"""Graph partitioning for the sharded forest index.
+
+A :class:`ShardMap` assigns every node of a
+:class:`~repro.graph.csr.Graph` to exactly one shard and gives each
+node a dense *local id* inside its shard (its rank among the shard's
+owned nodes in ascending global order).  Two strategies live behind
+the one interface:
+
+- ``hash`` — Knuth multiplicative hashing of the node id.  Spreads
+  consecutive ids (and therefore most degree skew) evenly across
+  shards; the default for load balance.
+- ``range`` — contiguous blocks of the node-id space, first
+  ``n % S`` shards one node larger (``array_split`` semantics).
+  Keeps locality for id-ordered graphs and makes the ownership test a
+  single comparison.
+
+Both strategies are **pure functions of** ``(num_nodes, num_shards)``,
+so serializing a map costs three scalars (:meth:`ShardMap.to_dict`)
+and any two processes that build a map from the same triple agree on
+every assignment — the property the scatter-gather router and the
+per-shard executor workers rely on.
+
+:func:`partition_graph` splits a CSR graph into per-shard
+:class:`ShardSubgraph` row groups.  Neighbour ids stay **global** —
+cut edges (arcs leaving the shard) are kept, not dropped — and each
+row keeps its stored neighbour order, so :func:`merge_subgraphs`
+reconstructs the original CSR arrays *exactly* (indptr, indices,
+weights, byte for byte).  This is deliberately not
+:meth:`~repro.graph.csr.Graph.subgraph`, which relabels nodes and
+drops cut edges and therefore cannot round-trip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigError
+from repro.graph.csr import Graph
+
+__all__ = ["STRATEGIES", "ShardMap", "ShardSubgraph", "partition_graph",
+           "merge_subgraphs"]
+
+#: Recognised partitioning strategies.
+STRATEGIES = ("hash", "range")
+
+#: Knuth's multiplicative-hash constant (2^32 / φ), mixing consecutive
+#: node ids so hash shards see near-uniform node counts.
+_HASH_MULTIPLIER = np.uint64(2654435761)
+_HASH_MASK = np.uint64(2**32 - 1)
+
+
+class ShardMap:
+    """The node ↔ (shard, local id) mapping for one partitioning.
+
+    Deterministic in ``(num_nodes, num_shards, strategy)`` — no RNG,
+    no graph inspection — so the map never needs its arrays
+    serialized: :meth:`to_dict` / :meth:`from_dict` carry only the
+    defining triple.
+    """
+
+    def __init__(self, num_nodes: int, num_shards: int,
+                 strategy: str = "hash"):
+        num_nodes = int(num_nodes)
+        num_shards = int(num_shards)
+        if num_nodes < 1:
+            raise ConfigError(f"num_nodes must be >= 1, got {num_nodes}")
+        if num_shards < 1:
+            raise ConfigError(f"num_shards must be >= 1, got {num_shards}")
+        if strategy not in STRATEGIES:
+            raise ConfigError(
+                f"strategy must be one of {STRATEGIES}, got {strategy!r}")
+        self.num_nodes = num_nodes
+        self.num_shards = num_shards
+        self.strategy = str(strategy)
+        nodes = np.arange(num_nodes, dtype=np.int64)
+        if self.strategy == "hash":
+            hashed = (nodes.astype(np.uint64) * _HASH_MULTIPLIER) \
+                & _HASH_MASK
+            self.shard_of = (hashed % np.uint64(num_shards)).astype(np.int64)
+        else:  # range: contiguous blocks, array_split sizing
+            sizes = np.full(num_shards, num_nodes // num_shards,
+                            dtype=np.int64)
+            sizes[:num_nodes % num_shards] += 1
+            self.shard_of = np.repeat(np.arange(num_shards, dtype=np.int64),
+                                      sizes)
+        # group nodes by shard; the stable sort of an ascending id
+        # stream keeps each shard's owned list ascending, which is the
+        # local-id order every restricted bank uses
+        order = np.argsort(self.shard_of, kind="stable")
+        counts = np.bincount(self.shard_of, minlength=num_shards)
+        starts = np.concatenate(([0], np.cumsum(counts)))
+        self._order = order
+        self._starts = starts
+        self.shard_sizes = counts
+        self.local_of = np.empty(num_nodes, dtype=np.int64)
+        self.local_of[order] = (nodes
+                                - np.repeat(starts[:-1], counts))
+
+    # ------------------------------------------------------------------
+    def local_nodes(self, shard: int) -> np.ndarray:
+        """Global ids owned by ``shard``, ascending (local id order)."""
+        if not 0 <= shard < self.num_shards:
+            raise ConfigError(
+                f"shard {shard} out of range [0, {self.num_shards})")
+        return self._order[self._starts[shard]:self._starts[shard + 1]]
+
+    def locate(self, node: int) -> tuple[int, int]:
+        """``(shard, local id)`` of one global node."""
+        node = int(node)
+        if not 0 <= node < self.num_nodes:
+            raise ConfigError(
+                f"node {node} out of range [0, {self.num_nodes})")
+        return int(self.shard_of[node]), int(self.local_of[node])
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """The defining triple — all a peer needs to rebuild the map."""
+        return {"strategy": self.strategy,
+                "num_shards": self.num_shards,
+                "num_nodes": self.num_nodes}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ShardMap":
+        """Rebuild a map serialized by :meth:`to_dict`."""
+        return cls(int(payload["num_nodes"]), int(payload["num_shards"]),
+                   str(payload["strategy"]))
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, ShardMap)
+                and self.to_dict() == other.to_dict())
+
+    def __repr__(self) -> str:
+        return (f"ShardMap({self.num_nodes} nodes, "
+                f"{self.num_shards} shard(s), {self.strategy!r})")
+
+
+@dataclass(frozen=True)
+class ShardSubgraph:
+    """One shard's CSR row group.
+
+    ``indptr`` is local (``len(nodes) + 1`` entries) but ``indices``
+    stay **global** — cut edges are kept, so this is not a standalone
+    :class:`~repro.graph.csr.Graph` (neighbour ids may exceed the
+    local node count).  The invariants :func:`merge_subgraphs` needs:
+    ``nodes`` ascending and owned by exactly one subgraph, and each
+    row's neighbour order identical to the source graph's.
+    """
+
+    shard: int
+    nodes: np.ndarray
+    indptr: np.ndarray
+    indices: np.ndarray
+    weights: np.ndarray | None
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.nodes.size)
+
+    @property
+    def num_edges(self) -> int:
+        """Stored arcs (an undirected edge inside one shard counts
+        twice, a cut edge once per owning endpoint)."""
+        return int(self.indices.size)
+
+
+def _row_positions(indptr: np.ndarray, rows: np.ndarray,
+                   counts: np.ndarray) -> np.ndarray:
+    """Flat CSR positions of ``rows``' adjacency slices, row order."""
+    total = int(counts.sum())
+    starts = np.asarray(indptr)[rows]
+    offsets = np.concatenate(([0], np.cumsum(counts)))[:-1]
+    return (np.arange(total, dtype=np.int64)
+            - np.repeat(offsets, counts) + np.repeat(starts, counts))
+
+
+def partition_graph(graph: Graph, shard_map: ShardMap) \
+        -> list[ShardSubgraph]:
+    """Split ``graph`` into one :class:`ShardSubgraph` per shard.
+
+    Pure row gathering — no relabelling, no edge drops — so
+    ``merge_subgraphs(partition_graph(g, m)) == g`` exactly.
+    """
+    if shard_map.num_nodes != graph.num_nodes:
+        raise ConfigError(
+            f"shard map covers {shard_map.num_nodes} nodes, graph has "
+            f"{graph.num_nodes}")
+    degrees = graph.out_degrees
+    subgraphs = []
+    for shard in range(shard_map.num_shards):
+        rows = shard_map.local_nodes(shard)
+        counts = degrees[rows]
+        indptr = np.concatenate(
+            ([0], np.cumsum(counts, dtype=np.int64)))
+        positions = _row_positions(graph.indptr, rows, counts)
+        weights = (None if graph.weights is None
+                   else graph.weights[positions])
+        subgraphs.append(ShardSubgraph(
+            shard=shard, nodes=rows, indptr=indptr,
+            indices=graph.indices[positions], weights=weights))
+    return subgraphs
+
+
+def merge_subgraphs(subgraphs: list[ShardSubgraph], *,
+                    directed: bool = False) -> Graph:
+    """Reassemble per-shard row groups into the original graph.
+
+    Exact inverse of :func:`partition_graph`: every node must be owned
+    by exactly one subgraph, and the result's CSR arrays equal the
+    source graph's element for element (indptr, indices, weights, and
+    per-row neighbour order included).
+    """
+    if not subgraphs:
+        raise ConfigError("no subgraphs to merge")
+    num_nodes = sum(sg.num_nodes for sg in subgraphs)
+    owned = np.zeros(num_nodes, dtype=bool)
+    counts = np.zeros(num_nodes, dtype=np.int64)
+    for sg in subgraphs:
+        nodes = np.asarray(sg.nodes, dtype=np.int64)
+        if nodes.size and (nodes.min() < 0 or nodes.max() >= num_nodes):
+            raise ConfigError(
+                f"shard {sg.shard} owns node ids outside "
+                f"[0, {num_nodes}) — subgraph set is not a partition")
+        if owned[nodes].any():
+            raise ConfigError(
+                f"shard {sg.shard} owns nodes already claimed by "
+                f"another shard")
+        owned[nodes] = True
+        counts[nodes] = np.diff(sg.indptr)
+    if not owned.all():
+        missing = int(np.flatnonzero(~owned)[0])
+        raise ConfigError(
+            f"node {missing} is owned by no subgraph — cannot merge")
+    indptr = np.concatenate(([0], np.cumsum(counts, dtype=np.int64)))
+    total = int(indptr[-1])
+    indices = np.empty(total, dtype=subgraphs[0].indices.dtype)
+    weighted = any(sg.weights is not None for sg in subgraphs)
+    weights = np.empty(total, dtype=np.float64) if weighted else None
+    for sg in subgraphs:
+        row_counts = np.diff(sg.indptr)
+        positions = _row_positions(indptr, np.asarray(sg.nodes), row_counts)
+        indices[positions] = sg.indices
+        if weighted:
+            weights[positions] = (1.0 if sg.weights is None
+                                  else sg.weights)
+    return Graph(indptr, indices, weights, directed=directed,
+                 validate=True)

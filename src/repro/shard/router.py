@@ -1,0 +1,350 @@
+r"""Scatter-gather query routing across per-shard worker pools.
+
+:class:`ShardRouter` presents the exact surface of a
+:class:`~repro.service.executor.ProcessExecutor` — ``run_batch`` /
+``start`` / ``shutdown`` / ``warm`` / ``stats`` / ``in_flight`` /
+``utilization`` — over one *pool per shard*, so the micro-batch
+scheduler plugs it in as its ``executor`` without knowing anything
+about shards.  Per kind:
+
+- **source / target / multiseed** scatter the identical batch to every
+  shard.  Each shard's workers run the full deterministic push over
+  the full graph (pushes are cheap; the fold is the expensive stage)
+  and fold only their own output rows, returning
+  :class:`~repro.shard.partial.ShardPartial` rows; the router
+  reassembles full vectors by pure array placement — no floating-point
+  arithmetic at merge time, so the merged estimates are bit-identical
+  to the unsharded fold.
+- **pair** items are grouped by the shard that owns each *source*
+  (``estimate_target_entries`` gathers the source row, which only that
+  shard's restriction carries) and dispatched concurrently; the
+  complete :class:`~repro.core.result.PairResult` objects come back
+  and are reassembled in request order.  Entry values are
+  column-independent in the fold, so the per-group computation is
+  bit-identical to the one-batch computation.
+- **topk** is affinity-routed whole to a single shard's pool, chosen
+  deterministically from the first query node.  The top-k solver
+  samples its own forest stream from the config seed and borrows no
+  bank, so any pool answers it bit-identically — scattering it would
+  *break* identity (per-shard partial top-k lists would come from
+  per-shard forest streams).  :func:`bounded_topk_merge` is the
+  tail-bounded merge for deployments that shard the candidate
+  generation itself.
+
+Because every shard runs the identical push for the same request, the
+merged result adopts shard 0's per-query stats verbatim — exactly the
+unsharded values, keeping serialized responses byte-identical across
+shard counts.  The genuinely duplicated per-shard work is reported
+separately through the ``stats`` out-parameter (``per_shard``) and the
+per-shard fold-latency histogram
+(``repro_service_shard_fold_seconds``).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import numpy as np
+
+from repro.core.result import PPRResult
+from repro.exceptions import ConfigError
+from repro.service.executor import ExecutorError, ProcessExecutor
+
+__all__ = ["ShardRouter", "bounded_topk_merge"]
+
+
+def bounded_topk_merge(candidates, k: int, tail_bounds=None):
+    """Merge per-shard descending ``(node, value)`` lists into a top-k.
+
+    ``candidates[i]`` holds shard ``i``'s locally-largest entries in
+    descending value order; ``tail_bounds[i]`` (optional) is an upper
+    bound on every entry shard ``i`` did *not* report (defaults to 0.0,
+    i.e. the list is complete).  Returns ``(top, exact)`` where ``top``
+    is the merged top-``k`` as ``(node, value)`` pairs — ties broken by
+    node id so the merge is deterministic — and ``exact`` is ``True``
+    iff no shard's unreported tail could displace any selected entry:
+    the k-th selected value must meet or exceed every tail bound.
+    """
+    if k < 1:
+        raise ConfigError(f"k must be >= 1, got {k}")
+    merged = [(float(value), int(node))
+              for shard_list in candidates
+              for node, value in shard_list]
+    merged.sort(key=lambda pair: (-pair[0], pair[1]))
+    top = [(node, value) for value, node in merged[:k]]
+    if tail_bounds is None:
+        tail_bounds = [0.0] * len(list(candidates))
+    if len(top) < k:
+        # fewer candidates than k: exact only if no shard held back
+        exact = not any(float(bound) > 0.0 for bound in tail_bounds)
+    else:
+        cutoff = top[-1][1]
+        exact = all(cutoff >= float(bound) for bound in tail_bounds)
+    return top, exact
+
+
+class ShardRouter:
+    """One :class:`ProcessExecutor` per shard behind the executor API.
+
+    Parameters
+    ----------
+    index_manager:
+        A sharded :class:`~repro.service.index_manager.IndexManager`
+        (``shards > 1``); the router runs ``index_manager.shards``
+        pools, each pinned to its shard's restricted bank.
+    workers_per_shard:
+        Pool size per shard (total workers = shards × this).
+    max_in_flight / task_timeout:
+        Forwarded to each per-shard pool.
+    metrics:
+        Optional :class:`~repro.service.metrics.ServiceMetrics`; each
+        dispatch records its per-shard fold wall time into the
+        ``repro_service_shard_fold_seconds`` histogram so shard
+        imbalance is visible from ``/metrics``.
+    """
+
+    def __init__(self, index_manager, *, workers_per_shard: int = 1,
+                 max_in_flight: int | None = None,
+                 task_timeout: float = 120.0, metrics=None):
+        if index_manager.shards < 2:
+            raise ConfigError(
+                "ShardRouter needs a sharded IndexManager (shards >= 2); "
+                "use ProcessExecutor directly for one shard")
+        self.index_manager = index_manager
+        self.num_shards = index_manager.shards
+        self.workers_per_shard = int(workers_per_shard)
+        self.num_workers = self.num_shards * self.workers_per_shard
+        self.task_timeout = float(task_timeout)
+        self.metrics = metrics
+        self.executors = [
+            ProcessExecutor(index_manager, workers=workers_per_shard,
+                            max_in_flight=max_in_flight,
+                            task_timeout=task_timeout, shard=shard)
+            for shard in range(self.num_shards)]
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "ShardRouter":
+        for executor in self.executors:
+            executor.start()
+        return self
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        for executor in self.executors:
+            executor.shutdown(timeout=timeout)
+
+    def __enter__(self) -> "ShardRouter":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def warm(self, graph: str | None = None, alpha: float | None = None,
+             timeout: float = 30.0, *, banks=None) -> int:
+        """Warm every shard pool against its own restricted bank.
+
+        Each pool's view is pinned to its shard, so the same
+        ``(graph, alpha)`` spec warms shard-``k`` workers with the
+        shard-``k`` bank and nothing else.  ``banks=`` (one entry per
+        worker of each pool) passes through.  Returns the total
+        completed warm-ups across all pools.
+        """
+        counts = [0] * self.num_shards
+
+        def one(shard: int):
+            counts[shard] = self.executors[shard].warm(
+                graph, alpha, timeout, banks=banks)
+
+        threads = [threading.Thread(target=one, args=(shard,), daemon=True)
+                   for shard in range(self.num_shards)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return sum(counts)
+
+    # -- scatter-gather ------------------------------------------------
+    def _scatter(self, calls):
+        """Run ``(shard, thunk)`` pairs concurrently; gather or raise.
+
+        Returns ``{shard: value}``.  The first shard failure wins and
+        is re-raised as :class:`ExecutorError` — the scheduler answers
+        that by folding inline on the whole-space bank, so a single
+        sick shard degrades throughput, never correctness.
+        """
+        if len(calls) == 1:
+            shard, thunk = calls[0]
+            return {shard: thunk()}
+        results: dict[int, object] = {}
+        errors: dict[int, BaseException] = {}
+        lock = threading.Lock()
+
+        def one(shard, thunk):
+            try:
+                value = thunk()
+            except BaseException as error:  # noqa: BLE001 - re-raised
+                with lock:
+                    errors[shard] = error
+            else:
+                with lock:
+                    results[shard] = value
+
+        threads = [threading.Thread(target=one, args=call, daemon=True)
+                   for call in calls]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            shard = min(errors)
+            error = errors[shard]
+            if isinstance(error, ExecutorError):
+                raise ExecutorError(
+                    f"shard {shard}: {error}") from error
+            raise error
+        return results
+
+    def _record_shard(self, per_shard: list[dict], stats: dict | None,
+                      shard_stats: dict[int, dict]) -> None:
+        """Fold per-shard extras into metrics and the stats out-param."""
+        for shard in sorted(shard_stats):
+            extra = shard_stats[shard]
+            fold = float(extra.get("fold_seconds", 0.0) or 0.0)
+            per_shard.append({"shard": shard, "fold_seconds": fold})
+            if self.metrics is not None:
+                self.metrics.record_shard_fold(shard, fold)
+        if stats is not None:
+            stats["per_shard"] = per_shard
+            if per_shard:
+                stats["fold_seconds"] = max(entry["fold_seconds"]
+                                            for entry in per_shard)
+
+    def run_batch(self, graph: str, kind: str, alpha: float,
+                  epsilon: float, nodes, *,
+                  pin: int | None = None,
+                  timeout: float | None = None,
+                  trace: bool = False,
+                  stats: dict | None = None) -> list:
+        """Scatter one batch across the shard pools and merge.
+
+        Same contract as :meth:`ProcessExecutor.run_batch`; results are
+        bit-identical to the unsharded executor for every kind.
+        ``pin`` is ignored (each pool pins its own warm tasks).
+        """
+        items = list(nodes)
+        if not items:
+            return []
+        if kind == "topk":
+            return self._run_affinity(graph, kind, alpha, epsilon, items,
+                                      timeout=timeout, trace=trace,
+                                      stats=stats)
+        if kind == "pair":
+            return self._run_pair(graph, kind, alpha, epsilon, items,
+                                  timeout=timeout, trace=trace,
+                                  stats=stats)
+        return self._run_scatter(graph, kind, alpha, epsilon, items,
+                                 timeout=timeout, trace=trace,
+                                 stats=stats)
+
+    def _run_scatter(self, graph, kind, alpha, epsilon, items, *,
+                     timeout, trace, stats):
+        """Full-vector kinds: every shard folds its own rows."""
+        shard_map = self.index_manager.shard_map(graph)
+        shard_stats: dict[int, dict] = {
+            shard: {} for shard in range(self.num_shards)}
+        gathered = self._scatter([
+            (shard, (lambda shard=shard: self.executors[shard].run_batch(
+                graph, kind, alpha, epsilon, items, timeout=timeout,
+                trace=trace and shard == 0, stats=shard_stats[shard])))
+            for shard in range(self.num_shards)])
+        num_nodes = shard_map.num_nodes
+        results = []
+        for position in range(len(items)):
+            estimates = np.empty(num_nodes, dtype=np.float64)
+            for shard in range(self.num_shards):
+                partial = gathered[shard][position]
+                estimates[shard_map.local_nodes(shard)] = partial.estimates
+            head = gathered[0][position]
+            # every shard ran the identical push, so shard 0's stats
+            # ARE the unsharded per-query stats — adopting them keeps
+            # serialized responses byte-identical across shard counts
+            results.append(PPRResult(
+                estimates=estimates, kind=head.kind,
+                query_node=head.query_node, method=head.method,
+                alpha=head.alpha, epsilon=head.epsilon,
+                stats=dict(head.stats)))
+        self._record_shard([], stats, shard_stats)
+        if stats is not None:
+            stats["spans"] = shard_stats[0].get("spans")
+        return results
+
+    def _run_pair(self, graph, kind, alpha, epsilon, items, *,
+                  timeout, trace, stats):
+        """Pair items go to the shard owning each source, in parallel."""
+        shard_map = self.index_manager.shard_map(graph)
+        groups: dict[int, list[int]] = {}
+        for position, (source, _target) in enumerate(items):
+            shard = int(shard_map.shard_of[int(source)])
+            groups.setdefault(shard, []).append(position)
+        shard_stats: dict[int, dict] = {shard: {} for shard in groups}
+        gathered = self._scatter([
+            (shard, (lambda shard=shard, positions=positions:
+                     self.executors[shard].run_batch(
+                         graph, kind, alpha, epsilon,
+                         [items[position] for position in positions],
+                         timeout=timeout,
+                         trace=trace and shard == min(groups),
+                         stats=shard_stats[shard])))
+            for shard, positions in sorted(groups.items())])
+        results: list = [None] * len(items)
+        for shard, positions in groups.items():
+            for offset, position in enumerate(positions):
+                results[position] = gathered[shard][offset]
+        self._record_shard([], stats, shard_stats)
+        if stats is not None:
+            stats["spans"] = shard_stats[min(groups)].get("spans")
+        return results
+
+    def _run_affinity(self, graph, kind, alpha, epsilon, items, *,
+                      timeout, trace, stats):
+        """Top-k: one pool answers the whole batch (it borrows no bank,
+        so every pool's answer is identical — routing by the first
+        query node just spreads load deterministically)."""
+        shard_map = self.index_manager.shard_map(graph)
+        shard = int(shard_map.shard_of[int(items[0][0])])
+        shard_stats = {shard: {}}
+        gathered = self._scatter([
+            (shard, lambda: self.executors[shard].run_batch(
+                graph, kind, alpha, epsilon, items, timeout=timeout,
+                trace=trace, stats=shard_stats[shard]))])
+        self._record_shard([], stats, shard_stats)
+        if stats is not None:
+            stats["spans"] = shard_stats[shard].get("spans")
+        return gathered[shard]
+
+    # -- observability -------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        return sum(executor.in_flight for executor in self.executors)
+
+    def utilization(self) -> list[float]:
+        return [fraction for executor in self.executors
+                for fraction in executor.utilization()]
+
+    def stats(self) -> dict:
+        """Executor-shaped snapshot plus a per-shard breakdown."""
+        per_shard = [executor.stats() for executor in self.executors]
+        return {
+            "mode": "sharded",
+            "shards": self.num_shards,
+            "workers": self.num_workers,
+            "alive": [flag for entry in per_shard
+                      for flag in entry["alive"]],
+            "in_flight": sum(entry["in_flight"] for entry in per_shard),
+            "tasks_done": [count for entry in per_shard
+                           for count in entry["tasks_done"]],
+            "respawns": sum(entry["respawns"] for entry in per_shard),
+            "utilization": self.utilization(),
+            "per_shard": per_shard,
+            "pid": os.getpid(),
+        }

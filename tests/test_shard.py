@@ -1,0 +1,574 @@
+"""Sharding subsystem: partition round-trips, restriction identity,
+scatter-gather routing, and the sharded index lifecycle.
+
+The load-bearing contract is *bit identity*: a sharded deployment must
+return exactly the bytes an unsharded one returns at the same seed,
+for every query kind.  The tests here enforce that at three layers —
+the restricted fold operators, the router over real forked worker
+pools, and the service facade — plus the exact-partition guarantee of
+the graph partitioner and the per-shard repair accounting of the
+dynamic lifecycle.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.config import PPRConfig
+from repro.exceptions import ConfigError, ReproError
+from repro.graph import from_edges
+from repro.graph.delta import GraphDelta, parse_edge_spec
+from repro.graph.generators import erdos_renyi, with_random_weights
+from repro.linalg import exact_ppr_matrix
+from repro.montecarlo.forest_index import ForestIndex
+from repro.parallel.shared_bank import bank_manifest
+from repro.service import (
+    IndexManager,
+    PPRService,
+    ProcessExecutor,
+    ServiceConfig,
+)
+from repro.shard import (
+    STRATEGIES,
+    ShardMap,
+    merge_subgraphs,
+    partition_graph,
+)
+from repro.shard.router import ShardRouter, bounded_topk_merge
+
+SEED = 2022
+ALPHA = 0.2
+EPSILON = 0.5
+
+
+# ---------------------------------------------------------------------
+class TestShardMap:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_partitions_the_node_space(self, strategy):
+        shard_map = ShardMap(101, 4, strategy)
+        assert shard_map.shard_of.shape == (101,)
+        assert shard_map.shard_of.min() >= 0
+        assert shard_map.shard_of.max() < 4
+        assert int(shard_map.shard_sizes.sum()) == 101
+        owned = np.concatenate([shard_map.local_nodes(shard)
+                                for shard in range(4)])
+        assert np.array_equal(np.sort(owned), np.arange(101))
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_locate_inverts_local_nodes(self, strategy):
+        shard_map = ShardMap(57, 3, strategy)
+        for shard in range(3):
+            for local, node in enumerate(shard_map.local_nodes(shard)):
+                assert shard_map.locate(int(node)) == (shard, local)
+
+    def test_local_nodes_ascending(self):
+        shard_map = ShardMap(200, 5, "hash")
+        for shard in range(5):
+            owned = shard_map.local_nodes(shard)
+            assert np.all(np.diff(owned) > 0)
+
+    def test_range_strategy_is_contiguous(self):
+        shard_map = ShardMap(10, 3, "range")
+        blocks = [shard_map.local_nodes(shard).tolist()
+                  for shard in range(3)]
+        assert blocks == [[0, 1, 2, 3], [4, 5, 6], [7, 8, 9]]
+
+    def test_dict_round_trip_and_determinism(self):
+        shard_map = ShardMap(64, 4, "hash")
+        rebuilt = ShardMap.from_dict(shard_map.to_dict())
+        assert rebuilt == shard_map
+        assert np.array_equal(rebuilt.shard_of, shard_map.shard_of)
+        assert np.array_equal(rebuilt.local_of, shard_map.local_of)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError, match="num_shards"):
+            ShardMap(10, 0)
+        with pytest.raises(ConfigError, match="strategy"):
+            ShardMap(10, 2, "modulo")
+        with pytest.raises(ConfigError, match="out of range"):
+            ShardMap(10, 2).locate(10)
+        with pytest.raises(ConfigError, match="out of range"):
+            ShardMap(10, 2).local_nodes(2)
+
+
+# ---------------------------------------------------------------------
+def _assert_same_graph(merged, graph):
+    assert merged.num_nodes == graph.num_nodes
+    assert np.array_equal(merged.indptr, graph.indptr)
+    assert np.array_equal(merged.indices, graph.indices)
+    if graph.weights is None:
+        assert merged.weights is None or np.all(merged.weights == 1.0)
+    else:
+        assert np.array_equal(merged.weights, graph.weights)
+
+
+class TestPartitionMerge:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    @pytest.mark.parametrize("num_shards", [1, 3, 7])
+    def test_round_trip_er_graph(self, strategy, num_shards):
+        graph = erdos_renyi(60, 0.1, rng=SEED)
+        shard_map = ShardMap(graph.num_nodes, num_shards, strategy)
+        merged = merge_subgraphs(partition_graph(graph, shard_map))
+        _assert_same_graph(merged, graph)
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_round_trip_weighted(self, strategy):
+        graph = with_random_weights(erdos_renyi(40, 0.15, rng=3),
+                                    low=0.5, high=4.0, rng=11)
+        shard_map = ShardMap(graph.num_nodes, 4, strategy)
+        merged = merge_subgraphs(partition_graph(graph, shard_map))
+        _assert_same_graph(merged, graph)
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_round_trip_directed(self, strategy):
+        graph = from_edges([(0, 1), (1, 2), (2, 0), (3, 1), (4, 0)],
+                           num_nodes=6, directed=True)
+        shard_map = ShardMap(graph.num_nodes, 3, strategy)
+        merged = merge_subgraphs(partition_graph(graph, shard_map),
+                                 directed=True)
+        assert merged.directed
+        _assert_same_graph(merged, graph)
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_property_random_graphs(self, strategy):
+        """Seeded sweep over sizes, densities, weights, shard counts."""
+        rng = np.random.default_rng(99)
+        for _ in range(8):
+            num_nodes = int(rng.integers(2, 80))
+            density = float(rng.uniform(0.02, 0.3))
+            graph = erdos_renyi(num_nodes, density,
+                                rng=int(rng.integers(1 << 30)))
+            if rng.random() < 0.5:
+                graph = with_random_weights(
+                    graph, rng=int(rng.integers(1 << 30)))
+            num_shards = int(rng.integers(1, num_nodes + 1))
+            shard_map = ShardMap(num_nodes, num_shards, strategy)
+            merged = merge_subgraphs(partition_graph(graph, shard_map))
+            _assert_same_graph(merged, graph)
+
+    def test_merge_rejects_non_partitions(self):
+        import dataclasses
+
+        graph = erdos_renyi(20, 0.2, rng=1)
+        shard_map = ShardMap(20, 4, "hash")
+        subgraphs = partition_graph(graph, shard_map)
+        with pytest.raises(ConfigError, match="no subgraphs"):
+            merge_subgraphs([])
+        # dropping a shard shrinks the implied node space, so the
+        # remaining owners' ids fall out of range
+        with pytest.raises(ConfigError, match="not a partition"):
+            merge_subgraphs(subgraphs[:-1])
+        with pytest.raises(ConfigError, match="already claimed"):
+            merge_subgraphs(subgraphs + [subgraphs[0]])
+        sparse = from_edges([(0, 1)], num_nodes=4)
+        halves = partition_graph(sparse, ShardMap(4, 2, "range"))
+        orphaning = dataclasses.replace(halves[1],
+                                        nodes=np.array([2, 2]))
+        with pytest.raises(ConfigError, match="owned by no subgraph"):
+            merge_subgraphs([halves[0], orphaning])
+
+    def test_partition_checks_node_count(self):
+        graph = erdos_renyi(20, 0.2, rng=1)
+        with pytest.raises(ConfigError, match="covers"):
+            partition_graph(graph, ShardMap(19, 2))
+
+
+# ---------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def graph30():
+    return erdos_renyi(30, 0.2, rng=7)
+
+
+@pytest.fixture(scope="module")
+def index30(graph30):
+    return ForestIndex.build(graph30, ALPHA, 64, rng=SEED)
+
+
+class TestRestrictionIdentity:
+    """A shard bank's fold must equal the full bank's rows, bitwise."""
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_source_and_target_rows(self, graph30, index30, strategy):
+        shard_map = ShardMap(graph30.num_nodes, 3, strategy)
+        rng = np.random.default_rng(5)
+        residuals = rng.random((4, graph30.num_nodes))
+        full_source = index30.estimate_source_many(residuals)
+        full_target = index30.estimate_target_many(residuals)
+        for shard in range(3):
+            local = shard_map.local_nodes(shard)
+            restricted = index30.restrict(local, shard_index=shard,
+                                          shard_count=3,
+                                          strategy=strategy)
+            assert np.array_equal(
+                restricted.estimate_source_many(residuals),
+                full_source[:, local])
+            assert np.array_equal(
+                restricted.estimate_target_many(residuals),
+                full_target[:, local])
+
+    def test_merged_shards_match_full_and_oracle(self, graph30):
+        """Shard-merged estimates == whole-bank estimates bitwise, and
+        the whole bank tracks the exact operator (the oracle check the
+        cut-edge handling is accountable to)."""
+        index = ForestIndex.build(graph30, ALPHA, 800, rng=SEED)
+        shard_map = ShardMap(graph30.num_nodes, 3, "hash")
+        sources = np.arange(5)
+        residuals = np.eye(graph30.num_nodes)[sources]
+        full = index.estimate_source_many(residuals)
+        merged = np.empty_like(full)
+        for shard in range(3):
+            local = shard_map.local_nodes(shard)
+            restricted = index.restrict(local, shard_index=shard,
+                                        shard_count=3)
+            merged[:, local] = restricted.estimate_source_many(residuals)
+        assert np.array_equal(merged, full)
+        exact = exact_ppr_matrix(graph30, ALPHA)[sources]
+        assert float(np.abs(merged - exact).max()) < 0.08
+
+    def test_target_entries_on_shard(self, graph30, index30):
+        shard_map = ShardMap(graph30.num_nodes, 3, "hash")
+        local = shard_map.local_nodes(1)
+        restricted = index30.restrict(local, shard_index=1, shard_count=3)
+        entries = local[[0, 2, 2]]
+        rng = np.random.default_rng(9)
+        residuals = rng.random((3, graph30.num_nodes))
+        full_rows = index30.estimate_target_many(residuals)
+        expected = full_rows[np.arange(3), entries]
+        got = restricted.estimate_target_entries(residuals, entries)
+        assert np.array_equal(got, expected)
+
+    def test_target_entries_reject_foreign_nodes(self, graph30, index30):
+        shard_map = ShardMap(graph30.num_nodes, 3, "hash")
+        local = shard_map.local_nodes(1)
+        restricted = index30.restrict(local, shard_index=1, shard_count=3)
+        foreign = shard_map.local_nodes(0)[:1]
+        residuals = np.random.default_rng(9).random(
+            (1, graph30.num_nodes))
+        with pytest.raises(ConfigError, match="not owned"):
+            restricted.estimate_target_entries(residuals, foreign)
+
+    def test_double_restriction_rejected(self, graph30, index30):
+        shard_map = ShardMap(graph30.num_nodes, 2, "hash")
+        restricted = index30.restrict(shard_map.local_nodes(0),
+                                      shard_index=0, shard_count=2)
+        with pytest.raises(ConfigError):
+            restricted.restrict(shard_map.local_nodes(0)[:1])
+
+
+class TestShardBankFormat:
+    def test_restricted_bank_round_trip(self, tmp_path, graph30,
+                                        index30):
+        shard_map = ShardMap(graph30.num_nodes, 3, "hash")
+        local = shard_map.local_nodes(2)
+        restricted = index30.restrict(local, shard_index=2,
+                                      shard_count=3)
+        bank_dir = tmp_path / "shard-2"
+        restricted.save_bank(bank_dir)
+        manifest = bank_manifest(bank_dir)
+        assert manifest["version"] == 2
+        assert manifest["meta"]["shard_index"] == 2
+        assert manifest["meta"]["shard_count"] == 3
+        loaded = ForestIndex.load_bank(bank_dir, graph30)
+        assert np.array_equal(loaded.local_nodes, local)
+        residuals = np.random.default_rng(4).random(
+            (2, graph30.num_nodes))
+        assert np.array_equal(
+            loaded.estimate_source_many(residuals),
+            restricted.estimate_source_many(residuals))
+
+    def test_older_manifest_versions_still_load(self, tmp_path,
+                                                graph30, index30):
+        bank_dir = tmp_path / "bank"
+        index30.save_bank(bank_dir)
+        manifest_path = bank_dir / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["version"] = 1
+        manifest_path.write_text(json.dumps(manifest))
+        assert bank_manifest(bank_dir)["version"] == 1
+        loaded = ForestIndex.load_bank(bank_dir, graph30)
+        assert loaded.num_forests == index30.num_forests
+
+    def test_newer_manifest_versions_rejected(self, tmp_path, graph30,
+                                              index30):
+        bank_dir = tmp_path / "bank"
+        index30.save_bank(bank_dir)
+        manifest_path = bank_dir / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["version"] = 99
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ConfigError, match="version"):
+            bank_manifest(bank_dir)
+
+
+# ---------------------------------------------------------------------
+class TestBoundedTopkMerge:
+    def test_merges_across_shards(self):
+        top, exact = bounded_topk_merge(
+            [[(1, 0.5), (2, 0.2)], [(3, 0.4), (4, 0.1)]], 3)
+        assert top == [(1, 0.5), (3, 0.4), (2, 0.2)]
+        assert exact
+
+    def test_ties_break_by_node_id(self):
+        top, _ = bounded_topk_merge([[(7, 0.3)], [(2, 0.3)]], 2)
+        assert top == [(2, 0.3), (7, 0.3)]
+
+    def test_short_result_exact_only_without_tail_mass(self):
+        _, exact = bounded_topk_merge([[(1, 0.5)]], 3,
+                                      tail_bounds=[0.0])
+        assert exact
+        _, exact = bounded_topk_merge([[(1, 0.5)]], 3,
+                                      tail_bounds=[0.01])
+        assert not exact
+
+    def test_cutoff_vs_tail_bounds(self):
+        candidates = [[(1, 0.5), (2, 0.4)], [(3, 0.3)]]
+        _, exact = bounded_topk_merge(candidates, 2,
+                                      tail_bounds=[0.1, 0.35])
+        assert exact  # cutoff 0.4 dominates both bounds
+        _, exact = bounded_topk_merge(candidates, 2,
+                                      tail_bounds=[0.45, 0.0])
+        assert not exact
+
+
+class TestShardedServiceConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError, match="shards"):
+            ServiceConfig(shards=0)
+        with pytest.raises(ConfigError, match="shard_strategy"):
+            ServiceConfig(shard_strategy="modulo")
+        with pytest.raises(ConfigError, match="executor='process'"):
+            ServiceConfig(shards=2, executor="thread")
+        config = ServiceConfig(shards=2, executor="process", workers=1)
+        assert "shards          2 (hash)" in config.describe()
+
+
+# ---------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(200, 0.03, rng=SEED)
+
+
+def _manager(graph, **overrides):
+    config = PPRConfig(alpha=ALPHA, epsilon=EPSILON, seed=SEED,
+                       budget_scale=0.05)
+    manager = IndexManager(config, num_forests=4, **overrides)
+    manager.register_graph("test", graph)
+    return manager
+
+
+@pytest.fixture(scope="module")
+def router_setup(graph):
+    """One manager serving both a flat pool and a 3-shard router."""
+    manager = _manager(graph, shards=3)
+    flat = ProcessExecutor(manager, workers=1).start()
+    router = ShardRouter(manager, workers_per_shard=1).start()
+    yield manager, flat, router
+    router.shutdown()
+    flat.shutdown()
+    manager.close_shared()
+
+
+class TestShardedManager:
+    def test_shared_view_publishes_restrictions(self, graph):
+        manager = _manager(graph, shards=2)
+        try:
+            view = manager.shared_view("test", shard=1)
+            try:
+                meta = view.index_handle.meta_dict
+                assert meta["shard_index"] == 1
+                assert meta["shard_count"] == 2
+            finally:
+                view.release()
+            with pytest.raises(ConfigError, match="shard"):
+                manager.shared_view("test", shard=2)
+        finally:
+            manager.close_shared()
+
+    def test_shard_map_matches_strategy(self, graph):
+        manager = _manager(graph, shards=4, shard_strategy="range")
+        shard_map = manager.shard_map("test")
+        assert shard_map == ShardMap(graph.num_nodes, 4, "range")
+        assert manager.stats()["shards"] == 4
+        assert manager.stats()["shard_strategy"] == "range"
+
+    def test_mutate_attributes_repair_to_owning_shards(self, graph):
+        """Acceptance: dirty nodes confined to one shard leave every
+        other shard's repair counter exactly zero."""
+        manager = _manager(graph, shards=4, dynamic=True)
+        manager.get_index("test")
+        shard_map = manager.shard_map("test")
+        owned = shard_map.local_nodes(2)
+        u, v = int(owned[0]), int(owned[1])
+        delta = GraphDelta([parse_edge_spec(f"{u}:{v}:1.5",
+                                            op="upsert")])
+        summary = manager.mutate("test", delta)
+        assert sorted(summary["dirty_nodes"]) == sorted([u, v])
+        per_shard = {entry["shard"]: entry
+                     for entry in summary["shards"]}
+        assert set(per_shard) == {0, 1, 2, 3}
+        assert per_shard[2]["dirty_nodes"] == 2
+        for shard in (0, 1, 3):
+            assert per_shard[shard]["dirty_nodes"] == 0
+            assert per_shard[shard]["repair_dirty_nodes"] == 0
+        total = sum(entry["repair_dirty_nodes"]
+                    for entry in summary["shards"])
+        assert total == summary["work"]["repair_dirty_nodes"]
+        assert per_shard[2]["repair_dirty_nodes"] == total
+
+
+class TestShardRouter:
+    def test_requires_multiple_shards(self, graph):
+        manager = _manager(graph)
+        with pytest.raises(ConfigError, match="shards"):
+            ShardRouter(manager)
+        manager.close_shared()
+
+    def test_warm_covers_every_shard(self, router_setup):
+        _, _, router = router_setup
+        assert router.warm("test", ALPHA) == 3
+        stats = router.stats()
+        assert stats["mode"] == "sharded"
+        assert stats["shards"] == 3
+        assert stats["workers"] == 3
+        assert len(stats["per_shard"]) == 3
+
+    @pytest.mark.parametrize("kind", ["source", "target"])
+    def test_vector_kinds_bit_identical(self, router_setup, kind):
+        _, flat, router = router_setup
+        items = (0, 5, 17, 150)
+        flat_results = flat.run_batch("test", kind, ALPHA, EPSILON,
+                                      items)
+        routed = router.run_batch("test", kind, ALPHA, EPSILON, items)
+        for one, other in zip(flat_results, routed):
+            assert np.array_equal(one.estimates, other.estimates)
+            # stats match except wall-clock timings, which are real
+            # measurements on both paths
+            deterministic = {key: value
+                             for key, value in one.stats.items()
+                             if not key.endswith("_seconds")}
+            assert deterministic == {
+                key: value for key, value in other.stats.items()
+                if not key.endswith("_seconds")}
+
+    def test_multiseed_bit_identical(self, router_setup):
+        _, flat, router = router_setup
+        items = (((1, 2, 5), (0.2, 0.3, 0.5)), ((0, 9), (0.5, 0.5)))
+        flat_results = flat.run_batch("test", "multiseed", ALPHA,
+                                      EPSILON, items)
+        routed = router.run_batch("test", "multiseed", ALPHA, EPSILON,
+                                  items)
+        for one, other in zip(flat_results, routed):
+            assert np.array_equal(one.estimates, other.estimates)
+
+    def test_topk_bit_identical(self, router_setup):
+        _, flat, router = router_setup
+        items = ((3, 5), (42, 3))
+        flat_results = flat.run_batch("test", "topk", ALPHA, EPSILON,
+                                      items)
+        routed = router.run_batch("test", "topk", ALPHA, EPSILON, items)
+        for one, other in zip(flat_results, routed):
+            assert np.array_equal(one.nodes, other.nodes)
+            assert np.array_equal(one.estimates, other.estimates)
+            assert one.converged == other.converged
+
+    def test_pair_bit_identical_across_groups(self, router_setup):
+        manager, flat, router = router_setup
+        shard_map = manager.shard_map("test")
+        # pick sources owned by three different shards so the router
+        # has to scatter the batch and reassemble it in order
+        sources = [int(shard_map.local_nodes(shard)[0])
+                   for shard in range(3)]
+        items = tuple((source, (source + 7) % 200)
+                      for source in sources) + ((sources[0], 11),)
+        assert len({shard_map.shard_of[s] for s, _ in items}) == 3
+        flat_results = flat.run_batch("test", "pair", ALPHA, EPSILON,
+                                      items)
+        stats: dict = {}
+        routed = router.run_batch("test", "pair", ALPHA, EPSILON,
+                                  items, stats=stats)
+        for one, other in zip(flat_results, routed):
+            assert float(one) == float(other)
+            assert one.source == other.source
+            assert one.target == other.target
+        assert len(stats["per_shard"]) == 3
+
+    def test_scatter_reports_per_shard_folds(self, router_setup):
+        _, _, router = router_setup
+        stats: dict = {}
+        router.run_batch("test", "source", ALPHA, EPSILON, (1,),
+                         stats=stats)
+        shards = [entry["shard"] for entry in stats["per_shard"]]
+        assert shards == [0, 1, 2]
+        assert stats["fold_seconds"] >= max(
+            0.0, *(entry["fold_seconds"]
+                   for entry in stats["per_shard"]))
+
+
+class TestWarmBanksList:
+    def test_per_worker_bank_specs(self, graph):
+        manager = _manager(graph)
+        executor = ProcessExecutor(manager, workers=2).start()
+        try:
+            assert executor.warm(banks=[("test", None), None]) == 1
+            assert executor.warm(banks=[("test", ALPHA),
+                                        ("test", ALPHA)]) == 2
+            with pytest.raises(ReproError, match="banks"):
+                executor.warm(banks=[("test", None)])
+            with pytest.raises(ReproError, match="graph"):
+                executor.warm()
+        finally:
+            executor.shutdown()
+            manager.close_shared()
+
+
+# ---------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def sharded_service(graph):
+    config = ServiceConfig(graph="test", alpha=ALPHA, epsilon=EPSILON,
+                           budget_scale=0.05, seed=SEED, max_batch=8,
+                           max_wait_ms=5.0, queue_capacity=64,
+                           cache_entries=16, port=0,
+                           executor="process", workers=1, shards=2)
+    with PPRService(config, graph=graph) as svc:
+        yield svc
+
+
+class TestShardedService:
+    def test_healthz_reports_shard_layout(self, graph, sharded_service):
+        health = sharded_service.healthz()
+        block = health["shards"]
+        assert block["count"] == 2
+        assert block["strategy"] == "hash"
+        assert sum(entry["nodes"] for entry in block["per_shard"]) \
+            == graph.num_nodes
+        assert sum(entry["edges"] for entry in block["per_shard"]) \
+            == graph.indices.size
+
+    def test_answers_match_unsharded_solver(self, graph,
+                                            sharded_service):
+        # same config => same recommended bank size as the service
+        fresh = IndexManager(PPRConfig(alpha=ALPHA, epsilon=EPSILON,
+                                       seed=SEED, budget_scale=0.05))
+        fresh.register_graph("test", graph)
+        try:
+            direct = fresh.get_solver("test", "source", alpha=ALPHA,
+                                      epsilon=EPSILON)
+            for node in (0, 5, 17):
+                served, _ = sharded_service.query_result(
+                    "source", node, use_cache=False)
+                assert np.array_equal(served.estimates,
+                                      direct.query(node).estimates)
+        finally:
+            fresh.close_shared()
+
+    def test_shard_fold_histograms_exposed(self, sharded_service):
+        sharded_service.query("source", 3)
+        text = sharded_service.metrics_text()
+        assert 'repro_service_shard_fold_seconds_bucket{shard="0"' \
+            in text
+        assert 'repro_service_shard_fold_seconds_bucket{shard="1"' \
+            in text
