@@ -26,3 +26,10 @@ def bench_fig6(benchmark, show_table):
         assert max(sizes.values()) / max(min(sizes.values()), 1e-9) < 40
         for size in sizes.values():
             assert size > 0
+        # dtype-aware bank sizes (forest indexes only): float32
+        # storage must meaningfully shrink the serialized bank
+        for row in rows:
+            if row["dataset"] != dataset or row["bank_mb_f64"] == "":
+                continue
+            assert row["bank_mb_f64"] > 0
+            assert row["bank_mb_f32"] < 0.75 * row["bank_mb_f64"]

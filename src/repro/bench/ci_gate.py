@@ -38,7 +38,8 @@ from repro.parallel import parallel_estimate_stage, sample_forests_parallel
 from repro.push import backward_push, balanced_forward_push
 
 __all__ = ["main", "run_kernels", "calibration_seconds",
-           "check_trace_overhead", "check_topk_early_termination"]
+           "check_trace_overhead", "check_topk_early_termination",
+           "check_variance_walk_steps"]
 
 SEED = 2022
 ALPHA = 0.1
@@ -113,6 +114,18 @@ def run_kernels(workers: int = 4) -> dict[str, dict]:
                                         rng=SEED, workers=1)
         return stage.counters.as_dict()
 
+    def estimate_stage_cv():
+        # the control-variate fold: basic-estimator stage + the scalar
+        # regression adjustment (cv_combine credits cv_fits)
+        from repro.forests.estimators import cv_combine
+        stage = parallel_estimate_stage(graph, ALPHA, 32, residual,
+                                        kind="source", improved=False,
+                                        rng=SEED, workers=1,
+                                        variance_mode="control_variate")
+        cv_combine(stage.cv_accumulator(), graph.degrees,
+                   counters=stage.counters)
+        return stage.counters.as_dict()
+
     def push_kernel(func, backend, r_max=5e-5):
         def run():
             from repro.counters import WorkCounters
@@ -122,14 +135,19 @@ def run_kernels(workers: int = 4) -> dict[str, dict]:
             return work.as_dict()
         return run
 
+    # the flagship queries run in stratified mode: the forest budget ω
+    # is discounted by the measured variance gain, which is exactly the
+    # walk-step cut check_variance_walk_steps gates on
     def speedlv_query():
         result = single_source(graph, 0, method="speedlv", alpha=ALPHA,
-                               budget_scale=0.05, seed=SEED)
+                               budget_scale=0.05, seed=SEED,
+                               variance_mode="stratified")
         return result.work.as_dict()
 
     def backlv_query():
         result = single_target(graph, 1, method="backlv", alpha=ALPHA,
-                               budget_scale=0.05, seed=SEED)
+                               budget_scale=0.05, seed=SEED,
+                               variance_mode="stratified")
         return result.work.as_dict()
 
     # the serving path: one shared bank, a whole micro-batch through the
@@ -230,6 +248,8 @@ def run_kernels(workers: int = 4) -> dict[str, dict]:
                            ("forest_sampling_parallel", forest_parallel),
                            ("estimate_stage_source_improved",
                             estimate_stage),
+                           ("estimate_stage_source_cv",
+                            estimate_stage_cv),
                            ("forward_push_vectorized",
                             push_kernel(balanced_forward_push,
                                         "vectorized")),
@@ -283,6 +303,15 @@ TOPK_K = 5
 TOPK_REDUCTION_FLOOR = 0.20
 TOPK_OVERLAP_FLOOR = TOPK_K - 1
 
+#: Variance-reduction gate: walk steps each flagship query consumed in
+#: ``variance_mode="improved"`` at the same seed/flags (the pre-v3
+#: committed baseline), and the minimum fractional cut the stratified
+#: forest-budget discount must keep delivering against them.  The
+#: accuracy side is covered by the test suite's unchanged assertions
+#: on these exact queries.
+IMPROVED_WALK_STEPS = {"speedlv_query": 9371, "backlv_query": 198006}
+VARIANCE_WALK_REDUCTION_FLOOR = 0.25
+
 
 def check_trace_overhead(kernels: dict[str, dict],
                          budget: float = TRACE_OVERHEAD_BUDGET
@@ -326,6 +355,31 @@ def check_topk_early_termination(kernels: dict[str, dict],
               f"steps, floor {floor:.0%}), min top-{TOPK_K} overlap "
               f"{overlap}/{TOPK_K} (floor {TOPK_OVERLAP_FLOOR})")
     return (reduction >= floor and overlap >= TOPK_OVERLAP_FLOOR), detail
+
+
+def check_variance_walk_steps(kernels: dict[str, dict],
+                              floor: float = VARIANCE_WALK_REDUCTION_FLOOR
+                              ) -> tuple[bool, str]:
+    """Stratified queries must stay under the tightened walk budget.
+
+    :func:`compare_to_baseline` only flags counter *growth*, so the
+    walk-step cut bought by the variance-gain discount needs its own
+    floor: each flagship query kernel (now running stratified) must
+    use at least ``floor`` fewer walk steps than its pinned
+    improved-mode count (:data:`IMPROVED_WALK_STEPS`).  Both runs are
+    deterministic at the gate's fixed seed, so this is a pure budget
+    assertion, not a timing one.
+    """
+    details = []
+    ok = True
+    for name, improved_steps in IMPROVED_WALK_STEPS.items():
+        steps = kernels[name]["counters"]["walk_steps"]
+        reduction = 1.0 - steps / improved_steps
+        ok = ok and reduction >= floor
+        details.append(f"{name} {reduction:.1%} ({steps} vs "
+                       f"{improved_steps} improved-mode steps)")
+    return ok, ("stratified walk-step cut (floor "
+                f"{floor:.0%}): " + ", ".join(details))
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -378,6 +432,13 @@ def main(argv: list[str] | None = None) -> int:
               f"({TOPK_REDUCTION_FLOOR:.0%} saving at "
               f">={TOPK_OVERLAP_FLOOR}/{TOPK_K} overlap)",
               file=sys.stderr)
+        return 1
+
+    variance_ok, variance_detail = check_variance_walk_steps(kernels)
+    print(variance_detail)
+    if not variance_ok:
+        print("STRATIFIED WALK-STEP CUT below floor "
+              f"({VARIANCE_WALK_REDUCTION_FLOOR:.0%})", file=sys.stderr)
         return 1
 
     if args.baseline is None:

@@ -316,10 +316,20 @@ def fig6_index_size(datasets=("livejournal", "orkut"), *,
             graph.weights.nbytes if graph.weights is not None else 0)
         indexes = _build_indexes(graph, alpha, epsilon, seed)
         for method, index in indexes.items():
+            # serialized bank footprint at each storage dtype — the
+            # --bank-dtype float32 halving is what Fig. 6 should
+            # credit, not the in-memory forest objects.  Walk indexes
+            # have no operator bank, hence the empty cells.
+            forest = isinstance(index, ForestIndex)
             rows.append({
                 "dataset": name, "method": method,
                 "index_mb": index.size_bytes / 2**20,
                 "graph_mb": graph_bytes / 2**20,
+                "bank_mb_f64": (index.bank_nbytes() / 2**20
+                                if forest else ""),
+                "bank_mb_f32": (
+                    index.bank_nbytes(bank_dtype="float32") / 2**20
+                    if forest else ""),
             })
     return rows
 

@@ -44,6 +44,7 @@ from repro.bench.reporting import format_markdown_table
 from repro.core import single_source, single_target
 from repro.core.pairwise import pair_ppr
 from repro.exceptions import ReproError
+from repro.core.config import VARIANCE_MODES
 from repro.graph.datasets import load_dataset, table1_statistics
 from repro.push.kernels import DEFAULT_PUSH_BACKEND, PUSH_BACKENDS
 
@@ -98,6 +99,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="sweep kernel for the deterministic push "
                             "stage; both backends print identical output "
                             "at a fixed seed")
+    query.add_argument("--variance-mode", choices=list(VARIANCE_MODES),
+                       default="improved",
+                       help="forest-stage variance reduction: "
+                            "control_variate regresses against the "
+                            "degree-mass variate, stratified couples "
+                            "sampling chunks through a Latin-hypercube "
+                            "grid (and shrinks the forest budget by "
+                            "its measured variance gain)")
 
     pair = commands.add_parser("pair", help="estimate one pi(s, t)")
     pair.add_argument("dataset")
@@ -165,6 +174,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="build repairable dynamic banks so POST "
                             "/mutate repairs forests incrementally "
                             "instead of rebuilding")
+    serve.add_argument("--bank-dir", default=None, metavar="DIR",
+                       help="preload generation 0 from a saved bank "
+                            "(`repro index build` output) instead of "
+                            "sampling at boot; the bank must match the "
+                            "graph and --alpha")
     serve.add_argument("--executor", choices=["thread", "process"],
                        default="thread",
                        help="batch-fold execution: in-process threads "
@@ -231,6 +245,27 @@ def build_parser() -> argparse.ArgumentParser:
     index_build.add_argument("--shard-strategy",
                              choices=["hash", "range"], default="hash",
                              help="node->shard assignment for --shards")
+    index_build.add_argument("--variance-mode",
+                             choices=list(VARIANCE_MODES),
+                             default="improved",
+                             help="sampling variance reduction; "
+                                  "stratified couples the bank through "
+                                  "a Latin-hypercube grid and shrinks "
+                                  "the --epsilon sizing by its measured "
+                                  "variance gain")
+    index_build.add_argument("--node-order",
+                             choices=["none", "degree", "bfs"],
+                             default="none",
+                             help="cache-aware bank row relabeling "
+                                  "(format v3); float64 answers stay "
+                                  "byte-identical to --node-order none")
+    index_build.add_argument("--bank-dtype",
+                             choices=["float64", "float32"],
+                             default="float64",
+                             help="operator storage dtype; float32 "
+                                  "halves the dominant bank arrays at "
+                                  "a bounded (documented) accuracy "
+                                  "cost")
     index_mutate = index_actions.add_parser(
         "mutate", help="apply edge updates to a dynamic bank")
     index_mutate.add_argument("bank_dir",
@@ -320,7 +355,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
     graph = load_dataset(args.dataset, scale=args.scale)
     common = dict(alpha=args.alpha, epsilon=args.epsilon,
                   budget_scale=args.budget_scale, seed=args.seed,
-                  workers=args.workers, push_backend=args.push_backend)
+                  workers=args.workers, push_backend=args.push_backend,
+                  variance_mode=args.variance_mode)
 
     if args.top_k is not None:
         if args.kind != "source":
@@ -514,6 +550,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_wait_ms=args.max_wait_ms, queue_capacity=args.queue_capacity,
         cache_entries=args.cache_entries, host=args.host, port=args.port,
         executor=args.executor, dynamic=args.dynamic,
+        bank_dir=args.bank_dir,
         shards=args.shards, shard_strategy=args.shard_strategy,
         trace_sample_rate=args.trace_sample_rate,
         trace_buffer=args.trace_buffer,
@@ -619,20 +656,29 @@ def _cmd_index(args: argparse.Namespace) -> int:
                 "--shards does not combine with --dynamic banks; "
                 "sharded dynamic repair lives in the service "
                 "(`repro serve --shards N --dynamic`)")
+        if args.dynamic and (args.node_order != "none"
+                             or args.bank_dtype != "float64"):
+            raise ConfigError(
+                "--node-order/--bank-dtype do not combine with "
+                "--dynamic banks: arrow records replay against raw "
+                "node ids in full precision")
         graph = load_dataset(args.dataset, scale=args.scale)
         size = args.num_forests or ForestIndex.recommended_size(
-            graph, args.epsilon)
+            graph, args.epsilon, variance_mode=args.variance_mode)
         if args.dynamic:
             from repro.montecarlo.dynamic_index import DynamicForestIndex
 
-            index = DynamicForestIndex.build(graph, args.alpha, size,
-                                             rng=args.seed)
+            index = DynamicForestIndex.build(
+                graph, args.alpha, size, rng=args.seed,
+                variance_mode=args.variance_mode)
             index.save_dynamic_bank(args.out_dir)
         else:
             index = ForestIndex.build(graph, args.alpha, size,
                                       rng=args.seed,
-                                      workers=args.workers)
-            index.save_bank(args.out_dir)
+                                      workers=args.workers,
+                                      variance_mode=args.variance_mode)
+            index.save_bank(args.out_dir, node_order=args.node_order,
+                            bank_dtype=args.bank_dtype)
         manifest = bank_manifest(args.out_dir)
         payload = sum(spec["nbytes"]
                       for spec in manifest["arrays"].values())
@@ -641,6 +687,8 @@ def _cmd_index(args: argparse.Namespace) -> int:
               f"{graph.num_nodes} nodes, {graph.num_edges} edges)")
         print(f"  alpha {args.alpha:g}  forests {index.num_forests}  "
               f"steps {index.build_steps}")
+        print(f"  variance {args.variance_mode}  "
+              f"layout {args.node_order}/{args.bank_dtype}")
         print(f"  arrays {len(manifest['arrays'])}  "
               f"payload {payload} bytes  "
               f"format v{manifest['version']}")
@@ -706,13 +754,29 @@ def _cmd_index(args: argparse.Namespace) -> int:
     meta = manifest.get("meta", {})
     payload = sum(spec["nbytes"] for spec in manifest["arrays"].values())
     print(f"array bank, format v{manifest['version']}")
-    # build_seconds is wall clock — everything printed here is stable
+    # build_seconds is wall clock — everything printed here is stable.
+    # bank_dtype / node_order / variance_mode are v3 keys; pre-v3 banks
+    # carry the implied defaults.
     for key in ("kind", "alpha", "num_nodes", "num_forests",
                 "build_steps", "degree_checksum"):
         if key in meta:
             print(f"  {key:16s} {meta[key]}")
+    print(f"  {'bank_dtype':16s} {meta.get('bank_dtype', 'float64')}")
+    print(f"  {'node_order':16s} {meta.get('node_order', 'none')}")
+    print(f"  {'variance_mode':16s} "
+          f"{meta.get('variance_mode', 'improved')}")
     print(f"  {'arrays':16s} {len(manifest['arrays'])}")
     print(f"  {'payload_bytes':16s} {payload}")
+    # per-operator rollup: the three CSR arrays of each fold operator,
+    # so layout/dtype experiments can see where the bytes live
+    for op in ("tree_sum", "spread_source", "scatter_root",
+               "spread_target", "gather_root"):
+        parts = [f"{op}_{suffix}" for suffix in
+                 ("indptr", "indices", "data")]
+        if all(part in manifest["arrays"] for part in parts):
+            op_bytes = sum(manifest["arrays"][part]["nbytes"]
+                           for part in parts)
+            print(f"    operator {op:16s} {op_bytes:>12d} bytes")
     for name in sorted(manifest["arrays"]):
         spec = manifest["arrays"][name]
         shape = "x".join(map(str, spec["shape"])) or "scalar"

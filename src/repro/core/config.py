@@ -39,7 +39,26 @@ import numpy as np
 from repro.exceptions import ConfigError
 from repro.graph.csr import Graph
 
-__all__ = ["PPRConfig"]
+__all__ = ["PPRConfig", "VARIANCE_MODES", "VARIANCE_GAIN"]
+
+#: Recognised variance-reduction modes for the forest Monte-Carlo
+#: stage.  ``"improved"`` is the paper's conditional-MC estimator
+#: (Theorem 3.8); ``"control_variate"`` regresses the basic estimator
+#: against its known-expectation degree-mass variate; ``"stratified"``
+#: couples each sampling chunk through a Latin-hypercube grid.
+VARIANCE_MODES = ("improved", "control_variate", "stratified")
+
+#: Effective variance gain each mode delivers at equal forest count
+#: relative to the ``"improved"`` baseline, as measured by the
+#: empirical harness
+#: (:func:`repro.forests.statistics.empirical_variance_ratio`; the
+#: test-suite enforces the stratified floor).  ω is divided by this
+#: gain: a mode that shrinks the bank-mean variance by ``g`` needs
+#: ``1/g`` as many forests for the same accuracy.  The gains are
+#: deliberately conservative — control_variate improves on *basic*
+#: but not reliably on improved, so it earns no discount.
+VARIANCE_GAIN = {"improved": 1.0, "control_variate": 1.0,
+                 "stratified": 1.5}
 
 
 @dataclass(frozen=True)
@@ -60,6 +79,15 @@ class PPRConfig:
     batches each frontier into segment ops, ``"scalar"`` runs the
     node-at-a-time reference loop.  Estimates and ``work_*`` counters
     are backend-independent, so it is a pure throughput knob.
+
+    ``variance_mode`` picks the variance-reduction machinery of the
+    forest stage (see :data:`VARIANCE_MODES`).  Modes with a measured
+    gain shrink ω through :data:`VARIANCE_GAIN`, so fewer forests are
+    sampled for the same accuracy target.  ``control_variate`` leans
+    on the degree vector being stationary and therefore requires an
+    undirected graph (like the improved estimators); ``stratified``
+    only changes the sampling joint law, never a marginal, and works
+    everywhere.
     """
 
     alpha: float = 0.01
@@ -76,6 +104,7 @@ class PPRConfig:
     seed: int | None = None
     workers: int | None = 1
     push_backend: str = "vectorized"
+    variance_mode: str = "improved"
 
     def __post_init__(self):
         if not 0.0 < self.alpha < 1.0:
@@ -99,6 +128,10 @@ class PPRConfig:
         if self.workers is not None and self.workers < 0:
             raise ConfigError(
                 f"workers must be >= 0 (0/None = cpu count), got {self.workers}")
+        if self.variance_mode not in VARIANCE_MODES:
+            raise ConfigError(
+                f"variance_mode must be one of {VARIANCE_MODES}, "
+                f"got {self.variance_mode!r}")
         # local import: repro.push pulls in graph/linalg modules and must
         # not be a hard import at config-module load time
         from repro.push.kernels import validate_push_backend
@@ -127,9 +160,20 @@ class PPRConfig:
                / (resolved.epsilon ** 2 * resolved.mu))
         return raw * self.budget_scale
 
+    @property
+    def variance_gain(self) -> float:
+        """The forest-count discount of :attr:`variance_mode`."""
+        return VARIANCE_GAIN[self.variance_mode]
+
     def num_forests(self, graph: Graph, r_max: float) -> int:
-        """``ω = ⌈r_max · W⌉`` clamped to ``[1, max_forests]``."""
-        omega = int(np.ceil(r_max * self.walk_budget(graph)))
+        """``ω = ⌈r_max · W / g⌉`` clamped to ``[1, max_forests]``.
+
+        ``g`` is :attr:`variance_gain`: a mode whose bank-mean variance
+        is ``g×`` smaller at equal forest count matches the baseline
+        accuracy with ``1/g`` of the forests.
+        """
+        omega = int(np.ceil(r_max * self.walk_budget(graph)
+                            / self.variance_gain))
         return int(np.clip(omega, 1, self.max_forests))
 
     def with_overrides(self, **changes) -> "PPRConfig":

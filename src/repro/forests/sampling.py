@@ -70,10 +70,26 @@ def sample_forests(graph: Graph, alpha: float, count: int,
     A generator so callers can fold estimates forest-by-forest without
     holding all samples in memory (a forest is O(n)).  ``counters`` is
     credited per yielded forest, as in :func:`sample_forest`.
+
+    ``method="stratified"`` draws the whole batch through the coupled
+    Latin-hypercube sampler
+    (:func:`~repro.forests.batch_sampling.sample_forests_batch` with
+    ``stratified=True``): every yielded forest keeps the exact
+    single-forest law, but the batch is negatively correlated so its
+    *mean* has lower variance — the allocation behind
+    ``variance_mode="stratified"``.
     """
     if count < 0:
         raise ConfigError("count must be non-negative")
     generator = ensure_rng(rng)
+    if method == "stratified":
+        if count:
+            from repro.forests.batch_sampling import sample_forests_batch
+            yield from sample_forests_batch(graph, alpha, count,
+                                            rng=generator,
+                                            counters=counters,
+                                            stratified=True)
+        return
     for _ in range(count):
         yield sample_forest(graph, alpha, rng=generator, method=method,
                             counters=counters)

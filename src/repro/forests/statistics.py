@@ -23,10 +23,15 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import ConfigError
+from repro.forests.batch_sampling import sample_forests_batch
+from repro.forests.estimators import (accumulate_cv_estimates,
+                                      accumulate_estimates, cv_combine)
 from repro.forests.sampling import sample_forests
 from repro.graph.csr import Graph
+from repro.rng import ensure_rng
 
-__all__ = ["ForestStatistics", "collect_forest_statistics"]
+__all__ = ["ForestStatistics", "collect_forest_statistics",
+           "empirical_variance_ratio"]
 
 
 @dataclass
@@ -98,3 +103,78 @@ def collect_forest_statistics(graph: Graph, alpha: float,
         tree_size_mean=size_sum / max(size_count, 1),
         tree_size_max=size_max,
     )
+
+
+# ----------------------------------------------------------------------
+# Empirical-variance harness (the variance_mode acceptance measurement)
+# ----------------------------------------------------------------------
+def _batch_mean_estimate(graph: Graph, alpha: float, residual: np.ndarray,
+                         num_forests: int, mode: str, kind: str,
+                         rng) -> np.ndarray:
+    """One bank-mean estimate of ``num_forests`` forests under ``mode``."""
+    if mode == "stratified":
+        forests = sample_forests_batch(graph, alpha, num_forests, rng=rng,
+                                       stratified=True)
+        sums, _, drawn = accumulate_estimates(
+            forests, residual, graph.degrees, kind=kind, improved=True)
+        return sums / drawn
+    forests = sample_forests_batch(graph, alpha, num_forests, rng=rng)
+    if mode == "control_variate":
+        acc = accumulate_cv_estimates(forests, residual, graph.degrees,
+                                      kind=kind)
+        estimate, _ = cv_combine(acc, graph.degrees)
+        return estimate
+    improved = mode == "improved"
+    sums, _, drawn = accumulate_estimates(
+        forests, residual, graph.degrees, kind=kind, improved=improved)
+    return sums / drawn
+
+
+def empirical_variance_ratio(graph: Graph, alpha: float,
+                             residual: np.ndarray, *,
+                             num_forests: int = 32,
+                             repetitions: int = 100,
+                             kind: str = "source",
+                             mode: str = "stratified",
+                             baseline_mode: str = "improved",
+                             rng=None) -> float:
+    """Variance ratio ``Var[baseline] / Var[mode]`` at equal forest count.
+
+    The measurement protocol behind the variance_mode contract (see
+    BENCHMARKING.md): draw ``repetitions`` independent banks of exactly
+    ``num_forests`` forests under each mode from one RNG stream,
+    average each bank's per-forest estimates into a bank-mean vector,
+    and compare the per-node empirical variances of those bank means
+    summed over nodes.  Both modes see the same forest count, so the
+    ratio isolates the estimator/coupling effect — a ratio of ``g``
+    means mode needs ``1/g`` as many forests for the same accuracy,
+    which is exactly how ``PPRConfig.num_forests`` and
+    ``ForestIndex.recommended_size`` discount ω.
+
+    Modes: ``"basic"``, ``"improved"`` (i.i.d. forests, the named
+    estimator), ``"stratified"`` (Latin-hypercube-coupled batch,
+    improved estimator), ``"control_variate"`` (i.i.d. forests, basic
+    estimator with the fitted degree-mass variate).
+    """
+    if repetitions < 2:
+        raise ConfigError("repetitions must be >= 2")
+    known = ("basic", "improved", "stratified", "control_variate")
+    for label in (mode, baseline_mode):
+        if label not in known:
+            raise ConfigError(
+                f"unknown variance mode {label!r}; choose from {known}")
+    generator = ensure_rng(rng)
+    residual = np.asarray(residual, dtype=np.float64)
+    baseline = np.empty((repetitions, graph.num_nodes))
+    candidate = np.empty((repetitions, graph.num_nodes))
+    for rep in range(repetitions):
+        baseline[rep] = _batch_mean_estimate(
+            graph, alpha, residual, num_forests, baseline_mode, kind,
+            generator)
+        candidate[rep] = _batch_mean_estimate(
+            graph, alpha, residual, num_forests, mode, kind, generator)
+    baseline_var = float(baseline.var(axis=0, ddof=1).sum())
+    candidate_var = float(candidate.var(axis=0, ddof=1).sum())
+    if candidate_var <= 0.0:
+        return float("inf")
+    return baseline_var / candidate_var

@@ -73,7 +73,8 @@ class DynamicForestIndex(ForestIndex):
     def build(cls, graph: Graph, alpha: float, num_forests: int,
               rng: np.random.Generator | int | None = None,
               method: str = "cycle_popping",
-              workers: int | None = 1) -> "DynamicForestIndex":
+              workers: int | None = 1,
+              variance_mode: str = "improved") -> "DynamicForestIndex":
         """Sample ``num_forests`` forests, keeping their arrow records.
 
         The stored forests are bit-identical to
@@ -81,7 +82,11 @@ class DynamicForestIndex(ForestIndex):
         to the sampling loop, so the build always runs in-process;
         ``workers`` is accepted for signature parity and ignored, and
         ``method`` must stay ``"cycle_popping"`` (the only sampler with
-        a stack formulation to record).
+        a stack formulation to record).  ``variance_mode`` must stay
+        ``"improved"``: stratified sampling couples forests through a
+        batch-wide grid whose arrow draws have no per-forest stack
+        replay, so repaired forests could not reproduce the coupled
+        law.
         """
         if num_forests <= 0:
             raise ConfigError("num_forests must be positive")
@@ -89,6 +94,11 @@ class DynamicForestIndex(ForestIndex):
             raise ConfigError(
                 f"dynamic indexes require the cycle_popping sampler, "
                 f"got method={method!r}")
+        if variance_mode != "improved":
+            raise ConfigError(
+                f"dynamic indexes require variance_mode='improved' "
+                f"(recorded sampling has no stratified/control-variate "
+                f"replay), got {variance_mode!r}")
         del workers
         counters = WorkCounters()
         generator = ensure_rng(rng)
@@ -196,6 +206,12 @@ class DynamicForestIndex(ForestIndex):
             "build_steps": int(self.build_steps),
             "build_seconds": float(self.build_seconds),
             "degree_checksum": int(degree_checksum(graph)),
+            # dynamic banks always serialize the raw node space: the
+            # arrow records replay against node ids, and repairs would
+            # invalidate any cached relabeling anyway
+            "bank_dtype": "float64",
+            "node_order": "none",
+            "variance_mode": "improved",
         }
         save_array_bank(path, arrays, meta)
 

@@ -26,6 +26,8 @@ import numpy as np
 from repro.counters import WorkCounters
 from repro.exceptions import ConfigError
 from repro.forests.estimators import (
+    accumulate_cv_estimates,
+    cv_combine,
     source_estimate_basic,
     source_estimate_improved,
     target_estimate_basic,
@@ -35,12 +37,72 @@ from repro.forests.forest import RootedForest
 from repro.forests.sampling import sample_forests
 from repro.graph.csr import Graph
 
-__all__ = ["ForestIndex", "degree_checksum"]
+__all__ = ["ForestIndex", "degree_checksum", "node_ordering",
+           "NODE_ORDERS", "BANK_DTYPES"]
 
 #: Sparse operators exported to / rebuilt from array banks, in a fixed
 #: order so bank layouts are deterministic.
 _OPERATOR_NAMES = ("tree_sum", "spread_source", "scatter_root",
                    "spread_target", "gather_root")
+
+#: Node relabelings a bank can be serialized under (format v3).
+NODE_ORDERS = ("none", "degree", "bfs")
+
+#: Storage dtypes for the operator value arrays (format v3).
+BANK_DTYPES = ("float64", "float32")
+
+#: Arrays cast to float32 under ``bank_dtype="float32"`` (the operator
+#: values plus the segment degree-mass vector they were derived from).
+_FLOAT_BANK_ARRAYS = frozenset(
+    {f"{name}_data" for name in _OPERATOR_NAMES} | {"segment_degree"})
+
+#: Index arrays narrowed to int32 under ``bank_dtype="float32"`` (CSR
+#: structure; int32 is scipy's native index dtype and exact as long as
+#: dimensions stay below 2³¹).
+_INDEX_BANK_ARRAYS = frozenset(
+    {f"{name}_indptr" for name in _OPERATOR_NAMES}
+    | {f"{name}_indices" for name in _OPERATOR_NAMES})
+
+
+def node_ordering(graph: Graph, kind: str) -> np.ndarray | None:
+    """The bank row permutation for a relabeling ``kind``.
+
+    Returns ``perm`` such that bank row ``i`` serves node ``perm[i]``,
+    or ``None`` for the identity.  ``"degree"`` sorts rows by
+    descending weighted degree (stable, so equal-degree nodes keep
+    their id order); ``"bfs"`` orders rows by breadth-first discovery
+    from node 0, appending unreached components in node-id order.
+    Both pack the heavily-referenced rows of the fold operators next
+    to each other, which is the cache win of bank format v3.
+    """
+    if kind in (None, "none"):
+        return None
+    if kind == "degree":
+        return np.argsort(-graph.degrees, kind="stable").astype(np.int64)
+    if kind == "bfs":
+        from collections import deque
+
+        n = graph.num_nodes
+        visited = np.zeros(n, dtype=bool)
+        order = np.empty(n, dtype=np.int64)
+        filled = 0
+        for start in range(n):
+            if visited[start]:
+                continue
+            visited[start] = True
+            queue = deque((start,))
+            while queue:
+                node = queue.popleft()
+                order[filled] = node
+                filled += 1
+                for neighbor in graph.indices[
+                        graph.indptr[node]:graph.indptr[node + 1]]:
+                    if not visited[neighbor]:
+                        visited[neighbor] = True
+                        queue.append(neighbor)
+        return order
+    raise ConfigError(
+        f"node order must be one of {NODE_ORDERS}, got {kind!r}")
 
 
 def degree_checksum(graph: Graph) -> int:
@@ -74,7 +136,20 @@ class _BankOperators:
     batch* instead of once per query.  CSR rows accumulate column-wise
     independently, so each query's answer is bit-identical for every
     batch size and composition.
+
+    **Row relabeling (bank format v3).**  :meth:`permuted` reorders
+    the *output rows* of the four ``Q`` operators so hot rows sit next
+    to each other on disk and in cache; ``tree_sum`` — whose stored
+    nonzero order fixes every segment sum's float accumulation — never
+    moves, and each ``Q`` row is gathered verbatim, so unpermuting the
+    fold output reproduces the identity layout's answers bit-for-bit.
     """
+
+    #: Identity-layout defaults, as class attributes so every
+    #: construction path (__init__, from_arrays, restricted) starts
+    #: unpermuted without repeating the assignment.
+    node_order: np.ndarray | None = None
+    _row_of: np.ndarray | None = None
 
     def __init__(self, forests: list[RootedForest], degrees: np.ndarray):
         import scipy.sparse as sparse
@@ -139,6 +214,65 @@ class _BankOperators:
             shape=(num_nodes, num_nodes))
 
     # ------------------------------------------------------------------
+    # Cache-aware row relabeling (bank format v3)
+    # ------------------------------------------------------------------
+    @property
+    def row_of_node(self) -> np.ndarray | None:
+        """Inverse of :attr:`node_order`: ``row_of_node[v]`` is the
+        operator row serving node ``v`` (``None`` on identity banks)."""
+        if self.node_order is None:
+            return None
+        if self._row_of is None:
+            order = np.asarray(self.node_order)
+            row_of = np.empty(order.size, dtype=np.int64)
+            row_of[order] = np.arange(order.size)
+            self._row_of = row_of
+        return self._row_of
+
+    @classmethod
+    def permuted(cls, source: "_BankOperators",
+                 node_order: np.ndarray) -> "_BankOperators":
+        """Relabel the Q-operator output rows by ``node_order``.
+
+        ``node_order[i]`` is the node served by output row ``i``.
+        Only the output row space moves: a CSR row gather copies each
+        row's stored nonzeros (order and values) verbatim, and
+        ``tree_sum`` is shared untouched, so every estimate computed
+        through this layout — after undoing the permutation on the
+        output — is bit-identical to the identity layout's.
+        """
+        if source.local_nodes is not None:
+            raise ConfigError(
+                "shard banks cannot be relabeled; apply the node order "
+                "to the whole-node-space bank before restricting")
+        if source.node_order is not None:
+            raise ConfigError("operators are already relabeled")
+        node_order = np.asarray(node_order, dtype=np.int64)
+        num_rows = source.gather_root.shape[0]
+        if node_order.shape != (num_rows,) or not np.array_equal(
+                np.sort(node_order), np.arange(num_rows)):
+            raise ConfigError(
+                f"node_order must be a permutation of all {num_rows} "
+                f"node ids")
+        ops = object.__new__(cls)
+        ops.num_forests = source.num_forests
+        ops.local_nodes = None
+        ops.node_order = node_order
+        ops.segment_root = source.segment_root
+        ops.segment_degree = source.segment_degree
+        ops.tree_sum = source.tree_sum
+        for name in ("spread_source", "scatter_root", "spread_target",
+                     "gather_root"):
+            setattr(ops, name, getattr(source, name)[node_order])
+        row_of = np.empty(num_rows, dtype=np.int64)
+        row_of[node_order] = np.arange(num_rows)
+        ops._row_of = row_of
+        dz_nodes = np.asarray(source.degree_zero_nodes)
+        ops.degree_zero = row_of[dz_nodes]    # permuted row positions
+        ops.degree_zero_nodes = dz_nodes      # global node ids
+        return ops
+
+    # ------------------------------------------------------------------
     # Array-bank (de)hydration — the zero-copy serving representation
     # ------------------------------------------------------------------
     def to_arrays(self) -> dict[str, np.ndarray]:
@@ -158,6 +292,10 @@ class _BankOperators:
             # shard-restricted bank: output rows are local positions
             # into this owned-node list (degree_zero included)
             arrays["local_nodes"] = self.local_nodes
+        if self.node_order is not None:
+            # relabeled bank (format v3): row i serves node_order[i];
+            # degree_zero holds permuted row positions
+            arrays["node_order"] = self.node_order
         for name in _OPERATOR_NAMES:
             matrix = getattr(self, name)
             arrays[f"{name}_indptr"] = matrix.indptr
@@ -184,9 +322,15 @@ class _BankOperators:
         ops.segment_degree = np.asarray(arrays["segment_degree"])
         local = arrays.get("local_nodes")
         ops.local_nodes = None if local is None else np.asarray(local)
+        order = arrays.get("node_order")
+        if order is not None:
+            ops.node_order = np.asarray(order)
         if ops.local_nodes is None:
             num_rows = num_nodes
-            ops.degree_zero_nodes = ops.degree_zero
+            # relabeled bank: degree_zero holds permuted row positions
+            ops.degree_zero_nodes = (
+                ops.degree_zero if ops.node_order is None
+                else np.asarray(ops.node_order)[ops.degree_zero])
         else:  # shard bank: degree_zero holds local row positions
             num_rows = ops.local_nodes.size
             ops.degree_zero_nodes = ops.local_nodes[ops.degree_zero]
@@ -241,10 +385,18 @@ class _BankOperators:
         ops = object.__new__(cls)
         ops.num_forests = source.num_forests
         ops.local_nodes = local_nodes
-        spread_source = source.spread_source[local_nodes]
-        scatter_root = source.scatter_root[local_nodes]
-        spread_target = source.spread_target[local_nodes]
-        ops.gather_root = source.gather_root[local_nodes]
+        if source.node_order is not None:
+            # relabeled parent: node v's operator row is row_of_node[v].
+            # Gathering those rows in local-node order yields shard
+            # operators byte-identical to restricting an identity-layout
+            # parent, so the permutation never leaks into shard banks.
+            take = source.row_of_node[local_nodes]
+        else:
+            take = local_nodes
+        spread_source = source.spread_source[take]
+        scatter_root = source.scatter_root[take]
+        spread_target = source.spread_target[take]
+        ops.gather_root = source.gather_root[take]
         # segments touched by any owned row (scatter_root's columns
         # are a subset: a root is a member of its own segment)
         needed = np.unique(np.concatenate(
@@ -315,12 +467,17 @@ class ForestIndex:
         self.shard_index: int | None = None
         self.shard_count: int | None = None
         self.shard_strategy: str | None = None
+        # provenance recorded in (and restored from) bank meta, v3
+        self.variance_mode: str = "improved"
+        self.bank_node_order: str = "none"
+        self.bank_dtype: str = "float64"
 
     @classmethod
     def build(cls, graph: Graph, alpha: float, num_forests: int,
               rng: np.random.Generator | int | None = None,
               method: str = "cycle_popping",
-              workers: int | None = 1) -> "ForestIndex":
+              workers: int | None = 1,
+              variance_mode: str = "improved") -> "ForestIndex":
         """Sample and store ``num_forests`` independent forests.
 
         ``workers > 1`` fans the sampling out over worker processes via
@@ -328,21 +485,44 @@ class ForestIndex:
         forests are identical for every worker count at a fixed seed,
         so the knob only changes build wall clock.  The build's work
         counters land on :attr:`build_counters`.
+
+        ``variance_mode`` is recorded on the index (and in any bank it
+        serializes).  ``"stratified"`` additionally couples the sampled
+        forests through the Latin-hypercube grid of
+        :func:`repro.forests.batch_sampling.sample_forests_batch` —
+        each forest's marginal law is unchanged (every estimate stays
+        unbiased), only the bank-mean variance drops, which is what
+        lets :meth:`recommended_size` shrink the bank.
         """
+        from repro.core.config import VARIANCE_MODES
         from repro.parallel.engine import sample_forests_parallel
 
         if num_forests <= 0:
             raise ConfigError("num_forests must be positive")
+        if variance_mode not in VARIANCE_MODES:
+            raise ConfigError(
+                f"variance_mode must be one of {VARIANCE_MODES}, "
+                f"got {variance_mode!r}")
+        if variance_mode == "control_variate" and graph.directed:
+            raise ConfigError(
+                "variance_mode='control_variate' is only unbiased on "
+                "undirected graphs")
         counters = WorkCounters()
+        stratified = variance_mode == "stratified"
         started = time.perf_counter()
         if workers is not None and workers == 1:
+            # serial stratified build couples the WHOLE bank in one
+            # stratum grid — the strongest coupling available
+            sample_method = "stratified" if stratified else method
             forests = list(sample_forests(graph, alpha, num_forests, rng=rng,
-                                          method=method, counters=counters))
+                                          method=sample_method,
+                                          counters=counters))
         else:
             forests = sample_forests_parallel(graph, alpha, num_forests,
                                               rng=rng, workers=workers,
                                               method=method,
-                                              counters=counters)
+                                              counters=counters,
+                                              stratified=stratified)
         # materialise each forest's degree-mass cache now so queries
         # never pay for it
         for forest in forests:
@@ -350,18 +530,41 @@ class ForestIndex:
         index = cls(graph, alpha, forests,
                     build_seconds=time.perf_counter() - started)
         index.build_counters = counters
+        index.variance_mode = variance_mode
         return index
 
     @classmethod
-    def recommended_size(cls, graph: Graph, epsilon: float | None = None) -> int:
-        """§5.3 sizing: ``O(log n)`` forests, ``O(log n / ε)`` with a
-        target relative error."""
+    def recommended_size(cls, graph: Graph, epsilon: float | None = None,
+                         variance_mode: str = "improved") -> int:
+        r"""§5.3 sizing with the variance-mode discount.
+
+        The bank needs ``base = ⌈ln n⌉`` forests for the paper's
+        ``O(log n)`` concentration; given a target relative error ε it
+        needs
+
+        .. math:: \omega = \max\bigl(\lceil \ln n \rceil,\;
+                  \lceil \lceil \ln n \rceil / (\varepsilon g) \rceil\bigr)
+
+        where ``g`` is the mode's measured variance gain
+        (:data:`repro.core.config.VARIANCE_GAIN`): a mode whose
+        bank-mean variance is ``g×`` smaller at equal forest count
+        matches the baseline error bar with ``1/g`` of the forests.
+        The ``⌈ln n⌉`` floor is never discounted — concentration still
+        needs that many independent samples.
+        """
+        from repro.core.config import VARIANCE_GAIN
+
+        if variance_mode not in VARIANCE_GAIN:
+            raise ConfigError(
+                f"variance_mode must be one of "
+                f"{tuple(VARIANCE_GAIN)}, got {variance_mode!r}")
         base = max(1, int(np.ceil(np.log(max(graph.num_nodes, 2)))))
         if epsilon is None:
             return base
         if epsilon <= 0:
             raise ConfigError("epsilon must be positive")
-        return max(base, int(np.ceil(base / epsilon)))
+        return max(base, int(np.ceil(
+            base / (epsilon * VARIANCE_GAIN[variance_mode]))))
 
     # ------------------------------------------------------------------
     @property
@@ -486,7 +689,9 @@ class ForestIndex:
     # ------------------------------------------------------------------
     # Array-bank persistence / attach (zero-copy serving path)
     # ------------------------------------------------------------------
-    def bank_arrays(self) -> tuple[dict[str, np.ndarray], dict]:
+    def bank_arrays(self, *, node_order: str | None = None,
+                    bank_dtype: str = "float64"
+                    ) -> tuple[dict[str, np.ndarray], dict]:
         """The ``(arrays, meta)`` bank contents for this index.
 
         The arrays are the flattened fold operators (see
@@ -494,8 +699,54 @@ class ForestIndex:
         graph fingerprint (node count + degree checksum) and the build
         cost so an attached index reproduces ``num_forests`` /
         ``build_steps`` exactly.
+
+        Bank format v3 knobs, both applied at serialization time only:
+
+        - ``node_order`` (``"degree"`` / ``"bfs"``) relabels the Q
+          operators' output rows cache-aware (see
+          :meth:`_BankOperators.permuted`); the permutation rides in
+          the bank and every query surface unpermutes its output, so
+          float64 answers are byte-identical to the identity layout.
+        - ``bank_dtype="float32"`` stores operator values in float32
+          and CSR indices in int32, halving the bank's bytes; folds
+          then run from rounded operator entries, so answers carry a
+          bounded relative error instead of being byte-identical (see
+          BENCHMARKING.md for the measured bound).
         """
-        arrays = self._operators.to_arrays()
+        order_kind = "none" if node_order in (None, "none") \
+            else str(node_order)
+        if bank_dtype not in BANK_DTYPES:
+            raise ConfigError(
+                f"bank_dtype must be one of {BANK_DTYPES}, "
+                f"got {bank_dtype!r}")
+        ops = self._operators
+        if order_kind != "none":
+            if self.local_nodes is not None:
+                raise ConfigError(
+                    "shard banks cannot be relabeled; order the "
+                    "whole-node-space bank before restricting")
+            ops = _BankOperators.permuted(
+                ops, node_ordering(self.graph, order_kind))
+        elif ops.node_order is not None:
+            # re-serializing an attached relabeled bank keeps its order
+            order_kind = self.bank_node_order
+        arrays = ops.to_arrays()
+        if bank_dtype == "float32":
+            int32_max = np.iinfo(np.int32).max
+            cast: dict[str, np.ndarray] = {}
+            for name, array in arrays.items():
+                if name in _FLOAT_BANK_ARRAYS:
+                    cast[name] = np.asarray(array, dtype=np.float32)
+                elif name in _INDEX_BANK_ARRAYS:
+                    if array.size and int(array[-1] if name.endswith(
+                            "indptr") else array.max()) >= int32_max:
+                        raise ConfigError(
+                            "bank too large for int32 indices; use "
+                            "bank_dtype='float64'")
+                    cast[name] = np.asarray(array, dtype=np.int32)
+                else:
+                    cast[name] = array
+            arrays = cast
         meta = {
             "kind": "forest-index",
             "alpha": float(self.alpha),
@@ -504,6 +755,9 @@ class ForestIndex:
             "build_steps": int(self.build_steps),
             "build_seconds": float(self.build_seconds),
             "degree_checksum": int(degree_checksum(self.graph)),
+            "bank_dtype": bank_dtype,
+            "node_order": order_kind,
+            "variance_mode": self.variance_mode,
         }
         if self.local_nodes is not None:
             # bank format v2: shard provenance rides in the meta; the
@@ -517,19 +771,40 @@ class ForestIndex:
             })
         return arrays, meta
 
-    def save_bank(self, path: str | os.PathLike) -> None:
+    def save_bank(self, path: str | os.PathLike, *,
+                  node_order: str | None = None,
+                  bank_dtype: str = "float64") -> None:
         """Write the uncompressed, memmap-able bank directory.
 
         Unlike :meth:`save`, the result can be attached in O(1): one
         plain ``.npy`` file per operator array plus ``manifest.json``
         (see :func:`repro.parallel.shared_bank.save_array_bank`), so
         ``np.load(..., mmap_mode="r")`` maps a multi-hundred-MB bank
-        without copying a byte.
+        without copying a byte.  ``node_order`` / ``bank_dtype`` are
+        the format-v3 layout knobs of :meth:`bank_arrays`.
         """
         from repro.parallel.shared_bank import save_array_bank
 
-        arrays, meta = self.bank_arrays()
+        arrays, meta = self.bank_arrays(node_order=node_order,
+                                        bank_dtype=bank_dtype)
         save_array_bank(path, arrays, meta)
+
+    def bank_nbytes(self, *, bank_dtype: str = "float64") -> int:
+        """Serialized bank payload size at ``bank_dtype``, without
+        materialising the cast (Fig. 6's dtype-aware size axis)."""
+        if bank_dtype not in BANK_DTYPES:
+            raise ConfigError(
+                f"bank_dtype must be one of {BANK_DTYPES}, "
+                f"got {bank_dtype!r}")
+        total = 0
+        for name, array in self._operators.to_arrays().items():
+            itemsize = array.itemsize
+            if bank_dtype == "float32" and (
+                    name in _FLOAT_BANK_ARRAYS
+                    or name in _INDEX_BANK_ARRAYS):
+                itemsize = 4
+            total += array.size * itemsize
+        return total
 
     @classmethod
     def attach_bank(cls, arrays: dict[str, np.ndarray], meta: dict,
@@ -554,6 +829,10 @@ class ForestIndex:
         index._operators_cache = _BankOperators.from_arrays(
             arrays, num_nodes=graph.num_nodes,
             num_forests=int(meta["num_forests"]))
+        # v1/v2 banks predate these keys: identity layout, float64
+        index.variance_mode = str(meta.get("variance_mode", "improved"))
+        index.bank_node_order = str(meta.get("node_order", "none"))
+        index.bank_dtype = str(meta.get("bank_dtype", "float64"))
         if index._operators_cache.local_nodes is not None:
             index.local_nodes = index._operators_cache.local_nodes
             index.shard_index = int(meta.get("shard_index", 0))
@@ -613,13 +892,21 @@ class ForestIndex:
         spread = ops.spread_source if improved else ops.scatter_root
         estimates = spread @ tree_sums
         estimates /= ops.num_forests
+        if ops.node_order is not None:
+            # relabeled bank: undo the row permutation (a pure row
+            # gather), after which row v is node v again and answers
+            # match the identity layout bit-for-bit
+            estimates = estimates[ops.row_of_node]
         if improved and ops.degree_zero.size:
             # degree-0 singletons: the estimator returns the node's own
             # residual in every forest.  degree_zero indexes the OUTPUT
             # rows (local positions on a shard bank), degree_zero_nodes
             # the residual (always global node ids); the two coincide
-            # on a whole-node-space bank.
-            estimates[ops.degree_zero] = batch[ops.degree_zero_nodes]
+            # on a whole-node-space bank, and after unpermuting a
+            # relabeled bank the output rows are global ids too.
+            rows = (ops.degree_zero if ops.node_order is None
+                    else ops.degree_zero_nodes)
+            estimates[rows] = batch[ops.degree_zero_nodes]
         return estimates.T
 
     def estimate_target_many(self, residuals: np.ndarray, *,
@@ -630,12 +917,18 @@ class ForestIndex:
         if not improved:
             estimates = ops.gather_root @ batch
             estimates /= ops.num_forests
+            if ops.node_order is not None:
+                estimates = estimates[ops.row_of_node]
             return estimates.T
         tree_sums = ops.tree_sum @ (batch * self.graph.degrees[:, None])
         estimates = ops.spread_target @ tree_sums
         estimates /= ops.num_forests
+        if ops.node_order is not None:
+            estimates = estimates[ops.row_of_node]
         if ops.degree_zero.size:
-            estimates[ops.degree_zero] = batch[ops.degree_zero_nodes]
+            rows = (ops.degree_zero if ops.node_order is None
+                    else ops.degree_zero_nodes)
+            estimates[rows] = batch[ops.degree_zero_nodes]
         return estimates.T
 
     def estimate_target_entries(self, residuals: np.ndarray,
@@ -667,7 +960,11 @@ class ForestIndex:
         ops = self._operators
         rows = np.arange(entries.size)
         if ops.local_nodes is None:
-            op_rows = entries
+            # relabeled bank: node v's operator row is row_of_node[v];
+            # the row gather copies stored nonzeros verbatim, so each
+            # scalar matches the identity layout bit-for-bit
+            op_rows = (entries if ops.node_order is None
+                       else ops.row_of_node[entries])
         else:
             # shard bank: operator rows are local positions; every
             # requested entry must be owned by this shard (the router
@@ -705,9 +1002,39 @@ class ForestIndex:
             estimates += estimator(forest, residual)
         return estimates / self.num_forests
 
+    def _estimate_cv(self, residual: np.ndarray, kind: str) -> np.ndarray:
+        """Control-variate bank mean over the stored forests.
+
+        Rides the *basic* estimator (the improved one is the variate's
+        conditional expectation, so their covariance vanishes) and
+        regresses against the degree-mass variate, whose expectation
+        is the degree vector on undirected graphs.
+        """
+        if not self.forests:
+            raise ConfigError(
+                "control_variate estimation needs stored forests; this "
+                "index is operator-only (attached from a bank)")
+        if self.graph.directed:
+            raise ConfigError(
+                "variance_mode='control_variate' is only unbiased on "
+                "undirected graphs")
+        degrees = self.graph.degrees
+        acc = accumulate_cv_estimates(self.forests, residual, degrees,
+                                      kind=kind)
+        estimate, _beta = cv_combine(acc, degrees)
+        return estimate
+
     def estimate_source(self, residual: np.ndarray, *,
-                        improved: bool = True) -> np.ndarray:
-        """Average single-source forest estimate over the stored bank."""
+                        improved: bool = True,
+                        variance_mode: str | None = None) -> np.ndarray:
+        """Average single-source forest estimate over the stored bank.
+
+        ``variance_mode="control_variate"`` applies the regression
+        adjustment of :func:`repro.forests.estimators.cv_combine`
+        instead of the plain mean (``improved`` is then ignored).
+        """
+        if variance_mode == "control_variate":
+            return self._estimate_cv(residual, "source")
         degrees = self.graph.degrees
         if improved:
             return self._combine(
@@ -716,8 +1043,15 @@ class ForestIndex:
         return self._combine(residual, source_estimate_basic)
 
     def estimate_target(self, residual: np.ndarray, *,
-                        improved: bool = True) -> np.ndarray:
-        """Average single-target forest estimate over the stored bank."""
+                        improved: bool = True,
+                        variance_mode: str | None = None) -> np.ndarray:
+        """Average single-target forest estimate over the stored bank.
+
+        ``variance_mode="control_variate"`` as in
+        :meth:`estimate_source`.
+        """
+        if variance_mode == "control_variate":
+            return self._estimate_cv(residual, "target")
         degrees = self.graph.degrees
         if improved:
             return self._combine(

@@ -36,7 +36,8 @@ import numpy as np
 from repro.counters import WorkCounters
 from repro.exceptions import ConfigError
 from repro.forests.batch_sampling import sample_forests_batch
-from repro.forests.estimators import accumulate_estimates
+from repro.forests.estimators import (CVAccumulator, accumulate_cv_estimates,
+                                      accumulate_estimates)
 from repro.forests.forest import RootedForest
 from repro.forests.sampling import sample_forests
 from repro.graph.csr import Graph
@@ -44,12 +45,21 @@ from repro.parallel.shared_graph import SharedCSRGraph
 from repro.rng import spawn_children
 
 __all__ = ["plan_chunks", "resolve_workers", "sample_forests_parallel",
-           "parallel_estimate_stage", "StageResult", "DEFAULT_CHUNK_SIZE"]
+           "parallel_estimate_stage", "StageResult", "DEFAULT_CHUNK_SIZE",
+           "STRATIFIED_CHUNK_SIZE"]
 
 #: Forests per chunk when the caller does not override it.  Small
 #: enough that ω ≥ 32 already load-balances over 4 workers, large
 #: enough that per-task dispatch overhead stays negligible.
 DEFAULT_CHUNK_SIZE = 8
+
+#: Default chunk size under ``variance_mode="stratified"``.  The
+#: Latin-hypercube coupling only acts *within* a chunk (chunks stay
+#: independent so the plan remains worker-count-invariant), so wider
+#: chunks realise more of the variance reduction; 32 layers recover
+#: most of the asymptotic gain while still splitting ω ≥ 128 across
+#: four workers.
+STRATIFIED_CHUNK_SIZE = 32
 
 
 def plan_chunks(count: int, chunk_size: int | None = None) -> list[int]:
@@ -83,7 +93,13 @@ def _fork_available() -> bool:
 
 @dataclass
 class StageResult:
-    """Merged output of a chunked estimator stage."""
+    """Merged output of a chunked estimator stage.
+
+    Under ``variance_mode="control_variate"`` the stage additionally
+    carries the merged variate sums (``cv_t``/``cv_at``/``cv_tt``);
+    :meth:`cv_accumulator` repackages them for the β fit
+    (:func:`repro.forests.estimators.cv_combine`).
+    """
 
     sums: np.ndarray
     squares: np.ndarray | None
@@ -91,6 +107,9 @@ class StageResult:
     counters: WorkCounters = field(default_factory=WorkCounters)
     num_chunks: int = 0
     workers_used: int = 1
+    cv_t: np.ndarray | None = None
+    cv_at: np.ndarray | None = None
+    cv_tt: np.ndarray | None = None
 
     @property
     def mean(self) -> np.ndarray:
@@ -106,6 +125,15 @@ class StageResult:
         mean = self.mean
         variance = np.maximum(self.squares / self.drawn - mean * mean, 0.0)
         return np.sqrt(variance / self.drawn)
+
+    def cv_accumulator(self) -> CVAccumulator:
+        """The stage's control-variate sums as one mergeable record."""
+        if self.cv_t is None:
+            raise ConfigError(
+                "stage was not run with variance_mode='control_variate'")
+        return CVAccumulator(sums=self.sums, squares=self.squares,
+                             t_sums=self.cv_t, at_sums=self.cv_at,
+                             tt_sums=self.cv_tt, drawn=self.drawn)
 
 
 # ----------------------------------------------------------------------
@@ -123,25 +151,41 @@ def _init_worker(ctx: dict) -> None:
 def _run_sample_chunk(task) -> list[RootedForest]:
     chunk_count, generator = task
     ctx = _WORKER_CTX
-    if ctx["batch"]:
+    if ctx["batch"] or ctx.get("stratified"):
         return sample_forests_batch(ctx["graph"], ctx["alpha"], chunk_count,
-                                    rng=generator)
+                                    rng=generator,
+                                    stratified=bool(ctx.get("stratified")))
     return list(sample_forests(ctx["graph"], ctx["alpha"], chunk_count,
                                rng=generator, method=ctx["method"]))
 
 
 def _run_estimate_chunk(task) -> tuple[np.ndarray, np.ndarray | None,
-                                       int, dict]:
+                                       int, dict, tuple | None]:
     chunk_count, generator = task
     ctx = _WORKER_CTX
     counters = WorkCounters()
+    mode = ctx.get("variance_mode", "improved")
+    if mode == "stratified":
+        forests = sample_forests_batch(ctx["graph"], ctx["alpha"],
+                                       chunk_count, rng=generator,
+                                       counters=counters, stratified=True)
+        sums, squares, drawn = accumulate_estimates(
+            forests, ctx["residual"], ctx["degrees"], kind=ctx["kind"],
+            improved=ctx["improved"], track_squares=ctx["track_squares"])
+        return sums, squares, drawn, counters.as_dict(), None
     forests = sample_forests(ctx["graph"], ctx["alpha"], chunk_count,
                              rng=generator, method=ctx["method"])
+    if mode == "control_variate":
+        acc = accumulate_cv_estimates(
+            forests, ctx["residual"], ctx["degrees"], kind=ctx["kind"],
+            track_squares=ctx["track_squares"], counters=counters)
+        return (acc.sums, acc.squares, acc.drawn, counters.as_dict(),
+                (acc.t_sums, acc.at_sums, acc.tt_sums))
     sums, squares, drawn = accumulate_estimates(
         forests, ctx["residual"], ctx["degrees"], kind=ctx["kind"],
         improved=ctx["improved"], track_squares=ctx["track_squares"],
         counters=counters)
-    return sums, squares, drawn, counters.as_dict()
+    return sums, squares, drawn, counters.as_dict(), None
 
 
 def _run_chunked(graph: Graph, ctx: dict, runner, tasks: list,
@@ -184,6 +228,7 @@ def sample_forests_parallel(graph: Graph, alpha: float, count: int,
                             batch: bool = False,
                             chunk_size: int | None = None,
                             counters: WorkCounters | None = None,
+                            stratified: bool = False,
                             ) -> list[RootedForest]:
     """Sample ``count`` independent forests across worker processes.
 
@@ -201,14 +246,22 @@ def sample_forests_parallel(graph: Graph, alpha: float, count: int,
     counters:
         Optional :class:`~repro.counters.WorkCounters` accumulating the
         work done across all chunks.
+    stratified:
+        Couple each chunk's layers through the Latin-hypercube batch
+        sampler (implies the batch path; widens the default chunk to
+        :data:`STRATIFIED_CHUNK_SIZE`).  Marginals are unchanged, so
+        downstream consumers need no changes.
 
     With a fixed seed the returned forests are identical for every
     ``workers`` value (see the module determinism contract).
     """
     if count == 0:
         return []
+    if chunk_size is None and stratified:
+        chunk_size = STRATIFIED_CHUNK_SIZE
     tasks = _tasks_for(count, rng, chunk_size)
-    ctx = {"alpha": alpha, "method": method, "batch": batch}
+    ctx = {"alpha": alpha, "method": method, "batch": batch,
+           "stratified": stratified}
     results, _ = _run_chunked(graph, ctx, _run_sample_chunk, tasks,
                               resolve_workers(workers))
     forests: list[RootedForest] = []
@@ -227,12 +280,20 @@ def parallel_estimate_stage(graph: Graph, alpha: float, count: int,
                             workers: int | None = 1,
                             method: str = "cycle_popping",
                             track_squares: bool = False,
-                            chunk_size: int | None = None) -> StageResult:
+                            chunk_size: int | None = None,
+                            variance_mode: str = "improved") -> StageResult:
     """Sample ``count`` forests and fold them through an estimator.
 
     The worker-side fold never ships forests back to the parent — each
     chunk returns only its ``O(n)`` accumulator arrays — so the
     inter-process traffic is independent of ω.
+
+    ``variance_mode`` selects the variance-reduction machinery:
+    ``"improved"`` (the historical path — the ``improved`` flag picks
+    basic vs conditional-MC), ``"stratified"`` (Latin-hypercube-coupled
+    chunks via the batch sampler, same estimator as ``improved``), or
+    ``"control_variate"`` (basic estimator plus mergeable variate sums;
+    the caller fits β via :meth:`StageResult.cv_accumulator`).
 
     Returns a :class:`StageResult` whose ``sums``/``squares``/``drawn``
     match a serial chunk-ordered fold bit for bit, for any ``workers``.
@@ -242,27 +303,44 @@ def parallel_estimate_stage(graph: Graph, alpha: float, count: int,
         raise ConfigError(
             f"residual must have shape ({graph.num_nodes},), "
             f"got {residual.shape}")
+    if chunk_size is None and variance_mode == "stratified":
+        chunk_size = STRATIFIED_CHUNK_SIZE
+    cv = variance_mode == "control_variate"
     if count == 0:
+        zeros = np.zeros(graph.num_nodes)
         return StageResult(
-            sums=np.zeros(graph.num_nodes),
+            sums=zeros.copy(),
             squares=np.zeros(graph.num_nodes) if track_squares else None,
-            drawn=0)
+            drawn=0,
+            cv_t=zeros.copy() if cv else None,
+            cv_at=zeros.copy() if cv else None,
+            cv_tt=zeros.copy() if cv else None)
     tasks = _tasks_for(count, rng, chunk_size)
     ctx = {"alpha": alpha, "method": method, "kind": kind,
            "improved": improved, "residual": residual,
-           "degrees": graph.degrees, "track_squares": track_squares}
+           "degrees": graph.degrees, "track_squares": track_squares,
+           "variance_mode": variance_mode}
     results, used = _run_chunked(graph, ctx, _run_estimate_chunk, tasks,
                                  resolve_workers(workers))
     sums = np.zeros(graph.num_nodes)
     squares = np.zeros(graph.num_nodes) if track_squares else None
+    cv_t = np.zeros(graph.num_nodes) if cv else None
+    cv_at = np.zeros(graph.num_nodes) if cv else None
+    cv_tt = np.zeros(graph.num_nodes) if cv else None
     drawn = 0
     counters = WorkCounters()
-    for chunk_sums, chunk_squares, chunk_drawn, chunk_counters in results:
+    for (chunk_sums, chunk_squares, chunk_drawn, chunk_counters,
+         chunk_cv) in results:
         sums += chunk_sums
         if squares is not None and chunk_squares is not None:
             squares += chunk_squares
+        if cv and chunk_cv is not None:
+            cv_t += chunk_cv[0]
+            cv_at += chunk_cv[1]
+            cv_tt += chunk_cv[2]
         drawn += chunk_drawn
         counters.merge(WorkCounters(**chunk_counters))
     return StageResult(sums=sums, squares=squares, drawn=drawn,
                        counters=counters, num_chunks=len(tasks),
-                       workers_used=used)
+                       workers_used=used, cv_t=cv_t, cv_at=cv_at,
+                       cv_tt=cv_tt)

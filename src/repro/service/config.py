@@ -46,6 +46,14 @@ class ServiceConfig:
         :meth:`~repro.service.index_manager.IndexManager.mutate`).
         Off by default: records cost memory and mutate works either
         way (it falls back to a full rebuild on static banks).
+    bank_dir:
+        Preload generation 0 from a saved ``repro index build`` bank
+        directory instead of sampling at boot.  The bank's graph
+        fingerprint and α must match the served configuration;
+        relabeled (``--node-order``) float64 banks answer
+        byte-identically to a freshly built index at the same seed.
+        Incompatible with ``dynamic`` (static banks carry no arrow
+        records) and ignored for generations > 0 (mutations resample).
     shards, shard_strategy:
         Partition the node space across ``shards`` worker pools of
         ``workers`` processes each, scatter-gathering every query
@@ -100,6 +108,7 @@ class ServiceConfig:
     push_backend: str = "vectorized"
     executor: str = "thread"
     dynamic: bool = False
+    bank_dir: str | None = None
     shards: int = 1
     shard_strategy: str = "hash"
     max_batch: int = 32
@@ -156,6 +165,10 @@ class ServiceConfig:
             raise ConfigError(
                 "shards > 1 needs executor='process' "
                 f"(got executor={self.executor!r})")
+        if self.bank_dir is not None and self.dynamic:
+            raise ConfigError(
+                "bank_dir does not combine with dynamic=True: saved "
+                "static banks carry no arrow records to repair")
         if not 0.0 <= self.trace_sample_rate <= 1.0:
             raise ConfigError(
                 f"trace_sample_rate must be in [0, 1], "
@@ -196,6 +209,7 @@ class ServiceConfig:
                 ("push_backend", self.push_backend),
                 ("executor", self.executor),
                 ("dynamic", self.dynamic),
+                ("bank_dir", self.bank_dir or "build at boot"),
                 ("shards", f"{self.shards} ({self.shard_strategy})"),
                 ("max_batch", self.max_batch),
                 ("max_wait_ms", self.max_wait_ms),

@@ -153,10 +153,15 @@ class IndexManager:
     def __init__(self, config: PPRConfig | None = None, *,
                  num_forests: int | None = None, tracer=None,
                  dynamic: bool = False, shards: int = 1,
-                 shard_strategy: str = "hash"):
+                 shard_strategy: str = "hash",
+                 bank_dir: str | None = None):
         self.config = config or PPRConfig()
         self.num_forests = num_forests
         self.dynamic = bool(dynamic)
+        if bank_dir is not None and self.dynamic:
+            raise ConfigError(
+                "bank_dir does not combine with dynamic banks")
+        self.bank_dir = bank_dir
         self.tracer = tracer if tracer is not None else NULL_TRACER
         shards = int(shards)
         if shards < 1:
@@ -227,8 +232,21 @@ class IndexManager:
                generation: int) -> _ManagedIndex:
         graph = self.graph(name)
         size = self.num_forests or ForestIndex.recommended_size(
-            graph, self.config.epsilon)
+            graph, self.config.epsilon,
+            variance_mode=self.config.variance_mode)
         seed = self._build_seed(name, alpha, generation)
+        if self.bank_dir is not None and generation == 0:
+            # preload the saved bank instead of sampling; the graph
+            # fingerprint check lives in load_bank, the α check here.
+            # Generations > 0 (mutations) resample as usual.
+            index = ForestIndex.load_bank(self.bank_dir, graph)
+            if abs(index.alpha - alpha) > 1e-12:
+                raise ConfigError(
+                    f"bank at {self.bank_dir!r} was built for "
+                    f"alpha={index.alpha}, service wants alpha={alpha}")
+            with self._lock:
+                self._builds += 1
+            return _ManagedIndex(index, generation, seed)
         if self.dynamic:
             # recorded sampling: repairable banks, cycle popping only
             index = DynamicForestIndex.build(graph, alpha, size, rng=seed,
@@ -236,7 +254,8 @@ class IndexManager:
         else:
             index = ForestIndex.build(graph, alpha, size, rng=seed,
                                       method=self.config.sampler,
-                                      workers=self.config.workers)
+                                      workers=self.config.workers,
+                                      variance_mode=self.config.variance_mode)
         with self._lock:
             self._builds += 1
         return _ManagedIndex(index, generation, seed)

@@ -73,7 +73,8 @@ class PPRService:
         self.index_manager = IndexManager(
             self.config.ppr_config(), tracer=self.tracer,
             dynamic=self.config.dynamic, shards=self.config.shards,
-            shard_strategy=self.config.shard_strategy)
+            shard_strategy=self.config.shard_strategy,
+            bank_dir=self.config.bank_dir)
         self.index_manager.register_graph(self.config.graph, graph)
         self.cache = ResultCache(self.config.cache_entries)
         self.metrics = ServiceMetrics()

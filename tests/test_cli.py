@@ -13,6 +13,7 @@ import os
 import re
 from pathlib import Path
 
+import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
@@ -142,6 +143,47 @@ class TestParser:
         assert args.out is None
         assert args.seed == 2022
 
+    def test_query_variance_mode_flag(self):
+        args = build_parser().parse_args(
+            ["query", "source", "youtube", "0"])
+        assert args.variance_mode == "improved"
+        args = build_parser().parse_args(
+            ["query", "source", "youtube", "0",
+             "--variance-mode", "stratified"])
+        assert args.variance_mode == "stratified"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["query", "source", "youtube", "0",
+                 "--variance-mode", "antithetic"])
+
+    def test_index_build_layout_flags(self):
+        args = build_parser().parse_args(
+            ["index", "build", "youtube", "bank"])
+        assert args.variance_mode == "improved"
+        assert args.node_order == "none"
+        assert args.bank_dtype == "float64"
+        args = build_parser().parse_args(
+            ["index", "build", "youtube", "bank",
+             "--variance-mode", "stratified", "--node-order", "degree",
+             "--bank-dtype", "float32"])
+        assert args.variance_mode == "stratified"
+        assert args.node_order == "degree"
+        assert args.bank_dtype == "float32"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["index", "build", "youtube", "bank",
+                 "--node-order", "hilbert"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["index", "build", "youtube", "bank",
+                 "--bank-dtype", "float16"])
+
+    def test_serve_bank_dir_flag(self):
+        assert build_parser().parse_args(["serve"]).bank_dir is None
+        args = build_parser().parse_args(
+            ["serve", "--bank-dir", "some/bank"])
+        assert args.bank_dir == "some/bank"
+
 
 class TestCommands:
     def test_datasets(self, capsys):
@@ -223,6 +265,73 @@ class TestCommands:
         graph = load_dataset("youtube", scale=0.05)
         index = ForestIndex.load_bank(bank, graph)
         assert index.num_forests == 3
+
+    def test_index_build_relabeled_is_byte_identical(self, capsys,
+                                                     tmp_path):
+        from repro.graph.datasets import load_dataset
+        from repro.montecarlo.forest_index import ForestIndex
+
+        plain, ordered = str(tmp_path / "plain"), str(tmp_path / "ordered")
+        base = ["index", "build", "youtube", "--scale", "0.05",
+                "--num-forests", "3", "--seed", "11"]
+        assert main(base[:3] + [plain] + base[3:]) == 0
+        assert main(base[:3] + [ordered] + base[3:]
+                    + ["--node-order", "degree"]) == 0
+        out = capsys.readouterr().out
+        assert "layout degree/float64" in out
+        graph = load_dataset("youtube", scale=0.05)
+        a = ForestIndex.load_bank(plain, graph)
+        b = ForestIndex.load_bank(ordered, graph)
+        assert b.bank_node_order == "degree"
+        residuals = np.eye(graph.num_nodes)[:2]
+        assert np.array_equal(a.estimate_source_many(residuals),
+                              b.estimate_source_many(residuals))
+
+    def test_index_build_float32_records_dtype(self, capsys, tmp_path):
+        bank = str(tmp_path / "bank")
+        assert main(["index", "build", "youtube", bank, "--scale", "0.05",
+                     "--num-forests", "3", "--seed", "11",
+                     "--bank-dtype", "float32"]) == 0
+        capsys.readouterr()
+        assert main(["index", "inspect", bank]) == 0
+        out = capsys.readouterr().out
+        assert "float32" in out
+        assert "operator" in out
+
+    def test_index_build_stratified_records_mode(self, capsys, tmp_path):
+        bank = str(tmp_path / "bank")
+        assert main(["index", "build", "youtube", bank, "--scale", "0.05",
+                     "--num-forests", "3", "--seed", "11",
+                     "--variance-mode", "stratified"]) == 0
+        assert "variance stratified" in capsys.readouterr().out
+        assert main(["index", "inspect", bank]) == 0
+        assert "stratified" in capsys.readouterr().out
+
+    def test_index_build_dynamic_rejects_layout_flags(self, capsys,
+                                                      tmp_path):
+        bank = str(tmp_path / "bank")
+        assert main(["index", "build", "youtube", bank, "--scale", "0.05",
+                     "--num-forests", "3", "--dynamic",
+                     "--node-order", "degree"]) == 2
+        assert "error:" in capsys.readouterr().err
+        assert main(["index", "build", "youtube", bank, "--scale", "0.05",
+                     "--num-forests", "3", "--dynamic",
+                     "--variance-mode", "stratified"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_bank_dir_dry_run(self, capsys, tmp_path):
+        bank = str(tmp_path / "bank")
+        assert main(["index", "build", "youtube", bank, "--scale", "0.05",
+                     "--num-forests", "3", "--seed", "11"]) == 0
+        capsys.readouterr()
+        assert main(["serve", "--graph", "youtube", "--scale", "0.05",
+                     "--bank-dir", bank, "--dry-run"]) == 0
+        assert bank in capsys.readouterr().out
+
+    def test_serve_bank_dir_rejects_dynamic(self, capsys):
+        assert main(["serve", "--bank-dir", "somewhere", "--dynamic",
+                     "--dry-run"]) == 2
+        assert "error:" in capsys.readouterr().err
 
     def test_index_inspect_rejects_non_bank(self, capsys, tmp_path):
         assert main(["index", "inspect", str(tmp_path)]) == 2

@@ -316,6 +316,67 @@ class TestIndexManager:
         assert manager.stats()["banks"] == {}
 
 
+class TestIndexManagerBankDir:
+    """Generation-0 preload from a saved bank directory."""
+
+    def _saved_bank(self, graph, tmp_path, **save_kwargs):
+        index = ForestIndex.build(graph, ALPHA, 6, rng=SEED)
+        index.save_bank(tmp_path / "bank", **save_kwargs)
+        return index, str(tmp_path / "bank")
+
+    def _manager(self, graph, bank_dir=None, **config_overrides):
+        config = PPRConfig(alpha=ALPHA, epsilon=EPSILON, seed=SEED,
+                           budget_scale=0.05, **config_overrides)
+        manager = IndexManager(config, num_forests=6, bank_dir=bank_dir)
+        manager.register_graph("test", graph)
+        return manager
+
+    def test_preload_skips_sampling_and_matches_the_saved_bank(
+            self, graph, tmp_path):
+        saved, bank_dir = self._saved_bank(graph, tmp_path)
+        manager = self._manager(graph, bank_dir=bank_dir)
+        index = manager.get_index("test")
+        assert manager.stats()["builds"] == 1
+        residuals = np.random.default_rng(1).random((2, graph.num_nodes))
+        assert np.array_equal(saved.estimate_source_many(residuals),
+                              index.estimate_source_many(residuals))
+
+    def test_relabeled_bank_serves_identical_answers(self, graph,
+                                                     tmp_path):
+        saved, bank_dir = self._saved_bank(graph, tmp_path,
+                                           node_order="degree")
+        manager = self._manager(graph, bank_dir=bank_dir)
+        index = manager.get_index("test")
+        assert index.bank_node_order == "degree"
+        residuals = np.random.default_rng(1).random((2, graph.num_nodes))
+        assert np.array_equal(saved.estimate_source_many(residuals),
+                              index.estimate_source_many(residuals))
+
+    def test_refresh_resamples_instead_of_reloading(self, graph,
+                                                    tmp_path):
+        _, bank_dir = self._saved_bank(graph, tmp_path)
+        manager = self._manager(graph, bank_dir=bank_dir)
+        before = manager.get_index("test")
+        manager.refresh("test", block=True)
+        after = manager.get_index("test")
+        assert after is not before
+        assert after.forests  # sampled, not attached
+
+    def test_alpha_mismatch_refused(self, graph, tmp_path):
+        _, bank_dir = self._saved_bank(graph, tmp_path)
+        manager = self._manager(graph, bank_dir=bank_dir)
+        with pytest.raises(ConfigError, match="alpha"):
+            manager.get_index("test", alpha=0.5)
+
+    def test_bank_dir_rejects_dynamic(self, graph, tmp_path):
+        _, bank_dir = self._saved_bank(graph, tmp_path)
+        with pytest.raises(ConfigError, match="dynamic"):
+            IndexManager(PPRConfig(alpha=ALPHA, seed=SEED),
+                         dynamic=True, bank_dir=bank_dir)
+        with pytest.raises(ConfigError, match="dynamic"):
+            ServiceConfig(bank_dir=bank_dir, dynamic=True)
+
+
 class TestBatchSolverLifecycle:
     def test_context_manager_and_close_idempotent(self, graph):
         with BatchSourceSolver(graph, alpha=ALPHA, epsilon=EPSILON,

@@ -25,7 +25,7 @@ from repro.graph.delta import GraphDelta, parse_edge_spec
 from repro.graph.generators import erdos_renyi, with_random_weights
 from repro.linalg import exact_ppr_matrix
 from repro.montecarlo.forest_index import ForestIndex
-from repro.parallel.shared_bank import bank_manifest
+from repro.parallel.shared_bank import BANK_FORMAT_VERSION, bank_manifest
 from repro.service import (
     IndexManager,
     PPRService,
@@ -269,7 +269,7 @@ class TestShardBankFormat:
         bank_dir = tmp_path / "shard-2"
         restricted.save_bank(bank_dir)
         manifest = bank_manifest(bank_dir)
-        assert manifest["version"] == 2
+        assert manifest["version"] == BANK_FORMAT_VERSION
         assert manifest["meta"]["shard_index"] == 2
         assert manifest["meta"]["shard_count"] == 3
         loaded = ForestIndex.load_bank(bank_dir, graph30)
