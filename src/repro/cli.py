@@ -25,7 +25,16 @@ index
     bank.
 trace
     Read a slow-query log: ``tail`` prints recent entries, one per
-    line; ``summarize`` aggregates latency and span-stage statistics.
+    line; ``summarize`` aggregates latency and span-stage statistics;
+    ``export --format chrome`` converts the recorded span trees to
+    Chrome trace-event JSON (loadable in Perfetto / chrome://tracing).
+top
+    Live terminal dashboard polling a running service's ``/statusz``:
+    rolling request/error windows, SLO burn-rate state, per-tenant
+    and per-shard tables.
+obs
+    Offline observability tooling: ``report`` renders a dumped
+    ``/statusz`` JSON snapshot with the same layout ``top`` uses.
 bench
     Run the calibrated CI benchmark gate (see ``repro.bench.ci_gate``).
 
@@ -48,7 +57,7 @@ from repro.core.config import VARIANCE_MODES
 from repro.graph.datasets import load_dataset, table1_statistics
 from repro.push.kernels import DEFAULT_PUSH_BACKEND, PUSH_BACKENDS
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "render_statusz"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -209,6 +218,28 @@ def build_parser() -> argparse.ArgumentParser:
                        default=250.0,
                        help="latency at/above which an ok request is "
                             "slow-logged (errors always are)")
+    serve.add_argument("--slowlog-max-bytes", type=int, default=None,
+                       metavar="N",
+                       help="rotate the slow-log file once it would "
+                            "exceed N bytes (previous generation kept "
+                            "as PATH.1; default: never rotate)")
+    serve.add_argument("--slo-availability-objective", type=float,
+                       default=0.999, metavar="FRAC",
+                       help="fraction of requests that must not fail "
+                            "(availability SLO)")
+    serve.add_argument("--slo-latency-objective", type=float,
+                       default=0.99, metavar="FRAC",
+                       help="fraction of requests that must finish "
+                            "within --slo-latency-ms")
+    serve.add_argument("--slo-latency-ms", type=float, default=250.0,
+                       help="latency threshold of the latency SLO")
+    serve.add_argument("--slo-fast-window-s", type=float, default=60.0,
+                       help="fast burn-rate alerting window")
+    serve.add_argument("--slo-slow-window-s", type=float, default=300.0,
+                       help="slow burn-rate alerting window")
+    serve.add_argument("--slo-burn-threshold", type=float, default=10.0,
+                       help="burn rate both windows must exceed for an "
+                            "alert to fire")
     serve.add_argument("--profile", default=None, metavar="PATH",
                        help="sample the whole process and write "
                             "collapsed stacks here on shutdown")
@@ -316,6 +347,33 @@ def build_parser() -> argparse.ArgumentParser:
         "summarize", help="aggregate latency + span-stage statistics")
     trace_summarize.add_argument("slowlog",
                                  help="JSON-lines slow-log file")
+    trace_export = trace_actions.add_parser(
+        "export", help="convert recorded span trees to a viewer format")
+    trace_export.add_argument("slowlog", help="JSON-lines slow-log file")
+    trace_export.add_argument("--format", choices=["chrome"],
+                              default="chrome",
+                              help="output format (chrome = trace-event "
+                                   "JSON for Perfetto/chrome://tracing)")
+    trace_export.add_argument("--out", default=None, metavar="PATH",
+                              help="write here (default: stdout)")
+
+    top = commands.add_parser(
+        "top", help="live terminal dashboard over a service's /statusz")
+    top.add_argument("--url", default="http://127.0.0.1:8471",
+                     help="service base url")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="poll period in seconds")
+    top.add_argument("--once", action="store_true",
+                     help="print one snapshot and exit (no screen "
+                          "clearing; what the tests drive)")
+
+    obs = commands.add_parser(
+        "obs", help="offline observability tooling")
+    obs_actions = obs.add_subparsers(dest="action", required=True)
+    obs_report = obs_actions.add_parser(
+        "report", help="render a dumped /statusz JSON snapshot")
+    obs_report.add_argument("snapshot",
+                            help="path to a saved /statusz response")
 
     bench = commands.add_parser(
         "bench", help="run the calibrated benchmark gate")
@@ -555,7 +613,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         trace_sample_rate=args.trace_sample_rate,
         trace_buffer=args.trace_buffer,
         slowlog_path=args.slowlog,
-        slowlog_threshold_ms=args.slowlog_threshold_ms)
+        slowlog_threshold_ms=args.slowlog_threshold_ms,
+        slowlog_max_bytes=args.slowlog_max_bytes,
+        slo_availability_objective=args.slo_availability_objective,
+        slo_latency_objective=args.slo_latency_objective,
+        slo_latency_ms=args.slo_latency_ms,
+        slo_fast_window_s=args.slo_fast_window_s,
+        slo_slow_window_s=args.slo_slow_window_s,
+        slo_burn_threshold=args.slo_burn_threshold)
     print(config.describe())
     if args.dry_run:
         print("dry run: config ok, not starting the server")
@@ -835,6 +900,24 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             print(format_entry(entry))
         return 0
 
+    if args.action == "export":
+        import json
+
+        from repro.obs.tracing import chrome_trace_events
+
+        trees = [entry["trace"] for entry in entries
+                 if entry.get("trace")]
+        document = chrome_trace_events(trees)
+        text = json.dumps(document, indent=2, sort_keys=True) + "\n"
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as sink:
+                sink.write(text)
+            print(f"exported {len(document['traceEvents'])} events "
+                  f"from {len(trees)} traces -> {args.out}")
+        else:
+            print(text, end="")
+        return 0
+
     summary = summarize_entries(entries)
     overview = summary["overview"]
     print(f"entries      {overview['entries']}")
@@ -852,6 +935,131 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             print(f"{stage['span']:14s} {stage['count']:6d} "
                   f"{stage['total_ms']:10.3f} {stage['mean_ms']:10.3f} "
                   f"{stage['max_ms']:10.3f}")
+    return 0
+
+
+def render_statusz(payload: dict) -> str:
+    """Deterministic text dashboard over one ``/statusz`` document.
+
+    Shared by ``repro top`` (live polling) and ``repro obs report``
+    (offline snapshot), and unit-tested on a fixed payload — so it
+    never reads the clock or the terminal.
+    """
+    totals = payload.get("totals", {})
+    lines = [
+        f"repro service — {payload.get('status', '?')}   "
+        f"graph {payload.get('graph', '?')}   "
+        f"uptime {payload.get('uptime_seconds', 0.0):.0f}s",
+        f"requests {totals.get('requests', 0)}   "
+        f"rejected {totals.get('rejected', 0)}   "
+        f"errors {totals.get('errors', 0)}   "
+        f"queue {payload.get('queue_depth', 0)}   "
+        f"straggler folds {totals.get('straggler_folds', 0)}",
+    ]
+
+    windows = payload.get("windows") or {}
+    rows = []
+    for label in sorted(windows, key=lambda item: float(item.rstrip("s"))):
+        window = windows[label]
+        if not window:
+            continue
+        counters = window.get("counters", {})
+        latency = window.get("histograms", {}).get("latency", {})
+        rows.append((label,
+                     counters.get("requests", {}).get("total", 0.0),
+                     counters.get("requests", {}).get("rate", 0.0),
+                     counters.get("errors", {}).get("total", 0.0),
+                     latency.get("p50", 0.0), latency.get("p99", 0.0)))
+    if rows:
+        lines.append("")
+        lines.append(f"{'window':<8} {'requests':>9} {'rate/s':>8} "
+                     f"{'errors':>7} {'p50_s':>9} {'p99_s':>9}")
+        for label, total, rate, errors, p50, p99 in rows:
+            lines.append(f"{label:<8} {total:>9.0f} {rate:>8.2f} "
+                         f"{errors:>7.0f} {p50:>9.4f} {p99:>9.4f}")
+
+    slo = payload.get("slo") or []
+    if slo:
+        lines.append("")
+        lines.append(f"{'slo':<14} {'state':<8} {'fast_burn':>10} "
+                     f"{'slow_burn':>10} {'objective':>10}")
+        for report in slo:
+            lines.append(f"{report.get('name', '?'):<14} "
+                         f"{report.get('state', '?'):<8} "
+                         f"{report.get('fast_burn', 0.0):>10.2f} "
+                         f"{report.get('slow_burn', 0.0):>10.2f} "
+                         f"{report.get('objective', 0.0):>10.4f}")
+
+    tenants = payload.get("tenants") or []
+    if tenants:
+        lines.append("")
+        lines.append(f"{'tenant':<16} {'requests':>9} {'rejected':>9} "
+                     f"{'errors':>7} {'work':>10} {'p50_s':>9} "
+                     f"{'p99_s':>9}")
+        for row in tenants:
+            lines.append(f"{row['tenant']:<16} {row['requests']:>9} "
+                         f"{row['rejected']:>9} {row['errors']:>7} "
+                         f"{row['work']:>10.0f} "
+                         f"{row['p50_seconds']:>9.4f} "
+                         f"{row['p99_seconds']:>9.4f}")
+
+    shards = payload.get("shards") or []
+    if shards:
+        lines.append("")
+        lines.append(f"{'shard':<7} {'folds':>7} {'stragglers':>11} "
+                     f"{'fold_p50_s':>11} {'fold_p99_s':>11}")
+        for row in shards:
+            lines.append(f"{row['shard']:<7} {row['folds']:>7} "
+                         f"{row['straggler_folds']:>11} "
+                         f"{row['fold_p50_seconds']:>11.4f} "
+                         f"{row['fold_p99_seconds']:>11.4f}")
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Poll ``/statusz`` and render the dashboard (``--once`` = one
+    shot, what tests and scripts use)."""
+    import json
+    import time
+    import urllib.error
+    import urllib.request
+
+    def fetch() -> dict:
+        with urllib.request.urlopen(f"{args.url}/statusz",
+                                    timeout=10.0) as response:
+            return json.loads(response.read())
+
+    try:
+        if args.once:
+            print(render_statusz(fetch()))
+            return 0
+        while True:
+            text = render_statusz(fetch())
+            # clear + home, then the frame — a plain-ANSI poor man's top
+            print(f"\x1b[2J\x1b[H{text}", flush=True)
+            time.sleep(max(args.interval, 0.1))
+    except KeyboardInterrupt:
+        return 0
+    except (urllib.error.URLError, OSError) as error:
+        print(f"error: cannot reach {args.url}/statusz: {error}",
+              file=sys.stderr)
+        return 2
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """Offline observability: render a saved ``/statusz`` snapshot."""
+    import json
+
+    try:
+        with open(args.snapshot, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not isinstance(payload, dict):
+        print("error: snapshot must be a JSON object", file=sys.stderr)
+        return 2
+    print(render_statusz(payload))
     return 0
 
 
@@ -891,6 +1099,8 @@ _COMMANDS = {
     "index": _cmd_index,
     "experiment": _cmd_experiment,
     "trace": _cmd_trace,
+    "top": _cmd_top,
+    "obs": _cmd_obs,
     "bench": _cmd_bench,
 }
 

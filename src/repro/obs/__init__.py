@@ -13,7 +13,13 @@ docs/OBSERVABILITY.md for the full model):
   (threshold-admitted, errors always sampled) carrying the span tree
   and work counters of each offending request;
 - :mod:`repro.obs.profiler` — an opt-in sampling profiler dumping
-  collapsed stacks for flamegraphs (``--profile``).
+  collapsed stacks for flamegraphs (``--profile``);
+- :mod:`repro.obs.timeseries` — fixed-interval ring-buffer series
+  (counters, gauges, histogram windows) answering "over the last N
+  seconds" questions with bounded memory and no background threads;
+- :mod:`repro.obs.slo` — declarative availability/latency SLOs
+  evaluated with multi-window burn-rate alerting on top of the
+  rolling series.
 
 Everything is stdlib-only and safe to import before the executor
 forks.  The disabled path (sample rate 0, no slow-log file, profiler
@@ -27,9 +33,17 @@ from repro.obs.histogram import (
     STAGES,
     HistogramRegistry,
     LatencyHistogram,
+    exact_quantile,
 )
 from repro.obs.profiler import SamplingProfiler
+from repro.obs.slo import SLOEngine, SLOSpec, SLOTracker, default_specs
 from repro.obs.slowlog import SlowLog, read_slowlog, summarize_entries
+from repro.obs.timeseries import (
+    RollingCounter,
+    RollingGauge,
+    RollingHistogram,
+    TimeSeriesStore,
+)
 from repro.obs.tracing import (
     NULL_SPAN,
     NULL_TRACER,
@@ -37,6 +51,7 @@ from repro.obs.tracing import (
     NullTracer,
     Span,
     Tracer,
+    chrome_trace_events,
     new_request_id,
 )
 
@@ -48,11 +63,21 @@ __all__ = [
     "NULL_TRACER",
     "NullSpan",
     "NullTracer",
+    "RollingCounter",
+    "RollingGauge",
+    "RollingHistogram",
     "SamplingProfiler",
+    "SLOEngine",
+    "SLOSpec",
+    "SLOTracker",
     "SlowLog",
     "STAGES",
     "Span",
+    "TimeSeriesStore",
     "Tracer",
+    "chrome_trace_events",
+    "default_specs",
+    "exact_quantile",
     "new_request_id",
     "read_slowlog",
     "summarize_entries",

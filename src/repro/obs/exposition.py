@@ -1,0 +1,220 @@
+"""Strict Prometheus text-exposition (v0.0.4) checker.
+
+``/metrics`` is consumed by scrapers that silently drop malformed
+families, so "it renders" is not enough — this module validates the
+whole document structurally and is run against the *live* endpoint in
+the CI smoke job (``loadgen --check-exposition``) and in the test
+suite:
+
+- every sample line belongs to a family announced by ``# HELP`` and
+  ``# TYPE`` lines (in that order, exactly once per family);
+- metric and label names match the Prometheus grammar, label values
+  are well-formed quoted strings, sample values parse as floats;
+- no duplicate ``(sample name, label set)`` pair;
+- histogram families carry ``_bucket``/``_sum``/``_count`` samples
+  only, every bucket series is cumulative (non-decreasing in ``le``),
+  ends at ``le="+Inf"``, and the ``+Inf`` count equals ``_count``;
+- counters are finite and non-negative.
+
+:func:`check_exposition` returns a list of human-readable failure
+strings (empty = the document is clean), mirroring the shape of the
+loadgen smoke checkers so CI can print every violation at once.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+__all__ = ["check_exposition", "parse_exposition"]
+
+_METRIC_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+_LABEL_NAME = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*")
+_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+#: Sample-name suffixes each family type may legally emit.
+_SUFFIXES = {
+    "histogram": ("_bucket", "_sum", "_count"),
+    "summary": ("_sum", "_count", ""),
+}
+
+
+def _parse_labels(text: str, failures: list[str],
+                  line_no: int) -> dict[str, str] | None:
+    """``{name="value",...}`` body → dict (None on a syntax error)."""
+    labels: dict[str, str] = {}
+    rest = text
+    while rest:
+        match = re.match(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"',
+                         rest)
+        if not match:
+            failures.append(f"line {line_no}: bad label syntax near "
+                            f"{rest[:30]!r}")
+            return None
+        name, value = match.group(1), match.group(2)
+        if name in labels:
+            failures.append(f"line {line_no}: duplicate label {name!r}")
+            return None
+        labels[name] = value
+        rest = rest[match.end():]
+        if rest.startswith(","):
+            rest = rest[1:]
+        elif rest:
+            failures.append(f"line {line_no}: expected ',' between "
+                            f"labels, got {rest[:10]!r}")
+            return None
+    return labels
+
+
+def parse_exposition(text: str):
+    """Parse an exposition document.
+
+    Returns ``(families, samples, failures)`` where ``families`` maps
+    family name → ``{"type", "help"}``, ``samples`` is a list of
+    ``(sample_name, labels_dict, value, line_no)`` tuples, and
+    ``failures`` collects every structural violation found on the way.
+    """
+    families: dict[str, dict] = {}
+    samples: list[tuple[str, dict, float, int]] = []
+    failures: list[str] = []
+    pending_help: str | None = None
+
+    if not text.endswith("\n"):
+        failures.append("document must end with a newline")
+
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if line != line.rstrip():
+            failures.append(f"line {line_no}: trailing whitespace")
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 4:
+                failures.append(f"line {line_no}: HELP without text")
+                continue
+            name = parts[2]
+            if name in families:
+                failures.append(f"line {line_no}: duplicate HELP for "
+                                f"{name}")
+            pending_help = name
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                failures.append(f"line {line_no}: malformed TYPE line")
+                continue
+            name, kind = parts[2], parts[3]
+            if pending_help != name:
+                failures.append(f"line {line_no}: TYPE for {name} not "
+                                f"immediately after its HELP")
+            if kind not in _TYPES:
+                failures.append(f"line {line_no}: unknown type {kind!r}")
+            if name in families:
+                failures.append(f"line {line_no}: duplicate TYPE for "
+                                f"{name}")
+            families[name] = {"type": kind, "help": True}
+            pending_help = None
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment — legal
+        match = re.match(r"([a-zA-Z_:][a-zA-Z0-9_:]*)"
+                         r"(?:\{(.*)\})?\s+(\S+)$", line)
+        if not match:
+            failures.append(f"line {line_no}: unparseable sample "
+                            f"{line[:50]!r}")
+            continue
+        name, label_body, raw_value = match.groups()
+        labels = (_parse_labels(label_body, failures, line_no)
+                  if label_body else {})
+        if labels is None:
+            continue
+        for label in labels:
+            if not _LABEL_NAME.fullmatch(label):
+                failures.append(f"line {line_no}: bad label name "
+                                f"{label!r}")
+        try:
+            value = float(raw_value)
+        except ValueError:
+            failures.append(f"line {line_no}: non-numeric value "
+                            f"{raw_value!r}")
+            continue
+        samples.append((name, labels, value, line_no))
+    return families, samples, failures
+
+
+def _family_of(sample_name: str, families: dict) -> str | None:
+    """The declared family a sample line belongs to, if any."""
+    if sample_name in families:
+        kind = families[sample_name]["type"]
+        # a histogram's bare name is not a legal sample
+        if kind == "histogram":
+            return None
+        return sample_name
+    for base, meta in families.items():
+        for suffix in _SUFFIXES.get(meta["type"], ()):
+            if suffix and sample_name == base + suffix:
+                return base
+    return None
+
+
+def check_exposition(text: str) -> list[str]:
+    """Every structural violation in ``text`` (empty list = clean)."""
+    families, samples, failures = parse_exposition(text)
+
+    seen: set[tuple[str, tuple]] = set()
+    bucket_series: dict[tuple[str, tuple], list[tuple[float, float]]] = {}
+    counts: dict[tuple[str, tuple], float] = {}
+
+    for name, labels, value, line_no in samples:
+        family = _family_of(name, families)
+        if family is None:
+            failures.append(f"line {line_no}: sample {name} has no "
+                            f"HELP/TYPE family")
+            continue
+        kind = families[family]["type"]
+        key = (name, tuple(sorted(labels.items())))
+        if key in seen:
+            failures.append(f"line {line_no}: duplicate sample {name}"
+                            f"{dict(labels)}")
+        seen.add(key)
+        if kind == "counter" and (value < 0 or math.isnan(value)):
+            failures.append(f"line {line_no}: counter {name} has "
+                            f"non-monotonic-safe value {value}")
+        if kind == "histogram":
+            group = tuple(sorted((k, v) for k, v in labels.items()
+                                 if k != "le"))
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    failures.append(f"line {line_no}: bucket sample "
+                                    f"missing 'le'")
+                    continue
+                le = labels["le"]
+                bound = math.inf if le == "+Inf" else float(le)
+                bucket_series.setdefault((family, group), []).append(
+                    (bound, value))
+            elif name.endswith("_count"):
+                counts[(family, group)] = value
+
+    for (family, group), series in sorted(bucket_series.items()):
+        ordered = sorted(series)
+        if not math.isinf(ordered[-1][0]):
+            failures.append(f"{family}{dict(group)}: bucket series "
+                            f"missing le=\"+Inf\"")
+            continue
+        running = -math.inf
+        for bound, value in ordered:
+            if value < running:
+                failures.append(
+                    f"{family}{dict(group)}: bucket le={bound:g} count "
+                    f"{value} decreases (cumulative violated)")
+                break
+            running = value
+        total = counts.get((family, group))
+        if total is None:
+            failures.append(f"{family}{dict(group)}: histogram missing "
+                            f"_count sample")
+        elif total != ordered[-1][1]:
+            failures.append(
+                f"{family}{dict(group)}: _count {total} != +Inf bucket "
+                f"{ordered[-1][1]}")
+    return failures

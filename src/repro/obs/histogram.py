@@ -29,7 +29,7 @@ import threading
 from bisect import bisect_left
 
 __all__ = ["DEFAULT_BUCKETS", "STAGES", "LatencyHistogram",
-           "HistogramRegistry", "format_le"]
+           "HistogramRegistry", "exact_quantile", "format_le"]
 
 #: Upper bucket bounds in seconds: 1–2.5–5 per decade, 10 µs … 10 s.
 DEFAULT_BUCKETS: tuple[float, ...] = tuple(
@@ -46,6 +46,25 @@ def format_le(bound: float) -> str:
     """Prometheus ``le`` label text for one finite bucket bound."""
     text = repr(float(bound))
     return text[:-2] if text.endswith(".0") else text
+
+
+def exact_quantile(values, q: float) -> float:
+    """Nearest-rank quantile of raw samples; ``0.0`` when empty.
+
+    The one sample-based quantile used everywhere raw latencies are
+    at hand (loadgen reports, slow-log summaries, per-tenant tables),
+    so every surface agrees on what "p99" means.  Bucketed series use
+    :meth:`LatencyHistogram.quantile` instead — same convention, one
+    bucket of resolution.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1,
+                max(0, round(q * (len(ordered) - 1))))
+    return float(ordered[index])
 
 
 class _Shard:

@@ -1,0 +1,265 @@
+r"""Declarative SLOs with multi-window burn-rate alerting.
+
+An SLO turns a stream of request outcomes into one yes/no question —
+"are we spending our error budget faster than we can afford?" — which
+is exactly what the upcoming QoS layer needs to decide *when* to shed
+load.  The model here is the standard multi-window burn-rate scheme:
+
+- An :class:`SLOSpec` declares an objective: either **availability**
+  ("99.9% of requests succeed") or **latency** ("99% of requests
+  finish within 250 ms").  Each request is classified *good* or *bad*
+  against the spec.
+- The **burn rate** over a window is the bad fraction divided by the
+  budget ``(1 - objective)``: burn 1.0 spends the budget exactly on
+  schedule, burn 10 spends it ten times too fast.  No traffic in the
+  window means burn 0 — an idle service is not on fire.
+- An alert uses two windows: a **fast** window (reacts in seconds)
+  and a **slow** window (confirms the problem is sustained, not one
+  bad tick).  The alert *fires* when **both** burns exceed
+  ``burn_threshold``; it *clears* as soon as the fast burn drops back
+  below the threshold, so recovery is detected at fast-window speed.
+
+Good/bad streams live in :class:`~repro.obs.timeseries.RollingCounter`
+rings sized to the slow window, so the engine inherits the time-series
+module's properties: bounded memory, lazy tick advance, no background
+threads (fork-safe), and explicit ``now`` everywhere for deterministic
+tests.  Like the rest of :mod:`repro.obs`, classification happens on
+the metrics path *after* the response payload is fully determined, so
+enabling the engine cannot change a single response byte.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+from repro.obs.timeseries import RollingCounter
+
+__all__ = ["SLOSpec", "SLOTracker", "SLOEngine", "default_specs"]
+
+#: Alert states, in transition order.
+STATE_OK = "ok"
+STATE_FIRING = "firing"
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One declarative objective; immutable and self-validating.
+
+    Parameters
+    ----------
+    name:
+        Stable identifier, used in ``/statusz`` and alert history.
+    kind:
+        ``"availability"`` (bad = errored or rejected request) or
+        ``"latency"`` (bad = slower than ``latency_threshold_ms``,
+        errors counted bad as well).
+    objective:
+        Target good fraction in ``(0, 1)``, e.g. ``0.999``.
+    latency_threshold_ms:
+        Required for ``kind="latency"``; ignored otherwise.
+    fast_window_s / slow_window_s:
+        Burn-rate windows; fast must be strictly shorter.
+    burn_threshold:
+        Both window burns must exceed this to fire.
+    """
+
+    name: str
+    kind: str
+    objective: float
+    latency_threshold_ms: float | None = None
+    fast_window_s: float = 60.0
+    slow_window_s: float = 300.0
+    burn_threshold: float = 10.0
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("SLO name must be non-empty")
+        if self.kind not in ("availability", "latency"):
+            raise ValueError(
+                f"SLO kind must be availability|latency, got "
+                f"{self.kind!r}")
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(
+                f"objective must be in (0, 1), got {self.objective}")
+        if self.kind == "latency":
+            if (self.latency_threshold_ms is None
+                    or self.latency_threshold_ms <= 0):
+                raise ValueError(
+                    "latency SLO requires latency_threshold_ms > 0, "
+                    f"got {self.latency_threshold_ms}")
+        if self.fast_window_s <= 0 or self.slow_window_s <= 0:
+            raise ValueError(
+                f"windows must be > 0, got fast={self.fast_window_s} "
+                f"slow={self.slow_window_s}")
+        if self.fast_window_s >= self.slow_window_s:
+            raise ValueError(
+                f"fast window ({self.fast_window_s}s) must be shorter "
+                f"than slow window ({self.slow_window_s}s)")
+        if self.burn_threshold <= 0:
+            raise ValueError(
+                f"burn_threshold must be > 0, got {self.burn_threshold}")
+
+    def classify(self, seconds: float, *, error: bool = False) -> bool:
+        """``True`` when the request is *good* under this spec."""
+        if error:
+            return False
+        if self.kind == "latency":
+            return seconds * 1000.0 <= self.latency_threshold_ms
+        return True
+
+
+class SLOTracker:
+    """Good/bad accounting plus the alert state machine for one spec."""
+
+    #: Ring resolution; fine enough that a 5 s fast window still
+    #: spans several ticks.
+    INTERVAL = 1.0
+    HISTORY = 32
+
+    def __init__(self, spec: SLOSpec):
+        self.spec = spec
+        capacity = max(4, int(spec.slow_window_s / self.INTERVAL) + 2)
+        self._good = RollingCounter(self.INTERVAL, capacity)
+        self._bad = RollingCounter(self.INTERVAL, capacity)
+        self._lock = threading.Lock()
+        self._state = STATE_OK
+        self._since: float | None = None
+        self._transitions: deque[dict] = deque(maxlen=self.HISTORY)
+
+    # ------------------------------------------------------------------
+    def observe(self, seconds: float, *, error: bool = False,
+                now: float | None = None) -> None:
+        if self.spec.classify(seconds, error=error):
+            self._good.add(1.0, now)
+        else:
+            self._bad.add(1.0, now)
+
+    def observe_bad(self, now: float | None = None) -> None:
+        """Record an unconditionally bad event (e.g. a shed request)."""
+        self._bad.add(1.0, now)
+
+    def burn_rate(self, window_s: float,
+                  now: float | None = None) -> float:
+        """Bad fraction over the window, scaled by the error budget."""
+        good = self._good.total(window_s, now)
+        bad = self._bad.total(window_s, now)
+        total = good + bad
+        if total <= 0:
+            return 0.0
+        return (bad / total) / (1.0 - self.spec.objective)
+
+    # ------------------------------------------------------------------
+    def evaluate(self, now: float | None = None) -> dict:
+        """Advance the alert state machine and report it.
+
+        Fires when both window burns exceed the threshold; clears when
+        the fast burn recovers.  Returns a JSON-ready dict.
+        """
+        spec = self.spec
+        fast = self.burn_rate(spec.fast_window_s, now)
+        slow = self.burn_rate(spec.slow_window_s, now)
+        with self._lock:
+            state = self._state
+            if (state == STATE_OK and fast >= spec.burn_threshold
+                    and slow >= spec.burn_threshold):
+                state = STATE_FIRING
+            elif state == STATE_FIRING and fast < spec.burn_threshold:
+                state = STATE_OK
+            if state != self._state:
+                self._state = state
+                self._since = now
+                self._transitions.append({
+                    "state": state, "at": now,
+                    "fast_burn": round(fast, 4),
+                    "slow_burn": round(slow, 4)})
+            return {
+                "name": spec.name,
+                "kind": spec.kind,
+                "objective": spec.objective,
+                "latency_threshold_ms": spec.latency_threshold_ms,
+                "burn_threshold": spec.burn_threshold,
+                "fast_window_s": spec.fast_window_s,
+                "slow_window_s": spec.slow_window_s,
+                "fast_burn": round(fast, 4),
+                "slow_burn": round(slow, 4),
+                "state": state,
+                "transitions": list(self._transitions),
+            }
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+
+class SLOEngine:
+    """All configured SLOs behind one observe/evaluate surface.
+
+    ``observe_request`` classifies one finished request against every
+    spec; ``observe_rejection`` marks shed load bad for availability
+    specs only (a rejected request has no meaningful latency).
+    ``evaluate`` advances every alert state machine and returns the
+    list ``/statusz`` renders.
+    """
+
+    def __init__(self, specs: tuple[SLOSpec, ...] | list[SLOSpec] = ()):
+        names = [spec.name for spec in specs]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate SLO names: {sorted(names)}")
+        self._trackers = tuple(SLOTracker(spec) for spec in specs)
+
+    def __len__(self) -> int:
+        return len(self._trackers)
+
+    @property
+    def specs(self) -> tuple[SLOSpec, ...]:
+        return tuple(tracker.spec for tracker in self._trackers)
+
+    def tracker(self, name: str) -> SLOTracker:
+        for tracker in self._trackers:
+            if tracker.spec.name == name:
+                return tracker
+        raise KeyError(name)
+
+    # ------------------------------------------------------------------
+    def observe_request(self, seconds: float, *, error: bool = False,
+                        now: float | None = None) -> None:
+        for tracker in self._trackers:
+            tracker.observe(seconds, error=error, now=now)
+
+    def observe_rejection(self, now: float | None = None) -> None:
+        for tracker in self._trackers:
+            if tracker.spec.kind == "availability":
+                tracker.observe_bad(now)
+
+    def evaluate(self, now: float | None = None) -> list[dict]:
+        return [tracker.evaluate(now) for tracker in self._trackers]
+
+    def firing(self, now: float | None = None) -> list[str]:
+        """Names of SLOs currently firing (evaluates as a side effect)."""
+        return [report["name"] for report in self.evaluate(now)
+                if report["state"] == STATE_FIRING]
+
+
+def default_specs(*, availability_objective: float = 0.999,
+                  latency_objective: float = 0.99,
+                  latency_threshold_ms: float = 250.0,
+                  fast_window_s: float = 60.0,
+                  slow_window_s: float = 300.0,
+                  burn_threshold: float = 10.0) -> tuple[SLOSpec, ...]:
+    """The service's standard pair: availability + latency."""
+    return (
+        SLOSpec(name="availability", kind="availability",
+                objective=availability_objective,
+                fast_window_s=fast_window_s,
+                slow_window_s=slow_window_s,
+                burn_threshold=burn_threshold),
+        SLOSpec(name="latency", kind="latency",
+                objective=latency_objective,
+                latency_threshold_ms=latency_threshold_ms,
+                fast_window_s=fast_window_s,
+                slow_window_s=slow_window_s,
+                burn_threshold=burn_threshold),
+    )

@@ -39,6 +39,8 @@ import threading
 import time
 from collections import deque
 
+from repro.obs.histogram import exact_quantile
+
 __all__ = ["SlowLog", "read_slowlog", "summarize_entries", "format_entry"]
 
 #: Keys every slow-log entry carries (schema v1).
@@ -60,22 +62,55 @@ class SlowLog:
         Errors are always logged regardless of latency.
     capacity:
         In-memory ring size (most recent admitted entries).
+    max_bytes:
+        Size cap for the on-disk file.  When a write would push the
+        file past the cap, the current file is renamed to
+        ``<path>.1`` (replacing any previous rotation) and a fresh
+        file is started, so a long churn run holds at most
+        ``2 * max_bytes`` on disk.  ``None`` (the default) never
+        rotates.
     """
 
     def __init__(self, path: str | os.PathLike | None = None,
-                 threshold_ms: float = 250.0, capacity: int = 128):
+                 threshold_ms: float = 250.0, capacity: int = 128,
+                 max_bytes: int | None = None):
         if threshold_ms < 0:
             raise ValueError(
                 f"threshold_ms must be >= 0, got {threshold_ms}")
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(
+                f"max_bytes must be >= 1, got {max_bytes}")
         self.path = os.fspath(path) if path is not None else None
         self.threshold = float(threshold_ms) / 1000.0
+        self.max_bytes = int(max_bytes) if max_bytes is not None else None
         self._ring: deque[dict] = deque(maxlen=int(capacity))
         self._lock = threading.Lock()
         self._handle = None
+        self._bytes = 0
         self._written = 0
         self._skipped = 0
+        self._rotations = 0
+
+    @property
+    def rotated_path(self) -> str | None:
+        """Where the previous generation lands after a rotation."""
+        return f"{self.path}.1" if self.path is not None else None
+
+    def _open_locked(self) -> None:
+        self._handle = open(self.path, "a",  # noqa: SIM115
+                            encoding="utf-8", buffering=1)
+        self._bytes = os.path.getsize(self.path)
+
+    def _rotate_locked(self) -> None:
+        """Swap the live file aside and start fresh (lock held)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        os.replace(self.path, self.rotated_path)
+        self._rotations += 1
+        self._open_locked()
 
     # ------------------------------------------------------------------
     def admit(self, seconds: float, *, error: bool = False) -> bool:
@@ -114,15 +149,19 @@ class SlowLog:
             "work": dict(work or {}),
             "trace": trace,
         }
-        line = json.dumps(entry, sort_keys=True)
+        line = json.dumps(entry, sort_keys=True) + "\n"
         with self._lock:
             self._ring.append(entry)
             self._written += 1
             if self.path is not None:
                 if self._handle is None:
-                    self._handle = open(self.path, "a",  # noqa: SIM115
-                                        encoding="utf-8", buffering=1)
-                self._handle.write(line + "\n")
+                    self._open_locked()
+                size = len(line.encode("utf-8"))
+                if (self.max_bytes is not None and self._bytes > 0
+                        and self._bytes + size > self.max_bytes):
+                    self._rotate_locked()
+                self._handle.write(line)
+                self._bytes += size
         return entry
 
     def recent(self) -> list[dict]:
@@ -135,7 +174,8 @@ class SlowLog:
         with self._lock:
             return {"written": self._written, "skipped": self._skipped,
                     "threshold_ms": self.threshold * 1000.0,
-                    "path": self.path}
+                    "path": self.path, "rotations": self._rotations,
+                    "max_bytes": self.max_bytes}
 
     def close(self) -> None:
         """Flush and close the file handle (idempotent)."""
@@ -201,18 +241,12 @@ def summarize_entries(entries: list[dict]) -> dict:
         label = entry.get("disposition") or "unknown"
         dispositions[label] = dispositions.get(label, 0) + 1
 
-    def rank(values: list[float], q: float) -> float:
-        if not values:
-            return 0.0
-        index = min(int(q * len(values)), len(values) - 1)
-        return values[index]
-
     overview = {
         "entries": len(entries),
         "errors": errors,
         "cached": cached,
-        "p50_seconds": round(rank(seconds, 0.50), 6),
-        "p95_seconds": round(rank(seconds, 0.95), 6),
+        "p50_seconds": round(exact_quantile(seconds, 0.50), 6),
+        "p95_seconds": round(exact_quantile(seconds, 0.95), 6),
         "max_seconds": round(seconds[-1] if seconds else 0.0, 6),
         "dispositions": dict(sorted(dispositions.items())),
     }

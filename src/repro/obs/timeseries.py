@@ -1,0 +1,326 @@
+r"""Fixed-interval ring-buffer time series for continuous telemetry.
+
+Everything the service exposed so far is either one request (a span
+tree, a slow-log line) or a since-boot aggregate (counters, histogram
+totals).  Neither can answer "what was the error rate over the last
+five minutes" — the question every SLO, dashboard, and straggler
+detector actually asks.  This module adds that middle timescale: each
+series is a fixed ring of per-tick buckets (one tick = ``interval``
+seconds), so memory is bounded at construction time and a windowed
+read is a single pass over at most ``capacity`` slots.
+
+Design constraints, shared with the rest of :mod:`repro.obs`:
+
+- **stdlib-only, no background threads.**  Ticks advance lazily:
+  every write stamps its slot with the current tick number and resets
+  the slot if the stamp is stale.  Reads simply ignore slots whose
+  stamp falls outside the requested window.  Nothing ever needs to
+  "expire" data on a timer, which keeps the module fork-safe — a
+  forked child inherits plain lists and a lock, never a thread.
+- **bounded memory.**  A series allocates ``capacity`` slots up front
+  and never grows, regardless of traffic or uptime.
+- **deterministic tests.**  Every mutating and reading method takes
+  an optional ``now`` (seconds, monotonic); production callers omit
+  it, tests pass explicit timestamps and never sleep.
+
+Three series kinds cover the service's needs:
+
+- :class:`RollingCounter` — monotone events per tick (requests,
+  errors, SLO good/bad events); windowed ``total`` and ``rate``.
+- :class:`RollingGauge` — last-write-wins samples per tick (queue
+  depth); windowed ``mean`` / ``max`` and the latest sample.
+- :class:`RollingHistogram` — per-tick bucket counts over the shared
+  log-spaced latency bounds; windowed quantiles by merging the live
+  ticks into one :class:`~repro.obs.histogram.LatencyHistogram`-shaped
+  count vector.
+
+:class:`TimeSeriesStore` is the named registry ``ServiceMetrics``
+owns; its :meth:`~TimeSeriesStore.window_snapshot` is the substrate
+for ``/statusz``, ``repro top`` and ``repro obs report``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from bisect import bisect_left
+
+from repro.obs.histogram import DEFAULT_BUCKETS, format_le
+
+__all__ = ["RollingCounter", "RollingGauge", "RollingHistogram",
+           "TimeSeriesStore"]
+
+
+def _monotonic() -> float:
+    return time.monotonic()
+
+
+class _Series:
+    """Shared ring mechanics: tick arithmetic and slot recycling."""
+
+    def __init__(self, interval: float, capacity: int):
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        if capacity < 2:
+            raise ValueError(f"capacity must be >= 2, got {capacity}")
+        self.interval = float(interval)
+        self.capacity = int(capacity)
+        # None marks a never-written slot; a numeric sentinel would
+        # alias a real tick when a window reaches back that far
+        self._ticks: list[int | None] = [None] * self.capacity
+        self._lock = threading.Lock()
+
+    def span_seconds(self) -> float:
+        """Longest window this series can answer for."""
+        return self.interval * self.capacity
+
+    def _tick(self, now: float | None) -> int:
+        return int((now if now is not None else _monotonic())
+                   // self.interval)
+
+    def _live_slots(self, window_s: float, now: float | None):
+        """Yield slot indexes whose stamp lies inside the window.
+
+        The caller must hold ``self._lock``.  A window of ``w`` seconds
+        covers the current (partial) tick plus enough whole ticks to
+        span ``w``, clamped to the ring capacity.
+        """
+        current = self._tick(now)
+        ticks = min(self.capacity,
+                    max(1, -int(-float(window_s) // self.interval)))
+        first = current - ticks + 1
+        for slot, stamp in enumerate(self._ticks):
+            if stamp is not None and first <= stamp <= current:
+                yield slot
+
+
+class RollingCounter(_Series):
+    """Windowed event counter: one float accumulator per tick."""
+
+    def __init__(self, interval: float = 1.0, capacity: int = 360):
+        super().__init__(interval, capacity)
+        self._values = [0.0] * self.capacity
+
+    def add(self, value: float = 1.0, now: float | None = None) -> None:
+        tick = self._tick(now)
+        slot = tick % self.capacity
+        with self._lock:
+            if self._ticks[slot] != tick:
+                self._ticks[slot] = tick
+                self._values[slot] = 0.0
+            self._values[slot] += value
+
+    def total(self, window_s: float, now: float | None = None) -> float:
+        """Sum of events recorded within the trailing window."""
+        with self._lock:
+            return sum(self._values[slot]
+                       for slot in self._live_slots(window_s, now))
+
+    def rate(self, window_s: float, now: float | None = None) -> float:
+        """Events per second over the trailing window."""
+        window_s = float(window_s)
+        if window_s <= 0:
+            return 0.0
+        return self.total(window_s, now) / window_s
+
+
+class RollingGauge(_Series):
+    """Windowed sampled value: last write wins within a tick."""
+
+    def __init__(self, interval: float = 1.0, capacity: int = 360):
+        super().__init__(interval, capacity)
+        self._values = [0.0] * self.capacity
+        self._latest = 0.0
+        self._seen = False
+
+    def set(self, value: float, now: float | None = None) -> None:
+        tick = self._tick(now)
+        slot = tick % self.capacity
+        with self._lock:
+            self._ticks[slot] = tick
+            self._values[slot] = float(value)
+            self._latest = float(value)
+            self._seen = True
+
+    def latest(self) -> float:
+        """Most recent sample ever set (0.0 before the first)."""
+        with self._lock:
+            return self._latest
+
+    def _window_values(self, window_s: float,
+                       now: float | None) -> list[float]:
+        with self._lock:
+            return [self._values[slot]
+                    for slot in self._live_slots(window_s, now)]
+
+    def mean(self, window_s: float, now: float | None = None) -> float:
+        values = self._window_values(window_s, now)
+        return sum(values) / len(values) if values else 0.0
+
+    def max(self, window_s: float, now: float | None = None) -> float:
+        values = self._window_values(window_s, now)
+        return max(values) if values else 0.0
+
+
+class RollingHistogram(_Series):
+    """Windowed latency distribution: per-tick bucket count vectors.
+
+    Buckets share the service-wide log-spaced bounds so a windowed
+    snapshot merges with the since-boot histograms bucket-for-bucket.
+    """
+
+    def __init__(self, interval: float = 1.0, capacity: int = 360,
+                 bounds: tuple[float, ...] = DEFAULT_BUCKETS):
+        super().__init__(interval, capacity)
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("bounds must be a non-empty ascending tuple")
+        self.bounds = tuple(float(bound) for bound in bounds)
+        self._num_buckets = len(self.bounds) + 1
+        self._counts = [[0] * self._num_buckets
+                        for _ in range(self.capacity)]
+        self._sums = [0.0] * self.capacity
+
+    def observe(self, seconds: float, now: float | None = None) -> None:
+        index = bisect_left(self.bounds, seconds)
+        tick = self._tick(now)
+        slot = tick % self.capacity
+        with self._lock:
+            if self._ticks[slot] != tick:
+                self._ticks[slot] = tick
+                self._counts[slot] = [0] * self._num_buckets
+                self._sums[slot] = 0.0
+            self._counts[slot][index] += 1
+            self._sums[slot] += seconds
+
+    def _merged(self, window_s: float,
+                now: float | None) -> tuple[list[int], float]:
+        counts = [0] * self._num_buckets
+        total = 0.0
+        with self._lock:
+            for slot in self._live_slots(window_s, now):
+                slot_counts = self._counts[slot]
+                for index in range(self._num_buckets):
+                    counts[index] += slot_counts[index]
+                total += self._sums[slot]
+        return counts, total
+
+    def count(self, window_s: float, now: float | None = None) -> int:
+        return sum(self._merged(window_s, now)[0])
+
+    def quantile(self, q: float, window_s: float,
+                 now: float | None = None) -> float:
+        """Bucket-resolution quantile over the trailing window."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        counts, _ = self._merged(window_s, now)
+        total = sum(counts)
+        if total == 0:
+            return 0.0
+        target = q * total
+        running = 0
+        for bound, value in zip(self.bounds, counts):
+            running += value
+            if running >= target:
+                return bound
+        return self.bounds[-1]
+
+    def snapshot(self, window_s: float,
+                 now: float | None = None) -> dict:
+        """Prometheus-shaped cumulative view of the trailing window."""
+        counts, total = self._merged(window_s, now)
+        cumulative: list[tuple[str, int]] = []
+        running = 0
+        for bound, value in zip(self.bounds, counts):
+            running += value
+            cumulative.append((format_le(bound), running))
+        cumulative.append(("+Inf", running + counts[-1]))
+        return {"buckets": cumulative, "sum": total,
+                "count": running + counts[-1]}
+
+
+class TimeSeriesStore:
+    """Named registry of rolling series with one clock and layout.
+
+    ``counter`` / ``gauge`` / ``histogram`` create on first use and
+    return the same object thereafter (create-or-get, like Prometheus
+    client registries), so call sites never coordinate registration.
+    """
+
+    def __init__(self, interval: float = 1.0, capacity: int = 360,
+                 bounds: tuple[float, ...] = DEFAULT_BUCKETS):
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        if capacity < 2:
+            raise ValueError(f"capacity must be >= 2, got {capacity}")
+        self.interval = float(interval)
+        self.capacity = int(capacity)
+        self.bounds = tuple(bounds)
+        self._lock = threading.Lock()
+        self._counters: dict[str, RollingCounter] = {}
+        self._gauges: dict[str, RollingGauge] = {}
+        self._histograms: dict[str, RollingHistogram] = {}
+
+    def span_seconds(self) -> float:
+        return self.interval * self.capacity
+
+    def counter(self, name: str) -> RollingCounter:
+        with self._lock:
+            series = self._counters.get(name)
+            if series is None:
+                series = RollingCounter(self.interval, self.capacity)
+                self._counters[name] = series
+            return series
+
+    def gauge(self, name: str) -> RollingGauge:
+        with self._lock:
+            series = self._gauges.get(name)
+            if series is None:
+                series = RollingGauge(self.interval, self.capacity)
+                self._gauges[name] = series
+            return series
+
+    def histogram(self, name: str) -> RollingHistogram:
+        with self._lock:
+            series = self._histograms.get(name)
+            if series is None:
+                series = RollingHistogram(self.interval, self.capacity,
+                                          self.bounds)
+                self._histograms[name] = series
+            return series
+
+    def window_snapshot(self, window_s: float,
+                        now: float | None = None) -> dict:
+        """One JSON-ready view of every series over one window.
+
+        Shape (stable; the ``/statusz`` endpoint and ``repro obs
+        report`` both consume it)::
+
+            {"window_seconds": w,
+             "counters": {name: {"total": .., "rate": ..}},
+             "gauges": {name: {"latest": .., "mean": .., "max": ..}},
+             "histograms": {name: {"count": .., "p50": ..,
+                                   "p95": .., "p99": ..}}}
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        window_s = float(window_s)
+        return {
+            "window_seconds": window_s,
+            "counters": {
+                name: {"total": series.total(window_s, now),
+                       "rate": series.rate(window_s, now)}
+                for name, series in sorted(counters.items())},
+            "gauges": {
+                name: {"latest": series.latest(),
+                       "mean": series.mean(window_s, now),
+                       "max": series.max(window_s, now)}
+                for name, series in sorted(gauges.items())},
+            "histograms": {
+                name: {"count": series.count(window_s, now),
+                       "p50": series.quantile(0.50, window_s, now),
+                       "p95": series.quantile(0.95, window_s, now),
+                       "p99": series.quantile(0.99, window_s, now)}
+                for name, series in sorted(histograms.items())},
+        }

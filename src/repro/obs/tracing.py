@@ -40,6 +40,7 @@ __all__ = [
     "NullTracer",
     "NULL_SPAN",
     "NULL_TRACER",
+    "chrome_trace_events",
     "new_request_id",
 ]
 
@@ -292,6 +293,56 @@ class Tracer:
             return {"sampled": self._started, "dropped": self._dropped,
                     "buffered": len(self._ring),
                     "sample_rate": self.sample_rate}
+
+
+def _chrome_walk(node: dict, events: list, pid: int, tid: int) -> None:
+    event = {
+        "name": str(node.get("name", "span")),
+        "ph": "X",
+        "cat": "repro",
+        "pid": pid,
+        "tid": tid,
+        "ts": round(float(node.get("offset_ms", 0.0)) * 1000.0, 3),
+        "dur": round(float(node.get("duration_ms", 0.0)) * 1000.0, 3),
+    }
+    attrs = node.get("attrs")
+    if attrs:
+        event["args"] = attrs
+    events.append(event)
+    for child in node.get("children", ()):
+        _chrome_walk(child, events, pid, tid)
+
+
+def chrome_trace_events(trees: list[dict], *,
+                        process_name: str = "repro-serve") -> dict:
+    """Convert rendered span trees to the Chrome trace-event format.
+
+    Input is the :meth:`Span.to_dict` shape — the tracer ring and
+    slow-log ``trace`` fields both hold it.  Each tree becomes one
+    virtual thread of complete ("X") events with microsecond
+    timestamps, so ``chrome://tracing`` and Perfetto render the
+    request set as stacked flame charts.  The return value is the
+    JSON-object flavour of the format (``{"traceEvents": [...]}``),
+    which both viewers accept.
+    """
+    events: list[dict] = [{
+        "name": "process_name", "ph": "M", "pid": 1,
+        "args": {"name": process_name},
+    }]
+    for tid, tree in enumerate(trees, start=1):
+        if not isinstance(tree, dict) or not tree:
+            continue
+        attrs = tree.get("attrs") or {}
+        label = str(tree.get("name", "trace"))
+        request_id = attrs.get("request_id")
+        if request_id:
+            label = f"{label} {request_id}"
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+            "args": {"name": label},
+        })
+        _chrome_walk(tree, events, 1, tid)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
 class NullTracer:

@@ -96,6 +96,18 @@ class ServiceConfig:
     slowlog_threshold_ms:
         Latency at or above which an ok request enters the slow log;
         errors are always logged.
+    slowlog_max_bytes:
+        Rotate the slow-log file once it would exceed this many bytes
+        (previous generation kept as ``<path>.1``); ``None`` never
+        rotates.
+    slo_availability_objective, slo_latency_objective, slo_latency_ms:
+        The two built-in SLOs (see :mod:`repro.obs.slo`): a fraction
+        of requests that must not fail, and a fraction that must
+        finish within ``slo_latency_ms``.
+    slo_fast_window_s, slo_slow_window_s, slo_burn_threshold:
+        Multi-window burn-rate alerting: an alert fires when the
+        error-budget burn rate exceeds the threshold over *both*
+        windows, and clears when the fast window recovers.
     """
 
     graph: str = "youtube"
@@ -123,6 +135,13 @@ class ServiceConfig:
     trace_buffer: int = 256
     slowlog_path: str | None = None
     slowlog_threshold_ms: float = 250.0
+    slowlog_max_bytes: int | None = None
+    slo_availability_objective: float = 0.999
+    slo_latency_objective: float = 0.99
+    slo_latency_ms: float = 250.0
+    slo_fast_window_s: float = 60.0
+    slo_slow_window_s: float = 300.0
+    slo_burn_threshold: float = 10.0
 
     def __post_init__(self):
         if self.max_batch < 1:
@@ -180,6 +199,35 @@ class ServiceConfig:
             raise ConfigError(
                 f"slowlog_threshold_ms must be >= 0, "
                 f"got {self.slowlog_threshold_ms}")
+        if self.slowlog_max_bytes is not None \
+                and self.slowlog_max_bytes < 1:
+            raise ConfigError(
+                f"slowlog_max_bytes must be >= 1, "
+                f"got {self.slowlog_max_bytes}")
+        for label, objective in (
+                ("slo_availability_objective",
+                 self.slo_availability_objective),
+                ("slo_latency_objective", self.slo_latency_objective)):
+            if not 0.0 < objective < 1.0:
+                raise ConfigError(
+                    f"{label} must be in (0, 1), got {objective}")
+        if self.slo_latency_ms <= 0:
+            raise ConfigError(
+                f"slo_latency_ms must be > 0, got {self.slo_latency_ms}")
+        if self.slo_fast_window_s <= 0 or self.slo_slow_window_s <= 0:
+            raise ConfigError(
+                f"SLO windows must be > 0, got "
+                f"fast={self.slo_fast_window_s} "
+                f"slow={self.slo_slow_window_s}")
+        if self.slo_fast_window_s >= self.slo_slow_window_s:
+            raise ConfigError(
+                f"slo_fast_window_s ({self.slo_fast_window_s}) must be "
+                f"shorter than slo_slow_window_s "
+                f"({self.slo_slow_window_s})")
+        if self.slo_burn_threshold <= 0:
+            raise ConfigError(
+                f"slo_burn_threshold must be > 0, "
+                f"got {self.slo_burn_threshold}")
         # delegate the query-parameter checks (alpha range, epsilon > 0,
         # workers >= 0, known push backend) to PPRConfig
         self.ppr_config()
@@ -220,6 +268,12 @@ class ServiceConfig:
                 ("bind", f"{self.host}:{self.port}"),
                 ("trace_sample_rate", self.trace_sample_rate),
                 ("slowlog", self.slowlog_path or "off"),
+                ("slo", f"avail {self.slo_availability_objective} / "
+                        f"latency {self.slo_latency_objective} @ "
+                        f"{self.slo_latency_ms:g}ms"),
+                ("slo_windows", f"{self.slo_fast_window_s:g}s/"
+                                f"{self.slo_slow_window_s:g}s "
+                                f"burn {self.slo_burn_threshold:g}"),
         ]:
             lines.append(f"  {label:<15} {value}")
         return "\n".join(lines)

@@ -20,13 +20,21 @@ the micro-batching scheduler behind it).  Endpoints:
   incrementally, static banks rebuild) and reports per-bank
   generations plus the work counters;
 - ``GET /healthz``    — liveness/readiness JSON;
-- ``GET /metrics``    — Prometheus text format.
+- ``GET /metrics``    — Prometheus text format;
+- ``GET /statusz``    — operational dashboard JSON (rolling windows,
+  SLO burn-rate state, per-tenant and per-shard tables) — what
+  ``repro top`` polls.
 
 Request correlation: an inbound ``X-Request-Id`` header is propagated
 into the trace/slow-log pipeline and echoed back; without one the
-service mints an id and the response still carries it.  Appending
-``?debug=1`` to any POST route forces a trace and inlines the span
-tree + work counters in the response's ``debug`` block.
+service mints an id and the response still carries it — on every
+response, including 404s, 429s and 500s, so a client can always join
+its failure records to the server-side slow log.  Tenant attribution:
+an ``X-Tenant`` header (or ``?tenant=`` query parameter) labels the
+request in the per-tenant metrics tables; it never changes the
+answer.  Appending ``?debug=1`` to any POST route forces a trace and
+inlines the span tree + work counters in the response's ``debug``
+block.
 
 Error mapping: malformed body → 400, unknown path → 404, queue
 backpressure (:class:`~repro.service.scheduler.SchedulerFull`) → 429
@@ -97,28 +105,39 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- routes --------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-        if self.path == "/healthz":
-            self._send(200, self.server.service.healthz())
-        elif self.path == "/metrics":
-            self._send(200, self.server.service.metrics_text().encode(),
-                       content_type="text/plain; version=0.0.4")
-        else:
-            self._send(404, {"error": f"unknown path {self.path!r}"})
-
-    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
-        split = urlsplit(self.path)
-        if split.path not in ("/query", "/topk", "/multiseed", "/pair",
-                              "/mutate"):
-            self._send(404, {"error": f"unknown path {self.path!r}"})
-            return
-        # inbound correlation id (minted here when the client sent
-        # none) — echoed on EVERY response below, including errors
         request_id = (self.headers.get("X-Request-Id")
                       or new_request_id())
         echo = {"X-Request-Id": request_id}
+        if self.path == "/healthz":
+            self._send(200, self.server.service.healthz(), headers=echo)
+        elif self.path == "/metrics":
+            self._send(200, self.server.service.metrics_text().encode(),
+                       content_type="text/plain; version=0.0.4",
+                       headers=echo)
+        elif self.path == "/statusz":
+            self._send(200, self.server.service.statusz(), headers=echo)
+        else:
+            self._send(404, {"error": f"unknown path {self.path!r}"},
+                       headers=echo)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        split = urlsplit(self.path)
+        # inbound correlation id (minted here when the client sent
+        # none) — echoed on EVERY response below, 404s and errors
+        # included, so clients can always correlate failures
+        request_id = (self.headers.get("X-Request-Id")
+                      or new_request_id())
+        echo = {"X-Request-Id": request_id}
+        if split.path not in ("/query", "/topk", "/multiseed", "/pair",
+                              "/mutate"):
+            self._send(404, {"error": f"unknown path {self.path!r}"},
+                       headers=echo)
+            return
         query_args = parse_qs(split.query)
         debug = query_args.get("debug", ["0"])[-1] not in ("", "0",
                                                            "false")
+        tenant = (self.headers.get("X-Tenant")
+                  or query_args.get("tenant", [None])[-1])
         try:
             body = self._read_json()
             service = self.server.service
@@ -128,13 +147,13 @@ class _Handler(BaseHTTPRequestHandler):
                     alpha=_opt_float(body, "alpha"),
                     epsilon=_opt_float(body, "epsilon"),
                     top=int(body.get("top", 10)),
-                    request_id=request_id, debug=debug)
+                    request_id=request_id, tenant=tenant, debug=debug)
             elif split.path == "/topk":
                 payload = service.query_topk(
                     int(body["node"]), int(body["k"]),
                     alpha=_opt_float(body, "alpha"),
                     epsilon=_opt_float(body, "epsilon"),
-                    request_id=request_id, debug=debug)
+                    request_id=request_id, tenant=tenant, debug=debug)
             elif split.path == "/multiseed":
                 payload = service.query_multiseed(
                     [int(seed) for seed in body["seeds"]],
@@ -143,7 +162,7 @@ class _Handler(BaseHTTPRequestHandler):
                     alpha=_opt_float(body, "alpha"),
                     epsilon=_opt_float(body, "epsilon"),
                     top=int(body.get("top", 10)),
-                    request_id=request_id, debug=debug)
+                    request_id=request_id, tenant=tenant, debug=debug)
             elif split.path == "/mutate":
                 payload = service.mutate(body["ops"],
                                          request_id=request_id,
@@ -153,7 +172,7 @@ class _Handler(BaseHTTPRequestHandler):
                     int(body["source"]), int(body["target"]),
                     alpha=_opt_float(body, "alpha"),
                     epsilon=_opt_float(body, "epsilon"),
-                    request_id=request_id, debug=debug)
+                    request_id=request_id, tenant=tenant, debug=debug)
         except SchedulerFull as full:
             self._send(429, {"error": str(full),
                              "retry_after": full.retry_after},

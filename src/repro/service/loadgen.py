@@ -13,6 +13,13 @@ checker:
 exits non-zero unless every request returned 200 with valid JSON and
 (with ``--check-metrics``) the ``/metrics`` endpoint shows non-zero
 request/batch counters and a populated latency summary.
+``--check-exposition`` additionally runs the strict format checker
+(:mod:`repro.obs.exposition`) against the live document, and
+``--tenants "acme:2,beta:1"`` cycles an ``X-Tenant`` header over the
+burst — the summary then carries per-tenant p50/p99 and
+``--check-metrics`` asserts every tenant label reached the
+exposition.  Every request sends a fresh ``X-Request-Id``; failure
+records echo the id the server answered with.
 
 Scenarios: ``--kind`` picks the request shape — ``source``/``target``
 hit ``POST /query``, ``topk`` hits ``/topk`` (depth ``--topk-k``),
@@ -39,18 +46,51 @@ import urllib.request
 
 import numpy as np
 
-__all__ = ["build_requests", "run_load", "main"]
+from repro.obs.exposition import check_exposition
+from repro.obs.histogram import exact_quantile
+from repro.obs.tracing import new_request_id
+
+__all__ = ["build_requests", "parse_tenants", "run_load", "main"]
 
 KINDS = ("source", "target", "topk", "multiseed", "pair", "mixed",
          "churn")
 
 
-def _post_json(url: str, payload: dict, timeout: float = 30.0) -> dict:
+def _post_json(url: str, payload: dict, timeout: float = 30.0,
+               headers: dict[str, str] | None = None) -> dict:
     request = urllib.request.Request(
         url, data=json.dumps(payload).encode(),
-        headers={"Content-Type": "application/json"}, method="POST")
+        headers={"Content-Type": "application/json", **(headers or {})},
+        method="POST")
     with urllib.request.urlopen(request, timeout=timeout) as response:
         return json.loads(response.read())
+
+
+def parse_tenants(spec: str | None) -> list[str]:
+    """``"acme:2,beta:1"`` → ``["acme", "acme", "beta"]``.
+
+    The expanded list is cycled over the burst positions, so the mix
+    is deterministic (request *i* always belongs to the same tenant)
+    and the weights are exact over each full cycle.  A bare name means
+    weight 1; blank/None means no tenant labelling at all.
+    """
+    if not spec:
+        return []
+    cycle: list[str] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, weight = part.partition(":")
+        name = name.strip()
+        if not name:
+            raise ValueError(f"tenant spec part {part!r} has no name")
+        count = int(weight) if weight else 1
+        if count < 1:
+            raise ValueError(f"tenant {name!r} weight must be >= 1, "
+                             f"got {count}")
+        cycle.extend([name] * count)
+    return cycle
 
 
 def _get(url: str, timeout: float = 10.0) -> str:
@@ -125,17 +165,24 @@ def run_load(base_url: str, *, requests: int = 64, concurrency: int = 8,
              num_nodes: int | None = None, kind: str = "source",
              topk_k: int = 10, seeds_per_query: int = 3,
              mutate_every: int = 8, zipf_exponent: float = 1.1,
-             seed: int = 2022, timeout: float = 30.0) -> dict:
+             seed: int = 2022, timeout: float = 30.0,
+             tenants: str | None = None) -> dict:
     """Fire a closed-loop burst; returns an outcome summary dict.
 
     ``num_nodes`` defaults to what ``/healthz`` is willing to admit —
     node 0 only — so pass the real graph size for a spread workload.
+    ``tenants`` (e.g. ``"acme:2,beta:1"``) cycles an ``X-Tenant``
+    header over the burst and adds a per-tenant latency table to the
+    summary.  Every request carries a fresh ``X-Request-Id``; failure
+    records echo the id the server responded with, so a failed burst
+    can be joined against the server's slow log.
     """
     nodes = zipf_nodes(num_nodes or 1, requests, exponent=zipf_exponent,
                        seed=seed)
     plans = build_requests(kind, nodes, num_nodes or 1, topk_k=topk_k,
                            seeds_per_query=seeds_per_query,
                            mutate_every=mutate_every, seed=seed)
+    tenant_cycle = parse_tenants(tenants)
     cursor = {"next": 0}
     lock = threading.Lock()
     outcomes: list[dict] = []
@@ -148,17 +195,29 @@ def run_load(base_url: str, *, requests: int = 64, concurrency: int = 8,
                     return
                 cursor["next"] += 1
             path, body, ok_key = plans[position]
+            request_id = new_request_id()
+            headers = {"X-Request-Id": request_id}
+            tenant = None
+            if tenant_cycle:
+                tenant = tenant_cycle[position % len(tenant_cycle)]
+                headers["X-Tenant"] = tenant
             started = time.perf_counter()
             try:
                 payload = _post_json(f"{base_url}{path}", body,
-                                     timeout=timeout)
+                                     timeout=timeout, headers=headers)
                 outcome = {"ok": ok_key in payload,
                            "cached": payload.get("cached", False)}
             except urllib.error.HTTPError as error:
-                outcome = {"ok": False, "status": error.code}
+                outcome = {"ok": False, "status": error.code,
+                           "request_id":
+                               error.headers.get("X-Request-Id")
+                               or request_id}
             except Exception as error:  # connection refused, timeout, ...
-                outcome = {"ok": False, "error": str(error)}
+                outcome = {"ok": False, "error": str(error),
+                           "request_id": request_id}
             outcome["seconds"] = time.perf_counter() - started
+            if tenant is not None:
+                outcome["tenant"] = tenant
             with lock:
                 outcomes.append(outcome)
 
@@ -173,32 +232,44 @@ def run_load(base_url: str, *, requests: int = 64, concurrency: int = 8,
     succeeded = sum(1 for outcome in outcomes if outcome["ok"])
     latencies = sorted(outcome["seconds"] for outcome in outcomes)
 
-    def percentile(q: float) -> float:
-        if not latencies:
-            return 0.0
-        index = min(len(latencies) - 1,
-                    max(0, round(q * (len(latencies) - 1))))
-        return latencies[index]
-
-    return {
+    summary = {
         "requests": requests,
         "succeeded": succeeded,
         "failed": requests - succeeded,
+        "failures": [o for o in outcomes if not o["ok"]],
         "cached": sum(1 for o in outcomes if o.get("cached")),
         "seconds": elapsed,
         "throughput_qps": requests / elapsed if elapsed else 0.0,
         "latency": {
-            "p50_seconds": percentile(0.50),
-            "p95_seconds": percentile(0.95),
-            "p99_seconds": percentile(0.99),
+            "p50_seconds": exact_quantile(latencies, 0.50),
+            "p95_seconds": exact_quantile(latencies, 0.95),
+            "p99_seconds": exact_quantile(latencies, 0.99),
             "max_seconds": latencies[-1] if latencies else 0.0,
         },
         "latencies_seconds": latencies,
     }
+    if tenant_cycle:
+        table: dict[str, dict] = {}
+        for tenant in sorted(set(tenant_cycle)):
+            rows = [o["seconds"] for o in outcomes
+                    if o.get("tenant") == tenant]
+            table[tenant] = {
+                "requests": len(rows),
+                "p50_seconds": exact_quantile(rows, 0.50),
+                "p99_seconds": exact_quantile(rows, 0.99),
+            }
+        summary["tenants"] = table
+    return summary
 
 
-def check_metrics(base_url: str) -> list[str]:
-    """Return failure messages (empty = the smoke assertions hold)."""
+def check_metrics(base_url: str,
+                  tenants: str | None = None) -> list[str]:
+    """Return failure messages (empty = the smoke assertions hold).
+
+    With ``tenants`` (same spec as ``run_load``), additionally asserts
+    that every named tenant shows up in the per-tenant counter
+    families on the live exposition.
+    """
     text = _get(f"{base_url}/metrics")
     failures = []
 
@@ -226,7 +297,18 @@ def check_metrics(base_url: str) -> list[str]:
         failures.append("fold stage histogram missing or zero")
     if value_of('repro_service_requests_total{endpoint="source"}') is None:
         failures.append("per-endpoint request counter missing")
+    for tenant in sorted(set(parse_tenants(tenants))):
+        for family in ("repro_service_tenant_requests_total",
+                       "repro_service_tenant_latency_seconds_count"):
+            if not value_of(f'{family}{{tenant="{tenant}"}}'):
+                failures.append(f"{family} missing or zero for "
+                                f"tenant {tenant!r}")
     return failures
+
+
+def check_live_exposition(base_url: str) -> list[str]:
+    """Run the strict format checker against the live ``/metrics``."""
+    return check_exposition(_get(f"{base_url}/metrics"))
 
 
 def shard_fold_report(base_url: str, shards: int) -> tuple[list, list]:
@@ -302,8 +384,17 @@ def main(argv: list[str] | None = None) -> int:
                              "many requests")
     parser.add_argument("--zipf", type=float, default=1.1)
     parser.add_argument("--seed", type=int, default=2022)
+    parser.add_argument("--tenants", default=None, metavar="SPEC",
+                        help="weighted tenant mix, e.g. 'acme:2,beta:1' "
+                             "— cycles an X-Tenant header over the "
+                             "burst and reports per-tenant p50/p99")
     parser.add_argument("--check-metrics", action="store_true",
-                        help="also assert /metrics is populated")
+                        help="also assert /metrics is populated (and "
+                             "carries every --tenants label)")
+    parser.add_argument("--check-exposition", action="store_true",
+                        help="strictly validate the live /metrics "
+                             "document format (HELP/TYPE coverage, "
+                             "label syntax, cumulative buckets)")
     parser.add_argument("--shards", type=int, default=0, metavar="N",
                         help="service shard count: report per-shard "
                              "p99 fold latency from the shard stage "
@@ -323,7 +414,8 @@ def main(argv: list[str] | None = None) -> int:
                        kind=args.kind, topk_k=args.topk_k,
                        seeds_per_query=args.seeds_per_query,
                        mutate_every=args.mutate_every,
-                       zipf_exponent=args.zipf, seed=args.seed)
+                       zipf_exponent=args.zipf, seed=args.seed,
+                       tenants=args.tenants)
     if args.latency_out:
         with open(args.latency_out, "w", encoding="utf-8") as sink:
             json.dump(summary, sink, indent=2, sort_keys=True)
@@ -338,9 +430,14 @@ def main(argv: list[str] | None = None) -> int:
               file=sys.stderr)
         code = 1
     if args.check_metrics:
-        failures = check_metrics(args.url)
+        failures = check_metrics(args.url, tenants=args.tenants)
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
+        code = code or (1 if failures else 0)
+    if args.check_exposition:
+        failures = check_live_exposition(args.url)
+        for failure in failures:
+            print(f"FAIL: exposition: {failure}", file=sys.stderr)
         code = code or (1 if failures else 0)
     if args.shards > 1:
         rows, failures = shard_fold_report(args.url, args.shards)

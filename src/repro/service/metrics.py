@@ -32,6 +32,7 @@ request counted but its latency not yet recorded).
 
 from __future__ import annotations
 
+import re
 import threading
 from typing import Callable
 
@@ -40,10 +41,51 @@ import numpy as np
 from repro.counters import WorkCounters
 from repro.obs.histogram import STAGES, HistogramRegistry, LatencyHistogram
 
-__all__ = ["LatencyRing", "BatchSizeHistogram", "ServiceMetrics"]
+__all__ = ["LatencyRing", "BatchSizeHistogram", "ServiceMetrics",
+           "clean_tenant", "DEFAULT_TENANT"]
 
 #: Upper bucket bounds for the batch-size histogram (plus +Inf).
 BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
+
+#: Label every request without an (acceptable) tenant lands under.
+DEFAULT_TENANT = "default"
+
+_TENANT_PATTERN = re.compile(r"[A-Za-z0-9_.:-]{1,64}")
+
+
+def clean_tenant(raw) -> str:
+    """Sanitize a client-supplied tenant label for metric use.
+
+    Tenants come straight off an HTTP header or query parameter, and
+    they end up inside Prometheus label values and JSON tables — so
+    anything not matching a conservative charset (alnum plus
+    ``_.:-``, at most 64 chars) collapses to :data:`DEFAULT_TENANT`
+    rather than polluting the exposition.
+    """
+    if raw is None:
+        return DEFAULT_TENANT
+    text = str(raw).strip()
+    if _TENANT_PATTERN.fullmatch(text):
+        return text
+    return DEFAULT_TENANT
+
+
+class _TenantStats:
+    """Per-tenant accounting: counters + a latency histogram.
+
+    Counters are guarded by the owning registry's lock; the latency
+    histogram is internally thread-safe (per-thread shards), so
+    observations happen outside the lock like the global one.
+    """
+
+    __slots__ = ("requests", "rejected", "errors", "work", "latency")
+
+    def __init__(self):
+        self.requests = 0
+        self.rejected = 0
+        self.errors = 0
+        self.work = 0.0
+        self.latency = LatencyHistogram()
 
 
 class LatencyRing:
@@ -120,9 +162,18 @@ class BatchSizeHistogram:
 
 
 class ServiceMetrics:
-    """Aggregation point for every number ``/metrics`` exposes."""
+    """Aggregation point for every number ``/metrics`` exposes.
 
-    def __init__(self, latency_window: int = 2048):
+    ``timeseries`` (a :class:`~repro.obs.timeseries.TimeSeriesStore`)
+    and ``slo`` (a :class:`~repro.obs.slo.SLOEngine`) are optional
+    sinks: when present, every request/rejection/failure is mirrored
+    into rolling windows and SLO good/bad streams on the metrics path
+    — strictly after the response payload is determined, so enabling
+    them can never change a response byte.
+    """
+
+    def __init__(self, latency_window: int = 2048, *,
+                 timeseries=None, slo=None):
         self.work = WorkCounters()
         self.latency = LatencyRing(latency_window)
         #: end-to-end request latency, histogram form (the exposition)
@@ -133,35 +184,83 @@ class ServiceMetrics:
         #: per-shard fold latency (sharded executor only), created
         #: lazily per shard label under the registry lock
         self._shard_folds: dict[int, LatencyHistogram] = {}
+        self.timeseries = timeseries
+        self.slo = slo
         self._lock = threading.Lock()
         self._requests: dict[str, int] = {}
+        self._tenants: dict[str, _TenantStats] = {}
+        self._straggler_folds: dict[int, int] = {}
         self._rejected = 0
         self._batches = 0
         self._errors = 0
         self._mutations = 0
         self._gauges: dict[str, Callable[[], dict | float]] = {}
 
+    def _tenant_locked(self, tenant: str) -> _TenantStats:
+        stats = self._tenants.get(tenant)
+        if stats is None:
+            stats = _TenantStats()
+            self._tenants[tenant] = stats
+        return stats
+
     # ------------------------------------------------------------------
-    def record_request(self, endpoint: str, seconds: float) -> None:
+    def record_request(self, endpoint: str, seconds: float,
+                       tenant: str | None = None,
+                       work: dict | None = None) -> None:
         """One completed request on ``endpoint`` taking ``seconds``.
 
         The counter and the latency observation land under one lock so
-        a concurrent :meth:`snapshot` sees both or neither.
+        a concurrent :meth:`snapshot` sees both or neither.  ``tenant``
+        attributes the request (and ``work``, the result's
+        WorkCounters dict — zero on cache hits) to a per-tenant table;
+        the rolling store and SLO engine see the request as well.
         """
+        tenant = clean_tenant(tenant)
         with self._lock:
             self._requests[endpoint] = self._requests.get(endpoint, 0) + 1
             self.latency.record(seconds)
+            stats = self._tenant_locked(tenant)
+            stats.requests += 1
+            if work:
+                stats.work += float(work.get("total")
+                                    or sum(work.values()))
         self.latency_hist.observe(seconds)
+        stats.latency.observe(seconds)
+        if self.timeseries is not None:
+            self.timeseries.counter("requests").add()
+            self.timeseries.histogram("latency").observe(seconds)
+            self.timeseries.histogram(
+                f"tenant_latency.{tenant}").observe(seconds)
+        if self.slo is not None:
+            self.slo.observe_request(seconds)
 
-    def record_rejection(self) -> None:
-        """One request rejected by backpressure."""
+    def record_rejection(self, tenant: str | None = None) -> None:
+        """One request rejected by backpressure (bad for availability)."""
+        tenant = clean_tenant(tenant)
         with self._lock:
             self._rejected += 1
+            self._tenant_locked(tenant).rejected += 1
+        if self.timeseries is not None:
+            self.timeseries.counter("rejected").add()
+        if self.slo is not None:
+            self.slo.observe_rejection()
 
     def record_error(self) -> None:
         """One request that raised past the solver."""
         with self._lock:
             self._errors += 1
+
+    def record_failure(self, tenant: str | None = None) -> None:
+        """One failed *request* (as opposed to :meth:`record_error`'s
+        per-batch counter): tenant attribution, the rolling error
+        series, and an SLO bad event."""
+        tenant = clean_tenant(tenant)
+        with self._lock:
+            self._tenant_locked(tenant).errors += 1
+        if self.timeseries is not None:
+            self.timeseries.counter("errors").add()
+        if self.slo is not None:
+            self.slo.observe_request(0.0, error=True)
 
     def record_batch(self, size: int, work: WorkCounters | dict) -> None:
         """One executed scheduler batch and the work it performed."""
@@ -200,6 +299,22 @@ class ServiceMetrics:
                 histogram = self._shard_folds.setdefault(
                     shard, LatencyHistogram())
         histogram.observe(seconds)
+        if self.timeseries is not None:
+            self.timeseries.histogram(
+                f"shard_fold.{shard}").observe(seconds)
+
+    def record_straggler(self, shard: int) -> None:
+        """One fold flagged by the straggler detector on ``shard``.
+
+        Feeds ``repro_service_straggler_folds_total{shard="k"}`` and
+        the rolling ``straggler_folds`` series ``/statusz`` windows.
+        """
+        shard = int(shard)
+        with self._lock:
+            self._straggler_folds[shard] = \
+                self._straggler_folds.get(shard, 0) + 1
+        if self.timeseries is not None:
+            self.timeseries.counter("straggler_folds").add()
 
     def register_gauge(self, name: str, supplier: Callable) -> None:
         """Register a pull-at-render-time gauge.
@@ -228,6 +343,7 @@ class ServiceMetrics:
             latency_p50 = self.latency.quantile(0.5)
             latency_p99 = self.latency.quantile(0.99)
             batch_size = self.batch_sizes.snapshot()
+            stragglers = dict(self._straggler_folds)
         return {
             "requests": requests,
             "rejected": rejected,
@@ -240,7 +356,53 @@ class ServiceMetrics:
             "fold_p50": self.stages.quantile("fold", 0.5),
             "fold_p99": self.stages.quantile("fold", 0.99),
             "batch_size": batch_size,
+            "straggler_folds": stragglers,
         }
+
+    def tenant_table(self) -> list[dict]:
+        """Per-tenant attribution rows for ``/statusz`` and tests.
+
+        One dict per tenant, sorted by tenant label, with since-boot
+        request/rejection/error counts, attributed solver work, and
+        bucket-resolution latency quantiles.
+        """
+        with self._lock:
+            tenants = sorted(self._tenants.items())
+        return [{
+            "tenant": tenant,
+            "requests": stats.requests,
+            "rejected": stats.rejected,
+            "errors": stats.errors,
+            "work": stats.work,
+            "p50_seconds": stats.latency.quantile(0.50),
+            "p99_seconds": stats.latency.quantile(0.99),
+        } for tenant, stats in tenants]
+
+    def shard_table(self) -> list[dict]:
+        """Per-shard fold latency + straggler counts for ``/statusz``."""
+        with self._lock:
+            shards = sorted(self._shard_folds.items())
+            stragglers = dict(self._straggler_folds)
+        return [{
+            "shard": shard,
+            "folds": histogram.count,
+            "straggler_folds": stragglers.get(shard, 0),
+            "fold_p50_seconds": histogram.quantile(0.50),
+            "fold_p99_seconds": histogram.quantile(0.99),
+        } for shard, histogram in shards]
+
+    def window_snapshot(self, window_s: float,
+                        now: float | None = None) -> dict | None:
+        """Rolling-window view (``None`` without a time-series store)."""
+        if self.timeseries is None:
+            return None
+        return self.timeseries.window_snapshot(window_s, now)
+
+    def slo_report(self, now: float | None = None) -> list[dict]:
+        """Evaluate every SLO alert state machine (empty = no engine)."""
+        if self.slo is None:
+            return []
+        return self.slo.evaluate(now)
 
     def render(self) -> str:
         """Prometheus text-format (v0.0.4) exposition."""
@@ -300,6 +462,8 @@ class ServiceMetrics:
 
         with self._lock:
             shard_folds = sorted(self._shard_folds.items())
+            tenants = sorted(self._tenants.items())
+            stragglers = sorted(self._straggler_folds.items())
         if shard_folds:
             shard_samples: list = []
             for shard, histogram in shard_folds:
@@ -308,6 +472,38 @@ class ServiceMetrics:
             emit("repro_service_shard_fold_seconds", "histogram",
                  "Per-shard fold latency of scatter-gathered batches.",
                  shard_samples)
+        if stragglers:
+            emit("repro_service_straggler_folds_total", "counter",
+                 "Shard folds flagged as stragglers (z-score above "
+                 "threshold vs the rolling fold-time window).",
+                 [(f'{{shard="{shard}"}}', count)
+                  for shard, count in stragglers])
+        if tenants:
+            emit("repro_service_tenant_requests_total", "counter",
+                 "Completed requests by tenant.",
+                 [(f'{{tenant="{tenant}"}}', stats.requests)
+                  for tenant, stats in tenants])
+            emit("repro_service_tenant_rejected_total", "counter",
+                 "Backpressure rejections by tenant.",
+                 [(f'{{tenant="{tenant}"}}', stats.rejected)
+                  for tenant, stats in tenants])
+            emit("repro_service_tenant_errors_total", "counter",
+                 "Failed requests by tenant.",
+                 [(f'{{tenant="{tenant}"}}', stats.errors)
+                  for tenant, stats in tenants])
+            emit("repro_service_tenant_work_total", "counter",
+                 "Attributed solver work (WorkCounters total) by "
+                 "tenant.",
+                 [(f'{{tenant="{tenant}"}}', stats.work)
+                  for tenant, stats in tenants])
+            tenant_samples: list = []
+            for tenant, stats in tenants:
+                tenant_samples.extend(histogram_samples(
+                    stats.latency.snapshot(),
+                    labels=f'tenant="{tenant}"'))
+            emit("repro_service_tenant_latency_seconds", "histogram",
+                 "End-to-end request latency by tenant.",
+                 tenant_samples)
 
         for name, value in sorted(snap["work"].items()):
             if name == "total":

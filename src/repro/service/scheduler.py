@@ -76,6 +76,12 @@ class QueryRequest:
     matching the backward-push anchor), top-k carries ``k``, multiseed
     carries canonical ``seeds``/``weights`` tuples (see
     :func:`~repro.core.batch.normalize_seed_set`).
+
+    ``tenant`` is attribution metadata only: it rides the request into
+    the batch (per-tenant accounting, batch-span annotation) but is
+    deliberately NOT part of :attr:`group_key` — requests from
+    different tenants still share batches, so enabling tenant labels
+    changes neither batching behaviour nor a single response byte.
     """
 
     graph: str
@@ -87,6 +93,7 @@ class QueryRequest:
     k: int | None = None               # topk: ranking depth
     seeds: tuple | None = None         # multiseed: seed nodes
     weights: tuple | None = None       # multiseed: normalized weights
+    tenant: str | None = None          # attribution label (never keyed)
 
     def __post_init__(self):
         if self.kind not in ("source", "target", "pair", "topk",
@@ -308,6 +315,12 @@ class MicroBatchScheduler:
         batch_span = (Span("batch", size=len(batch),
                            kind=request.solver_kind)
                       if traced else NULL_SPAN)
+        if traced:
+            tenants = sorted({pending.request.tenant
+                              for pending in batch
+                              if pending.request.tenant})
+            if tenants:
+                batch_span.annotate(tenants=tenants)
         try:
             if self.executor is not None:
                 # cheap pre-validation so an unknown graph fails at the
@@ -411,6 +424,10 @@ class MicroBatchScheduler:
                         request.alpha, request.epsilon, nodes,
                         trace=span.enabled, stats=stats)
                     dispatch.add_raw(stats.pop("spans", None))
+                    if stats.get("stragglers"):
+                        # flag slow shards on the scatter-gather span
+                        dispatch.annotate(
+                            stragglers=stats["stragglers"])
                 stats["disposition"] = "executor"
                 return results
             except ExecutorError:

@@ -29,7 +29,9 @@ from repro.exceptions import ConfigError
 from repro.graph.csr import Graph
 from repro.graph.datasets import load_dataset
 from repro.graph.delta import GraphDelta
+from repro.obs.slo import SLOEngine, default_specs
 from repro.obs.slowlog import SlowLog
+from repro.obs.timeseries import TimeSeriesStore
 from repro.obs.tracing import NULL_SPAN, Tracer, new_request_id
 from repro.service.cache import ResultCache, cache_key
 from repro.service.config import ServiceConfig
@@ -69,7 +71,21 @@ class PPRService:
                              seed=self.config.seed)
         self.slowlog = SlowLog(
             self.config.slowlog_path,
-            threshold_ms=self.config.slowlog_threshold_ms)
+            threshold_ms=self.config.slowlog_threshold_ms,
+            max_bytes=self.config.slowlog_max_bytes)
+        # continuous telemetry: rolling windows sized to cover the
+        # longest SLO window plus the 300 s /statusz view, and the two
+        # built-in burn-rate SLOs (availability + latency threshold)
+        self.timeseries = TimeSeriesStore(
+            interval=1.0,
+            capacity=int(max(300.0, self.config.slo_slow_window_s)) + 60)
+        self.slo = SLOEngine(default_specs(
+            availability_objective=self.config.slo_availability_objective,
+            latency_objective=self.config.slo_latency_objective,
+            latency_threshold_ms=self.config.slo_latency_ms,
+            fast_window_s=self.config.slo_fast_window_s,
+            slow_window_s=self.config.slo_slow_window_s,
+            burn_threshold=self.config.slo_burn_threshold))
         self.index_manager = IndexManager(
             self.config.ppr_config(), tracer=self.tracer,
             dynamic=self.config.dynamic, shards=self.config.shards,
@@ -77,7 +93,8 @@ class PPRService:
             bank_dir=self.config.bank_dir)
         self.index_manager.register_graph(self.config.graph, graph)
         self.cache = ResultCache(self.config.cache_entries)
-        self.metrics = ServiceMetrics()
+        self.metrics = ServiceMetrics(timeseries=self.timeseries,
+                                      slo=self.slo)
         self.executor = None
         if self.config.shards > 1:
             from repro.shard.router import ShardRouter
@@ -187,8 +204,9 @@ class PPRService:
 
     def _query_traced(self, kind: str, node: int, *,
                       alpha: float | None, epsilon: float | None,
-                      use_cache: bool,
-                      span) -> tuple[PPRResult, bool, dict]:
+                      use_cache: bool, span,
+                      tenant: str | None = None
+                      ) -> tuple[PPRResult, bool, dict]:
         """The instrumented query core behind every endpoint.
 
         ``span`` is the request's root span (:data:`NULL_SPAN` when
@@ -217,7 +235,7 @@ class PPRService:
                                   time.perf_counter() - started)
         request = QueryRequest(graph=self.config.graph, kind=kind,
                                node=int(node), alpha=alpha,
-                               epsilon=epsilon)
+                               epsilon=epsilon, tenant=tenant)
         return self._serve_request(
             request, key, span, use_cache, started, metric_kind=kind,
             cache_get=lambda k: self.cache.get(k, epsilon),
@@ -239,24 +257,28 @@ class PPRService:
             if cached is not None:
                 span.annotate(cached=True)
                 self.metrics.record_request(metric_kind,
-                                            time.perf_counter() - started)
+                                            time.perf_counter() - started,
+                                            tenant=request.tenant)
                 return cached, True, {"batch_size": None,
                                       "disposition": "cache"}
         try:
             pending = self.scheduler.submit_nowait(request, span)
             result = pending.resolve(30.0)
         except SchedulerFull:
-            self.metrics.record_rejection()
+            self.metrics.record_rejection(tenant=request.tenant)
             raise
         if use_cache:
             cache_put(key, result)
         self.metrics.record_request(metric_kind,
-                                    time.perf_counter() - started)
+                                    time.perf_counter() - started,
+                                    tenant=request.tenant,
+                                    work=result.work.as_dict())
         return result, False, {"batch_size": pending.batch_size,
                                "disposition": pending.disposition}
 
     def _topk_traced(self, node: int, k: int, *, alpha: float | None,
-                     epsilon: float | None, use_cache: bool, span):
+                     epsilon: float | None, use_cache: bool, span,
+                     tenant: str | None = None):
         """Instrumented top-k core: prefix-dominance cache + scheduler."""
         alpha = self.config.alpha if alpha is None else float(alpha)
         epsilon = self.config.epsilon if epsilon is None else float(epsilon)
@@ -279,7 +301,7 @@ class PPRService:
                                   time.perf_counter() - started)
         request = QueryRequest(graph=self.config.graph, kind="topk",
                                node=node, alpha=alpha, epsilon=epsilon,
-                               k=k)
+                               k=k, tenant=tenant)
         return self._serve_request(
             request, key, span, use_cache, started, metric_kind="topk",
             cache_get=lambda ck: self.cache.get_topk(ck, epsilon, k),
@@ -287,7 +309,8 @@ class PPRService:
                 ck, epsilon, result.k, result))
 
     def _multiseed_traced(self, seeds, weights, *, alpha: float | None,
-                          epsilon: float | None, use_cache: bool, span):
+                          epsilon: float | None, use_cache: bool, span,
+                          tenant: str | None = None):
         """Instrumented multiseed core: canonical seed set + ε cache."""
         alpha = self.config.alpha if alpha is None else float(alpha)
         epsilon = self.config.epsilon if epsilon is None else float(epsilon)
@@ -308,7 +331,7 @@ class PPRService:
         request = QueryRequest(graph=self.config.graph, kind="multiseed",
                                node=seeds[0], alpha=alpha,
                                epsilon=epsilon, seeds=seeds,
-                               weights=weights)
+                               weights=weights, tenant=tenant)
         result, hit, meta = self._serve_request(
             request, key, span, use_cache, started,
             metric_kind="multiseed",
@@ -318,7 +341,7 @@ class PPRService:
 
     def _pair_traced(self, source: int, target: int, *,
                      alpha: float | None, epsilon: float | None,
-                     use_cache: bool, span):
+                     use_cache: bool, span, tenant: str | None = None):
         """Instrumented pair core: its own batch group + ε cache keyed
         on the ``(source, target)`` tuple."""
         alpha = self.config.alpha if alpha is None else float(alpha)
@@ -339,7 +362,7 @@ class PPRService:
                                   time.perf_counter() - started)
         request = QueryRequest(graph=self.config.graph, kind="pair",
                                node=target, alpha=alpha, epsilon=epsilon,
-                               source=source)
+                               source=source, tenant=tenant)
         return self._serve_request(
             request, key, span, use_cache, started, metric_kind="pair",
             cache_get=lambda ck: self.cache.get(ck, epsilon),
@@ -383,26 +406,31 @@ class PPRService:
     def query(self, kind: str, node: int, *, alpha: float | None = None,
               epsilon: float | None = None, top: int = 10,
               use_cache: bool = True, request_id: str | None = None,
-              debug: bool = False) -> dict:
+              tenant: str | None = None, debug: bool = False) -> dict:
         """``/query`` semantics: top-k answer plus provenance.
 
         ``request_id`` propagates the client's ``X-Request-Id`` (one
-        is generated otherwise); ``debug=True`` forces a trace and
-        adds a ``debug`` block (span tree + work counters) to the
-        response.  Without ``debug``, the payload is byte-identical
-        whether or not the request was sampled.
+        is generated otherwise); ``tenant`` attributes the request in
+        the per-tenant metrics tables without affecting the answer;
+        ``debug=True`` forces a trace and adds a ``debug`` block (span
+        tree + work counters) to the response.  Without ``debug``, the
+        payload is byte-identical whether or not the request was
+        sampled.
         """
         request_id = request_id or new_request_id()
         span = self.tracer.trace("query", request_id, force=debug)
         span.annotate(endpoint="query", kind=kind, node=int(node))
+        if tenant:
+            span.annotate(tenant=tenant)
         started = time.perf_counter()
         try:
             result, hit, meta = self._query_traced(
                 kind, node, alpha=alpha, epsilon=epsilon,
-                use_cache=use_cache, span=span)
+                use_cache=use_cache, span=span, tenant=tenant)
         except BaseException as error:
             self._observe_failure(span, request_id, "query", kind, node,
-                                  alpha, epsilon, started, error)
+                                  alpha, epsilon, started, error,
+                                  tenant=tenant)
             raise
         with span.child("serialize"):
             serialize_started = time.perf_counter()
@@ -442,6 +470,7 @@ class PPRService:
                    alpha: float | None = None,
                    epsilon: float | None = None,
                    use_cache: bool = True, request_id: str | None = None,
+                   tenant: str | None = None,
                    debug: bool = False) -> dict:
         """``/topk`` semantics: early-terminated ranked prefix.
 
@@ -454,14 +483,17 @@ class PPRService:
         request_id = request_id or new_request_id()
         span = self.tracer.trace("topk", request_id, force=debug)
         span.annotate(endpoint="topk", node=int(node), k=int(k))
+        if tenant:
+            span.annotate(tenant=tenant)
         started = time.perf_counter()
         try:
             result, hit, meta = self._topk_traced(
                 node, k, alpha=alpha, epsilon=epsilon,
-                use_cache=use_cache, span=span)
+                use_cache=use_cache, span=span, tenant=tenant)
         except BaseException as error:
             self._observe_failure(span, request_id, "topk", "topk", node,
-                                  alpha, epsilon, started, error)
+                                  alpha, epsilon, started, error,
+                                  tenant=tenant)
             raise
         with span.child("serialize"):
             serialize_started = time.perf_counter()
@@ -503,6 +535,7 @@ class PPRService:
                         epsilon: float | None = None, top: int = 10,
                         use_cache: bool = True,
                         request_id: str | None = None,
+                        tenant: str | None = None,
                         debug: bool = False) -> dict:
         """``/multiseed`` semantics: weighted seed-set personalization.
 
@@ -514,16 +547,19 @@ class PPRService:
         request_id = request_id or new_request_id()
         span = self.tracer.trace("multiseed", request_id, force=debug)
         span.annotate(endpoint="multiseed", seeds=len(tuple(seeds)))
+        if tenant:
+            span.annotate(tenant=tenant)
         started = time.perf_counter()
         try:
             result, hit, meta, canonical_seeds, canonical_weights = \
                 self._multiseed_traced(seeds, weights, alpha=alpha,
                                        epsilon=epsilon,
-                                       use_cache=use_cache, span=span)
+                                       use_cache=use_cache, span=span,
+                                       tenant=tenant)
         except BaseException as error:
             self._observe_failure(span, request_id, "multiseed",
                                   "multiseed", -1, alpha, epsilon,
-                                  started, error)
+                                  started, error, tenant=tenant)
             raise
         with span.child("serialize"):
             serialize_started = time.perf_counter()
@@ -565,7 +601,7 @@ class PPRService:
     def pair(self, source: int, target: int, *,
              alpha: float | None = None, epsilon: float | None = None,
              use_cache: bool = True, request_id: str | None = None,
-             debug: bool = False) -> dict:
+             tenant: str | None = None, debug: bool = False) -> dict:
         """``/pair`` semantics: one π(source, target) value.
 
         Served by the dedicated pair solver
@@ -580,14 +616,17 @@ class PPRService:
         span = self.tracer.trace("pair", request_id, force=debug)
         span.annotate(endpoint="pair", source=int(source),
                       target=int(target))
+        if tenant:
+            span.annotate(tenant=tenant)
         started = time.perf_counter()
         try:
             result, hit, meta = self._pair_traced(
                 source, target, alpha=alpha, epsilon=epsilon,
-                use_cache=use_cache, span=span)
+                use_cache=use_cache, span=span, tenant=tenant)
         except BaseException as error:
             self._observe_failure(span, request_id, "pair", "pair",
-                                  target, alpha, epsilon, started, error)
+                                  target, alpha, epsilon, started, error,
+                                  tenant=tenant)
             raise
         with span.child("serialize"):
             serialize_started = time.perf_counter()
@@ -679,11 +718,16 @@ class PPRService:
     def _observe_failure(self, span, request_id: str, endpoint: str,
                          kind: str, node: int, alpha: float | None,
                          epsilon: float | None, started: float,
-                         error: BaseException) -> None:
+                         error: BaseException, *,
+                         tenant: str | None = None) -> None:
         """Record a failed request: error-annotated trace + slow log
         (errors bypass the latency threshold)."""
         seconds = time.perf_counter() - started
         text = f"{type(error).__name__}: {error}"
+        if not isinstance(error, SchedulerFull):
+            # rejections were already counted (once) on the submit
+            # path; everything else is an availability-SLO failure
+            self.metrics.record_failure(tenant=tenant)
         tree = None
         if span.enabled:
             span.finish(error=text)
@@ -731,6 +775,44 @@ class PPRService:
                 "slowlog": self.slowlog.stats(),
             },
         }
+
+    def statusz(self, now: float | None = None) -> dict:
+        """Operational dashboard snapshot for ``/statusz``.
+
+        Everything ``repro top`` renders comes from this one JSON
+        document: the 60 s / 300 s rolling windows out of the
+        time-series store, the burn-rate state of both built-in SLOs,
+        and the per-tenant / per-shard attribution tables (the shard
+        table includes the straggler detector's view when the service
+        scatter-gathers across shards).
+        """
+        now = time.monotonic() if now is None else float(now)
+        snap = self.metrics.snapshot()
+        payload = {
+            "status": "ok" if self._running else "stopped",
+            "uptime_seconds": time.time() - self._started_at,
+            "graph": self.config.graph,
+            "queue_depth": self.scheduler.queue_depth,
+            "totals": {
+                "requests": sum(snap["requests"].values()),
+                "rejected": snap["rejected"],
+                "errors": snap["errors"],
+                "batches": snap["batches"],
+                "straggler_folds": sum(
+                    snap.get("straggler_folds", {}).values()),
+            },
+            "windows": {
+                "60s": self.metrics.window_snapshot(60.0, now=now),
+                "300s": self.metrics.window_snapshot(300.0, now=now),
+            },
+            "slo": self.metrics.slo_report(now=now),
+            "tenants": self.metrics.tenant_table(),
+            "shards": self.metrics.shard_table(),
+        }
+        if self.executor is not None \
+                and hasattr(self.executor, "straggler_stats"):
+            payload["stragglers"] = self.executor.straggler_stats()
+        return payload
 
     def metrics_text(self) -> str:
         """Prometheus exposition for ``/metrics``."""

@@ -42,8 +42,10 @@ per-shard fold-latency histogram
 
 from __future__ import annotations
 
+import math
 import os
 import threading
+from collections import deque
 
 import numpy as np
 
@@ -51,7 +53,109 @@ from repro.core.result import PPRResult
 from repro.exceptions import ConfigError
 from repro.service.executor import ExecutorError, ProcessExecutor
 
-__all__ = ["ShardRouter", "bounded_topk_merge"]
+__all__ = ["ShardRouter", "StragglerDetector", "bounded_topk_merge"]
+
+#: Test/ops hook: ``"<shard>:<seconds>[,<shard>:<seconds>...]"`` adds
+#: synthetic fold time to the named shards *at recording time* (the
+#: answers are untouched — only the observed latency moves), so a
+#: deterministically slow shard can be forced without slowing tests.
+SLOWDOWN_ENV = "REPRO_SHARD_SLOWDOWN"
+
+
+def _env_slowdowns() -> dict[int, float]:
+    spec = os.environ.get(SLOWDOWN_ENV, "").strip()
+    if not spec:
+        return {}
+    slowdowns: dict[int, float] = {}
+    for part in spec.split(","):
+        shard, _, seconds = part.partition(":")
+        try:
+            slowdowns[int(shard)] = float(seconds)
+        except ValueError:
+            continue
+    return slowdowns
+
+
+class StragglerDetector:
+    """Flag shard folds far above the rolling cross-shard fold time.
+
+    Keeps one bounded window of recent fold times across *all* shards
+    (the peers a straggler is slow relative to) and flags a fold whose
+    z-score against that window exceeds ``z_threshold``.  A
+    ``min_samples`` guard keeps the first folds — when the window
+    cannot yet estimate a distribution — from being flagged, and a
+    floor on the standard deviation keeps near-constant fold times
+    (σ ≈ 0) from turning microsecond jitter into alerts.
+    """
+
+    def __init__(self, window: int = 128, min_samples: int = 8,
+                 z_threshold: float = 3.0, min_sigma: float = 1e-4):
+        if window < 2:
+            raise ConfigError(f"window must be >= 2, got {window}")
+        if min_samples < 2:
+            raise ConfigError(
+                f"min_samples must be >= 2, got {min_samples}")
+        if z_threshold <= 0:
+            raise ConfigError(
+                f"z_threshold must be > 0, got {z_threshold}")
+        self.window = int(window)
+        self.min_samples = int(min_samples)
+        self.z_threshold = float(z_threshold)
+        self.min_sigma = float(min_sigma)
+        self._samples: deque[float] = deque(maxlen=self.window)
+        self._flagged: dict[int, int] = {}
+        self._folds: dict[int, int] = {}
+        self._last_z: dict[int, float] = {}
+        self._lock = threading.Lock()
+
+    def observe(self, shard: int, seconds: float) -> float | None:
+        """Record one fold; returns its z-score when flagged else None.
+
+        The z-score is computed against the window *before* the new
+        sample joins it, so one slow fold cannot dilute the baseline
+        it is judged against.
+        """
+        shard, seconds = int(shard), float(seconds)
+        with self._lock:
+            self._folds[shard] = self._folds.get(shard, 0) + 1
+            z = None
+            if len(self._samples) >= self.min_samples:
+                mean = sum(self._samples) / len(self._samples)
+                variance = (sum((value - mean) ** 2
+                                for value in self._samples)
+                            / len(self._samples))
+                sigma = max(math.sqrt(variance), self.min_sigma)
+                z = (seconds - mean) / sigma
+                self._last_z[shard] = z
+            self._samples.append(seconds)
+            if z is not None and z >= self.z_threshold:
+                self._flagged[shard] = self._flagged.get(shard, 0) + 1
+                return z
+            return None
+
+    def stats(self) -> dict:
+        """Window summary + per-shard fold/straggler counts."""
+        with self._lock:
+            samples = list(self._samples)
+            flagged = dict(self._flagged)
+            folds = dict(self._folds)
+            last_z = dict(self._last_z)
+        mean = sum(samples) / len(samples) if samples else 0.0
+        sigma = (math.sqrt(sum((value - mean) ** 2
+                               for value in samples) / len(samples))
+                 if samples else 0.0)
+        return {
+            "window": len(samples),
+            "mean_seconds": mean,
+            "sigma_seconds": sigma,
+            "z_threshold": self.z_threshold,
+            "per_shard": [
+                {"shard": shard,
+                 "folds": folds.get(shard, 0),
+                 "straggler_folds": flagged.get(shard, 0),
+                 "last_z": round(last_z.get(shard, 0.0), 3)}
+                for shard in sorted(folds)],
+        }
 
 
 def bounded_topk_merge(candidates, k: int, tail_bounds=None):
@@ -117,6 +221,9 @@ class ShardRouter:
         self.num_workers = self.num_shards * self.workers_per_shard
         self.task_timeout = float(task_timeout)
         self.metrics = metrics
+        self.straggler_detector = StragglerDetector()
+        self._slowdown_spec: str | None = None
+        self._slowdown_map: dict[int, float] = {}
         self.executors = [
             ProcessExecutor(index_manager, workers=workers_per_shard,
                             max_in_flight=max_in_flight,
@@ -204,17 +311,48 @@ class ShardRouter:
             raise error
         return results
 
+    def _slowdowns(self) -> dict[int, float]:
+        """Current :data:`SLOWDOWN_ENV` map, re-read when it changes.
+
+        Re-parsing on change (rather than once at construction) lets a
+        test warm the straggler baseline with honest fold times and
+        only then inject the slow shard — the realistic failure shape
+        the z-score is designed for.
+        """
+        spec = os.environ.get(SLOWDOWN_ENV, "")
+        if spec != self._slowdown_spec:
+            self._slowdown_spec = spec
+            self._slowdown_map = _env_slowdowns()
+        return self._slowdown_map
+
     def _record_shard(self, per_shard: list[dict], stats: dict | None,
                       shard_stats: dict[int, dict]) -> None:
-        """Fold per-shard extras into metrics and the stats out-param."""
+        """Fold per-shard extras into metrics and the stats out-param.
+
+        Each shard's fold time also feeds the straggler detector; a
+        flagged fold lands in ``stats["stragglers"]`` (the scheduler
+        annotates the scatter-gather dispatch span with it) and in the
+        ``straggler_folds`` metric.
+        """
+        stragglers: list[dict] = []
         for shard in sorted(shard_stats):
             extra = shard_stats[shard]
             fold = float(extra.get("fold_seconds", 0.0) or 0.0)
+            fold += self._slowdowns().get(shard, 0.0)
             per_shard.append({"shard": shard, "fold_seconds": fold})
+            z = self.straggler_detector.observe(shard, fold)
+            if z is not None:
+                stragglers.append({"shard": shard,
+                                   "fold_seconds": fold,
+                                   "z": round(z, 3)})
+                if self.metrics is not None:
+                    self.metrics.record_straggler(shard)
             if self.metrics is not None:
                 self.metrics.record_shard_fold(shard, fold)
         if stats is not None:
             stats["per_shard"] = per_shard
+            if stragglers:
+                stats["stragglers"] = stragglers
             if per_shard:
                 stats["fold_seconds"] = max(entry["fold_seconds"]
                                             for entry in per_shard)
@@ -331,6 +469,10 @@ class ShardRouter:
         return [fraction for executor in self.executors
                 for fraction in executor.utilization()]
 
+    def straggler_stats(self) -> dict:
+        """The straggler detector's window + per-shard flag counts."""
+        return self.straggler_detector.stats()
+
     def stats(self) -> dict:
         """Executor-shaped snapshot plus a per-shard breakdown."""
         per_shard = [executor.stats() for executor in self.executors]
@@ -346,5 +488,6 @@ class ShardRouter:
             "respawns": sum(entry["respawns"] for entry in per_shard),
             "utilization": self.utilization(),
             "per_shard": per_shard,
+            "stragglers": self.straggler_stats(),
             "pid": os.getpid(),
         }

@@ -9,6 +9,7 @@ intentional output change with
 and commit the diff alongside the change that caused it.
 """
 
+import json
 import os
 import re
 from pathlib import Path
@@ -177,6 +178,50 @@ class TestParser:
             build_parser().parse_args(
                 ["index", "build", "youtube", "bank",
                  "--bank-dtype", "float16"])
+
+    def test_serve_slo_flags(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.slowlog_max_bytes is None
+        assert args.slo_availability_objective == 0.999
+        assert args.slo_latency_objective == 0.99
+        assert args.slo_latency_ms == 250.0
+        assert args.slo_fast_window_s == 60.0
+        assert args.slo_slow_window_s == 300.0
+        assert args.slo_burn_threshold == 10.0
+        args = build_parser().parse_args(
+            ["serve", "--slowlog-max-bytes", "1048576",
+             "--slo-availability-objective", "0.995",
+             "--slo-latency-objective", "0.95",
+             "--slo-latency-ms", "100", "--slo-fast-window-s", "30",
+             "--slo-slow-window-s", "120",
+             "--slo-burn-threshold", "5"])
+        assert args.slowlog_max_bytes == 1048576
+        assert args.slo_availability_objective == 0.995
+        assert args.slo_latency_objective == 0.95
+        assert args.slo_latency_ms == 100.0
+        assert args.slo_fast_window_s == 30.0
+        assert args.slo_slow_window_s == 120.0
+        assert args.slo_burn_threshold == 5.0
+
+    def test_trace_export_subcommand(self):
+        args = build_parser().parse_args(
+            ["trace", "export", "slow.jsonl", "--out", "trace.json"])
+        assert (args.action, args.slowlog) == ("export", "slow.jsonl")
+        assert args.format == "chrome"
+        assert args.out == "trace.json"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["trace", "export", "slow.jsonl", "--format", "jaeger"])
+
+    def test_top_and_obs_subcommands(self):
+        args = build_parser().parse_args(["top", "--once"])
+        assert args.once is True
+        assert args.url == "http://127.0.0.1:8471"
+        assert args.interval == 2.0
+        args = build_parser().parse_args(["obs", "report", "snap.json"])
+        assert (args.action, args.snapshot) == ("report", "snap.json")
+        with pytest.raises(SystemExit):  # an action is required
+            build_parser().parse_args(["obs"])
 
     def test_serve_bank_dir_flag(self):
         assert build_parser().parse_args(["serve"]).bank_dir is None
@@ -371,6 +416,133 @@ class TestCommands:
     def test_trace_missing_file_returns_2(self, capsys, tmp_path):
         assert main(["trace", "summarize",
                      str(tmp_path / "nope.jsonl")]) == 2
+
+    def test_trace_export_chrome(self, capsys, tmp_path):
+        fixture = str(GOLDEN_DIR / "slowlog_fixture.jsonl")
+        out = str(tmp_path / "trace.json")
+        assert main(["trace", "export", fixture, "--out", out]) == 0
+        message = capsys.readouterr().out
+        assert "exported" in message and out in message
+        document = json.loads(Path(out).read_text())
+        events = document["traceEvents"]
+        assert {event["ph"] for event in events} == {"M", "X"}
+        assert document["displayTimeUnit"] == "ms"
+        # without --out the JSON document goes to stdout
+        assert main(["trace", "export", fixture]) == 0
+        piped = json.loads(capsys.readouterr().out)
+        assert piped == document
+
+    def test_trace_export_missing_file_returns_2(self, capsys,
+                                                 tmp_path):
+        assert main(["trace", "export",
+                     str(tmp_path / "nope.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+def _statusz_payload() -> dict:
+    return {
+        "status": "ok", "graph": "youtube", "uptime_seconds": 12.4,
+        "queue_depth": 1,
+        "totals": {"requests": 42, "rejected": 2, "errors": 1,
+                   "batches": 9, "straggler_folds": 3},
+        "windows": {
+            "60s": {
+                "window_seconds": 60.0,
+                "counters": {
+                    "requests": {"total": 10.0, "rate": 0.17},
+                    "errors": {"total": 1.0, "rate": 0.02}},
+                "histograms": {
+                    "latency": {"count": 10, "p50": 0.01,
+                                "p99": 0.25}}},
+            "300s": {
+                "window_seconds": 300.0,
+                "counters": {}, "histograms": {}},
+        },
+        "slo": [{"name": "availability", "state": "ok",
+                 "fast_burn": 0.5, "slow_burn": 0.1,
+                 "objective": 0.999}],
+        "tenants": [{"tenant": "acme", "requests": 30, "rejected": 2,
+                     "errors": 1, "work": 1234.0,
+                     "p50_seconds": 0.01, "p99_seconds": 0.2}],
+        "shards": [{"shard": 0, "folds": 12, "straggler_folds": 0,
+                    "fold_p50_seconds": 0.001,
+                    "fold_p99_seconds": 0.002},
+                   {"shard": 1, "folds": 12, "straggler_folds": 3,
+                    "fold_p50_seconds": 0.5,
+                    "fold_p99_seconds": 0.9}],
+    }
+
+
+class TestStatuszSurfaces:
+    """`repro top`, `repro obs report`, and the shared renderer."""
+
+    def test_render_statusz_fixed_payload(self):
+        from repro.cli import render_statusz
+        text = render_statusz(_statusz_payload())
+        assert "repro service — ok" in text
+        assert "graph youtube" in text
+        assert "requests 42" in text
+        assert "straggler folds 3" in text
+        # windows sorted numerically, not lexically
+        assert text.index("60s") < text.index("300s")
+        assert "availability" in text and "0.9990" in text
+        assert "acme" in text
+        lines = text.splitlines()
+        (shard_row,) = [line for line in lines
+                        if line.startswith("1 ")]
+        assert "3" in shard_row.split()
+
+    def test_render_statusz_minimal_payload(self):
+        from repro.cli import render_statusz
+        text = render_statusz({})
+        assert text.startswith("repro service")
+        # no tables without data: just the two header lines
+        assert len(text.splitlines()) == 2
+
+    def test_obs_report(self, capsys, tmp_path):
+        snapshot = tmp_path / "statusz.json"
+        snapshot.write_text(json.dumps(_statusz_payload()))
+        assert main(["obs", "report", str(snapshot)]) == 0
+        out = capsys.readouterr().out
+        assert "repro service — ok" in out
+        assert "acme" in out and "availability" in out
+
+    def test_obs_report_bad_inputs_return_2(self, capsys, tmp_path):
+        assert main(["obs", "report",
+                     str(tmp_path / "missing.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+        bad = tmp_path / "list.json"
+        bad.write_text("[1, 2]")
+        assert main(["obs", "report", str(bad)]) == 2
+        assert "JSON object" in capsys.readouterr().err
+
+    def test_top_once(self, capsys, monkeypatch):
+        import io
+        import urllib.request
+
+        body = json.dumps(_statusz_payload()).encode()
+
+        class _Response(io.BytesIO):
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc_info):
+                return False
+
+        def fake_urlopen(url, timeout=None):
+            assert url == "http://127.0.0.1:8471/statusz"
+            return _Response(body)
+
+        monkeypatch.setattr(urllib.request, "urlopen", fake_urlopen)
+        assert main(["top", "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "repro service — ok" in out
+        assert "acme" in out
+
+    def test_top_unreachable_returns_2(self, capsys):
+        assert main(["top", "--once",
+                     "--url", "http://127.0.0.1:9"]) == 2
+        assert "cannot reach" in capsys.readouterr().err
 
 
 class TestGoldenOutput:

@@ -32,11 +32,13 @@ from repro.obs.slowlog import (
     read_slowlog,
     summarize_entries,
 )
+from repro.obs.exposition import check_exposition
 from repro.obs.tracing import (
     NULL_SPAN,
     NULL_TRACER,
     Span,
     Tracer,
+    chrome_trace_events,
     new_request_id,
 )
 from repro.service import PPRService, ServiceConfig
@@ -302,6 +304,168 @@ class TestSlowLog:
         assert lines[1].startswith("ERR") and "boom" in lines[1]
 
 
+class TestSlowLogRotation:
+    def test_rotates_at_size_cap(self, tmp_path):
+        path = tmp_path / "slow.jsonl"
+        with SlowLog(path, threshold_ms=0.0, max_bytes=600) as log:
+            for index in range(12):
+                _record(log, request_id=f"rid-{index}", seconds=0.1)
+            stats = log.stats()
+        assert stats["rotations"] >= 1
+        assert stats["max_bytes"] == 600
+        rotated = tmp_path / "slow.jsonl.1"
+        assert rotated.exists()
+        # both generations stay within ~max_bytes each
+        assert path.stat().st_size <= 600 + 400
+        assert rotated.stat().st_size <= 600 + 400
+        # every admitted entry survives in exactly one generation
+        # (older generations beyond .1 are dropped by design)
+        live = read_slowlog(path)
+        old = read_slowlog(rotated)
+        assert live and old
+        ids = [entry["request_id"] for entry in old + live]
+        assert ids == sorted(ids, key=lambda rid: int(rid.split("-")[1]))
+
+    def test_no_rotation_without_cap(self, tmp_path):
+        path = tmp_path / "slow.jsonl"
+        with SlowLog(path, threshold_ms=0.0) as log:
+            for index in range(20):
+                _record(log, request_id=f"rid-{index}", seconds=0.1)
+            assert log.stats()["rotations"] == 0
+        assert not (tmp_path / "slow.jsonl.1").exists()
+        assert len(read_slowlog(path)) == 20
+
+    def test_cap_validation(self):
+        with pytest.raises(ValueError):
+            SlowLog(max_bytes=0)
+
+    def test_memory_only_cap_is_harmless(self):
+        log = SlowLog(threshold_ms=0.0, max_bytes=100)
+        for _ in range(5):
+            _record(log, seconds=0.1)
+        assert log.stats()["rotations"] == 0
+
+
+# ----------------------------------------------------------------------
+# Chrome trace export
+# ----------------------------------------------------------------------
+class TestChromeExport:
+    def _tree(self):
+        root = Span("query", request_id="rid-9")
+        with root.child("admission"):
+            pass
+        with root.child("fold", batch=2):
+            time.sleep(0.001)
+        return root.finish().to_dict()
+
+    def test_trees_become_threads_of_complete_events(self):
+        document = chrome_trace_events([self._tree(), self._tree()])
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        phases = {event["ph"] for event in events}
+        assert phases == {"M", "X"}
+        metadata = [event for event in events if event["ph"] == "M"]
+        assert metadata[0]["args"]["name"] == "repro-serve"
+        # one thread_name per tree, request id in the label
+        thread_names = [event for event in metadata
+                        if event["name"] == "thread_name"]
+        assert len(thread_names) == 2
+        assert "rid-9" in thread_names[0]["args"]["name"]
+        complete = [event for event in events if event["ph"] == "X"]
+        assert {event["name"] for event in complete} == {
+            "query", "admission", "fold"}
+        for event in complete:
+            assert event["dur"] >= 0.0 and event["ts"] >= 0.0
+        fold = next(event for event in complete
+                    if event["name"] == "fold")
+        assert fold["args"]["batch"] == 2
+
+    def test_empty_and_malformed_trees_are_skipped(self):
+        document = chrome_trace_events([{}, None, "junk"])
+        assert len(document["traceEvents"]) == 1  # process_name only
+
+
+# ----------------------------------------------------------------------
+# Exposition format checker
+# ----------------------------------------------------------------------
+VALID_EXPOSITION = (
+    "# HELP repro_requests_total Requests served.\n"
+    "# TYPE repro_requests_total counter\n"
+    'repro_requests_total{tenant="acme"} 3\n'
+    'repro_requests_total{tenant="beta"} 1\n'
+    "# HELP repro_latency_seconds Latency.\n"
+    "# TYPE repro_latency_seconds histogram\n"
+    'repro_latency_seconds_bucket{le="0.1"} 2\n'
+    'repro_latency_seconds_bucket{le="+Inf"} 4\n'
+    "repro_latency_seconds_sum 1.5\n"
+    "repro_latency_seconds_count 4\n"
+)
+
+
+class TestCheckExposition:
+    def test_valid_document_passes(self):
+        assert check_exposition(VALID_EXPOSITION) == []
+
+    def test_missing_trailing_newline(self):
+        failures = check_exposition(VALID_EXPOSITION.rstrip("\n"))
+        assert any("newline" in failure for failure in failures)
+
+    def test_sample_without_metadata(self):
+        failures = check_exposition("orphan_total 1\n")
+        assert any("HELP" in failure or "TYPE" in failure
+                   for failure in failures)
+
+    def test_duplicate_labelset_rejected(self):
+        text = ("# HELP x_total X.\n# TYPE x_total counter\n"
+                'x_total{a="1"} 1\nx_total{a="1"} 2\n')
+        assert any("duplicate" in failure.lower()
+                   for failure in check_exposition(text))
+
+    def test_negative_counter_rejected(self):
+        text = ("# HELP x_total X.\n# TYPE x_total counter\n"
+                "x_total -1\n")
+        assert any("counter" in failure.lower()
+                   for failure in check_exposition(text))
+
+    def test_non_monotone_buckets_rejected(self):
+        text = ("# HELP h H.\n# TYPE h histogram\n"
+                'h_bucket{le="0.1"} 5\nh_bucket{le="+Inf"} 3\n'
+                "h_sum 1.0\nh_count 3\n")
+        failures = check_exposition(text)
+        assert any("monoton" in failure.lower() or "cumulative"
+                   in failure.lower() for failure in failures)
+
+    def test_missing_inf_bucket_rejected(self):
+        text = ("# HELP h H.\n# TYPE h histogram\n"
+                'h_bucket{le="0.1"} 5\nh_sum 1.0\nh_count 5\n')
+        assert any("+Inf" in failure
+                   for failure in check_exposition(text))
+
+    def test_count_must_match_inf_bucket(self):
+        text = ("# HELP h H.\n# TYPE h histogram\n"
+                'h_bucket{le="+Inf"} 5\nh_sum 1.0\nh_count 4\n')
+        assert any("_count" in failure
+                   for failure in check_exposition(text))
+
+    def test_bad_label_syntax_rejected(self):
+        text = ("# HELP x_total X.\n# TYPE x_total counter\n"
+                "x_total{not closed 1\n")
+        assert check_exposition(text)
+
+    def test_service_render_is_clean(self, graph):
+        config = ServiceConfig(graph="test", alpha=ALPHA,
+                               epsilon=EPSILON, budget_scale=0.05,
+                               seed=SEED, max_batch=4, max_wait_ms=2.0,
+                               cache_entries=8, port=0, workers=1,
+                               executor="thread")
+        with PPRService(config, graph=graph) as service:
+            service.query("source", 3, top=5, tenant="acme")
+            service.query("source", 4, top=5)
+            text = service.metrics_text()
+        assert check_exposition(text) == []
+        assert 'tenant="acme"' in text
+
+
 # ----------------------------------------------------------------------
 # Profiler
 # ----------------------------------------------------------------------
@@ -386,3 +550,27 @@ class TestServiceTracingIntegration:
             payload = service.query("source", 3, top=5, debug=True)
             assert payload["debug"]["trace"]["name"] == "query"
             assert service.tracer.stats()["sampled"] == 1
+
+    def test_telemetry_tenants_and_slo_do_not_perturb_payloads(
+            self, graph):
+        """Full telemetry (tracing + tenant labels + hair-trigger SLO
+        windows) must serve bytes identical to the plain twin."""
+        loud = self._config(trace_sample_rate=1.0,
+                            slo_latency_ms=0.001,
+                            slo_fast_window_s=1.0,
+                            slo_slow_window_s=5.0,
+                            slo_burn_threshold=1.0)
+        with PPRService(loud, graph=graph) as traced:
+            loud_payloads = [
+                traced.query("source", node, top=5,
+                             tenant=f"tenant-{index % 2}")
+                for index, node in enumerate(self.NODES)]
+            # the instrumentation itself saw the traffic...
+            assert traced.metrics.tenant_table()
+            assert traced.statusz()["slo"]
+        with PPRService(self._config(), graph=graph) as plain:
+            plain_payloads = [plain.query("source", node, top=5)
+                              for node in self.NODES]
+        # ...but the served bytes never change
+        assert (json.dumps(loud_payloads, sort_keys=True)
+                == json.dumps(plain_payloads, sort_keys=True))

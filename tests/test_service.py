@@ -253,6 +253,75 @@ class TestMetrics:
         metrics.register_gauge("repro_service_queue_depth", lambda: 0.0)
         assert_prometheus_exposition(metrics.render())
 
+    def test_tenant_sanitization(self):
+        from repro.service.metrics import DEFAULT_TENANT, clean_tenant
+        assert clean_tenant("acme-prod_1.eu:a") == "acme-prod_1.eu:a"
+        assert clean_tenant(None) == DEFAULT_TENANT
+        assert clean_tenant("") == DEFAULT_TENANT
+        assert clean_tenant('evil"} 1\n') == DEFAULT_TENANT
+        assert clean_tenant("x" * 65) == DEFAULT_TENANT
+        assert clean_tenant("  spaced  ") == "spaced"
+
+    def test_tenant_attribution_table_and_render(self):
+        metrics = ServiceMetrics()
+        metrics.record_request("query", 0.010, tenant="acme",
+                               work={"pushes": 5})
+        metrics.record_request("query", 0.020, tenant="acme",
+                               work={"pushes": 7})
+        metrics.record_request("query", 0.030)  # default tenant
+        metrics.record_rejection(tenant="acme")
+        metrics.record_failure(tenant="beta")
+        rows = {row["tenant"]: row for row in metrics.tenant_table()}
+        assert rows["acme"]["requests"] == 2
+        assert rows["acme"]["rejected"] == 1
+        assert rows["acme"]["work"] == 12
+        assert rows["acme"]["p99_seconds"] > 0
+        assert rows["beta"]["errors"] == 1
+        assert rows["default"]["requests"] == 1
+        text = metrics.render()
+        assert ('repro_service_tenant_requests_total{tenant="acme"} 2'
+                in text)
+        assert ('repro_service_tenant_rejected_total{tenant="acme"} 1'
+                in text)
+        assert ('repro_service_tenant_errors_total{tenant="beta"} 1'
+                in text)
+        assert ('repro_service_tenant_work_total{tenant="acme"} 12'
+                in text)
+        assert ('repro_service_tenant_latency_seconds_count'
+                '{tenant="acme"} 2') in text
+        assert_prometheus_exposition(text)
+
+    def test_straggler_and_shard_tables(self):
+        metrics = ServiceMetrics()
+        metrics.record_shard_fold(0, 0.001)
+        metrics.record_shard_fold(1, 0.5)
+        metrics.record_straggler(1)
+        rows = {row["shard"]: row for row in metrics.shard_table()}
+        assert rows[0]["straggler_folds"] == 0
+        assert rows[1]["straggler_folds"] == 1
+        assert rows[1]["fold_p99_seconds"] >= rows[0]["fold_p50_seconds"]
+        assert metrics.snapshot()["straggler_folds"] == {1: 1}
+        text = metrics.render()
+        assert ('repro_service_straggler_folds_total{shard="1"} 1'
+                in text)
+
+    def test_window_snapshot_and_slo_report_require_wiring(self):
+        from repro.obs.slo import SLOEngine, default_specs
+        from repro.obs.timeseries import TimeSeriesStore
+        bare = ServiceMetrics()
+        assert bare.window_snapshot(60.0) is None
+        assert bare.slo_report() == []
+        wired = ServiceMetrics(timeseries=TimeSeriesStore(),
+                               slo=SLOEngine(default_specs()))
+        wired.record_request("query", 0.012, tenant="acme")
+        wired.record_rejection()
+        snapshot = wired.window_snapshot(60.0)
+        assert snapshot["counters"]["requests"]["total"] == 1.0
+        assert snapshot["counters"]["rejected"]["total"] == 1.0
+        assert snapshot["histograms"]["latency"]["count"] == 1
+        names = {report["name"] for report in wired.slo_report()}
+        assert names == {"availability", "latency"}
+
 
 class TestIndexManager:
     def _manager(self, graph, **overrides):
@@ -788,6 +857,60 @@ class TestHTTP:
             in text
         assert_prometheus_exposition(text)
 
+    def test_tenant_attribution_over_http(self, base_url):
+        body = json.dumps({"kind": "source", "node": 9}).encode()
+        request = urllib.request.Request(
+            f"{base_url}/query", data=body,
+            headers={"Content-Type": "application/json",
+                     "X-Tenant": "acme"})
+        with urllib.request.urlopen(request, timeout=30) as response:
+            assert response.status == 200
+        # a tenant query argument works too (header wins when both)
+        self._post(f"{base_url}/query?tenant=beta",
+                   {"kind": "source", "node": 10})
+        _, metrics_body = self._get(f"{base_url}/metrics")
+        text = metrics_body.decode()
+        for tenant in ("acme", "beta"):
+            assert (f'repro_service_tenant_requests_total'
+                    f'{{tenant="{tenant}"}}') in text
+            assert (f'repro_service_tenant_latency_seconds_count'
+                    f'{{tenant="{tenant}"}}') in text
+        assert_prometheus_exposition(text)
+
+    def test_statusz_endpoint(self, base_url):
+        self._post(f"{base_url}/query?tenant=acme",
+                   {"kind": "source", "node": 11})
+        status, body = self._get(f"{base_url}/statusz")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["graph"] == "test"
+        assert payload["totals"]["requests"] >= 1
+        assert set(payload["windows"]) == {"60s", "300s"}
+        assert payload["windows"]["60s"]["counters"]["requests"][
+            "total"] >= 1
+        slo_states = {report["name"]: report["state"]
+                      for report in payload["slo"]}
+        assert set(slo_states) == {"availability", "latency"}
+        tenants = {row["tenant"] for row in payload["tenants"]}
+        assert "acme" in tenants
+
+    def test_request_id_echoed_on_get_and_errors(self, base_url):
+        with urllib.request.urlopen(f"{base_url}/healthz",
+                                    timeout=10) as response:
+            assert response.headers["X-Request-Id"]  # minted
+        for url, data in ((f"{base_url}/nope", None),
+                          (f"{base_url}/nope", b"{}"),
+                          (f"{base_url}/query", b'{"kind": "source"}')):
+            request = urllib.request.Request(
+                url, data=data,
+                headers={"Content-Type": "application/json",
+                         "X-Request-Id": "rid-err-1"})
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=10)
+            assert excinfo.value.code in (400, 404)
+            assert excinfo.value.headers["X-Request-Id"] == "rid-err-1"
+
     def test_request_id_echoed_and_propagated(self, base_url):
         body = json.dumps({"kind": "source", "node": 7}).encode()
         request = urllib.request.Request(
@@ -809,3 +932,35 @@ class TestHTTP:
             assert response.headers["X-Request-Id"]
             payload = json.loads(response.read())
         assert "debug" not in payload
+
+
+class TestSLOIntegration:
+    """A burn-rate alert fires under injected latency pressure and
+    clears once the fast window recovers."""
+
+    def test_latency_alert_fires_and_clears(self, graph):
+        config = ServiceConfig(
+            graph="test", alpha=ALPHA, epsilon=EPSILON,
+            budget_scale=0.05, seed=SEED, max_batch=8,
+            max_wait_ms=2.0, cache_entries=0, port=0,
+            # hair-trigger latency SLO: every request breaches
+            slo_latency_ms=0.001, slo_fast_window_s=1.0,
+            slo_slow_window_s=5.0, slo_burn_threshold=1.0)
+        with PPRService(config, graph=graph) as service:
+            for node in range(10):
+                service.query("source", node, top=3, tenant="acme")
+            fired = {report["name"]: report
+                     for report in service.statusz()["slo"]}
+            assert fired["latency"]["state"] == "firing"
+            assert fired["latency"]["fast_burn"] >= 1.0
+            # no errors: availability stays healthy throughout
+            assert fired["availability"]["state"] == "ok"
+            # evaluate past the windows: the bad events age out and
+            # the state machine transitions back to ok
+            later = time.monotonic() + 30.0
+            cleared = {report["name"]: report
+                       for report in service.statusz(now=later)["slo"]}
+            assert cleared["latency"]["state"] == "ok"
+            transitions = [entry["state"] for entry
+                           in cleared["latency"]["transitions"]]
+            assert transitions[-2:] == ["firing", "ok"]

@@ -38,7 +38,12 @@ from repro.shard import (
     merge_subgraphs,
     partition_graph,
 )
-from repro.shard.router import ShardRouter, bounded_topk_merge
+from repro.shard.router import (
+    SLOWDOWN_ENV,
+    ShardRouter,
+    StragglerDetector,
+    bounded_topk_merge,
+)
 
 SEED = 2022
 ALPHA = 0.2
@@ -334,6 +339,76 @@ class TestBoundedTopkMerge:
         assert not exact
 
 
+class TestStragglerDetector:
+    def test_min_samples_guard(self):
+        detector = StragglerDetector(min_samples=8)
+        # even absurd folds go unflagged until the window can
+        # estimate a distribution
+        for index in range(8):
+            assert detector.observe(index % 2, 10.0) is None
+
+    def test_flags_outlier_after_honest_warmup(self):
+        detector = StragglerDetector(min_samples=8, z_threshold=3.0)
+        for index in range(20):
+            jitter = (index % 3) * 0.001
+            assert detector.observe(index % 2, 0.010 + jitter) is None
+        z = detector.observe(2, 1.0)
+        assert z is not None and z >= 3.0
+        stats = detector.stats()
+        rows = {row["shard"]: row for row in stats["per_shard"]}
+        assert rows[2]["straggler_folds"] == 1
+        assert rows[2]["folds"] == 1
+        assert rows[0]["straggler_folds"] == 0
+        assert rows[2]["last_z"] >= 3.0
+        assert stats["window"] == 21
+        assert stats["z_threshold"] == 3.0
+
+    def test_sigma_floor_suppresses_microsecond_jitter(self):
+        detector = StragglerDetector(min_samples=4, min_sigma=1e-3)
+        for _ in range(10):
+            detector.observe(0, 0.005)
+        # 0.2 ms above a perfectly flat baseline: sigma is floored,
+        # so tiny absolute jitter never alerts
+        assert detector.observe(1, 0.0052) is None
+
+    def test_outlier_judged_against_window_before_it_joins(self):
+        detector = StragglerDetector(min_samples=4)
+        for _ in range(8):
+            detector.observe(0, 0.01)
+        # the slow fold cannot dilute its own baseline
+        assert detector.observe(1, 0.5) is not None
+
+    def test_validation(self):
+        with pytest.raises(ConfigError, match="window"):
+            StragglerDetector(window=1)
+        with pytest.raises(ConfigError, match="min_samples"):
+            StragglerDetector(min_samples=1)
+        with pytest.raises(ConfigError, match="z_threshold"):
+            StragglerDetector(z_threshold=0.0)
+
+
+class TestStragglerInjection:
+    def test_forced_slow_shard_flagged_end_to_end(self, router_setup,
+                                                  monkeypatch):
+        _, _, router = router_setup
+        monkeypatch.delenv(SLOWDOWN_ENV, raising=False)
+        # honest warmup fills the cross-shard baseline window
+        for node in range(6):
+            router.run_batch("test", "source", ALPHA, EPSILON, (node,))
+        monkeypatch.setenv(SLOWDOWN_ENV, "1:0.75")
+        stats: dict = {}
+        router.run_batch("test", "source", ALPHA, EPSILON, (50,),
+                         stats=stats)
+        flagged = {entry["shard"] for entry in stats["stragglers"]}
+        assert flagged == {1}
+        (entry,) = stats["stragglers"]
+        assert entry["fold_seconds"] >= 0.75
+        assert entry["z"] >= 3.0
+        rows = {row["shard"]: row
+                for row in router.straggler_stats()["per_shard"]}
+        assert rows[1]["straggler_folds"] >= 1
+
+
 class TestShardedServiceConfig:
     def test_validation(self):
         with pytest.raises(ConfigError, match="shards"):
@@ -572,3 +647,25 @@ class TestShardedService:
             in text
         assert 'repro_service_shard_fold_seconds_bucket{shard="1"' \
             in text
+
+    def test_forced_slow_shard_attributed_in_statusz(
+            self, sharded_service, monkeypatch):
+        """Acceptance: a forced-slow shard is flagged and attributed
+        per-shard in ``/statusz``."""
+        monkeypatch.delenv(SLOWDOWN_ENV, raising=False)
+        for node in range(20, 28):  # honest warmup, no cache hits
+            sharded_service.query("source", node)
+        monkeypatch.setenv(SLOWDOWN_ENV, "1:0.75")
+        sharded_service.query("source", 99)
+        payload = sharded_service.statusz()
+        detector = payload["stragglers"]
+        rows = {row["shard"]: row for row in detector["per_shard"]}
+        assert rows[1]["straggler_folds"] >= 1
+        assert rows[0]["straggler_folds"] == 0
+        assert rows[1]["last_z"] >= detector["z_threshold"]
+        # the metrics-side attribution agrees with the detector
+        shard_rows = {row["shard"]: row for row in payload["shards"]}
+        assert shard_rows[1]["straggler_folds"] >= 1
+        assert shard_rows[0]["straggler_folds"] == 0
+        text = sharded_service.metrics_text()
+        assert 'repro_service_straggler_folds_total{shard="1"}' in text

@@ -1,0 +1,146 @@
+"""Tests for SLO specs, burn-rate tracking, and the alert machine.
+
+All driven with injected ``now`` values: the multi-window state
+machine is pure windowed arithmetic, so firing and clearing are
+asserted deterministically without sleeping.
+"""
+
+import pytest
+
+from repro.obs.slo import (
+    STATE_FIRING,
+    STATE_OK,
+    SLOEngine,
+    SLOSpec,
+    SLOTracker,
+    default_specs,
+)
+
+
+class TestSLOSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SLOSpec(name="x", kind="nope", objective=0.99)
+        with pytest.raises(ValueError):
+            SLOSpec(name="x", kind="availability", objective=1.5)
+        with pytest.raises(ValueError):
+            # latency kind needs a positive threshold
+            SLOSpec(name="x", kind="latency", objective=0.99)
+        with pytest.raises(ValueError):
+            SLOSpec(name="x", kind="availability", objective=0.99,
+                    fast_window_s=300.0, slow_window_s=60.0)
+        with pytest.raises(ValueError):
+            SLOSpec(name="x", kind="availability", objective=0.99,
+                    burn_threshold=0.0)
+
+    def test_classify_availability(self):
+        spec = SLOSpec(name="avail", kind="availability", objective=0.99)
+        assert spec.classify(10.0) is True  # latency never matters
+        assert spec.classify(0.001, error=True) is False
+
+    def test_classify_latency(self):
+        spec = SLOSpec(name="lat", kind="latency", objective=0.99,
+                       latency_threshold_ms=100.0)
+        assert spec.classify(0.05) is True
+        assert spec.classify(0.25) is False
+        assert spec.classify(0.05, error=True) is False
+
+    def test_default_specs(self):
+        availability, latency = default_specs()
+        assert availability.kind == "availability"
+        assert latency.kind == "latency"
+        assert latency.latency_threshold_ms == 250.0
+
+
+class TestSLOTracker:
+    def _spec(self, **overrides):
+        params = dict(name="avail", kind="availability", objective=0.99,
+                      fast_window_s=10.0, slow_window_s=40.0,
+                      burn_threshold=10.0)
+        params.update(overrides)
+        return SLOSpec(**params)
+
+    def test_no_traffic_no_burn(self):
+        tracker = SLOTracker(self._spec())
+        assert tracker.burn_rate(10.0, now=5.0) == 0.0
+        report = tracker.evaluate(now=5.0)
+        assert report["state"] == STATE_OK
+
+    def test_burn_rate_arithmetic(self):
+        tracker = SLOTracker(self._spec())
+        for _ in range(90):
+            tracker.observe(0.001, now=5.0)
+        for _ in range(10):
+            tracker.observe_bad(now=5.0)
+        # 10% bad over a 1% error budget = burn 10
+        assert tracker.burn_rate(10.0, now=5.0) == pytest.approx(10.0)
+
+    def test_fires_only_when_both_windows_burn(self):
+        tracker = SLOTracker(self._spec())
+        # errors only in the recent past: fast window hot, slow warm
+        for _ in range(50):
+            tracker.observe_bad(now=39.0)
+        report = tracker.evaluate(now=39.0)
+        assert report["fast_burn"] >= 10.0
+        assert report["slow_burn"] >= 10.0
+        assert report["state"] == STATE_FIRING
+
+    def test_clears_when_fast_window_recovers(self):
+        tracker = SLOTracker(self._spec())
+        for _ in range(50):
+            tracker.observe_bad(now=5.0)
+        assert tracker.evaluate(now=5.0)["state"] == STATE_FIRING
+        # good traffic floods the fast window; bad ones age out of it
+        for tick in range(16, 26):
+            for _ in range(20):
+                tracker.observe(0.001, now=float(tick))
+        report = tracker.evaluate(now=25.0)
+        assert report["fast_burn"] < 10.0
+        assert report["state"] == STATE_OK
+        states = [entry["state"] for entry in report["transitions"]]
+        assert states[-2:] == [STATE_FIRING, STATE_OK]
+
+    def test_report_shape(self):
+        tracker = SLOTracker(self._spec())
+        tracker.observe(0.001, now=1.0)
+        report = tracker.evaluate(now=1.0)
+        for key in ("name", "kind", "objective", "state", "fast_burn",
+                    "slow_burn", "fast_window_s", "slow_window_s",
+                    "burn_threshold", "transitions"):
+            assert key in report
+
+
+class TestSLOEngine:
+    def test_duplicate_names_rejected(self):
+        spec = SLOSpec(name="a", kind="availability", objective=0.99)
+        with pytest.raises(ValueError):
+            SLOEngine([spec, spec])
+
+    def test_latency_spec_burns_on_slow_requests(self):
+        engine = SLOEngine(default_specs(
+            latency_threshold_ms=10.0, fast_window_s=5.0,
+            slow_window_s=20.0))
+        for _ in range(50):
+            engine.observe_request(0.5, now=4.0)  # all over threshold
+        reports = {r["name"]: r for r in engine.evaluate(now=4.0)}
+        assert reports["latency"]["state"] == STATE_FIRING
+        # slow requests are not availability failures
+        assert reports["availability"]["state"] == STATE_OK
+        assert engine.firing(now=4.0) == ["latency"]
+
+    def test_rejections_hit_availability_only(self):
+        engine = SLOEngine(default_specs(fast_window_s=5.0,
+                                         slow_window_s=20.0))
+        for _ in range(50):
+            engine.observe_rejection(now=4.0)
+        reports = {r["name"]: r for r in engine.evaluate(now=4.0)}
+        assert reports["availability"]["state"] == STATE_FIRING
+        assert reports["latency"]["state"] == STATE_OK
+
+    def test_errors_hit_both(self):
+        engine = SLOEngine(default_specs(fast_window_s=5.0,
+                                         slow_window_s=20.0))
+        for _ in range(50):
+            engine.observe_request(0.0, error=True, now=4.0)
+        assert set(engine.firing(now=4.0)) == {"availability",
+                                               "latency"}
